@@ -1,0 +1,51 @@
+"""Shared reporting helper for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures.  The
+rows are buffered here and flushed by the ``pytest_terminal_summary``
+hook in ``benchmarks/conftest.py`` — after pytest's capture has ended —
+so the tables reliably land in ``bench_output.txt`` during the standard
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+#: Buffered report lines, flushed at terminal-summary time.
+LINES: List[str] = []
+
+
+def emit(*lines: str) -> None:
+    """Queue report lines for the end-of-run reproduction report."""
+    LINES.extend(lines)
+
+
+def emit_table(title: str, header: Iterable[str], rows: Iterable[Iterable]) -> None:
+    """Queue an aligned table with a title banner."""
+    header = list(header)
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    emit("")
+    emit("=" * 72)
+    emit(title)
+    emit("=" * 72)
+    emit("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    emit("  ".join("-" * w for w in widths))
+    for row in rows:
+        emit("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def flush(write) -> None:
+    """Write all buffered lines through ``write`` and clear the buffer."""
+    if not LINES:
+        return
+    write("\n")
+    write("#" * 72 + "\n")
+    write("# Reproduction report (paper tables & figures regenerated)\n")
+    write("#" * 72 + "\n")
+    for line in LINES:
+        write(line + "\n")
+    LINES.clear()

@@ -1,0 +1,101 @@
+"""A3 — Extension: the primary/standby cluster ("work in progress").
+
+Section 2 of the paper: "Model generation for the primary standby and
+primary secondary (e.g., cluster) architecture is the work in
+progress."  This benchmark exercises the reproduction's implementation
+of that extension: the cluster chain across failover-quality settings,
+and the design question it answers — when does clustering beat simply
+buying a better single node?
+"""
+
+import pytest
+
+from repro.library import ClusterParameters, cluster_availability, cluster_chain
+from repro.gmb import MarkovBuilder
+from repro.markov import mean_time_to_failure, steady_state_availability
+from repro.units import availability_to_yearly_downtime_minutes
+
+from ._report import emit, emit_table
+
+
+def single_node(mtbf_hours: float, repair_hours: float):
+    return (
+        MarkovBuilder("single-node")
+        .up("Up").down("Down")
+        .arc("Up", "Down", 1.0 / mtbf_hours)
+        .arc("Down", "Up", 1.0 / repair_hours)
+        .build()
+    )
+
+
+def bench_a3_cluster_design_space(benchmark):
+    settings = [
+        ("fast+sure failover", ClusterParameters(
+            failover_minutes=1.0, p_failover_success=0.999)),
+        ("default", ClusterParameters()),
+        ("slow failover", ClusterParameters(
+            failover_minutes=15.0, p_failover_success=0.95)),
+        ("flaky failover", ClusterParameters(
+            failover_minutes=3.0, p_failover_success=0.70)),
+    ]
+
+    def run():
+        return {
+            label: cluster_availability(parameters)
+            for label, parameters in settings
+        }
+
+    availabilities = benchmark(run)
+
+    rows = []
+    for label, parameters in settings:
+        availability = availabilities[label]
+        chain = cluster_chain(parameters)
+        rows.append([
+            label,
+            f"{parameters.failover_minutes:g}",
+            f"{parameters.p_failover_success:g}",
+            f"{availability:.8f}",
+            f"{availability_to_yearly_downtime_minutes(availability):.2f}",
+            f"{mean_time_to_failure(chain):.0f}",
+        ])
+    emit_table(
+        "A3: primary/standby cluster design space",
+        ["setting", "Tfo min", "P(fo ok)", "availability",
+         "downtime min/yr", "MTTF h"],
+        rows,
+    )
+
+    assert availabilities["fast+sure failover"] == max(
+        availabilities.values()
+    )
+    assert availabilities["flaky failover"] == min(availabilities.values())
+
+
+def test_a3_cluster_vs_better_single_node():
+    """The crossover the architecture decision hinges on."""
+    cluster = cluster_availability(ClusterParameters(
+        node_mtbf_hours=10_000.0, node_repair_hours=12.0,
+        emergency_repair_hours=8.0,
+    ))
+    rows = []
+    crossover = None
+    for factor in (1, 2, 5, 10, 50, 100):
+        single = steady_state_availability(
+            single_node(10_000.0 * factor, 12.0)
+        )
+        winner = "cluster" if cluster > single else "single"
+        if crossover is None and single > cluster:
+            crossover = factor
+        rows.append([
+            f"{factor}x", f"{single:.8f}", f"{cluster:.8f}", winner,
+        ])
+    emit_table(
+        "A3: cluster of 10k-hour nodes vs a single node with better MTBF",
+        ["single-node MTBF factor", "single A", "cluster A", "winner"],
+        rows,
+    )
+    # Shape: the cluster beats a same-grade single node easily, and the
+    # single node needs an order of magnitude better hardware to win.
+    assert rows[0][3] == "cluster"
+    assert crossover is not None and crossover >= 10

@@ -1,0 +1,95 @@
+"""A4 — Extension: performability (capacity) rewards.
+
+The paper's reward-rate machinery (reward 1 = up, 0 = down) extends
+directly to performability in the sense of the literature it cites
+(Meyer 1980): reward = delivered capacity fraction.  This benchmark
+contrasts availability with expected capacity for the E10000's big
+redundant banks, and compares the primary/standby cluster with the
+primary/secondary (active-active) extension on both metrics.
+"""
+
+import pytest
+
+from repro import BlockParameters, GlobalParameters
+from repro.core import capacity_oriented_availability
+from repro.library import (
+    ClusterParameters,
+    cluster_availability,
+    secondary_cluster_measures,
+)
+
+from ._report import emit, emit_table
+
+BANKS = [
+    ("CPU Module (64/60)", BlockParameters(
+        name="cpu", quantity=64, min_required=60, mtbf_hours=1_000_000.0,
+        recovery="nontransparent", ar_time_minutes=12.0,
+        repair="transparent", p_latent_fault=0.02, p_spf=0.003,
+    )),
+    ("Memory Bank (64/62)", BlockParameters(
+        name="mem", quantity=64, min_required=62, mtbf_hours=800_000.0,
+        recovery="nontransparent", ar_time_minutes=12.0,
+        repair="transparent", p_latent_fault=0.05, p_spf=0.003,
+    )),
+    ("System Board (16/15)", BlockParameters(
+        name="board", quantity=16, min_required=15, mtbf_hours=250_000.0,
+        recovery="nontransparent", ar_time_minutes=15.0,
+        repair="transparent", p_latent_fault=0.02, p_spf=0.01,
+    )),
+]
+
+
+def bench_a4_capacity_vs_availability(benchmark):
+    g = GlobalParameters(mttm_hours=24.0)
+
+    def run():
+        return {
+            label: capacity_oriented_availability(parameters, g)
+            for label, parameters in BANKS
+        }
+
+    results = benchmark(run)
+
+    rows = []
+    for label, _parameters in BANKS:
+        r = results[label]
+        rows.append([
+            label,
+            f"{r['availability']:.8f}",
+            f"{r['expected_capacity']:.8f}",
+            f"{r['capacity_gap'] * 1e6:.2f}",
+        ])
+    emit_table(
+        "A4: availability vs expected delivered capacity "
+        "(performability rewards)",
+        ["bank", "availability", "expected capacity", "gap (ppm)"],
+        rows,
+    )
+
+    for label, _parameters in BANKS:
+        r = results[label]
+        assert r["expected_capacity"] <= r["availability"]
+        assert r["capacity_gap"] > 0  # degraded-up time exists
+
+
+def test_a4_cluster_architectures_both_metrics():
+    """Standby vs active-active: availability favours standby, but the
+    capacity comparison depends on what the standby node contributes."""
+    p = ClusterParameters()
+    standby_availability = cluster_availability(p)
+    active = secondary_cluster_measures(p, degraded_capacity=0.5)
+    rows = [
+        ["primary/standby", f"{standby_availability:.8f}",
+         "1.0 (single node serves)", "-"],
+        ["primary/secondary", f"{active['availability']:.8f}",
+         f"{active['expected_capacity']:.8f}",
+         f"{active['time_on_one_node']:.2%}"],
+    ]
+    emit_table(
+        "A4: cluster arrangements on both metrics",
+        ["architecture", "availability", "expected capacity",
+         "time on one node"],
+        rows,
+    )
+    assert standby_availability > active["availability"]
+    assert active["expected_capacity"] < active["availability"]

@@ -1,0 +1,86 @@
+"""A5 — Extension: uncertainty and risk views of the point estimates.
+
+RAScad reports point estimates; a design decision also needs (a) how
+sensitive the estimate is to uncertain component data and (b) what an
+*individual* site will actually experience (the realized-downtime
+distribution is heavily skewed — most years see almost nothing, an
+unlucky year eats a long logistics outage).
+"""
+
+import pytest
+
+from repro import translate, workgroup_model
+from repro.analysis import UncertainField, propagate_uncertainty
+from repro.semimarkov import Lognormal
+from repro.units import availability_to_yearly_downtime_minutes
+from repro.validation import downtime_distribution
+
+from ._report import emit, emit_table
+
+OS = "Workgroup Server/Operating System"
+DISK = "Workgroup Server/Mirrored Disk"
+
+
+def bench_a5_parameter_uncertainty(benchmark):
+    model = workgroup_model()
+    uncertain = [
+        UncertainField(OS, "mtbf_hours",
+                       Lognormal.from_mean_cv(30_000.0, 0.5)),
+        UncertainField(DISK, "mtbf_hours",
+                       Lognormal.from_mean_cv(150_000.0, 0.3)),
+    ]
+
+    def run():
+        return propagate_uncertainty(model, uncertain, samples=60, seed=11)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    point = availability_to_yearly_downtime_minutes(
+        translate(model).availability
+    )
+    emit_table(
+        "A5: parameter uncertainty (lognormal MTBF errors, 60 samples)",
+        ["quantity", "value"],
+        [
+            ["point-estimate downtime", f"{point:.1f} min/yr"],
+            ["mean availability", f"{result.mean_availability:.6f}"],
+            ["downtime P5", f"{result.downtime_p05:.1f} min/yr"],
+            ["downtime P50", f"{result.downtime_p50:.1f} min/yr"],
+            ["downtime P95", f"{result.downtime_p95:.1f} min/yr"],
+            ["P5-P95 band width", f"{result.downtime_iqr90:.1f} min/yr"],
+        ],
+    )
+    assert result.downtime_p05 <= result.downtime_p50 <= result.downtime_p95
+    # The band must bracket a meaningful range around the point estimate.
+    assert result.downtime_p05 < point < result.downtime_p95
+
+
+def bench_a5_realized_downtime_distribution(benchmark):
+    solution = translate(workgroup_model())
+
+    def run():
+        return downtime_distribution(
+            solution, window_hours=8760.0, replications=120, seed=5
+        )
+
+    distribution = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    expected = availability_to_yearly_downtime_minutes(
+        solution.availability
+    )
+    emit_table(
+        "A5: realized downtime over one year (120 simulated sites)",
+        ["quantity", "minutes"],
+        [
+            ["expected (analytic)", f"{expected:.1f}"],
+            ["simulated mean", f"{distribution.mean_minutes:.1f}"],
+            ["median site (P50)", f"{distribution.p50_minutes:.1f}"],
+            ["P90 site", f"{distribution.p90_minutes:.1f}"],
+            ["P99 site", f"{distribution.p99_minutes:.1f}"],
+            ["worst site", f"{distribution.max_minutes:.1f}"],
+        ],
+    )
+    # Skew: the median site sees far less than the mean; the mean is
+    # close to the analytic expectation.
+    assert distribution.p50_minutes < distribution.mean_minutes
+    assert distribution.mean_minutes == pytest.approx(expected, rel=0.5)

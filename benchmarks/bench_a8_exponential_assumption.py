@@ -1,0 +1,92 @@
+"""A8 — Ablation: does MG's exponential assumption matter?
+
+MG generates CTMCs — every duration is exponential — while real
+reboots are scripted (deterministic) and hands-on repairs lognormal.
+This ablation builds the realistic-sojourn semi-Markov twin of each
+generated model type (same structure, same means, realistic shapes)
+and measures the difference.
+
+The asserted result: **steady-state availability is exactly invariant**
+(the ratio formula sees only sojourn means) — RAScad's headline number
+does not depend on the exponential assumption at all — while the
+mission-time point availability shifts by a small but non-zero amount.
+"""
+
+import pytest
+
+from repro import BlockParameters, GlobalParameters, generate_block_chain
+from repro.core import exponential_assumption_gap
+
+from ._report import emit, emit_table
+
+SCENARIOS = [
+    (1, "transparent", "transparent"),
+    (2, "transparent", "nontransparent"),
+    (3, "nontransparent", "transparent"),
+    (4, "nontransparent", "nontransparent"),
+]
+
+
+def parameters(recovery, repair):
+    return BlockParameters(
+        name="FRU",
+        quantity=2,
+        min_required=1,
+        mtbf_hours=2_000.0,          # stressed so transients resolve
+        transient_fit=2e5,
+        p_latent_fault=0.10,
+        p_spf=0.05,
+        p_correct_diagnosis=0.90,
+        recovery=recovery,
+        repair=repair,
+    )
+
+
+def bench_a8_exponential_assumption(benchmark):
+    g = GlobalParameters()
+    chains = {
+        t: generate_block_chain(parameters(rec, rep), g)
+        for t, rec, rep in SCENARIOS
+    }
+
+    def run():
+        return {
+            t: exponential_assumption_gap(
+                chains[t], horizon=100.0, repair_cv=0.5
+            )
+            for t, _rec, _rep in SCENARIOS
+        }
+
+    gaps = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    rows = []
+    for t, _rec, _rep in SCENARIOS:
+        gap = gaps[t]
+        rows.append([
+            f"Type {t}",
+            f"{gap['steady_exponential']:.10f}",
+            f"{abs(gap['steady_exponential'] - gap['steady_variant']):.1e}",
+            f"{gap['point_exponential']:.8f}",
+            f"{gap['point_variant']:.8f}",
+            f"{gap['transient_gap']:.2e}",
+        ])
+        # Steady state: exactly invariant (means-only).
+        assert gap["steady_variant"] == pytest.approx(
+            gap["steady_exponential"], rel=1e-9
+        )
+        # Transient: a real, measurable (but small) shape effect.
+        assert 0.0 < gap["transient_gap"] < 1e-2
+
+    emit_table(
+        "A8: exponential vs realistic sojourns "
+        "(deterministic reboots, lognormal repairs cv=0.5)",
+        ["model", "steady-state A (both)", "steady |diff|",
+         "A(100h) exponential", "A(100h) realistic", "transient gap"],
+        rows,
+    )
+    emit(
+        "",
+        "conclusion: RAScad's exponential assumption is exact for",
+        "steady-state availability and a second-order effect for",
+        "mission-time measures on these models.",
+    )

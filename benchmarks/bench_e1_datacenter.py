@@ -1,0 +1,60 @@
+"""E1 — Figures 1-2: the Data Center System diagram/block model.
+
+Regenerates the paper's worked example: the two-level hierarchy (four
+dark blocks at level 1, the 19-block Server Box at level 2), its
+automatic translation to RBDs and Markov chains, and the solved
+per-block availability table.
+"""
+
+import pytest
+
+from repro import compute_measures, datacenter_model, translate
+from repro.analysis import downtime_budget
+
+from ._report import emit, emit_table
+
+
+@pytest.fixture(scope="module")
+def model():
+    return datacenter_model()
+
+
+def test_e1_structure_matches_paper(model):
+    assert len(model.root) == 4
+    assert all(block.has_subdiagram for block in model.root)
+    assert len(model.root.block("Server Box").subdiagram) == 19
+
+
+def bench_e1_solve_datacenter(benchmark, model):
+    solution = benchmark(translate, model)
+    measures = compute_measures(solution)
+
+    emit_table(
+        "E1 (Figures 1-2): Data Center System - solved hierarchy",
+        ["block", "N", "K", "model", "availability", "downtime min/yr"],
+        [
+            [
+                row.path,
+                solution.by_path[row.path].effective.quantity,
+                solution.by_path[row.path].effective.min_required,
+                f"Type {row.model_type}" if row.model_type is not None else "RBD",
+                f"{row.availability:.8f}",
+                f"{row.yearly_downtime_minutes:.3f}",
+            ]
+            for row in downtime_budget(solution)
+        ],
+    )
+    emit(
+        "",
+        f"system availability        : {measures.availability:.8f}",
+        f"system downtime            : "
+        f"{measures.yearly_downtime_minutes:.2f} min/yr",
+        f"interval availability (T)  : {measures.interval_availability:.8f}",
+        f"reliability at mission T   : {measures.reliability_at_mission:.4f}",
+        f"system MTTF                : {measures.mttf_hours:.0f} h",
+    )
+
+    assert 0.99 < solution.availability < 1.0
+    # The model has 2 levels and 27 blocks total, per the figures.
+    assert model.depth() == 2
+    assert model.block_count() == 4 + 19 + 1 + 1 + 1  # level-1 + subdiagrams

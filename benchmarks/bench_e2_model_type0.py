@@ -1,0 +1,76 @@
+"""E2 — Figure 3: Markov Model Type 0 (no redundancy).
+
+Regenerates the Type 0 chain for a single FRU, prints its structure
+(states, rewards, transitions — the content of the paper's Figure 3),
+and benchmarks generation + solution.
+"""
+
+import pytest
+
+from repro import BlockParameters, GlobalParameters, generate_block_chain
+from repro.markov import steady_state, steady_state_availability
+from repro.units import availability_to_yearly_downtime_minutes
+
+from ._report import emit, emit_table
+
+
+@pytest.fixture(scope="module")
+def parameters():
+    return BlockParameters(
+        name="FRU",
+        quantity=1,
+        min_required=1,
+        mtbf_hours=100_000.0,
+        transient_fit=2_000.0,
+        diagnosis_minutes=30.0,
+        corrective_minutes=30.0,
+        verification_minutes=30.0,
+        service_response_hours=4.0,
+        p_correct_diagnosis=0.95,
+    )
+
+
+@pytest.fixture(scope="module")
+def global_parameters():
+    return GlobalParameters()
+
+
+def bench_e2_generate_and_solve_type0(
+    benchmark, parameters, global_parameters
+):
+    def run():
+        chain = generate_block_chain(parameters, global_parameters)
+        return chain, steady_state(chain)
+
+    chain, pi = benchmark(run)
+
+    emit_table(
+        "E2 (Figure 3): Markov Model Type 0 - states",
+        ["state", "reward", "steady-state prob"],
+        [
+            [s.name, f"{s.reward:g}", f"{pi[s.name]:.6e}"]
+            for s in chain
+        ],
+    )
+    emit_table(
+        "E2 (Figure 3): Markov Model Type 0 - transitions",
+        ["from", "to", "rate /h", "meaning"],
+        [
+            [t.source, t.target, f"{t.rate:.4e}", t.label]
+            for t in chain.transitions()
+        ],
+    )
+    availability = steady_state_availability(chain)
+    emit(
+        "",
+        f"availability  : {availability:.8f}",
+        f"downtime      : "
+        f"{availability_to_yearly_downtime_minutes(availability):.3f} min/yr",
+    )
+
+    # Figure 3 structure: the five states of the paper's diagram.
+    assert chain.state_names == [
+        "Ok", "Logistic", "Repair", "ServiceError", "Reboot"
+    ]
+    assert chain.up_states() == ["Ok"]
+    assert availability > 0.999

@@ -1,0 +1,98 @@
+"""E3 — Figure 4 and the four redundant model types.
+
+Regenerates Markov Model Type 3 for N=2, K=1 (the chain the paper
+draws in Figure 4) and all four recovery/repair combinations, printing
+each chain's state inventory and availability.  The paper's qualitative
+claim — model complexity grows from Type 1 to Type 4 — is asserted.
+"""
+
+import pytest
+
+from repro import BlockParameters, GlobalParameters, generate_block_chain
+from repro.markov import steady_state_availability
+from repro.units import availability_to_yearly_downtime_minutes
+
+from ._report import emit, emit_table
+
+SCENARIOS = [
+    (1, "transparent", "transparent"),
+    (2, "transparent", "nontransparent"),
+    (3, "nontransparent", "transparent"),
+    (4, "nontransparent", "nontransparent"),
+]
+
+
+def parameters(recovery, repair):
+    return BlockParameters(
+        name="FRU",
+        quantity=2,
+        min_required=1,
+        mtbf_hours=50_000.0,
+        transient_fit=10_000.0,
+        p_latent_fault=0.05,
+        mttdlf_hours=24.0,
+        recovery=recovery,
+        ar_time_minutes=10.0,
+        p_spf=0.02,
+        spf_recovery_minutes=30.0,
+        repair=repair,
+        reintegration_minutes=10.0,
+        p_correct_diagnosis=0.95,
+    )
+
+
+def bench_e3_generate_all_four_types(benchmark):
+    g = GlobalParameters()
+
+    def run():
+        return {
+            t: generate_block_chain(parameters(rec, rep), g)
+            for t, rec, rep in SCENARIOS
+        }
+
+    chains = benchmark(run)
+
+    rows = []
+    for t, rec, rep in SCENARIOS:
+        chain = chains[t]
+        availability = steady_state_availability(chain)
+        rows.append([
+            f"Type {t}",
+            rec,
+            rep,
+            chain.n_states,
+            len(chain.transitions()),
+            f"{availability:.8f}",
+            f"{availability_to_yearly_downtime_minutes(availability):.3f}",
+        ])
+    emit_table(
+        "E3 (Figure 4 et al.): the four redundant Markov model types "
+        "(N=2, K=1)",
+        ["model", "recovery", "repair", "states", "arcs",
+         "availability", "downtime min/yr"],
+        rows,
+    )
+
+    type3 = chains[3]
+    emit_table(
+        "E3 (Figure 4): Markov Model Type 3 transitions",
+        ["from", "to", "rate /h", "meaning"],
+        [
+            [t.source, t.target, f"{t.rate:.4e}", t.label]
+            for t in type3.transitions()
+        ],
+    )
+
+    # Paper: "The complexity of the model increases from type 1 to 4."
+    sizes = [chains[t].n_states for t, _, _ in SCENARIOS]
+    assert sizes == sorted(sizes)
+    # Figure 4's named states all present in the generated Type 3 chain.
+    for name in ("Ok", "AR1", "SPF1", "Latent1", "PF1", "TF1", "TF2",
+                 "PF2", "ServiceError1"):
+        assert name in type3
+    # Availability ordering: fully transparent best, fully opaque worst.
+    availabilities = {
+        t: steady_state_availability(chains[t]) for t, _, _ in SCENARIOS
+    }
+    assert availabilities[1] == max(availabilities.values())
+    assert availabilities[4] == min(availabilities.values())

@@ -1,0 +1,106 @@
+"""E6 — Section 5: field data from two E10000 servers over 15 months.
+
+The reproduction's version of the paper's field validation: two
+simulated E10000 sites each log 15 months of outages (synthetic traces
+played forward from the model), a MEADEP-style estimator recovers
+availability/MTBF/MTTR from each log, and the model prediction is
+checked against the measured confidence intervals.  A deliberately
+mis-parameterized model is also tested to show the comparison loop can
+*reject* a wrong model — the power the paper's validation relies on.
+"""
+
+import pytest
+
+from repro import compute_measures, e10000_model, translate
+from repro.analysis import with_block_changes
+from repro.validation import generate_field_log, laplace_trend_test
+from repro.validation.field_data import FIFTEEN_MONTHS_HOURS
+
+from ._report import emit, emit_table
+
+SERVERS = [("server-A", 17), ("server-B", 23)]
+
+
+@pytest.fixture(scope="module")
+def solution():
+    return translate(e10000_model())
+
+
+def bench_e6_two_servers_fifteen_months(benchmark, solution):
+    def generate_logs():
+        return [
+            generate_field_log(solution, server=name, seed=seed)
+            for name, seed in SERVERS
+        ]
+
+    logs = benchmark.pedantic(generate_logs, rounds=3, iterations=1)
+
+    rows = []
+    consistent = 0
+    for log in logs:
+        estimate = log.estimate()
+        inside = estimate.contains_availability(solution.availability)
+        consistent += inside
+        # MEADEP-style pre-check: a stationary comparison is only valid
+        # on a trend-free failure process.
+        trend = laplace_trend_test(log.events, log.window_hours)
+        rows.append([
+            log.server,
+            estimate.n_outages,
+            f"{estimate.total_downtime_hours:.1f}",
+            f"{estimate.availability:.6f}",
+            f"[{estimate.availability_low:.6f}, "
+            f"{estimate.availability_high:.6f}]",
+            f"{estimate.mtbf_hours:.0f}",
+            f"{estimate.mttr_hours * 60:.0f}",
+            f"{trend.statistic:+.2f}",
+            "yes" if inside else "NO",
+        ])
+        assert not trend.significant_at_95, (
+            f"{log.server}: trending failure process invalidates the "
+            "stationary comparison"
+        )
+
+    emit_table(
+        "E6 (Section 5): model vs 15-month field logs, two E10000 servers",
+        ["server", "outages", "downtime h", "measured A",
+         "95% CI", "MTBF h", "MTTR min", "Laplace u", "model in CI"],
+        rows,
+    )
+    measures = compute_measures(solution)
+    emit(
+        "",
+        f"model prediction: A = {solution.availability:.6f}, "
+        f"{measures.yearly_downtime_minutes:.1f} min/yr, "
+        f"{measures.failures_per_year:.2f} interruptions/yr",
+        f"window: {FIFTEEN_MONTHS_HOURS:.0f} h",
+    )
+
+    # Both sites should be statistically consistent with the truth.
+    assert consistent == len(SERVERS)
+
+
+def test_e6_comparison_rejects_wrong_model(solution):
+    """Validation power: a 10x-wrong OS model must be detected."""
+    wrong = translate(
+        with_block_changes(
+            e10000_model(), "E10000 Server/Operating System",
+            mtbf_hours=4_000.0, transient_fit=120_000.0,
+        )
+    )
+    logs = [
+        generate_field_log(solution, server=f"site-{i}", seed=100 + i)
+        for i in range(6)
+    ]
+    hits = sum(
+        log.estimate().contains_availability(wrong.availability)
+        for log in logs
+    )
+    emit(
+        "",
+        "E6 power check: deliberately wrong model "
+        f"(A = {wrong.availability:.6f} vs truth "
+        f"{solution.availability:.6f})",
+        f"  accepted by {hits}/6 simulated sites (should be nearly none)",
+    )
+    assert hits <= 2

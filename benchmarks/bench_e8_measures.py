@@ -1,0 +1,130 @@
+"""E8 — Section 4: the full measure list over mission time.
+
+RAScad reports steady-state availability/failure/recovery rates,
+interval availability over (0, T), and the reliability-model measures
+(MTTF, reliability at T, interval failure rate, hazard rate).  This
+benchmark regenerates the whole list for the Data Center model over a
+mission-time sweep — the data behind RAScad's "graphical output".
+"""
+
+import pytest
+
+from repro import compute_measures, datacenter_model, translate
+from repro.markov import (
+    failure_frequency,
+    hazard_rate,
+    recovery_frequency,
+)
+
+from ._report import emit, emit_table
+
+MISSIONS = [24.0, 168.0, 720.0, 4380.0, 8760.0]  # day..year
+
+
+@pytest.fixture(scope="module")
+def solution():
+    return translate(datacenter_model())
+
+
+def bench_e8_measure_sweep(benchmark, solution):
+    def sweep():
+        return [
+            compute_measures(
+                solution, mission_time_hours=mission, grid_points=17
+            )
+            for mission in MISSIONS
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=3, iterations=1)
+
+    emit_table(
+        "E8 (Section 4): measures vs mission time T "
+        "(Data Center System)",
+        ["T hours", "interval A", "reliability R(T)",
+         "interval failure rate /h", "MTTF h"],
+        [
+            [
+                f"{m.mission_time_hours:.0f}",
+                f"{m.interval_availability:.8f}",
+                f"{m.reliability_at_mission:.6f}",
+                f"{m.interval_failure_rate:.3e}",
+                f"{m.mttf_hours:.0f}",
+            ]
+            for m in results
+        ],
+    )
+
+    reliabilities = [m.reliability_at_mission for m in results]
+    # R(T) decreases with mission time; interval availability stays in
+    # a tight band around the steady state.
+    assert reliabilities == sorted(reliabilities, reverse=True)
+    for m in results:
+        assert m.availability <= m.interval_availability <= 1.0
+
+
+def test_e8_block_level_rates(solution):
+    """Steady-state failure/recovery rates per chain-backed block."""
+    rows = []
+    for path in sorted(solution.by_path):
+        block = solution.by_path[path]
+        if block.chain is None:
+            continue
+        frequency = failure_frequency(block.chain)
+        recovery = recovery_frequency(block.chain)
+        assert frequency == pytest.approx(recovery, rel=1e-6)
+        rows.append([
+            path, f"{frequency * 8760:.4f}", f"{1 / frequency:.0f}"
+            if frequency > 0 else "inf",
+        ])
+    emit_table(
+        "E8: per-block steady-state failure rates",
+        ["block", "failures/yr", "MTBI h"],
+        rows,
+    )
+
+
+def test_e8_interval_failure_and_recovery_rates(solution):
+    """The paper's 'interval availability, failure and recovery rates
+    for (0, T)' on one representative block."""
+    from repro.markov import (
+        interval_availability,
+        interval_failure_frequency,
+        interval_recovery_frequency,
+    )
+
+    cpu = solution.block("Data Center System/Server Box/CPU Module")
+    rows = []
+    for horizon in (24.0, 720.0, 8760.0):
+        rows.append([
+            f"{horizon:.0f}",
+            f"{interval_availability(cpu.chain, horizon):.9f}",
+            f"{interval_failure_frequency(cpu.chain, horizon) * 8760:.5f}",
+            f"{interval_recovery_frequency(cpu.chain, horizon) * 8760:.5f}",
+        ])
+    emit_table(
+        "E8: interval availability / failure / recovery rates (0, T) "
+        "for the CPU Module chain",
+        ["T hours", "interval A", "failures/yr over (0,T)",
+         "recoveries/yr over (0,T)"],
+        rows,
+    )
+    # Long-horizon rates converge toward the steady-state frequency.
+    steady = failure_frequency(cpu.chain) * 8760
+    long_run = interval_failure_frequency(cpu.chain, 8760.0) * 8760
+    assert long_run == pytest.approx(steady, rel=0.05)
+
+
+def test_e8_hazard_rate_loop(solution):
+    """The paper's 'hazard rate for the time increment in a loop'."""
+    cpu = solution.block("Data Center System/Server Box/CPU Module")
+    times = [10.0, 100.0, 1_000.0, 5_000.0]
+    rows = [
+        [f"{t:.0f}", f"{hazard_rate(cpu.chain, t):.3e}"] for t in times
+    ]
+    emit_table(
+        "E8: hazard rate h(t) for the CPU Module chain",
+        ["t hours", "hazard /h"],
+        rows,
+    )
+    values = [hazard_rate(cpu.chain, t) for t in times]
+    assert all(v > 0 for v in values)

@@ -1,0 +1,9 @@
+"""Benchmark-suite hooks: print the reproduction report after the run."""
+
+from __future__ import annotations
+
+from . import _report
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    _report.flush(terminalreporter.write)

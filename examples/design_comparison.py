@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Design-phase architecture comparison — MG's reason to exist.
+
+The paper: "MG is intended for use to analytically assess and compare
+RAS quantities achievable by the computer architectures under design."
+This example runs three such studies on the Data Center model:
+
+1. The recovery/repair transparency 2x2 for the CPU module (the four
+   Markov model types).
+2. A redundancy sweep: how many power supplies are worth buying?
+3. Service-contract trade-off: response time vs downtime.
+"""
+
+from repro import datacenter_model, translate
+from repro.analysis import (
+    birnbaum_importance,
+    sweep_block_field,
+    with_block_changes,
+)
+from repro.units import availability_to_yearly_downtime_minutes
+
+CPU = "Data Center System/Server Box/CPU Module"
+PSU = "Data Center System/Server Box/Power Supply"
+
+
+def transparency_study() -> None:
+    print("=" * 72)
+    print("1. CPU module recovery/repair transparency (the 2x2 of types)")
+    print("=" * 72)
+    base = datacenter_model()
+    for recovery in ("transparent", "nontransparent"):
+        for repair in ("transparent", "nontransparent"):
+            variant = with_block_changes(
+                base, CPU, recovery=recovery, repair=repair
+            )
+            solution = translate(variant)
+            downtime = availability_to_yearly_downtime_minutes(
+                solution.availability
+            )
+            cpu_type = solution.block(CPU).model_type
+            print(f"  recovery={recovery:<15} repair={repair:<15} "
+                  f"-> Type {cpu_type}: {downtime:7.2f} min/yr")
+    print()
+
+
+def redundancy_study() -> None:
+    print("=" * 72)
+    print("2. Power supplies: quantity N with K=2 required")
+    print("=" * 72)
+    base = datacenter_model()
+    for n in (2, 3, 4, 5):
+        variant = with_block_changes(base, PSU, quantity=n, min_required=2)
+        solution = translate(variant)
+        downtime = availability_to_yearly_downtime_minutes(
+            solution.availability
+        )
+        print(f"  N={n} (K=2): {downtime:7.2f} min/yr system downtime")
+    print("  (N=2 means no spare: a PSU failure halts the system)")
+    print()
+
+
+def service_study() -> None:
+    print("=" * 72)
+    print("3. Service response time for the System Board (Type 0)")
+    print("=" * 72)
+    board = "Data Center System/Server Box/System Board"
+    points = sweep_block_field(
+        datacenter_model(), board, "service_response_hours",
+        [1.0, 4.0, 8.0, 24.0, 48.0],
+    )
+    for point in points:
+        print(f"  Tresp={point.value:5.0f} h -> "
+              f"{point.yearly_downtime_minutes:7.2f} min/yr")
+    print()
+
+
+def importance_study() -> None:
+    print("=" * 72)
+    print("4. Where to invest: Birnbaum importance (top level)")
+    print("=" * 72)
+    solution = translate(datacenter_model())
+    for row in birnbaum_importance(solution):
+        print(f"  {row.name:<22} potential gain "
+              f"{row.potential_downtime_minutes:7.2f} min/yr")
+    print()
+
+
+def requirement_study() -> None:
+    print("=" * 72)
+    print("5. Designing to a requirement")
+    print("=" * 72)
+    from repro.analysis import check_requirement, solve_parameter_for_target
+
+    model = datacenter_model()
+    check = check_requirement(model, target_nines=3.5)
+    verdict = "MEETS" if check.meets else "MISSES"
+    print(f"  3.5-nines requirement: {verdict} "
+          f"(margin {check.margin_minutes:+.1f} min/yr)")
+
+    # How slow may board service response get before 3.4 nines is lost?
+    board = "Data Center System/Server Box/System Board"
+    target = 1.0 - 10.0**-3.4
+    boundary = solve_parameter_for_target(
+        model, "service_response_hours", target,
+        low=0.5, high=96.0, path=board,
+    )
+    print(f"  System Board Tresp may grow to {boundary:.1f} h before the "
+          "system drops below 3.4 nines")
+    print()
+
+
+def main() -> None:
+    transparency_study()
+    redundancy_study()
+    service_study()
+    importance_study()
+    requirement_study()
+
+
+if __name__ == "__main__":
+    main()

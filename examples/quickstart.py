@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: solve a RAS model in ten lines.
+
+An MG model is an *engineering-language* description — quantities,
+MTBFs, service times — and the library turns it into Markov chains and
+solves them behind the scenes, exactly like RAScad's Model Generator.
+"""
+
+from repro import (
+    BlockParameters,
+    DiagramBlockModel,
+    GlobalParameters,
+    MGBlock,
+    MGDiagram,
+    compute_measures,
+    nines,
+    translate,
+)
+
+
+def main() -> None:
+    # A small server: one board, a mirrored disk pair, an OS instance.
+    diagram = MGDiagram(
+        "Small Server",
+        [
+            MGBlock(BlockParameters(
+                name="System Board",
+                mtbf_hours=250_000.0,
+                service_response_hours=4.0,
+            )),
+            MGBlock(BlockParameters(
+                name="Mirrored Disks",
+                quantity=2,                # two drives...
+                min_required=1,            # ...one is enough
+                mtbf_hours=150_000.0,
+                recovery="transparent",    # RAID keeps serving
+                repair="transparent",      # hot-plug bays
+            )),
+            MGBlock(BlockParameters(
+                name="Operating System",
+                mtbf_hours=30_000.0,
+                transient_fit=15_000.0,    # panics cleared by reboot
+            )),
+        ],
+    )
+    model = DiagramBlockModel(
+        diagram, GlobalParameters(reboot_minutes=6.0, mttm_hours=48.0)
+    )
+
+    solution = translate(model)            # spec -> chains -> numbers
+    measures = compute_measures(solution)
+
+    print(f"availability          : {measures.availability:.6f} "
+          f"({nines(measures.availability):.2f} nines)")
+    print(f"downtime              : "
+          f"{measures.yearly_downtime_minutes:.1f} minutes/year")
+    print(f"interruptions         : {measures.failures_per_year:.2f} /year")
+    print(f"MTTF                  : {measures.mttf_hours:.0f} hours")
+    print(f"reliability (1 year)  : {measures.reliability_at_mission:.4f}")
+    print()
+    print("per-block availability:")
+    for block in solution.blocks:
+        print(f"  {block.name:<20} {block.availability:.6f} "
+              f"(Markov Model Type {block.model_type})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""repro — a reproduction of "Automatic Generation of Availability
+Models in RAScad" (Tang, Zhu, Andrada; DSN 2002).
+
+The package mirrors RAScad's architecture:
+
+* :mod:`repro.core` — the Model Generator (MG): engineering-language
+  specs translated automatically into RBD/Markov hierarchies.
+* :mod:`repro.gmb` — the Graphical Model Builder substrate: general
+  Markov, semi-Markov and RBD modeling for experts.
+* :mod:`repro.markov`, :mod:`repro.semimarkov`, :mod:`repro.rbd` — the
+  mathematical engines underneath.
+* :mod:`repro.spec`, :mod:`repro.database`, :mod:`repro.library` — the
+  spec format, component catalog, and product model library.
+* :mod:`repro.analysis`, :mod:`repro.render` — parametric analysis and
+  documentation generation.
+* :mod:`repro.validation` — the SHARPE/MEADEP/field-data validation
+  substitutes used by the reproduction benchmarks.
+
+Quickstart::
+
+    from repro import datacenter_model, translate, compute_measures
+
+    solution = translate(datacenter_model())
+    measures = compute_measures(solution)
+    print(measures.availability, measures.yearly_downtime_minutes)
+"""
+
+from .errors import (
+    RascadError,
+    SpecError,
+    ParameterError,
+    ModelError,
+    SolverError,
+    DatabaseError,
+)
+from .units import (
+    availability_to_yearly_downtime_minutes,
+    fit_to_rate,
+    mtbf_to_rate,
+    nines,
+)
+from .core import (
+    Scenario,
+    BlockParameters,
+    GlobalParameters,
+    MGBlock,
+    MGDiagram,
+    DiagramBlockModel,
+    classify_model_type,
+    generate_block_chain,
+    translate,
+    solve_model,
+    SystemSolution,
+    BlockSolution,
+    SystemMeasures,
+    compute_measures,
+)
+from .markov import MarkovChain, steady_state, steady_state_availability
+from .semimarkov import SemiMarkovProcess
+from .rbd import series, parallel, k_of_n, NetworkRBD
+from .gmb import MarkovBuilder, SemiMarkovBuilder, HierarchicalModel
+from .spec import parse_spec, load_spec, model_to_spec, save_spec
+from .database import PartsDatabase, PartRecord, builtin_database
+from .library import (
+    datacenter_model,
+    e10000_model,
+    workgroup_model,
+    ClusterParameters,
+    cluster_chain,
+    cluster_availability,
+)
+from .render import model_report, render_model_tree, chain_to_dot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RascadError",
+    "SpecError",
+    "ParameterError",
+    "ModelError",
+    "SolverError",
+    "DatabaseError",
+    "availability_to_yearly_downtime_minutes",
+    "fit_to_rate",
+    "mtbf_to_rate",
+    "nines",
+    "Scenario",
+    "BlockParameters",
+    "GlobalParameters",
+    "MGBlock",
+    "MGDiagram",
+    "DiagramBlockModel",
+    "classify_model_type",
+    "generate_block_chain",
+    "translate",
+    "solve_model",
+    "SystemSolution",
+    "BlockSolution",
+    "SystemMeasures",
+    "compute_measures",
+    "MarkovChain",
+    "steady_state",
+    "steady_state_availability",
+    "SemiMarkovProcess",
+    "series",
+    "parallel",
+    "k_of_n",
+    "NetworkRBD",
+    "MarkovBuilder",
+    "SemiMarkovBuilder",
+    "HierarchicalModel",
+    "parse_spec",
+    "load_spec",
+    "model_to_spec",
+    "save_spec",
+    "PartsDatabase",
+    "PartRecord",
+    "builtin_database",
+    "datacenter_model",
+    "e10000_model",
+    "workgroup_model",
+    "ClusterParameters",
+    "cluster_chain",
+    "cluster_availability",
+    "model_report",
+    "render_model_tree",
+    "chain_to_dot",
+    "__version__",
+]

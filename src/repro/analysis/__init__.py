@@ -1,0 +1,53 @@
+"""Parametric analysis — RAScad's "graphical output and parametric
+analysis capability", minus the GUI.
+
+* :mod:`.parametric` — sweep any block or global field of a
+  diagram/block model and tabulate availability / downtime.
+* :mod:`.downtime` — downtime budgets: which blocks (and which states
+  inside their chains) the yearly downtime comes from.
+* :mod:`.importance` — Birnbaum importance and improvement potentials
+  for the series system.
+"""
+
+from .parametric import (
+    SweepPoint,
+    with_block_changes,
+    with_global_changes,
+    sweep_block_field,
+    sweep_global_field,
+)
+from .downtime import BudgetRow, downtime_budget, state_kind_breakdown
+from .importance import ImportanceRow, birnbaum_importance
+from .uncertainty import (
+    UncertainField,
+    UncertaintyResult,
+    propagate_uncertainty,
+)
+from .compare import ComparisonRow, compare_models, comparison_table
+from .requirements import (
+    RequirementCheck,
+    check_requirement,
+    solve_parameter_for_target,
+)
+
+__all__ = [
+    "SweepPoint",
+    "with_block_changes",
+    "with_global_changes",
+    "sweep_block_field",
+    "sweep_global_field",
+    "BudgetRow",
+    "downtime_budget",
+    "state_kind_breakdown",
+    "ImportanceRow",
+    "birnbaum_importance",
+    "UncertainField",
+    "UncertaintyResult",
+    "propagate_uncertainty",
+    "ComparisonRow",
+    "compare_models",
+    "comparison_table",
+    "RequirementCheck",
+    "check_requirement",
+    "solve_parameter_for_target",
+]

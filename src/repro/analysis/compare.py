@@ -1,0 +1,73 @@
+"""Side-by-side model comparison.
+
+MG exists to "analytically assess and compare RAS quantities achievable
+by the computer architectures under design"; this module produces the
+comparison table for a set of candidate architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.block import DiagramBlockModel
+from ..core.measures import compute_measures
+from ..core.translator import translate
+from ..units import nines
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One architecture's headline numbers."""
+
+    name: str
+    availability: float
+    nines: float
+    yearly_downtime_minutes: float
+    failures_per_year: float
+    mttf_hours: float
+    blocks: int
+    physical_units: int
+
+
+def compare_models(
+    candidates: Sequence[Tuple[str, DiagramBlockModel]],
+) -> List[ComparisonRow]:
+    """Solve every candidate and rank by availability (best first)."""
+    rows: List[ComparisonRow] = []
+    for name, model in candidates:
+        solution = translate(model)
+        measures = compute_measures(solution, grid_points=9)
+        rows.append(
+            ComparisonRow(
+                name=name,
+                availability=measures.availability,
+                nines=nines(measures.availability),
+                yearly_downtime_minutes=measures.yearly_downtime_minutes,
+                failures_per_year=measures.failures_per_year,
+                mttf_hours=measures.mttf_hours,
+                blocks=model.block_count(),
+                physical_units=model.component_count(),
+            )
+        )
+    rows.sort(key=lambda row: row.availability, reverse=True)
+    return rows
+
+
+def comparison_table(
+    candidates: Sequence[Tuple[str, DiagramBlockModel]],
+) -> str:
+    """The comparison as aligned text, ready to print or file."""
+    rows = compare_models(candidates)
+    header = (
+        f"{'architecture':<24} {'availability':>13} {'nines':>6} "
+        f"{'min/yr':>9} {'fail/yr':>8} {'MTTF h':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<24} {row.availability:>13.8f} {row.nines:>6.2f} "
+            f"{row.yearly_downtime_minutes:>9.2f} "
+            f"{row.failures_per_year:>8.2f} {row.mttf_hours:>9.0f}"
+        )
+    return "\n".join(lines)

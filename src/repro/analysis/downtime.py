@@ -1,0 +1,108 @@
+"""Downtime budgets: where the yearly outage minutes come from.
+
+For a series system the unavailability is (to first order) the sum of
+block unavailabilities, so attributing downtime per block is both
+meaningful and actionable for a design engineer — it ranks the blocks
+an architect should harden first.  Within a chain-backed block the
+budget splits further by state *kind* (repair, logistic, reboot, AR,
+SPF, ...), which shows whether logistics or technology dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.translator import BlockSolution, SystemSolution
+from ..units import MINUTES_PER_YEAR
+
+
+@dataclass(frozen=True)
+class BudgetRow:
+    """Downtime attribution for one block."""
+
+    path: str
+    model_type: object  # int for chain-backed blocks, None for pass-through
+    availability: float
+    yearly_downtime_minutes: float
+    share: float
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+
+def downtime_budget(
+    solution: SystemSolution, leaf_level: bool = True
+) -> List[BudgetRow]:
+    """Per-block downtime rows, sorted worst-first.
+
+    Args:
+        solution: A solved model.
+        leaf_level: When True, descend pass-through blocks and report
+            the chain-backed blocks actually responsible; when False,
+            report the root diagram's blocks as-is.
+    """
+    rows: List[BudgetRow] = []
+
+    def visit(block: BlockSolution) -> None:
+        if leaf_level and block.chain is None:
+            for child in block.children:
+                visit(child)
+            return
+        if block.chain is None:
+            unavailability = 1.0 - (
+                block.availability ** block.block.parameters.quantity
+            )
+        else:
+            unavailability = 1.0 - block.availability
+        rows.append(
+            BudgetRow(
+                path=block.path,
+                model_type=block.model_type,
+                availability=1.0 - unavailability,
+                yearly_downtime_minutes=unavailability * MINUTES_PER_YEAR,
+                share=0.0,  # filled below
+            )
+        )
+
+    for block in solution.blocks:
+        visit(block)
+
+    total = sum(row.yearly_downtime_minutes for row in rows)
+    if total > 0:
+        rows = [
+            BudgetRow(
+                path=row.path,
+                model_type=row.model_type,
+                availability=row.availability,
+                yearly_downtime_minutes=row.yearly_downtime_minutes,
+                share=row.yearly_downtime_minutes / total,
+            )
+            for row in rows
+        ]
+    rows.sort(key=lambda row: row.yearly_downtime_minutes, reverse=True)
+    return rows
+
+
+def state_kind_breakdown(block: BlockSolution) -> Dict[str, float]:
+    """Yearly downtime minutes by state kind inside one block's chain.
+
+    Kinds come from the generator's state metadata: ``repair``,
+    ``logistic``, ``reboot``, ``ar``, ``spf``, ``transient-ar``,
+    ``service-error``, ``reint``, ``down`` (the PF boundary state).
+    """
+    if block.chain is None:
+        raise ValueError(
+            f"block {block.path!r} has no chain; descend to its children"
+        )
+    breakdown: Dict[str, float] = {}
+    for state in block.chain:
+        if state.is_up:
+            continue
+        kind = str(state.meta.get("kind", "other"))
+        probability = block.steady_state.get(state.name, 0.0)
+        breakdown[kind] = (
+            breakdown.get(kind, 0.0) + probability * MINUTES_PER_YEAR
+        )
+    return breakdown

@@ -1,0 +1,153 @@
+"""Designing to an availability requirement.
+
+The design-phase questions RAScad's users actually asked: *does this
+architecture meet its availability commitment, with how much margin,
+and how far can a parameter drift before it stops meeting it?*  This
+module answers all three: requirement checks with margins, and a
+bisection solver that finds the value of any block/global field at
+which the system exactly meets the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.block import DiagramBlockModel
+from ..core.translator import translate
+from ..errors import SolverError
+from ..units import (
+    MINUTES_PER_YEAR,
+    availability_to_yearly_downtime_minutes,
+    nines,
+)
+from .parametric import with_block_changes, with_global_changes
+
+
+@dataclass(frozen=True)
+class RequirementCheck:
+    """The verdict of a requirement check.
+
+    ``margin_minutes`` is the downtime budget left over (positive =
+    requirement met with room to spare).
+    """
+
+    target_availability: float
+    achieved_availability: float
+    meets: bool
+    margin_minutes: float
+    target_nines: float
+    achieved_nines: float
+
+
+def check_requirement(
+    model: DiagramBlockModel,
+    target_availability: Optional[float] = None,
+    target_nines: Optional[float] = None,
+    max_downtime_minutes: Optional[float] = None,
+) -> RequirementCheck:
+    """Check a model against a requirement given in any of three forms.
+
+    Exactly one of ``target_availability``, ``target_nines`` or
+    ``max_downtime_minutes`` must be given.
+    """
+    given = [
+        value
+        for value in (target_availability, target_nines, max_downtime_minutes)
+        if value is not None
+    ]
+    if len(given) != 1:
+        raise SolverError(
+            "give exactly one of target_availability, target_nines, "
+            "max_downtime_minutes"
+        )
+    if target_nines is not None:
+        if target_nines <= 0:
+            raise SolverError(f"target nines must be positive, got {target_nines}")
+        target = 1.0 - 10.0 ** (-target_nines)
+    elif max_downtime_minutes is not None:
+        if max_downtime_minutes < 0:
+            raise SolverError(
+                f"downtime budget must be non-negative, got "
+                f"{max_downtime_minutes}"
+            )
+        target = 1.0 - max_downtime_minutes / MINUTES_PER_YEAR
+    else:
+        target = float(target_availability)  # type: ignore[arg-type]
+        if not 0.0 < target < 1.0:
+            raise SolverError(
+                f"target availability must lie in (0, 1), got {target}"
+            )
+
+    achieved = translate(model).availability
+    margin = (
+        availability_to_yearly_downtime_minutes(target)
+        - availability_to_yearly_downtime_minutes(achieved)
+    )
+    return RequirementCheck(
+        target_availability=target,
+        achieved_availability=achieved,
+        meets=achieved >= target,
+        margin_minutes=margin,
+        target_nines=nines(target),
+        achieved_nines=nines(achieved),
+    )
+
+
+def solve_parameter_for_target(
+    model: DiagramBlockModel,
+    field: str,
+    target_availability: float,
+    low: float,
+    high: float,
+    path: Optional[str] = None,
+    tolerance: float = 1e-4,
+    max_iterations: int = 80,
+) -> float:
+    """The field value at which the system availability equals the target.
+
+    Bisection over ``[low, high]``; the availability must be monotone
+    in the field over that bracket (true for every physically sensible
+    field: MTBFs, repair times, probabilities).  ``path`` selects a
+    block field; ``path=None`` solves a global field.
+
+    Returns the boundary value; raises if the bracket does not span the
+    target.
+    """
+    if not 0.0 < target_availability < 1.0:
+        raise SolverError(
+            f"target availability must lie in (0, 1), got "
+            f"{target_availability}"
+        )
+    if not low < high:
+        raise SolverError(f"need low < high, got [{low}, {high}]")
+
+    def availability_at(value: float) -> float:
+        if path is None:
+            variant = with_global_changes(model, **{field: value})
+        else:
+            variant = with_block_changes(model, path, **{field: value})
+        return translate(variant).availability
+
+    a_low = availability_at(low)
+    a_high = availability_at(high)
+    if (a_low - target_availability) * (a_high - target_availability) > 0:
+        raise SolverError(
+            f"bracket [{low}, {high}] does not span the target: "
+            f"A({low}) = {a_low:.8f}, A({high}) = {a_high:.8f}, "
+            f"target {target_availability:.8f}"
+        )
+    increasing = a_high > a_low
+    lo, hi = low, high
+    for _iteration in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        a_mid = availability_at(mid)
+        if abs(a_mid - target_availability) <= tolerance * (
+            1.0 - target_availability
+        ):
+            return mid
+        if (a_mid < target_availability) == increasing:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

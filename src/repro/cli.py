@@ -1,0 +1,313 @@
+"""Command-line interface — the tool-access substitute for RAScad's web UI.
+
+Usage (installed as ``rascad``, or ``python -m repro``):
+
+    rascad solve model.json            # system measures
+    rascad tree model.json             # the diagram/block tree
+    rascad report model.json           # full markdown RAS report
+    rascad budget model.json           # downtime budget, worst first
+    rascad dot model.json "Sys/Block"  # Graphviz dot of one chain
+    rascad sweep model.json "Sys/Block" mtbf_hours 1e5 2e5 5e5
+    rascad validate model.json         # Monte Carlo cross-check
+    rascad parts                       # the builtin component catalog
+
+Specs are the JSON engineering-language format of :mod:`repro.spec`;
+part numbers resolve against the builtin catalog unless ``--database``
+points at a saved catalog file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import downtime_budget, sweep_block_field
+from .core import compute_measures, translate
+from .database import PartsDatabase, builtin_database
+from .errors import RascadError
+from .render import chain_to_dot, model_report, render_model_tree
+from .spec import load_spec
+from .units import nines
+from .validation import simulate_system_availability
+
+
+def _load(args: argparse.Namespace):
+    database = (
+        PartsDatabase.load(args.database)
+        if args.database
+        else builtin_database()
+    )
+    return load_spec(args.spec, database=database)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    model = _load(args)
+    solution = translate(model)
+    measures = compute_measures(
+        solution, mission_time_hours=args.mission
+    )
+    print(f"model                     : {model.name}")
+    print(f"availability              : {measures.availability:.8f} "
+          f"({nines(measures.availability):.2f} nines)")
+    print(f"yearly downtime           : "
+          f"{measures.yearly_downtime_minutes:.2f} minutes")
+    print(f"interruptions per year    : {measures.failures_per_year:.3f}")
+    print(f"mean downtime per event   : "
+          f"{measures.mean_downtime_hours * 60:.1f} minutes")
+    print(f"mission time T            : {measures.mission_time_hours:.0f} h")
+    print(f"interval availability     : {measures.interval_availability:.8f}")
+    print(f"reliability at T          : {measures.reliability_at_mission:.6f}")
+    print(f"MTTF                      : {measures.mttf_hours:.0f} h")
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    print(render_model_tree(_load(args)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(model_report(_load(args)))
+    return 0
+
+
+def _cmd_budget(args: argparse.Namespace) -> int:
+    solution = translate(_load(args))
+    print(f"{'min/yr':>10}  {'share':>6}  block")
+    for row in downtime_budget(solution):
+        print(f"{row.yearly_downtime_minutes:>10.3f}  "
+              f"{row.share:>6.1%}  {row.path}")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    solution = translate(_load(args))
+    block = solution.block(args.block)
+    if block.chain is None:
+        raise RascadError(
+            f"block {args.block!r} is a pass-through RBD block; "
+            "pick one of its chain-backed children"
+        )
+    print(chain_to_dot(block.chain))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    model = _load(args)
+    values = [float(v) for v in args.values]
+    points = sweep_block_field(model, args.block, args.field, values)
+    print(f"{'value':>12}  {'availability':>13}  {'min/yr':>10}")
+    for point in points:
+        print(f"{point.value:>12g}  {point.availability:>13.8f}  "
+              f"{point.yearly_downtime_minutes:>10.3f}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    model = _load(args)
+    if args.deep:
+        from .validation import validate_model
+
+        report = validate_model(
+            model,
+            simulation_horizon=args.horizon,
+            simulation_replications=args.replications,
+            seed=args.seed,
+        )
+        print(report.summary())
+        return 0 if report.passed else 1
+    solution = translate(model)
+    result = simulate_system_availability(
+        solution,
+        horizon=args.horizon,
+        replications=args.replications,
+        seed=args.seed,
+    )
+    agree = result.contains(solution.availability)
+    print(f"analytic availability : {solution.availability:.6f}")
+    print(f"simulated             : {result.mean:.6f} "
+          f"[{result.low:.6f}, {result.high:.6f}] "
+          f"({result.replications} reps x {args.horizon:.0f} h)")
+    print(f"agreement             : {'PASS' if agree else 'FAIL'}")
+    return 0 if agree else 1
+
+
+def _cmd_requirement(args: argparse.Namespace) -> int:
+    from .analysis import check_requirement
+
+    model = _load(args)
+    check = check_requirement(
+        model,
+        target_availability=args.availability,
+        target_nines=args.nines,
+        max_downtime_minutes=args.downtime,
+    )
+    print(f"target   : {check.target_availability:.8f} "
+          f"({check.target_nines:.2f} nines)")
+    print(f"achieved : {check.achieved_availability:.8f} "
+          f"({check.achieved_nines:.2f} nines)")
+    print(f"margin   : {check.margin_minutes:+.2f} min/yr downtime budget")
+    print(f"verdict  : {'MEETS' if check.meets else 'MISSES'} requirement")
+    return 0 if check.meets else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis import comparison_table
+
+    database = (
+        PartsDatabase.load(args.database)
+        if args.database
+        else builtin_database()
+    )
+    candidates = []
+    for path in args.specs:
+        model = load_spec(path, database=database)
+        candidates.append((model.name, model))
+    print(comparison_table(candidates))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .spec import diff_impact, diff_models, format_diff
+
+    database = (
+        PartsDatabase.load(args.database)
+        if args.database
+        else builtin_database()
+    )
+    old = load_spec(args.old, database=database)
+    new = load_spec(args.new, database=database)
+    entries = diff_models(old, new)
+    print(format_diff(entries))
+    if entries:
+        impact = diff_impact(old, new)
+        delta = impact["downtime_delta_minutes"]
+        print()
+        print(f"availability: {impact['old_availability']:.8f} -> "
+              f"{impact['new_availability']:.8f} "
+              f"({delta:+.2f} min/yr downtime)")
+    return 0
+
+
+def _cmd_parts(args: argparse.Namespace) -> int:
+    database = (
+        PartsDatabase.load(args.database)
+        if args.database
+        else builtin_database()
+    )
+    print(f"{'part':<12} {'MTBF h':>10} {'FIT':>8}  description")
+    for record in database:
+        print(f"{record.part_number:<12} {record.mtbf_hours:>10.0f} "
+              f"{record.transient_fit:>8.0f}  {record.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rascad",
+        description="RAScad-style availability modeling from "
+                    "engineering-language specs",
+    )
+    parser.add_argument(
+        "--database", metavar="PARTS.json", default=None,
+        help="component catalog file (default: builtin catalog)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve = commands.add_parser("solve", help="system measures")
+    solve.add_argument("spec")
+    solve.add_argument("--mission", type=float, default=None,
+                       help="mission time T in hours")
+    solve.set_defaults(handler=_cmd_solve)
+
+    tree = commands.add_parser("tree", help="diagram/block tree")
+    tree.add_argument("spec")
+    tree.set_defaults(handler=_cmd_tree)
+
+    report = commands.add_parser("report", help="markdown RAS report")
+    report.add_argument("spec")
+    report.set_defaults(handler=_cmd_report)
+
+    budget = commands.add_parser("budget", help="downtime budget")
+    budget.add_argument("spec")
+    budget.set_defaults(handler=_cmd_budget)
+
+    dot = commands.add_parser("dot", help="Graphviz dot of one chain")
+    dot.add_argument("spec")
+    dot.add_argument("block", help="block path, e.g. 'Sys/Server/CPU'")
+    dot.set_defaults(handler=_cmd_dot)
+
+    sweep = commands.add_parser("sweep", help="parametric sweep")
+    sweep.add_argument("spec")
+    sweep.add_argument("block")
+    sweep.add_argument("field")
+    sweep.add_argument("values", nargs="+")
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    validate = commands.add_parser(
+        "validate", help="Monte Carlo cross-check of the analytic solution"
+    )
+    validate.add_argument("spec")
+    validate.add_argument("--replications", type=int, default=40)
+    validate.add_argument("--horizon", type=float, default=30_000.0)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument(
+        "--deep", action="store_true",
+        help="run the full Section-5 protocol (independent analytic "
+             "path, Monte Carlo, field-data loop)",
+    )
+    validate.set_defaults(handler=_cmd_validate)
+
+    requirement = commands.add_parser(
+        "requirement", help="check the model against an availability target"
+    )
+    requirement.add_argument("spec")
+    target_group = requirement.add_mutually_exclusive_group(required=True)
+    target_group.add_argument("--availability", type=float, default=None)
+    target_group.add_argument("--nines", type=float, default=None)
+    target_group.add_argument(
+        "--downtime", type=float, default=None,
+        help="maximum downtime budget in minutes/year",
+    )
+    requirement.set_defaults(handler=_cmd_requirement)
+
+    compare = commands.add_parser(
+        "compare", help="side-by-side comparison of several specs"
+    )
+    compare.add_argument("specs", nargs="+")
+    compare.set_defaults(handler=_cmd_compare)
+
+    diff = commands.add_parser(
+        "diff", help="what changed between two specs, and its impact"
+    )
+    diff.add_argument("old")
+    diff.add_argument("new")
+    diff.set_defaults(handler=_cmd_diff)
+
+    parts = commands.add_parser("parts", help="list the component catalog")
+    parts.set_defaults(handler=_cmd_parts)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except RascadError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early; the
+        # conventional Unix response is a silent, successful exit.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Model Generator (MG) — the paper's primary contribution.
+
+Translates a hierarchical *diagram/block* specification written in the
+engineering language (MTBF, MTTR, quantity, redundancy, recovery/repair
+transparency, ...) into a hierarchy of reliability block diagrams and
+continuous-time Markov chains, then solves them for system RAS measures.
+The user of this package never has to touch the underlying mathematics —
+exactly the design goal the paper states for RAScad's MG module.
+"""
+
+from .parameters import (
+    Scenario,
+    BlockParameters,
+    GlobalParameters,
+)
+from .block import MGBlock, MGDiagram, DiagramBlockModel
+from .generator import (
+    classify_model_type,
+    generate_block_chain,
+    generate_type0_chain,
+    generate_redundant_chain,
+)
+from .translator import (
+    translate,
+    aggregate_subdiagram,
+    BlockSolution,
+    SystemSolution,
+    solve_model,
+)
+from .measures import SystemMeasures, compute_measures
+from .performability import (
+    with_capacity_rewards,
+    expected_capacity,
+    capacity_oriented_availability,
+)
+from .semi_markov_variant import (
+    semi_markov_variant,
+    exponential_assumption_gap,
+)
+
+__all__ = [
+    "Scenario",
+    "BlockParameters",
+    "GlobalParameters",
+    "MGBlock",
+    "MGDiagram",
+    "DiagramBlockModel",
+    "classify_model_type",
+    "generate_block_chain",
+    "generate_type0_chain",
+    "generate_redundant_chain",
+    "translate",
+    "aggregate_subdiagram",
+    "BlockSolution",
+    "SystemSolution",
+    "solve_model",
+    "SystemMeasures",
+    "compute_measures",
+    "with_capacity_rewards",
+    "expected_capacity",
+    "capacity_oriented_availability",
+    "semi_markov_variant",
+    "exponential_assumption_gap",
+]

@@ -1,0 +1,172 @@
+"""The MG diagram/block model: a tree of diagrams and blocks.
+
+An MG *diagram* represents a system or subsystem and contains MG
+*blocks*; each block represents a component and may carry a subdiagram
+modeling its subcomponents.  The root diagram is level 1, its blocks'
+subdiagrams level 2, and so on — exactly the structure shown in the
+paper's Figures 1 and 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import SpecError
+from .parameters import BlockParameters, GlobalParameters
+
+
+class MGBlock:
+    """A component in a diagram, with parameters and optional subdiagram."""
+
+    def __init__(
+        self,
+        parameters: BlockParameters,
+        subdiagram: Optional["MGDiagram"] = None,
+    ) -> None:
+        self.parameters = parameters
+        self.subdiagram = subdiagram
+
+    @property
+    def name(self) -> str:
+        return self.parameters.name
+
+    @property
+    def has_subdiagram(self) -> bool:
+        return self.subdiagram is not None
+
+    def __repr__(self) -> str:
+        sub = f", subdiagram={self.subdiagram.name!r}" if self.subdiagram else ""
+        return f"MGBlock({self.name!r}{sub})"
+
+
+class MGDiagram:
+    """A named collection of blocks modeled as a serial RBD."""
+
+    def __init__(self, name: str, blocks: Optional[List[MGBlock]] = None) -> None:
+        if not name:
+            raise SpecError("diagram name must be non-empty")
+        self.name = name
+        self.blocks: List[MGBlock] = []
+        for block in blocks or []:
+            self.add_block(block)
+
+    def add_block(self, block: MGBlock) -> MGBlock:
+        if any(existing.name == block.name for existing in self.blocks):
+            raise SpecError(
+                f"diagram {self.name!r} already contains a block named "
+                f"{block.name!r}"
+            )
+        self.blocks.append(block)
+        return block
+
+    def block(self, name: str) -> MGBlock:
+        for candidate in self.blocks:
+            if candidate.name == name:
+                return candidate
+        raise SpecError(f"diagram {self.name!r} has no block {name!r}")
+
+    def __iter__(self) -> Iterator[MGBlock]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __repr__(self) -> str:
+        return f"MGDiagram({self.name!r}, blocks={len(self.blocks)})"
+
+
+class DiagramBlockModel:
+    """A complete MG model: the root diagram plus global parameters."""
+
+    def __init__(
+        self,
+        root: MGDiagram,
+        global_parameters: Optional[GlobalParameters] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.root = root
+        self.global_parameters = global_parameters or GlobalParameters()
+        self.name = name or root.name
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator[Tuple[int, str, MGBlock]]:
+        """Yield ``(level, path, block)`` in depth-first document order.
+
+        ``level`` is the paper's diagram level (root diagram = 1); the
+        path joins diagram and block names with ``/`` and uniquely
+        identifies each block in the tree.
+        """
+        yield from self._walk(self.root, 1, self.root.name)
+
+    def _walk(
+        self, diagram: MGDiagram, level: int, prefix: str
+    ) -> Iterator[Tuple[int, str, MGBlock]]:
+        for block in diagram:
+            path = f"{prefix}/{block.name}"
+            yield level, path, block
+            if block.subdiagram is not None:
+                yield from self._walk(block.subdiagram, level + 1, path)
+
+    def depth(self) -> int:
+        """Number of diagram levels (1 for a flat model)."""
+        return max((level for level, _path, _block in self.walk()), default=1)
+
+    def block_count(self) -> int:
+        """Total number of blocks across all levels."""
+        return sum(1 for _ in self.walk())
+
+    def component_count(self) -> int:
+        """Total physical unit count (sum of leaf-block quantities)."""
+        return sum(
+            block.parameters.quantity
+            for _level, _path, block in self.walk()
+            if not block.has_subdiagram
+        )
+
+    def find(self, path: str) -> MGBlock:
+        """Look up a block by its ``/``-joined path."""
+        for _level, candidate_path, block in self.walk():
+            if candidate_path == path:
+                return block
+        raise SpecError(f"model {self.name!r} has no block at path {path!r}")
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`SpecError` for structural problems.
+
+        Checks that the tree is finite and acyclic (no diagram object
+        reachable from itself), every diagram is non-empty, and block
+        names are unique within their diagram (enforced at construction,
+        re-checked here for models built by direct attribute mutation).
+        """
+        seen_diagrams: List[int] = []
+        stack: List[MGDiagram] = [self.root]
+        while stack:
+            diagram = stack.pop()
+            marker = id(diagram)
+            if marker in seen_diagrams:
+                raise SpecError(
+                    f"diagram {diagram.name!r} appears on its own subtree; "
+                    "the diagram/block model must be a tree"
+                )
+            seen_diagrams.append(marker)
+            if not diagram.blocks:
+                raise SpecError(f"diagram {diagram.name!r} has no blocks")
+            names = [block.name for block in diagram]
+            if len(names) != len(set(names)):
+                raise SpecError(
+                    f"diagram {diagram.name!r} has duplicate block names"
+                )
+            for block in diagram:
+                if block.subdiagram is not None:
+                    stack.append(block.subdiagram)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiagramBlockModel({self.name!r}, levels={self.depth()}, "
+            f"blocks={self.block_count()})"
+        )

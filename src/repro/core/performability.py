@@ -1,0 +1,90 @@
+"""Performability rewards for generated models.
+
+The paper builds on Markov *reward* models and cites the performability
+literature (Meyer 1980; Hsueh/Iyer/Trivedi 1988).  RAScad's generated
+chains assign binary rewards (up = 1, down = 0); this module re-rewards
+a generated chain with **capacity** rewards — the fraction of units
+still delivering service at each redundancy level — turning the same
+chain into a performability model: a 16-CPU server running on 15 CPUs
+is up, but it is only delivering 15/16 of its capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ModelError
+from ..markov.chain import MarkovChain
+from ..markov.rewards import steady_state_availability
+from .generator import generate_block_chain
+from .parameters import BlockParameters, GlobalParameters
+
+
+def with_capacity_rewards(
+    chain: MarkovChain, parameters: BlockParameters
+) -> MarkovChain:
+    """A copy of a generated chain with capacity reward rates.
+
+    Up states at redundancy level ``j`` (``j`` permanently faulty
+    units) earn ``(N - j) / N``; down states keep reward 0.  Levels
+    come from the ``level`` metadata the generator writes, so this
+    works on any chain produced by :func:`generate_block_chain`.
+    """
+    n = parameters.quantity
+    rewarded = MarkovChain(f"{chain.name}#capacity")
+    for state in chain:
+        if not state.is_up:
+            reward = 0.0
+        else:
+            level = state.meta.get("level")
+            if level is None:
+                raise ModelError(
+                    f"state {state.name!r} lacks generator level metadata; "
+                    "capacity rewards need a generated chain"
+                )
+            reward = max(0.0, (n - int(level)) / n)
+        rewarded.add_state(state.name, reward=reward, meta=state.meta)
+    for transition in chain.transitions():
+        rewarded.add_transition(
+            transition.source,
+            transition.target,
+            transition.rate,
+            transition.label,
+        )
+    return rewarded
+
+
+def expected_capacity(
+    parameters: BlockParameters,
+    global_parameters: Optional[GlobalParameters] = None,
+) -> float:
+    """Steady-state expected delivered capacity of one block (0..1).
+
+    Always at most the block's availability: every down state delivers
+    0 and every degraded up state delivers less than 1.
+    """
+    chain = generate_block_chain(parameters, global_parameters)
+    rewarded = with_capacity_rewards(chain, parameters)
+    return steady_state_availability(rewarded)
+
+
+def capacity_oriented_availability(
+    parameters: BlockParameters,
+    global_parameters: Optional[GlobalParameters] = None,
+) -> dict:
+    """Both views of one block, side by side.
+
+    Returns ``{"availability": ..., "expected_capacity": ...,
+    "capacity_gap": ...}`` where the gap is the capacity lost to
+    degraded-but-up operation — invisible to plain availability.
+    """
+    chain = generate_block_chain(parameters, global_parameters)
+    availability = steady_state_availability(chain)
+    capacity = steady_state_availability(
+        with_capacity_rewards(chain, parameters)
+    )
+    return {
+        "availability": availability,
+        "expected_capacity": capacity,
+        "capacity_gap": availability - capacity,
+    }

@@ -1,0 +1,387 @@
+"""Translation of a diagram/block model into RBDs and Markov chains.
+
+Section 4 of the paper: "each MG diagram is modeled by a serial RBD
+which consists of all the MG blocks in the diagram.  Each block is then
+modeled by a Markov chain.  The Markov chain may have a sub RBD,
+depending on if the corresponding block has a subdiagram.  The overall
+model is a hierarchy of RBDs and Markov chains."
+
+Composition rules implemented here (DESIGN.md §5):
+
+* A diagram is a series RBD; its availability is the product of the
+  availabilities of its blocks (independent component failures).
+* A leaf block's availability comes from its generated CTMC.
+* A block with a subdiagram and no redundancy contributes the
+  subdiagram's availability, repeated in series ``quantity`` times.
+* A block with a subdiagram **and** redundancy aggregates the
+  subdiagram into effective block parameters (series failure rates sum;
+  time/probability parameters combine rate-weighted), then generates
+  the redundant chain over the aggregate — this is how "Storage 1,
+  RAID5"-style blocks are modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import SpecError
+from ..markov.chain import MarkovChain
+
+from ..markov.rewards import (
+    failure_frequency as chain_failure_frequency,
+    steady_state_availability,
+)
+from ..markov.steady_state import steady_state
+from ..rbd.blocks import Leaf, Series
+from .block import DiagramBlockModel, MGBlock, MGDiagram
+from .generator import classify_model_type, generate_block_chain
+from .parameters import BlockParameters, GlobalParameters
+
+
+def aggregate_subdiagram(
+    diagram: MGDiagram,
+    global_parameters: GlobalParameters,
+    name: Optional[str] = None,
+) -> BlockParameters:
+    """Collapse a subdiagram into effective single-unit block parameters.
+
+    The subassembly fails when any constituent fails (series), so
+    permanent and transient rates sum over ``quantity`` weighted units;
+    duration and probability parameters combine weighted by each
+    block's contribution to the permanent failure rate, so the
+    aggregate preserves the expected repair behaviour of the mix.
+    Nested subdiagrams aggregate recursively.
+    """
+    flattened: List[BlockParameters] = []
+    for block in diagram:
+        if block.has_subdiagram:
+            inner = aggregate_subdiagram(
+                block.subdiagram, global_parameters, name=block.name
+            )
+            # The inner aggregate is one logical unit; replicate it for
+            # the block's own quantity (series).
+            flattened.append(
+                inner.with_changes(
+                    quantity=block.parameters.quantity,
+                    min_required=block.parameters.quantity,
+                )
+            )
+        else:
+            flattened.append(block.parameters)
+
+    total_permanent = 0.0
+    total_transient_fit = 0.0
+    weights: List[float] = []
+    for parameters in flattened:
+        contribution = parameters.quantity * parameters.permanent_rate
+        total_permanent += contribution
+        total_transient_fit += parameters.quantity * parameters.transient_fit
+        weights.append(contribution)
+    weight_total = sum(weights)
+    if weight_total <= 0.0:
+        # Nothing in the subassembly ever fails permanently; weight
+        # evenly so duration parameters stay defined.
+        weights = [1.0] * len(flattened)
+        weight_total = float(len(flattened))
+
+    def weighted(extract: Callable[[BlockParameters], float]) -> float:
+        return (
+            sum(w * extract(p) for w, p in zip(weights, flattened))
+            / weight_total
+        )
+
+    mtbf_hours = float("inf") if total_permanent == 0 else 1.0 / total_permanent
+    return BlockParameters(
+        name=name or diagram.name,
+        quantity=1,
+        min_required=1,
+        mtbf_hours=mtbf_hours,
+        transient_fit=total_transient_fit,
+        diagnosis_minutes=weighted(lambda p: p.diagnosis_minutes),
+        corrective_minutes=weighted(lambda p: p.corrective_minutes),
+        verification_minutes=weighted(lambda p: p.verification_minutes),
+        service_response_hours=weighted(lambda p: p.service_response_hours),
+        p_correct_diagnosis=weighted(lambda p: p.p_correct_diagnosis),
+        description=f"aggregate of diagram {diagram.name!r}",
+    )
+
+
+@dataclass
+class BlockSolution:
+    """Solution artifacts for one block in the hierarchy.
+
+    ``chain`` is None for pass-through blocks whose availability comes
+    entirely from a subdiagram; ``effective`` carries the aggregated
+    parameters actually used for chain generation (identical to the
+    block's own parameters for leaf blocks).
+    """
+
+    path: str
+    level: int
+    block: MGBlock
+    effective: BlockParameters
+    model_type: Optional[int]
+    chain: Optional[MarkovChain]
+    availability: float
+    failure_frequency: float
+    steady_state: Dict[str, float] = field(default_factory=dict)
+    children: List["BlockSolution"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.block.name
+
+    def _matrices(self):
+        """Cached (Q, up indicator, Q_UU) for fast transient evaluation."""
+        cached = getattr(self, "_matrix_cache", None)
+        if cached is None:
+            q = self.chain.generator_matrix()
+            indicator = (self.chain.reward_vector() > 0).astype(float)
+            up_index = [
+                i for i, value in enumerate(indicator) if value > 0
+            ]
+            q_uu = q[np.ix_(up_index, up_index)]
+            cached = (q, indicator, q_uu, up_index)
+            self._matrix_cache = cached
+        return cached
+
+    def point_availability(self, t: float) -> float:
+        """Instantaneous availability A(t), starting from all-up."""
+        if self.chain is not None:
+            from scipy.linalg import expm
+
+            q, indicator, _q_uu, _up = self._matrices()
+            p0 = self.chain.initial_distribution()
+            value = float(
+                np.clip(p0 @ expm(q * t) @ indicator, 0.0, 1.0)
+            )
+            # Redundant aggregate: the chain already covers the subtree.
+            return value
+        value = 1.0
+        for child in self.children:
+            value *= child.point_availability(t)
+        return value ** self.block.parameters.quantity
+
+    def reliability(self, t: float) -> float:
+        """Mission reliability R(t): no failure of this block by t."""
+        if self.chain is not None:
+            from scipy.linalg import expm
+
+            _q, _indicator, q_uu, up_index = self._matrices()
+            if len(up_index) == self.chain.n_states:
+                return 1.0
+            start = self.chain.index(self.chain.state_names[0])
+            row = up_index.index(start)
+            value = float(
+                np.clip(expm(q_uu * t)[row, :].sum(), 0.0, 1.0)
+            )
+            return value
+        value = 1.0
+        for child in self.children:
+            value *= child.reliability(t)
+        return value ** self.block.parameters.quantity
+
+
+@dataclass
+class SystemSolution:
+    """The solved hierarchy for a diagram/block model."""
+
+    model: DiagramBlockModel
+    blocks: List[BlockSolution]
+    by_path: Dict[str, BlockSolution]
+    availability: float
+    failure_frequency: float
+
+    def block(self, path: str) -> BlockSolution:
+        try:
+            return self.by_path[path]
+        except KeyError:
+            raise SpecError(f"no solved block at path {path!r}") from None
+
+    def top_level(self) -> List[BlockSolution]:
+        """Solutions for the root diagram's blocks."""
+        return list(self.blocks)
+
+    def point_availability(self, t: float) -> float:
+        value = 1.0
+        for solution in self.blocks:
+            value *= solution.point_availability(t)
+        return value
+
+    def reliability(self, t: float) -> float:
+        value = 1.0
+        for solution in self.blocks:
+            value *= solution.reliability(t)
+        return value
+
+
+def translate(
+    model: DiagramBlockModel, method: str = "direct"
+) -> SystemSolution:
+    """Translate and solve a diagram/block model.
+
+    Args:
+        model: The MG specification tree.
+        method: Steady-state solver ("direct", "gth" or "power") —
+            exposed so the validation benchmarks can cross-check paths.
+    """
+    model.validate()
+    g = model.global_parameters
+    by_path: Dict[str, BlockSolution] = {}
+    top = [
+        _solve_block(block, f"{model.root.name}/{block.name}", 1, g, by_path,
+                     method)
+        for block in model.root
+    ]
+    availability = 1.0
+    for solution in top:
+        availability *= _block_contribution(solution)
+    frequency = _series_failure_frequency(top)
+    return SystemSolution(
+        model=model,
+        blocks=top,
+        by_path=by_path,
+        availability=availability,
+        failure_frequency=frequency,
+    )
+
+
+#: Backwards-friendly alias: translating *is* solving in MG.
+solve_model = translate
+
+
+def _block_contribution(solution: BlockSolution) -> float:
+    """Availability contribution of a block, accounting for quantity.
+
+    For chain-backed blocks the chain already models all N units; for
+    pass-through blocks the subdiagram availability is raised to the
+    block quantity (identical subassemblies in series).
+    """
+    if solution.chain is not None:
+        return solution.availability
+    return solution.availability ** solution.block.parameters.quantity
+
+
+def _solve_block(
+    block: MGBlock,
+    path: str,
+    level: int,
+    g: GlobalParameters,
+    by_path: Dict[str, BlockSolution],
+    method: str,
+) -> BlockSolution:
+    children: List[BlockSolution] = []
+    if block.has_subdiagram:
+        children = [
+            _solve_block(
+                child, f"{path}/{child.name}", level + 1, g, by_path, method
+            )
+            for child in block.subdiagram
+        ]
+
+    if block.has_subdiagram and not block.parameters.is_redundant:
+        # Pass-through: availability is the subdiagram's series product.
+        availability = 1.0
+        for child in children:
+            availability *= _block_contribution(child)
+        frequency = _series_failure_frequency(children)
+        solution = BlockSolution(
+            path=path,
+            level=level,
+            block=block,
+            effective=block.parameters,
+            model_type=None,
+            chain=None,
+            availability=availability,
+            failure_frequency=frequency,
+            children=children,
+        )
+    else:
+        if block.has_subdiagram:
+            aggregate = aggregate_subdiagram(
+                block.subdiagram, g, name=block.name
+            )
+            effective = aggregate.with_changes(
+                name=block.parameters.name,
+                quantity=block.parameters.quantity,
+                min_required=block.parameters.min_required,
+                p_latent_fault=block.parameters.p_latent_fault,
+                mttdlf_hours=block.parameters.mttdlf_hours,
+                recovery=block.parameters.recovery,
+                ar_time_minutes=block.parameters.ar_time_minutes,
+                p_spf=block.parameters.p_spf,
+                spf_recovery_minutes=block.parameters.spf_recovery_minutes,
+                repair=block.parameters.repair,
+                reintegration_minutes=block.parameters.reintegration_minutes,
+            )
+        else:
+            effective = block.parameters
+        chain = generate_block_chain(effective, g)
+        pi = steady_state(chain, method=method)
+        availability = sum(
+            pi[state.name] * (1.0 if state.is_up else 0.0) for state in chain
+        )
+        frequency = chain_failure_frequency(chain, method=method)
+        solution = BlockSolution(
+            path=path,
+            level=level,
+            block=block,
+            effective=effective,
+            model_type=classify_model_type(effective),
+            chain=chain,
+            availability=availability,
+            failure_frequency=frequency,
+            steady_state=pi,
+            children=children,
+        )
+    by_path[path] = solution
+    return solution
+
+
+def _series_failure_frequency(solutions: List[BlockSolution]) -> float:
+    """System failure frequency of independent blocks in series.
+
+    The system crosses up -> down when block i fails while every other
+    block is up: ``sum_i f_i * prod_{j != i} A_j`` (with quantities
+    folded into each block's contribution).
+    """
+    contributions = [
+        _block_contribution(solution) for solution in solutions
+    ]
+    frequencies = []
+    for solution in solutions:
+        if solution.chain is not None:
+            frequencies.append(solution.failure_frequency)
+        else:
+            quantity = solution.block.parameters.quantity
+            base_availability = solution.availability
+            # q identical subassemblies in series: f = q * f_sub * A_sub^(q-1)
+            frequencies.append(
+                quantity
+                * solution.failure_frequency
+                * base_availability ** (quantity - 1)
+            )
+    total = 0.0
+    for i, frequency in enumerate(frequencies):
+        others = 1.0
+        for j, availability in enumerate(contributions):
+            if j != i:
+                others *= availability
+        total += frequency * others
+    return total
+
+
+def diagram_rbd(model: DiagramBlockModel) -> Series:
+    """The root diagram as an explicit series RBD of named leaves.
+
+    Leaf names are block paths; feed availabilities via the ``values``
+    mapping (the GMB hierarchy API uses this to splice MG output into
+    hand-drawn diagrams).
+    """
+    leaves = [
+        Leaf(f"{model.root.name}/{block.name}") for block in model.root
+    ]
+    return Series(model.root.name, leaves)

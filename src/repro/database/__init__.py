@@ -1,0 +1,12 @@
+"""Component RAS-parameter database.
+
+RAScad integrates with Sun's enterprise component-MTBF database; this
+package substitutes a local catalog with the same role: a block that
+names a part number inherits that part's RAS defaults, which its own
+spec fields may then override.
+"""
+
+from .parts import PartRecord, PartsDatabase
+from .builtin import builtin_database
+
+__all__ = ["PartRecord", "PartsDatabase", "builtin_database"]

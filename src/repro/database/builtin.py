@@ -1,0 +1,159 @@
+"""Builtin FRU catalog.
+
+A catalog of generic late-1990s/early-2000s server and storage FRUs in
+the classes the paper's Figure 2 lists for the Server Box subdiagram
+(System Board, CPU Module, power supply, fans, disks, ...).  MTBF and
+FIT values are representative engineering-handbook magnitudes, *not*
+Sun's proprietary numbers — the reproduction needs realistic scales and
+contrasts (disks worst, passive parts best), not exact figures.
+"""
+
+from __future__ import annotations
+
+from .parts import PartRecord, PartsDatabase
+
+_BUILTIN_RECORDS = [
+    PartRecord(
+        part_number="SYSBD-01",
+        description="System board (centerplane)",
+        mtbf_hours=250_000.0,
+        transient_fit=500.0,
+        diagnosis_minutes=45.0,
+        corrective_minutes=60.0,
+        verification_minutes=30.0,
+    ),
+    PartRecord(
+        part_number="CPU-400",
+        description="400 MHz CPU module",
+        mtbf_hours=1_000_000.0,
+        transient_fit=2_000.0,
+        diagnosis_minutes=30.0,
+        corrective_minutes=20.0,
+        verification_minutes=15.0,
+    ),
+    PartRecord(
+        part_number="MEM-1G",
+        description="1 GB memory bank (ECC)",
+        mtbf_hours=800_000.0,
+        transient_fit=5_000.0,
+        diagnosis_minutes=25.0,
+        corrective_minutes=15.0,
+        verification_minutes=10.0,
+    ),
+    PartRecord(
+        part_number="PSU-650",
+        description="650 W power supply unit",
+        mtbf_hours=400_000.0,
+        transient_fit=100.0,
+        diagnosis_minutes=10.0,
+        corrective_minutes=10.0,
+        verification_minutes=5.0,
+    ),
+    PartRecord(
+        part_number="FAN-92",
+        description="92 mm fan tray",
+        mtbf_hours=300_000.0,
+        transient_fit=0.0,
+        diagnosis_minutes=5.0,
+        corrective_minutes=5.0,
+        verification_minutes=5.0,
+    ),
+    PartRecord(
+        part_number="HDD-36G",
+        description="36 GB FC-AL disk drive",
+        mtbf_hours=150_000.0,
+        transient_fit=200.0,
+        diagnosis_minutes=15.0,
+        corrective_minutes=10.0,
+        verification_minutes=120.0,  # data restore / resync dominates
+    ),
+    PartRecord(
+        part_number="IOB-PCI",
+        description="PCI I/O board",
+        mtbf_hours=500_000.0,
+        transient_fit=800.0,
+        diagnosis_minutes=30.0,
+        corrective_minutes=25.0,
+        verification_minutes=15.0,
+    ),
+    PartRecord(
+        part_number="NIC-GE",
+        description="Gigabit Ethernet adapter",
+        mtbf_hours=600_000.0,
+        transient_fit=400.0,
+        diagnosis_minutes=20.0,
+        corrective_minutes=10.0,
+        verification_minutes=10.0,
+    ),
+    PartRecord(
+        part_number="HBA-FC",
+        description="Fibre Channel host adapter",
+        mtbf_hours=550_000.0,
+        transient_fit=300.0,
+        diagnosis_minutes=20.0,
+        corrective_minutes=10.0,
+        verification_minutes=15.0,
+    ),
+    PartRecord(
+        part_number="RAIDC-01",
+        description="RAID controller",
+        mtbf_hours=450_000.0,
+        transient_fit=600.0,
+        diagnosis_minutes=25.0,
+        corrective_minutes=20.0,
+        verification_minutes=30.0,
+    ),
+    PartRecord(
+        part_number="BKPL-FCAL",
+        description="FC-AL disk backplane",
+        mtbf_hours=900_000.0,
+        transient_fit=50.0,
+        diagnosis_minutes=30.0,
+        corrective_minutes=45.0,
+        verification_minutes=15.0,
+    ),
+    PartRecord(
+        part_number="SWBD-16",
+        description="16-port switch board",
+        mtbf_hours=700_000.0,
+        transient_fit=700.0,
+        diagnosis_minutes=30.0,
+        corrective_minutes=20.0,
+        verification_minutes=15.0,
+    ),
+    PartRecord(
+        part_number="CLKBD-01",
+        description="Clock board",
+        mtbf_hours=1_200_000.0,
+        transient_fit=100.0,
+        diagnosis_minutes=30.0,
+        corrective_minutes=30.0,
+        verification_minutes=15.0,
+    ),
+    PartRecord(
+        part_number="SCBD-01",
+        description="System controller board",
+        mtbf_hours=800_000.0,
+        transient_fit=400.0,
+        diagnosis_minutes=30.0,
+        corrective_minutes=25.0,
+        verification_minutes=20.0,
+    ),
+    PartRecord(
+        part_number="TAPE-DLT",
+        description="DLT tape drive",
+        mtbf_hours=200_000.0,
+        transient_fit=100.0,
+        diagnosis_minutes=15.0,
+        corrective_minutes=15.0,
+        verification_minutes=20.0,
+    ),
+]
+
+
+def builtin_database() -> PartsDatabase:
+    """A fresh copy of the builtin FRU catalog."""
+    database = PartsDatabase()
+    for record in _BUILTIN_RECORDS:
+        database.add(record)
+    return database

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`RascadError` so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class RascadError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpecError(RascadError):
+    """An engineering-language specification is malformed or inconsistent."""
+
+
+class ParameterError(SpecError):
+    """A block or global parameter is missing, negative, or out of range."""
+
+
+class ModelError(RascadError):
+    """A mathematical model is structurally invalid (e.g. not a CTMC)."""
+
+
+class SolverError(RascadError):
+    """A numerical solution failed or did not converge."""
+
+
+class DatabaseError(RascadError):
+    """A part-number lookup against the component database failed."""

@@ -1,0 +1,14 @@
+"""Graphical Model Builder (GMB) — the expert-facing modeling module.
+
+RAScad's GMB lets RAS experts draw Markov chains, semi-Markov chains
+and RBDs and wire them into hierarchies.  Without a GUI, the same
+capability is exposed as fluent builders plus a hierarchy object that
+binds RBD leaves to sub-models of any kind (chains, semi-Markov
+processes, nested RBDs, MG solutions, or plain numbers) — "the combined
+use of MG models and GMB models" from the paper.
+"""
+
+from .builder import MarkovBuilder, SemiMarkovBuilder
+from .hierarchy import HierarchicalModel
+
+__all__ = ["MarkovBuilder", "SemiMarkovBuilder", "HierarchicalModel"]

@@ -1,0 +1,94 @@
+"""Fluent builders for hand-drawn Markov and semi-Markov models.
+
+The builders mirror the GMB drawing workflow: declare states (up or
+down), then draw transitions, then build — which validates the result
+exactly like RAScad's model checker does before solution.
+
+Example:
+    >>> chain = (
+    ...     MarkovBuilder("duplex")
+    ...     .up("Ok")
+    ...     .down("Down")
+    ...     .arc("Ok", "Down", 1e-3)
+    ...     .arc("Down", "Ok", 0.25)
+    ...     .build()
+    ... )
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..markov.chain import MarkovChain
+from ..semimarkov.distributions import Distribution
+from ..semimarkov.process import SemiMarkovProcess
+
+
+class MarkovBuilder:
+    """Builds a validated :class:`~repro.markov.MarkovChain`."""
+
+    def __init__(self, name: str = "chain") -> None:
+        self._chain = MarkovChain(name)
+
+    def state(
+        self,
+        name: str,
+        reward: float = 1.0,
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> "MarkovBuilder":
+        self._chain.add_state(name, reward=reward, meta=meta)
+        return self
+
+    def up(self, name: str, reward: float = 1.0) -> "MarkovBuilder":
+        """Declare an operational state (reward defaults to 1)."""
+        return self.state(name, reward=reward)
+
+    def down(self, name: str) -> "MarkovBuilder":
+        """Declare a failure state (reward 0)."""
+        return self.state(name, reward=0.0)
+
+    def arc(
+        self, source: str, target: str, rate: float, label: str = ""
+    ) -> "MarkovBuilder":
+        self._chain.add_transition(source, target, rate, label=label)
+        return self
+
+    def build(self) -> MarkovChain:
+        self._chain.validate()
+        return self._chain
+
+
+class SemiMarkovBuilder:
+    """Builds a validated :class:`~repro.semimarkov.SemiMarkovProcess`."""
+
+    def __init__(self, name: str = "smp") -> None:
+        self._process = SemiMarkovProcess(name)
+
+    def state(
+        self,
+        name: str,
+        reward: float = 1.0,
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> "SemiMarkovBuilder":
+        self._process.add_state(name, reward=reward, meta=meta)
+        return self
+
+    def up(self, name: str, reward: float = 1.0) -> "SemiMarkovBuilder":
+        return self.state(name, reward=reward)
+
+    def down(self, name: str) -> "SemiMarkovBuilder":
+        return self.state(name, reward=0.0)
+
+    def arc(
+        self,
+        source: str,
+        target: str,
+        probability: float,
+        sojourn: Distribution,
+    ) -> "SemiMarkovBuilder":
+        self._process.add_transition(source, target, probability, sojourn)
+        return self
+
+    def build(self) -> SemiMarkovProcess:
+        self._process.validate()
+        return self._process

@@ -1,0 +1,74 @@
+"""Hierarchical composition of heterogeneous models.
+
+An RBD structure whose leaves are *bound* to sub-models: Markov chains,
+semi-Markov processes, nested RBD blocks, MG system solutions, or plain
+availabilities.  This reproduces RAScad's hierarchical approach and its
+"combined use of MG models and GMB models".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from ..errors import ModelError
+from ..markov.chain import MarkovChain
+from ..markov.rewards import steady_state_availability
+from ..rbd.blocks import Block
+from ..semimarkov.process import SemiMarkovProcess
+from ..semimarkov.steady_state import semi_markov_availability
+
+SubModel = Union[MarkovChain, SemiMarkovProcess, Block, float, "object"]
+
+
+class HierarchicalModel:
+    """An RBD whose leaves resolve to bound sub-model availabilities."""
+
+    def __init__(self, structure: Block, name: str = "hierarchy") -> None:
+        self.name = name
+        self.structure = structure
+        self._bindings: Dict[str, SubModel] = {}
+
+    def bind(self, leaf_name: str, model: SubModel) -> "HierarchicalModel":
+        """Attach a sub-model to the named RBD leaf."""
+        leaf_names = {leaf.name for leaf in self.structure.leaves()}
+        if leaf_name not in leaf_names:
+            raise ModelError(
+                f"hierarchy {self.name!r} has no leaf {leaf_name!r}; "
+                f"leaves are {sorted(leaf_names)}"
+            )
+        self._bindings[leaf_name] = model
+        return self
+
+    def availability(self) -> float:
+        """Steady-state availability of the full hierarchy."""
+        values: Dict[str, float] = {}
+        for leaf in self.structure.leaves():
+            if leaf.name in self._bindings:
+                values[leaf.name] = _resolve(
+                    self._bindings[leaf.name], leaf.name
+                )
+        return self.structure.availability(values)
+
+
+def _resolve(model: SubModel, leaf_name: str) -> float:
+    if isinstance(model, MarkovChain):
+        return steady_state_availability(model)
+    if isinstance(model, SemiMarkovProcess):
+        return semi_markov_availability(model)
+    if isinstance(model, Block):
+        return model.availability()
+    if isinstance(model, (int, float)):
+        value = float(model)
+        if not 0.0 <= value <= 1.0:
+            raise ModelError(
+                f"binding for {leaf_name!r} must lie in [0, 1], got {value}"
+            )
+        return value
+    # Duck-type MG SystemSolution (avoids a circular import).
+    availability = getattr(model, "availability", None)
+    if isinstance(availability, float):
+        return availability
+    raise ModelError(
+        f"cannot resolve binding for {leaf_name!r}: "
+        f"unsupported sub-model type {type(model).__name__}"
+    )

@@ -1,0 +1,39 @@
+"""Model library: ready-made diagram/block models.
+
+RAScad ships "a library of models for existing Sun products"; this
+package provides the reproduction's equivalents, with parameters drawn
+from the builtin component database:
+
+* :func:`datacenter_model` — the paper's Figures 1-2 Data Center System
+  (Server Box with a 19-block subdiagram, mirrored boot drives, two
+  RAID5 storage arrays).
+* :func:`e10000_model` — an Enterprise-10000-class single server, the
+  ground truth for the field-data validation experiment (E6).
+* :func:`workgroup_model` — a small, mostly non-redundant workgroup
+  server dominated by Type 0 chains.
+* :func:`cluster_chain` / :func:`cluster_availability` — the paper's
+  "work in progress" primary/standby cluster extension.
+"""
+
+from .datacenter import datacenter_model, server_box_diagram
+from .e10000 import e10000_model
+from .workgroup import workgroup_model
+from .cluster import (
+    ClusterParameters,
+    cluster_chain,
+    cluster_availability,
+    secondary_cluster_chain,
+    secondary_cluster_measures,
+)
+
+__all__ = [
+    "datacenter_model",
+    "server_box_diagram",
+    "e10000_model",
+    "workgroup_model",
+    "ClusterParameters",
+    "cluster_chain",
+    "cluster_availability",
+    "secondary_cluster_chain",
+    "secondary_cluster_measures",
+]

@@ -1,0 +1,191 @@
+"""The paper's worked example: the Data Center System of Figures 1-2.
+
+Level 1 has four blocks — Server Box, "Boot Drives, RAID1",
+"Storage 1, RAID5" and "Storage 2, RAID5" — each with a subdiagram.
+The Server Box subdiagram has 19 blocks (System Board, CPU Module,
+etc.), matching the paper's description; the other three wrap disk
+shelves in redundant (RAID) configurations.
+
+Parameter values come from the builtin component catalog; scenario and
+service settings are representative of the architectures Section 2
+describes (hot-plug PSUs and fans are fully transparent, CPU deconfig
+recovers by reboot and repairs on-line via dynamic reconfiguration,
+and so on).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.block import DiagramBlockModel, MGBlock, MGDiagram
+from ..core.parameters import BlockParameters, GlobalParameters
+from ..database.builtin import builtin_database
+from ..database.parts import PartsDatabase
+
+
+def _block(
+    database: PartsDatabase, part_number: str, **fields: object
+) -> MGBlock:
+    """A leaf block with catalog hardware defaults plus overrides."""
+    record = database.lookup(part_number)
+    merged = dict(record.as_block_fields())
+    merged["part_number"] = part_number
+    merged.update(fields)
+    return MGBlock(BlockParameters(**merged))  # type: ignore[arg-type]
+
+
+def server_box_diagram(
+    database: Optional[PartsDatabase] = None,
+) -> MGDiagram:
+    """The 19-block Server Box subdiagram (paper Figure 2, level 2)."""
+    db = database or builtin_database()
+    return MGDiagram(
+        "Server Box",
+        [
+            _block(db, "SYSBD-01", name="System Board",
+                   quantity=4, min_required=4),
+            _block(db, "CPU-400", name="CPU Module",
+                   quantity=16, min_required=14,
+                   recovery="nontransparent", ar_time_minutes=12.0,
+                   repair="transparent", p_latent_fault=0.02,
+                   mttdlf_hours=48.0, p_spf=0.005),
+            _block(db, "MEM-1G", name="Memory Bank",
+                   quantity=16, min_required=15,
+                   recovery="nontransparent", ar_time_minutes=12.0,
+                   repair="transparent", p_latent_fault=0.05,
+                   mttdlf_hours=24.0, p_spf=0.005),
+            _block(db, "PSU-650", name="Power Supply",
+                   quantity=3, min_required=2,
+                   recovery="transparent", repair="transparent"),
+            _block(db, "FAN-92", name="Fan Tray",
+                   quantity=6, min_required=5,
+                   recovery="transparent", repair="transparent"),
+            _block(db, "IOB-PCI", name="I/O Board",
+                   quantity=4, min_required=3,
+                   recovery="nontransparent", ar_time_minutes=12.0,
+                   repair="transparent", p_spf=0.01),
+            _block(db, "NIC-GE", name="Network Adapter",
+                   quantity=2, min_required=1,
+                   recovery="transparent", repair="transparent"),
+            _block(db, "HBA-FC", name="FC Host Adapter",
+                   quantity=2, min_required=1,
+                   recovery="transparent", repair="transparent"),
+            _block(db, "CLKBD-01", name="Clock Board",
+                   quantity=2, min_required=1,
+                   recovery="nontransparent", ar_time_minutes=10.0,
+                   repair="nontransparent", reintegration_minutes=10.0,
+                   p_spf=0.01),
+            _block(db, "SCBD-01", name="System Controller",
+                   quantity=2, min_required=1,
+                   recovery="transparent", repair="nontransparent",
+                   reintegration_minutes=10.0),
+            _block(db, "SWBD-16", name="Switch Board",
+                   quantity=2, min_required=1,
+                   recovery="nontransparent", ar_time_minutes=10.0,
+                   repair="nontransparent", reintegration_minutes=15.0,
+                   p_spf=0.02),
+            _block(db, "PSU-650", name="DC Power Distribution",
+                   quantity=8, min_required=7,
+                   recovery="transparent", repair="transparent"),
+            MGBlock(BlockParameters(
+                name="Operating System",
+                quantity=1, min_required=1,
+                mtbf_hours=50_000.0, transient_fit=10_000.0,
+                diagnosis_minutes=60.0, corrective_minutes=60.0,
+                verification_minutes=30.0,
+                description="Solaris-class OS: panics modeled as "
+                            "transients, bugs needing a patch as "
+                            "permanents",
+            )),
+            MGBlock(BlockParameters(
+                name="Environmental Monitor",
+                quantity=1, min_required=1,
+                mtbf_hours=1_500_000.0, transient_fit=50.0,
+                diagnosis_minutes=15.0, corrective_minutes=15.0,
+                verification_minutes=10.0,
+            )),
+            _block(db, "TAPE-DLT", name="Media Tray",
+                   quantity=1, min_required=1),
+            _block(db, "BKPL-FCAL", name="Disk Backplane",
+                   quantity=1, min_required=1),
+            _block(db, "SCBD-01", name="Service Processor",
+                   quantity=1, min_required=1),
+            _block(db, "HDD-36G", name="Internal Disk",
+                   quantity=2, min_required=1,
+                   recovery="transparent", repair="transparent",
+                   p_latent_fault=0.01, mttdlf_hours=168.0),
+            _block(db, "RAIDC-01", name="RAID Controller",
+                   quantity=2, min_required=1,
+                   recovery="transparent", repair="transparent"),
+        ],
+    )
+
+
+def _storage_array(
+    database: PartsDatabase, name: str, disks: int, required: int
+) -> MGBlock:
+    """A RAID disk shelf: a redundant block over a disk subdiagram."""
+    shelf = MGDiagram(
+        f"{name} Shelf",
+        [_block(database, "HDD-36G", name="Disk Drive")],
+    )
+    return MGBlock(
+        BlockParameters(
+            name=name,
+            quantity=disks,
+            min_required=required,
+            recovery="transparent",            # hot spare rebuild
+            repair="transparent",              # hot-plug drive bays
+            p_latent_fault=0.01,
+            mttdlf_hours=168.0,                # weekly surface scan
+            p_spf=0.002,                       # double-fault during rebuild
+            spf_recovery_minutes=240.0,        # restore from tape
+            service_response_hours=4.0,
+        ),
+        subdiagram=shelf,
+    )
+
+
+def datacenter_model(
+    database: Optional[PartsDatabase] = None,
+    global_parameters: Optional[GlobalParameters] = None,
+) -> DiagramBlockModel:
+    """The complete Data Center System model (paper Figures 1-2)."""
+    db = database or builtin_database()
+    root = MGDiagram(
+        "Data Center System",
+        [
+            MGBlock(
+                BlockParameters(name="Server Box"),
+                subdiagram=server_box_diagram(db),
+            ),
+            MGBlock(
+                BlockParameters(
+                    name="Boot Drives, RAID1",
+                    quantity=2,
+                    min_required=1,
+                    recovery="transparent",
+                    repair="transparent",
+                    p_latent_fault=0.01,
+                    mttdlf_hours=168.0,
+                ),
+                subdiagram=MGDiagram(
+                    "Boot Shelf",
+                    [_block(db, "HDD-36G", name="Boot Disk")],
+                ),
+            ),
+            _storage_array(db, "Storage 1, RAID5", disks=6, required=5),
+            _storage_array(db, "Storage 2, RAID5", disks=6, required=5),
+        ],
+    )
+    return DiagramBlockModel(
+        root,
+        global_parameters
+        or GlobalParameters(
+            reboot_minutes=10.0,
+            mttm_hours=48.0,
+            mttrfid_hours=8.0,
+            mission_time_hours=8760.0,
+        ),
+        name="Data Center System",
+    )

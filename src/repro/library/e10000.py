@@ -1,0 +1,107 @@
+"""An Enterprise-10000-class high-end server model.
+
+Section 5 of the paper validates RAScad against field data from two
+large operational E10000 servers; this model is the reproduction's
+ground truth for that experiment (E6).  The E10000 was a 64-processor
+domain-capable server with 16 system boards, redundant power/cooling,
+and dynamic reconfiguration — the parameters below model one large
+domain of such a machine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.block import DiagramBlockModel, MGBlock, MGDiagram
+from ..core.parameters import BlockParameters, GlobalParameters
+from ..database.builtin import builtin_database
+from ..database.parts import PartsDatabase
+from .datacenter import _block
+
+
+def e10000_model(
+    database: Optional[PartsDatabase] = None,
+    global_parameters: Optional[GlobalParameters] = None,
+) -> DiagramBlockModel:
+    """A 64-CPU, 16-board E10000-class server as a diagram/block model."""
+    db = database or builtin_database()
+    root = MGDiagram(
+        "E10000 Server",
+        [
+            _block(db, "SYSBD-01", name="System Board",
+                   service_response_hours=2.0,
+                   quantity=16, min_required=15,
+                   recovery="nontransparent", ar_time_minutes=15.0,
+                   repair="transparent",          # dynamic reconfiguration
+                   p_latent_fault=0.02, mttdlf_hours=72.0,
+                   p_spf=0.01),
+            _block(db, "CPU-400", name="CPU Module",
+                   service_response_hours=2.0,
+                   quantity=64, min_required=60,
+                   recovery="nontransparent", ar_time_minutes=12.0,
+                   repair="transparent",
+                   p_latent_fault=0.02, mttdlf_hours=48.0,
+                   p_spf=0.003),
+            _block(db, "MEM-1G", name="Memory Bank",
+                   service_response_hours=2.0,
+                   quantity=64, min_required=62,
+                   recovery="nontransparent", ar_time_minutes=12.0,
+                   repair="transparent",
+                   p_latent_fault=0.05, mttdlf_hours=24.0,
+                   p_spf=0.003),
+            _block(db, "PSU-650", name="Bulk Power Supply",
+                   service_response_hours=2.0,
+                   quantity=8, min_required=6,
+                   recovery="transparent", repair="transparent"),
+            _block(db, "FAN-92", name="Fan Tray",
+                   service_response_hours=2.0,
+                   quantity=16, min_required=14,
+                   recovery="transparent", repair="transparent"),
+            _block(db, "IOB-PCI", name="I/O Board",
+                   service_response_hours=2.0,
+                   quantity=8, min_required=7,
+                   recovery="nontransparent", ar_time_minutes=12.0,
+                   repair="transparent", p_spf=0.01),
+            _block(db, "SWBD-16", name="Centerplane Support Board",
+                   service_response_hours=2.0,
+                   quantity=2, min_required=1,
+                   recovery="nontransparent", ar_time_minutes=10.0,
+                   repair="nontransparent", reintegration_minutes=20.0,
+                   p_spf=0.02),
+            _block(db, "CLKBD-01", name="Clock Board",
+                   service_response_hours=2.0,
+                   quantity=2, min_required=1,
+                   recovery="nontransparent", ar_time_minutes=10.0,
+                   repair="nontransparent", reintegration_minutes=10.0,
+                   p_spf=0.01),
+            _block(db, "SCBD-01", name="System Service Processor",
+                   service_response_hours=2.0,
+                   quantity=2, min_required=1,
+                   recovery="transparent", repair="nontransparent",
+                   reintegration_minutes=10.0),
+            _block(db, "HDD-36G", name="Boot Disk",
+                   service_response_hours=2.0,
+                   quantity=2, min_required=1,
+                   recovery="transparent", repair="transparent",
+                   p_latent_fault=0.01, mttdlf_hours=168.0),
+            MGBlock(BlockParameters(
+                name="Operating System",
+                quantity=1, min_required=1,
+                mtbf_hours=40_000.0, transient_fit=12_000.0,
+                diagnosis_minutes=60.0, corrective_minutes=60.0,
+                verification_minutes=30.0,
+                description="domain OS instance",
+            )),
+        ],
+    )
+    return DiagramBlockModel(
+        root,
+        global_parameters
+        or GlobalParameters(
+            reboot_minutes=25.0,      # big-iron POST + boot
+            mttm_hours=24.0,          # production site: fast maintenance
+            mttrfid_hours=8.0,
+            mission_time_hours=10_950.0,  # 15 months, the paper's window
+        ),
+        name="E10000 Server",
+    )

@@ -1,0 +1,72 @@
+"""A small workgroup server: the low-redundancy end of the spectrum.
+
+Mostly non-redundant (Type 0 chains), with a mirrored disk pair as the
+only redundancy.  Useful as a contrast case in the transparency
+ablation and the parametric sweeps: with almost no redundancy the
+recovery/repair scenarios barely matter and logistics dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.block import DiagramBlockModel, MGBlock, MGDiagram
+from ..core.parameters import BlockParameters, GlobalParameters
+from ..database.builtin import builtin_database
+from ..database.parts import PartsDatabase
+from .datacenter import _block
+
+
+def workgroup_model(
+    database: Optional[PartsDatabase] = None,
+    global_parameters: Optional[GlobalParameters] = None,
+) -> DiagramBlockModel:
+    """A 2-CPU tower server with mirrored disks."""
+    db = database or builtin_database()
+    root = MGDiagram(
+        "Workgroup Server",
+        [
+            _block(db, "SYSBD-01", name="Motherboard",
+                   quantity=1, min_required=1,
+                   service_response_hours=24.0),
+            _block(db, "CPU-400", name="CPU Module",
+                   quantity=2, min_required=2,
+                   service_response_hours=24.0),
+            _block(db, "MEM-1G", name="Memory Bank",
+                   quantity=4, min_required=4,
+                   service_response_hours=24.0),
+            _block(db, "PSU-650", name="Power Supply",
+                   quantity=1, min_required=1,
+                   service_response_hours=24.0),
+            _block(db, "FAN-92", name="Fan",
+                   quantity=2, min_required=2,
+                   service_response_hours=24.0),
+            _block(db, "NIC-GE", name="Network Adapter",
+                   quantity=1, min_required=1,
+                   service_response_hours=24.0),
+            _block(db, "HDD-36G", name="Mirrored Disk",
+                   quantity=2, min_required=1,
+                   recovery="transparent", repair="nontransparent",
+                   reintegration_minutes=15.0,
+                   service_response_hours=24.0,
+                   p_latent_fault=0.01, mttdlf_hours=336.0),
+            MGBlock(BlockParameters(
+                name="Operating System",
+                quantity=1, min_required=1,
+                mtbf_hours=30_000.0, transient_fit=15_000.0,
+                diagnosis_minutes=45.0, corrective_minutes=45.0,
+                verification_minutes=30.0,
+            )),
+        ],
+    )
+    return DiagramBlockModel(
+        root,
+        global_parameters
+        or GlobalParameters(
+            reboot_minutes=5.0,
+            mttm_hours=72.0,          # next-business-day style service
+            mttrfid_hours=12.0,
+            mission_time_hours=8760.0,
+        ),
+        name="Workgroup Server",
+    )

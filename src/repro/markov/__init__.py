@@ -1,0 +1,85 @@
+"""Continuous-time Markov chain engine (the GMB Markov substrate).
+
+This package provides the general Markov modeling capability that RAScad's
+Graphical Model Builder exposes: reward-annotated CTMCs, steady-state and
+transient solution, Markov reward measures, absorbing-chain reliability
+analysis, and parametric sensitivity.
+"""
+
+from .chain import MarkovChain, State, Transition
+from .steady_state import (
+    solve_steady_state,
+    solve_steady_state_gth,
+    solve_steady_state_power,
+    steady_state,
+)
+from .transient import (
+    transient_probabilities,
+    transient_probabilities_expm,
+    transient_probabilities_ode,
+    transient_curve,
+    uniformization_terms,
+)
+from .rewards import (
+    expected_reward_rate,
+    steady_state_availability,
+    interval_reward,
+    interval_availability,
+    interval_failure_frequency,
+    interval_recovery_frequency,
+    failure_frequency,
+    recovery_frequency,
+)
+from .mttf import (
+    absorbing_variant,
+    mean_time_to_failure,
+    reliability_at,
+    reliability_curve,
+    hazard_rate,
+    interval_failure_rate,
+)
+from .lumping import is_lumpable, lump, lump_by_meta
+from .sensitivity import (
+    parametric_sensitivity,
+    sweep,
+    stationary_derivative,
+    rate_sensitivity,
+    all_rate_sensitivities,
+)
+
+__all__ = [
+    "MarkovChain",
+    "State",
+    "Transition",
+    "solve_steady_state",
+    "solve_steady_state_gth",
+    "solve_steady_state_power",
+    "steady_state",
+    "transient_probabilities",
+    "transient_probabilities_expm",
+    "transient_probabilities_ode",
+    "transient_curve",
+    "uniformization_terms",
+    "expected_reward_rate",
+    "steady_state_availability",
+    "interval_reward",
+    "interval_availability",
+    "interval_failure_frequency",
+    "interval_recovery_frequency",
+    "failure_frequency",
+    "recovery_frequency",
+    "absorbing_variant",
+    "mean_time_to_failure",
+    "reliability_at",
+    "reliability_curve",
+    "hazard_rate",
+    "interval_failure_rate",
+    "is_lumpable",
+    "lump",
+    "lump_by_meta",
+    "parametric_sensitivity",
+    "sweep",
+    "stationary_derivative",
+    "rate_sensitivity",
+    "all_rate_sensitivities",
+]

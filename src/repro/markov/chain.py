@@ -1,0 +1,288 @@
+"""Reward-annotated continuous-time Markov chains.
+
+A :class:`MarkovChain` is the internal matrix representation that RAScad
+generates for each MG block ("Due to the variation on the model size, the
+internal matrix representation ... of the Markov models are generated in
+the implementation").  States carry a *reward rate*: 1 marks an
+operational (up) state, 0 a failure (down) state; fractional rewards are
+allowed for performability-style models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class State:
+    """A named state with a reward rate.
+
+    Attributes:
+        name: Unique state name within its chain.
+        reward: Reward rate; 1.0 = up, 0.0 = down, intermediate values
+            model degraded performability levels.
+        meta: Free-form annotations (e.g. which redundancy level the MG
+            generator assigned the state to).
+    """
+
+    name: str
+    reward: float = 1.0
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def is_up(self) -> bool:
+        """True when the state counts as operational (reward > 0)."""
+        return self.reward > 0.0
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A rate transition between two named states."""
+
+    source: str
+    target: str
+    rate: float
+    label: str = ""
+
+
+class MarkovChain:
+    """A finite CTMC with named, reward-annotated states.
+
+    States keep insertion order, which fixes the row/column order of the
+    generator matrix.  Parallel transitions between the same pair of
+    states accumulate their rates (the usual CTMC superposition rule).
+
+    Example:
+        >>> chain = MarkovChain("pair")
+        >>> chain.add_state("Ok", reward=1.0)
+        >>> chain.add_state("Down", reward=0.0)
+        >>> chain.add_transition("Ok", "Down", 0.001)
+        >>> chain.add_transition("Down", "Ok", 0.5)
+        >>> chain.generator_matrix().shape
+        (2, 2)
+    """
+
+    def __init__(self, name: str = "chain") -> None:
+        self.name = name
+        self._states: Dict[str, State] = {}
+        self._order: List[str] = []
+        self._rates: Dict[Tuple[str, str], float] = {}
+        self._labels: Dict[Tuple[str, str], str] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_state(
+        self,
+        name: str,
+        reward: float = 1.0,
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> State:
+        """Add a state; re-adding an existing name is an error."""
+        if name in self._states:
+            raise ModelError(f"duplicate state {name!r} in chain {self.name!r}")
+        if reward < 0:
+            raise ModelError(f"state {name!r} has negative reward {reward}")
+        state = State(name=name, reward=reward, meta=dict(meta or {}))
+        self._states[name] = state
+        self._order.append(name)
+        return state
+
+    def ensure_state(
+        self, name: str, reward: float = 1.0,
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> State:
+        """Return the existing state or create it."""
+        if name in self._states:
+            return self._states[name]
+        return self.add_state(name, reward=reward, meta=meta)
+
+    def add_transition(
+        self, source: str, target: str, rate: float, label: str = ""
+    ) -> None:
+        """Add a rate transition; parallel arcs accumulate."""
+        if source not in self._states:
+            raise ModelError(f"unknown source state {source!r}")
+        if target not in self._states:
+            raise ModelError(f"unknown target state {target!r}")
+        if source == target:
+            raise ModelError(f"self-loop on {source!r} is meaningless in a CTMC")
+        if rate < 0:
+            raise ModelError(
+                f"negative rate {rate} on {source!r} -> {target!r}"
+            )
+        if rate == 0:
+            return
+        key = (source, target)
+        self._rates[key] = self._rates.get(key, 0.0) + rate
+        if label:
+            existing = self._labels.get(key)
+            self._labels[key] = f"{existing} + {label}" if existing else label
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return len(self._order)
+
+    @property
+    def state_names(self) -> List[str]:
+        return list(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._states
+
+    def __iter__(self) -> Iterator[State]:
+        return (self._states[name] for name in self._order)
+
+    def state(self, name: str) -> State:
+        try:
+            return self._states[name]
+        except KeyError:
+            raise ModelError(
+                f"chain {self.name!r} has no state {name!r}"
+            ) from None
+
+    def index(self, name: str) -> int:
+        try:
+            return self._order.index(name)
+        except ValueError:
+            raise ModelError(
+                f"chain {self.name!r} has no state {name!r}"
+            ) from None
+
+    def transitions(self) -> List[Transition]:
+        """All transitions in deterministic (source, target) order."""
+        ordered = sorted(
+            self._rates.items(),
+            key=lambda item: (self.index(item[0][0]), self.index(item[0][1])),
+        )
+        return [
+            Transition(src, dst, rate, self._labels.get((src, dst), ""))
+            for (src, dst), rate in ordered
+        ]
+
+    def rate(self, source: str, target: str) -> float:
+        """Rate of the arc ``source -> target`` (0.0 when absent)."""
+        return self._rates.get((source, target), 0.0)
+
+    def exit_rate(self, name: str) -> float:
+        """Total outgoing rate of a state."""
+        return sum(
+            rate for (src, _dst), rate in self._rates.items() if src == name
+        )
+
+    def up_states(self) -> List[str]:
+        return [name for name in self._order if self._states[name].is_up]
+
+    def down_states(self) -> List[str]:
+        return [name for name in self._order if not self._states[name].is_up]
+
+    def reward_vector(self) -> np.ndarray:
+        return np.array(
+            [self._states[name].reward for name in self._order], dtype=float
+        )
+
+    def generator_matrix(self) -> np.ndarray:
+        """Dense infinitesimal generator Q (rows sum to zero)."""
+        n = self.n_states
+        q = np.zeros((n, n), dtype=float)
+        index = {name: i for i, name in enumerate(self._order)}
+        for (src, dst), rate in self._rates.items():
+            q[index[src], index[dst]] += rate
+        np.fill_diagonal(q, q.diagonal() - q.sum(axis=1))
+        return q
+
+    def initial_distribution(
+        self, start: Optional[str] = None
+    ) -> np.ndarray:
+        """Point mass on ``start`` (default: the first state added)."""
+        if not self._order:
+            raise ModelError(f"chain {self.name!r} has no states")
+        chosen = start if start is not None else self._order[0]
+        p0 = np.zeros(self.n_states)
+        p0[self.index(chosen)] = 1.0
+        return p0
+
+    # ------------------------------------------------------------------
+    # structure checks / derived chains
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ModelError` unless the chain is a sensible CTMC.
+
+        Checks: at least one state, at least one up state, and — unless a
+        state is deliberately absorbing — every state can eventually reach
+        every other (irreducibility), which steady-state solution needs.
+        """
+        if not self._order:
+            raise ModelError(f"chain {self.name!r} has no states")
+        if not self.up_states():
+            raise ModelError(f"chain {self.name!r} has no up state")
+        absorbing = self.absorbing_states()
+        if not absorbing and not self.is_irreducible():
+            raise ModelError(
+                f"chain {self.name!r} is reducible; steady-state "
+                "probabilities would depend on the initial state"
+            )
+
+    def absorbing_states(self) -> List[str]:
+        return [
+            name for name in self._order if self.exit_rate(name) == 0.0
+        ]
+
+    def is_irreducible(self) -> bool:
+        """True when the transition graph is strongly connected."""
+        n = self.n_states
+        if n <= 1:
+            return True
+        adjacency: Dict[str, List[str]] = {name: [] for name in self._order}
+        reverse: Dict[str, List[str]] = {name: [] for name in self._order}
+        for (src, dst), rate in self._rates.items():
+            if rate > 0:
+                adjacency[src].append(dst)
+                reverse[dst].append(src)
+
+        def reachable(start: str, edges: Dict[str, List[str]]) -> int:
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nxt in edges[node]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            return len(seen)
+
+        root = self._order[0]
+        return reachable(root, adjacency) == n and reachable(root, reverse) == n
+
+    def copy(self, name: Optional[str] = None) -> "MarkovChain":
+        clone = MarkovChain(name or self.name)
+        for state in self:
+            clone.add_state(state.name, reward=state.reward, meta=state.meta)
+        for (src, dst), rate in self._rates.items():
+            clone.add_transition(src, dst, rate, self._labels.get((src, dst), ""))
+        return clone
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "MarkovChain":
+        """A copy with every rate multiplied by ``factor`` (time rescaling)."""
+        if factor <= 0:
+            raise ModelError(f"scale factor must be positive, got {factor}")
+        clone = MarkovChain(name or f"{self.name}*{factor:g}")
+        for state in self:
+            clone.add_state(state.name, reward=state.reward, meta=state.meta)
+        for (src, dst), rate in self._rates.items():
+            clone.add_transition(src, dst, rate * factor)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkovChain({self.name!r}, states={self.n_states}, "
+            f"transitions={len(self._rates)})"
+        )

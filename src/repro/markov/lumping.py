@@ -1,0 +1,156 @@
+"""Exact (ordinary) lumping of Markov chains.
+
+MG's generated chains already exploit symmetry — all redundant units of
+a block are interchangeable, so states track only the *count* of faulty
+units.  This module provides the underlying operation explicitly for
+GMB users: given a partition of states, check ordinary lumpability
+(every state in a class has the same aggregate rate into every other
+class) and construct the quotient chain.  Lumping a hand-drawn
+per-unit model down to its count form reproduces exactly what the MG
+generator emits — which the tests use as a consistency check between
+the two modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ModelError
+from .chain import MarkovChain
+
+Partition = Sequence[Sequence[str]]
+
+
+def _check_partition(chain: MarkovChain, partition: Partition) -> None:
+    seen: Dict[str, int] = {}
+    for index, block in enumerate(partition):
+        if not block:
+            raise ModelError(f"partition class {index} is empty")
+        for name in block:
+            if name not in chain:
+                raise ModelError(f"partition names unknown state {name!r}")
+            if name in seen:
+                raise ModelError(
+                    f"state {name!r} appears in classes {seen[name]} "
+                    f"and {index}"
+                )
+            seen[name] = index
+    missing = set(chain.state_names) - set(seen)
+    if missing:
+        raise ModelError(
+            f"partition misses states {sorted(missing)}"
+        )
+
+
+def _class_rates(
+    chain: MarkovChain, partition: Partition
+) -> Dict[str, List[float]]:
+    """Per-state aggregate rate into each partition class."""
+    class_of: Dict[str, int] = {}
+    for index, block in enumerate(partition):
+        for name in block:
+            class_of[name] = index
+    rates: Dict[str, List[float]] = {
+        name: [0.0] * len(partition) for name in chain.state_names
+    }
+    for transition in chain.transitions():
+        rates[transition.source][class_of[transition.target]] += (
+            transition.rate
+        )
+    return rates
+
+
+def is_lumpable(
+    chain: MarkovChain, partition: Partition, tolerance: float = 1e-9
+) -> bool:
+    """True when the partition is ordinarily lumpable with equal rewards."""
+    _check_partition(chain, partition)
+    rates = _class_rates(chain, partition)
+    for block_index, block in enumerate(partition):
+        reference = rates[block[0]]
+        reward = chain.state(block[0]).reward
+        for name in block[1:]:
+            if chain.state(name).reward != reward:
+                return False
+            candidate = rates[name]
+            for class_index in range(len(partition)):
+                if class_index == block_index:
+                    continue  # internal churn is allowed to differ
+                if abs(candidate[class_index] - reference[class_index]) > (
+                    tolerance * max(1.0, abs(reference[class_index]))
+                ):
+                    return False
+    return True
+
+
+def lump(
+    chain: MarkovChain,
+    partition: Partition,
+    names: Optional[Sequence[str]] = None,
+    tolerance: float = 1e-9,
+) -> MarkovChain:
+    """The quotient chain for an ordinarily lumpable partition.
+
+    Raises :class:`ModelError` if the partition is not lumpable (use
+    :func:`is_lumpable` to probe first).  Class rewards are the shared
+    member reward; class names default to ``"+"``-joined member names.
+    """
+    if not is_lumpable(chain, partition, tolerance=tolerance):
+        raise ModelError(
+            "partition is not ordinarily lumpable on this chain"
+        )
+    if names is not None and len(names) != len(partition):
+        raise ModelError(
+            f"{len(names)} names given for {len(partition)} classes"
+        )
+    class_names = (
+        list(names)
+        if names is not None
+        else ["+".join(block) for block in partition]
+    )
+    if len(set(class_names)) != len(class_names):
+        raise ModelError("class names must be unique")
+
+    quotient = MarkovChain(f"{chain.name}#lumped")
+    for class_name, block in zip(class_names, partition):
+        representative = chain.state(block[0])
+        quotient.add_state(
+            class_name,
+            reward=representative.reward,
+            meta={"members": tuple(block)},
+        )
+    rates = _class_rates(chain, partition)
+    for block_index, (class_name, block) in enumerate(
+        zip(class_names, partition)
+    ):
+        representative = rates[block[0]]
+        for target_index, target_name in enumerate(class_names):
+            if target_index == block_index:
+                continue
+            if representative[target_index] > 0.0:
+                quotient.add_transition(
+                    class_name, target_name, representative[target_index]
+                )
+    return quotient
+
+
+def lump_by_meta(
+    chain: MarkovChain, key: str, tolerance: float = 1e-9
+) -> MarkovChain:
+    """Lump by a state-metadata key (e.g. the expansion's ``smp_state``).
+
+    Groups states sharing ``meta[key]``; raises if the grouping is not
+    lumpable.  Handy for collapsing phase-type stage chains back to
+    their semi-Markov states when the stage rates happen to permit it.
+    """
+    groups: Dict[object, List[str]] = {}
+    for state in chain:
+        if key not in state.meta:
+            raise ModelError(
+                f"state {state.name!r} lacks metadata key {key!r}"
+            )
+        groups.setdefault(state.meta[key], []).append(state.name)
+    ordered = sorted(groups.items(), key=lambda item: str(item[0]))
+    partition = [block for _value, block in ordered]
+    names = [str(value) for value, _block in ordered]
+    return lump(chain, partition, names=names, tolerance=tolerance)

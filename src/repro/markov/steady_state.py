@@ -1,0 +1,170 @@
+"""Steady-state solution of CTMCs.
+
+Three independent numerical paths are provided on purpose: the direct
+linear solve is the production path; Grassmann-Taksar-Heyman (GTH)
+elimination is subtraction-free and therefore robust for stiff RAS models
+whose rates span nine orders of magnitude (FIT-level transients vs.
+minute-level reboots); uniformized power iteration is the third opinion
+used by the E4/E5 cross-validation benchmarks, mirroring how RAScad was
+validated against SHARPE and MEADEP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+from ..errors import SolverError
+from .chain import MarkovChain
+
+
+def _as_generator(model: Union[MarkovChain, np.ndarray]) -> np.ndarray:
+    if isinstance(model, MarkovChain):
+        return model.generator_matrix()
+    q = np.asarray(model, dtype=float)
+    if q.ndim != 2 or q.shape[0] != q.shape[1]:
+        raise SolverError(f"generator must be square, got shape {q.shape}")
+    return q
+
+
+def _check_generator(q: np.ndarray) -> None:
+    n = q.shape[0]
+    off_diag = q - np.diag(np.diag(q))
+    if (off_diag < -1e-15).any():
+        raise SolverError("generator has negative off-diagonal rates")
+    row_sums = np.abs(q.sum(axis=1))
+    scale = max(1.0, float(np.abs(q).max()))
+    if (row_sums > 1e-8 * scale).any():
+        raise SolverError("generator rows do not sum to zero")
+    if n == 0:
+        raise SolverError("empty generator")
+
+
+def solve_steady_state(model: Union[MarkovChain, np.ndarray]) -> np.ndarray:
+    """Solve pi Q = 0, sum(pi) = 1 by a direct linear solve.
+
+    The singular system is made determinate by replacing one balance
+    equation with the normalisation constraint.
+    """
+    q = _as_generator(model)
+    _check_generator(q)
+    n = q.shape[0]
+    if n == 1:
+        return np.array([1.0])
+    a = q.T.copy()
+    a[-1, :] = 1.0
+    b = np.zeros(n)
+    b[-1] = 1.0
+    try:
+        pi = np.linalg.solve(a, b)
+    except np.linalg.LinAlgError:
+        pi, *_ = np.linalg.lstsq(a, b, rcond=None)
+    if not np.isfinite(pi).all():
+        raise SolverError("direct steady-state solve produced non-finite values")
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if total <= 0:
+        raise SolverError("direct steady-state solve produced a zero vector")
+    return pi / total
+
+
+def solve_steady_state_gth(model: Union[MarkovChain, np.ndarray]) -> np.ndarray:
+    """Grassmann-Taksar-Heyman elimination.
+
+    GTH performs Gaussian elimination using only additions, multiplications
+    and divisions of non-negative quantities, so it suffers no catastrophic
+    cancellation even on extremely stiff generators.  O(n^3).
+    """
+    q = _as_generator(model)
+    _check_generator(q)
+    n = q.shape[0]
+    if n == 1:
+        return np.array([1.0])
+    p = q.copy().astype(float)
+    # Work on the off-diagonal rate matrix; the diagonal is implied.
+    np.fill_diagonal(p, 0.0)
+    for k in range(n - 1, 0, -1):
+        total = p[k, :k].sum()
+        if total <= 0.0:
+            # State k cannot reach eliminated block; treat as unreachable
+            # in steady state by leaving a zero pivot (handled below).
+            continue
+        p[:k, :k] += np.outer(p[:k, k], p[k, :k]) / total
+
+    pi = np.zeros(n)
+    pi[0] = 1.0
+    for k in range(1, n):
+        total = p[k, :k].sum()
+        if total <= 0.0:
+            pi[k] = 0.0
+            continue
+        pi[k] = pi[:k] @ p[:k, k] / total
+    norm = pi.sum()
+    if norm <= 0 or not np.isfinite(norm):
+        raise SolverError("GTH elimination failed to normalise")
+    return pi / norm
+
+
+def solve_steady_state_power(
+    model: Union[MarkovChain, np.ndarray],
+    tol: float = 1e-12,
+    max_iterations: int = 2_000_000,
+) -> np.ndarray:
+    """Uniformized power iteration.
+
+    The CTMC is uniformized into the DTMC ``P = I + Q / Lambda`` whose
+    stationary vector equals the CTMC's; power iteration then converges
+    for any irreducible chain.  Slow but entirely independent of the
+    direct solvers, which is exactly what a validation oracle needs.
+    """
+    q = _as_generator(model)
+    _check_generator(q)
+    n = q.shape[0]
+    if n == 1:
+        return np.array([1.0])
+    lam = float(-q.diagonal().min()) * 1.05
+    if lam <= 0:
+        # All-absorbing generator: steady state is the initial state; the
+        # convention here is uniform over states, but this never occurs
+        # for validated availability chains.
+        raise SolverError("generator has no transitions; no unique steady state")
+    p = np.eye(n) + q / lam
+    pi = np.full(n, 1.0 / n)
+    for iteration in range(max_iterations):
+        nxt = pi @ p
+        # Aitken-free plain iteration; chains here are small and well mixed.
+        delta = np.abs(nxt - pi).max()
+        pi = nxt
+        if delta < tol:
+            pi = np.clip(pi, 0.0, None)
+            return pi / pi.sum()
+    raise SolverError(
+        f"power iteration did not converge within {max_iterations} steps "
+        f"(residual {delta:.3e})"
+    )
+
+
+def steady_state(
+    chain: MarkovChain, method: str = "direct"
+) -> Dict[str, float]:
+    """Steady-state probabilities keyed by state name.
+
+    Args:
+        chain: The chain to solve.
+        method: ``"direct"``, ``"gth"`` or ``"power"``.
+    """
+    solvers = {
+        "direct": solve_steady_state,
+        "gth": solve_steady_state_gth,
+        "power": solve_steady_state_power,
+    }
+    try:
+        solver = solvers[method]
+    except KeyError:
+        raise SolverError(
+            f"unknown steady-state method {method!r}; "
+            f"expected one of {sorted(solvers)}"
+        ) from None
+    pi = solver(chain)
+    return dict(zip(chain.state_names, pi.tolist()))

@@ -1,0 +1,196 @@
+"""Transient solution of CTMCs.
+
+The production path is Jensen's uniformization (randomization), the
+standard approach in availability tools (Reibman/Smith/Trivedi 1989 is
+the paper's reference [6]).  Matrix-exponential and ODE paths exist as
+independent cross-checks for the validation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+from scipy import linalg as sla
+from scipy.integrate import solve_ivp
+
+from ..errors import SolverError
+from .chain import MarkovChain
+from .steady_state import _as_generator, _check_generator
+
+
+def uniformization_terms(
+    q: np.ndarray, t: float, tol: float = 1e-12
+) -> Tuple[np.ndarray, float, int]:
+    """Uniformized DTMC, uniformization rate, and Poisson truncation point.
+
+    Returns ``(P, lam, n_terms)`` such that
+    ``exp(Q t) = sum_k pois(k; lam*t) P^k`` truncated after ``n_terms``
+    terms with total truncated probability mass below ``tol``.
+    """
+    _check_generator(q)
+    if t < 0:
+        raise SolverError(f"time must be non-negative, got {t}")
+    lam = float(-q.diagonal().min())
+    if lam == 0.0:
+        return np.eye(q.shape[0]), 0.0, 1
+    lam *= 1.0 + 1e-9  # guard against a zero row in P from rounding
+    p = np.eye(q.shape[0]) + q / lam
+    mean = lam * t
+    # Find the smallest m with P(Poisson(mean) > m) < tol by accumulating
+    # the series directly in log space for large means.
+    if mean == 0.0:
+        return p, lam, 1
+    n_terms = int(mean + 10.0 * np.sqrt(mean) + 20.0)
+    while _poisson_tail(mean, n_terms) > tol:
+        n_terms = int(n_terms * 1.5) + 1
+        if n_terms > 50_000_000:
+            raise SolverError(
+                f"uniformization would need more than {n_terms} terms; "
+                "the horizon is too stiff — use transient_probabilities_ode"
+            )
+    return p, lam, n_terms + 1
+
+
+def _poisson_pmf_series(mean: float, n_terms: int) -> np.ndarray:
+    """Poisson pmf values 0..n_terms-1, computed stably in log space."""
+    k = np.arange(n_terms, dtype=float)
+    from scipy.special import gammaln
+
+    log_pmf = k * np.log(mean) - mean - gammaln(k + 1.0) if mean > 0 else (
+        np.where(k == 0, 0.0, -np.inf)
+    )
+    return np.exp(log_pmf)
+
+
+def _poisson_tail(mean: float, m: int) -> float:
+    """P(Poisson(mean) > m)."""
+    from scipy.stats import poisson
+
+    return float(poisson.sf(m, mean))
+
+
+def transient_probabilities(
+    model: Union[MarkovChain, np.ndarray],
+    t: float,
+    p0: Optional[np.ndarray] = None,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """State probabilities at time ``t`` by uniformization."""
+    q = _as_generator(model)
+    n = q.shape[0]
+    if p0 is None:
+        if isinstance(model, MarkovChain):
+            p0 = model.initial_distribution()
+        else:
+            p0 = np.zeros(n)
+            p0[0] = 1.0
+    p0 = np.asarray(p0, dtype=float)
+    if p0.shape != (n,):
+        raise SolverError(f"initial vector has shape {p0.shape}, expected ({n},)")
+    if abs(p0.sum() - 1.0) > 1e-9 or (p0 < -1e-12).any():
+        raise SolverError("initial vector is not a probability distribution")
+    if t == 0.0:
+        return p0.copy()
+
+    p, lam, n_terms = uniformization_terms(q, t, tol=tol)
+    if lam == 0.0:
+        return p0.copy()
+    weights = _poisson_pmf_series(lam * t, n_terms)
+    acc = np.zeros(n)
+    v = p0.copy()
+    for k in range(n_terms):
+        acc += weights[k] * v
+        v = v @ p
+    # Renormalize the truncated series.
+    mass = weights.sum()
+    if mass <= 0:
+        raise SolverError("Poisson weights vanished; horizon too stiff")
+    result = acc / mass
+    return np.clip(result, 0.0, 1.0)
+
+
+def transient_probabilities_expm(
+    model: Union[MarkovChain, np.ndarray],
+    t: float,
+    p0: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """State probabilities at time ``t`` via ``scipy.linalg.expm``."""
+    q = _as_generator(model)
+    n = q.shape[0]
+    if p0 is None:
+        p0 = np.zeros(n)
+        p0[0] = 1.0
+        if isinstance(model, MarkovChain):
+            p0 = model.initial_distribution()
+    p0 = np.asarray(p0, dtype=float)
+    result = p0 @ sla.expm(q * t)
+    return np.clip(result, 0.0, 1.0)
+
+
+def transient_probabilities_ode(
+    model: Union[MarkovChain, np.ndarray],
+    t: float,
+    p0: Optional[np.ndarray] = None,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> np.ndarray:
+    """State probabilities at time ``t`` by stiff ODE integration.
+
+    Solves the Kolmogorov forward equations dp/dt = p Q with an implicit
+    method, suitable when uniformization's ``lam * t`` is astronomically
+    large (e.g. a 15-month horizon against minute-scale reboot rates).
+    """
+    q = _as_generator(model)
+    n = q.shape[0]
+    if p0 is None:
+        p0 = np.zeros(n)
+        p0[0] = 1.0
+        if isinstance(model, MarkovChain):
+            p0 = model.initial_distribution()
+    p0 = np.asarray(p0, dtype=float)
+    if t == 0.0:
+        return p0.copy()
+    qt = q.T
+
+    def forward(_time: float, p: np.ndarray) -> np.ndarray:
+        return qt @ p
+
+    solution = solve_ivp(
+        forward,
+        (0.0, t),
+        p0,
+        method="BDF",
+        jac=lambda _time, _p: qt,
+        rtol=rtol,
+        atol=atol,
+    )
+    if not solution.success:
+        raise SolverError(f"ODE transient solve failed: {solution.message}")
+    result = solution.y[:, -1]
+    result = np.clip(result, 0.0, 1.0)
+    total = result.sum()
+    if total <= 0:
+        raise SolverError("ODE transient solve lost all probability mass")
+    return result / total
+
+
+def transient_curve(
+    model: Union[MarkovChain, np.ndarray],
+    times: Iterable[float],
+    p0: Optional[np.ndarray] = None,
+    method: str = "uniformization",
+) -> List[np.ndarray]:
+    """State probability vectors at each requested time point."""
+    methods = {
+        "uniformization": transient_probabilities,
+        "expm": transient_probabilities_expm,
+        "ode": transient_probabilities_ode,
+    }
+    try:
+        solver = methods[method]
+    except KeyError:
+        raise SolverError(
+            f"unknown transient method {method!r}; expected {sorted(methods)}"
+        ) from None
+    return [solver(model, float(t), p0=p0) for t in times]

@@ -1,0 +1,35 @@
+"""Reliability block diagram engine (the GMB RBD substrate).
+
+Supports the structured combinators RAScad's model generation emits
+(series, parallel, k-of-N) plus general two-terminal network diagrams
+(bridge structures) evaluated by factoring, for GMB power users.
+"""
+
+from .blocks import Block, Leaf, Series, Parallel, KofN, series, parallel, k_of_n
+from .network import NetworkRBD, network_availability, minimal_path_sets
+from .cuts import (
+    minimal_cut_sets,
+    cut_set_order_profile,
+    single_points_of_failure,
+    edge_birnbaum_importance,
+    upper_bound_unavailability,
+)
+
+__all__ = [
+    "Block",
+    "Leaf",
+    "Series",
+    "Parallel",
+    "KofN",
+    "series",
+    "parallel",
+    "k_of_n",
+    "NetworkRBD",
+    "network_availability",
+    "minimal_path_sets",
+    "minimal_cut_sets",
+    "cut_set_order_profile",
+    "single_points_of_failure",
+    "edge_birnbaum_importance",
+    "upper_bound_unavailability",
+]

@@ -1,0 +1,177 @@
+"""Structured reliability block diagrams.
+
+Blocks form a tree.  Evaluation assumes statistically independent
+components — the same assumption MG makes ("failures and repairs for
+different component types are independent").  The probability an RBD
+node is up is computed bottom-up:
+
+* ``Leaf`` — a fixed probability or a named input resolved at evaluation.
+* ``Series`` — product of child probabilities.
+* ``Parallel`` — 1 minus product of child unavailabilities.
+* ``KofN`` — at least k of the children up, heterogeneous children
+  supported via a dynamic program over the count distribution.
+
+The same combinators evaluate availability (plug in steady-state
+availabilities) or mission reliability (plug in ``R_i(t)``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ModelError
+
+ValueMap = Mapping[str, float]
+
+
+def _check_probability(value: float, where: str) -> float:
+    if not 0.0 <= value <= 1.0 + 1e-12:
+        raise ModelError(f"{where} must lie in [0, 1], got {value}")
+    return min(float(value), 1.0)
+
+
+class Block(ABC):
+    """A node of a reliability block diagram."""
+
+    name: str
+
+    @abstractmethod
+    def availability(self, values: Optional[ValueMap] = None) -> float:
+        """Probability this block is up, given leaf input values."""
+
+    @abstractmethod
+    def leaves(self) -> List["Leaf"]:
+        """All leaf blocks in document order."""
+
+    def unavailability(self, values: Optional[ValueMap] = None) -> float:
+        return 1.0 - self.availability(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Leaf(Block):
+    """A terminal block.
+
+    Either carries a fixed probability, or names an input to be resolved
+    from the ``values`` mapping at evaluation time (the hierarchical MG
+    translator binds these to Markov-chain availabilities).
+    """
+
+    def __init__(self, name: str, probability: Optional[float] = None) -> None:
+        self.name = name
+        self._probability = (
+            None
+            if probability is None
+            else _check_probability(probability, f"leaf {name!r} probability")
+        )
+
+    def availability(self, values: Optional[ValueMap] = None) -> float:
+        if values is not None and self.name in values:
+            return _check_probability(
+                values[self.name], f"value for leaf {self.name!r}"
+            )
+        if self._probability is None:
+            raise ModelError(
+                f"leaf {self.name!r} has no fixed probability and no value "
+                "was supplied"
+            )
+        return self._probability
+
+    def leaves(self) -> List["Leaf"]:
+        return [self]
+
+
+class _Composite(Block):
+    def __init__(self, name: str, children: Sequence[Block]) -> None:
+        if not children:
+            raise ModelError(f"composite block {name!r} needs children")
+        self.name = name
+        self.children = list(children)
+
+    def leaves(self) -> List[Leaf]:
+        found: List[Leaf] = []
+        for child in self.children:
+            found.extend(child.leaves())
+        return found
+
+
+class Series(_Composite):
+    """Up iff every child is up."""
+
+    def availability(self, values: Optional[ValueMap] = None) -> float:
+        product = 1.0
+        for child in self.children:
+            product *= child.availability(values)
+        return product
+
+
+class Parallel(_Composite):
+    """Up iff at least one child is up."""
+
+    def availability(self, values: Optional[ValueMap] = None) -> float:
+        product = 1.0
+        for child in self.children:
+            product *= 1.0 - child.availability(values)
+        return 1.0 - product
+
+
+class KofN(_Composite):
+    """Up iff at least ``k`` of the N children are up.
+
+    Children need not be identical; the count distribution is built by a
+    dynamic program (Poisson-binomial), so evaluation is O(N^2).
+    """
+
+    def __init__(self, name: str, k: int, children: Sequence[Block]) -> None:
+        super().__init__(name, children)
+        if not 1 <= k <= len(children):
+            raise ModelError(
+                f"k-of-N block {name!r}: k={k} must satisfy "
+                f"1 <= k <= {len(children)}"
+            )
+        self.k = int(k)
+
+    def availability(self, values: Optional[ValueMap] = None) -> float:
+        probabilities = [child.availability(values) for child in self.children]
+        # distribution[j] = P(exactly j children up so far)
+        distribution = np.zeros(len(probabilities) + 1)
+        distribution[0] = 1.0
+        for i, p in enumerate(probabilities):
+            upper = i + 1
+            distribution[1 : upper + 1] = (
+                distribution[1 : upper + 1] * (1.0 - p)
+                + distribution[0:upper] * p
+            )
+            distribution[0] *= 1.0 - p
+        return float(distribution[self.k :].sum())
+
+
+def series(*children: Union[Block, float], name: str = "series") -> Series:
+    """Convenience constructor; bare floats become anonymous leaves."""
+    return Series(name, _coerce(children))
+
+
+def parallel(*children: Union[Block, float], name: str = "parallel") -> Parallel:
+    """Convenience constructor; bare floats become anonymous leaves."""
+    return Parallel(name, _coerce(children))
+
+
+def k_of_n(
+    k: int, *children: Union[Block, float], name: str = "k-of-n"
+) -> KofN:
+    """Convenience constructor; bare floats become anonymous leaves."""
+    return KofN(name, k, _coerce(children))
+
+
+def _coerce(children: Iterable[Union[Block, float]]) -> List[Block]:
+    coerced: List[Block] = []
+    for position, child in enumerate(children):
+        if isinstance(child, Block):
+            coerced.append(child)
+        else:
+            coerced.append(Leaf(f"leaf{position}", float(child)))
+    return coerced

@@ -1,0 +1,18 @@
+"""Rendering and documentation generation.
+
+Substitutes RAScad's GUI output and "documentation generation" feature:
+ASCII diagram trees, tabular chain dumps, Graphviz-dot export of
+generated Markov chains, and full markdown model reports.
+"""
+
+from .ascii import render_model_tree, render_chain_table
+from .dot import chain_to_dot, model_to_dot
+from .report import model_report
+
+__all__ = [
+    "render_model_tree",
+    "render_chain_table",
+    "chain_to_dot",
+    "model_to_dot",
+    "model_report",
+]

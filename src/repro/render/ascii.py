@@ -1,0 +1,65 @@
+"""Plain-text rendering of models and chains."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.block import DiagramBlockModel
+from ..core.generator import classify_model_type
+from ..markov.chain import MarkovChain
+
+
+def render_model_tree(model: DiagramBlockModel) -> str:
+    """The diagram/block tree as indented text (Figures 1-2 in ASCII).
+
+    Each line shows the block name, its N/K redundancy, and the Markov
+    model type MG will generate (or "RBD" for pass-through blocks with
+    subdiagrams).
+    """
+    lines: List[str] = [f"{model.name}  [level 1 diagram]"]
+    for level, path, block in model.walk():
+        indent = "    " * level
+        parameters = block.parameters
+        if block.has_subdiagram and not parameters.is_redundant:
+            kind = "RBD"
+        else:
+            kind = f"Type {classify_model_type(parameters)}"
+        redundancy = (
+            f"N={parameters.quantity}, K={parameters.min_required}"
+        )
+        suffix = (
+            f"  -> level {level + 1} diagram"
+            if block.has_subdiagram
+            else ""
+        )
+        lines.append(
+            f"{indent}{block.name}  ({redundancy}; {kind}){suffix}"
+        )
+    return "\n".join(lines)
+
+
+def render_chain_table(
+    chain: MarkovChain, probabilities: Optional[dict] = None
+) -> str:
+    """States and transitions of a chain as aligned text tables."""
+    lines: List[str] = [f"Markov chain: {chain.name}"]
+    lines.append("")
+    header = f"{'state':<20} {'reward':>6}"
+    if probabilities is not None:
+        header += f" {'steady-state':>14}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for state in chain:
+        row = f"{state.name:<20} {state.reward:>6.1f}"
+        if probabilities is not None:
+            row += f" {probabilities.get(state.name, 0.0):>14.6e}"
+        lines.append(row)
+    lines.append("")
+    lines.append(f"{'from':<20} {'to':<20} {'rate/hour':>12}  label")
+    lines.append("-" * 68)
+    for transition in chain.transitions():
+        lines.append(
+            f"{transition.source:<20} {transition.target:<20} "
+            f"{transition.rate:>12.4e}  {transition.label}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Graphviz-dot export of generated Markov chains.
+
+The paper's figures 3 and 4 are state diagrams; this module emits the
+same diagrams in dot form so they can be rendered with any Graphviz
+install (no Graphviz dependency is needed to *generate* the text).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..markov.chain import MarkovChain
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', r"\"")
+    return f'"{escaped}"'
+
+
+def model_to_dot(model) -> str:
+    """The diagram/block tree as a Graphviz digraph (Figures 1-2 style).
+
+    Diagrams render as boxed clusters is overkill for dot's plain
+    digraph form; instead blocks are nodes, subdiagram membership is an
+    edge, and the label carries the N/K redundancy and model type.
+    """
+    from ..core.block import DiagramBlockModel
+    from ..core.generator import classify_model_type
+
+    if not isinstance(model, DiagramBlockModel):
+        raise TypeError(
+            f"model_to_dot expects a DiagramBlockModel, got "
+            f"{type(model).__name__}"
+        )
+    root = model.root.name
+    lines: List[str] = [
+        f"digraph {_quote(model.name)} {{",
+        "    rankdir=TB;",
+        "    node [shape=box, fontsize=10];",
+        f"    {_quote(root)} [shape=folder];",
+    ]
+    for _level, path, block in model.walk():
+        parameters = block.parameters
+        if block.has_subdiagram and not parameters.is_redundant:
+            kind = "RBD"
+        else:
+            kind = f"Type {classify_model_type(parameters)}"
+        label = (
+            f"{block.name}\\nN={parameters.quantity}, "
+            f"K={parameters.min_required} ({kind})"
+        )
+        style = ", style=filled, fillcolor=\"#e8e8e8\"" if (
+            block.has_subdiagram
+        ) else ""
+        lines.append(f"    {_quote(path)} [label=\"{label}\"{style}];")
+        parent = path.rsplit("/", 1)[0]
+        parent_node = parent if "/" in parent else root
+        lines.append(f"    {_quote(parent_node)} -> {_quote(path)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def chain_to_dot(chain: MarkovChain, include_labels: bool = True) -> str:
+    """The chain as a Graphviz digraph.
+
+    Up states render as solid ellipses, down states as shaded boxes —
+    matching the visual convention of reward-1 vs reward-0 states in
+    the paper's figures.
+    """
+    lines: List[str] = [
+        f"digraph {_quote(chain.name)} {{",
+        "    rankdir=LR;",
+        "    node [fontsize=10];",
+    ]
+    for state in chain:
+        if state.is_up:
+            style = "shape=ellipse"
+        else:
+            style = 'shape=box, style=filled, fillcolor="#dddddd"'
+        lines.append(
+            f"    {_quote(state.name)} [{style}, "
+            f'xlabel="r={state.reward:g}"];'
+        )
+    for transition in chain.transitions():
+        label = f"{transition.rate:.3e}"
+        if include_labels and transition.label:
+            label = f"{transition.label}\\n{label}"
+        lines.append(
+            f"    {_quote(transition.source)} -> "
+            f"{_quote(transition.target)} "
+            f'[label="{label}", fontsize=8];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Markdown model reports — RAScad's documentation generation.
+
+One call produces a complete engineering document for a model: the
+block inventory with parameters, the solved availability hierarchy, the
+system measure table, and the downtime budget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.downtime import downtime_budget
+from ..core.block import DiagramBlockModel
+from ..core.measures import SystemMeasures, compute_measures
+from ..core.translator import SystemSolution, translate
+from ..units import nines
+
+
+def _measure_rows(measures: SystemMeasures) -> List[str]:
+    return [
+        "| Measure | Value |",
+        "|---|---|",
+        f"| Steady-state availability | {measures.availability:.9f} |",
+        f"| Nines | {nines(measures.availability):.2f} |",
+        (
+            "| Yearly downtime | "
+            f"{measures.yearly_downtime_minutes:.2f} minutes |"
+        ),
+        f"| System failures / year | {measures.failures_per_year:.4f} |",
+        (
+            "| Mean time between interruptions | "
+            f"{measures.mean_time_between_interruptions:.1f} hours |"
+        ),
+        (
+            "| Mean downtime per interruption | "
+            f"{measures.mean_downtime_hours * 60:.1f} minutes |"
+        ),
+        f"| Mission time T | {measures.mission_time_hours:.0f} hours |",
+        (
+            "| Interval availability (0, T) | "
+            f"{measures.interval_availability:.9f} |"
+        ),
+        f"| Reliability at T | {measures.reliability_at_mission:.6f} |",
+        f"| MTTF | {measures.mttf_hours:.1f} hours |",
+        (
+            "| Interval failure rate (0, T) | "
+            f"{measures.interval_failure_rate:.3e} /hour |"
+        ),
+    ]
+
+
+def model_report(
+    model: DiagramBlockModel,
+    solution: Optional[SystemSolution] = None,
+    measures: Optional[SystemMeasures] = None,
+) -> str:
+    """A complete markdown report for a diagram/block model.
+
+    Pass a pre-computed solution/measures to avoid re-solving; both are
+    computed on demand otherwise.
+    """
+    solution = solution if solution is not None else translate(model)
+    measures = (
+        measures if measures is not None else compute_measures(solution)
+    )
+
+    lines: List[str] = [f"# RAS model report: {model.name}", ""]
+    lines.append(
+        f"Levels: {model.depth()} · blocks: {model.block_count()} · "
+        f"physical units: {model.component_count()}"
+    )
+    lines.append("")
+
+    lines.append("## System measures")
+    lines.append("")
+    lines.extend(_measure_rows(measures))
+    lines.append("")
+
+    lines.append("## Block inventory")
+    lines.append("")
+    lines.append(
+        "| Level | Block | Part # | N | K | MTBF (h) | FIT | "
+        "Recovery | Repair | Availability |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|---|---|")
+    for level, path, block in model.walk():
+        parameters = block.parameters
+        solved = solution.by_path.get(path)
+        availability = (
+            f"{solved.availability:.9f}" if solved is not None else "-"
+        )
+        lines.append(
+            f"| {level} | {block.name} | {parameters.part_number or '-'} "
+            f"| {parameters.quantity} | {parameters.min_required} "
+            f"| {parameters.mtbf_hours:g} | {parameters.transient_fit:g} "
+            f"| {parameters.recovery.value} | {parameters.repair.value} "
+            f"| {availability} |"
+        )
+    lines.append("")
+
+    lines.append("## Downtime budget")
+    lines.append("")
+    lines.append("| Block | Model type | Downtime (min/yr) | Share |")
+    lines.append("|---|---|---|---|")
+    for row in downtime_budget(solution):
+        model_type = (
+            f"Type {row.model_type}" if row.model_type is not None else "RBD"
+        )
+        lines.append(
+            f"| {row.path} | {model_type} "
+            f"| {row.yearly_downtime_minutes:.3f} | {row.share:.1%} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

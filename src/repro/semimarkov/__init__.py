@@ -1,0 +1,62 @@
+"""Semi-Markov process engine (the GMB semi-Markov substrate).
+
+A semi-Markov process generalizes a CTMC by allowing arbitrarily
+distributed sojourn times.  RAScad's GMB module exposes semi-Markov
+modeling for RAS experts; this package provides the same capability:
+kernel construction from (branch probability, sojourn distribution)
+pairs, steady-state solution via the embedded DTMC, and Monte Carlo
+transient evaluation.
+"""
+
+from .distributions import (
+    Distribution,
+    Exponential,
+    Deterministic,
+    Uniform,
+    Weibull,
+    Lognormal,
+    Erlang,
+)
+from .process import SemiMarkovProcess, SemiMarkovState
+from .steady_state import (
+    embedded_dtmc_stationary,
+    semi_markov_steady_state,
+    semi_markov_availability,
+)
+from .simulation import (
+    SimulationResult,
+    simulate_interval_availability,
+    simulate_time_to_failure,
+)
+from .phase_type import (
+    PhaseBranch,
+    PhaseTypeFit,
+    fit_phase_type,
+    fit_distribution,
+    expand_to_ctmc,
+    smp_transient_availability,
+)
+
+__all__ = [
+    "Distribution",
+    "Exponential",
+    "Deterministic",
+    "Uniform",
+    "Weibull",
+    "Lognormal",
+    "Erlang",
+    "SemiMarkovProcess",
+    "SemiMarkovState",
+    "embedded_dtmc_stationary",
+    "semi_markov_steady_state",
+    "semi_markov_availability",
+    "SimulationResult",
+    "simulate_interval_availability",
+    "simulate_time_to_failure",
+    "PhaseBranch",
+    "PhaseTypeFit",
+    "fit_phase_type",
+    "fit_distribution",
+    "expand_to_ctmc",
+    "smp_transient_availability",
+]

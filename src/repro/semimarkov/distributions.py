@@ -1,0 +1,196 @@
+"""Sojourn-time distributions for semi-Markov models.
+
+Each distribution knows its mean (needed by the analytic steady-state
+solver) and can sample (needed by the Monte Carlo transient solver).
+All times are in hours, matching the library-wide convention.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ParameterError
+
+
+class Distribution(ABC):
+    """A non-negative sojourn-time distribution."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected value in hours."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one sample in hours."""
+
+    @abstractmethod
+    def variance(self) -> float:
+        """Variance in hours squared (phase-type fitting needs it)."""
+
+    def cv_squared(self) -> float:
+        """Squared coefficient of variation; 0 for a point mass."""
+        mean = self.mean()
+        if mean == 0.0:
+            return 0.0
+        return self.variance() / (mean * mean)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fields = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(vars(self).items())
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+class Exponential(Distribution):
+    """Exponential sojourn; a semi-Markov chain of these is a CTMC."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ParameterError(f"exponential rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        if mean <= 0:
+            raise ParameterError(f"exponential mean must be positive, got {mean}")
+        return cls(1.0 / mean)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def variance(self) -> float:
+        return 1.0 / (self.rate * self.rate)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+
+class Deterministic(Distribution):
+    """Fixed-duration sojourn (e.g. a scripted reboot)."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ParameterError(
+                f"deterministic duration must be non-negative, got {value}"
+            )
+        self.value = float(value)
+
+    def mean(self) -> float:
+        return self.value
+
+    def variance(self) -> float:
+        return 0.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+
+class Uniform(Distribution):
+    """Uniform sojourn on [low, high]."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ParameterError(
+                f"uniform bounds must satisfy 0 <= low <= high, "
+                f"got [{low}, {high}]"
+            )
+        self.low = float(low)
+        self.high = float(high)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def variance(self) -> float:
+        width = self.high - self.low
+        return width * width / 12.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+class Weibull(Distribution):
+    """Weibull sojourn; shape < 1 models infant mortality, > 1 wear-out."""
+
+    def __init__(self, shape: float, scale: float) -> None:
+        if shape <= 0 or scale <= 0:
+            raise ParameterError(
+                f"Weibull shape and scale must be positive, "
+                f"got shape={shape}, scale={scale}"
+            )
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def variance(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.shape)
+        g2 = math.gamma(1.0 + 2.0 / self.shape)
+        return self.scale * self.scale * (g2 - g1 * g1)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+
+class Lognormal(Distribution):
+    """Lognormal sojourn, the classic fit for manual repair times.
+
+    Parameterized by the underlying normal's mu and sigma.
+    """
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma <= 0:
+            raise ParameterError(f"lognormal sigma must be positive, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    @classmethod
+    def from_mean_cv(cls, mean: float, cv: float) -> "Lognormal":
+        """Build from an arithmetic mean and coefficient of variation."""
+        if mean <= 0 or cv <= 0:
+            raise ParameterError(
+                f"mean and cv must be positive, got mean={mean}, cv={cv}"
+            )
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - 0.5 * sigma2
+        return cls(mu, math.sqrt(sigma2))
+
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma * self.sigma)
+
+    def variance(self) -> float:
+        sigma2 = self.sigma * self.sigma
+        return (math.exp(sigma2) - 1.0) * math.exp(2.0 * self.mu + sigma2)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+
+class Erlang(Distribution):
+    """Erlang-k sojourn (sum of k exponentials); CV = 1/sqrt(k)."""
+
+    def __init__(self, k: int, rate: float) -> None:
+        if k < 1 or int(k) != k:
+            raise ParameterError(f"Erlang k must be a positive integer, got {k}")
+        if rate <= 0:
+            raise ParameterError(f"Erlang rate must be positive, got {rate}")
+        self.k = int(k)
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, mean: float, k: int) -> "Erlang":
+        if mean <= 0:
+            raise ParameterError(f"Erlang mean must be positive, got {mean}")
+        return cls(k, k / mean)
+
+    def mean(self) -> float:
+        return self.k / self.rate
+
+    def variance(self) -> float:
+        return self.k / (self.rate * self.rate)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self.k, 1.0 / self.rate))

@@ -1,0 +1,184 @@
+"""Monte Carlo evaluation of semi-Markov processes.
+
+The transient behaviour of a general semi-Markov process has no closed
+form, so GMB-style tools evaluate it by simulation.  The same machinery
+doubles as an independent oracle for CTMCs (embed the chain with
+:meth:`SemiMarkovProcess.from_markov_chain` and simulate), which the
+validation benchmarks use as their "third tool".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ModelError, SolverError
+from .process import SemiMarkovProcess
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """A Monte Carlo estimate with a normal-approximation confidence bound.
+
+    Attributes:
+        mean: Point estimate.
+        half_width: Half-width of the two-sided confidence interval.
+        confidence: Confidence level the half-width corresponds to.
+        replications: Number of independent replications used.
+    """
+
+    mean: float
+    half_width: float
+    confidence: float
+    replications: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the confidence interval."""
+        return self.low <= value <= self.high
+
+
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def _z_for(confidence: float) -> float:
+    try:
+        return _Z_VALUES[confidence]
+    except KeyError:
+        raise SolverError(
+            f"unsupported confidence level {confidence}; "
+            f"choose one of {sorted(_Z_VALUES)}"
+        ) from None
+
+
+def _summarize(
+    samples: np.ndarray, confidence: float
+) -> SimulationResult:
+    n = samples.size
+    if n < 2:
+        raise SolverError("at least two replications are required")
+    mean = float(samples.mean())
+    std_err = float(samples.std(ddof=1)) / math.sqrt(n)
+    return SimulationResult(
+        mean=mean,
+        half_width=_z_for(confidence) * std_err,
+        confidence=confidence,
+        replications=n,
+    )
+
+
+def simulate_interval_availability(
+    process: SemiMarkovProcess,
+    horizon: float,
+    replications: int = 200,
+    start: Optional[str] = None,
+    seed: Optional[int] = None,
+    confidence: float = 0.95,
+) -> SimulationResult:
+    """Estimate expected fraction of ``(0, horizon)`` spent in up states."""
+    process.validate()
+    if horizon <= 0:
+        raise SolverError(f"horizon must be positive, got {horizon}")
+    rng = np.random.default_rng(seed)
+    start_name = start if start is not None else process.state_names[0]
+    process.index(start_name)  # raises for unknown names
+    samples = np.empty(replications)
+    for r in range(replications):
+        samples[r] = _one_availability_run(process, horizon, start_name, rng)
+    return _summarize(samples, confidence)
+
+
+def _one_availability_run(
+    process: SemiMarkovProcess,
+    horizon: float,
+    start: str,
+    rng: np.random.Generator,
+) -> float:
+    clock = 0.0
+    up_time = 0.0
+    current = start
+    while clock < horizon:
+        entries = process.kernel(current)
+        state = process.state(current)
+        if not entries:
+            # Absorbing: remain here until the horizon.
+            if state.is_up:
+                up_time += horizon - clock
+            break
+        entry = _draw_entry(entries, rng)
+        sojourn = entry.distribution.sample(rng)
+        occupied = min(sojourn, horizon - clock)
+        if state.is_up:
+            up_time += occupied * state.reward
+        clock += sojourn
+        current = entry.target
+    return up_time / horizon
+
+
+def simulate_time_to_failure(
+    process: SemiMarkovProcess,
+    replications: int = 200,
+    start: Optional[str] = None,
+    seed: Optional[int] = None,
+    confidence: float = 0.95,
+    max_transitions: int = 10_000_000,
+) -> SimulationResult:
+    """Estimate the mean time until the first entry into a down state."""
+    process.validate()
+    if not process.down_states():
+        raise ModelError(
+            f"process {process.name!r} has no down state; TTF is infinite"
+        )
+    rng = np.random.default_rng(seed)
+    start_name = start if start is not None else process.state_names[0]
+    if not process.state(start_name).is_up:
+        raise ModelError(f"start state {start_name!r} is already down")
+    samples = np.empty(replications)
+    for r in range(replications):
+        samples[r] = _one_ttf_run(process, start_name, rng, max_transitions)
+    return _summarize(samples, confidence)
+
+
+def _one_ttf_run(
+    process: SemiMarkovProcess,
+    start: str,
+    rng: np.random.Generator,
+    max_transitions: int,
+) -> float:
+    clock = 0.0
+    current = start
+    for _step in range(max_transitions):
+        entries = process.kernel(current)
+        if not entries:
+            raise SolverError(
+                f"trajectory absorbed in up state {current!r} before failure"
+            )
+        entry = _draw_entry(entries, rng)
+        clock += entry.distribution.sample(rng)
+        current = entry.target
+        if not process.state(current).is_up:
+            return clock
+    raise SolverError(
+        f"no failure within {max_transitions} transitions; "
+        "the failure states may be practically unreachable"
+    )
+
+
+def _draw_entry(entries, rng: np.random.Generator):
+    u = rng.random()
+    cumulative = 0.0
+    for entry in entries:
+        cumulative += entry.probability
+        if u <= cumulative:
+            return entry
+    return entries[-1]

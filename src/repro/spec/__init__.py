@@ -1,0 +1,32 @@
+"""The MG engineering-language specification layer.
+
+RAScad's MG module is driven by a specification "in terms of an
+engineering language (MTBF, MTTR, redundancy, etc.)".  This package
+defines a JSON-serializable spec format for diagram/block models, a
+parser that validates it and resolves part numbers against the
+component database, and a writer for round-tripping ("file sharing
+across networks" in the paper becomes plain spec files here).
+"""
+
+from .schema import BLOCK_FIELDS, GLOBAL_FIELDS, FIELD_ALIASES, normalize_keys
+from .parser import parse_spec, load_spec, block_from_dict
+from .writer import model_to_spec, save_spec, block_to_dict
+from .diff import ChangeKind, DiffEntry, diff_models, format_diff, diff_impact
+
+__all__ = [
+    "BLOCK_FIELDS",
+    "GLOBAL_FIELDS",
+    "FIELD_ALIASES",
+    "normalize_keys",
+    "parse_spec",
+    "load_spec",
+    "block_from_dict",
+    "model_to_spec",
+    "save_spec",
+    "block_to_dict",
+    "ChangeKind",
+    "DiffEntry",
+    "diff_models",
+    "format_diff",
+    "diff_impact",
+]

@@ -1,0 +1,156 @@
+"""Parsing engineering-language specs into diagram/block models.
+
+A spec is a JSON-compatible mapping::
+
+    {
+      "name": "Data Center System",
+      "globals": {"reboot_minutes": 10, "mttm_hours": 48, ...},
+      "diagram": {
+        "name": "Data Center System",
+        "blocks": [
+          {"name": "Server Box", "subdiagram": {...}},
+          {"name": "Boot Drives", "quantity": 2, "min_required": 1,
+           "part_number": "HDD-36G", "recovery": "transparent", ...}
+        ]
+      }
+    }
+
+Block fields accept either the canonical snake_case names or the
+paper's Section-3 GUI labels ("MTBF", "Minimum Quantity Required",
+"Probability of Correct Diagnosis (Pcd)", ...).  A ``part_number``
+pulls hardware defaults from the component database; explicit fields in
+the block override them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from ..core.block import DiagramBlockModel, MGBlock, MGDiagram
+from ..core.parameters import BlockParameters, GlobalParameters
+from ..database.parts import PartsDatabase
+from ..errors import ParameterError, SpecError
+from .schema import BLOCK_FIELDS, GLOBAL_FIELDS, normalize_keys
+
+SpecLike = Union[str, Path, Mapping[str, object]]
+
+
+def load_spec(
+    source: SpecLike, database: Optional[PartsDatabase] = None
+) -> DiagramBlockModel:
+    """Load a spec from a path, JSON string, or mapping."""
+    if isinstance(source, Mapping):
+        return parse_spec(source, database=database)
+    if isinstance(source, Path) or (
+        isinstance(source, str)
+        and not source.lstrip().startswith(("{", "["))
+    ):
+        path = Path(source)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise SpecError(f"cannot read spec file {path}: {exc}") from exc
+    else:
+        text = source
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"invalid spec JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SpecError("spec JSON must be an object")
+    return parse_spec(payload, database=database)
+
+
+def parse_spec(
+    spec: Mapping[str, object], database: Optional[PartsDatabase] = None
+) -> DiagramBlockModel:
+    """Build and validate a :class:`DiagramBlockModel` from a mapping."""
+    unknown = set(spec) - {"name", "globals", "diagram"}
+    if unknown:
+        raise SpecError(
+            f"spec: unknown top-level keys {sorted(unknown)}; "
+            "expected 'name', 'globals', 'diagram'"
+        )
+    if "diagram" not in spec:
+        raise SpecError("spec: missing 'diagram'")
+
+    raw_globals = spec.get("globals", {})
+    if not isinstance(raw_globals, Mapping):
+        raise SpecError("spec: 'globals' must be a mapping")
+    global_fields = normalize_keys(raw_globals, GLOBAL_FIELDS, "globals")
+    try:
+        global_parameters = GlobalParameters(**global_fields)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise SpecError(f"globals: {exc}") from exc
+
+    diagram = _parse_diagram(spec["diagram"], "diagram", database)
+    name = spec.get("name")
+    if name is not None and not isinstance(name, str):
+        raise SpecError("spec: 'name' must be a string")
+    model = DiagramBlockModel(diagram, global_parameters, name=name)
+    model.validate()
+    return model
+
+
+def _parse_diagram(
+    raw: object, where: str, database: Optional[PartsDatabase]
+) -> MGDiagram:
+    if not isinstance(raw, Mapping):
+        raise SpecError(f"{where}: diagram must be a mapping")
+    unknown = set(raw) - {"name", "blocks"}
+    if unknown:
+        raise SpecError(
+            f"{where}: unknown diagram keys {sorted(unknown)}; "
+            "expected 'name' and 'blocks'"
+        )
+    name = raw.get("name")
+    if not isinstance(name, str) or not name:
+        raise SpecError(f"{where}: diagram needs a non-empty 'name'")
+    blocks = raw.get("blocks")
+    if not isinstance(blocks, list) or not blocks:
+        raise SpecError(f"{where} ({name}): 'blocks' must be a non-empty list")
+    diagram = MGDiagram(name)
+    for position, entry in enumerate(blocks):
+        diagram.add_block(
+            block_from_dict(entry, f"{where}.blocks[{position}]", database)
+        )
+    return diagram
+
+
+def block_from_dict(
+    raw: object,
+    where: str = "block",
+    database: Optional[PartsDatabase] = None,
+) -> MGBlock:
+    """Build one MG block (and its subtree) from a spec mapping."""
+    if not isinstance(raw, Mapping):
+        raise SpecError(f"{where}: block must be a mapping")
+    raw = dict(raw)
+    sub_raw = raw.pop("subdiagram", None)
+    fields = normalize_keys(raw, BLOCK_FIELDS, where)
+
+    part_number = fields.get("part_number")
+    if part_number and database is not None:
+        # Explicit block fields win; the catalog fills in the rest.
+        # Without a database the part number is kept as documentation
+        # (round-tripped specs stay loadable anywhere).
+        record = database.lookup(str(part_number))
+        defaults = record.as_block_fields()
+        for key, value in defaults.items():
+            fields.setdefault(key, value)
+
+    try:
+        parameters = BlockParameters(**fields)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise SpecError(f"{where}: {exc}") from exc
+    except ParameterError as exc:
+        raise SpecError(f"{where}: {exc}") from exc
+
+    subdiagram = None
+    if sub_raw is not None:
+        subdiagram = _parse_diagram(
+            sub_raw, f"{where}.subdiagram", database
+        )
+    return MGBlock(parameters, subdiagram=subdiagram)

@@ -1,0 +1,142 @@
+"""Spec vocabulary: field names, GUI-label aliases, and key checking.
+
+The canonical spec keys are the snake_case attribute names of
+:class:`repro.core.BlockParameters` and
+:class:`repro.core.GlobalParameters`.  Because the paper's GUI labels
+are the language design engineers actually speak, every label from
+Section 3 is accepted as an alias ("MTBF", "Quantity", "Probability of
+Correct Diagnosis (Pcd)", ...).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Mapping
+
+from ..errors import SpecError
+
+#: Canonical block-level spec fields (BlockParameters attributes).
+BLOCK_FIELDS = frozenset(
+    {
+        "name",
+        "part_number",
+        "description",
+        "quantity",
+        "min_required",
+        "mtbf_hours",
+        "transient_fit",
+        "diagnosis_minutes",
+        "corrective_minutes",
+        "verification_minutes",
+        "service_response_hours",
+        "p_correct_diagnosis",
+        "p_latent_fault",
+        "mttdlf_hours",
+        "recovery",
+        "ar_time_minutes",
+        "p_spf",
+        "spf_recovery_minutes",
+        "repair",
+        "reintegration_minutes",
+    }
+)
+
+#: Canonical global spec fields (GlobalParameters attributes).
+GLOBAL_FIELDS = frozenset(
+    {
+        "reboot_minutes",
+        "mttm_hours",
+        "mttrfid_hours",
+        "mission_time_hours",
+    }
+)
+
+#: GUI-label aliases from Section 3 of the paper, lowercased and with
+#: punctuation stripped (see :func:`_canonical_alias_key`).
+FIELD_ALIASES: Dict[str, str] = {
+    "name": "name",
+    "part number": "part_number",
+    "description": "description",
+    "quantity": "quantity",
+    "minimum quantity required": "min_required",
+    "minimum quantity": "min_required",
+    "mtbf": "mtbf_hours",
+    "transient failure rate": "transient_fit",
+    "mttr part 1 diagnosis time": "diagnosis_minutes",
+    "diagnosis time": "diagnosis_minutes",
+    "mttr part 2 corrective action time": "corrective_minutes",
+    "corrective action time": "corrective_minutes",
+    "mttr part 3 verification time": "verification_minutes",
+    "verification time": "verification_minutes",
+    "service response time": "service_response_hours",
+    "tresp": "service_response_hours",
+    "probability of correct diagnosis": "p_correct_diagnosis",
+    "pcd": "p_correct_diagnosis",
+    "probability of latent fault": "p_latent_fault",
+    "plf": "p_latent_fault",
+    "mttdlf": "mttdlf_hours",
+    "mean time to detect latent fault": "mttdlf_hours",
+    "automatic recovery scenario": "recovery",
+    "ar scenario": "recovery",
+    "ar failover time": "ar_time_minutes",
+    "ar time": "ar_time_minutes",
+    "probability of spf during ar": "p_spf",
+    "pspf": "p_spf",
+    "spf state recovery time": "spf_recovery_minutes",
+    "tspf": "spf_recovery_minutes",
+    "repair scenario": "repair",
+    "reintegration time": "reintegration_minutes",
+    # Global Parameter Bar labels.
+    "reboot time": "reboot_minutes",
+    "tboot": "reboot_minutes",
+    "mttm": "mttm_hours",
+    "mean time to maintenance": "mttm_hours",
+    "service restriction time": "mttm_hours",
+    "mttrfid": "mttrfid_hours",
+    "mean time to repair from incorrect diagnosis": "mttrfid_hours",
+    "mission time": "mission_time_hours",
+}
+
+_PARENTHESIZED = re.compile(r"\([^)]*\)")
+_PUNCTUATION = re.compile(r"[:()/,._-]+")
+_SPACES = re.compile(r"\s+")
+
+
+def _canonical_alias_key(key: str) -> str:
+    """Lowercase, drop parenthesized abbreviations, strip punctuation.
+
+    "Probability of Correct Diagnosis (Pcd)" ->
+    "probability of correct diagnosis"; trailing unit words like "min",
+    "hours", "fit" are dropped too.
+    """
+    text = _PARENTHESIZED.sub(" ", key.strip().lower())
+    text = _PUNCTUATION.sub(" ", text)
+    text = _SPACES.sub(" ", text).strip()
+    for suffix in (" min", " minutes", " hours", " hrs", " fit"):
+        if text.endswith(suffix):
+            text = text[: -len(suffix)].strip()
+    return text
+
+
+def normalize_keys(
+    raw: Mapping[str, object], allowed: frozenset, where: str
+) -> Dict[str, object]:
+    """Map alias or canonical keys onto canonical keys, rejecting typos."""
+    result: Dict[str, object] = {}
+    for key, value in raw.items():
+        if key in allowed:
+            canonical = key
+        else:
+            canonical = FIELD_ALIASES.get(_canonical_alias_key(key), "")
+            if canonical not in allowed:
+                raise SpecError(
+                    f"{where}: unknown field {key!r}; expected one of "
+                    f"{sorted(allowed)} or a Section-3 GUI label"
+                )
+        if canonical in result:
+            raise SpecError(
+                f"{where}: field {canonical!r} specified more than once "
+                f"(via {key!r})"
+            )
+        result[canonical] = value
+    return result

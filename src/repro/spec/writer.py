@@ -1,0 +1,66 @@
+"""Serializing diagram/block models back to spec form.
+
+Round-tripping (``parse_spec(model_to_spec(m))``) preserves the model
+exactly; the writer emits canonical snake_case keys and omits fields
+that hold their defaults, so saved specs stay close to what an engineer
+would write by hand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..core.block import DiagramBlockModel, MGBlock, MGDiagram
+from ..core.parameters import Scenario
+
+
+def _non_default_fields(instance: object) -> Dict[str, object]:
+    """Dataclass fields whose values differ from the declared default."""
+    result: Dict[str, object] = {}
+    for field in dataclasses.fields(instance):
+        value = getattr(instance, field.name)
+        if field.default is not dataclasses.MISSING:
+            default = field.default
+        else:
+            default = None
+        if isinstance(value, Scenario):
+            value = value.value
+            if isinstance(default, Scenario):
+                default = default.value
+        if value != default:
+            result[field.name] = value
+    return result
+
+
+def block_to_dict(block: MGBlock) -> Dict[str, object]:
+    """One block (and its subtree) as a spec mapping."""
+    payload = _non_default_fields(block.parameters)
+    payload["name"] = block.parameters.name  # always explicit
+    if block.subdiagram is not None:
+        payload["subdiagram"] = _diagram_to_dict(block.subdiagram)
+    return payload
+
+
+def _diagram_to_dict(diagram: MGDiagram) -> Dict[str, object]:
+    return {
+        "name": diagram.name,
+        "blocks": [block_to_dict(block) for block in diagram],
+    }
+
+
+def model_to_spec(model: DiagramBlockModel) -> Dict[str, object]:
+    """A full model as a JSON-compatible spec mapping."""
+    spec: Dict[str, object] = {"name": model.name}
+    globals_payload = _non_default_fields(model.global_parameters)
+    if globals_payload:
+        spec["globals"] = globals_payload
+    spec["diagram"] = _diagram_to_dict(model.root)
+    return spec
+
+
+def save_spec(model: DiagramBlockModel, path: Union[str, Path]) -> None:
+    """Write a model to a spec file (the file-sharing substitute)."""
+    Path(path).write_text(json.dumps(model_to_spec(model), indent=2))

@@ -1,0 +1,87 @@
+"""Unit conversions used throughout the library.
+
+The paper's engineering language mixes units: MTBF in hours, transient
+failure rates in FIT (failures per 10**9 hours), MTTR components in
+minutes, service response in hours.  Internally every duration is in
+**hours** and every rate is in **events per hour**; these helpers are the
+only place conversions happen, so a unit bug cannot hide in model code.
+"""
+
+from __future__ import annotations
+
+from .errors import ParameterError
+
+#: Hours per year used for downtime conversions (365 * 24).
+HOURS_PER_YEAR = 8760.0
+
+#: Minutes per year used for yearly-downtime reporting.
+MINUTES_PER_YEAR = HOURS_PER_YEAR * 60.0
+
+#: One FIT is one failure per 10**9 device-hours.
+HOURS_PER_FIT_UNIT = 1e9
+
+
+def minutes(value: float) -> float:
+    """Convert a duration in minutes to hours."""
+    return value / 60.0
+
+
+def hours_to_minutes(value: float) -> float:
+    """Convert a duration in hours to minutes."""
+    return value * 60.0
+
+
+def fit_to_rate(fit: float) -> float:
+    """Convert a FIT value (failures / 10**9 hours) to a rate per hour."""
+    if fit < 0:
+        raise ParameterError(f"FIT value must be non-negative, got {fit}")
+    return fit / HOURS_PER_FIT_UNIT
+
+
+def rate_to_fit(rate_per_hour: float) -> float:
+    """Convert a rate per hour to FIT."""
+    return rate_per_hour * HOURS_PER_FIT_UNIT
+
+
+def mtbf_to_rate(mtbf_hours: float) -> float:
+    """Convert an MTBF in hours to a failure rate per hour.
+
+    An MTBF of zero or ``inf`` means "never fails" and maps to rate 0, the
+    convention used for placeholder blocks in the component database.
+    """
+    if mtbf_hours < 0:
+        raise ParameterError(f"MTBF must be non-negative, got {mtbf_hours}")
+    if mtbf_hours == 0 or mtbf_hours == float("inf"):
+        return 0.0
+    return 1.0 / mtbf_hours
+
+
+def availability_to_yearly_downtime_minutes(availability: float) -> float:
+    """Map a steady-state availability to expected downtime minutes/year."""
+    if not 0.0 <= availability <= 1.0 + 1e-12:
+        raise ParameterError(
+            f"availability must lie in [0, 1], got {availability}"
+        )
+    return max(0.0, 1.0 - availability) * MINUTES_PER_YEAR
+
+
+def yearly_downtime_minutes_to_availability(downtime_minutes: float) -> float:
+    """Inverse of :func:`availability_to_yearly_downtime_minutes`."""
+    if downtime_minutes < 0:
+        raise ParameterError(
+            f"downtime must be non-negative, got {downtime_minutes}"
+        )
+    return 1.0 - downtime_minutes / MINUTES_PER_YEAR
+
+
+def nines(availability: float) -> float:
+    """Express availability as a number of nines (e.g. 0.999 -> 3.0)."""
+    import math
+
+    if availability >= 1.0:
+        return float("inf")
+    if availability < 0.0:
+        raise ParameterError(
+            f"availability must be non-negative, got {availability}"
+        )
+    return -math.log10(1.0 - availability)

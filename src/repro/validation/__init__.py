@@ -1,0 +1,60 @@
+"""Validation substrates (Section 5 substitutes).
+
+The paper validates RAScad three ways: against SHARPE, against MEADEP,
+and against 15 months of field data from two E10000 servers.  None of
+those resources is available, so this package builds equivalents that
+exercise the same comparison loops (DESIGN.md §3):
+
+* :mod:`.simulator` — an event-level Monte Carlo simulator of the MG
+  component life-cycle rules.  It never constructs a generator matrix,
+  so it is an independent oracle for the chain generator.
+* :mod:`.sharpe` — an independent analytic solver path with its own
+  matrix assembly and numerics (the "second tool" for E4/E5).
+* :mod:`.meadep` — a MEADEP-style measurement pipeline: availability /
+  MTBF / MTTR estimation from outage event logs.
+* :mod:`.field_data` — a synthetic field-trace generator that plays a
+  model forward in time and emits the outage log a site would record.
+"""
+
+from .simulator import (
+    simulate_block_availability,
+    simulate_system_availability,
+)
+from .sharpe import sharpe_steady_state, sharpe_availability
+from .meadep import (
+    OutageEvent,
+    FieldEstimate,
+    estimate_from_log,
+    TrendResult,
+    laplace_trend_test,
+)
+from .field_data import (
+    FieldLog,
+    generate_field_log,
+    DowntimeDistribution,
+    downtime_distribution,
+)
+from .consistency import (
+    CheckResult,
+    ValidationReport,
+    validate_model,
+)
+
+__all__ = [
+    "simulate_block_availability",
+    "simulate_system_availability",
+    "sharpe_steady_state",
+    "sharpe_availability",
+    "OutageEvent",
+    "FieldEstimate",
+    "estimate_from_log",
+    "TrendResult",
+    "laplace_trend_test",
+    "FieldLog",
+    "generate_field_log",
+    "DowntimeDistribution",
+    "downtime_distribution",
+    "CheckResult",
+    "ValidationReport",
+    "validate_model",
+]

@@ -1,0 +1,196 @@
+"""One-call model validation: the whole Section 5 protocol.
+
+``validate_model`` runs every cross-check the reproduction builds —
+independent analytic re-solution of each generated chain, matrix-free
+Monte Carlo simulation, and the synthetic field-data loop with its
+stationarity pre-check — and returns a structured report.  This is
+what "RAScad has been validated by comparing its results with ..."
+looks like as an API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..core.block import DiagramBlockModel
+from ..core.translator import SystemSolution, translate
+from ..units import availability_to_yearly_downtime_minutes
+from .field_data import generate_field_log
+from .meadep import laplace_trend_test
+from .sharpe import sharpe_availability
+from .simulator import simulate_system_availability
+
+#: The paper's agreement band for analytic paths ("< 0.2%").
+PAPER_BAND = 0.002
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One validation check's verdict."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """The combined verdict of all checks."""
+
+    model_name: str
+    availability: float
+    checks: Tuple[CheckResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def summary(self) -> str:
+        lines = [
+            f"validation of {self.model_name!r} "
+            f"(A = {self.availability:.8f}):"
+        ]
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            lines.append(f"  [{mark}] {check.name}: {check.detail}")
+        verdict = "ALL CHECKS PASS" if self.passed else "CHECKS FAILED"
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+def _independent_availability(solution: SystemSolution) -> float:
+    def visit(block) -> float:
+        if block.chain is not None:
+            return sharpe_availability(block.chain)
+        value = 1.0
+        for child in block.children:
+            value *= visit(child)
+        return value ** block.block.parameters.quantity
+
+    product = 1.0
+    for top in solution.blocks:
+        product *= visit(top)
+    return product
+
+
+def validate_model(
+    model: DiagramBlockModel,
+    simulation_horizon: float = 30_000.0,
+    simulation_replications: int = 40,
+    field_windows: int = 8,
+    field_window_hours: float = 10_950.0,
+    field_min_events: int = 25,
+    field_max_windows: int = 60,
+    seed: int = 0,
+) -> ValidationReport:
+    """Run the full cross-validation protocol on one model.
+
+    Checks, in order:
+
+    1. **independent-analytic** — every generated chain re-solved via
+       the SHARPE-like path; yearly-downtime relative error must sit
+       inside the paper's 0.2 % band.
+    2. **monte-carlo** — the matrix-free life-cycle simulator's 95 %
+       confidence interval must contain the analytic availability.
+    3. **field-loop** — synthetic site logs are *pooled* into one long
+       observation period, growing past ``field_windows`` (up to
+       ``field_max_windows``) until at least ``field_min_events``
+       outages are observed — systems with rare, long outages need many
+       window-years before the estimator has power.  The pooled MEADEP
+       estimate's CI must contain the model prediction and the windows
+       must pass the Laplace stationarity pre-check (allowing the 5 %
+       false-positive rate).
+    """
+    solution = translate(model)
+    checks: List[CheckResult] = []
+
+    # 1. Independent analytic path.
+    independent = _independent_availability(solution)
+    mg_downtime = availability_to_yearly_downtime_minutes(
+        solution.availability
+    )
+    independent_downtime = availability_to_yearly_downtime_minutes(
+        independent
+    )
+    if mg_downtime > 0:
+        relative = abs(mg_downtime - independent_downtime) / mg_downtime
+    else:
+        relative = 0.0
+    checks.append(CheckResult(
+        name="independent-analytic",
+        passed=relative < PAPER_BAND,
+        detail=(
+            f"downtime {mg_downtime:.3f} vs {independent_downtime:.3f} "
+            f"min/yr (rel. error {relative:.2e}, band {PAPER_BAND:.1%})"
+        ),
+    ))
+
+    # 2. Monte Carlo life-cycle simulation.
+    simulation = simulate_system_availability(
+        solution,
+        horizon=simulation_horizon,
+        replications=simulation_replications,
+        seed=seed,
+    )
+    checks.append(CheckResult(
+        name="monte-carlo",
+        passed=simulation.contains(solution.availability),
+        detail=(
+            f"simulated [{simulation.low:.6f}, {simulation.high:.6f}] "
+            f"vs analytic {solution.availability:.6f}"
+        ),
+    ))
+
+    # 3. Field-data loop: pool the sites into one observation period.
+    from .meadep import OutageEvent, estimate_from_log
+
+    pooled: List[OutageEvent] = []
+    trend_failures = 0
+    windows_used = 0
+    while windows_used < field_max_windows and (
+        windows_used < field_windows or len(pooled) < field_min_events
+    ):
+        log = generate_field_log(
+            solution,
+            server=f"site-{windows_used}",
+            window_hours=field_window_hours,
+            seed=seed + 1000 + windows_used,
+        )
+        trend = laplace_trend_test(log.events, log.window_hours)
+        if trend.significant_at_95:
+            trend_failures += 1
+        offset = windows_used * field_window_hours
+        pooled.extend(
+            OutageEvent(
+                start_hour=event.start_hour + offset,
+                duration_hours=event.duration_hours,
+                cause=event.cause,
+            )
+            for event in log.events
+        )
+        windows_used += 1
+    estimate = estimate_from_log(
+        pooled, windows_used * field_window_hours
+    )
+    in_ci = estimate.contains_availability(solution.availability)
+    # Allow the expected 5% Laplace false-positive rate.
+    trend_clean = trend_failures <= max(1, windows_used // 10)
+    checks.append(CheckResult(
+        name="field-loop",
+        passed=in_ci and trend_clean,
+        detail=(
+            f"pooled {estimate.n_outages} outages over "
+            f"{windows_used} windows: measured "
+            f"[{estimate.availability_low:.6f}, "
+            f"{estimate.availability_high:.6f}] vs predicted "
+            f"{solution.availability:.6f}; "
+            f"trend flags {trend_failures}/{windows_used}"
+        ),
+    ))
+
+    return ValidationReport(
+        model_name=model.name,
+        availability=solution.availability,
+        checks=tuple(checks),
+    )

@@ -1,0 +1,274 @@
+"""Event-level Monte Carlo simulation of MG block semantics.
+
+This simulator executes the component life-cycle rules of DESIGN.md §4
+directly — competing exponential timers, Bernoulli branch draws, level
+counters — without ever assembling a generator matrix.  It therefore
+validates the *chain generator* (structure and rates), not just the
+numerical solvers: if :func:`repro.core.generate_block_chain` wires a
+wrong rate or a wrong target state, the analytic availability and the
+simulated availability diverge.
+
+The simulated process is the MG abstraction itself (one fault level
+counter, symmetric units), which is exactly what the reproduction must
+cross-check; see :mod:`repro.validation.field_data` for the per-unit
+trace generator used in the field-data experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..core.parameters import BlockParameters, GlobalParameters, Scenario
+from ..core.translator import SystemSolution
+from ..errors import SolverError
+from ..semimarkov.simulation import SimulationResult, _summarize
+
+
+def simulate_block_availability(
+    parameters: BlockParameters,
+    global_parameters: Optional[GlobalParameters] = None,
+    horizon: float = 87_600.0,
+    replications: int = 100,
+    seed: Optional[int] = None,
+    confidence: float = 0.95,
+) -> SimulationResult:
+    """Monte Carlo interval availability of one MG block.
+
+    Args:
+        parameters: The block's engineering parameters.
+        global_parameters: Global Parameter Bar values.
+        horizon: Hours simulated per replication (default: ten years,
+            long enough for the time average to approach steady state).
+        replications: Independent replications.
+        seed: Deterministic seeding for reproducible benchmarks.
+        confidence: Confidence level for the returned interval.
+    """
+    g = global_parameters or GlobalParameters()
+    rng = np.random.default_rng(seed)
+    if horizon <= 0:
+        raise SolverError(f"horizon must be positive, got {horizon}")
+    samples = np.empty(replications)
+    runner = (
+        _run_redundant if parameters.is_redundant else _run_type0
+    )
+    for r in range(replications):
+        samples[r] = runner(parameters, g, horizon, rng)
+    return _summarize(samples, confidence)
+
+
+def _exp(rng: np.random.Generator, rate: float) -> float:
+    """An exponential holding time; rate 0 means "never"."""
+    if rate <= 0.0:
+        return math.inf
+    return float(rng.exponential(1.0 / rate))
+
+
+def _run_type0(
+    p: BlockParameters,
+    g: GlobalParameters,
+    horizon: float,
+    rng: np.random.Generator,
+) -> float:
+    """One trajectory of the non-redundant life-cycle (Type 0 rules)."""
+    lam_p = p.quantity * p.permanent_rate
+    lam_t = p.quantity * p.transient_rate
+    clock = 0.0
+    up_time = 0.0
+    while clock < horizon:
+        # Up in Ok: competing permanent and transient faults.
+        t_perm = _exp(rng, lam_p)
+        t_trans = _exp(rng, lam_t)
+        dwell = min(t_perm, t_trans)
+        if clock + dwell >= horizon or dwell == math.inf:
+            up_time += min(dwell, horizon - clock)
+            break
+        up_time += dwell
+        clock += dwell
+        if t_trans < t_perm:
+            clock += _exp(rng, 1.0 / g.reboot_hours)
+            continue
+        # Permanent fault: logistic wait, then repair attempts.
+        if p.service_response_hours > 0:
+            clock += _exp(rng, 1.0 / p.service_response_hours)
+        while True:
+            clock += _exp(rng, 1.0 / p.mttr_hours)
+            if rng.random() < p.p_correct_diagnosis:
+                break
+            clock += _exp(rng, 1.0 / g.mttrfid_hours)
+            break  # MTTRFID covers the eventual correct repair
+    return min(up_time, horizon) / horizon
+
+
+def _run_redundant(
+    p: BlockParameters,
+    g: GlobalParameters,
+    horizon: float,
+    rng: np.random.Generator,
+) -> float:
+    """One trajectory of the redundant life-cycle (Types 1-4 rules).
+
+    State is (mode, level): mode in {"base", "latent"}; all other modes
+    (AR, SPF, TF, ServiceError, Reint, down) are handled inline as
+    timed excursions because they have a single exit.
+    """
+    n = p.quantity
+    depth = p.redundancy_depth
+    lam_p = p.permanent_rate
+    lam_t = p.transient_rate
+    nontransparent_recovery = p.recovery is Scenario.NONTRANSPARENT
+    nontransparent_repair = p.repair is Scenario.NONTRANSPARENT
+    mu_deferred_mean = (
+        g.mttm_hours + p.service_response_hours + p.mttr_hours
+    )
+    mu_immediate_mean = p.service_response_hours + p.mttr_hours
+
+    clock = 0.0
+    up_time = 0.0
+    mode = "base"
+    level = 0
+
+    def spend_down(duration: float) -> None:
+        nonlocal clock
+        clock += duration
+
+    def recovery_outcome() -> bool:
+        """True when the AR/failover works (no SPF)."""
+        return rng.random() >= p.p_spf
+
+    while clock < horizon:
+        if level > depth:
+            # System down: immediate service call, repair one unit.
+            spend_down(_exp(rng, 1.0 / mu_immediate_mean))
+            if rng.random() < p.p_correct_diagnosis:
+                if nontransparent_repair:
+                    spend_down(_exp(rng, 1.0 / p.reintegration_hours))
+            else:
+                spend_down(_exp(rng, 1.0 / g.mttrfid_hours))
+            level -= 1
+            mode = "base"
+            continue
+
+        # Up state (base or latent) at `level`: competing events.
+        active = n - level
+        events = {
+            "permanent": _exp(rng, active * lam_p),
+            "transient": _exp(rng, active * lam_t),
+        }
+        if mode == "latent":
+            events["detect"] = _exp(rng, 1.0 / p.mttdlf_hours)
+        if mode == "base" and level >= 1:
+            events["repair"] = _exp(rng, 1.0 / mu_deferred_mean)
+        kind = min(events, key=events.get)
+        dwell = events[kind]
+        if clock + dwell >= horizon or dwell == math.inf:
+            up_time += min(dwell, horizon - clock)
+            break
+        up_time += dwell
+        clock += dwell
+
+        if kind == "repair":
+            if rng.random() < p.p_correct_diagnosis:
+                if nontransparent_repair:
+                    spend_down(_exp(rng, 1.0 / p.reintegration_hours))
+            else:
+                spend_down(_exp(rng, 1.0 / g.mttrfid_hours))
+            level -= 1
+            mode = "base"
+            continue
+
+        if kind == "detect":
+            # Latent fault detected: the recovery event runs now.
+            mode = "base"
+            if nontransparent_recovery:
+                spend_down(_exp(rng, 1.0 / p.ar_time_hours))
+            if not recovery_outcome():
+                spend_down(_exp(rng, 1.0 / p.spf_recovery_hours))
+            continue
+
+        if kind == "transient":
+            if nontransparent_recovery:
+                spend_down(_exp(rng, 1.0 / p.ar_time_hours))
+                if recovery_outcome():
+                    # TF_j exits to base(level): a reboot-style AR also
+                    # detects a latent fault (chain: T_j -> PF_j).
+                    mode = "base"
+                else:
+                    spend_down(_exp(rng, 1.0 / p.spf_recovery_hours))
+                    # The corrupted unit consumes a service action
+                    # (DESIGN.md choice 1): land in PF at >= level 1.
+                    level = max(level, 1)
+                    mode = "base"
+            else:
+                # Transparent recovery: success is invisible (no state
+                # change, a latent fault stays latent).
+                if not recovery_outcome():
+                    spend_down(_exp(rng, 1.0 / p.spf_recovery_hours))
+                    level = max(level, 1)
+                    mode = "base"
+            continue
+
+        # Permanent fault.
+        if level == depth:
+            # Boundary: straight to system-down (no AR can save it).
+            level += 1
+            mode = "base"
+            continue
+        if rng.random() < p.p_latent_fault:
+            level += 1
+            mode = "latent"
+            continue
+        level += 1
+        mode = "base"
+        if nontransparent_recovery:
+            spend_down(_exp(rng, 1.0 / p.ar_time_hours))
+        if not recovery_outcome():
+            spend_down(_exp(rng, 1.0 / p.spf_recovery_hours))
+
+    return min(up_time, horizon) / horizon
+
+
+def simulate_system_availability(
+    solution: SystemSolution,
+    horizon: float = 87_600.0,
+    replications: int = 60,
+    seed: Optional[int] = None,
+    confidence: float = 0.95,
+) -> SimulationResult:
+    """Monte Carlo availability of a solved model.
+
+    Each replication simulates every chain-backed block independently
+    over the horizon (the MG independence assumption) and multiplies
+    the per-block interval availabilities — an unbiased estimate of the
+    product of expectations the analytic hierarchy computes.
+    """
+    rng = np.random.default_rng(seed)
+    g = solution.model.global_parameters
+    # Collect the blocks that actually contribute: a chain-backed block
+    # absorbs its whole subtree (the aggregate chain covers it); a
+    # pass-through block contributes its children, replicated by its
+    # quantity.
+    contributing: list = []
+
+    def collect(block, multiplicity: int) -> None:
+        if block.chain is not None:
+            contributing.append((block.effective, multiplicity))
+            return
+        for child in block.children:
+            collect(child, multiplicity * block.block.parameters.quantity)
+
+    for top in solution.blocks:
+        collect(top, 1)
+    if not contributing:
+        raise SolverError("solution has no chain-backed blocks to simulate")
+    samples = np.empty(replications)
+    for r in range(replications):
+        product = 1.0
+        for p, multiplicity in contributing:
+            runner = _run_redundant if p.is_redundant else _run_type0
+            for _copy in range(multiplicity):
+                product *= runner(p, g, horizon, rng)
+        samples[r] = product
+    return _summarize(samples, confidence)

@@ -1,0 +1,49 @@
+"""Tests for architecture comparison."""
+
+import pytest
+
+from repro.analysis import compare_models, comparison_table
+from repro.core import translate
+from repro.library import datacenter_model, e10000_model, workgroup_model
+
+
+class TestCompareModels:
+    def test_sorted_best_first(self):
+        rows = compare_models([
+            ("workgroup", workgroup_model()),
+            ("e10000", e10000_model()),
+        ])
+        assert rows[0].name == "e10000"
+        availabilities = [row.availability for row in rows]
+        assert availabilities == sorted(availabilities, reverse=True)
+
+    def test_values_match_direct_solution(self):
+        (row,) = compare_models([("wg", workgroup_model())])
+        assert row.availability == pytest.approx(
+            translate(workgroup_model()).availability, rel=1e-12
+        )
+        assert row.blocks == workgroup_model().block_count()
+        assert row.physical_units == workgroup_model().component_count()
+
+    def test_nines_consistent(self):
+        import math
+
+        (row,) = compare_models([("wg", workgroup_model())])
+        assert row.nines == pytest.approx(
+            -math.log10(1 - row.availability)
+        )
+
+
+class TestComparisonTable:
+    def test_table_contains_all_names(self):
+        table = comparison_table([
+            ("workgroup", workgroup_model()),
+            ("datacenter", datacenter_model()),
+        ])
+        assert "workgroup" in table
+        assert "datacenter" in table
+        assert "availability" in table
+
+    def test_table_line_count(self):
+        table = comparison_table([("wg", workgroup_model())])
+        assert len(table.splitlines()) == 3  # header, rule, one row

@@ -1,0 +1,66 @@
+"""Tests for downtime budget attribution."""
+
+import pytest
+
+from repro.analysis import downtime_budget, state_kind_breakdown
+from repro.core import translate
+from repro.library import datacenter_model, workgroup_model
+from repro.units import MINUTES_PER_YEAR
+
+
+class TestDowntimeBudget:
+    def test_rows_sorted_worst_first(self):
+        rows = downtime_budget(translate(datacenter_model()))
+        downtimes = [row.yearly_downtime_minutes for row in rows]
+        assert downtimes == sorted(downtimes, reverse=True)
+
+    def test_shares_sum_to_one(self):
+        rows = downtime_budget(translate(datacenter_model()))
+        assert sum(row.share for row in rows) == pytest.approx(1.0)
+
+    def test_leaf_level_descends_passthrough_blocks(self):
+        rows = downtime_budget(translate(datacenter_model()), leaf_level=True)
+        paths = [row.path for row in rows]
+        # Server Box is pass-through; its children must appear instead.
+        assert all("Server Box" != p.rsplit("/", 1)[-1] for p in paths)
+        assert any("CPU Module" in p for p in paths)
+
+    def test_top_level_mode(self):
+        rows = downtime_budget(translate(datacenter_model()), leaf_level=False)
+        names = {row.name for row in rows}
+        assert "Server Box" in names
+        assert len(rows) == 4
+
+    def test_budget_close_to_total_downtime(self):
+        # First-order: sum of block downtimes ~ system downtime.
+        solution = translate(workgroup_model())
+        rows = downtime_budget(solution)
+        total = sum(row.yearly_downtime_minutes for row in rows)
+        system = (1 - solution.availability) * MINUTES_PER_YEAR
+        assert total == pytest.approx(system, rel=0.01)
+
+    def test_os_dominates_workgroup(self):
+        rows = downtime_budget(translate(workgroup_model()))
+        assert rows[0].name == "Operating System"
+
+
+class TestStateKindBreakdown:
+    def test_kinds_sum_to_block_downtime(self):
+        solution = translate(workgroup_model())
+        block = solution.block("Workgroup Server/Operating System")
+        breakdown = state_kind_breakdown(block)
+        total = sum(breakdown.values())
+        expected = (1 - block.availability) * MINUTES_PER_YEAR
+        assert total == pytest.approx(expected, rel=1e-9)
+
+    def test_type0_kinds_present(self):
+        solution = translate(workgroup_model())
+        block = solution.block("Workgroup Server/Operating System")
+        breakdown = state_kind_breakdown(block)
+        assert {"logistic", "repair", "reboot"} <= set(breakdown)
+
+    def test_passthrough_block_rejected(self):
+        solution = translate(datacenter_model())
+        block = solution.block("Data Center System/Server Box")
+        with pytest.raises(ValueError, match="no chain"):
+            state_kind_breakdown(block)

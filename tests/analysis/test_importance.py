@@ -1,0 +1,63 @@
+"""Tests for Birnbaum importance."""
+
+import pytest
+
+from repro.analysis import birnbaum_importance
+from repro.core import (
+    BlockParameters,
+    DiagramBlockModel,
+    MGBlock,
+    MGDiagram,
+    translate,
+)
+from repro.core.translator import _block_contribution
+
+
+def model(mtbf_a=10_000.0, mtbf_b=100_000.0):
+    root = MGDiagram(
+        "sys",
+        [
+            MGBlock(BlockParameters(name="weak", mtbf_hours=mtbf_a)),
+            MGBlock(BlockParameters(name="strong", mtbf_hours=mtbf_b)),
+        ],
+    )
+    return DiagramBlockModel(root)
+
+
+class TestBirnbaum:
+    def test_birnbaum_is_product_of_others(self):
+        solution = translate(model())
+        rows = {row.name: row for row in birnbaum_importance(solution)}
+        weak = solution.block("sys/weak")
+        strong = solution.block("sys/strong")
+        assert rows["weak"].birnbaum == pytest.approx(
+            _block_contribution(strong), rel=1e-12
+        )
+        assert rows["strong"].birnbaum == pytest.approx(
+            _block_contribution(weak), rel=1e-12
+        )
+
+    def test_weak_block_ranks_first(self):
+        rows = birnbaum_importance(translate(model()))
+        assert rows[0].name == "weak"
+
+    def test_improvement_potential_consistent(self):
+        solution = translate(model())
+        rows = {row.name: row for row in birnbaum_importance(solution)}
+        # Making 'weak' perfect leaves exactly the other block.
+        strong_a = _block_contribution(solution.block("sys/strong"))
+        expected = strong_a - solution.availability
+        assert rows["weak"].improvement_potential == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_potential_downtime_positive(self):
+        rows = birnbaum_importance(translate(model()))
+        assert all(row.potential_downtime_minutes >= 0 for row in rows)
+
+    def test_single_block_importance_is_one(self):
+        root = MGDiagram(
+            "sys", [MGBlock(BlockParameters(name="only", mtbf_hours=1e4))]
+        )
+        (row,) = birnbaum_importance(translate(DiagramBlockModel(root)))
+        assert row.birnbaum == pytest.approx(1.0)

@@ -1,0 +1,106 @@
+"""Tests for parametric sweeps over diagram/block models."""
+
+import pytest
+
+from repro.analysis import (
+    sweep_block_field,
+    sweep_global_field,
+    with_block_changes,
+    with_global_changes,
+)
+from repro.core import (
+    BlockParameters,
+    DiagramBlockModel,
+    GlobalParameters,
+    MGBlock,
+    MGDiagram,
+    translate,
+)
+from repro.errors import SpecError
+from repro.library import workgroup_model
+
+
+def small_model():
+    sub = MGDiagram(
+        "box", [MGBlock(BlockParameters(name="inner", mtbf_hours=10_000.0))]
+    )
+    root = MGDiagram(
+        "sys",
+        [
+            MGBlock(BlockParameters(name="box"), subdiagram=sub),
+            MGBlock(BlockParameters(name="disk", mtbf_hours=50_000.0)),
+        ],
+    )
+    return DiagramBlockModel(root, GlobalParameters())
+
+
+class TestWithBlockChanges:
+    def test_changes_target_block_only(self):
+        model = small_model()
+        variant = with_block_changes(model, "sys/disk", mtbf_hours=1.0e6)
+        assert variant.find("sys/disk").parameters.mtbf_hours == 1.0e6
+        assert model.find("sys/disk").parameters.mtbf_hours == 50_000.0
+
+    def test_nested_path(self):
+        model = small_model()
+        variant = with_block_changes(
+            model, "sys/box/inner", mtbf_hours=77.0
+        )
+        assert variant.find("sys/box/inner").parameters.mtbf_hours == 77.0
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(SpecError, match="no block at path"):
+            with_block_changes(small_model(), "sys/nope", mtbf_hours=1.0)
+
+    def test_structure_preserved(self):
+        model = small_model()
+        variant = with_block_changes(model, "sys/disk", quantity=2,
+                                     min_required=2)
+        assert variant.block_count() == model.block_count()
+        assert variant.depth() == model.depth()
+
+
+class TestWithGlobalChanges:
+    def test_changes_globals_only(self):
+        model = small_model()
+        variant = with_global_changes(model, mttm_hours=1.0)
+        assert variant.global_parameters.mttm_hours == 1.0
+        assert model.global_parameters.mttm_hours == 48.0
+
+    def test_root_shared(self):
+        model = small_model()
+        variant = with_global_changes(model, mttm_hours=1.0)
+        assert variant.root is model.root
+
+
+class TestSweeps:
+    def test_block_sweep_monotone_in_mtbf(self):
+        points = sweep_block_field(
+            small_model(), "sys/disk", "mtbf_hours",
+            [10_000.0, 50_000.0, 250_000.0],
+        )
+        availabilities = [p.availability for p in points]
+        assert availabilities == sorted(availabilities)
+
+    def test_sweep_point_consistency(self):
+        (point,) = sweep_block_field(
+            small_model(), "sys/disk", "mtbf_hours", [50_000.0]
+        )
+        assert point.availability == pytest.approx(
+            translate(small_model()).availability, rel=1e-12
+        )
+        assert point.yearly_downtime_minutes > 0
+
+    def test_global_sweep_monotone_in_mttrfid(self):
+        model = workgroup_model()
+        points = sweep_global_field(
+            model, "mttrfid_hours", [1.0, 12.0, 48.0]
+        )
+        downtimes = [p.yearly_downtime_minutes for p in points]
+        assert downtimes == sorted(downtimes)
+
+    def test_sweep_preserves_value_order(self):
+        points = sweep_global_field(
+            small_model(), "mttm_hours", [72.0, 1.0, 24.0]
+        )
+        assert [p.value for p in points] == [72.0, 1.0, 24.0]

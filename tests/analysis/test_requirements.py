@@ -1,0 +1,133 @@
+"""Tests for requirement checking and design-to-target solving."""
+
+import pytest
+
+from repro.analysis import (
+    check_requirement,
+    solve_parameter_for_target,
+    with_block_changes,
+)
+from repro.core import translate
+from repro.errors import SolverError
+from repro.library import workgroup_model
+
+OS = "Workgroup Server/Operating System"
+
+
+class TestCheckRequirement:
+    def test_equivalent_requirement_forms_agree(self):
+        model = workgroup_model()
+        by_availability = check_requirement(
+            model, target_availability=0.999
+        )
+        by_nines = check_requirement(model, target_nines=3.0)
+        by_downtime = check_requirement(
+            model, max_downtime_minutes=525.6
+        )
+        assert by_availability.target_availability == pytest.approx(
+            by_nines.target_availability, rel=1e-12
+        )
+        assert by_availability.target_availability == pytest.approx(
+            by_downtime.target_availability, rel=1e-9
+        )
+        assert (
+            by_availability.meets == by_nines.meets == by_downtime.meets
+        )
+
+    def test_loose_requirement_met(self):
+        check = check_requirement(
+            workgroup_model(), target_availability=0.99
+        )
+        assert check.meets
+        assert check.margin_minutes > 0
+
+    def test_tight_requirement_missed(self):
+        check = check_requirement(
+            workgroup_model(), target_nines=5.0
+        )
+        assert not check.meets
+        assert check.margin_minutes < 0
+
+    def test_achieved_matches_translate(self):
+        model = workgroup_model()
+        check = check_requirement(model, target_availability=0.999)
+        assert check.achieved_availability == pytest.approx(
+            translate(model).availability, rel=1e-12
+        )
+
+    def test_exactly_one_form_required(self):
+        with pytest.raises(SolverError, match="exactly one"):
+            check_requirement(workgroup_model())
+        with pytest.raises(SolverError, match="exactly one"):
+            check_requirement(
+                workgroup_model(),
+                target_availability=0.999,
+                target_nines=3.0,
+            )
+
+    def test_bad_targets_rejected(self):
+        with pytest.raises(SolverError):
+            check_requirement(workgroup_model(), target_availability=1.5)
+        with pytest.raises(SolverError):
+            check_requirement(workgroup_model(), target_nines=-1.0)
+        with pytest.raises(SolverError):
+            check_requirement(workgroup_model(), max_downtime_minutes=-5.0)
+
+
+class TestSolveParameterForTarget:
+    def test_solves_os_mtbf_for_target(self):
+        model = workgroup_model()
+        target = 0.9993
+        boundary = solve_parameter_for_target(
+            model, "mtbf_hours", target, low=10_000.0, high=3_000_000.0,
+            path=OS,
+        )
+        achieved = translate(
+            with_block_changes(model, OS, mtbf_hours=boundary)
+        ).availability
+        assert achieved == pytest.approx(target, abs=2e-4 * (1 - target) + 1e-7)
+
+    def test_solved_boundary_is_tight(self):
+        # Slightly worse than the boundary must miss the target.
+        model = workgroup_model()
+        target = 0.9993
+        boundary = solve_parameter_for_target(
+            model, "mtbf_hours", target, low=10_000.0, high=3_000_000.0,
+            path=OS,
+        )
+        worse = translate(
+            with_block_changes(model, OS, mtbf_hours=boundary * 0.8)
+        ).availability
+        assert worse < target
+
+    def test_global_field_solving(self):
+        # How much maintenance deferral can the datacenter afford?
+        from repro.library import datacenter_model
+
+        model = datacenter_model()
+        target = translate(model).availability - 2e-6
+        boundary = solve_parameter_for_target(
+            model, "mttm_hours", target, low=1.0, high=2_000.0,
+        )
+        assert 1.0 < boundary < 2_000.0
+
+    def test_bracket_not_spanning_rejected(self):
+        with pytest.raises(SolverError, match="does not span"):
+            solve_parameter_for_target(
+                workgroup_model(), "mtbf_hours", 0.99999999,
+                low=10_000.0, high=20_000.0, path=OS,
+            )
+
+    def test_bad_bracket_rejected(self):
+        with pytest.raises(SolverError, match="low < high"):
+            solve_parameter_for_target(
+                workgroup_model(), "mtbf_hours", 0.999,
+                low=5.0, high=5.0, path=OS,
+            )
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(SolverError):
+            solve_parameter_for_target(
+                workgroup_model(), "mtbf_hours", 1.0,
+                low=1.0, high=2.0, path=OS,
+            )

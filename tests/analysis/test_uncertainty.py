@@ -1,0 +1,103 @@
+"""Tests for parameter-uncertainty propagation."""
+
+import pytest
+
+from repro.analysis import UncertainField, propagate_uncertainty
+from repro.errors import SolverError
+from repro.library import workgroup_model
+from repro.semimarkov import Deterministic, Lognormal, Uniform
+
+OS = "Workgroup Server/Operating System"
+
+
+class TestPropagation:
+    def test_deterministic_distribution_reproduces_point_solution(self):
+        from repro.core import translate
+
+        model = workgroup_model()
+        result = propagate_uncertainty(
+            model,
+            [UncertainField(OS, "mtbf_hours", Deterministic(30_000.0))],
+            samples=5,
+            seed=0,
+        )
+        expected = translate(model).availability
+        assert result.mean_availability == pytest.approx(expected, rel=1e-12)
+        assert result.std_availability == pytest.approx(0.0, abs=1e-15)
+        assert result.downtime_iqr90 == pytest.approx(0.0, abs=1e-9)
+
+    def test_wider_uncertainty_widens_downtime_band(self):
+        model = workgroup_model()
+        narrow = propagate_uncertainty(
+            model,
+            [UncertainField(
+                OS, "mtbf_hours", Lognormal.from_mean_cv(30_000.0, 0.1)
+            )],
+            samples=60, seed=1,
+        )
+        wide = propagate_uncertainty(
+            model,
+            [UncertainField(
+                OS, "mtbf_hours", Lognormal.from_mean_cv(30_000.0, 1.0)
+            )],
+            samples=60, seed=1,
+        )
+        assert wide.downtime_iqr90 > narrow.downtime_iqr90
+
+    def test_percentiles_ordered(self):
+        result = propagate_uncertainty(
+            workgroup_model(),
+            [UncertainField(OS, "mtbf_hours",
+                            Uniform(10_000.0, 60_000.0))],
+            samples=40, seed=2,
+        )
+        assert result.downtime_p05 <= result.downtime_p50
+        assert result.downtime_p50 <= result.downtime_p95
+
+    def test_multiple_uncertain_fields(self):
+        result = propagate_uncertainty(
+            workgroup_model(),
+            [
+                UncertainField(OS, "mtbf_hours",
+                               Uniform(20_000.0, 40_000.0)),
+                UncertainField(
+                    "Workgroup Server/Mirrored Disk", "mtbf_hours",
+                    Uniform(100_000.0, 200_000.0),
+                ),
+            ],
+            samples=20, seed=3,
+        )
+        assert 0.99 < result.mean_availability < 1.0
+        assert len(result.availability_samples) == 20
+
+    def test_seeding_reproducible(self):
+        spec = [UncertainField(OS, "mtbf_hours",
+                               Uniform(20_000.0, 40_000.0))]
+        a = propagate_uncertainty(workgroup_model(), spec, 10, seed=4)
+        b = propagate_uncertainty(workgroup_model(), spec, 10, seed=4)
+        assert a.availability_samples == b.availability_samples
+
+
+class TestValidation:
+    def test_no_fields_rejected(self):
+        with pytest.raises(SolverError, match="no uncertain fields"):
+            propagate_uncertainty(workgroup_model(), [], samples=10)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(SolverError, match="at least 2"):
+            propagate_uncertainty(
+                workgroup_model(),
+                [UncertainField(OS, "mtbf_hours", Deterministic(1e4))],
+                samples=1,
+            )
+
+    def test_unknown_path_rejected(self):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError):
+            propagate_uncertainty(
+                workgroup_model(),
+                [UncertainField("nowhere", "mtbf_hours",
+                                Deterministic(1e4))],
+                samples=2,
+            )

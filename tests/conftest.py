@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BlockParameters, GlobalParameters
+from repro.gmb import MarkovBuilder
+
+
+@pytest.fixture
+def globals_default() -> GlobalParameters:
+    return GlobalParameters()
+
+
+@pytest.fixture
+def simple_pair_chain():
+    """A 2-state repairable component: fail at 1e-3/h, repair at 0.25/h."""
+    return (
+        MarkovBuilder("pair")
+        .up("Ok")
+        .down("Down")
+        .arc("Ok", "Down", 1e-3)
+        .arc("Down", "Ok", 0.25)
+        .build()
+    )
+
+
+@pytest.fixture
+def type0_params() -> BlockParameters:
+    return BlockParameters(
+        name="board",
+        quantity=1,
+        min_required=1,
+        mtbf_hours=100_000.0,
+        transient_fit=2_000.0,
+        diagnosis_minutes=30.0,
+        corrective_minutes=30.0,
+        verification_minutes=30.0,
+        service_response_hours=4.0,
+        p_correct_diagnosis=0.95,
+    )
+
+
+@pytest.fixture
+def redundant_params() -> BlockParameters:
+    """A 2-of-1 redundant block exercising every redundancy feature."""
+    return BlockParameters(
+        name="cpu",
+        quantity=2,
+        min_required=1,
+        mtbf_hours=50_000.0,
+        transient_fit=10_000.0,
+        p_latent_fault=0.05,
+        mttdlf_hours=24.0,
+        recovery="nontransparent",
+        ar_time_minutes=10.0,
+        p_spf=0.02,
+        spf_recovery_minutes=30.0,
+        repair="transparent",
+        p_correct_diagnosis=0.95,
+    )
+
+
+@pytest.fixture
+def stress_params() -> BlockParameters:
+    """Low-reliability parameters: differences are visible to Monte Carlo."""
+    return BlockParameters(
+        name="unit",
+        quantity=2,
+        min_required=1,
+        mtbf_hours=2_000.0,
+        transient_fit=2e5,
+        p_latent_fault=0.10,
+        p_spf=0.05,
+        p_correct_diagnosis=0.90,
+        mttdlf_hours=24.0,
+        recovery="nontransparent",
+        repair="nontransparent",
+    )

@@ -1,0 +1,117 @@
+"""Tests for the diagram/block model tree."""
+
+import pytest
+
+from repro.core import (
+    BlockParameters,
+    DiagramBlockModel,
+    GlobalParameters,
+    MGBlock,
+    MGDiagram,
+)
+from repro.errors import SpecError
+
+
+def leaf(name: str, **fields) -> MGBlock:
+    return MGBlock(BlockParameters(name=name, **fields))
+
+
+def two_level_model() -> DiagramBlockModel:
+    sub = MGDiagram("Server Box", [leaf("CPU"), leaf("Memory")])
+    root = MGDiagram(
+        "System",
+        [MGBlock(BlockParameters(name="Server Box"), subdiagram=sub),
+         leaf("Storage", quantity=3)],
+    )
+    return DiagramBlockModel(root, GlobalParameters())
+
+
+class TestDiagram:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError):
+            MGDiagram("")
+
+    def test_duplicate_block_names_rejected(self):
+        diagram = MGDiagram("d", [leaf("A")])
+        with pytest.raises(SpecError, match="already contains"):
+            diagram.add_block(leaf("A"))
+
+    def test_block_lookup(self):
+        diagram = MGDiagram("d", [leaf("A"), leaf("B")])
+        assert diagram.block("B").name == "B"
+        with pytest.raises(SpecError, match="no block"):
+            diagram.block("C")
+
+    def test_len_and_iter(self):
+        diagram = MGDiagram("d", [leaf("A"), leaf("B")])
+        assert len(diagram) == 2
+        assert [b.name for b in diagram] == ["A", "B"]
+
+
+class TestWalk:
+    def test_levels_follow_paper_numbering(self):
+        model = two_level_model()
+        levels = {path: level for level, path, _ in model.walk()}
+        assert levels["System/Server Box"] == 1
+        assert levels["System/Server Box/CPU"] == 2
+        assert levels["System/Storage"] == 1
+
+    def test_document_order(self):
+        model = two_level_model()
+        paths = [path for _, path, _ in model.walk()]
+        assert paths == [
+            "System/Server Box",
+            "System/Server Box/CPU",
+            "System/Server Box/Memory",
+            "System/Storage",
+        ]
+
+    def test_depth(self):
+        assert two_level_model().depth() == 2
+
+    def test_block_count(self):
+        assert two_level_model().block_count() == 4
+
+    def test_component_count_sums_leaf_quantities(self):
+        # CPU(1) + Memory(1) + Storage(3); pass-through Server Box excluded.
+        assert two_level_model().component_count() == 5
+
+    def test_find_by_path(self):
+        model = two_level_model()
+        assert model.find("System/Server Box/Memory").name == "Memory"
+        with pytest.raises(SpecError, match="no block at path"):
+            model.find("System/Nowhere")
+
+
+class TestValidate:
+    def test_valid_model_passes(self):
+        two_level_model().validate()
+
+    def test_empty_diagram_rejected(self):
+        diagram = MGDiagram("d", [leaf("A")])
+        diagram.blocks.clear()
+        model = DiagramBlockModel(diagram)
+        with pytest.raises(SpecError, match="no blocks"):
+            model.validate()
+
+    def test_shared_diagram_rejected(self):
+        shared = MGDiagram("shared", [leaf("X")])
+        root = MGDiagram(
+            "root",
+            [
+                MGBlock(BlockParameters(name="A"), subdiagram=shared),
+                MGBlock(BlockParameters(name="B"), subdiagram=shared),
+            ],
+        )
+        with pytest.raises(SpecError, match="tree"):
+            DiagramBlockModel(root).validate()
+
+    def test_duplicate_names_injected_after_construction(self):
+        diagram = MGDiagram("d", [leaf("A"), leaf("B")])
+        diagram.blocks[1] = leaf("A")  # bypass add_block checking
+        with pytest.raises(SpecError, match="duplicate"):
+            DiagramBlockModel(diagram).validate()
+
+    def test_model_name_defaults_to_root(self):
+        model = two_level_model()
+        assert model.name == "System"

@@ -1,0 +1,164 @@
+"""Tests for Markov Model Type 0 generation (paper Figure 3)."""
+
+import pytest
+
+from repro.core import (
+    BlockParameters,
+    GlobalParameters,
+    classify_model_type,
+    generate_block_chain,
+    generate_type0_chain,
+)
+from repro.errors import ModelError
+from repro.markov import steady_state, steady_state_availability
+
+
+class TestClassification:
+    def test_no_redundancy_is_type0(self):
+        p = BlockParameters(name="x", quantity=3, min_required=3)
+        assert classify_model_type(p) == 0
+
+    @pytest.mark.parametrize(
+        "recovery,repair,expected",
+        [
+            ("transparent", "transparent", 1),
+            ("transparent", "nontransparent", 2),
+            ("nontransparent", "transparent", 3),
+            ("nontransparent", "nontransparent", 4),
+        ],
+    )
+    def test_redundant_types(self, recovery, repair, expected):
+        p = BlockParameters(
+            name="x", quantity=2, min_required=1,
+            recovery=recovery, repair=repair,
+        )
+        assert classify_model_type(p) == expected
+
+
+class TestStructure:
+    def test_full_state_set(self, type0_params, globals_default):
+        chain = generate_type0_chain(type0_params, globals_default)
+        assert chain.state_names == [
+            "Ok", "Logistic", "Repair", "ServiceError", "Reboot"
+        ]
+
+    def test_only_ok_is_up(self, type0_params, globals_default):
+        chain = generate_type0_chain(type0_params, globals_default)
+        assert chain.up_states() == ["Ok"]
+
+    def test_perfect_diagnosis_drops_service_error(
+        self, type0_params, globals_default
+    ):
+        p = type0_params.with_changes(p_correct_diagnosis=1.0)
+        chain = generate_type0_chain(p, globals_default)
+        assert "ServiceError" not in chain
+
+    def test_no_transients_drops_reboot(self, type0_params, globals_default):
+        p = type0_params.with_changes(transient_fit=0.0)
+        chain = generate_type0_chain(p, globals_default)
+        assert "Reboot" not in chain
+
+    def test_zero_response_time_merges_logistic(
+        self, type0_params, globals_default
+    ):
+        p = type0_params.with_changes(service_response_hours=0.0)
+        chain = generate_type0_chain(p, globals_default)
+        assert "Logistic" not in chain
+        assert chain.rate("Ok", "Repair") > 0
+
+    def test_never_failing_block_is_single_state(self, globals_default):
+        p = BlockParameters(
+            name="x", mtbf_hours=float("inf"), transient_fit=0.0
+        )
+        chain = generate_type0_chain(p, globals_default)
+        assert chain.state_names == ["Ok"]
+        assert steady_state_availability(chain) == 1.0
+
+    def test_redundant_parameters_rejected(self, globals_default):
+        p = BlockParameters(name="x", quantity=2, min_required=1)
+        with pytest.raises(ModelError, match="Type 0 requires"):
+            generate_type0_chain(p, globals_default)
+
+    def test_dispatch_from_generate_block_chain(
+        self, type0_params, globals_default
+    ):
+        chain = generate_block_chain(type0_params, globals_default)
+        assert chain.name.endswith("#type0")
+
+
+class TestRates:
+    def test_failure_rate_scales_with_quantity(self, globals_default):
+        base = BlockParameters(name="x", quantity=1, min_required=1,
+                               mtbf_hours=1e5)
+        triple = base.with_changes(quantity=3, min_required=3)
+        chain1 = generate_type0_chain(base, globals_default)
+        chain3 = generate_type0_chain(triple, globals_default)
+        assert chain3.rate("Ok", "Logistic") == pytest.approx(
+            3 * chain1.rate("Ok", "Logistic")
+        )
+
+    def test_repair_branches_on_pcd(self, type0_params, globals_default):
+        chain = generate_type0_chain(type0_params, globals_default)
+        pcd = type0_params.p_correct_diagnosis
+        mttr = type0_params.mttr_hours
+        assert chain.rate("Repair", "Ok") == pytest.approx(pcd / mttr)
+        assert chain.rate("Repair", "ServiceError") == pytest.approx(
+            (1 - pcd) / mttr
+        )
+
+    def test_reboot_rate_uses_global_tboot(self, type0_params):
+        g = GlobalParameters(reboot_minutes=30.0)
+        chain = generate_type0_chain(type0_params, g)
+        assert chain.rate("Reboot", "Ok") == pytest.approx(2.0)
+
+    def test_service_error_exit_uses_mttrfid(self, type0_params):
+        g = GlobalParameters(mttrfid_hours=4.0)
+        chain = generate_type0_chain(type0_params, g)
+        assert chain.rate("ServiceError", "Ok") == pytest.approx(0.25)
+
+
+class TestSolution:
+    def test_availability_closed_form_without_transients(
+        self, globals_default
+    ):
+        # Ok -> Logistic -> Repair -> Ok with perfect diagnosis reduces
+        # to a cyclic chain with availability MTBF/(MTBF+Tresp+MTTR).
+        p = BlockParameters(
+            name="x", mtbf_hours=10_000.0, transient_fit=0.0,
+            service_response_hours=4.0, p_correct_diagnosis=1.0,
+            diagnosis_minutes=30.0, corrective_minutes=20.0,
+            verification_minutes=10.0,
+        )
+        chain = generate_type0_chain(p, globals_default)
+        availability = steady_state_availability(chain)
+        expected = 10_000.0 / (10_000.0 + 4.0 + 1.0)
+        assert availability == pytest.approx(expected, rel=1e-9)
+
+    def test_downtime_increases_with_response_time(
+        self, type0_params, globals_default
+    ):
+        slow = type0_params.with_changes(service_response_hours=24.0)
+        fast = type0_params.with_changes(service_response_hours=1.0)
+        a_slow = steady_state_availability(
+            generate_type0_chain(slow, globals_default)
+        )
+        a_fast = steady_state_availability(
+            generate_type0_chain(fast, globals_default)
+        )
+        assert a_fast > a_slow
+
+    def test_imperfect_diagnosis_hurts(self, type0_params, globals_default):
+        good = type0_params.with_changes(p_correct_diagnosis=1.0)
+        bad = type0_params.with_changes(p_correct_diagnosis=0.5)
+        a_good = steady_state_availability(
+            generate_type0_chain(good, globals_default)
+        )
+        a_bad = steady_state_availability(
+            generate_type0_chain(bad, globals_default)
+        )
+        assert a_good > a_bad
+
+    def test_state_meta_levels(self, type0_params, globals_default):
+        chain = generate_type0_chain(type0_params, globals_default)
+        assert chain.state("Ok").meta["kind"] == "base"
+        assert chain.state("Repair").meta["kind"] == "repair"

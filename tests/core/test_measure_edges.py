@@ -1,0 +1,105 @@
+"""Edge-case tests for system measures and reporting."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BlockParameters,
+    DiagramBlockModel,
+    GlobalParameters,
+    MGBlock,
+    MGDiagram,
+    compute_measures,
+    translate,
+)
+from repro.render import model_report, render_model_tree
+
+
+def unfailable_model() -> DiagramBlockModel:
+    root = MGDiagram(
+        "Ideal",
+        [MGBlock(BlockParameters(
+            name="Ghost", mtbf_hours=float("inf"), transient_fit=0.0,
+        ))],
+    )
+    return DiagramBlockModel(root, GlobalParameters())
+
+
+class TestUnfailableModel:
+    def test_perfect_availability(self):
+        solution = translate(unfailable_model())
+        assert solution.availability == 1.0
+        assert solution.failure_frequency == 0.0
+
+    def test_measures_do_not_hang(self):
+        measures = compute_measures(translate(unfailable_model()))
+        assert measures.availability == 1.0
+        assert measures.yearly_downtime_minutes == 0.0
+        assert math.isinf(measures.mttf_hours)
+        assert math.isinf(measures.mean_time_between_interruptions)
+        assert measures.reliability_at_mission == 1.0
+        assert measures.interval_failure_rate == 0.0
+
+    def test_report_renders(self):
+        report = model_report(unfailable_model())
+        assert "Ghost" in report
+        assert "inf" in report  # the nines row
+
+    def test_tree_renders(self):
+        assert "Ghost" in render_model_tree(unfailable_model())
+
+
+class TestThreeLevelHierarchy:
+    def make_model(self):
+        inner = MGDiagram(
+            "Module",
+            [MGBlock(BlockParameters(name="Chip", mtbf_hours=1e6))],
+        )
+        middle = MGDiagram(
+            "Board",
+            [MGBlock(BlockParameters(name="Module"), subdiagram=inner),
+             MGBlock(BlockParameters(name="Connector", mtbf_hours=5e6))],
+        )
+        root = MGDiagram(
+            "System",
+            [MGBlock(BlockParameters(name="Board", quantity=2,
+                                     min_required=2), subdiagram=middle)],
+        )
+        return DiagramBlockModel(root)
+
+    def test_three_levels_solve(self):
+        model = self.make_model()
+        assert model.depth() == 3
+        solution = translate(model)
+        # Two boards in series, each a chip + connector in series.
+        chip = solution.block("System/Board/Module/Chip").availability
+        connector = solution.block("System/Board/Connector").availability
+        expected = (chip * connector) ** 2
+        assert solution.availability == pytest.approx(expected, rel=1e-12)
+
+    def test_tree_shows_level_three(self):
+        text = render_model_tree(self.make_model())
+        assert "Chip" in text
+
+    def test_measures_complete(self):
+        measures = compute_measures(translate(self.make_model()))
+        assert 0 < measures.reliability_at_mission < 1
+        assert measures.mttf_hours > 0
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_rascad_errors(self):
+        from repro.errors import (
+            DatabaseError,
+            ModelError,
+            ParameterError,
+            RascadError,
+            SolverError,
+            SpecError,
+        )
+
+        for exc_type in (SpecError, ParameterError, ModelError,
+                         SolverError, DatabaseError):
+            assert issubclass(exc_type, RascadError)
+        assert issubclass(ParameterError, SpecError)

@@ -1,0 +1,123 @@
+"""Tests for system-level measure computation."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BlockParameters,
+    DiagramBlockModel,
+    GlobalParameters,
+    MGBlock,
+    MGDiagram,
+    compute_measures,
+    translate,
+)
+from repro.core.measures import system_mttf
+from repro.errors import SolverError
+from repro.units import MINUTES_PER_YEAR
+
+
+def simple_model(mtbf=10_000.0, mission=8760.0):
+    root = MGDiagram(
+        "sys",
+        [MGBlock(BlockParameters(
+            name="A", mtbf_hours=mtbf, transient_fit=0.0,
+            p_correct_diagnosis=1.0,
+        ))],
+    )
+    return DiagramBlockModel(
+        root, GlobalParameters(mission_time_hours=mission)
+    )
+
+
+class TestBasicMeasures:
+    def test_downtime_consistent_with_availability(self):
+        solution = translate(simple_model())
+        measures = compute_measures(solution)
+        expected = (1 - measures.availability) * MINUTES_PER_YEAR
+        assert measures.yearly_downtime_minutes == pytest.approx(expected)
+
+    def test_failures_per_year(self):
+        solution = translate(simple_model())
+        measures = compute_measures(solution)
+        assert measures.failures_per_year == pytest.approx(
+            measures.failure_frequency * 8760.0
+        )
+
+    def test_mean_downtime_times_frequency_is_unavailability(self):
+        solution = translate(simple_model())
+        measures = compute_measures(solution)
+        assert (
+            measures.mean_downtime_hours * measures.failure_frequency
+        ) == pytest.approx(1 - measures.availability, rel=1e-9)
+
+    def test_mtbi_is_inverse_frequency(self):
+        solution = translate(simple_model())
+        measures = compute_measures(solution)
+        assert measures.mean_time_between_interruptions == pytest.approx(
+            1.0 / measures.failure_frequency
+        )
+
+
+class TestMissionMeasures:
+    def test_mission_time_defaults_to_global(self):
+        solution = translate(simple_model(mission=500.0))
+        measures = compute_measures(solution)
+        assert measures.mission_time_hours == 500.0
+
+    def test_mission_override(self):
+        solution = translate(simple_model())
+        measures = compute_measures(solution, mission_time_hours=100.0)
+        assert measures.mission_time_hours == 100.0
+
+    def test_nonpositive_mission_rejected(self):
+        solution = translate(simple_model())
+        with pytest.raises(SolverError):
+            compute_measures(solution, mission_time_hours=0.0)
+
+    def test_reliability_close_to_exponential(self):
+        # Single block failing at 1/mtbf: R(T) ~ exp(-T/mtbf).
+        mtbf = 20_000.0
+        solution = translate(simple_model(mtbf=mtbf))
+        measures = compute_measures(solution, mission_time_hours=1_000.0)
+        assert measures.reliability_at_mission == pytest.approx(
+            math.exp(-1_000.0 / mtbf), rel=1e-6
+        )
+
+    def test_interval_rate_matches_reliability(self):
+        solution = translate(simple_model())
+        measures = compute_measures(solution, mission_time_hours=2_000.0)
+        assert measures.interval_failure_rate == pytest.approx(
+            -math.log(measures.reliability_at_mission) / 2_000.0, rel=1e-9
+        )
+
+    def test_interval_availability_bounds(self):
+        solution = translate(simple_model())
+        measures = compute_measures(solution)
+        assert (
+            measures.availability
+            <= measures.interval_availability
+            <= 1.0
+        )
+
+
+class TestSystemMTTF:
+    def test_single_exponential_block(self):
+        mtbf = 10_000.0
+        solution = translate(simple_model(mtbf=mtbf))
+        assert system_mttf(solution) == pytest.approx(mtbf, rel=1e-3)
+
+    def test_series_blocks_sum_rates(self):
+        root = MGDiagram(
+            "sys",
+            [
+                MGBlock(BlockParameters(name="A", mtbf_hours=10_000.0,
+                                        p_correct_diagnosis=1.0)),
+                MGBlock(BlockParameters(name="B", mtbf_hours=15_000.0,
+                                        p_correct_diagnosis=1.0)),
+            ],
+        )
+        solution = translate(DiagramBlockModel(root))
+        expected = 1.0 / (1 / 10_000.0 + 1 / 15_000.0)
+        assert system_mttf(solution) == pytest.approx(expected, rel=1e-3)

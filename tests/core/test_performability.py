@@ -1,0 +1,99 @@
+"""Tests for performability (capacity) rewards."""
+
+import pytest
+
+from repro.core import (
+    BlockParameters,
+    GlobalParameters,
+    capacity_oriented_availability,
+    expected_capacity,
+    generate_block_chain,
+    with_capacity_rewards,
+)
+from repro.errors import ModelError
+from repro.markov import MarkovChain, steady_state_availability
+
+
+def cpu_block(**overrides):
+    fields = dict(
+        name="cpu",
+        quantity=16,
+        min_required=14,
+        mtbf_hours=200_000.0,
+        recovery="nontransparent",
+        repair="transparent",
+        p_spf=0.005,
+    )
+    fields.update(overrides)
+    return BlockParameters(**fields)
+
+
+class TestCapacityRewards:
+    def test_levels_map_to_fractions(self):
+        p = cpu_block()
+        chain = generate_block_chain(p, GlobalParameters())
+        rewarded = with_capacity_rewards(chain, p)
+        assert rewarded.state("Ok").reward == pytest.approx(1.0)
+        assert rewarded.state("PF1").reward == pytest.approx(15 / 16)
+        assert rewarded.state("PF2").reward == pytest.approx(14 / 16)
+
+    def test_down_states_stay_zero(self):
+        p = cpu_block()
+        chain = generate_block_chain(p, GlobalParameters())
+        rewarded = with_capacity_rewards(chain, p)
+        for state in rewarded:
+            if not chain.state(state.name).is_up:
+                assert state.reward == 0.0
+
+    def test_transitions_preserved(self):
+        p = cpu_block()
+        chain = generate_block_chain(p, GlobalParameters())
+        rewarded = with_capacity_rewards(chain, p)
+        assert len(rewarded.transitions()) == len(chain.transitions())
+        for transition in chain.transitions():
+            assert rewarded.rate(
+                transition.source, transition.target
+            ) == pytest.approx(transition.rate)
+
+    def test_rejects_chain_without_level_metadata(self):
+        bare = MarkovChain()
+        bare.add_state("Up")
+        bare.add_state("Down", reward=0.0)
+        bare.add_transition("Up", "Down", 1.0)
+        bare.add_transition("Down", "Up", 1.0)
+        with pytest.raises(ModelError, match="level metadata"):
+            with_capacity_rewards(bare, cpu_block())
+
+
+class TestCapacityMeasures:
+    def test_capacity_at_most_availability(self):
+        p = cpu_block()
+        result = capacity_oriented_availability(p)
+        assert result["expected_capacity"] <= result["availability"]
+        assert result["capacity_gap"] >= 0.0
+
+    def test_gap_grows_with_repair_deferral(self):
+        p = cpu_block()
+        fast = expected_capacity(
+            p, GlobalParameters(mttm_hours=1.0)
+        )
+        slow = expected_capacity(
+            p, GlobalParameters(mttm_hours=336.0)
+        )
+        # Longer deferral = more time in degraded levels = less capacity.
+        assert fast > slow
+
+    def test_type0_capacity_equals_availability(self):
+        # No degraded levels: the two measures coincide.
+        p = BlockParameters(name="board", mtbf_hours=100_000.0)
+        result = capacity_oriented_availability(p)
+        assert result["capacity_gap"] == pytest.approx(0.0, abs=1e-15)
+
+    def test_capacity_matches_manual_reward_sum(self):
+        p = cpu_block()
+        g = GlobalParameters()
+        chain = generate_block_chain(p, g)
+        rewarded = with_capacity_rewards(chain, p)
+        assert expected_capacity(p, g) == pytest.approx(
+            steady_state_availability(rewarded), rel=1e-12
+        )

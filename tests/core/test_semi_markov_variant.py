@@ -1,0 +1,112 @@
+"""Tests for the realistic-sojourn semi-Markov variants."""
+
+import pytest
+
+from repro.core import (
+    BlockParameters,
+    GlobalParameters,
+    exponential_assumption_gap,
+    generate_block_chain,
+    semi_markov_variant,
+)
+from repro.errors import ModelError
+from repro.markov import steady_state_availability
+from repro.semimarkov import (
+    Deterministic,
+    Exponential,
+    Lognormal,
+    semi_markov_availability,
+    simulate_interval_availability,
+)
+
+
+@pytest.fixture
+def chain(stress_params, globals_default):
+    return generate_block_chain(stress_params, globals_default)
+
+
+class TestVariantConstruction:
+    def test_structure_preserved(self, chain):
+        variant = semi_markov_variant(chain)
+        assert variant.state_names == chain.state_names
+        for state in chain:
+            entries = variant.kernel(state.name)
+            targets = {entry.target for entry in entries}
+            chain_targets = {
+                t.target for t in chain.transitions()
+                if t.source == state.name
+            }
+            assert targets == chain_targets
+
+    def test_branch_probabilities_match_embedded_chain(self, chain):
+        variant = semi_markov_variant(chain)
+        for state in chain:
+            exit_rate = chain.exit_rate(state.name)
+            if exit_rate == 0:
+                continue
+            for entry in variant.kernel(state.name):
+                expected = chain.rate(state.name, entry.target) / exit_rate
+                assert entry.probability == pytest.approx(expected)
+
+    def test_sojourn_means_match_holding_times(self, chain):
+        variant = semi_markov_variant(chain)
+        for state in chain:
+            exit_rate = chain.exit_rate(state.name)
+            if exit_rate == 0:
+                continue
+            for entry in variant.kernel(state.name):
+                assert entry.distribution.mean() == pytest.approx(
+                    1.0 / exit_rate, rel=1e-12
+                )
+
+    def test_shapes_follow_state_kinds(self, chain):
+        variant = semi_markov_variant(chain, repair_cv=0.7)
+        for state in chain:
+            kind = state.meta.get("kind")
+            entries = variant.kernel(state.name)
+            if not entries:
+                continue
+            distribution = entries[0].distribution
+            if kind in ("ar", "transient-ar", "reint", "reboot"):
+                assert isinstance(distribution, Deterministic)
+            elif kind in ("repair", "logistic", "service-error", "spf"):
+                assert isinstance(distribution, Lognormal)
+            else:
+                assert isinstance(distribution, Exponential)
+
+    def test_bad_cv_rejected(self, chain):
+        with pytest.raises(ModelError, match="CV"):
+            semi_markov_variant(chain, repair_cv=0.0)
+
+
+class TestExponentialAssumption:
+    def test_steady_state_availability_exactly_preserved(self, chain):
+        variant = semi_markov_variant(chain, repair_cv=0.4)
+        assert semi_markov_availability(variant) == pytest.approx(
+            steady_state_availability(chain), rel=1e-10
+        )
+
+    def test_gap_summary_consistent(self, chain):
+        gap = exponential_assumption_gap(chain, horizon=100.0, repair_cv=0.5)
+        assert gap["steady_exponential"] == pytest.approx(
+            gap["steady_variant"], rel=1e-10
+        )
+        assert gap["transient_gap"] == pytest.approx(
+            abs(gap["point_exponential"] - gap["point_variant"]),
+            rel=1e-12,
+        )
+
+    def test_transient_gap_exists_but_is_small(self, chain):
+        gap = exponential_assumption_gap(chain, horizon=100.0, repair_cv=0.3)
+        assert gap["transient_gap"] > 0.0
+        assert gap["transient_gap"] < 1e-2
+
+    def test_variant_agrees_with_monte_carlo(self, chain):
+        # The variant is a real SMP: its Monte Carlo interval
+        # availability must bracket the (shared) steady-state value
+        # over a long horizon.
+        variant = semi_markov_variant(chain)
+        result = simulate_interval_availability(
+            variant, horizon=30_000.0, replications=60, seed=13
+        )
+        assert result.contains(steady_state_availability(chain))

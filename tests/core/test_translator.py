@@ -1,0 +1,210 @@
+"""Tests for hierarchy translation (diagram -> RBD of chains)."""
+
+import pytest
+
+from repro.core import (
+    BlockParameters,
+    DiagramBlockModel,
+    GlobalParameters,
+    MGBlock,
+    MGDiagram,
+    aggregate_subdiagram,
+    generate_block_chain,
+    translate,
+)
+from repro.core.translator import diagram_rbd
+from repro.errors import SpecError
+from repro.markov import steady_state_availability
+
+
+def leaf(name, **fields):
+    return MGBlock(BlockParameters(name=name, **fields))
+
+
+class TestSeriesComposition:
+    def test_flat_diagram_is_product(self):
+        root = MGDiagram(
+            "sys",
+            [
+                leaf("A", mtbf_hours=10_000.0),
+                leaf("B", mtbf_hours=20_000.0),
+            ],
+        )
+        model = DiagramBlockModel(root)
+        solution = translate(model)
+        product = 1.0
+        for block in solution.blocks:
+            product *= block.availability
+        assert solution.availability == pytest.approx(product, rel=1e-12)
+
+    def test_block_availability_matches_direct_generation(self):
+        g = GlobalParameters()
+        p = BlockParameters(name="A", mtbf_hours=10_000.0)
+        model = DiagramBlockModel(MGDiagram("sys", [MGBlock(p)]), g)
+        solution = translate(model)
+        expected = steady_state_availability(generate_block_chain(p, g))
+        assert solution.availability == pytest.approx(expected, rel=1e-12)
+
+    def test_solver_method_passthrough(self):
+        root = MGDiagram("sys", [leaf("A", mtbf_hours=10_000.0)])
+        model = DiagramBlockModel(root)
+        direct = translate(model, method="direct").availability
+        gth = translate(model, method="gth").availability
+        assert direct == pytest.approx(gth, rel=1e-10)
+
+
+class TestPassThroughBlocks:
+    def make_model(self, quantity=1):
+        sub = MGDiagram("box", [leaf("inner", mtbf_hours=10_000.0)])
+        root = MGDiagram(
+            "sys",
+            [MGBlock(BlockParameters(name="box", quantity=quantity,
+                                     min_required=quantity),
+                     subdiagram=sub)],
+        )
+        return DiagramBlockModel(root)
+
+    def test_passthrough_availability_is_subdiagram_product(self):
+        solution = translate(self.make_model())
+        box = solution.block("sys/box")
+        inner = solution.block("sys/box/inner")
+        assert box.chain is None
+        assert box.availability == pytest.approx(inner.availability)
+
+    def test_quantity_replicates_subassembly(self):
+        single = translate(self.make_model(quantity=1)).availability
+        double = translate(self.make_model(quantity=2)).availability
+        assert double == pytest.approx(single**2, rel=1e-9)
+
+    def test_block_lookup_by_path(self):
+        solution = translate(self.make_model())
+        with pytest.raises(SpecError, match="no solved block"):
+            solution.block("sys/missing")
+
+
+class TestAggregation:
+    def test_aggregate_rates_sum(self):
+        g = GlobalParameters()
+        sub = MGDiagram(
+            "shelf",
+            [
+                leaf("disk", quantity=3, min_required=3,
+                     mtbf_hours=30_000.0, transient_fit=100.0),
+                leaf("ctrl", mtbf_hours=60_000.0, transient_fit=50.0),
+            ],
+        )
+        aggregate = aggregate_subdiagram(sub, g)
+        expected_rate = 3 / 30_000.0 + 1 / 60_000.0
+        assert 1.0 / aggregate.mtbf_hours == pytest.approx(expected_rate)
+        assert aggregate.transient_fit == pytest.approx(3 * 100.0 + 50.0)
+
+    def test_aggregate_weights_durations_by_rate(self):
+        g = GlobalParameters()
+        sub = MGDiagram(
+            "shelf",
+            [
+                leaf("fast", mtbf_hours=1_000.0, diagnosis_minutes=10.0,
+                     corrective_minutes=10.0, verification_minutes=10.0),
+                leaf("slow", mtbf_hours=1_000.0, diagnosis_minutes=50.0,
+                     corrective_minutes=50.0, verification_minutes=50.0),
+            ],
+        )
+        aggregate = aggregate_subdiagram(sub, g)
+        # Equal rates: simple average of the MTTR parts.
+        assert aggregate.diagnosis_minutes == pytest.approx(30.0)
+
+    def test_aggregate_never_failing_subdiagram(self):
+        g = GlobalParameters()
+        sub = MGDiagram(
+            "shelf", [leaf("ghost", mtbf_hours=float("inf"))]
+        )
+        aggregate = aggregate_subdiagram(sub, g)
+        assert aggregate.permanent_rate == 0.0
+
+    def test_nested_aggregation(self):
+        g = GlobalParameters()
+        inner = MGDiagram("inner", [leaf("x", mtbf_hours=10_000.0)])
+        outer = MGDiagram(
+            "outer",
+            [MGBlock(BlockParameters(name="wrap", quantity=2,
+                                     min_required=2), subdiagram=inner)],
+        )
+        aggregate = aggregate_subdiagram(outer, g)
+        # Two replicated inner assemblies in series: rates double.
+        assert 1.0 / aggregate.mtbf_hours == pytest.approx(2 / 10_000.0)
+
+
+class TestRedundantAggregateBlocks:
+    def make_model(self, quantity=2, min_required=1):
+        shelf = MGDiagram("shelf", [leaf("disk", mtbf_hours=30_000.0)])
+        root = MGDiagram(
+            "sys",
+            [MGBlock(
+                BlockParameters(
+                    name="mirror", quantity=quantity,
+                    min_required=min_required,
+                    recovery="transparent", repair="transparent",
+                ),
+                subdiagram=shelf,
+            )],
+        )
+        return DiagramBlockModel(root)
+
+    def test_redundant_aggregate_generates_chain(self):
+        solution = translate(self.make_model())
+        mirror = solution.block("sys/mirror")
+        assert mirror.chain is not None
+        assert mirror.model_type == 1
+
+    def test_mirroring_beats_single_shelf(self):
+        mirrored = translate(self.make_model(2, 1)).availability
+        single = translate(self.make_model(1, 1)).availability
+        assert mirrored > single
+
+    def test_effective_parameters_inherit_block_scenarios(self):
+        solution = translate(self.make_model())
+        mirror = solution.block("sys/mirror")
+        assert mirror.effective.quantity == 2
+        assert mirror.effective.mtbf_hours == pytest.approx(30_000.0)
+
+
+class TestSystemFrequency:
+    def test_series_frequency_formula(self):
+        root = MGDiagram(
+            "sys",
+            [leaf("A", mtbf_hours=5_000.0), leaf("B", mtbf_hours=8_000.0)],
+        )
+        solution = translate(DiagramBlockModel(root))
+        a, b = solution.blocks
+        expected = (
+            a.failure_frequency * b.availability
+            + b.failure_frequency * a.availability
+        )
+        assert solution.failure_frequency == pytest.approx(expected, rel=1e-12)
+
+    def test_frequency_positive(self):
+        root = MGDiagram("sys", [leaf("A", mtbf_hours=5_000.0)])
+        solution = translate(DiagramBlockModel(root))
+        assert solution.failure_frequency > 0
+
+
+class TestPointMeasures:
+    def test_point_availability_starts_at_one(self):
+        root = MGDiagram("sys", [leaf("A", mtbf_hours=5_000.0)])
+        solution = translate(DiagramBlockModel(root))
+        assert solution.point_availability(0.0) == pytest.approx(1.0)
+
+    def test_reliability_decreases(self):
+        root = MGDiagram("sys", [leaf("A", mtbf_hours=5_000.0)])
+        solution = translate(DiagramBlockModel(root))
+        r1 = solution.reliability(100.0)
+        r2 = solution.reliability(1_000.0)
+        assert 0 < r2 < r1 < 1
+
+    def test_diagram_rbd_structure(self):
+        root = MGDiagram("sys", [leaf("A"), leaf("B")])
+        model = DiagramBlockModel(root)
+        rbd = diagram_rbd(model)
+        names = [leaf_.name for leaf_ in rbd.leaves()]
+        assert names == ["sys/A", "sys/B"]
+        assert rbd.availability({"sys/A": 0.9, "sys/B": 0.8}) == pytest.approx(0.72)

@@ -1,0 +1,110 @@
+"""Tests for the component parts database."""
+
+import pytest
+
+from repro.database import PartRecord, PartsDatabase, builtin_database
+from repro.errors import DatabaseError
+
+
+class TestPartRecord:
+    def test_valid_record(self):
+        record = PartRecord(part_number="X-1", mtbf_hours=1e5)
+        assert record.mtbf_hours == 1e5
+
+    def test_empty_part_number_rejected(self):
+        with pytest.raises(DatabaseError):
+            PartRecord(part_number="")
+
+    def test_bad_mtbf_rejected(self):
+        with pytest.raises(DatabaseError, match="MTBF"):
+            PartRecord(part_number="X", mtbf_hours=0.0)
+
+    def test_negative_fit_rejected(self):
+        with pytest.raises(DatabaseError, match="FIT"):
+            PartRecord(part_number="X", transient_fit=-1.0)
+
+    def test_as_block_fields(self):
+        record = PartRecord(
+            part_number="X", mtbf_hours=5.0, transient_fit=7.0,
+            diagnosis_minutes=1.0, corrective_minutes=2.0,
+            verification_minutes=3.0, description="thing",
+        )
+        fields = record.as_block_fields()
+        assert fields["mtbf_hours"] == 5.0
+        assert fields["description"] == "thing"
+        assert "part_number" not in fields
+
+
+class TestPartsDatabase:
+    def test_add_and_lookup(self):
+        db = PartsDatabase()
+        db.add(PartRecord(part_number="X-1"))
+        assert db.lookup("X-1").part_number == "X-1"
+
+    def test_duplicate_rejected(self):
+        db = PartsDatabase()
+        db.add(PartRecord(part_number="X-1"))
+        with pytest.raises(DatabaseError, match="duplicate"):
+            db.add(PartRecord(part_number="X-1"))
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(DatabaseError, match="unknown part"):
+            PartsDatabase().lookup("X-1")
+
+    def test_contains_and_len(self):
+        db = PartsDatabase()
+        db.add(PartRecord(part_number="A"))
+        assert "A" in db and "B" not in db
+        assert len(db) == 1
+
+    def test_iteration_sorted(self):
+        db = PartsDatabase()
+        db.add(PartRecord(part_number="B"))
+        db.add(PartRecord(part_number="A"))
+        assert [r.part_number for r in db] == ["A", "B"]
+
+
+class TestPersistence:
+    def test_json_round_trip(self):
+        db = builtin_database()
+        restored = PartsDatabase.from_json(db.to_json())
+        assert len(restored) == len(db)
+        assert restored.lookup("CPU-400") == db.lookup("CPU-400")
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "parts.json"
+        builtin_database().save(path)
+        restored = PartsDatabase.load(path)
+        assert "HDD-36G" in restored
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(DatabaseError, match="invalid"):
+            PartsDatabase.from_json("{bad")
+
+    def test_non_list_rejected(self):
+        with pytest.raises(DatabaseError, match="list"):
+            PartsDatabase.from_json("{}")
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(DatabaseError):
+            PartsDatabase.from_json('[{"bogus_field": 1}]')
+
+
+class TestBuiltinCatalog:
+    def test_has_figure2_part_classes(self):
+        db = builtin_database()
+        for part in ("SYSBD-01", "CPU-400", "MEM-1G", "PSU-650",
+                     "FAN-92", "HDD-36G", "IOB-PCI"):
+            assert part in db
+
+    def test_disks_are_least_reliable_class(self):
+        db = builtin_database()
+        disk = db.lookup("HDD-36G")
+        others = [r for r in db if r.part_number != "HDD-36G"]
+        assert disk.mtbf_hours <= min(r.mtbf_hours for r in others)
+
+    def test_returns_fresh_copies(self):
+        a = builtin_database()
+        b = builtin_database()
+        a.add(PartRecord(part_number="LOCAL-1"))
+        assert "LOCAL-1" not in b

@@ -1,0 +1,73 @@
+"""Tests for the GMB fluent builders."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.gmb import MarkovBuilder, SemiMarkovBuilder
+from repro.markov import steady_state_availability
+from repro.semimarkov import Deterministic, Exponential, semi_markov_availability
+
+
+class TestMarkovBuilder:
+    def test_fluent_chain(self):
+        chain = (
+            MarkovBuilder("m")
+            .up("Ok")
+            .down("Down")
+            .arc("Ok", "Down", 0.1)
+            .arc("Down", "Ok", 0.9)
+            .build()
+        )
+        assert steady_state_availability(chain) == pytest.approx(0.9)
+
+    def test_build_validates(self):
+        builder = MarkovBuilder().down("OnlyDown")
+        with pytest.raises(ModelError):
+            builder.build()
+
+    def test_custom_rewards(self):
+        chain = (
+            MarkovBuilder()
+            .up("Full")
+            .up("Degraded", reward=0.5)
+            .arc("Full", "Degraded", 1.0)
+            .arc("Degraded", "Full", 1.0)
+            .build()
+        )
+        assert chain.state("Degraded").reward == 0.5
+
+    def test_arc_labels(self):
+        chain = (
+            MarkovBuilder()
+            .up("A")
+            .down("B")
+            .arc("A", "B", 1.0, label="fails")
+            .arc("B", "A", 1.0)
+            .build()
+        )
+        (first, _) = chain.transitions()
+        assert first.label == "fails"
+
+
+class TestSemiMarkovBuilder:
+    def test_fluent_process(self):
+        process = (
+            SemiMarkovBuilder("s")
+            .up("Up")
+            .down("Down")
+            .arc("Up", "Down", 1.0, Exponential.from_mean(99.0))
+            .arc("Down", "Up", 1.0, Deterministic(1.0))
+            .build()
+        )
+        assert semi_markov_availability(process) == pytest.approx(0.99)
+
+    def test_build_validates_branch_sums(self):
+        builder = (
+            SemiMarkovBuilder()
+            .up("A")
+            .down("B")
+            .arc("A", "B", 0.5, Deterministic(1.0))
+            .arc("B", "A", 1.0, Deterministic(1.0))
+        )
+        with pytest.raises(ModelError, match="sum"):
+            builder.build()

@@ -1,0 +1,83 @@
+"""Tests for hierarchical GMB composition."""
+
+import pytest
+
+from repro.core import translate
+from repro.errors import ModelError
+from repro.gmb import HierarchicalModel, MarkovBuilder, SemiMarkovBuilder
+from repro.library import workgroup_model
+from repro.markov import steady_state_availability
+from repro.rbd import Leaf, parallel, series
+from repro.semimarkov import Deterministic, Exponential
+
+
+def chain(availability_target=0.9):
+    mu = 1.0
+    lam = mu * (1 - availability_target) / availability_target
+    return (
+        MarkovBuilder("leafchain")
+        .up("Ok")
+        .down("Down")
+        .arc("Ok", "Down", lam)
+        .arc("Down", "Ok", mu)
+        .build()
+    )
+
+
+class TestBinding:
+    def test_bind_chain(self):
+        structure = series(Leaf("a"), Leaf("b"))
+        model = HierarchicalModel(structure)
+        model.bind("a", chain(0.9)).bind("b", 0.8)
+        assert model.availability() == pytest.approx(0.72, rel=1e-9)
+
+    def test_bind_semi_markov(self):
+        smp = (
+            SemiMarkovBuilder()
+            .up("Up")
+            .down("Down")
+            .arc("Up", "Down", 1.0, Exponential.from_mean(9.0))
+            .arc("Down", "Up", 1.0, Deterministic(1.0))
+            .build()
+        )
+        model = HierarchicalModel(series(Leaf("x")))
+        model.bind("x", smp)
+        assert model.availability() == pytest.approx(0.9)
+
+    def test_bind_nested_rbd(self):
+        inner = parallel(0.9, 0.9)
+        model = HierarchicalModel(series(Leaf("x")))
+        model.bind("x", inner)
+        assert model.availability() == pytest.approx(1 - 0.01)
+
+    def test_bind_mg_solution(self):
+        # "The combined use of MG models and GMB models."
+        solution = translate(workgroup_model())
+        structure = series(Leaf("server"), Leaf("network", 0.9999))
+        model = HierarchicalModel(structure)
+        model.bind("server", solution)
+        expected = solution.availability * 0.9999
+        assert model.availability() == pytest.approx(expected, rel=1e-12)
+
+    def test_unknown_leaf_rejected(self):
+        model = HierarchicalModel(series(Leaf("a")))
+        with pytest.raises(ModelError, match="no leaf"):
+            model.bind("zzz", 0.9)
+
+    def test_out_of_range_float_rejected(self):
+        model = HierarchicalModel(series(Leaf("a")))
+        model.bind("a", 1.5)
+        with pytest.raises(ModelError, match=r"\[0, 1\]"):
+            model.availability()
+
+    def test_unsupported_type_rejected(self):
+        model = HierarchicalModel(series(Leaf("a")))
+        model.bind("a", object())
+        with pytest.raises(ModelError, match="unsupported"):
+            model.availability()
+
+    def test_unbound_leaf_with_default_probability(self):
+        model = HierarchicalModel(series(Leaf("a", 0.95), Leaf("b")))
+        model.bind("b", chain(0.9))
+        expected = 0.95 * steady_state_availability(chain(0.9))
+        assert model.availability() == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,31 @@
+"""The committed API reference must match the code exactly."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_api_docs_in_sync():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import generate_api_docs
+    finally:
+        sys.path.pop(0)
+    generated = generate_api_docs.generate()
+    committed = (REPO_ROOT / "docs" / "api.md").read_text()
+    assert generated == committed, (
+        "docs/api.md is stale; run `python tools/generate_api_docs.py`"
+    )
+
+
+def test_every_public_export_documented():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import generate_api_docs
+    finally:
+        sys.path.pop(0)
+    text = generate_api_docs.generate()
+    assert "(undocumented)" not in text, (
+        "every public export needs a docstring"
+    )

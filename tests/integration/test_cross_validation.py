@@ -1,0 +1,137 @@
+"""Cross-validation integration tests (the paper's Section 5 loop).
+
+Three fully independent evaluation paths must agree on every generated
+model: the production solver, the SHARPE-like independent analytic
+path, and two Monte Carlo routes (the matrix-free life-cycle simulator
+and the semi-Markov trajectory embedding).
+"""
+
+import pytest
+
+from repro.core import GlobalParameters, generate_block_chain, translate
+from repro.library import datacenter_model, workgroup_model
+from repro.markov import steady_state_availability
+from repro.semimarkov import (
+    SemiMarkovProcess,
+    semi_markov_availability,
+    simulate_interval_availability,
+)
+from repro.units import availability_to_yearly_downtime_minutes
+from repro.validation import sharpe_availability, simulate_block_availability
+
+PAPER_TOLERANCE = 0.002  # "relative errors in yearly downtime ... < 0.2%"
+
+
+class TestAnalyticPathsAgreeWithinPaperTolerance:
+    @pytest.mark.parametrize("recovery", ["transparent", "nontransparent"])
+    @pytest.mark.parametrize("repair", ["transparent", "nontransparent"])
+    def test_yearly_downtime_relative_error(
+        self, recovery, repair, stress_params, globals_default
+    ):
+        p = stress_params.with_changes(recovery=recovery, repair=repair)
+        chain = generate_block_chain(p, globals_default)
+        production = steady_state_availability(chain)
+        independent = sharpe_availability(chain)
+        downtime_a = availability_to_yearly_downtime_minutes(production)
+        downtime_b = availability_to_yearly_downtime_minutes(independent)
+        assert abs(downtime_a - downtime_b) / downtime_a < PAPER_TOLERANCE
+
+    def test_semi_markov_embedding_agrees(
+        self, stress_params, globals_default
+    ):
+        chain = generate_block_chain(stress_params, globals_default)
+        embedded = SemiMarkovProcess.from_markov_chain(chain)
+        assert semi_markov_availability(embedded) == pytest.approx(
+            steady_state_availability(chain), rel=1e-9
+        )
+
+
+class TestMonteCarloPathsAgree:
+    def test_two_independent_simulators_and_analytic(
+        self, stress_params, globals_default
+    ):
+        chain = generate_block_chain(stress_params, globals_default)
+        analytic = steady_state_availability(chain)
+
+        lifecycle = simulate_block_availability(
+            stress_params, globals_default,
+            horizon=40_000.0, replications=80, seed=11,
+        )
+        trajectory = simulate_interval_availability(
+            SemiMarkovProcess.from_markov_chain(chain),
+            horizon=40_000.0, replications=80, seed=12,
+        )
+        assert lifecycle.contains(analytic)
+        assert trajectory.contains(analytic)
+
+
+class TestReliabilityCrossValidation:
+    def test_mttf_analytic_vs_trajectory_simulation(
+        self, stress_params, globals_default
+    ):
+        """The reliability model's MTTF from the fundamental matrix must
+        match the mean first-passage time measured on simulated
+        trajectories of the same chain."""
+        from repro.markov import mean_time_to_failure
+        from repro.semimarkov import (
+            SemiMarkovProcess,
+            simulate_time_to_failure,
+        )
+
+        chain = generate_block_chain(stress_params, globals_default)
+        analytic = mean_time_to_failure(chain)
+        embedded = SemiMarkovProcess.from_markov_chain(chain)
+        simulated = simulate_time_to_failure(
+            embedded, replications=400, seed=29
+        )
+        assert simulated.contains(analytic)
+
+    def test_reliability_curve_vs_empirical_survival(
+        self, stress_params, globals_default
+    ):
+        """R(t) from uniformization vs the empirical survival function
+        of simulated times-to-failure."""
+        import numpy as np
+
+        from repro.markov import reliability_at
+        from repro.semimarkov import SemiMarkovProcess
+        from repro.semimarkov.simulation import _one_ttf_run
+
+        chain = generate_block_chain(stress_params, globals_default)
+        embedded = SemiMarkovProcess.from_markov_chain(chain)
+        rng = np.random.default_rng(31)
+        samples = np.array([
+            _one_ttf_run(embedded, embedded.state_names[0], rng, 10**7)
+            for _ in range(600)
+        ])
+        for t in (10.0, 50.0, 200.0):
+            empirical = float((samples > t).mean())
+            analytic = reliability_at(chain, t)
+            half_width = 2.58 * np.sqrt(
+                max(empirical * (1 - empirical), 1e-4) / samples.size
+            )
+            assert abs(analytic - empirical) < half_width + 0.01
+
+
+class TestWholeModelConsistency:
+    @pytest.mark.parametrize(
+        "factory", [workgroup_model, datacenter_model],
+        ids=["workgroup", "datacenter"],
+    )
+    def test_solver_methods_agree_on_system(self, factory):
+        model = factory()
+        availabilities = {
+            method: translate(model, method=method).availability
+            for method in ("direct", "gth")
+        }
+        values = list(availabilities.values())
+        assert values[0] == pytest.approx(values[1], rel=1e-9)
+
+    def test_block_product_equals_system(self):
+        from repro.core.translator import _block_contribution
+
+        solution = translate(datacenter_model())
+        product = 1.0
+        for block in solution.blocks:
+            product *= _block_contribution(block)
+        assert solution.availability == pytest.approx(product, rel=1e-12)

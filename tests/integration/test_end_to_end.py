@@ -1,0 +1,115 @@
+"""End-to-end integration tests: spec text -> model -> measures -> report."""
+
+import json
+
+import pytest
+
+from repro import (
+    builtin_database,
+    compute_measures,
+    load_spec,
+    model_report,
+    model_to_spec,
+    parse_spec,
+    translate,
+)
+from repro.library import datacenter_model
+
+SPEC_TEXT = """
+{
+  "name": "Branch Office System",
+  "globals": {
+    "Reboot Time (Tboot)": 8.0,
+    "MTTM": 24.0,
+    "MTTRFID": 8.0,
+    "Mission Time": 8760.0
+  },
+  "diagram": {
+    "name": "Branch Office System",
+    "blocks": [
+      {
+        "name": "Server",
+        "subdiagram": {
+          "name": "Server Internals",
+          "blocks": [
+            {"name": "Board", "part_number": "SYSBD-01"},
+            {"name": "CPU", "part_number": "CPU-400",
+             "Quantity": 2, "Minimum Quantity Required": 1,
+             "Automatic Recovery Scenario": "nontransparent",
+             "Repair Scenario": "transparent",
+             "AR/Failover Time": 10.0,
+             "Probability of SPF during AR (Pspf)": 0.01},
+            {"name": "PSU", "part_number": "PSU-650",
+             "Quantity": 2, "Minimum Quantity Required": 1,
+             "Automatic Recovery Scenario": "transparent",
+             "Repair Scenario": "transparent"}
+          ]
+        }
+      },
+      {"name": "Disk Array", "part_number": "HDD-36G",
+       "Quantity": 4, "Minimum Quantity Required": 3,
+       "Automatic Recovery Scenario": "transparent",
+       "Repair Scenario": "transparent"}
+    ]
+  }
+}
+"""
+
+
+class TestSpecToMeasures:
+    def test_full_pipeline(self):
+        model = load_spec(SPEC_TEXT, database=builtin_database())
+        solution = translate(model)
+        measures = compute_measures(solution)
+        assert 0.99 < measures.availability < 1.0
+        assert measures.yearly_downtime_minutes > 0
+        assert 0 < measures.reliability_at_mission < 1
+
+    def test_gui_labels_resolved(self):
+        model = load_spec(SPEC_TEXT, database=builtin_database())
+        cpu = model.find("Branch Office System/Server/CPU")
+        assert cpu.parameters.quantity == 2
+        assert cpu.parameters.ar_time_minutes == 10.0
+
+    def test_database_defaults_applied(self):
+        model = load_spec(SPEC_TEXT, database=builtin_database())
+        board = model.find("Branch Office System/Server/Board")
+        record = builtin_database().lookup("SYSBD-01")
+        assert board.parameters.mtbf_hours == record.mtbf_hours
+
+    def test_round_trip_stability(self):
+        model = load_spec(SPEC_TEXT, database=builtin_database())
+        solution_a = translate(model)
+        restored = parse_spec(model_to_spec(model))
+        solution_b = translate(restored)
+        assert solution_a.availability == pytest.approx(
+            solution_b.availability, rel=1e-12
+        )
+
+    def test_report_generation(self):
+        model = load_spec(SPEC_TEXT, database=builtin_database())
+        report = model_report(model)
+        assert "Branch Office System" in report
+        assert "CPU" in report
+
+
+class TestFileWorkflow:
+    def test_share_via_file(self, tmp_path):
+        """The paper's 'file sharing across networks' workflow."""
+        from repro import save_spec
+
+        path = tmp_path / "shared_model.json"
+        save_spec(datacenter_model(), path)
+        # A colleague loads it and gets identical results.
+        theirs = load_spec(path)
+        assert translate(theirs).availability == pytest.approx(
+            translate(datacenter_model()).availability, rel=1e-12
+        )
+
+    def test_spec_file_is_readable_json(self, tmp_path):
+        from repro import save_spec
+
+        path = tmp_path / "m.json"
+        save_spec(datacenter_model(), path)
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "Data Center System"

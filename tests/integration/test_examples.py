@@ -1,0 +1,35 @@
+"""Every example script must run clean end-to-end.
+
+Examples are documentation; a bit-rotted example is worse than none.
+Each is executed in-process via runpy with a patched ``__name__`` so
+its ``main()`` actually runs.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda path: path.stem
+)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_expected_example_set_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "datacenter_availability",
+        "design_comparison",
+        "field_validation",
+        "gmb_custom_model",
+        "capacity_and_risk",
+    } <= names

@@ -1,0 +1,53 @@
+"""The ``python -m repro`` entry point must work as a subprocess."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import save_spec, workgroup_model
+
+
+@pytest.fixture(scope="module")
+def spec_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("entry") / "model.json"
+    save_spec(workgroup_model(), path)
+    return str(path)
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestModuleEntry:
+    def test_solve(self, spec_path):
+        result = run_cli("solve", spec_path)
+        assert result.returncode == 0
+        assert "availability" in result.stdout
+
+    def test_help(self):
+        result = run_cli("--help")
+        assert result.returncode == 0
+        assert "rascad" in result.stdout
+
+    def test_error_path_exit_code(self):
+        result = run_cli("solve", "/nonexistent/spec.json")
+        assert result.returncode == 2
+        assert "error:" in result.stderr
+
+    def test_piped_output_no_traceback(self, spec_path):
+        # BrokenPipeError from a closing pager must not produce a
+        # traceback (simulated by closing stdout early via head).
+        command = (
+            f"{sys.executable} -m repro budget {spec_path!r} | head -2"
+        )
+        result = subprocess.run(
+            command, shell=True, capture_output=True, text=True, timeout=120
+        )
+        assert "Traceback" not in result.stderr

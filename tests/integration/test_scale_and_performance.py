@@ -1,0 +1,75 @@
+"""Scale guards: the tool must stay interactive at realistic sizes.
+
+RAScad was an interactive web tool; a model edit had to re-solve in
+seconds.  These tests pin rough wall-clock budgets (generous enough to
+be robust on slow CI machines) so a regression that makes solving
+quadratically slower fails loudly.
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    BlockParameters,
+    GlobalParameters,
+    compute_measures,
+    datacenter_model,
+    generate_block_chain,
+    translate,
+)
+from repro.markov import steady_state_availability
+
+
+def elapsed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+class TestScale:
+    def test_deep_redundancy_chain_solves_fast(self):
+        parameters = BlockParameters(
+            name="big", quantity=129, min_required=1,
+            mtbf_hours=100_000.0, transient_fit=1_000.0,
+            p_latent_fault=0.05, p_spf=0.01,
+            recovery="nontransparent", repair="nontransparent",
+            p_correct_diagnosis=0.95,
+        )
+        chain, generation_time = elapsed(
+            lambda: generate_block_chain(parameters, GlobalParameters())
+        )
+        assert chain.n_states > 800
+        _, solve_time = elapsed(
+            lambda: steady_state_availability(chain)
+        )
+        assert generation_time < 10.0
+        assert solve_time < 10.0
+
+    def test_datacenter_resolve_is_interactive(self):
+        model = datacenter_model()
+        _, solve_time = elapsed(lambda: translate(model))
+        assert solve_time < 5.0
+
+    def test_full_measures_within_budget(self):
+        solution = translate(datacenter_model())
+        _, measure_time = elapsed(
+            lambda: compute_measures(solution, grid_points=17)
+        )
+        assert measure_time < 30.0
+
+    def test_wide_fanout_model(self):
+        """100 sibling blocks in one diagram solve fine."""
+        from repro.core import DiagramBlockModel, MGBlock, MGDiagram
+
+        blocks = [
+            MGBlock(BlockParameters(
+                name=f"part-{index}", mtbf_hours=1e6 + index,
+            ))
+            for index in range(100)
+        ]
+        model = DiagramBlockModel(MGDiagram("wide", blocks))
+        solution, solve_time = elapsed(lambda: translate(model))
+        assert solve_time < 10.0
+        assert 0.99 < solution.availability < 1.0
+        assert len(solution.blocks) == 100

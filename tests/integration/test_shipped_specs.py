@@ -1,0 +1,44 @@
+"""Tests for the spec files shipped in examples/specs/."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import builtin_database, compute_measures, load_spec, translate
+from repro.cli import main
+
+SPECS_DIR = Path(__file__).resolve().parents[2] / "examples" / "specs"
+SPECS = sorted(SPECS_DIR.glob("*.json"))
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda p: p.stem)
+class TestShippedSpecs:
+    def test_loads_and_solves(self, spec):
+        model = load_spec(spec, database=builtin_database())
+        measures = compute_measures(translate(model))
+        assert 0.99 < measures.availability < 1.0
+
+    def test_cli_accepts_it(self, spec, capsys):
+        assert main(["solve", str(spec)]) == 0
+        assert "availability" in capsys.readouterr().out
+
+    def test_round_trips(self, spec, tmp_path):
+        from repro import model_to_spec, parse_spec
+
+        model = load_spec(spec, database=builtin_database())
+        restored = parse_spec(model_to_spec(model))
+        assert translate(restored).availability == pytest.approx(
+            translate(model).availability, rel=1e-12
+        )
+
+
+def test_branch_office_spec_exists():
+    assert (SPECS_DIR / "branch_office.json").exists()
+
+
+def test_branch_office_uses_gui_labels():
+    text = (SPECS_DIR / "branch_office.json").read_text()
+    # The shipped spec demonstrates the paper's GUI-label vocabulary.
+    assert "Minimum Quantity Required" in text
+    assert "Automatic Recovery Scenario" in text
+    assert "MTTR Part 1: Diagnosis Time" in text

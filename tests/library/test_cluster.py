@@ -1,0 +1,94 @@
+"""Tests for the primary/standby cluster extension."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.library import (
+    ClusterParameters,
+    cluster_availability,
+    cluster_chain,
+)
+from repro.markov import steady_state, steady_state_availability
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        ClusterParameters()
+
+    def test_bad_mtbf_rejected(self):
+        with pytest.raises(ParameterError):
+            ClusterParameters(node_mtbf_hours=0.0)
+
+    def test_bad_failover_probability_rejected(self):
+        with pytest.raises(ParameterError):
+            ClusterParameters(p_failover_success=1.2)
+
+    def test_bad_times_rejected(self):
+        for field in (
+            "failover_minutes", "manual_recovery_hours",
+            "node_repair_hours", "emergency_repair_hours",
+        ):
+            with pytest.raises(ParameterError):
+                ClusterParameters(**{field: 0.0})
+
+    def test_with_changes(self):
+        p = ClusterParameters().with_changes(node_mtbf_hours=5_000.0)
+        assert p.node_mtbf_hours == 5_000.0
+
+
+class TestChainStructure:
+    def test_six_states(self):
+        chain = cluster_chain(ClusterParameters())
+        assert set(chain.state_names) == {
+            "Ok", "Failover", "StandbyOnly", "PrimaryOnly",
+            "ManualRecovery", "AllDown",
+        }
+
+    def test_up_down_partition(self):
+        chain = cluster_chain(ClusterParameters())
+        assert set(chain.up_states()) == {"Ok", "StandbyOnly", "PrimaryOnly"}
+
+    def test_perfect_failover_drops_manual_recovery(self):
+        chain = cluster_chain(ClusterParameters(p_failover_success=1.0))
+        assert chain.rate("Failover", "ManualRecovery") == 0.0
+
+    def test_chain_validates(self):
+        cluster_chain(ClusterParameters()).validate()
+
+
+class TestAvailabilityBehaviour:
+    def test_high_availability_with_defaults(self):
+        assert cluster_availability(ClusterParameters()) > 0.999
+
+    def test_faster_failover_is_better(self):
+        slow = cluster_availability(ClusterParameters(failover_minutes=30.0))
+        fast = cluster_availability(ClusterParameters(failover_minutes=1.0))
+        assert fast > slow
+
+    def test_failover_success_matters(self):
+        flaky = cluster_availability(
+            ClusterParameters(p_failover_success=0.5)
+        )
+        solid = cluster_availability(
+            ClusterParameters(p_failover_success=0.999)
+        )
+        assert solid > flaky
+
+    def test_cluster_beats_single_node(self):
+        # A single node with the same parameters: up MTBF, down repair.
+        from repro.gmb import MarkovBuilder
+
+        p = ClusterParameters()
+        single = (
+            MarkovBuilder("single")
+            .up("Up")
+            .down("Down")
+            .arc("Up", "Down", 1.0 / p.node_mtbf_hours)
+            .arc("Down", "Up", 1.0 / p.node_repair_hours)
+            .build()
+        )
+        assert cluster_availability(p) > steady_state_availability(single)
+
+    def test_most_time_spent_fully_up(self):
+        pi = steady_state(cluster_chain(ClusterParameters()))
+        assert pi["Ok"] > 0.99

@@ -1,0 +1,105 @@
+"""Tests for the product model library."""
+
+import pytest
+
+from repro.core import compute_measures, translate
+from repro.library import datacenter_model, e10000_model, workgroup_model
+from repro.units import nines
+
+
+class TestDataCenterStructure:
+    """The model must match the paper's Figures 1-2 description."""
+
+    def test_level1_has_four_blocks(self):
+        model = datacenter_model()
+        names = [block.name for block in model.root]
+        assert names == [
+            "Server Box",
+            "Boot Drives, RAID1",
+            "Storage 1, RAID5",
+            "Storage 2, RAID5",
+        ]
+
+    def test_every_level1_block_has_subdiagram(self):
+        # "The color for these four blocks are dark, which means each of
+        # them has a subdiagram."
+        model = datacenter_model()
+        assert all(block.has_subdiagram for block in model.root)
+
+    def test_server_box_has_19_blocks(self):
+        # "This subdiagram consists of 19 blocks (System Board, CPU
+        # Module, etc.)."
+        model = datacenter_model()
+        server_box = model.root.block("Server Box")
+        assert len(server_box.subdiagram) == 19
+
+    def test_server_box_contains_named_blocks(self):
+        model = datacenter_model()
+        names = {b.name for b in model.root.block("Server Box").subdiagram}
+        assert {"System Board", "CPU Module"} <= names
+
+    def test_raid5_is_6_of_5(self):
+        model = datacenter_model()
+        storage = model.root.block("Storage 1, RAID5")
+        assert storage.parameters.quantity == 6
+        assert storage.parameters.min_required == 5
+
+    def test_boot_drives_mirrored(self):
+        model = datacenter_model()
+        boot = model.root.block("Boot Drives, RAID1")
+        assert boot.parameters.quantity == 2
+        assert boot.parameters.min_required == 1
+
+    def test_model_validates(self):
+        datacenter_model().validate()
+
+
+class TestLibrarySolutions:
+    @pytest.mark.parametrize(
+        "factory", [datacenter_model, e10000_model, workgroup_model],
+        ids=["datacenter", "e10000", "workgroup"],
+    )
+    def test_solves_to_plausible_availability(self, factory):
+        solution = translate(factory())
+        # Server-class availability: between two and six nines.
+        assert 0.99 < solution.availability < 0.9999995
+
+    def test_datacenter_measures_complete(self):
+        solution = translate(datacenter_model())
+        measures = compute_measures(solution)
+        assert measures.yearly_downtime_minutes > 0
+        assert measures.failures_per_year > 0
+        assert 0 < measures.reliability_at_mission < 1
+        assert measures.mttf_hours > 0
+
+    def test_redundant_e10000_beats_workgroup(self):
+        big = translate(e10000_model()).availability
+        small = translate(workgroup_model()).availability
+        assert nines(big) > nines(small)
+
+    def test_custom_globals_accepted(self):
+        from repro.core import GlobalParameters
+
+        fast = translate(
+            datacenter_model(
+                global_parameters=GlobalParameters(
+                    mttm_hours=0.0, mttrfid_hours=1.0,
+                    reboot_minutes=5.0,
+                )
+            )
+        ).availability
+        slow = translate(
+            datacenter_model(
+                global_parameters=GlobalParameters(
+                    mttm_hours=168.0, mttrfid_hours=24.0,
+                    reboot_minutes=30.0,
+                )
+            )
+        ).availability
+        assert fast > slow
+
+    def test_e10000_mission_window_is_15_months(self):
+        model = e10000_model()
+        assert model.global_parameters.mission_time_hours == pytest.approx(
+            10_950.0
+        )

@@ -1,0 +1,72 @@
+"""Tests for the primary/secondary (active-active) cluster extension."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.library import (
+    ClusterParameters,
+    cluster_availability,
+    secondary_cluster_chain,
+    secondary_cluster_measures,
+)
+from repro.markov import steady_state
+
+
+class TestChainStructure:
+    def test_five_states(self):
+        chain = secondary_cluster_chain(ClusterParameters())
+        assert set(chain.state_names) == {
+            "BothUp", "Failover", "OneUp", "ManualRecovery", "AllDown",
+        }
+
+    def test_one_up_is_degraded_reward(self):
+        chain = secondary_cluster_chain(
+            ClusterParameters(), degraded_capacity=0.5
+        )
+        assert chain.state("OneUp").reward == pytest.approx(0.5)
+        assert chain.state("OneUp").is_up
+
+    def test_failover_hazard_is_doubled(self):
+        p = ClusterParameters()
+        chain = secondary_cluster_chain(p)
+        assert chain.rate("BothUp", "Failover") == pytest.approx(
+            2.0 / p.node_mtbf_hours
+        )
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ParameterError, match="degraded capacity"):
+            secondary_cluster_chain(ClusterParameters(), degraded_capacity=0.0)
+
+    def test_chain_validates(self):
+        secondary_cluster_chain(ClusterParameters()).validate()
+
+
+class TestMeasures:
+    def test_capacity_below_availability(self):
+        measures = secondary_cluster_measures(ClusterParameters())
+        assert measures["expected_capacity"] < measures["availability"]
+
+    def test_full_capacity_when_degraded_capacity_is_one(self):
+        measures = secondary_cluster_measures(
+            ClusterParameters(), degraded_capacity=1.0
+        )
+        assert measures["expected_capacity"] == pytest.approx(
+            measures["availability"], rel=1e-12
+        )
+
+    def test_time_on_one_node_positive(self):
+        measures = secondary_cluster_measures(ClusterParameters())
+        assert 0.0 < measures["time_on_one_node"] < 0.05
+
+    def test_active_active_availability_below_standby(self):
+        # Active-active exposes both nodes' faults to failover downtime,
+        # so with identical parameters its availability trails the
+        # primary/standby arrangement (where standby faults are free).
+        p = ClusterParameters()
+        active = secondary_cluster_measures(p)["availability"]
+        standby = cluster_availability(p)
+        assert active < standby
+
+    def test_most_time_fully_up(self):
+        pi = steady_state(secondary_cluster_chain(ClusterParameters()))
+        assert pi["BothUp"] > 0.99

@@ -1,0 +1,113 @@
+"""Tests for exact stationary-vector sensitivities."""
+
+import pytest
+
+from repro.core import generate_block_chain
+from repro.errors import SolverError
+from repro.gmb import MarkovBuilder
+from repro.markov import (
+    MarkovChain,
+    all_rate_sensitivities,
+    rate_sensitivity,
+    stationary_derivative,
+    steady_state_availability,
+)
+
+
+def two_state(lam=0.02, mu=0.5):
+    return (
+        MarkovBuilder("pair")
+        .up("Ok")
+        .down("Down")
+        .arc("Ok", "Down", lam)
+        .arc("Down", "Ok", mu)
+        .build()
+    )
+
+
+class TestClosedForms:
+    def test_failure_rate_derivative(self):
+        lam, mu = 0.02, 0.5
+        value = rate_sensitivity(two_state(lam, mu), "Ok", "Down")
+        assert value == pytest.approx(-mu / (lam + mu) ** 2, rel=1e-9)
+
+    def test_repair_rate_derivative(self):
+        lam, mu = 0.02, 0.5
+        value = rate_sensitivity(two_state(lam, mu), "Down", "Ok")
+        assert value == pytest.approx(lam / (lam + mu) ** 2, rel=1e-9)
+
+    def test_derivatives_sum_to_zero_over_states(self):
+        # d(pi)/dq preserves normalisation: components sum to 0.
+        dpi = stationary_derivative(two_state(), "Ok", "Down")
+        assert sum(dpi.values()) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAgainstFiniteDifferences:
+    def test_generated_chain_arcs(self, stress_params, globals_default):
+        chain = generate_block_chain(stress_params, globals_default)
+
+        def availability_with(source, target, delta):
+            variant = MarkovChain(chain.name)
+            for state in chain:
+                variant.add_state(
+                    state.name, reward=state.reward, meta=state.meta
+                )
+            for t in chain.transitions():
+                rate = t.rate
+                if (t.source, t.target) == (source, target):
+                    rate += delta
+                variant.add_transition(t.source, t.target, rate)
+            return steady_state_availability(variant)
+
+        for transition in chain.transitions()[:8]:
+            exact = rate_sensitivity(
+                chain, transition.source, transition.target
+            )
+            # A generous step: central differences on near-1
+            # availabilities suffer catastrophic cancellation when the
+            # perturbation is too small relative to machine epsilon.
+            step = max(transition.rate * 1e-3, 1e-8)
+            hi = availability_with(transition.source, transition.target, step)
+            lo = availability_with(transition.source, transition.target, -step)
+            numeric = (hi - lo) / (2.0 * step)
+            assert exact == pytest.approx(numeric, rel=1e-4, abs=1e-10)
+
+
+class TestSignsAndRanking:
+    def test_failure_arcs_negative_repair_arcs_positive(self):
+        chain = two_state()
+        assert rate_sensitivity(chain, "Ok", "Down") < 0
+        assert rate_sensitivity(chain, "Down", "Ok") > 0
+
+    def test_ranking_sorted_by_magnitude(
+        self, redundant_params, globals_default
+    ):
+        chain = generate_block_chain(redundant_params, globals_default)
+        ranked = all_rate_sensitivities(chain)
+        magnitudes = [abs(value) for _s, _t, value in ranked]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_every_arc_covered(self, redundant_params, globals_default):
+        chain = generate_block_chain(redundant_params, globals_default)
+        ranked = all_rate_sensitivities(chain)
+        assert len(ranked) == len(chain.transitions())
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(SolverError, match="self-loop"):
+            stationary_derivative(two_state(), "Ok", "Ok")
+
+    def test_single_state_rejected(self):
+        from repro.errors import RascadError
+
+        chain = MarkovChain()
+        chain.add_state("only")
+        with pytest.raises(RascadError):
+            stationary_derivative(chain, "only", "elsewhere")
+
+    def test_unknown_state_rejected(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            stationary_derivative(two_state(), "Ok", "Nowhere")

@@ -1,0 +1,177 @@
+"""Tests for Markov reward measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.gmb import MarkovBuilder
+from repro.markov import (
+    expected_reward_rate,
+    failure_frequency,
+    interval_availability,
+    interval_reward,
+    recovery_frequency,
+    steady_state_availability,
+)
+
+
+def two_state(lam=0.02, mu=0.5):
+    return (
+        MarkovBuilder("pair")
+        .up("Ok")
+        .down("Down")
+        .arc("Ok", "Down", lam)
+        .arc("Down", "Ok", mu)
+        .build()
+    )
+
+
+class TestExpectedRewardRate:
+    def test_basic(self):
+        value = expected_reward_rate(
+            np.array([0.25, 0.75]), np.array([1.0, 0.2])
+        )
+        assert value == pytest.approx(0.25 + 0.15)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            expected_reward_rate(np.array([1.0]), np.array([1.0, 0.0]))
+
+
+class TestSteadyStateAvailability:
+    def test_two_state(self):
+        chain = two_state(0.02, 0.5)
+        assert steady_state_availability(chain) == pytest.approx(
+            0.5 / 0.52, rel=1e-9
+        )
+
+    def test_partial_rewards_count(self):
+        chain = (
+            MarkovBuilder("perf")
+            .up("Full", reward=1.0)
+            .up("Half", reward=0.5)
+            .arc("Full", "Half", 1.0)
+            .arc("Half", "Full", 1.0)
+            .build()
+        )
+        assert steady_state_availability(chain) == pytest.approx(0.75)
+
+
+class TestIntervalReward:
+    def test_matches_closed_form(self):
+        # Integral of A(t) for the two-state model has a closed form.
+        lam, mu = 0.1, 0.9
+        chain = two_state(lam, mu)
+        horizon = 7.0
+        total = lam + mu
+        steady = mu / total
+        transient_part = lam / total**2 * (1 - math.exp(-total * horizon))
+        expected = steady + transient_part / horizon
+        value = interval_availability(chain, horizon)
+        assert value == pytest.approx(expected, rel=1e-8)
+
+    def test_zero_horizon_returns_initial_reward(self):
+        chain = two_state()
+        assert interval_reward(chain, 0.0) == pytest.approx(1.0)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(SolverError):
+            interval_reward(two_state(), -1.0)
+
+    def test_ode_and_uniformization_agree(self):
+        chain = two_state(0.05, 0.6)
+        uni = interval_reward(chain, 25.0, method="uniformization")
+        ode = interval_reward(chain, 25.0, method="ode")
+        assert uni == pytest.approx(ode, rel=1e-6)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SolverError, match="unknown interval-reward"):
+            interval_reward(two_state(), 1.0, method="nope")
+
+    def test_interval_availability_between_point_and_steady(self):
+        # A(0)=1 >= IA(T) >= A(inf) for a monotone two-state model.
+        chain = two_state(0.1, 0.4)
+        ia = interval_availability(chain, 10.0)
+        steady = steady_state_availability(chain)
+        assert steady < ia < 1.0
+
+
+class TestIntervalFrequencies:
+    def test_long_horizon_converges_to_steady_state(self):
+        from repro.markov import (
+            interval_failure_frequency,
+            interval_recovery_frequency,
+        )
+
+        chain = two_state(0.05, 0.5)
+        value = interval_failure_frequency(chain, 2_000.0)
+        assert value == pytest.approx(failure_frequency(chain), rel=1e-3)
+        recovery = interval_recovery_frequency(chain, 2_000.0)
+        assert recovery == pytest.approx(
+            recovery_frequency(chain), rel=1e-3
+        )
+
+    def test_short_horizon_failure_rate_near_raw_rate(self):
+        # Starting up, the system fails at nearly the raw rate until the
+        # first failures accumulate.
+        from repro.markov import interval_failure_frequency
+
+        lam = 0.05
+        chain = two_state(lam, 0.5)
+        value = interval_failure_frequency(chain, 0.01)
+        assert value == pytest.approx(lam, rel=1e-2)
+
+    def test_failure_exceeds_recovery_from_up_start(self):
+        # Over a finite window starting up there are at least as many
+        # up->down crossings as completed recoveries.
+        from repro.markov import (
+            interval_failure_frequency,
+            interval_recovery_frequency,
+        )
+
+        chain = two_state(0.05, 0.5)
+        for horizon in (1.0, 10.0, 100.0):
+            fails = interval_failure_frequency(chain, horizon)
+            recovers = interval_recovery_frequency(chain, horizon)
+            assert fails >= recovers - 1e-12
+
+    def test_matches_closed_form(self):
+        # For the two-state model: (1/T) int lam * A(t) dt, with the
+        # closed-form A(t) integral used in TestIntervalReward.
+        import math
+
+        from repro.markov import interval_failure_frequency
+
+        lam, mu = 0.1, 0.9
+        chain = two_state(lam, mu)
+        horizon = 7.0
+        total = lam + mu
+        steady = mu / total
+        transient_part = lam / total**2 * (1 - math.exp(-total * horizon))
+        expected = lam * (steady + transient_part / horizon)
+        value = interval_failure_frequency(chain, horizon)
+        assert value == pytest.approx(expected, rel=1e-8)
+
+
+class TestCrossingFrequencies:
+    def test_two_state_frequency(self):
+        lam, mu = 0.02, 0.5
+        chain = two_state(lam, mu)
+        pi_up = mu / (lam + mu)
+        assert failure_frequency(chain) == pytest.approx(pi_up * lam, rel=1e-9)
+
+    def test_failure_equals_recovery_in_steady_state(self):
+        chain = two_state(0.07, 0.3)
+        assert failure_frequency(chain) == pytest.approx(
+            recovery_frequency(chain), rel=1e-9
+        )
+
+    def test_multi_state_balance(self, redundant_params, globals_default):
+        from repro.core import generate_block_chain
+
+        chain = generate_block_chain(redundant_params, globals_default)
+        assert failure_frequency(chain) == pytest.approx(
+            recovery_frequency(chain), rel=1e-6
+        )

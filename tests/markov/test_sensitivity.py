@@ -1,0 +1,52 @@
+"""Tests for parametric sensitivity and sweeps."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.gmb import MarkovBuilder
+from repro.markov import (
+    parametric_sensitivity,
+    steady_state_availability,
+    sweep,
+)
+
+
+def factory(lam: float):
+    return (
+        MarkovBuilder("pair")
+        .up("Ok")
+        .down("Down")
+        .arc("Ok", "Down", lam)
+        .arc("Down", "Ok", 0.5)
+        .build()
+    )
+
+
+class TestSweep:
+    def test_values_and_order_preserved(self):
+        points = sweep(factory, steady_state_availability, [0.01, 0.02, 0.05])
+        assert [value for value, _ in points] == [0.01, 0.02, 0.05]
+
+    def test_availability_decreases_with_failure_rate(self):
+        points = sweep(factory, steady_state_availability, [0.01, 0.02, 0.05])
+        measures = [measure for _, measure in points]
+        assert measures[0] > measures[1] > measures[2]
+
+    def test_matches_closed_form(self):
+        ((_, measure),) = sweep(factory, steady_state_availability, [0.1])
+        assert measure == pytest.approx(0.5 / 0.6, rel=1e-9)
+
+
+class TestSensitivity:
+    def test_derivative_matches_closed_form(self):
+        # dA/dlam = -mu / (lam + mu)^2.
+        lam, mu = 0.05, 0.5
+        derivative = parametric_sensitivity(
+            factory, steady_state_availability, at=lam
+        )
+        expected = -mu / (lam + mu) ** 2
+        assert derivative == pytest.approx(expected, rel=1e-5)
+
+    def test_zero_point_rejected(self):
+        with pytest.raises(SolverError):
+            parametric_sensitivity(factory, steady_state_availability, at=0.0)

@@ -1,0 +1,57 @@
+"""Property-based cross-validation: generator vs life-cycle simulator.
+
+For randomized engineering parameters, the analytic availability of the
+generated chain must fall inside the Monte Carlo confidence interval of
+the matrix-free life-cycle simulator.  ``derandomize=True`` keeps the
+sampled parameter sets fixed across runs, so the statistical tolerance
+cannot make the suite flaky.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import BlockParameters, GlobalParameters, generate_block_chain
+from repro.markov import steady_state_availability
+from repro.validation import simulate_block_availability
+
+
+@st.composite
+def stressed_parameters(draw):
+    """Low-reliability parameter sets so MC has signal to compare."""
+    quantity = draw(st.integers(min_value=1, max_value=4))
+    min_required = draw(st.integers(min_value=1, max_value=quantity))
+    return BlockParameters(
+        name="unit",
+        quantity=quantity,
+        min_required=min_required,
+        mtbf_hours=draw(st.floats(min_value=500.0, max_value=5_000.0)),
+        transient_fit=draw(st.floats(min_value=0.0, max_value=5e5)),
+        p_latent_fault=draw(st.floats(min_value=0.0, max_value=0.3)),
+        mttdlf_hours=draw(st.floats(min_value=4.0, max_value=100.0)),
+        p_spf=draw(st.floats(min_value=0.0, max_value=0.1)),
+        p_correct_diagnosis=draw(st.floats(min_value=0.7, max_value=1.0)),
+        recovery=draw(st.sampled_from(["transparent", "nontransparent"])),
+        repair=draw(st.sampled_from(["transparent", "nontransparent"])),
+        service_response_hours=draw(st.floats(min_value=0.0, max_value=24.0)),
+    )
+
+
+@given(parameters=stressed_parameters())
+@settings(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_simulator_confirms_generated_chain(parameters):
+    g = GlobalParameters()
+    chain = generate_block_chain(parameters, g)
+    analytic = steady_state_availability(chain)
+    simulated = simulate_block_availability(
+        parameters, g,
+        horizon=30_000.0, replications=60, seed=17, confidence=0.99,
+    )
+    assert simulated.contains(analytic), (
+        f"analytic {analytic:.6f} outside "
+        f"[{simulated.low:.6f}, {simulated.high:.6f}] for {parameters}"
+    )

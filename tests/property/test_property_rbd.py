@@ -1,0 +1,114 @@
+"""Property-based tests for the RBD engine (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rbd import KofN, Leaf, Parallel, Series, k_of_n, parallel, series
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+prob_lists = st.lists(probabilities, min_size=1, max_size=8)
+
+
+class TestCombinatorBounds:
+    @given(ps=prob_lists)
+    @settings(max_examples=100)
+    def test_series_below_weakest_link(self, ps):
+        value = series(*ps).availability()
+        assert value <= min(ps) + 1e-12
+        assert value >= -1e-12
+
+    @given(ps=prob_lists)
+    @settings(max_examples=100)
+    def test_parallel_above_strongest_link(self, ps):
+        value = parallel(*ps).availability()
+        assert value >= max(ps) - 1e-12
+        assert value <= 1.0 + 1e-12
+
+    @given(ps=prob_lists, data=st.data())
+    @settings(max_examples=100)
+    def test_k_of_n_between_series_and_parallel(self, ps, data):
+        k = data.draw(st.integers(min_value=1, max_value=len(ps)))
+        value = k_of_n(k, *ps).availability()
+        assert series(*ps).availability() - 1e-12 <= value
+        assert value <= parallel(*ps).availability() + 1e-12
+
+    @given(ps=prob_lists, data=st.data())
+    @settings(max_examples=100)
+    def test_k_of_n_monotone_in_k(self, ps, data):
+        k = data.draw(st.integers(min_value=1, max_value=len(ps)))
+        value_k = k_of_n(k, *ps).availability()
+        if k < len(ps):
+            value_k1 = k_of_n(k + 1, *ps).availability()
+            assert value_k1 <= value_k + 1e-12
+
+
+class TestStructuralIdentities:
+    @given(ps=prob_lists)
+    @settings(max_examples=100)
+    def test_series_is_n_of_n(self, ps):
+        assert series(*ps).availability() == pytest.approx(
+            k_of_n(len(ps), *ps).availability(), abs=1e-12
+        )
+
+    @given(ps=prob_lists)
+    @settings(max_examples=100)
+    def test_parallel_is_1_of_n(self, ps):
+        assert parallel(*ps).availability() == pytest.approx(
+            k_of_n(1, *ps).availability(), abs=1e-12
+        )
+
+    @given(ps=prob_lists)
+    @settings(max_examples=100)
+    def test_series_order_invariance(self, ps):
+        forward = series(*ps).availability()
+        backward = series(*reversed(ps)).availability()
+        assert forward == pytest.approx(backward, abs=1e-12)
+
+    @given(p=probabilities, q=probabilities)
+    @settings(max_examples=100)
+    def test_de_morgan_duality(self, p, q):
+        # parallel(p, q) = 1 - series(1-p, 1-q) on unavailabilities.
+        lhs = parallel(p, q).availability()
+        rhs = 1.0 - series(1.0 - p, 1.0 - q).availability()
+        assert lhs == pytest.approx(rhs, abs=1e-12)
+
+    @given(ps=prob_lists, data=st.data())
+    @settings(max_examples=50)
+    def test_monotone_in_component_improvement(self, ps, data):
+        # Improving any one component never hurts the k-of-n system.
+        k = data.draw(st.integers(min_value=1, max_value=len(ps)))
+        index = data.draw(st.integers(min_value=0, max_value=len(ps) - 1))
+        improved = list(ps)
+        improved[index] = min(1.0, improved[index] + 0.1)
+        before = k_of_n(k, *ps).availability()
+        after = k_of_n(k, *improved).availability()
+        assert after >= before - 1e-12
+
+
+class TestNetworkAgainstCombinators:
+    @given(ps=st.lists(probabilities, min_size=2, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_chain_network_equals_series(self, ps):
+        from repro.rbd import NetworkRBD
+
+        net = NetworkRBD("n0", f"n{len(ps)}")
+        for i, p in enumerate(ps):
+            net.add_component(f"n{i}", f"n{i + 1}", p)
+        assert net.availability() == pytest.approx(
+            series(*ps).availability(), abs=1e-9
+        )
+
+    @given(p1=probabilities, p2=probabilities)
+    @settings(max_examples=50, deadline=None)
+    def test_diamond_network_equals_parallel_of_series(self, p1, p2):
+        from repro.rbd import NetworkRBD
+
+        net = NetworkRBD("s", "t")
+        net.add_component("s", "a", p1)
+        net.add_component("a", "t", p2)
+        net.add_component("s", "b", p2)
+        net.add_component("b", "t", p1)
+        expected = parallel(
+            series(p1, p2), series(p2, p1)
+        ).availability()
+        assert net.availability() == pytest.approx(expected, abs=1e-9)

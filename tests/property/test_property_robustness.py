@@ -1,0 +1,115 @@
+"""Fuzz/robustness properties: malformed input must fail *cleanly*.
+
+Every externally-facing parser and estimator must raise a
+:class:`~repro.errors.RascadError` subclass on bad input — never an
+uncontrolled TypeError/KeyError/ValueError crash — because the CLI's
+error handling relies on that contract.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database import PartsDatabase
+from repro.errors import RascadError
+from repro.spec import load_spec, parse_spec
+from repro.validation import OutageEvent, estimate_from_log
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestSpecParserRobustness:
+    @given(payload=json_values)
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_json_never_crashes_uncontrolled(self, payload):
+        try:
+            model = parse_spec(payload) if isinstance(payload, dict) else None
+            if model is None:
+                return
+            # If it parsed, it must be a solvable model.
+            from repro.core import translate
+
+            translate(model)
+        except RascadError:
+            pass  # clean rejection is the contract
+
+    @given(text=st.text(max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text_never_crashes_uncontrolled(self, text):
+        try:
+            load_spec("{" + text)  # force JSON-string interpretation
+        except RascadError:
+            pass
+
+    @given(blocks=st.lists(
+        st.dictionaries(st.text(max_size=12), json_scalars, max_size=5),
+        min_size=1, max_size=3,
+    ))
+    @settings(max_examples=150, deadline=None)
+    def test_random_block_dicts_rejected_cleanly(self, blocks):
+        spec = {"diagram": {"name": "d", "blocks": blocks}}
+        try:
+            parse_spec(spec)
+        except RascadError:
+            pass
+
+
+class TestDatabaseRobustness:
+    @given(text=st.text(max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_database_json_rejected_cleanly(self, text):
+        try:
+            PartsDatabase.from_json(text)
+        except RascadError:
+            pass
+
+    @given(payload=st.lists(json_values, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_record_lists_rejected_cleanly(self, payload):
+        try:
+            PartsDatabase.from_json(json.dumps(payload))
+        except RascadError:
+            pass
+
+
+class TestEstimatorRobustness:
+    @given(
+        starts=st.lists(
+            st.floats(min_value=0.0, max_value=1e4), min_size=0, max_size=8
+        ),
+        durations=st.lists(
+            st.floats(min_value=1e-3, max_value=100.0),
+            min_size=0, max_size=8,
+        ),
+        window=st.floats(min_value=1.0, max_value=2e4),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_estimator_result_always_sane_or_clean_error(
+        self, starts, durations, window
+    ):
+        events = [
+            OutageEvent(start, duration)
+            for start, duration in zip(starts, durations)
+        ]
+        try:
+            estimate = estimate_from_log(events, window)
+        except RascadError:
+            return
+        assert 0.0 <= estimate.availability <= 1.0
+        assert estimate.availability_low <= estimate.availability_high
+        assert estimate.total_downtime_hours >= 0.0

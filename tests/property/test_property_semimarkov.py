@@ -1,0 +1,125 @@
+"""Property-based tests for the semi-Markov engine (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.markov import steady_state
+from repro.semimarkov import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Lognormal,
+    SemiMarkovProcess,
+    Uniform,
+    expand_to_ctmc,
+    fit_phase_type,
+    semi_markov_steady_state,
+)
+
+means = st.floats(min_value=0.01, max_value=1e4)
+cv2s = st.floats(min_value=0.0, max_value=25.0)
+
+
+@st.composite
+def random_distribution(draw):
+    kind = draw(st.sampled_from(
+        ["exp", "det", "uniform", "erlang", "lognormal"]
+    ))
+    if kind == "exp":
+        return Exponential.from_mean(draw(means))
+    if kind == "det":
+        return Deterministic(draw(means))
+    if kind == "uniform":
+        low = draw(st.floats(min_value=0.0, max_value=100.0))
+        width = draw(st.floats(min_value=0.001, max_value=100.0))
+        return Uniform(low, low + width)
+    if kind == "erlang":
+        return Erlang.from_mean(draw(means),
+                                draw(st.integers(min_value=1, max_value=9)))
+    return Lognormal.from_mean_cv(
+        draw(means), draw(st.floats(min_value=0.05, max_value=3.0))
+    )
+
+
+@st.composite
+def random_cyclic_smp(draw, max_states=5):
+    """A ring-structured SMP with random extra branches (irreducible)."""
+    n = draw(st.integers(min_value=2, max_value=max_states))
+    rewards = draw(
+        st.lists(st.sampled_from([0.0, 1.0]), min_size=n, max_size=n)
+        .filter(lambda r: any(x > 0 for x in r))
+    )
+    process = SemiMarkovProcess("random")
+    for i in range(n):
+        process.add_state(f"S{i}", reward=rewards[i])
+    for i in range(n):
+        # Ring arc guarantees irreducibility; optionally split with a
+        # second branch to a random state.
+        split = draw(st.booleans())
+        if split and n > 2:
+            other = draw(st.integers(min_value=0, max_value=n - 1))
+            if other != (i + 1) % n and other != i:
+                p = draw(st.floats(min_value=0.05, max_value=0.95))
+                process.add_transition(
+                    f"S{i}", f"S{(i + 1) % n}", p,
+                    draw(random_distribution()),
+                )
+                process.add_transition(
+                    f"S{i}", f"S{other}", 1.0 - p,
+                    draw(random_distribution()),
+                )
+                continue
+        process.add_transition(
+            f"S{i}", f"S{(i + 1) % n}", 1.0, draw(random_distribution())
+        )
+    return process
+
+
+class TestSteadyStateProperties:
+    @given(process=random_cyclic_smp())
+    @settings(max_examples=60, deadline=None)
+    def test_fractions_form_distribution(self, process):
+        fractions = semi_markov_steady_state(process)
+        assert sum(fractions.values()) == pytest.approx(1.0, abs=1e-9)
+        assert all(value >= -1e-12 for value in fractions.values())
+
+    @given(process=random_cyclic_smp())
+    @settings(max_examples=40, deadline=None)
+    def test_expansion_matches_ratio_formula(self, process):
+        # PH expansion preserves means, so the expanded CTMC's
+        # aggregated steady state must equal the ratio formula exactly.
+        chain = expand_to_ctmc(process, max_stages=8)
+        pi = steady_state(chain)
+        aggregated = {name: 0.0 for name in process.state_names}
+        for state in chain:
+            aggregated[str(state.meta["smp_state"])] += pi[state.name]
+        exact = semi_markov_steady_state(process)
+        for name in process.state_names:
+            assert aggregated[name] == pytest.approx(
+                exact[name], rel=1e-7, abs=1e-12
+            )
+
+
+class TestPhaseTypeProperties:
+    @given(mean=means, cv2=cv2s)
+    @settings(max_examples=120, deadline=None)
+    def test_mean_always_matched(self, mean, cv2):
+        fit = fit_phase_type(mean, cv2, max_stages=64)
+        assert fit.mean() == pytest.approx(mean, rel=1e-9)
+
+    @given(mean=means,
+           cv2=st.floats(min_value=1.0 / 64 + 1e-6, max_value=25.0))
+    @settings(max_examples=120, deadline=None)
+    def test_variance_matched_in_representable_range(self, mean, cv2):
+        fit = fit_phase_type(mean, cv2, max_stages=64)
+        assert fit.variance() == pytest.approx(
+            cv2 * mean * mean, rel=1e-6
+        )
+
+    @given(mean=means, cv2=cv2s)
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_and_stage_counts_sane(self, mean, cv2):
+        fit = fit_phase_type(mean, cv2, max_stages=64)
+        total = sum(branch.probability for branch in fit.branches)
+        assert total == pytest.approx(1.0, abs=1e-9)
+        assert 1 <= fit.total_stages <= 2 * 64

@@ -1,0 +1,97 @@
+"""Property-based tests for spec round-tripping (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BlockParameters,
+    DiagramBlockModel,
+    GlobalParameters,
+    MGBlock,
+    MGDiagram,
+)
+from repro.spec import model_to_spec, parse_spec
+
+block_names = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" -"
+    ),
+    min_size=1,
+    max_size=20,
+).map(str.strip).filter(bool)
+
+
+@st.composite
+def random_block(draw, allow_subdiagram=True, depth=0):
+    name = draw(block_names)
+    quantity = draw(st.integers(min_value=1, max_value=4))
+    parameters = BlockParameters(
+        name=name,
+        quantity=quantity,
+        min_required=draw(st.integers(min_value=1, max_value=quantity)),
+        mtbf_hours=draw(st.floats(min_value=1.0, max_value=1e7)),
+        transient_fit=draw(st.floats(min_value=0.0, max_value=1e5)),
+        p_correct_diagnosis=draw(st.floats(min_value=0.0, max_value=1.0)),
+        recovery=draw(st.sampled_from(["transparent", "nontransparent"])),
+        repair=draw(st.sampled_from(["transparent", "nontransparent"])),
+    )
+    subdiagram = None
+    if allow_subdiagram and depth < 2 and draw(st.booleans()):
+        subdiagram = draw(random_diagram(depth=depth + 1))
+    return MGBlock(parameters, subdiagram=subdiagram)
+
+
+@st.composite
+def random_diagram(draw, depth=0):
+    name = draw(block_names)
+    n_blocks = draw(st.integers(min_value=1, max_value=4))
+    diagram = MGDiagram(name)
+    used = set()
+    for _ in range(n_blocks):
+        block = draw(
+            random_block(allow_subdiagram=depth < 2, depth=depth)
+        )
+        if block.name in used:
+            continue
+        used.add(block.name)
+        diagram.add_block(block)
+    return diagram
+
+
+@st.composite
+def random_model(draw):
+    return DiagramBlockModel(
+        draw(random_diagram()),
+        GlobalParameters(
+            reboot_minutes=draw(st.floats(min_value=1.0, max_value=60.0)),
+            mttm_hours=draw(st.floats(min_value=0.0, max_value=200.0)),
+        ),
+    )
+
+
+class TestRoundTripProperties:
+    @given(model=random_model())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_preserves_structure(self, model):
+        restored = parse_spec(model_to_spec(model))
+        assert restored.block_count() == model.block_count()
+        assert restored.depth() == model.depth()
+        assert restored.name == model.name
+
+    @given(model=random_model())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_preserves_parameters(self, model):
+        restored = parse_spec(model_to_spec(model))
+        original_walk = list(model.walk())
+        restored_walk = list(restored.walk())
+        for (level, path, block), (rlevel, rpath, rblock) in zip(
+            original_walk, restored_walk
+        ):
+            assert (level, path) == (rlevel, rpath)
+            assert block.parameters == rblock.parameters
+
+    @given(model=random_model())
+    @settings(max_examples=30, deadline=None)
+    def test_double_round_trip_is_fixed_point(self, model):
+        once = model_to_spec(parse_spec(model_to_spec(model)))
+        twice = model_to_spec(parse_spec(once))
+        assert once == twice

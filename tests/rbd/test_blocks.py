@@ -1,0 +1,121 @@
+"""Tests for structured RBD combinators."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ModelError
+from repro.rbd import KofN, Leaf, Parallel, Series, k_of_n, parallel, series
+
+
+class TestLeaf:
+    def test_fixed_probability(self):
+        assert Leaf("a", 0.9).availability() == pytest.approx(0.9)
+
+    def test_value_mapping_overrides(self):
+        leaf = Leaf("a", 0.9)
+        assert leaf.availability({"a": 0.5}) == pytest.approx(0.5)
+
+    def test_named_leaf_requires_value(self):
+        with pytest.raises(ModelError, match="no fixed probability"):
+            Leaf("pending").availability()
+
+    def test_named_leaf_resolves(self):
+        assert Leaf("pending").availability({"pending": 0.7}) == 0.7
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ModelError):
+            Leaf("a", 1.5)
+        with pytest.raises(ModelError):
+            Leaf("a", 0.9).availability({"a": -0.1})
+
+    def test_unavailability(self):
+        assert Leaf("a", 0.9).unavailability() == pytest.approx(0.1)
+
+
+class TestSeries:
+    def test_product_rule(self):
+        block = series(0.9, 0.8, 0.95)
+        assert block.availability() == pytest.approx(0.9 * 0.8 * 0.95)
+
+    def test_single_child(self):
+        assert series(0.7).availability() == pytest.approx(0.7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError, match="needs children"):
+            Series("empty", [])
+
+    def test_perfect_children(self):
+        assert series(1.0, 1.0).availability() == pytest.approx(1.0)
+
+
+class TestParallel:
+    def test_complement_product_rule(self):
+        block = parallel(0.9, 0.8)
+        assert block.availability() == pytest.approx(1 - 0.1 * 0.2)
+
+    def test_one_perfect_child_makes_perfect(self):
+        assert parallel(0.5, 1.0).availability() == pytest.approx(1.0)
+
+    def test_all_failed(self):
+        assert parallel(0.0, 0.0).availability() == pytest.approx(0.0)
+
+
+class TestKofN:
+    def test_identical_children_binomial(self):
+        # 2-of-3 with p=0.9: 3 p^2 (1-p) + p^3.
+        block = k_of_n(2, 0.9, 0.9, 0.9)
+        expected = 3 * 0.9**2 * 0.1 + 0.9**3
+        assert block.availability() == pytest.approx(expected)
+
+    def test_heterogeneous_children_by_enumeration(self):
+        probabilities = [0.9, 0.75, 0.6, 0.95]
+        k = 3
+        block = k_of_n(k, *probabilities)
+        expected = 0.0
+        for outcome in itertools.product([0, 1], repeat=4):
+            if sum(outcome) >= k:
+                term = 1.0
+                for up, p in zip(outcome, probabilities):
+                    term *= p if up else 1 - p
+                expected += term
+        assert block.availability() == pytest.approx(expected, rel=1e-12)
+
+    def test_n_of_n_equals_series(self):
+        ps = [0.9, 0.8, 0.7]
+        assert k_of_n(3, *ps).availability() == pytest.approx(
+            series(*ps).availability()
+        )
+
+    def test_1_of_n_equals_parallel(self):
+        ps = [0.9, 0.8, 0.7]
+        assert k_of_n(1, *ps).availability() == pytest.approx(
+            parallel(*ps).availability()
+        )
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ModelError):
+            k_of_n(0, 0.9, 0.9)
+        with pytest.raises(ModelError):
+            k_of_n(3, 0.9, 0.9)
+
+
+class TestComposition:
+    def test_nested_structure(self):
+        # Two mirrored controllers, each in series with its own disk.
+        path_a = series(Leaf("ctrl-a", 0.99), Leaf("disk-a", 0.95))
+        path_b = series(Leaf("ctrl-b", 0.99), Leaf("disk-b", 0.95))
+        system = parallel(path_a, path_b)
+        path = 0.99 * 0.95
+        assert system.availability() == pytest.approx(1 - (1 - path) ** 2)
+
+    def test_values_flow_to_nested_leaves(self):
+        system = parallel(
+            series(Leaf("x"), Leaf("y")), Leaf("z", 0.5)
+        )
+        value = system.availability({"x": 0.9, "y": 0.9, "z": 0.0})
+        assert value == pytest.approx(0.81)
+
+    def test_leaves_enumeration(self):
+        system = parallel(series(Leaf("x"), Leaf("y")), Leaf("z", 0.5))
+        assert [leaf.name for leaf in system.leaves()] == ["x", "y", "z"]

@@ -1,0 +1,137 @@
+"""Tests for minimal cut sets and edge importance."""
+
+import pytest
+
+from repro.rbd import (
+    NetworkRBD,
+    cut_set_order_profile,
+    edge_birnbaum_importance,
+    minimal_cut_sets,
+    single_points_of_failure,
+    upper_bound_unavailability,
+)
+
+
+def bridge(p=0.99) -> NetworkRBD:
+    net = NetworkRBD("s", "t")
+    net.add_component("s", "a", p)
+    net.add_component("s", "b", p)
+    net.add_component("a", "t", p)
+    net.add_component("b", "t", p)
+    net.add_component("a", "b", p)
+    return net
+
+
+def series_chain(*ps) -> NetworkRBD:
+    net = NetworkRBD("n0", f"n{len(ps)}")
+    for i, p in enumerate(ps):
+        net.add_component(f"n{i}", f"n{i + 1}", p)
+    return net
+
+
+class TestMinimalCutSets:
+    def test_series_cuts_are_singletons(self):
+        net = series_chain(0.9, 0.9, 0.9)
+        cuts = minimal_cut_sets(net.graph, "n0", "n3")
+        assert len(cuts) == 3
+        assert all(len(cut) == 1 for cut in cuts)
+
+    def test_bridge_has_four_cuts(self):
+        # Classic result: {sa, sb}, {at, bt}, {sa, ab, bt}, {sb, ab, at}.
+        net = bridge()
+        cuts = minimal_cut_sets(net.graph, "s", "t")
+        assert len(cuts) == 4
+        sizes = sorted(len(cut) for cut in cuts)
+        assert sizes == [2, 2, 3, 3]
+
+    def test_cuts_are_minimal(self):
+        net = bridge()
+        cuts = [frozenset(cut) for cut in minimal_cut_sets(net.graph, "s", "t")]
+        for cut in cuts:
+            for other in cuts:
+                if other is not cut:
+                    assert not other < cut
+
+    def test_every_cut_disconnects(self):
+        net = bridge()
+        for cut in minimal_cut_sets(net.graph, "s", "t"):
+            pruned = net.graph.copy()
+            for a, b in cut:
+                pruned.remove_edge(a, b)
+            import networkx as nx
+
+            assert not nx.has_path(pruned, "s", "t")
+
+    def test_order_profile(self):
+        profile = cut_set_order_profile(bridge().graph, "s", "t")
+        assert profile == {2: 2, 3: 2}
+
+
+class TestSinglePointsOfFailure:
+    def test_series_all_spof(self):
+        net = series_chain(0.9, 0.9)
+        spofs = single_points_of_failure(net.graph, "n0", "n2")
+        assert len(spofs) == 2
+
+    def test_bridge_has_none(self):
+        assert single_points_of_failure(bridge().graph, "s", "t") == []
+
+    def test_mixed_topology(self):
+        # A series bottleneck feeding a parallel pair.
+        net = NetworkRBD("s", "t")
+        net.add_component("s", "m", 0.9)      # the bottleneck
+        net.add_component("m", "x", 0.9)
+        net.add_component("x", "t", 1.0)
+        net.add_component("m", "y", 0.9)
+        net.add_component("y", "t", 1.0)
+        spofs = single_points_of_failure(net.graph, "s", "t")
+        assert spofs == [("m", "s")]
+
+
+class TestEdgeImportance:
+    def test_birnbaum_matches_conditional_difference(self):
+        net = bridge(0.9)
+        for (a, b), importance in edge_birnbaum_importance(
+            net.graph, "s", "t"
+        ):
+            up = net.graph.copy()
+            up.edges[a, b]["availability"] = 1.0
+            down = net.graph.copy()
+            down.remove_edge(a, b)
+            from repro.rbd import network_availability
+
+            expected = network_availability(up, "s", "t") - (
+                network_availability(down, "s", "t")
+            )
+            assert importance == pytest.approx(expected, abs=1e-12)
+
+    def test_bridge_element_least_important_when_symmetric(self):
+        ranked = edge_birnbaum_importance(bridge(0.9).graph, "s", "t")
+        least_edge, _least_value = ranked[-1]
+        assert least_edge == ("a", "b")
+
+    def test_spof_has_maximal_importance(self):
+        net = series_chain(0.9, 0.99)
+        ranked = edge_birnbaum_importance(net.graph, "n0", "n2")
+        # For a series pair, I_B(e) equals the other edge's availability.
+        values = dict(ranked)
+        assert values[("n0", "n1")] == pytest.approx(0.99)
+        assert values[("n1", "n2")] == pytest.approx(0.9)
+
+
+class TestCutBound:
+    def test_bound_above_exact_unavailability(self):
+        net = bridge(0.99)
+        exact = 1.0 - net.availability()
+        bound = upper_bound_unavailability(net.graph, "s", "t")
+        assert bound >= exact - 1e-15
+
+    def test_bound_tight_for_reliable_components(self):
+        net = bridge(0.9999)
+        exact = 1.0 - net.availability()
+        bound = upper_bound_unavailability(net.graph, "s", "t")
+        assert bound == pytest.approx(exact, rel=0.01)
+
+    def test_bound_capped_at_one(self):
+        net = series_chain(0.1, 0.1, 0.1)
+        assert upper_bound_unavailability(net.graph, "n0", "n3") == 1.0

@@ -1,0 +1,113 @@
+"""Tests for two-terminal network RBDs (factoring algorithm)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.rbd import NetworkRBD, minimal_path_sets
+from repro.rbd.network import availability_by_inclusion_exclusion
+
+
+def bridge(p1=0.9, p2=0.8, p3=0.7, p4=0.85, p5=0.75) -> NetworkRBD:
+    """The classic 5-component bridge between s and t."""
+    net = NetworkRBD("s", "t")
+    net.add_component("s", "a", p1)
+    net.add_component("s", "b", p2)
+    net.add_component("a", "t", p3)
+    net.add_component("b", "t", p4)
+    net.add_component("a", "b", p5)  # the bridge element
+    return net
+
+
+class TestSeriesParallelCases:
+    def test_two_in_series(self):
+        net = NetworkRBD("s", "t")
+        net.add_component("s", "m", 0.9)
+        net.add_component("m", "t", 0.8)
+        assert net.availability() == pytest.approx(0.72)
+
+    def test_two_in_parallel_via_junctions(self):
+        net = NetworkRBD("s", "t")
+        net.add_component("s", "x", 0.9)
+        net.add_component("x", "t", 1.0)
+        net.add_component("s", "y", 0.8)
+        net.add_component("y", "t", 1.0)
+        assert net.availability() == pytest.approx(1 - 0.1 * 0.2)
+
+    def test_disconnected_terminals(self):
+        net = NetworkRBD("s", "t")
+        net.add_component("s", "a", 0.9)
+        assert net.availability() == 0.0
+
+
+class TestBridge:
+    def test_bridge_matches_inclusion_exclusion(self):
+        net = bridge()
+        exact = availability_by_inclusion_exclusion(net.graph, "s", "t")
+        assert net.availability() == pytest.approx(exact, rel=1e-12)
+
+    def test_bridge_closed_form_symmetric(self):
+        # All components p: R = 2p^2 + 2p^3 - 5p^4 + 2p^5.
+        p = 0.9
+        net = bridge(p, p, p, p, p)
+        expected = 2 * p**2 + 2 * p**3 - 5 * p**4 + 2 * p**5
+        assert net.availability() == pytest.approx(expected, rel=1e-12)
+
+    def test_perfect_bridge_edge_reduces_to_series_parallel(self):
+        # With the bridge element perfect, the structure is
+        # (p1 | p2) in series with (p3 | p4).
+        net = bridge(0.9, 0.8, 0.7, 0.85, 1.0)
+        expected = (1 - 0.1 * 0.2) * (1 - 0.3 * 0.15)
+        assert net.availability() == pytest.approx(expected, rel=1e-12)
+
+    def test_failed_bridge_edge(self):
+        # With the bridge element dead: two independent series paths.
+        net = bridge(0.9, 0.8, 0.7, 0.85, 0.0)
+        path_a = 0.9 * 0.7
+        path_b = 0.8 * 0.85
+        expected = 1 - (1 - path_a) * (1 - path_b)
+        assert net.availability() == pytest.approx(expected, rel=1e-12)
+
+
+class TestPathSets:
+    def test_bridge_has_four_minimal_paths(self):
+        assert len(bridge().path_sets()) == 4
+
+    def test_series_single_path(self):
+        net = NetworkRBD("s", "t")
+        net.add_component("s", "m", 0.9)
+        net.add_component("m", "t", 0.8)
+        assert len(net.path_sets()) == 1
+
+
+class TestValidation:
+    def test_same_terminals_rejected(self):
+        with pytest.raises(ModelError):
+            NetworkRBD("s", "s")
+
+    def test_duplicate_edge_rejected(self):
+        net = NetworkRBD("s", "t")
+        net.add_component("s", "t", 0.9)
+        with pytest.raises(ModelError, match="already exists"):
+            net.add_component("s", "t", 0.8)
+
+    def test_bad_probability_rejected(self):
+        net = NetworkRBD("s", "t")
+        with pytest.raises(ModelError):
+            net.add_component("s", "t", 1.2)
+
+    def test_missing_terminal_rejected(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edge("a", "b", availability=0.9)
+        with pytest.raises(ModelError, match="terminal"):
+            minimal_path_sets(graph, "s", "t")
+
+    def test_edge_without_availability_rejected(self):
+        import networkx as nx
+        from repro.rbd import network_availability
+
+        graph = nx.Graph()
+        graph.add_edge("s", "t")
+        with pytest.raises(ModelError, match="lacks an availability"):
+            network_availability(graph, "s", "t")

@@ -1,0 +1,131 @@
+"""Tests for rendering and documentation generation."""
+
+import pytest
+
+from repro.core import GlobalParameters, generate_block_chain, translate
+from repro.library import datacenter_model, workgroup_model
+from repro.markov import steady_state
+from repro.render import (
+    chain_to_dot,
+    model_report,
+    render_chain_table,
+    render_model_tree,
+)
+
+
+class TestModelTree:
+    def test_contains_all_blocks(self):
+        model = datacenter_model()
+        text = render_model_tree(model)
+        for _level, _path, block in model.walk():
+            assert block.name in text
+
+    def test_shows_model_types(self):
+        text = render_model_tree(datacenter_model())
+        assert "Type 0" in text
+        assert "RBD" in text  # the pass-through Server Box
+
+    def test_shows_redundancy(self):
+        text = render_model_tree(datacenter_model())
+        assert "N=6, K=5" in text  # the RAID5 arrays
+
+    def test_indentation_tracks_level(self):
+        text = render_model_tree(datacenter_model())
+        lines = text.splitlines()
+        server_box = next(l for l in lines if "Server Box" in l)
+        cpu = next(l for l in lines if "CPU Module" in l)
+        indent = lambda s: len(s) - len(s.lstrip())
+        assert indent(cpu) > indent(server_box)
+
+
+class TestChainTable:
+    def test_lists_states_and_transitions(self, redundant_params):
+        chain = generate_block_chain(redundant_params, GlobalParameters())
+        text = render_chain_table(chain)
+        for state in chain:
+            assert state.name in text
+        assert "rate/hour" in text
+
+    def test_optional_probabilities(self, simple_pair_chain):
+        pi = steady_state(simple_pair_chain)
+        text = render_chain_table(simple_pair_chain, pi)
+        assert "steady-state" in text
+
+
+class TestDotExport:
+    def test_valid_digraph_structure(self, simple_pair_chain):
+        dot = chain_to_dot(simple_pair_chain)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"Ok" -> "Down"' in dot
+
+    def test_down_states_shaded(self, simple_pair_chain):
+        dot = chain_to_dot(simple_pair_chain)
+        down_line = next(
+            line for line in dot.splitlines()
+            if line.strip().startswith('"Down" [')
+        )
+        assert "filled" in down_line
+
+    def test_labels_included_and_excludable(self, redundant_params):
+        chain = generate_block_chain(redundant_params, GlobalParameters())
+        with_labels = chain_to_dot(chain, include_labels=True)
+        without = chain_to_dot(chain, include_labels=False)
+        assert "latent" in with_labels
+        assert "latent" not in without
+
+    def test_quotes_escaped(self):
+        from repro.markov import MarkovChain
+
+        chain = MarkovChain('we "love" quotes')
+        chain.add_state("Ok")
+        assert r"\"love\"" in chain_to_dot(chain)
+
+
+class TestModelDot:
+    def test_model_to_dot_structure(self):
+        from repro.render import model_to_dot
+
+        model = datacenter_model()
+        dot = model_to_dot(model)
+        assert dot.startswith("digraph")
+        assert '"Data Center System" -> ' in dot
+        assert "Server Box" in dot
+        assert "Type 3" in dot  # CPU module annotation
+        assert "(RBD)" in dot   # pass-through Server Box
+
+    def test_model_to_dot_rejects_wrong_type(self):
+        from repro.render import model_to_dot
+
+        with pytest.raises(TypeError):
+            model_to_dot("not a model")
+
+    def test_every_block_is_a_node(self):
+        from repro.render import model_to_dot
+
+        model = workgroup_model()
+        dot = model_to_dot(model)
+        for _level, path, _block in model.walk():
+            assert f'"{path}"' in dot
+
+
+class TestModelReport:
+    def test_report_sections(self):
+        model = workgroup_model()
+        report = model_report(model)
+        assert "# RAS model report: Workgroup Server" in report
+        assert "## System measures" in report
+        assert "## Block inventory" in report
+        assert "## Downtime budget" in report
+
+    def test_report_reuses_precomputed_solution(self):
+        model = workgroup_model()
+        solution = translate(model)
+        report = model_report(model, solution=solution)
+        assert f"{solution.availability:.9f}" in report
+
+    def test_inventory_lists_every_block(self):
+        model = datacenter_model()
+        report = model_report(model)
+        for _level, _path, block in model.walk():
+            assert block.name in report

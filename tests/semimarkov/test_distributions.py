@@ -1,0 +1,134 @@
+"""Tests for sojourn-time distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.semimarkov import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Lognormal,
+    Uniform,
+    Weibull,
+)
+
+ALL = [
+    Exponential(0.5),
+    Deterministic(3.0),
+    Uniform(1.0, 5.0),
+    Weibull(2.0, 4.0),
+    Lognormal(0.1, 0.5),
+    Erlang(3, 1.5),
+]
+
+
+@pytest.mark.parametrize("dist", ALL, ids=lambda d: type(d).__name__)
+class TestCommonContract:
+    def test_samples_are_non_negative(self, dist):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert dist.sample(rng) >= 0.0
+
+    def test_sample_mean_converges(self, dist):
+        rng = np.random.default_rng(1)
+        samples = np.array([dist.sample(rng) for _ in range(20_000)])
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_mean_is_positive(self, dist):
+        assert dist.mean() > 0
+
+
+class TestExponential:
+    def test_mean(self):
+        assert Exponential(4.0).mean() == pytest.approx(0.25)
+
+    def test_from_mean(self):
+        assert Exponential.from_mean(8.0).rate == pytest.approx(0.125)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ParameterError):
+            Exponential(0.0)
+        with pytest.raises(ParameterError):
+            Exponential.from_mean(-2.0)
+
+
+class TestDeterministic:
+    def test_sample_is_exact(self):
+        rng = np.random.default_rng(0)
+        assert Deterministic(2.5).sample(rng) == 2.5
+
+    def test_zero_allowed(self):
+        assert Deterministic(0.0).mean() == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            Deterministic(-1.0)
+
+
+class TestUniform:
+    def test_mean(self):
+        assert Uniform(2.0, 6.0).mean() == pytest.approx(4.0)
+
+    def test_samples_in_range(self):
+        rng = np.random.default_rng(2)
+        dist = Uniform(1.0, 3.0)
+        for _ in range(100):
+            assert 1.0 <= dist.sample(rng) <= 3.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ParameterError):
+            Uniform(5.0, 3.0)
+        with pytest.raises(ParameterError):
+            Uniform(-1.0, 3.0)
+
+
+class TestWeibull:
+    def test_shape_one_is_exponential(self):
+        assert Weibull(1.0, 5.0).mean() == pytest.approx(5.0)
+
+    def test_mean_uses_gamma(self):
+        dist = Weibull(2.0, 1.0)
+        assert dist.mean() == pytest.approx(math.gamma(1.5))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            Weibull(0.0, 1.0)
+        with pytest.raises(ParameterError):
+            Weibull(1.0, -1.0)
+
+
+class TestLognormal:
+    def test_from_mean_cv_recovers_mean(self):
+        dist = Lognormal.from_mean_cv(mean=3.0, cv=0.8)
+        assert dist.mean() == pytest.approx(3.0, rel=1e-12)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ParameterError):
+            Lognormal(0.0, 0.0)
+
+    def test_invalid_mean_cv(self):
+        with pytest.raises(ParameterError):
+            Lognormal.from_mean_cv(-1.0, 0.5)
+
+
+class TestErlang:
+    def test_mean(self):
+        assert Erlang(4, 2.0).mean() == pytest.approx(2.0)
+
+    def test_from_mean(self):
+        dist = Erlang.from_mean(6.0, k=3)
+        assert dist.mean() == pytest.approx(6.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            Erlang(0, 1.0)
+
+    def test_cv_decreases_with_k(self):
+        rng = np.random.default_rng(3)
+        def cv(dist):
+            samples = np.array([dist.sample(rng) for _ in range(20_000)])
+            return samples.std() / samples.mean()
+        assert cv(Erlang.from_mean(1.0, 9)) < cv(Erlang.from_mean(1.0, 1))

@@ -1,0 +1,136 @@
+"""Tests for the semi-Markov process structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.gmb import MarkovBuilder
+from repro.semimarkov import (
+    Deterministic,
+    Exponential,
+    SemiMarkovProcess,
+)
+
+
+def alternating(up_mean=10.0, down_mean=1.0) -> SemiMarkovProcess:
+    process = SemiMarkovProcess("alt")
+    process.add_state("Up", reward=1.0)
+    process.add_state("Down", reward=0.0)
+    process.add_transition("Up", "Down", 1.0, Exponential.from_mean(up_mean))
+    process.add_transition("Down", "Up", 1.0, Deterministic(down_mean))
+    return process
+
+
+class TestConstruction:
+    def test_duplicate_state_rejected(self):
+        process = SemiMarkovProcess()
+        process.add_state("A")
+        with pytest.raises(ModelError, match="duplicate"):
+            process.add_state("A")
+
+    def test_unknown_states_rejected(self):
+        process = SemiMarkovProcess()
+        process.add_state("A")
+        with pytest.raises(ModelError, match="unknown target"):
+            process.add_transition("A", "B", 1.0, Deterministic(1.0))
+        with pytest.raises(ModelError, match="unknown source"):
+            process.add_transition("B", "A", 1.0, Deterministic(1.0))
+
+    def test_bad_probability_rejected(self):
+        process = alternating()
+        with pytest.raises(ModelError, match="probability"):
+            process.add_transition("Up", "Down", 1.5, Deterministic(1.0))
+
+    def test_zero_probability_dropped(self):
+        process = alternating()
+        process.add_transition("Up", "Down", 0.0, Deterministic(1.0))
+        assert len(process.kernel("Up")) == 1
+
+    def test_validate_checks_branch_sums(self):
+        process = SemiMarkovProcess()
+        process.add_state("A")
+        process.add_state("B", reward=0.0)
+        process.add_transition("A", "B", 0.4, Deterministic(1.0))
+        process.add_transition("B", "A", 1.0, Deterministic(1.0))
+        with pytest.raises(ModelError, match="sum to"):
+            process.validate()
+
+    def test_validate_allows_absorbing(self):
+        process = SemiMarkovProcess()
+        process.add_state("A")
+        process.add_state("B", reward=0.0)
+        process.add_transition("A", "B", 1.0, Deterministic(1.0))
+        process.validate()
+        assert process.is_absorbing("B")
+
+
+class TestDerivedQuantities:
+    def test_embedded_matrix(self):
+        process = alternating()
+        p = process.embedded_matrix()
+        np.testing.assert_allclose(p, [[0, 1], [1, 0]])
+
+    def test_absorbing_rows_self_loop(self):
+        process = SemiMarkovProcess()
+        process.add_state("A")
+        process.add_state("B", reward=0.0)
+        process.add_transition("A", "B", 1.0, Deterministic(1.0))
+        p = process.embedded_matrix()
+        assert p[1, 1] == 1.0
+
+    def test_mean_sojourns(self):
+        process = alternating(up_mean=12.0, down_mean=2.0)
+        np.testing.assert_allclose(process.mean_sojourns(), [12.0, 2.0])
+
+    def test_mixed_destination_sojourn(self):
+        process = SemiMarkovProcess()
+        process.add_state("A")
+        process.add_state("B", reward=0.0)
+        process.add_state("C", reward=0.0)
+        process.add_transition("A", "B", 0.25, Deterministic(4.0))
+        process.add_transition("A", "C", 0.75, Deterministic(8.0))
+        process.add_transition("B", "A", 1.0, Deterministic(1.0))
+        process.add_transition("C", "A", 1.0, Deterministic(1.0))
+        assert process.mean_sojourns()[0] == pytest.approx(
+            0.25 * 4.0 + 0.75 * 8.0
+        )
+
+    def test_up_down_partition(self):
+        process = alternating()
+        assert process.up_states() == ["Up"]
+        assert process.down_states() == ["Down"]
+
+
+class TestEmbedding:
+    def test_from_markov_chain_preserves_structure(self):
+        chain = (
+            MarkovBuilder("pair")
+            .up("Ok")
+            .down("Down")
+            .arc("Ok", "Down", 0.1)
+            .arc("Down", "Ok", 0.5)
+            .build()
+        )
+        process = SemiMarkovProcess.from_markov_chain(chain)
+        assert process.state_names == ["Ok", "Down"]
+        (entry,) = process.kernel("Ok")
+        assert entry.target == "Down"
+        assert entry.probability == pytest.approx(1.0)
+        assert entry.distribution.mean() == pytest.approx(10.0)
+
+    def test_branching_probabilities(self):
+        chain = (
+            MarkovBuilder("branch")
+            .up("A")
+            .down("B")
+            .down("C")
+            .arc("A", "B", 3.0)
+            .arc("A", "C", 1.0)
+            .arc("B", "A", 1.0)
+            .arc("C", "A", 1.0)
+            .build()
+        )
+        process = SemiMarkovProcess.from_markov_chain(chain)
+        targets = {e.target: e.probability for e in process.kernel("A")}
+        assert targets["B"] == pytest.approx(0.75)
+        assert targets["C"] == pytest.approx(0.25)

@@ -1,0 +1,119 @@
+"""Tests for Monte Carlo evaluation of semi-Markov processes."""
+
+import pytest
+
+from repro.errors import ModelError, SolverError
+from repro.gmb import MarkovBuilder
+from repro.markov import mean_time_to_failure
+from repro.semimarkov import (
+    Deterministic,
+    Exponential,
+    SemiMarkovProcess,
+    semi_markov_availability,
+    simulate_interval_availability,
+    simulate_time_to_failure,
+)
+
+
+def alternating(up_mean=10.0, down_mean=1.0) -> SemiMarkovProcess:
+    process = SemiMarkovProcess("alt")
+    process.add_state("Up")
+    process.add_state("Down", reward=0.0)
+    process.add_transition("Up", "Down", 1.0, Exponential.from_mean(up_mean))
+    process.add_transition("Down", "Up", 1.0, Deterministic(down_mean))
+    return process
+
+
+class TestAvailabilitySimulation:
+    def test_converges_to_analytic(self):
+        process = alternating(9.0, 1.0)
+        result = simulate_interval_availability(
+            process, horizon=5_000.0, replications=100, seed=0
+        )
+        analytic = semi_markov_availability(process)
+        assert result.contains(analytic)
+        assert result.half_width < 0.01
+
+    def test_deterministic_seeding(self):
+        process = alternating()
+        a = simulate_interval_availability(process, 100.0, 20, seed=5)
+        b = simulate_interval_availability(process, 100.0, 20, seed=5)
+        assert a.mean == b.mean
+
+    def test_different_seeds_differ(self):
+        process = alternating()
+        a = simulate_interval_availability(process, 100.0, 20, seed=5)
+        b = simulate_interval_availability(process, 100.0, 20, seed=6)
+        assert a.mean != b.mean
+
+    def test_absorbing_up_state_counts_as_up_forever(self):
+        process = SemiMarkovProcess()
+        process.add_state("Transient", reward=0.0)
+        process.add_state("Final", reward=1.0)
+        process.add_transition(
+            "Transient", "Final", 1.0, Deterministic(1.0)
+        )
+        result = simulate_interval_availability(
+            process, horizon=10.0, replications=5, seed=0
+        )
+        assert result.mean == pytest.approx(0.9)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(SolverError):
+            simulate_interval_availability(alternating(), horizon=0.0)
+
+    def test_unsupported_confidence_rejected(self):
+        with pytest.raises(SolverError, match="confidence"):
+            simulate_interval_availability(
+                alternating(), 10.0, 10, seed=0, confidence=0.5
+            )
+
+    def test_result_interval_accessors(self):
+        result = simulate_interval_availability(
+            alternating(), 500.0, 30, seed=1
+        )
+        assert result.low <= result.mean <= result.high
+        assert result.replications == 30
+
+
+class TestTimeToFailureSimulation:
+    def test_matches_ctmc_mttf(self):
+        chain = (
+            MarkovBuilder("standby")
+            .up("Both")
+            .up("One")
+            .down("None")
+            .arc("Both", "One", 0.05)
+            .arc("One", "None", 0.05)
+            .arc("One", "Both", 1.0)
+            .arc("None", "One", 1.0)
+            .build()
+        )
+        process = SemiMarkovProcess.from_markov_chain(chain)
+        result = simulate_time_to_failure(
+            process, replications=400, seed=3
+        )
+        assert result.contains(mean_time_to_failure(chain))
+
+    def test_requires_a_down_state(self):
+        process = SemiMarkovProcess()
+        process.add_state("A")
+        process.add_state("B")
+        process.add_transition("A", "B", 1.0, Deterministic(1.0))
+        process.add_transition("B", "A", 1.0, Deterministic(1.0))
+        with pytest.raises(ModelError, match="no down state"):
+            simulate_time_to_failure(process)
+
+    def test_down_start_rejected(self):
+        with pytest.raises(ModelError, match="already down"):
+            simulate_time_to_failure(alternating(), start="Down")
+
+    def test_deterministic_ttf(self):
+        process = SemiMarkovProcess()
+        process.add_state("Up")
+        process.add_state("Down", reward=0.0)
+        process.add_transition("Up", "Down", 1.0, Deterministic(7.0))
+        process.add_transition("Down", "Up", 1.0, Deterministic(1.0))
+        result = simulate_time_to_failure(process, replications=10, seed=0)
+        assert result.mean == pytest.approx(7.0)
+        assert result.half_width == pytest.approx(0.0)

@@ -1,0 +1,96 @@
+"""Tests for the semi-Markov steady-state solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SolverError
+from repro.gmb import MarkovBuilder
+from repro.markov import steady_state as markov_steady_state
+from repro.semimarkov import (
+    Deterministic,
+    Exponential,
+    SemiMarkovProcess,
+    embedded_dtmc_stationary,
+    semi_markov_availability,
+    semi_markov_steady_state,
+)
+
+
+class TestEmbeddedDtmc:
+    def test_two_state_swap(self):
+        nu = embedded_dtmc_stationary(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        np.testing.assert_allclose(nu, [0.5, 0.5])
+
+    def test_weather_chain(self):
+        p = np.array([[0.9, 0.1], [0.5, 0.5]])
+        nu = embedded_dtmc_stationary(p)
+        # Stationary of this classic chain: (5/6, 1/6).
+        np.testing.assert_allclose(nu, [5 / 6, 1 / 6], rtol=1e-10)
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(SolverError, match="sum to one"):
+            embedded_dtmc_stationary(np.array([[0.5, 0.2], [0.5, 0.5]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(SolverError, match="negative"):
+            embedded_dtmc_stationary(np.array([[1.2, -0.2], [0.5, 0.5]]))
+
+    def test_single_state(self):
+        np.testing.assert_allclose(
+            embedded_dtmc_stationary(np.array([[1.0]])), [1.0]
+        )
+
+
+class TestRatioFormula:
+    def test_alternating_renewal(self):
+        # Up 19 h (exp), down 1 h (deterministic): availability 0.95.
+        process = SemiMarkovProcess("alt")
+        process.add_state("Up")
+        process.add_state("Down", reward=0.0)
+        process.add_transition("Up", "Down", 1.0, Exponential.from_mean(19.0))
+        process.add_transition("Down", "Up", 1.0, Deterministic(1.0))
+        fractions = semi_markov_steady_state(process)
+        assert fractions["Up"] == pytest.approx(0.95)
+        assert semi_markov_availability(process) == pytest.approx(0.95)
+
+    def test_distribution_shape_does_not_matter_in_steady_state(self):
+        # Only means enter the ratio formula.
+        def build(down_dist):
+            process = SemiMarkovProcess()
+            process.add_state("Up")
+            process.add_state("Down", reward=0.0)
+            process.add_transition(
+                "Up", "Down", 1.0, Exponential.from_mean(10.0)
+            )
+            process.add_transition("Down", "Up", 1.0, down_dist)
+            return semi_markov_availability(process)
+
+        exponential = build(Exponential.from_mean(2.0))
+        deterministic = build(Deterministic(2.0))
+        assert exponential == pytest.approx(deterministic, rel=1e-12)
+
+    def test_matches_ctmc_for_exponential_kernel(self):
+        chain = (
+            MarkovBuilder("tri")
+            .up("A")
+            .up("B")
+            .down("C")
+            .arc("A", "B", 0.4)
+            .arc("B", "C", 0.2)
+            .arc("B", "A", 0.6)
+            .arc("C", "A", 1.0)
+            .build()
+        )
+        process = SemiMarkovProcess.from_markov_chain(chain)
+        smp = semi_markov_steady_state(process)
+        ctmc = markov_steady_state(chain)
+        for name in chain.state_names:
+            assert smp[name] == pytest.approx(ctmc[name], rel=1e-9)
+
+    def test_absorbing_state_rejected(self):
+        process = SemiMarkovProcess()
+        process.add_state("A")
+        process.add_state("B", reward=0.0)
+        process.add_transition("A", "B", 1.0, Deterministic(1.0))
+        with pytest.raises(ModelError, match="absorbing"):
+            semi_markov_steady_state(process)

@@ -1,0 +1,98 @@
+"""Tests for model diffing."""
+
+import pytest
+
+from repro.analysis import with_block_changes, with_global_changes
+from repro.library import workgroup_model
+from repro.spec import ChangeKind, diff_impact, diff_models, format_diff
+
+OS = "Workgroup Server/Operating System"
+
+
+class TestDiffModels:
+    def test_identical_models_empty_diff(self):
+        assert diff_models(workgroup_model(), workgroup_model()) == []
+
+    def test_changed_field_reported(self):
+        old = workgroup_model()
+        new = with_block_changes(old, OS, mtbf_hours=60_000.0)
+        entries = diff_models(old, new)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.kind is ChangeKind.CHANGED
+        assert entry.path == OS
+        assert entry.field == "mtbf_hours"
+        assert entry.old == 30_000.0
+        assert entry.new == 60_000.0
+
+    def test_global_change_reported(self):
+        old = workgroup_model()
+        new = with_global_changes(old, mttm_hours=1.0)
+        (entry,) = diff_models(old, new)
+        assert entry.path == "<globals>"
+        assert entry.field == "mttm_hours"
+
+    def test_added_and_removed_blocks(self):
+        from repro.core import (
+            BlockParameters,
+            DiagramBlockModel,
+            MGBlock,
+            MGDiagram,
+        )
+
+        old = DiagramBlockModel(MGDiagram("sys", [
+            MGBlock(BlockParameters(name="A")),
+            MGBlock(BlockParameters(name="B")),
+        ]))
+        new = DiagramBlockModel(MGDiagram("sys", [
+            MGBlock(BlockParameters(name="A")),
+            MGBlock(BlockParameters(name="C")),
+        ]))
+        entries = diff_models(old, new)
+        kinds = {(e.kind, e.path) for e in entries}
+        assert (ChangeKind.REMOVED, "sys/B") in kinds
+        assert (ChangeKind.ADDED, "sys/C") in kinds
+
+    def test_scenario_values_displayed_as_strings(self):
+        old = workgroup_model()
+        new = with_block_changes(
+            old, "Workgroup Server/Mirrored Disk", repair="transparent"
+        )
+        (entry,) = diff_models(old, new)
+        assert entry.old == "nontransparent"
+        assert entry.new == "transparent"
+
+    def test_multiple_changes_ordered_by_path(self):
+        old = workgroup_model()
+        new = with_block_changes(old, OS, mtbf_hours=60_000.0)
+        new = with_block_changes(
+            new, "Workgroup Server/Fan", mtbf_hours=500_000.0
+        )
+        entries = diff_models(old, new)
+        paths = [entry.path for entry in entries]
+        assert paths == sorted(paths)
+
+
+class TestFormatting:
+    def test_identical(self):
+        assert "identical" in format_diff([])
+
+    def test_symbols(self):
+        old = workgroup_model()
+        new = with_block_changes(old, OS, mtbf_hours=60_000.0)
+        text = format_diff(diff_models(old, new))
+        assert text.startswith("~ ")
+        assert "mtbf_hours" in text
+
+
+class TestImpact:
+    def test_improvement_is_negative_delta(self):
+        old = workgroup_model()
+        new = with_block_changes(old, OS, mtbf_hours=300_000.0)
+        impact = diff_impact(old, new)
+        assert impact["new_availability"] > impact["old_availability"]
+        assert impact["downtime_delta_minutes"] < 0
+
+    def test_no_change_zero_delta(self):
+        impact = diff_impact(workgroup_model(), workgroup_model())
+        assert impact["downtime_delta_minutes"] == pytest.approx(0.0)

@@ -1,0 +1,156 @@
+"""Tests for spec parsing."""
+
+import json
+
+import pytest
+
+from repro.database import builtin_database
+from repro.errors import SpecError
+from repro.spec import load_spec, parse_spec
+
+
+def minimal_spec():
+    return {
+        "name": "Tiny",
+        "globals": {"mttm_hours": 24.0},
+        "diagram": {
+            "name": "Tiny",
+            "blocks": [
+                {"name": "Board", "mtbf_hours": 100_000.0},
+            ],
+        },
+    }
+
+
+class TestParseSpec:
+    def test_minimal(self):
+        model = parse_spec(minimal_spec())
+        assert model.name == "Tiny"
+        assert model.global_parameters.mttm_hours == 24.0
+        assert model.block_count() == 1
+
+    def test_gui_labels_in_blocks(self):
+        spec = minimal_spec()
+        spec["diagram"]["blocks"][0] = {
+            "name": "Board",
+            "MTBF": 50_000.0,
+            "Quantity": 2,
+            "Minimum Quantity Required": 1,
+        }
+        model = parse_spec(spec)
+        block = model.find("Tiny/Board")
+        assert block.parameters.mtbf_hours == 50_000.0
+        assert block.parameters.is_redundant
+
+    def test_nested_subdiagram(self):
+        spec = minimal_spec()
+        spec["diagram"]["blocks"][0]["subdiagram"] = {
+            "name": "Inner",
+            "blocks": [{"name": "Chip", "mtbf_hours": 1e6}],
+        }
+        model = parse_spec(spec)
+        assert model.depth() == 2
+        assert model.find("Tiny/Board/Chip").parameters.mtbf_hours == 1e6
+
+    def test_unknown_top_level_key_rejected(self):
+        spec = minimal_spec()
+        spec["extra"] = 1
+        with pytest.raises(SpecError, match="unknown top-level"):
+            parse_spec(spec)
+
+    def test_missing_diagram_rejected(self):
+        with pytest.raises(SpecError, match="missing 'diagram'"):
+            parse_spec({"name": "x"})
+
+    def test_empty_blocks_rejected(self):
+        spec = minimal_spec()
+        spec["diagram"]["blocks"] = []
+        with pytest.raises(SpecError, match="non-empty list"):
+            parse_spec(spec)
+
+    def test_diagram_needs_name(self):
+        spec = minimal_spec()
+        del spec["diagram"]["name"]
+        with pytest.raises(SpecError, match="'name'"):
+            parse_spec(spec)
+
+    def test_bad_parameter_value_wrapped_as_spec_error(self):
+        spec = minimal_spec()
+        spec["diagram"]["blocks"][0]["mtbf_hours"] = -1.0
+        with pytest.raises(SpecError, match="MTBF"):
+            parse_spec(spec)
+
+    def test_unknown_block_field_rejected(self):
+        spec = minimal_spec()
+        spec["diagram"]["blocks"][0]["mtbv_hours"] = 5.0
+        with pytest.raises(SpecError, match="unknown field"):
+            parse_spec(spec)
+
+    def test_bad_globals_rejected(self):
+        spec = minimal_spec()
+        spec["globals"] = {"made_up": 1.0}
+        with pytest.raises(SpecError):
+            parse_spec(spec)
+
+
+class TestDatabaseResolution:
+    def test_part_number_pulls_defaults(self):
+        db = builtin_database()
+        spec = minimal_spec()
+        spec["diagram"]["blocks"][0] = {
+            "name": "CPU", "part_number": "CPU-400",
+        }
+        model = parse_spec(spec, database=db)
+        record = db.lookup("CPU-400")
+        assert model.find("Tiny/CPU").parameters.mtbf_hours == record.mtbf_hours
+
+    def test_explicit_fields_override_catalog(self):
+        db = builtin_database()
+        spec = minimal_spec()
+        spec["diagram"]["blocks"][0] = {
+            "name": "CPU", "part_number": "CPU-400",
+            "mtbf_hours": 123_456.0,
+        }
+        model = parse_spec(spec, database=db)
+        assert model.find("Tiny/CPU").parameters.mtbf_hours == 123_456.0
+
+    def test_unknown_part_number_rejected(self):
+        from repro.errors import DatabaseError
+
+        spec = minimal_spec()
+        spec["diagram"]["blocks"][0]["part_number"] = "NOPE-1"
+        with pytest.raises(DatabaseError, match="unknown part number"):
+            parse_spec(spec, database=builtin_database())
+
+    def test_part_number_without_database_is_documentation(self):
+        spec = minimal_spec()
+        spec["diagram"]["blocks"][0]["part_number"] = "CPU-400"
+        model = parse_spec(spec)  # fields fully specified, no lookup
+        assert model.find("Tiny/Board").parameters.part_number == "CPU-400"
+
+
+class TestLoadSpec:
+    def test_from_json_string(self):
+        model = load_spec(json.dumps(minimal_spec()))
+        assert model.name == "Tiny"
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(minimal_spec()))
+        model = load_spec(path)
+        assert model.name == "Tiny"
+
+    def test_from_mapping(self):
+        assert load_spec(minimal_spec()).name == "Tiny"
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SpecError, match="cannot read"):
+            load_spec(tmp_path / "nope.json")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SpecError, match="invalid spec JSON"):
+            load_spec("{not json")
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(SpecError, match="must be an object"):
+            load_spec("[1, 2]")

@@ -1,0 +1,115 @@
+"""Tests for spec vocabulary and alias normalization."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec import BLOCK_FIELDS, GLOBAL_FIELDS, normalize_keys
+from repro.spec.schema import _canonical_alias_key
+
+
+class TestAliasKeyCanonicalization:
+    def test_strips_punctuation_and_case(self):
+        assert _canonical_alias_key("MTBF") == "mtbf"
+        assert (
+            _canonical_alias_key("Minimum Quantity Required")
+            == "minimum quantity required"
+        )
+
+    def test_strips_unit_suffixes(self):
+        assert (
+            _canonical_alias_key("MTTR Part 1: Diagnosis Time (min.)")
+            == "mttr part 1 diagnosis time"
+        )
+
+    def test_collapses_whitespace(self):
+        assert _canonical_alias_key("  Part   Number ") == "part number"
+
+
+class TestNormalizeKeys:
+    def test_canonical_keys_pass_through(self):
+        result = normalize_keys(
+            {"mtbf_hours": 100.0, "quantity": 2}, BLOCK_FIELDS, "test"
+        )
+        assert result == {"mtbf_hours": 100.0, "quantity": 2}
+
+    def test_gui_labels_map_to_fields(self):
+        result = normalize_keys(
+            {
+                "MTBF": 100.0,
+                "Quantity": 2,
+                "Minimum Quantity Required": 1,
+                "Transient Failure Rate": 500.0,
+                "Probability of Correct Diagnosis (Pcd)": 0.9,
+                "Automatic Recovery Scenario": "transparent",
+                "AR/Failover Time": 5.0,
+                "Probability of SPF during AR (Pspf)": 0.01,
+                "SPF State Recovery Time (Tspf)": 30.0,
+                "Repair Scenario": "transparent",
+                "Reintegration Time": 10.0,
+                "Service Response Time (Tresp)": 4.0,
+                "MTTDLF": 24.0,
+                "Probability of Latent Fault (Plf)": 0.05,
+            },
+            BLOCK_FIELDS,
+            "test",
+        )
+        assert result["mtbf_hours"] == 100.0
+        assert result["quantity"] == 2
+        assert result["min_required"] == 1
+        assert result["transient_fit"] == 500.0
+        assert result["p_correct_diagnosis"] == 0.9
+        assert result["recovery"] == "transparent"
+        assert result["ar_time_minutes"] == 5.0
+        assert result["p_spf"] == 0.01
+        assert result["spf_recovery_minutes"] == 30.0
+        assert result["repair"] == "transparent"
+        assert result["reintegration_minutes"] == 10.0
+        assert result["service_response_hours"] == 4.0
+        assert result["mttdlf_hours"] == 24.0
+        assert result["p_latent_fault"] == 0.05
+
+    def test_mttr_part_labels(self):
+        result = normalize_keys(
+            {
+                "MTTR Part 1: Diagnosis Time": 10.0,
+                "MTTR Part 2: Corrective Action Time": 20.0,
+                "MTTR Part 3: Verification Time": 30.0,
+            },
+            BLOCK_FIELDS,
+            "test",
+        )
+        assert result["diagnosis_minutes"] == 10.0
+        assert result["corrective_minutes"] == 20.0
+        assert result["verification_minutes"] == 30.0
+
+    def test_global_bar_labels(self):
+        result = normalize_keys(
+            {
+                "Reboot Time (Tboot)": 10.0,
+                "MTTM": 48.0,
+                "MTTRFID": 8.0,
+                "Mission Time": 8760.0,
+            },
+            GLOBAL_FIELDS,
+            "globals",
+        )
+        assert result == {
+            "reboot_minutes": 10.0,
+            "mttm_hours": 48.0,
+            "mttrfid_hours": 8.0,
+            "mission_time_hours": 8760.0,
+        }
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            normalize_keys({"mtbf_hourz": 1.0}, BLOCK_FIELDS, "test")
+
+    def test_duplicate_via_alias_rejected(self):
+        with pytest.raises(SpecError, match="more than once"):
+            normalize_keys(
+                {"MTBF": 1.0, "mtbf_hours": 2.0}, BLOCK_FIELDS, "test"
+            )
+
+    def test_block_label_rejected_in_globals(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            normalize_keys({"MTBF": 1.0}, GLOBAL_FIELDS, "globals")

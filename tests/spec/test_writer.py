@@ -1,0 +1,61 @@
+"""Tests for spec serialization and round-tripping."""
+
+import json
+
+import pytest
+
+from repro.core import translate
+from repro.library import datacenter_model, e10000_model, workgroup_model
+from repro.spec import load_spec, model_to_spec, parse_spec, save_spec
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [datacenter_model, e10000_model, workgroup_model],
+        ids=["datacenter", "e10000", "workgroup"],
+    )
+    def test_library_models_round_trip(self, factory):
+        original = factory()
+        restored = parse_spec(model_to_spec(original))
+        assert restored.name == original.name
+        assert restored.block_count() == original.block_count()
+        # Parameters survive exactly.
+        for (_, path, block), (_, rpath, rblock) in zip(
+            original.walk(), restored.walk()
+        ):
+            assert path == rpath
+            assert block.parameters == rblock.parameters
+
+    def test_round_trip_preserves_solution(self):
+        original = datacenter_model()
+        restored = parse_spec(model_to_spec(original))
+        assert translate(restored).availability == pytest.approx(
+            translate(original).availability, rel=1e-12
+        )
+
+    def test_globals_round_trip(self):
+        model = e10000_model()
+        restored = parse_spec(model_to_spec(model))
+        assert restored.global_parameters == model.global_parameters
+
+
+class TestSpecShape:
+    def test_default_fields_omitted(self):
+        spec = model_to_spec(workgroup_model())
+        blocks = spec["diagram"]["blocks"]
+        motherboard = next(b for b in blocks if b["name"] == "Motherboard")
+        # Quantity 1 is the default and should not be serialized.
+        assert "quantity" not in motherboard
+
+    def test_spec_is_json_serializable(self):
+        text = json.dumps(model_to_spec(datacenter_model()))
+        assert "Server Box" in text
+
+
+class TestSaveSpec:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "dc.json"
+        save_spec(datacenter_model(), path)
+        model = load_spec(path)
+        assert model.name == "Data Center System"
+        assert model.depth() == 2

@@ -1,0 +1,168 @@
+"""Tests for the command-line interface."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import datacenter_model, save_spec, workgroup_model
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def spec_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "model.json"
+    save_spec(workgroup_model(), path)
+    return str(path)
+
+
+class TestSolve:
+    def test_prints_measures(self, spec_path, capsys):
+        assert main(["solve", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "yearly downtime" in out
+        assert "Workgroup Server" in out
+
+    def test_mission_override(self, spec_path, capsys):
+        assert main(["solve", spec_path, "--mission", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "100 h" in out
+
+
+class TestTreeAndReport:
+    def test_tree(self, spec_path, capsys):
+        assert main(["tree", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "Mirrored Disk" in out
+        assert "Type 0" in out
+
+    def test_report(self, spec_path, capsys):
+        assert main(["report", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "# RAS model report" in out
+
+
+class TestBudget:
+    def test_rows_printed(self, spec_path, capsys):
+        assert main(["budget", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "Operating System" in out
+        assert "share" in out
+
+
+class TestDot:
+    def test_chain_export(self, spec_path, capsys):
+        assert main(
+            ["dot", spec_path, "Workgroup Server/Operating System"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_passthrough_block_errors(self, tmp_path, capsys):
+        path = tmp_path / "dc.json"
+        save_spec(datacenter_model(), path)
+        code = main(["dot", str(path), "Data Center System/Server Box"])
+        assert code == 2
+        assert "pass-through" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_table_printed(self, spec_path, capsys):
+        assert main([
+            "sweep", spec_path, "Workgroup Server/Operating System",
+            "mtbf_hours", "20000", "40000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "20000" in out and "40000" in out
+
+    def test_downtime_monotone_in_output(self, spec_path, capsys):
+        main([
+            "sweep", spec_path, "Workgroup Server/Operating System",
+            "mtbf_hours", "20000", "40000",
+        ])
+        lines = capsys.readouterr().out.strip().splitlines()[1:]
+        downtimes = [float(line.split()[-1]) for line in lines]
+        assert downtimes[0] > downtimes[1]
+
+
+class TestValidate:
+    def test_agreement(self, spec_path, capsys):
+        code = main([
+            "validate", spec_path,
+            "--replications", "20", "--horizon", "20000", "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert code == 0
+
+
+class TestRequirement:
+    def test_met_requirement_exits_zero(self, spec_path, capsys):
+        assert main(["requirement", spec_path, "--nines", "2.5"]) == 0
+        out = capsys.readouterr().out
+        assert "MEETS" in out
+
+    def test_missed_requirement_exits_nonzero(self, spec_path, capsys):
+        assert main(["requirement", spec_path, "--nines", "5"]) == 1
+        out = capsys.readouterr().out
+        assert "MISSES" in out
+
+    def test_downtime_budget_form(self, spec_path, capsys):
+        assert main(
+            ["requirement", spec_path, "--downtime", "1000"]
+        ) == 0
+        assert "margin" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_side_by_side(self, spec_path, tmp_path, capsys):
+        path2 = tmp_path / "dc.json"
+        save_spec(datacenter_model(), path2)
+        assert main(["compare", spec_path, str(path2)]) == 0
+        out = capsys.readouterr().out
+        assert "Workgroup Server" in out
+        assert "Data Center System" in out
+        assert "availability" in out
+
+
+class TestDiff:
+    def test_identical_specs(self, spec_path, capsys):
+        assert main(["diff", spec_path, spec_path]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_changed_spec_reports_impact(self, spec_path, tmp_path, capsys):
+        import json
+
+        payload = json.loads(Path(spec_path).read_text())
+        for block in payload["diagram"]["blocks"]:
+            if block["name"] == "Operating System":
+                block["mtbf_hours"] = 300_000.0
+        changed = tmp_path / "changed.json"
+        changed.write_text(json.dumps(payload))
+        assert main(["diff", spec_path, str(changed)]) == 0
+        out = capsys.readouterr().out
+        assert "mtbf_hours" in out
+        assert "min/yr" in out
+
+
+class TestParts:
+    def test_builtin_catalog(self, capsys):
+        assert main(["parts"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU-400" in out
+        assert "HDD-36G" in out
+
+
+class TestErrors:
+    def test_bad_spec_path(self, capsys):
+        code = main(["solve", "/nonexistent/model.json"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_sweep_field(self, spec_path, capsys):
+        code = main([
+            "sweep", spec_path, "Workgroup Server/Operating System",
+            "mtbf_hourz", "1",
+        ])
+        assert code == 2

@@ -1,0 +1,85 @@
+"""Unit-conversion tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro import units
+
+
+class TestDurationConversions:
+    def test_minutes_to_hours(self):
+        assert units.minutes(90.0) == pytest.approx(1.5)
+
+    def test_hours_to_minutes_roundtrip(self):
+        assert units.hours_to_minutes(units.minutes(37.0)) == pytest.approx(37.0)
+
+    def test_zero_minutes(self):
+        assert units.minutes(0.0) == 0.0
+
+
+class TestFitConversions:
+    def test_fit_to_rate(self):
+        # 1000 FIT = 1e-6 failures per hour.
+        assert units.fit_to_rate(1000.0) == pytest.approx(1e-6)
+
+    def test_rate_to_fit_roundtrip(self):
+        assert units.rate_to_fit(units.fit_to_rate(2345.0)) == pytest.approx(2345.0)
+
+    def test_negative_fit_rejected(self):
+        with pytest.raises(ParameterError):
+            units.fit_to_rate(-1.0)
+
+
+class TestMtbfConversions:
+    def test_mtbf_to_rate(self):
+        assert units.mtbf_to_rate(10_000.0) == pytest.approx(1e-4)
+
+    def test_infinite_mtbf_means_never_fails(self):
+        assert units.mtbf_to_rate(float("inf")) == 0.0
+
+    def test_zero_mtbf_means_never_fails(self):
+        assert units.mtbf_to_rate(0.0) == 0.0
+
+    def test_negative_mtbf_rejected(self):
+        with pytest.raises(ParameterError):
+            units.mtbf_to_rate(-5.0)
+
+
+class TestDowntime:
+    def test_perfect_availability_has_zero_downtime(self):
+        assert units.availability_to_yearly_downtime_minutes(1.0) == 0.0
+
+    def test_three_nines_downtime(self):
+        # 0.999 availability ~= 525.6 minutes/year.
+        downtime = units.availability_to_yearly_downtime_minutes(0.999)
+        assert downtime == pytest.approx(525.6, rel=1e-9)
+
+    def test_roundtrip(self):
+        downtime = units.availability_to_yearly_downtime_minutes(0.9987)
+        back = units.yearly_downtime_minutes_to_availability(downtime)
+        assert back == pytest.approx(0.9987)
+
+    def test_out_of_range_availability_rejected(self):
+        with pytest.raises(ParameterError):
+            units.availability_to_yearly_downtime_minutes(1.5)
+
+    def test_negative_downtime_rejected(self):
+        with pytest.raises(ParameterError):
+            units.yearly_downtime_minutes_to_availability(-1.0)
+
+
+class TestNines:
+    def test_three_nines(self):
+        assert units.nines(0.999) == pytest.approx(3.0)
+
+    def test_five_nines(self):
+        assert units.nines(0.99999) == pytest.approx(5.0)
+
+    def test_perfect_is_infinite(self):
+        assert math.isinf(units.nines(1.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            units.nines(-0.1)

@@ -1,0 +1,66 @@
+"""Tests for the one-call validation protocol."""
+
+import pytest
+
+from repro.core import translate
+from repro.library import workgroup_model
+from repro.validation import validate_model
+
+
+@pytest.fixture(scope="module")
+def report():
+    return validate_model(
+        workgroup_model(),
+        simulation_horizon=20_000.0,
+        simulation_replications=30,
+        field_windows=8,
+        seed=0,
+    )
+
+
+class TestValidateModel:
+    def test_all_checks_pass_on_library_model(self, report):
+        assert report.passed, report.summary()
+
+    def test_three_checks_run(self, report):
+        names = [check.name for check in report.checks]
+        assert names == ["independent-analytic", "monte-carlo", "field-loop"]
+
+    def test_availability_matches_translate(self, report):
+        assert report.availability == pytest.approx(
+            translate(workgroup_model()).availability, rel=1e-12
+        )
+
+    def test_summary_format(self, report):
+        text = report.summary()
+        assert "validation of 'Workgroup Server'" in text
+        assert "[PASS] independent-analytic" in text
+        assert "ALL CHECKS PASS" in text
+
+    def test_deterministic_given_seed(self):
+        a = validate_model(
+            workgroup_model(), simulation_replications=10,
+            field_windows=4, seed=5,
+        )
+        b = validate_model(
+            workgroup_model(), simulation_replications=10,
+            field_windows=4, seed=5,
+        )
+        assert a.checks == b.checks
+
+
+class TestCliDeepValidate:
+    def test_deep_flag(self, tmp_path, capsys):
+        from repro import save_spec
+        from repro.cli import main
+
+        path = tmp_path / "wg.json"
+        save_spec(workgroup_model(), path)
+        code = main([
+            "validate", str(path), "--deep",
+            "--replications", "20", "--horizon", "20000",
+        ])
+        out = capsys.readouterr().out
+        assert "independent-analytic" in out
+        assert "field-loop" in out
+        assert code == 0

@@ -1,0 +1,84 @@
+"""Tests for the synthetic field-trace generator."""
+
+import pytest
+
+from repro.core import translate
+from repro.errors import SolverError
+from repro.library import e10000_model, workgroup_model
+from repro.validation import generate_field_log
+from repro.validation.field_data import FIFTEEN_MONTHS_HOURS
+
+
+class TestFieldLogGeneration:
+    def test_log_structure(self):
+        solution = translate(workgroup_model())
+        log = generate_field_log(solution, seed=0)
+        assert log.window_hours == FIFTEEN_MONTHS_HOURS
+        assert log.server == "server-A"
+        for event in log.events:
+            assert 0.0 <= event.start_hour
+            assert event.end_hour <= log.window_hours + 1e-6
+            assert event.cause
+
+    def test_events_ordered_and_disjoint(self):
+        solution = translate(workgroup_model())
+        log = generate_field_log(solution, seed=1)
+        for previous, current in zip(log.events, log.events[1:]):
+            assert current.start_hour >= previous.end_hour - 1e-9
+
+    def test_seeding_reproducible(self):
+        solution = translate(workgroup_model())
+        a = generate_field_log(solution, seed=2)
+        b = generate_field_log(solution, seed=2)
+        assert a.events == b.events
+
+    def test_different_servers_different_histories(self):
+        solution = translate(workgroup_model())
+        a = generate_field_log(solution, server="A", seed=3)
+        b = generate_field_log(solution, server="B", seed=4)
+        assert a.events != b.events
+
+    def test_bad_window_rejected(self):
+        solution = translate(workgroup_model())
+        with pytest.raises(SolverError):
+            generate_field_log(solution, window_hours=0.0)
+
+
+class TestModelVsFieldComparison:
+    """The paper's validation loop: model prediction vs measured data."""
+
+    def test_estimate_consistent_with_ground_truth(self):
+        solution = translate(e10000_model())
+        # Average several simulated sites to tighten the comparison.
+        estimates = [
+            generate_field_log(solution, server=f"s{i}", seed=i).estimate()
+            for i in range(8)
+        ]
+        mean_availability = sum(e.availability for e in estimates) / len(
+            estimates
+        )
+        # The fleet-average measured availability should sit within the
+        # spread of per-site confidence intervals of the truth.
+        assert abs(mean_availability - solution.availability) < 5e-4
+
+    def test_comparison_detects_injected_mismatch(self):
+        # The loop must have power: a model that is wrong by 10x in OS
+        # MTBF should fall outside most site confidence intervals.
+        from repro.analysis import with_block_changes
+
+        truth = translate(e10000_model())
+        wrong_model = with_block_changes(
+            e10000_model(), "E10000 Server/Operating System",
+            mtbf_hours=4_000.0, transient_fit=120_000.0,
+        )
+        wrong = translate(wrong_model)
+        logs = [
+            generate_field_log(truth, server=f"s{i}", seed=100 + i)
+            for i in range(6)
+        ]
+        hits = sum(
+            1
+            for log in logs
+            if log.estimate().contains_availability(wrong.availability)
+        )
+        assert hits <= 2

@@ -1,0 +1,112 @@
+"""Tests for the MEADEP-style field-data estimator."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.validation import OutageEvent, estimate_from_log
+from repro.validation.meadep import merge_intervals
+
+
+class TestOutageEvent:
+    def test_end_hour(self):
+        event = OutageEvent(start_hour=10.0, duration_hours=2.0)
+        assert event.end_hour == 12.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SolverError):
+            OutageEvent(start_hour=-1.0, duration_hours=1.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(SolverError):
+            OutageEvent(start_hour=0.0, duration_hours=0.0)
+
+
+class TestEstimation:
+    def test_clean_log(self):
+        events = [
+            OutageEvent(100.0, 2.0, "disk"),
+            OutageEvent(500.0, 1.0, "os"),
+            OutageEvent(900.0, 3.0, "board"),
+        ]
+        estimate = estimate_from_log(events, window_hours=1_000.0)
+        assert estimate.n_outages == 3
+        assert estimate.total_downtime_hours == pytest.approx(6.0)
+        assert estimate.availability == pytest.approx(0.994)
+        assert estimate.mttr_hours == pytest.approx(2.0)
+        assert estimate.mtbf_hours == pytest.approx(994.0 / 3.0)
+
+    def test_empty_log_is_perfect(self):
+        estimate = estimate_from_log([], window_hours=1_000.0)
+        assert estimate.availability == 1.0
+        assert estimate.n_outages == 0
+        assert estimate.mtbf_hours == float("inf")
+
+    def test_confidence_interval_contains_point(self):
+        events = [OutageEvent(float(i * 100), 1.0) for i in range(5)]
+        estimate = estimate_from_log(events, window_hours=1_000.0)
+        assert estimate.availability_low <= estimate.availability
+        assert estimate.availability_high >= estimate.availability
+        assert estimate.contains_availability(estimate.availability)
+
+    def test_interval_widens_with_fewer_events(self):
+        # Same total downtime, one event vs many: one big event is less
+        # statistical evidence.
+        many = estimate_from_log(
+            [OutageEvent(float(i * 100), 0.5) for i in range(10)], 10_000.0
+        )
+        one = estimate_from_log([OutageEvent(100.0, 5.0)], 10_000.0)
+        width_many = many.availability_high - many.availability_low
+        width_one = one.availability_high - one.availability_low
+        assert width_one > width_many
+
+    def test_overlapping_events_rejected(self):
+        events = [OutageEvent(10.0, 5.0), OutageEvent(12.0, 1.0)]
+        with pytest.raises(SolverError, match="overlapping"):
+            estimate_from_log(events, 100.0)
+
+    def test_event_past_window_rejected(self):
+        with pytest.raises(SolverError, match="past the observation"):
+            estimate_from_log([OutageEvent(95.0, 10.0)], 100.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(SolverError):
+            estimate_from_log([], 0.0)
+
+    def test_yearly_downtime_consistent(self):
+        estimate = estimate_from_log([OutageEvent(0.0, 87.6)], 8760.0)
+        assert estimate.yearly_downtime_minutes == pytest.approx(
+            0.01 * 525_600.0, rel=1e-9
+        )
+
+
+class TestMergeIntervals:
+    def test_disjoint_intervals_pass_through(self):
+        events = merge_intervals([(0.0, 1.0, "a"), (5.0, 6.0, "b")])
+        assert len(events) == 2
+        assert events[0].cause == "a"
+
+    def test_overlap_merges_with_causes(self):
+        events = merge_intervals([(0.0, 2.0, "a"), (1.0, 3.0, "b")])
+        (event,) = events
+        assert event.duration_hours == pytest.approx(3.0)
+        assert event.cause == "a+b"
+
+    def test_containment_merges(self):
+        events = merge_intervals([(0.0, 10.0, "a"), (2.0, 3.0, "b")])
+        (event,) = events
+        assert event.duration_hours == pytest.approx(10.0)
+
+    def test_duplicate_causes_deduplicated(self):
+        events = merge_intervals([(0.0, 2.0, "a"), (1.0, 3.0, "a")])
+        assert events[0].cause == "a"
+
+    def test_unsorted_input_handled(self):
+        events = merge_intervals([(5.0, 6.0, "b"), (0.0, 1.0, "a")])
+        assert events[0].start_hour == 0.0
+
+    def test_empty_input(self):
+        assert merge_intervals([]) == []
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(SolverError, match="empty"):
+            merge_intervals([(2.0, 2.0, "a")])

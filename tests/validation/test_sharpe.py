@@ -1,0 +1,57 @@
+"""Tests for the independent SHARPE-like analytic path."""
+
+import pytest
+
+from repro.core import GlobalParameters, generate_block_chain
+from repro.errors import SolverError
+from repro.gmb import MarkovBuilder
+from repro.markov import MarkovChain, steady_state, steady_state_availability
+from repro.validation import sharpe_availability, sharpe_steady_state
+
+
+class TestAgreementWithProductionPath:
+    def test_two_state(self):
+        chain = (
+            MarkovBuilder()
+            .up("Ok")
+            .down("Down")
+            .arc("Ok", "Down", 0.01)
+            .arc("Down", "Ok", 0.8)
+            .build()
+        )
+        assert sharpe_availability(chain) == pytest.approx(
+            steady_state_availability(chain), rel=1e-9
+        )
+
+    def test_every_generated_model_type(
+        self, stress_params, globals_default
+    ):
+        for recovery in ("transparent", "nontransparent"):
+            for repair in ("transparent", "nontransparent"):
+                p = stress_params.with_changes(
+                    recovery=recovery, repair=repair
+                )
+                chain = generate_block_chain(p, globals_default)
+                assert sharpe_availability(chain) == pytest.approx(
+                    steady_state_availability(chain), rel=1e-7
+                )
+
+    def test_stiff_realistic_chain_statewise(
+        self, redundant_params, globals_default
+    ):
+        chain = generate_block_chain(redundant_params, globals_default)
+        production = steady_state(chain)
+        independent = sharpe_steady_state(chain)
+        for name, value in production.items():
+            assert independent[name] == pytest.approx(
+                value, rel=1e-6, abs=1e-15
+            )
+
+    def test_single_state(self):
+        chain = MarkovChain()
+        chain.add_state("only")
+        assert sharpe_steady_state(chain) == {"only": 1.0}
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(SolverError):
+            sharpe_steady_state(MarkovChain())

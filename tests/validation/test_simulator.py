@@ -1,0 +1,167 @@
+"""Tests for the event-level MG life-cycle simulator.
+
+These are the generator's independent oracle: the simulator never sees
+a generator matrix, so agreement here validates the chain *structure*,
+not just the numerics.
+"""
+
+import pytest
+
+from repro.core import GlobalParameters, generate_block_chain, translate
+from repro.errors import SolverError
+from repro.library import workgroup_model
+from repro.markov import steady_state_availability
+from repro.validation import (
+    simulate_block_availability,
+    simulate_system_availability,
+)
+
+HORIZON = 50_000.0
+REPS = 60
+
+
+class TestType0Agreement:
+    def test_matches_analytic(self, globals_default):
+        from repro.core import BlockParameters
+
+        p = BlockParameters(
+            name="u", quantity=2, min_required=2,
+            mtbf_hours=5_000.0, transient_fit=3e5,
+            p_correct_diagnosis=0.9,
+        )
+        analytic = steady_state_availability(
+            generate_block_chain(p, globals_default)
+        )
+        sim = simulate_block_availability(
+            p, globals_default, horizon=HORIZON, replications=REPS, seed=1
+        )
+        assert sim.contains(analytic)
+
+    def test_zero_response_time(self, globals_default):
+        from repro.core import BlockParameters
+
+        p = BlockParameters(
+            name="u", mtbf_hours=2_000.0, service_response_hours=0.0,
+        )
+        analytic = steady_state_availability(
+            generate_block_chain(p, globals_default)
+        )
+        sim = simulate_block_availability(
+            p, globals_default, horizon=HORIZON, replications=REPS, seed=2
+        )
+        assert sim.contains(analytic)
+
+
+class TestRedundantAgreement:
+    @pytest.mark.parametrize("recovery", ["transparent", "nontransparent"])
+    @pytest.mark.parametrize("repair", ["transparent", "nontransparent"])
+    def test_all_four_types(
+        self, recovery, repair, stress_params, globals_default
+    ):
+        p = stress_params.with_changes(recovery=recovery, repair=repair)
+        analytic = steady_state_availability(
+            generate_block_chain(p, globals_default)
+        )
+        sim = simulate_block_availability(
+            p, globals_default, horizon=HORIZON, replications=REPS, seed=3
+        )
+        assert sim.contains(analytic), (
+            f"type ({recovery}, {repair}): analytic {analytic:.6f} "
+            f"outside [{sim.low:.6f}, {sim.high:.6f}]"
+        )
+
+    def test_deeper_redundancy(self, stress_params, globals_default):
+        p = stress_params.with_changes(quantity=4, min_required=2)
+        analytic = steady_state_availability(
+            generate_block_chain(p, globals_default)
+        )
+        sim = simulate_block_availability(
+            p, globals_default, horizon=HORIZON, replications=REPS, seed=4
+        )
+        assert sim.contains(analytic)
+
+    def test_no_latents_no_transients(self, stress_params, globals_default):
+        p = stress_params.with_changes(
+            p_latent_fault=0.0, transient_fit=0.0
+        )
+        analytic = steady_state_availability(
+            generate_block_chain(p, globals_default)
+        )
+        sim = simulate_block_availability(
+            p, globals_default, horizon=HORIZON, replications=REPS, seed=5
+        )
+        assert sim.contains(analytic)
+
+
+class TestSimulationHygiene:
+    def test_seeding_reproducible(self, stress_params, globals_default):
+        a = simulate_block_availability(
+            stress_params, globals_default, horizon=5_000.0,
+            replications=10, seed=6,
+        )
+        b = simulate_block_availability(
+            stress_params, globals_default, horizon=5_000.0,
+            replications=10, seed=6,
+        )
+        assert a.mean == b.mean
+
+    def test_bad_horizon_rejected(self, stress_params, globals_default):
+        with pytest.raises(SolverError):
+            simulate_block_availability(
+                stress_params, globals_default, horizon=0.0
+            )
+
+    def test_half_width_shrinks_with_replications(
+        self, stress_params, globals_default
+    ):
+        small = simulate_block_availability(
+            stress_params, globals_default, horizon=5_000.0,
+            replications=20, seed=7,
+        )
+        large = simulate_block_availability(
+            stress_params, globals_default, horizon=5_000.0,
+            replications=200, seed=7,
+        )
+        assert large.half_width < small.half_width
+
+
+class TestValidationPower:
+    """The cross-check must be able to *fail*: if the generator wired a
+    materially wrong rate, the simulator should expose it."""
+
+    def test_detects_wrong_repair_rate(self, stress_params, globals_default):
+        # Pretend the generator forgot MTTM in the deferred-repair rate
+        # (a plausible implementation bug): the analytic availability
+        # of that wrong chain must fall outside the simulation CI.
+        wrong_globals = globals_default.with_changes(mttm_hours=0.0)
+        wrong_chain = generate_block_chain(stress_params, wrong_globals)
+        wrong_analytic = steady_state_availability(wrong_chain)
+        sim = simulate_block_availability(
+            stress_params, globals_default,
+            horizon=HORIZON, replications=REPS, seed=9,
+        )
+        assert not sim.contains(wrong_analytic)
+
+    def test_detects_missing_service_error_path(
+        self, stress_params, globals_default
+    ):
+        # A generator that forgot the imperfect-diagnosis branch would
+        # overstate availability by a first-order amount here (10% of
+        # repairs stretch to MTTRFID).
+        perfect = stress_params.with_changes(p_correct_diagnosis=1.0)
+        wrong_chain = generate_block_chain(perfect, globals_default)
+        wrong_analytic = steady_state_availability(wrong_chain)
+        sim = simulate_block_availability(
+            stress_params, globals_default,
+            horizon=HORIZON, replications=REPS, seed=10,
+        )
+        assert not sim.contains(wrong_analytic)
+
+
+class TestSystemSimulation:
+    def test_whole_model_agreement(self):
+        solution = translate(workgroup_model())
+        sim = simulate_system_availability(
+            solution, horizon=30_000.0, replications=40, seed=8
+        )
+        assert sim.contains(solution.availability)

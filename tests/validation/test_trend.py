@@ -1,0 +1,78 @@
+"""Tests for the Laplace trend test."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.validation import OutageEvent, laplace_trend_test
+
+
+def events_at(times):
+    return [OutageEvent(float(t), 0.1) for t in times]
+
+
+class TestLaplaceStatistic:
+    def test_empty_log(self):
+        result = laplace_trend_test([], 1_000.0)
+        assert result.n_events == 0
+        assert result.statistic == 0.0
+        assert not result.significant_at_95
+
+    def test_uniform_arrivals_no_trend(self):
+        rng = np.random.default_rng(0)
+        times = sorted(rng.uniform(0.0, 10_000.0, size=40))
+        result = laplace_trend_test(events_at(times), 10_000.0)
+        assert not result.significant_at_95
+        assert "no significant trend" in result.interpretation
+
+    def test_early_clustering_means_growth(self):
+        # All failures in the first tenth of the window: burn-in.
+        times = np.linspace(10.0, 1_000.0, 30)
+        result = laplace_trend_test(events_at(times), 10_000.0)
+        assert result.statistic < -1.96
+        assert result.significant_at_95
+        assert "growth" in result.interpretation
+
+    def test_late_clustering_means_deterioration(self):
+        times = np.linspace(9_000.0, 9_990.0, 30)
+        result = laplace_trend_test(events_at(times), 10_000.0)
+        assert result.statistic > 1.96
+        assert "deterioration" in result.interpretation
+
+    def test_centered_single_event_is_zero(self):
+        result = laplace_trend_test(events_at([500.0]), 1_000.0)
+        assert result.statistic == pytest.approx(0.0)
+
+    def test_statistic_formula(self):
+        # Hand check: two events at 0.25T and 0.35T.
+        result = laplace_trend_test(events_at([250.0, 350.0]), 1_000.0)
+        expected = (0.30 - 0.5) * np.sqrt(24.0)
+        assert result.statistic == pytest.approx(expected)
+
+    def test_event_past_window_rejected(self):
+        with pytest.raises(SolverError, match="past"):
+            laplace_trend_test(events_at([2_000.0]), 1_000.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(SolverError):
+            laplace_trend_test([], 0.0)
+
+
+class TestAgainstSimulatedLogs:
+    def test_model_generated_logs_show_no_trend(self):
+        """Steady-state models produce trend-free logs (a property the
+        field-data comparison loop quietly relies on)."""
+        from repro.core import translate
+        from repro.library import workgroup_model
+        from repro.validation import generate_field_log
+
+        solution = translate(workgroup_model())
+        significant = 0
+        for seed in range(8):
+            log = generate_field_log(
+                solution, window_hours=30_000.0, seed=seed
+            )
+            result = laplace_trend_test(log.events, log.window_hours)
+            significant += result.significant_at_95
+        # 5% false-positive rate: 8 draws should rarely flag 3+.
+        assert significant <= 2
