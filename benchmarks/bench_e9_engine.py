@@ -1,0 +1,61 @@
+"""E9 — the evaluation engine's cache, measured.
+
+Runs the same 24-point parametric sweep twice on one engine: once cold
+(empty cache — every point solves the varied block and all its
+siblings) and once warm (every point comes back from the solve cache).
+The reported numbers are the cold and warm wall times, the speedup,
+and the block-cache hit rate — the headline claim is simply that the
+warm sweep is measurably faster and the hit rate is non-zero.
+"""
+
+import time
+
+from repro import datacenter_model
+from repro.engine import Engine
+
+from ._report import emit_table
+
+CPU = "Data Center System/Server Box/CPU Module"
+#: 24 sweep points — enough work that the cold/warm gap is not noise.
+VALUES = [25_000.0 * step for step in range(1, 25)]
+
+
+def _cold_and_warm():
+    engine = Engine()
+    model = datacenter_model()
+    start = time.perf_counter()
+    cold_points = engine.sweep_block_field(
+        model, CPU, "mtbf_hours", VALUES
+    )
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    warm_points = engine.sweep_block_field(
+        model, CPU, "mtbf_hours", VALUES
+    )
+    warm = time.perf_counter() - start
+    assert warm_points == cold_points
+    return cold, warm, engine.stats_snapshot()
+
+
+def bench_e9_engine_cold_vs_warm(benchmark):
+    cold, warm, stats = benchmark.pedantic(
+        _cold_and_warm, rounds=3, iterations=1
+    )
+
+    assert warm < cold, "warm sweep must beat the cold sweep"
+    assert stats.cache_hit_rate > 0.0
+    assert stats.system_cache_hits >= len(VALUES)  # the whole warm pass
+
+    emit_table(
+        "E9: engine cache, 24-point CPU MTBF sweep (Data Center model)",
+        ["pass", "wall ms", "speedup", "block hit rate"],
+        [
+            ["cold", f"{cold * 1e3:.1f}", "1.0x", "-"],
+            [
+                "warm",
+                f"{warm * 1e3:.1f}",
+                f"{cold / warm:.1f}x",
+                f"{stats.cache_hit_rate:.1%}",
+            ],
+        ],
+    )

@@ -32,6 +32,7 @@ from .errors import (
     ModelError,
     SolverError,
     DatabaseError,
+    EngineError,
 )
 from .units import (
     availability_to_yearly_downtime_minutes,
@@ -70,8 +71,18 @@ from .library import (
     cluster_availability,
 )
 from .render import model_report, render_model_tree, chain_to_dot
+from .engine import (
+    Engine,
+    EngineStats,
+    SolveCache,
+    block_digest,
+    chain_digest,
+    get_default_engine,
+    model_digest,
+    set_default_engine,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "RascadError",
@@ -80,6 +91,7 @@ __all__ = [
     "ModelError",
     "SolverError",
     "DatabaseError",
+    "EngineError",
     "availability_to_yearly_downtime_minutes",
     "fit_to_rate",
     "mtbf_to_rate",
@@ -125,5 +137,13 @@ __all__ = [
     "model_report",
     "render_model_tree",
     "chain_to_dot",
+    "Engine",
+    "EngineStats",
+    "SolveCache",
+    "block_digest",
+    "chain_digest",
+    "model_digest",
+    "get_default_engine",
+    "set_default_engine",
     "__version__",
 ]

@@ -4,17 +4,24 @@ Models are immutable trees, so sweeping works by *rebuilding*: given a
 block path and field changes, a structurally identical model is
 constructed with only that block's parameters replaced.  This keeps
 sweeps safe to parallelize and impossible to contaminate across points.
+
+The sweep functions route through the evaluation engine
+(:mod:`repro.engine`): unchanged sibling blocks hit the block-solve
+cache at every point, and ``jobs > 1`` fans points out over worker
+processes.  Results are identical in every mode — solves are
+deterministic and the cache is content-addressed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from ..core.block import DiagramBlockModel, MGBlock, MGDiagram
-from ..core.translator import translate
 from ..errors import SpecError
-from ..units import availability_to_yearly_downtime_minutes
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..engine import Engine
 
 
 @dataclass(frozen=True)
@@ -78,50 +85,40 @@ def with_global_changes(
     )
 
 
+def _engine(engine: "Optional[Engine]") -> "Engine":
+    if engine is not None:
+        return engine
+    from ..engine import get_default_engine
+
+    return get_default_engine()
+
+
 def sweep_block_field(
     model: DiagramBlockModel,
     path: str,
     field: str,
     values: Iterable[object],
+    engine: "Optional[Engine]" = None,
 ) -> List[SweepPoint]:
-    """Availability/downtime as one block field steps through ``values``."""
-    points = []
-    for value in values:
-        variant = with_block_changes(model, path, **{field: value})
-        solution = translate(variant)
-        points.append(
-            SweepPoint(
-                value=float(value),  # type: ignore[arg-type]
-                availability=solution.availability,
-                yearly_downtime_minutes=(
-                    availability_to_yearly_downtime_minutes(
-                        solution.availability
-                    )
-                ),
-            )
-        )
-    return points
+    """Availability/downtime as one block field steps through ``values``.
+
+    A thin wrapper over :meth:`repro.engine.Engine.sweep_block_field`;
+    pass ``engine`` to control jobs, caching, and instrumentation, or
+    omit it to use the shared default engine (serial, memory cache).
+    """
+    return _engine(engine).sweep_block_field(
+        model, path, field, list(values)
+    )
 
 
 def sweep_global_field(
     model: DiagramBlockModel,
     field: str,
     values: Iterable[object],
+    engine: "Optional[Engine]" = None,
 ) -> List[SweepPoint]:
-    """Availability/downtime as one global field steps through ``values``."""
-    points = []
-    for value in values:
-        variant = with_global_changes(model, **{field: value})
-        solution = translate(variant)
-        points.append(
-            SweepPoint(
-                value=float(value),  # type: ignore[arg-type]
-                availability=solution.availability,
-                yearly_downtime_minutes=(
-                    availability_to_yearly_downtime_minutes(
-                        solution.availability
-                    )
-                ),
-            )
-        )
-    return points
+    """Availability/downtime as one global field steps through ``values``.
+
+    Engine-backed like :func:`sweep_block_field`.
+    """
+    return _engine(engine).sweep_global_field(model, field, list(values))

@@ -11,16 +11,13 @@ point estimates lack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
-
-import numpy as np
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..core.block import DiagramBlockModel
-from ..core.translator import translate
-from ..errors import SolverError
 from ..semimarkov.distributions import Distribution
-from ..units import MINUTES_PER_YEAR
-from .parametric import with_block_changes
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..engine import Engine
 
 
 @dataclass(frozen=True)
@@ -61,6 +58,7 @@ def propagate_uncertainty(
     uncertain: Sequence[UncertainField],
     samples: int = 100,
     seed: Optional[int] = None,
+    engine: "Optional[Engine]" = None,
 ) -> UncertaintyResult:
     """Monte Carlo propagation of parameter uncertainty.
 
@@ -68,29 +66,18 @@ def propagate_uncertainty(
     model, and re-solves it.  Invalid draws (e.g. a probability
     distribution that produces a value a field rejects) raise — choose
     distributions whose support matches the field.
+
+    A thin wrapper over
+    :meth:`repro.engine.Engine.propagate_uncertainty`: values are drawn
+    sequentially from one seeded generator (so numbers match the
+    historical implementation exactly), while the per-sample solves go
+    through the engine's cache and, with ``engine.jobs > 1``, its
+    worker pool.
     """
-    if samples < 2:
-        raise SolverError(f"need at least 2 samples, got {samples}")
-    if not uncertain:
-        raise SolverError("no uncertain fields given")
-    rng = np.random.default_rng(seed)
-    availabilities = np.empty(samples)
-    for index in range(samples):
-        variant = model
-        for entry in uncertain:
-            value = entry.distribution.sample(rng)
-            variant = with_block_changes(
-                variant, entry.path, **{entry.field: value}
-            )
-        availabilities[index] = translate(variant).availability
-    downtimes = (1.0 - availabilities) * MINUTES_PER_YEAR
-    p05, p50, p95 = np.percentile(downtimes, [5.0, 50.0, 95.0])
-    return UncertaintyResult(
-        samples=samples,
-        mean_availability=float(availabilities.mean()),
-        std_availability=float(availabilities.std(ddof=1)),
-        downtime_p05=float(p05),
-        downtime_p50=float(p50),
-        downtime_p95=float(p95),
-        availability_samples=tuple(availabilities.tolist()),
+    if engine is None:
+        from ..engine import get_default_engine
+
+        engine = get_default_engine()
+    return engine.propagate_uncertainty(
+        model, uncertain, samples=samples, seed=seed
     )

@@ -10,10 +10,16 @@ Usage (installed as ``rascad``, or ``python -m repro``):
     rascad sweep model.json "Sys/Block" mtbf_hours 1e5 2e5 5e5
     rascad validate model.json         # Monte Carlo cross-check
     rascad parts                       # the builtin component catalog
+    rascad stats                       # last run's engine counters
 
 Specs are the JSON engineering-language format of :mod:`repro.spec`;
 part numbers resolve against the builtin catalog unless ``--database``
 points at a saved catalog file.
+
+``solve``, ``sweep`` and ``validate`` run on the evaluation engine
+(:mod:`repro.engine`): ``--jobs`` fans work out over processes,
+``--cache-dir`` enables the persistent solve cache (default
+``~/.cache/rascad``), ``--no-cache`` disables caching for the run.
 """
 
 from __future__ import annotations
@@ -22,14 +28,15 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import downtime_budget, sweep_block_field
+from . import __version__
+from .analysis import downtime_budget
 from .core import compute_measures, translate
 from .database import PartsDatabase, builtin_database
+from .engine import Engine, default_cache_dir, load_stats
 from .errors import RascadError
 from .render import chain_to_dot, model_report, render_model_tree
 from .spec import load_spec
 from .units import nines
-from .validation import simulate_system_availability
 
 
 def _load(args: argparse.Namespace):
@@ -41,9 +48,29 @@ def _load(args: argparse.Namespace):
     return load_spec(args.spec, database=database)
 
 
+def _engine_from_args(args: argparse.Namespace) -> Engine:
+    """Build the evaluation engine an engine-backed command runs on."""
+    return Engine(
+        jobs=getattr(args, "jobs", 1),
+        cache=not getattr(args, "no_cache", False),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+
+
+def _persist_stats(engine: Engine, args: argparse.Namespace) -> None:
+    """Best-effort snapshot persistence for a later ``rascad stats``."""
+    directory = getattr(args, "cache_dir", None) or default_cache_dir()
+    try:
+        engine.save_stats(directory)
+    except OSError:
+        pass
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     model = _load(args)
-    solution = translate(model)
+    engine = _engine_from_args(args)
+    solution = engine.solve(model)
+    _persist_stats(engine, args)
     measures = compute_measures(
         solution, mission_time_hours=args.mission
     )
@@ -96,7 +123,9 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     model = _load(args)
     values = [float(v) for v in args.values]
-    points = sweep_block_field(model, args.block, args.field, values)
+    engine = _engine_from_args(args)
+    points = engine.sweep_block_field(model, args.block, args.field, values)
+    _persist_stats(engine, args)
     print(f"{'value':>12}  {'availability':>13}  {'min/yr':>10}")
     for point in points:
         print(f"{point.value:>12g}  {point.availability:>13.8f}  "
@@ -117,13 +146,15 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         )
         print(report.summary())
         return 0 if report.passed else 1
-    solution = translate(model)
-    result = simulate_system_availability(
+    engine = _engine_from_args(args)
+    solution = engine.solve(model)
+    result = engine.simulate_system(
         solution,
         horizon=args.horizon,
         replications=args.replications,
         seed=args.seed,
     )
+    _persist_stats(engine, args)
     agree = result.contains(solution.availability)
     print(f"analytic availability : {solution.availability:.6f}")
     print(f"simulated             : {result.mean:.6f} "
@@ -190,6 +221,22 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .engine import SolveCache
+
+    directory = args.cache_dir or default_cache_dir()
+    stats = load_stats(directory)
+    if stats is None:
+        print(f"no engine stats recorded under {directory}")
+        print("run an engine-backed command (solve, sweep, validate) first")
+        return 0
+    print(f"engine stats ({directory})")
+    print(stats.format())
+    entries, size = SolveCache(cache_dir=directory).disk_usage()
+    print(f"persistent cache     : {entries} entries, {size} bytes")
+    return 0
+
+
 def _cmd_parts(args: argparse.Namespace) -> int:
     database = (
         PartsDatabase.load(args.database)
@@ -213,12 +260,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--database", metavar="PARTS.json", default=None,
         help="component catalog file (default: builtin catalog)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}",
+        help="print the version and exit",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_engine_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for batch evaluation (default: 1)",
+        )
+        subparser.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="enable the persistent solve cache at DIR "
+                 "(default: in-memory cache only)",
+        )
+        subparser.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the solve cache for this run",
+        )
 
     solve = commands.add_parser("solve", help="system measures")
     solve.add_argument("spec")
     solve.add_argument("--mission", type=float, default=None,
                        help="mission time T in hours")
+    add_engine_flags(solve)
     solve.set_defaults(handler=_cmd_solve)
 
     tree = commands.add_parser("tree", help="diagram/block tree")
@@ -243,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("block")
     sweep.add_argument("field")
     sweep.add_argument("values", nargs="+")
+    add_engine_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     validate = commands.add_parser(
@@ -257,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the full Section-5 protocol (independent analytic "
              "path, Monte Carlo, field-data loop)",
     )
+    add_engine_flags(validate)
     validate.set_defaults(handler=_cmd_validate)
 
     requirement = commands.add_parser(
@@ -287,6 +356,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     parts = commands.add_parser("parts", help="list the component catalog")
     parts.set_defaults(handler=_cmd_parts)
+
+    stats = commands.add_parser(
+        "stats", help="engine counters and cache usage from the last run"
+    )
+    stats.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory to inspect (default: ~/.cache/rascad)",
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     return parser
 

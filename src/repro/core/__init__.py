@@ -24,7 +24,9 @@ from .translator import (
     translate,
     aggregate_subdiagram,
     BlockSolution,
+    ChainSolve,
     SystemSolution,
+    solve_block_chain,
     solve_model,
 )
 from .measures import SystemMeasures, compute_measures
@@ -52,7 +54,9 @@ __all__ = [
     "translate",
     "aggregate_subdiagram",
     "BlockSolution",
+    "ChainSolve",
     "SystemSolution",
+    "solve_block_chain",
     "solve_model",
     "SystemMeasures",
     "compute_measures",

@@ -109,6 +109,51 @@ def aggregate_subdiagram(
     )
 
 
+@dataclass(frozen=True)
+class ChainSolve:
+    """The solver output for one generated block chain.
+
+    This is the expensive, context-free part of a block solution: it
+    depends only on the effective parameters, the globals, and the
+    solver method — never on where in the hierarchy the block sits.
+    That makes it the unit of caching for :mod:`repro.engine`.
+    """
+
+    chain: MarkovChain
+    model_type: int
+    availability: float
+    failure_frequency: float
+    steady_state: Dict[str, float]
+
+
+#: Signature of a pluggable chain solver; :func:`translate` accepts one
+#: so callers (the evaluation engine) can memoize the per-block solves.
+ChainSolver = Callable[
+    [BlockParameters, GlobalParameters, str], ChainSolve
+]
+
+
+def solve_block_chain(
+    effective: BlockParameters,
+    global_parameters: GlobalParameters,
+    method: str = "direct",
+) -> ChainSolve:
+    """Generate and solve the CTMC for one block's effective parameters."""
+    chain = generate_block_chain(effective, global_parameters)
+    pi = steady_state(chain, method=method)
+    availability = sum(
+        pi[state.name] * (1.0 if state.is_up else 0.0) for state in chain
+    )
+    frequency = chain_failure_frequency(chain, method=method)
+    return ChainSolve(
+        chain=chain,
+        model_type=classify_model_type(effective),
+        availability=availability,
+        failure_frequency=frequency,
+        steady_state=pi,
+    )
+
+
 @dataclass
 class BlockSolution:
     """Solution artifacts for one block in the hierarchy.
@@ -219,7 +264,9 @@ class SystemSolution:
 
 
 def translate(
-    model: DiagramBlockModel, method: str = "direct"
+    model: DiagramBlockModel,
+    method: str = "direct",
+    chain_solver: Optional[ChainSolver] = None,
 ) -> SystemSolution:
     """Translate and solve a diagram/block model.
 
@@ -227,13 +274,18 @@ def translate(
         model: The MG specification tree.
         method: Steady-state solver ("direct", "gth" or "power") —
             exposed so the validation benchmarks can cross-check paths.
+        chain_solver: Optional replacement for
+            :func:`solve_block_chain`; the evaluation engine passes a
+            memoizing wrapper here so structurally identical blocks are
+            solved once.
     """
     model.validate()
     g = model.global_parameters
+    solver = chain_solver or solve_block_chain
     by_path: Dict[str, BlockSolution] = {}
     top = [
         _solve_block(block, f"{model.root.name}/{block.name}", 1, g, by_path,
-                     method)
+                     method, solver)
         for block in model.root
     ]
     availability = 1.0
@@ -272,12 +324,14 @@ def _solve_block(
     g: GlobalParameters,
     by_path: Dict[str, BlockSolution],
     method: str,
+    solver: ChainSolver = solve_block_chain,
 ) -> BlockSolution:
     children: List[BlockSolution] = []
     if block.has_subdiagram:
         children = [
             _solve_block(
-                child, f"{path}/{child.name}", level + 1, g, by_path, method
+                child, f"{path}/{child.name}", level + 1, g, by_path,
+                method, solver
             )
             for child in block.subdiagram
         ]
@@ -319,22 +373,17 @@ def _solve_block(
             )
         else:
             effective = block.parameters
-        chain = generate_block_chain(effective, g)
-        pi = steady_state(chain, method=method)
-        availability = sum(
-            pi[state.name] * (1.0 if state.is_up else 0.0) for state in chain
-        )
-        frequency = chain_failure_frequency(chain, method=method)
+        solved = solver(effective, g, method)
         solution = BlockSolution(
             path=path,
             level=level,
             block=block,
             effective=effective,
-            model_type=classify_model_type(effective),
-            chain=chain,
-            availability=availability,
-            failure_frequency=frequency,
-            steady_state=pi,
+            model_type=solved.model_type,
+            chain=solved.chain,
+            availability=solved.availability,
+            failure_frequency=solved.failure_frequency,
+            steady_state=solved.steady_state,
             children=children,
         )
     by_path[path] = solution

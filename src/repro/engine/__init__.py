@@ -1,0 +1,52 @@
+"""Evaluation engine — cached, parallel solving with instrumentation.
+
+The serving layer for batch workloads: repeated solves (sweeps,
+Monte-Carlo sampling, simulation replications) route through an
+:class:`Engine` that memoizes per-block chain solves by content digest,
+fans tasks out over worker processes, and meters everything it does.
+
+* :mod:`.keys` — canonical, key-order-independent content digests.
+* :mod:`.cache` — the in-memory LRU solve cache with an optional
+  persistent on-disk layer.
+* :mod:`.executor` — the process-pool/serial batch runner (per-task
+  timeout, bounded retry, deterministic per-task seeding).
+* :mod:`.stats` — counters and timings, surfaced as
+  :class:`EngineStats` snapshots and the ``rascad stats`` CLI view.
+* :mod:`.engine` — the :class:`Engine` facade tying them together.
+"""
+
+from .cache import SolveCache, default_cache_dir
+from .engine import Engine, get_default_engine, set_default_engine
+from .executor import run_batch, seeded_tasks
+from .keys import (
+    block_digest,
+    canonical_payload,
+    chain_digest,
+    model_digest,
+    task_seed,
+)
+from .stats import (
+    EngineStats,
+    StatsCollector,
+    load_stats,
+    save_stats,
+)
+
+__all__ = [
+    "Engine",
+    "get_default_engine",
+    "set_default_engine",
+    "SolveCache",
+    "default_cache_dir",
+    "run_batch",
+    "seeded_tasks",
+    "block_digest",
+    "canonical_payload",
+    "chain_digest",
+    "model_digest",
+    "task_seed",
+    "EngineStats",
+    "StatsCollector",
+    "load_stats",
+    "save_stats",
+]

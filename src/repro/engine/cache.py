@@ -1,0 +1,254 @@
+"""The solve cache: an in-memory LRU with an optional persistent layer.
+
+Two namespaces share one cache object:
+
+* **block** entries hold :class:`repro.core.ChainSolve` results — the
+  expensive, context-free per-block solves.  These are what make sweep
+  points cheap: every sweep variant shares all unchanged blocks.
+* **system** entries hold whole-model :class:`SystemSolution` objects,
+  so a repeated ``solve`` of a byte-identical spec is free.
+
+Block entries can additionally persist to disk (``~/.cache/rascad`` or
+an explicit ``cache_dir``) as pickle files named by their content
+digest, giving cold *processes* warm starts.  Entries are written
+atomically and validated on load; anything unreadable or from another
+cache format version is treated as a miss and deleted.  Cached objects
+are shared between callers and must be treated as immutable.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from threading import Lock
+from typing import Iterator, Optional, Tuple, Union
+
+#: Bumped whenever the pickled payload layout changes; mismatched disk
+#: entries are silently discarded.
+CACHE_FORMAT_VERSION = 1
+
+#: Default persistent-cache location (override per-engine or with the
+#: ``RASCAD_CACHE_DIR`` environment variable).
+def default_cache_dir() -> Path:
+    """The persistent cache location (``RASCAD_CACHE_DIR`` overrides)."""
+    override = os.environ.get("RASCAD_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "rascad"
+
+
+class _LRU:
+    """A small thread-safe LRU mapping (digest -> object)."""
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = Lock()
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[object]:
+        with self._lock:
+            try:
+                value = self._entries.pop(key)
+            except KeyError:
+                return None
+            self._entries[key] = value  # re-insert as most recent
+            return value
+
+    def put(self, key: str, value: object) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def pop(self, key: str) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._entries))
+
+
+class SolveCache:
+    """Block- and system-level solve cache with optional persistence.
+
+    Args:
+        max_block_entries: LRU capacity for per-block chain solves.
+        max_system_entries: LRU capacity for whole-model solutions
+            (solutions hold full chain hierarchies, so keep this small).
+        cache_dir: Directory for the persistent block layer; ``None``
+            keeps the cache memory-only.
+    """
+
+    def __init__(
+        self,
+        max_block_entries: int = 4096,
+        max_system_entries: int = 64,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self._blocks = _LRU(max_block_entries)
+        self._systems = _LRU(max_system_entries)
+        self.cache_dir = (
+            Path(cache_dir).expanduser() if cache_dir is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # block namespace (memory + disk)
+    # ------------------------------------------------------------------
+    def get_block(self, key: str) -> Tuple[Optional[object], str]:
+        """Look up a block solve; returns ``(value, layer)``.
+
+        ``layer`` is ``"memory"``, ``"disk"`` or ``"miss"`` so the
+        engine can attribute hits in its stats.
+        """
+        value = self._blocks.get(key)
+        if value is not None:
+            return value, "memory"
+        value = self._disk_read(key)
+        if value is not None:
+            self._blocks.put(key, value)  # promote for next time
+            return value, "disk"
+        return None, "miss"
+
+    def put_block(self, key: str, value: object) -> None:
+        self._blocks.put(key, value)
+        self._disk_write(key, value)
+
+    # ------------------------------------------------------------------
+    # system namespace (memory only)
+    # ------------------------------------------------------------------
+    def get_system(self, key: str) -> Optional[object]:
+        return self._systems.get(key)
+
+    def put_system(self, key: str, value: object) -> None:
+        self._systems.put(key, value)
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, key: str) -> None:
+        """Drop one digest from every layer."""
+        self._blocks.pop(key)
+        self._systems.pop(key)
+        path = self._block_path(key)
+        if path is not None:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def clear(self, disk: bool = False) -> None:
+        """Empty the in-memory layers (and optionally the disk layer)."""
+        self._blocks.clear()
+        self._systems.clear()
+        if disk:
+            self.clear_disk()
+
+    def clear_disk(self) -> None:
+        for path in self._disk_entries():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def block_entries(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def system_entries(self) -> int:
+        return len(self._systems)
+
+    def disk_usage(self) -> Tuple[int, int]:
+        """``(entry count, total bytes)`` of the persistent layer."""
+        count = 0
+        total = 0
+        for path in self._disk_entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        return count, total
+
+    # ------------------------------------------------------------------
+    # persistent layer
+    # ------------------------------------------------------------------
+    def _block_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / "blocks" / f"{key}.pkl"
+
+    def _disk_entries(self):
+        if self.cache_dir is None:
+            return []
+        return sorted((self.cache_dir / "blocks").glob("*.pkl"))
+
+    def _disk_read(self, key: str) -> Optional[object]:
+        path = self._block_path(key)
+        if path is None:
+            return None
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            # Unpickling arbitrary corrupt bytes can raise nearly any
+            # exception type; a damaged entry is always just a miss.
+            self._discard(path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CACHE_FORMAT_VERSION
+        ):
+            self._discard(path)
+            return None
+        return payload.get("value")
+
+    def _disk_write(self, key: str, value: object) -> None:
+        path = self._block_path(key)
+        if path is None:
+            return
+        payload = {"version": CACHE_FORMAT_VERSION, "value": value}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            # Persistence is best-effort: a full disk or an unpicklable
+            # payload degrades to memory-only caching, never to failure.
+            pass
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

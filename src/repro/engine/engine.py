@@ -1,0 +1,486 @@
+"""The evaluation engine: cached, parallel solving for batch workloads.
+
+An :class:`Engine` is the serving layer every repeated-solve workload
+routes through.  It composes the other three parts of this package —
+content-addressed keys, the solve cache, and the batch executor — and
+meters everything through a :class:`~repro.engine.stats.StatsCollector`:
+
+* :meth:`Engine.solve` — a cached drop-in for
+  :func:`repro.core.translate`; per-block chain solves are memoized by
+  content digest, so structurally identical blocks anywhere in any
+  model are solved exactly once per cache lifetime.
+* :meth:`Engine.solve_chain` — the same for raw GMB/library CTMCs.
+* :meth:`Engine.sweep_block_field` / :meth:`Engine.sweep_global_field`
+  — parametric sweeps where only the changed block is re-solved per
+  point, fanned out over workers when ``jobs > 1``.
+* :meth:`Engine.propagate_uncertainty` — Monte-Carlo parameter
+  uncertainty: values are drawn sequentially (bit-compatible with the
+  historical implementation), the expensive solves fan out.
+* :meth:`Engine.simulate_system` — simulation replications with
+  deterministic per-replication seeding, so serial and parallel runs
+  of the same seed agree exactly.
+
+Workers are separate processes; each lazily builds a process-local
+engine so consecutive tasks on one worker still share a block cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+
+import numpy as np
+
+from ..core.block import DiagramBlockModel
+from ..core.parameters import BlockParameters, GlobalParameters
+from ..core.translator import (
+    ChainSolve,
+    ChainSolver,
+    SystemSolution,
+    solve_block_chain,
+    translate,
+)
+from ..errors import SolverError
+from ..markov.chain import MarkovChain
+from ..markov.rewards import failure_frequency as chain_failure_frequency
+from ..markov.steady_state import steady_state
+from ..units import MINUTES_PER_YEAR, availability_to_yearly_downtime_minutes
+from .cache import SolveCache, default_cache_dir
+from .executor import run_batch, seeded_tasks
+from .keys import block_digest, chain_digest, model_digest
+from .stats import EngineStats, StatsCollector, save_stats
+
+
+class Engine:
+    """Cached, parallel evaluation engine.
+
+    Args:
+        jobs: Worker processes for batch methods (1 = serial fallback).
+        cache: ``True`` for a fresh in-memory cache, ``False``/``None``
+            to disable caching, or a :class:`SolveCache` to share one.
+        cache_dir: Enables the persistent block layer at this directory
+            (only when ``cache`` is ``True``; a shared
+            :class:`SolveCache` keeps its own setting).
+        timeout: Per-task wall-clock limit for pool runs, in seconds.
+        retries: Extra attempts per failed/timed-out task.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Union[bool, SolveCache, None] = True,
+        cache_dir: Optional[Union[str, Path]] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+    ) -> None:
+        if jobs < 1:
+            raise SolverError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        if isinstance(cache, SolveCache):
+            self.cache: Optional[SolveCache] = cache
+        elif cache:
+            self.cache = SolveCache(cache_dir=cache_dir)
+        else:
+            self.cache = None
+        self.stats = StatsCollector()
+        self.stats.set_jobs(jobs)
+
+    @property
+    def _worker_cache_config(self) -> Tuple[Optional[Path], bool]:
+        """(cache_dir, enabled) that pool workers should mirror."""
+        if self.cache is None:
+            return None, False
+        return self.cache.cache_dir, True
+
+    # ------------------------------------------------------------------
+    # cached solving
+    # ------------------------------------------------------------------
+    def chain_solver(self, method: str = "direct") -> ChainSolver:
+        """A memoizing chain solver for :func:`repro.core.translate`."""
+
+        def solver(
+            effective: BlockParameters,
+            global_parameters: GlobalParameters,
+            solve_method: str = method,
+        ) -> ChainSolve:
+            if self.cache is None:
+                self.stats.increment("block_solves")
+                return solve_block_chain(
+                    effective, global_parameters, solve_method
+                )
+            key = block_digest(effective, global_parameters, solve_method)
+            value, layer = self.cache.get_block(key)
+            if value is not None:
+                self.stats.increment("block_cache_hits")
+                if layer == "disk":
+                    self.stats.increment("disk_hits")
+                return value
+            solved = solve_block_chain(
+                effective, global_parameters, solve_method
+            )
+            self.stats.increment("block_solves")
+            self.cache.put_block(key, solved)
+            return solved
+
+        return solver
+
+    def solve(
+        self, model: DiagramBlockModel, method: str = "direct"
+    ) -> SystemSolution:
+        """Cached, instrumented equivalent of ``translate(model)``.
+
+        Cached solutions are shared objects — treat them as immutable.
+        """
+        with self.stats.timer("solve"):
+            return self._solve(model, method)
+
+    def _solve(
+        self, model: DiagramBlockModel, method: str
+    ) -> SystemSolution:
+        if self.cache is not None:
+            key = model_digest(model, method)
+            cached = self.cache.get_system(key)
+            if cached is not None:
+                self.stats.increment("system_cache_hits")
+                return cached
+        solution = translate(
+            model, method=method, chain_solver=self.chain_solver(method)
+        )
+        self.stats.increment("system_solves")
+        if self.cache is not None:
+            self.cache.put_system(key, solution)
+        return solution
+
+    def solve_chain(
+        self, chain: MarkovChain, method: str = "direct"
+    ) -> Dict[str, float]:
+        """Cached steady-state solve of a raw CTMC.
+
+        Returns the steady-state distribution; availability and failure
+        frequency are derived and cached alongside under the keys
+        ``"__availability__"`` and ``"__failure_frequency__"``.
+        """
+        key = (
+            chain_digest(chain, method) if self.cache is not None else None
+        )
+        if key is not None:
+            value, layer = self.cache.get_block(key)
+            if value is not None:
+                self.stats.increment("block_cache_hits")
+                if layer == "disk":
+                    self.stats.increment("disk_hits")
+                return value
+        pi = dict(steady_state(chain, method=method))
+        # Reward-weighted, in chain state order — bit-identical to
+        # markov.rewards.steady_state_availability.
+        pi["__availability__"] = sum(
+            pi[state.name] * state.reward for state in chain
+        )
+        pi["__failure_frequency__"] = chain_failure_frequency(
+            chain, method=method
+        )
+        self.stats.increment("block_solves")
+        if key is not None:
+            self.cache.put_block(key, pi)
+        return pi
+
+    # ------------------------------------------------------------------
+    # batch workloads
+    # ------------------------------------------------------------------
+    def map(
+        self, fn, tasks: Sequence[Tuple], stage: str = "batch"
+    ) -> List:
+        """Run a raw task batch under this engine's executor policy."""
+        with self.stats.timer(stage):
+            return run_batch(
+                fn,
+                tasks,
+                jobs=self.jobs,
+                timeout=self.timeout,
+                retries=self.retries,
+                stats=self.stats,
+            )
+
+    def sweep_block_field(
+        self,
+        model: DiagramBlockModel,
+        path: str,
+        field: str,
+        values: Sequence[object],
+        method: str = "direct",
+    ) -> List["SweepPoint"]:
+        """Engine-backed :func:`repro.analysis.sweep_block_field`."""
+        return self._sweep(model, path, field, values, method)
+
+    def sweep_global_field(
+        self,
+        model: DiagramBlockModel,
+        field: str,
+        values: Sequence[object],
+        method: str = "direct",
+    ) -> List["SweepPoint"]:
+        """Engine-backed :func:`repro.analysis.sweep_global_field`."""
+        return self._sweep(model, None, field, values, method)
+
+    def _sweep(
+        self,
+        model: DiagramBlockModel,
+        path: Optional[str],
+        field: str,
+        values: Sequence[object],
+        method: str,
+    ) -> List["SweepPoint"]:
+        from ..analysis.parametric import SweepPoint
+
+        values = list(values)
+        with self.stats.timer("sweep"):
+            if self.jobs == 1:
+                availabilities = [
+                    _sweep_point_task(
+                        model, path, field, value, method, self
+                    )
+                    for value in values
+                ]
+            else:
+                cache_dir, use_cache = self._worker_cache_config
+                availabilities = run_batch(
+                    _sweep_point_task,
+                    [
+                        (model, path, field, value, method, None,
+                         cache_dir, use_cache)
+                        for value in values
+                    ],
+                    jobs=self.jobs,
+                    timeout=self.timeout,
+                    retries=self.retries,
+                    stats=self.stats,
+                )
+        return [
+            SweepPoint(
+                value=float(value),  # type: ignore[arg-type]
+                availability=availability,
+                yearly_downtime_minutes=(
+                    availability_to_yearly_downtime_minutes(availability)
+                ),
+            )
+            for value, availability in zip(values, availabilities)
+        ]
+
+    def propagate_uncertainty(
+        self,
+        model: DiagramBlockModel,
+        uncertain: Sequence["UncertainField"],
+        samples: int = 100,
+        seed: Optional[int] = None,
+    ) -> "UncertaintyResult":
+        """Engine-backed :func:`repro.analysis.propagate_uncertainty`.
+
+        Sample values are drawn sequentially from one generator (the
+        exact draw order of the historical serial implementation), so
+        results are bit-identical across ``jobs`` settings *and* with
+        the pre-engine code; only the model solves fan out.
+        """
+        from ..analysis.parametric import with_block_changes
+        from ..analysis.uncertainty import UncertaintyResult
+
+        if samples < 2:
+            raise SolverError(f"need at least 2 samples, got {samples}")
+        if not uncertain:
+            raise SolverError("no uncertain fields given")
+        rng = np.random.default_rng(seed)
+        with self.stats.timer("uncertainty"):
+            variants = []
+            for _ in range(samples):
+                variant = model
+                for entry in uncertain:
+                    value = entry.distribution.sample(rng)
+                    variant = with_block_changes(
+                        variant, entry.path, **{entry.field: value}
+                    )
+                variants.append(variant)
+            if self.jobs == 1:
+                availabilities = np.array([
+                    self._solve(variant, "direct").availability
+                    for variant in variants
+                ])
+            else:
+                cache_dir, use_cache = self._worker_cache_config
+                availabilities = np.array(
+                    run_batch(
+                        _solve_availability_task,
+                        [
+                            (variant, "direct", cache_dir, use_cache)
+                            for variant in variants
+                        ],
+                        jobs=self.jobs,
+                        timeout=self.timeout,
+                        retries=self.retries,
+                        stats=self.stats,
+                    )
+                )
+        downtimes = (1.0 - availabilities) * MINUTES_PER_YEAR
+        p05, p50, p95 = np.percentile(downtimes, [5.0, 50.0, 95.0])
+        return UncertaintyResult(
+            samples=samples,
+            mean_availability=float(availabilities.mean()),
+            std_availability=float(availabilities.std(ddof=1)),
+            downtime_p05=float(p05),
+            downtime_p50=float(p50),
+            downtime_p95=float(p95),
+            availability_samples=tuple(availabilities.tolist()),
+        )
+
+    def simulate_system(
+        self,
+        solution: SystemSolution,
+        horizon: float = 87_600.0,
+        replications: int = 60,
+        seed: Optional[int] = None,
+        confidence: float = 0.95,
+    ) -> "SimulationResult":
+        """Engine-backed Monte-Carlo availability of a solved model.
+
+        Every replication gets its own deterministic seed derived from
+        ``(seed, replication index)``, so a seeded run returns the same
+        interval at any ``jobs`` setting.  (This stream differs from
+        the historical single-generator implementation in
+        :func:`repro.validation.simulate_system_availability`, which is
+        preserved there for backwards compatibility.)
+        """
+        from ..semimarkov.simulation import _summarize
+        from ..validation.simulator import contributing_blocks
+
+        contributing = contributing_blocks(solution)
+        g = solution.model.global_parameters
+        with self.stats.timer("simulate"):
+            samples = run_batch(
+                _replication_task,
+                seeded_tasks(
+                    [(contributing, g, horizon)] * replications, seed
+                ),
+                jobs=self.jobs,
+                timeout=self.timeout,
+                retries=self.retries,
+                stats=self.stats,
+            )
+        return _summarize(np.asarray(samples, dtype=float), confidence)
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> EngineStats:
+        """An immutable copy of the engine's counters and timings."""
+        return self.stats.snapshot()
+
+    def save_stats(
+        self, directory: Optional[Union[str, Path]] = None
+    ) -> Path:
+        """Persist the current snapshot for ``rascad stats``."""
+        target = directory if directory is not None else default_cache_dir()
+        return save_stats(self.stats_snapshot(), target)
+
+
+# ----------------------------------------------------------------------
+# module-level task functions (picklable; run inside worker processes)
+# ----------------------------------------------------------------------
+
+#: Per-process engine for workers, so tasks that land on the same
+#: worker share a block cache.  Built lazily; memory-only by design.
+_PROCESS_ENGINE: Optional[Engine] = None
+
+
+def _process_engine(
+    cache_dir: Optional[Path] = None, use_cache: bool = True
+) -> Engine:
+    """The pool worker's process-local engine (first task configures it).
+
+    Mirrors the parent engine's cache policy so a parallel run reads
+    and populates the same persistent layer a serial run would.
+    """
+    global _PROCESS_ENGINE
+    if _PROCESS_ENGINE is None:
+        _PROCESS_ENGINE = Engine(
+            jobs=1, cache=use_cache, cache_dir=cache_dir
+        )
+    return _PROCESS_ENGINE
+
+
+def _sweep_point_task(
+    model: DiagramBlockModel,
+    path: Optional[str],
+    field: str,
+    value: object,
+    method: str,
+    engine: Optional[Engine] = None,
+    cache_dir: Optional[Path] = None,
+    use_cache: bool = True,
+) -> float:
+    from ..analysis.parametric import (
+        with_block_changes,
+        with_global_changes,
+    )
+
+    if engine is None:
+        engine = _process_engine(cache_dir, use_cache)
+    if path is None:
+        variant = with_global_changes(model, **{field: value})
+    else:
+        variant = with_block_changes(model, path, **{field: value})
+    return engine._solve(variant, method).availability
+
+
+def _solve_availability_task(
+    model: DiagramBlockModel,
+    method: str,
+    cache_dir: Optional[Path] = None,
+    use_cache: bool = True,
+) -> float:
+    engine = _process_engine(cache_dir, use_cache)
+    return engine._solve(model, method).availability
+
+
+def _replication_task(
+    contributing: Sequence[Tuple[BlockParameters, int]],
+    global_parameters: GlobalParameters,
+    horizon: float,
+    seed: Optional[int],
+) -> float:
+    from ..validation.simulator import _run_redundant, _run_type0
+
+    rng = np.random.default_rng(seed)
+    product = 1.0
+    for parameters, multiplicity in contributing:
+        runner = (
+            _run_redundant if parameters.is_redundant else _run_type0
+        )
+        for _copy in range(multiplicity):
+            product *= runner(parameters, global_parameters, horizon, rng)
+    return product
+
+
+# ----------------------------------------------------------------------
+# the shared default engine
+# ----------------------------------------------------------------------
+
+_DEFAULT_ENGINE: Optional[Engine] = None
+
+
+def get_default_engine() -> Engine:
+    """The process-wide engine behind the thin analysis wrappers.
+
+    Memory-only cache, serial executor — safe defaults that still give
+    every caller of :func:`repro.analysis.sweep_block_field` and
+    friends cross-call block reuse for free.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine(jobs=1)
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: Optional[Engine]) -> None:
+    """Replace (or with ``None``, reset) the process-wide engine."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine

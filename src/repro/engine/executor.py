@@ -1,0 +1,175 @@
+"""Batch execution: a process-pool fan-out with a serial fallback.
+
+The engine's workloads — sweep points, Monte-Carlo samples, simulation
+replications — are embarrassingly parallel batches of pure tasks.  This
+module runs such a batch with
+
+* ``jobs`` worker processes (``jobs=1`` runs inline, no pool, no
+  pickling — the fallback used on single-core boxes and in tests);
+* a per-task ``timeout`` (enforced in pool mode; a timed-out task is
+  re-submitted, the stuck worker is left to finish in the background);
+* bounded ``retries`` per task before the whole batch fails;
+* deterministic per-task seeding via :func:`repro.engine.keys.task_seed`
+  — seeds depend only on ``(base seed, task index)``, never on which
+  worker runs the task, so serial and parallel runs of a seeded batch
+  produce identical numbers.
+
+Task functions must be module-level (picklable) when ``jobs > 1``;
+results always come back in task order.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import EngineError
+from .keys import task_seed
+from .stats import StatsCollector
+
+__all__ = ["run_batch", "seeded_tasks"]
+
+
+def seeded_tasks(
+    tasks: Sequence[Tuple],
+    base_seed: Optional[int],
+) -> List[Tuple]:
+    """Append a deterministic per-task seed to every task tuple."""
+    return [
+        tuple(task) + (task_seed(base_seed, index),)
+        for index, task in enumerate(tasks)
+    ]
+
+
+def _timed_call(fn: Callable, args: Tuple):
+    """Run one task in a worker and report its execution time."""
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def run_batch(
+    fn: Callable,
+    tasks: Sequence[Tuple],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    stats: Optional[StatsCollector] = None,
+) -> List:
+    """Run ``fn(*task)`` for every task and return results in order.
+
+    Args:
+        fn: The task function; module-level when ``jobs > 1``.
+        tasks: Argument tuples, one per task.
+        jobs: Worker processes; 1 executes inline (serial fallback).
+        timeout: Per-attempt wall-clock limit in seconds (pool mode
+            only; inline execution cannot be pre-empted).
+        retries: Additional attempts allowed per task after its first
+            failure or timeout.
+        stats: Optional collector for submitted/completed/retried/
+            failed counters and busy time.
+
+    Raises:
+        EngineError: When any task still fails after all retries.
+    """
+    if jobs < 1:
+        raise EngineError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise EngineError(f"retries must be >= 0, got {retries}")
+    stats = stats or StatsCollector()
+    stats.set_jobs(jobs)
+    tasks = list(tasks)
+    stats.increment("tasks_submitted", len(tasks))
+    if not tasks:
+        return []
+    if jobs == 1:
+        return _run_serial(fn, tasks, retries, stats)
+    return _run_pool(fn, tasks, jobs, timeout, retries, stats)
+
+
+def _run_serial(
+    fn: Callable,
+    tasks: List[Tuple],
+    retries: int,
+    stats: StatsCollector,
+) -> List:
+    results = []
+    for index, task in enumerate(tasks):
+        for attempt in range(retries + 1):
+            start = time.perf_counter()
+            try:
+                result = fn(*task)
+            except Exception as error:
+                stats.add_busy(time.perf_counter() - start)
+                if attempt < retries:
+                    stats.increment("tasks_retried")
+                    continue
+                stats.increment("tasks_failed")
+                raise EngineError(
+                    f"task {index} failed after {attempt + 1} attempt(s): "
+                    f"{error}"
+                ) from error
+            stats.add_busy(time.perf_counter() - start)
+            results.append(result)
+            stats.increment("tasks_completed")
+            break
+    return results
+
+
+def _run_pool(
+    fn: Callable,
+    tasks: List[Tuple],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    stats: StatsCollector,
+) -> List:
+    results: List = [None] * len(tasks)
+    attempts = [0] * len(tasks)
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        pending = {
+            pool.submit(_timed_call, fn, task): index
+            for index, task in enumerate(tasks)
+        }
+        while pending:
+            # Collect in submission order; .result() blocks with the
+            # per-task timeout, so a hung worker surfaces as a retry
+            # instead of wedging the whole batch.
+            future, index = next(iter(pending.items()))
+            del pending[future]
+            try:
+                result, busy = future.result(timeout=timeout)
+            except (Exception, FutureTimeoutError) as error:
+                future.cancel()
+                attempts[index] += 1
+                if attempts[index] <= retries:
+                    stats.increment("tasks_retried")
+                    pending[pool.submit(_timed_call, fn, tasks[index])] = (
+                        index
+                    )
+                    continue
+                stats.increment("tasks_failed")
+                for open_future in pending:
+                    open_future.cancel()
+                kind = (
+                    "timed out"
+                    if isinstance(error, FutureTimeoutError)
+                    else "failed"
+                )
+                raise EngineError(
+                    f"task {index} {kind} after {attempts[index]} "
+                    f"attempt(s): {error}"
+                ) from error
+            results[index] = result
+            stats.add_busy(busy)
+            stats.increment("tasks_completed")
+    except BaseException:
+        # Abandon the pool without joining: a worker stuck in a
+        # timed-out task must not wedge the error path too.
+        pool.shutdown(wait=False)
+        raise
+    pool.shutdown(wait=True)
+    return results

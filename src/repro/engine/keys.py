@@ -1,0 +1,171 @@
+"""Canonical content hashing for models, parameters and chains.
+
+The evaluation engine keys its caches by a *content digest*: a SHA-256
+over a canonical JSON encoding of the object.  Canonical means
+
+* mapping keys are emitted sorted, so the digest is independent of the
+  order an engineering spec happens to list its fields in;
+* every field is included with its actual value (defaults too), so a
+  spec that spells a default out and one that omits it digest equal —
+  exactly the invariance :func:`repro.spec.writer.model_to_spec`
+  round-trips rely on;
+* floats are encoded via ``repr``, which is exact for IEEE doubles, so
+  two parameters digest equal iff they solve bit-identically;
+* pure annotations (``description``, ``part_number``) are excluded —
+  they never reach the chain generator, so structurally identical
+  blocks share one key regardless of labeling.
+
+Digests are stable within a repository revision; they are *not*
+promised stable across releases (the disk cache embeds a format
+version for that reason).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields
+from typing import Dict, List, Optional
+
+from ..core.block import DiagramBlockModel, MGBlock, MGDiagram
+from ..core.parameters import BlockParameters, GlobalParameters, Scenario
+from ..errors import EngineError
+from ..markov.chain import MarkovChain
+
+#: Annotation-only BlockParameters fields that never affect a solve.
+_ANNOTATION_FIELDS = frozenset({"description", "part_number"})
+
+
+def _scalar(value: object) -> object:
+    """A JSON-safe, canonical encoding of one field value."""
+    if isinstance(value, Scenario):
+        return value.value
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        # repr() round-trips doubles exactly; format via it so 1.0 and
+        # 1 digest differently from each other but identically to
+        # themselves across runs.
+        return f"f:{value!r}"
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return value
+    raise EngineError(
+        f"cannot canonicalize field value of type {type(value).__name__}"
+    )
+
+
+def _dataclass_payload(instance: object, skip: frozenset = frozenset()):
+    return {
+        f.name: _scalar(getattr(instance, f.name))
+        for f in fields(instance)
+        if f.name not in skip
+    }
+
+
+def canonical_payload(obj: object) -> Dict[str, object]:
+    """The canonical nested structure an object digests from.
+
+    Exposed for tests and debugging; most callers want the digest
+    helpers below.
+    """
+    if isinstance(obj, BlockParameters):
+        return {
+            "kind": "block_parameters",
+            "fields": _dataclass_payload(obj, _ANNOTATION_FIELDS),
+        }
+    if isinstance(obj, GlobalParameters):
+        return {
+            "kind": "global_parameters",
+            "fields": _dataclass_payload(obj),
+        }
+    if isinstance(obj, MGBlock):
+        payload: Dict[str, object] = {
+            "kind": "block",
+            "parameters": canonical_payload(obj.parameters),
+        }
+        if obj.subdiagram is not None:
+            payload["subdiagram"] = canonical_payload(obj.subdiagram)
+        return payload
+    if isinstance(obj, MGDiagram):
+        return {
+            "kind": "diagram",
+            "name": obj.name,
+            "blocks": [canonical_payload(block) for block in obj],
+        }
+    if isinstance(obj, DiagramBlockModel):
+        return {
+            "kind": "model",
+            "name": obj.name,
+            "globals": canonical_payload(obj.global_parameters),
+            "root": canonical_payload(obj.root),
+        }
+    if isinstance(obj, MarkovChain):
+        return {
+            "kind": "chain",
+            "name": obj.name,
+            "states": [
+                {
+                    "name": state.name,
+                    "reward": _scalar(float(state.reward)),
+                }
+                for state in obj
+            ],
+            "transitions": sorted(
+                [t.source, t.target, _scalar(float(t.rate))]
+                for t in obj.transitions()
+            ),
+        }
+    raise EngineError(
+        f"cannot canonicalize object of type {type(obj).__name__}"
+    )
+
+
+def _digest(payload: Dict[str, object], context: List[object]) -> str:
+    document = {"payload": payload, "context": context}
+    encoded = json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def block_digest(
+    effective: BlockParameters,
+    global_parameters: GlobalParameters,
+    method: str = "direct",
+) -> str:
+    """Cache key for one block-chain solve.
+
+    Two calls share a key exactly when :func:`repro.core.translator.
+    solve_block_chain` would return bit-identical results for them.
+    """
+    return _digest(
+        canonical_payload(effective),
+        [canonical_payload(global_parameters), method],
+    )
+
+
+def model_digest(model: DiagramBlockModel, method: str = "direct") -> str:
+    """Cache key for a whole-model solve (``translate``)."""
+    return _digest(canonical_payload(model), [method])
+
+
+def chain_digest(chain: MarkovChain, method: str = "direct") -> str:
+    """Cache key for a raw CTMC steady-state solve (GMB/library chains)."""
+    return _digest(canonical_payload(chain), [method])
+
+
+def task_seed(base_seed: Optional[int], index: int) -> Optional[int]:
+    """Deterministic per-task seed derived from a base seed.
+
+    The derivation hashes ``(base, index)`` so neighbouring tasks get
+    statistically independent streams and the assignment is identical
+    no matter how tasks are distributed over workers — the property
+    that makes serial and parallel runs produce the same numbers.
+    ``None`` stays ``None`` (explicitly unseeded runs stay unseeded).
+    """
+    if base_seed is None:
+        return None
+    material = f"rascad-task:{int(base_seed)}:{int(index)}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")

@@ -1,0 +1,212 @@
+"""Engine instrumentation: counters, timings, and the ``rascad stats`` view.
+
+Every :class:`repro.engine.Engine` owns a :class:`StatsCollector`.  The
+hot paths record into it (cheap, lock-guarded increments); callers take
+an immutable :class:`EngineStats` snapshot whenever they want numbers —
+after a sweep, at CLI exit, or inside a benchmark.  CLI runs persist
+their final snapshot as JSON next to the disk cache so a later
+``rascad stats`` invocation can show what the last batch did.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+#: File name of the persisted last-run snapshot inside a cache dir.
+STATS_FILENAME = "stats.json"
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """An immutable snapshot of one engine's activity.
+
+    Attributes:
+        system_solves: Whole-model solves actually computed.
+        system_cache_hits: Whole-model solves answered from cache.
+        block_solves: Block-chain solves actually computed.
+        block_cache_hits: Block-chain solves answered from cache
+            (memory or disk).
+        disk_hits: The subset of ``block_cache_hits`` served by the
+            persistent layer.
+        tasks_submitted: Tasks handed to the batch executor.
+        tasks_completed: Tasks that returned a result.
+        tasks_retried: Re-submissions after a failure or timeout.
+        tasks_failed: Tasks abandoned after exhausting retries.
+        jobs: Worker count of the executor runs recorded (last wins).
+        busy_seconds: Summed per-task execution time.
+        stage_seconds: Wall time per named stage (``solve``, ``sweep``,
+            ``uncertainty``, ``simulate``, ...).
+    """
+
+    system_solves: int = 0
+    system_cache_hits: int = 0
+    block_solves: int = 0
+    block_cache_hits: int = 0
+    disk_hits: int = 0
+    tasks_submitted: int = 0
+    tasks_completed: int = 0
+    tasks_retried: int = 0
+    tasks_failed: int = 0
+    jobs: int = 1
+    busy_seconds: float = 0.0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def block_lookups(self) -> int:
+        """Total block-solve requests (hits + computed)."""
+        return self.block_cache_hits + self.block_solves
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of block-solve requests served from cache."""
+        lookups = self.block_lookups
+        if lookups == 0:
+            return 0.0
+        return self.block_cache_hits / lookups
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall time across all recorded stages."""
+        return sum(self.stage_seconds.values())
+
+    @property
+    def worker_utilization(self) -> float:
+        """Busy time as a fraction of ``jobs * wall`` capacity."""
+        capacity = self.jobs * self.wall_seconds
+        if capacity <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / capacity)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "system_solves": self.system_solves,
+            "system_cache_hits": self.system_cache_hits,
+            "block_solves": self.block_solves,
+            "block_cache_hits": self.block_cache_hits,
+            "disk_hits": self.disk_hits,
+            "tasks_submitted": self.tasks_submitted,
+            "tasks_completed": self.tasks_completed,
+            "tasks_retried": self.tasks_retried,
+            "tasks_failed": self.tasks_failed,
+            "jobs": self.jobs,
+            "busy_seconds": self.busy_seconds,
+            "stage_seconds": dict(self.stage_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EngineStats":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C401
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    def format(self) -> str:
+        """The human-readable block the ``rascad stats`` command prints."""
+        lines = [
+            f"system solves        : {self.system_solves} computed, "
+            f"{self.system_cache_hits} cached",
+            f"block solves         : {self.block_solves} computed, "
+            f"{self.block_cache_hits} cached "
+            f"({self.disk_hits} from disk)",
+            f"block cache hit rate : {self.cache_hit_rate:.1%} "
+            f"of {self.block_lookups} lookups",
+            f"executor             : {self.tasks_completed}/"
+            f"{self.tasks_submitted} tasks ok, "
+            f"{self.tasks_retried} retried, {self.tasks_failed} failed "
+            f"(jobs={self.jobs})",
+            f"worker utilization   : {self.worker_utilization:.1%} "
+            f"({self.busy_seconds:.3f}s busy / "
+            f"{self.wall_seconds:.3f}s wall)",
+        ]
+        for stage in sorted(self.stage_seconds):
+            lines.append(
+                f"stage {stage:<15}: {self.stage_seconds[stage]:.3f}s"
+            )
+        return "\n".join(lines)
+
+
+class StatsCollector:
+    """Thread-safe accumulator behind :class:`EngineStats` snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._stage_seconds: Dict[str, float] = {}
+        self._busy_seconds = 0.0
+        self._jobs = 1
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def add_busy(self, seconds: float) -> None:
+        with self._lock:
+            self._busy_seconds += seconds
+
+    def set_jobs(self, jobs: int) -> None:
+        with self._lock:
+            self._jobs = max(1, int(jobs))
+
+    def add_stage_time(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self._stage_seconds[stage] = (
+                self._stage_seconds.get(stage, 0.0) + seconds
+            )
+
+    @contextmanager
+    def timer(self, stage: str) -> Iterator[None]:
+        """Attribute the wall time of a ``with`` body to ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_stage_time(stage, time.perf_counter() - start)
+
+    def snapshot(self) -> EngineStats:
+        with self._lock:
+            return EngineStats(
+                system_solves=self._counters.get("system_solves", 0),
+                system_cache_hits=self._counters.get("system_cache_hits", 0),
+                block_solves=self._counters.get("block_solves", 0),
+                block_cache_hits=self._counters.get("block_cache_hits", 0),
+                disk_hits=self._counters.get("disk_hits", 0),
+                tasks_submitted=self._counters.get("tasks_submitted", 0),
+                tasks_completed=self._counters.get("tasks_completed", 0),
+                tasks_retried=self._counters.get("tasks_retried", 0),
+                tasks_failed=self._counters.get("tasks_failed", 0),
+                jobs=self._jobs,
+                busy_seconds=self._busy_seconds,
+                stage_seconds=dict(self._stage_seconds),
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._stage_seconds.clear()
+            self._busy_seconds = 0.0
+            self._jobs = 1
+
+
+def save_stats(stats: EngineStats, directory: Union[str, Path]) -> Path:
+    """Persist a snapshot as ``stats.json`` under ``directory``."""
+    directory = Path(directory).expanduser()
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / STATS_FILENAME
+    target.write_text(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+    return target
+
+
+def load_stats(directory: Union[str, Path]) -> Optional[EngineStats]:
+    """Load the last persisted snapshot, or None when there is none."""
+    target = Path(directory).expanduser() / STATS_FILENAME
+    try:
+        payload = json.loads(target.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return EngineStats.from_dict(payload)

@@ -30,3 +30,8 @@ class SolverError(RascadError):
 
 class DatabaseError(RascadError):
     """A part-number lookup against the component database failed."""
+
+
+class EngineError(RascadError):
+    """The evaluation engine failed (task timeout, retries exhausted,
+    or an unusable cache entry)."""

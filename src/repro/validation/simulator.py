@@ -17,7 +17,7 @@ trace generator used in the field-data experiment.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -230,27 +230,17 @@ def _run_redundant(
     return min(up_time, horizon) / horizon
 
 
-def simulate_system_availability(
+def contributing_blocks(
     solution: SystemSolution,
-    horizon: float = 87_600.0,
-    replications: int = 60,
-    seed: Optional[int] = None,
-    confidence: float = 0.95,
-) -> SimulationResult:
-    """Monte Carlo availability of a solved model.
+) -> List[Tuple[BlockParameters, int]]:
+    """The ``(effective parameters, multiplicity)`` simulation units.
 
-    Each replication simulates every chain-backed block independently
-    over the horizon (the MG independence assumption) and multiplies
-    the per-block interval availabilities — an unbiased estimate of the
-    product of expectations the analytic hierarchy computes.
+    Collect the blocks that actually contribute: a chain-backed block
+    absorbs its whole subtree (the aggregate chain covers it); a
+    pass-through block contributes its children, replicated by its
+    quantity.
     """
-    rng = np.random.default_rng(seed)
-    g = solution.model.global_parameters
-    # Collect the blocks that actually contribute: a chain-backed block
-    # absorbs its whole subtree (the aggregate chain covers it); a
-    # pass-through block contributes its children, replicated by its
-    # quantity.
-    contributing: list = []
+    contributing: List[Tuple[BlockParameters, int]] = []
 
     def collect(block, multiplicity: int) -> None:
         if block.chain is not None:
@@ -263,6 +253,44 @@ def simulate_system_availability(
         collect(top, 1)
     if not contributing:
         raise SolverError("solution has no chain-backed blocks to simulate")
+    return contributing
+
+
+def simulate_system_availability(
+    solution: SystemSolution,
+    horizon: float = 87_600.0,
+    replications: int = 60,
+    seed: Optional[int] = None,
+    confidence: float = 0.95,
+    jobs: Optional[int] = None,
+) -> SimulationResult:
+    """Monte Carlo availability of a solved model.
+
+    Each replication simulates every chain-backed block independently
+    over the horizon (the MG independence assumption) and multiplies
+    the per-block interval availabilities — an unbiased estimate of the
+    product of expectations the analytic hierarchy computes.
+
+    With ``jobs=None`` (the default) the historical implementation
+    runs: one generator drives all replications sequentially, so
+    existing seeded results are preserved exactly.  Any explicit
+    ``jobs`` — including 1 — routes through the evaluation engine,
+    which derives one seed per replication: serial and parallel engine
+    runs of the same seed return identical intervals.
+    """
+    if jobs is not None:
+        from ..engine import Engine
+
+        return Engine(jobs=jobs, cache=False).simulate_system(
+            solution,
+            horizon=horizon,
+            replications=replications,
+            seed=seed,
+            confidence=confidence,
+        )
+    rng = np.random.default_rng(seed)
+    g = solution.model.global_parameters
+    contributing = contributing_blocks(solution)
     samples = np.empty(replications)
     for r in range(replications):
         product = 1.0

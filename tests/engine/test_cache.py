@@ -1,0 +1,117 @@
+"""Solve-cache behaviour: LRU order, persistence, invalidation."""
+
+import pickle
+
+import pytest
+
+from repro.engine import SolveCache
+from repro.engine.cache import CACHE_FORMAT_VERSION
+
+
+class TestMemoryLayer:
+    def test_miss_then_hit(self):
+        cache = SolveCache()
+        value, layer = cache.get_block("k1")
+        assert value is None and layer == "miss"
+        cache.put_block("k1", {"x": 1})
+        value, layer = cache.get_block("k1")
+        assert value == {"x": 1} and layer == "memory"
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = SolveCache(max_block_entries=2)
+        cache.put_block("a", 1)
+        cache.put_block("b", 2)
+        assert cache.get_block("a")[0] == 1  # refresh "a"
+        cache.put_block("c", 3)  # evicts "b"
+        assert cache.get_block("b") == (None, "miss")
+        assert cache.get_block("a")[0] == 1
+        assert cache.get_block("c")[0] == 3
+        assert cache.block_entries == 2
+
+    def test_system_namespace_is_separate(self):
+        cache = SolveCache()
+        cache.put_block("k", "block value")
+        assert cache.get_system("k") is None
+        cache.put_system("k", "system value")
+        assert cache.get_system("k") == "system value"
+        assert cache.get_block("k")[0] == "block value"
+
+
+class TestDiskLayer:
+    def test_round_trip_and_promotion(self, tmp_path):
+        writer = SolveCache(cache_dir=tmp_path)
+        writer.put_block("deadbeef", {"pi": [0.5, 0.5]})
+        # A brand-new cache (cold memory) must hit the disk layer...
+        reader = SolveCache(cache_dir=tmp_path)
+        value, layer = reader.get_block("deadbeef")
+        assert value == {"pi": [0.5, 0.5]} and layer == "disk"
+        # ...and promote the entry, so the next lookup is in memory.
+        value, layer = reader.get_block("deadbeef")
+        assert layer == "memory"
+
+    def test_disk_usage_counts_entries(self, tmp_path):
+        cache = SolveCache(cache_dir=tmp_path)
+        assert cache.disk_usage() == (0, 0)
+        cache.put_block("k1", 1)
+        cache.put_block("k2", 2)
+        entries, size = cache.disk_usage()
+        assert entries == 2 and size > 0
+
+    @pytest.mark.parametrize(
+        "garbage",
+        # Unpickling corrupt bytes raises wildly different exception
+        # types depending on which opcode the bytes happen to spell.
+        [b"not a pickle", b"garbage\n", b"", b"\x80\x05", b"I99\n"],
+        ids=["text", "int-opcode", "empty", "truncated", "no-stop"],
+    )
+    def test_corrupt_entry_is_a_miss_and_deleted(self, tmp_path, garbage):
+        cache = SolveCache(cache_dir=tmp_path)
+        target = tmp_path / "blocks" / "bad.pkl"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(garbage)
+        assert cache.get_block("bad") == (None, "miss")
+        assert not target.exists()
+
+    def test_format_version_mismatch_is_a_miss(self, tmp_path):
+        cache = SolveCache(cache_dir=tmp_path)
+        target = tmp_path / "blocks" / "old.pkl"
+        target.parent.mkdir(parents=True)
+        target.write_bytes(
+            pickle.dumps(
+                {"version": CACHE_FORMAT_VERSION + 1, "value": 42}
+            )
+        )
+        assert cache.get_block("old") == (None, "miss")
+        assert not target.exists()
+
+    def test_memory_only_cache_never_touches_disk(self, tmp_path):
+        cache = SolveCache()
+        cache.put_block("k", 1)
+        assert cache.cache_dir is None
+        assert cache.disk_usage() == (0, 0)
+
+
+class TestInvalidation:
+    def test_invalidate_drops_every_layer(self, tmp_path):
+        cache = SolveCache(cache_dir=tmp_path)
+        cache.put_block("k", 1)
+        cache.put_system("k", 2)
+        cache.invalidate("k")
+        assert cache.get_block("k") == (None, "miss")
+        assert cache.get_system("k") is None
+        assert cache.disk_usage() == (0, 0)
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        cache = SolveCache(cache_dir=tmp_path)
+        cache.put_block("k", 1)
+        cache.clear()
+        assert cache.block_entries == 0
+        value, layer = cache.get_block("k")
+        assert value == 1 and layer == "disk"
+
+    def test_clear_disk_too(self, tmp_path):
+        cache = SolveCache(cache_dir=tmp_path)
+        cache.put_block("k", 1)
+        cache.clear(disk=True)
+        assert cache.get_block("k") == (None, "miss")
+        assert cache.disk_usage() == (0, 0)

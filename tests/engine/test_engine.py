@@ -1,0 +1,253 @@
+"""Engine facade: cached solving, sweeps, uncertainty, simulation."""
+
+import dataclasses
+
+import pytest
+
+from repro import compute_measures, translate
+from repro.analysis import (
+    UncertainField,
+    propagate_uncertainty,
+    sweep_block_field,
+)
+from repro.engine import Engine, SolveCache
+from repro.errors import SolverError
+from repro.library import (
+    ClusterParameters,
+    cluster_availability,
+    cluster_chain,
+    datacenter_model,
+    e10000_model,
+    workgroup_model,
+)
+from repro.semimarkov import Lognormal
+from repro.validation import simulate_system_availability
+
+CPU = "Data Center System/Server Box/CPU Module"
+OS = "Workgroup Server/Operating System"
+
+
+class TestCachedSolve:
+    @pytest.mark.parametrize(
+        "factory", [datacenter_model, e10000_model, workgroup_model],
+        ids=["datacenter", "e10000", "workgroup"],
+    )
+    def test_cold_and_warm_measures_bit_identical(self, factory):
+        model = factory()
+        engine = Engine()
+        cold = compute_measures(engine.solve(model))
+        after_cold = engine.stats_snapshot()
+        # A *fresh* model object (new digest computation, warm cache).
+        warm = compute_measures(engine.solve(factory()))
+        for field in dataclasses.fields(cold):
+            assert getattr(warm, field.name) == getattr(
+                cold, field.name
+            ), field.name
+        snapshot = engine.stats_snapshot()
+        assert snapshot.system_cache_hits == 1
+        # The whole-model hit short-circuits the walk: no further
+        # block-level work of any kind.
+        assert snapshot.block_lookups == after_cold.block_lookups
+
+    def test_engine_matches_plain_translate(self):
+        model = datacenter_model()
+        assert Engine().solve(model).availability == (
+            translate(model).availability
+        )
+
+    def test_block_cache_shared_across_different_models(self):
+        engine = Engine()
+        engine.solve(workgroup_model())
+        first = engine.stats_snapshot().block_solves
+        # Same blocks, different model object with a changed sibling:
+        # only the changed block may be re-solved.
+        from repro.analysis import with_block_changes
+
+        changed = with_block_changes(
+            workgroup_model(), OS, mtbf_hours=45_000.0
+        )
+        engine.solve(changed)
+        snapshot = engine.stats_snapshot()
+        assert snapshot.block_solves == first + 1
+        assert snapshot.block_cache_hits > 0
+
+    def test_disabled_cache_still_solves(self):
+        engine = Engine(cache=False)
+        model = workgroup_model()
+        a = engine.solve(model)
+        b = engine.solve(model)
+        assert a.availability == b.availability
+        snapshot = engine.stats_snapshot()
+        assert snapshot.system_cache_hits == 0
+        assert snapshot.block_cache_hits == 0
+
+    def test_cluster_chain_cached_solve_bit_identical(self):
+        parameters = ClusterParameters()
+        engine = Engine()
+        cold = engine.solve_chain(cluster_chain(parameters))
+        warm = engine.solve_chain(cluster_chain(parameters))
+        assert warm == cold
+        assert engine.stats_snapshot().block_cache_hits == 1
+        assert cold["__availability__"] == pytest.approx(
+            cluster_availability(parameters), abs=0.0
+        )
+
+    def test_persistent_layer_survives_engine_restart(self, tmp_path):
+        model = e10000_model()
+        Engine(cache_dir=tmp_path).solve(model)
+        rewarmed = Engine(cache_dir=tmp_path)
+        solution = rewarmed.solve(model)
+        snapshot = rewarmed.stats_snapshot()
+        assert snapshot.block_solves == 0
+        assert snapshot.disk_hits > 0
+        assert solution.availability == translate(model).availability
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(SolverError):
+            Engine(jobs=0)
+
+
+class TestSweeps:
+    VALUES = [50_000.0, 100_000.0, 200_000.0, 400_000.0]
+
+    def test_sibling_blocks_are_not_resolved_per_point(self):
+        model = datacenter_model()
+        engine = Engine()
+        engine.solve(model)  # warm the block cache
+        blocks_after_solve = engine.stats_snapshot().block_solves
+        engine.sweep_block_field(model, CPU, "mtbf_hours", self.VALUES)
+        snapshot = engine.stats_snapshot()
+        # Each point re-solves only the swept block, nothing else.
+        assert snapshot.block_solves == blocks_after_solve + len(
+            self.VALUES
+        )
+        assert snapshot.cache_hit_rate > 0.0
+
+    def test_parallel_and_serial_sweeps_identical(self):
+        model = datacenter_model()
+        serial = Engine(jobs=1).sweep_block_field(
+            model, CPU, "mtbf_hours", self.VALUES
+        )
+        parallel = Engine(jobs=2).sweep_block_field(
+            model, CPU, "mtbf_hours", self.VALUES
+        )
+        assert parallel == serial
+
+    def test_wrapper_equals_engine_method(self):
+        model = datacenter_model()
+        engine = Engine()
+        assert sweep_block_field(
+            model, CPU, "mtbf_hours", self.VALUES, engine=engine
+        ) == Engine().sweep_block_field(
+            model, CPU, "mtbf_hours", self.VALUES
+        )
+
+    def test_global_sweep_parallel_matches_serial(self):
+        model = workgroup_model()
+        values = [12.0, 24.0, 96.0]
+        serial = Engine(jobs=1).sweep_global_field(
+            model, "mttm_hours", values
+        )
+        parallel = Engine(jobs=2).sweep_global_field(
+            model, "mttm_hours", values
+        )
+        assert parallel == serial
+
+
+class TestUncertainty:
+    def test_jobs_do_not_change_the_numbers(self):
+        model = workgroup_model()
+        uncertain = [
+            UncertainField(
+                OS, "mtbf_hours", Lognormal.from_mean_cv(30_000.0, 0.5)
+            )
+        ]
+        serial = Engine(jobs=1).propagate_uncertainty(
+            model, uncertain, samples=8, seed=11
+        )
+        parallel = Engine(jobs=2).propagate_uncertainty(
+            model, uncertain, samples=8, seed=11
+        )
+        assert serial.availability_samples == parallel.availability_samples
+        assert serial.mean_availability == parallel.mean_availability
+
+    def test_wrapper_routes_through_engine(self):
+        engine = Engine()
+        model = workgroup_model()
+        uncertain = [
+            UncertainField(
+                OS, "mtbf_hours", Lognormal.from_mean_cv(30_000.0, 0.3)
+            )
+        ]
+        result = propagate_uncertainty(
+            model, uncertain, samples=6, seed=3, engine=engine
+        )
+        assert result.samples == 6
+        assert engine.stats_snapshot().block_lookups > 0
+
+    def test_validation_errors_preserved(self):
+        engine = Engine()
+        with pytest.raises(SolverError):
+            engine.propagate_uncertainty(workgroup_model(), [], samples=5)
+        with pytest.raises(SolverError):
+            engine.propagate_uncertainty(
+                workgroup_model(),
+                [UncertainField(
+                    OS, "mtbf_hours", Lognormal.from_mean_cv(3e4, 0.3)
+                )],
+                samples=1,
+            )
+
+
+class TestSimulation:
+    def test_serial_and_parallel_replications_identical(self):
+        solution = translate(workgroup_model())
+        serial = Engine(jobs=1).simulate_system(
+            solution, horizon=4_000.0, replications=10, seed=21
+        )
+        parallel = Engine(jobs=3).simulate_system(
+            solution, horizon=4_000.0, replications=10, seed=21
+        )
+        assert serial.mean == parallel.mean
+        assert serial.low == parallel.low
+        assert serial.high == parallel.high
+
+    def test_simulator_jobs_parameter_routes_through_engine(self):
+        solution = translate(workgroup_model())
+        a = simulate_system_availability(
+            solution, horizon=4_000.0, replications=10, seed=21, jobs=1
+        )
+        b = Engine(jobs=1).simulate_system(
+            solution, horizon=4_000.0, replications=10, seed=21
+        )
+        assert a.mean == b.mean
+
+    def test_engine_interval_contains_analytic_value(self):
+        solution = translate(workgroup_model())
+        result = Engine().simulate_system(
+            solution, horizon=30_000.0, replications=40, seed=0
+        )
+        assert result.contains(solution.availability)
+
+
+class TestSharedCacheAndStats:
+    def test_engines_can_share_one_cache(self):
+        cache = SolveCache()
+        Engine(cache=cache).solve(workgroup_model())
+        second = Engine(cache=cache)
+        second.solve(workgroup_model())
+        snapshot = second.stats_snapshot()
+        assert snapshot.block_solves == 0
+        assert snapshot.system_cache_hits == 1
+
+    def test_save_stats_round_trips(self, tmp_path):
+        from repro.engine import load_stats
+
+        engine = Engine()
+        engine.solve(workgroup_model())
+        engine.save_stats(tmp_path)
+        loaded = load_stats(tmp_path)
+        assert loaded is not None
+        assert loaded.block_solves == (
+            engine.stats_snapshot().block_solves
+        )

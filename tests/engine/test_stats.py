@@ -1,0 +1,94 @@
+"""Instrumentation: counters, derived metrics, snapshot persistence."""
+
+import json
+
+from repro.engine import EngineStats, load_stats, save_stats
+from repro.engine.stats import STATS_FILENAME, StatsCollector
+
+
+class TestCollector:
+    def test_counters_accumulate(self):
+        collector = StatsCollector()
+        collector.increment("block_solves")
+        collector.increment("block_solves", 2)
+        collector.increment("block_cache_hits", 9)
+        snapshot = collector.snapshot()
+        assert snapshot.block_solves == 3
+        assert snapshot.block_cache_hits == 9
+        assert snapshot.block_lookups == 12
+        assert snapshot.cache_hit_rate == 0.75
+
+    def test_timer_attributes_wall_time(self):
+        collector = StatsCollector()
+        with collector.timer("sweep"):
+            pass
+        with collector.timer("sweep"):
+            pass
+        snapshot = collector.snapshot()
+        assert snapshot.stage_seconds["sweep"] >= 0.0
+        assert snapshot.wall_seconds == sum(
+            snapshot.stage_seconds.values()
+        )
+
+    def test_reset_clears_everything(self):
+        collector = StatsCollector()
+        collector.increment("block_solves")
+        collector.add_busy(1.0)
+        collector.set_jobs(8)
+        collector.reset()
+        snapshot = collector.snapshot()
+        assert snapshot.block_solves == 0
+        assert snapshot.busy_seconds == 0.0
+        assert snapshot.jobs == 1
+
+
+class TestDerivedMetrics:
+    def test_hit_rate_defaults_to_zero(self):
+        assert EngineStats().cache_hit_rate == 0.0
+
+    def test_worker_utilization_bounded(self):
+        stats = EngineStats(
+            jobs=2, busy_seconds=10.0, stage_seconds={"sweep": 1.0}
+        )
+        assert stats.worker_utilization == 1.0
+        idle = EngineStats(jobs=2, busy_seconds=0.0)
+        assert idle.worker_utilization == 0.0
+
+    def test_format_mentions_the_headline_numbers(self):
+        stats = EngineStats(
+            block_solves=4, block_cache_hits=12, jobs=3,
+            stage_seconds={"sweep": 0.5},
+        )
+        text = stats.format()
+        assert "hit rate" in text
+        assert "75.0%" in text
+        assert "jobs=3" in text
+        assert "stage sweep" in text
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        stats = EngineStats(
+            block_solves=7, block_cache_hits=3, disk_hits=1,
+            tasks_submitted=4, tasks_completed=4, jobs=2,
+            busy_seconds=1.5, stage_seconds={"solve": 0.25},
+        )
+        target = save_stats(stats, tmp_path)
+        assert target.name == STATS_FILENAME
+        loaded = load_stats(tmp_path)
+        assert loaded == stats
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_stats(tmp_path) is None
+
+    def test_corrupt_file_is_none(self, tmp_path):
+        (tmp_path / STATS_FILENAME).write_text("{not json")
+        assert load_stats(tmp_path) is None
+
+    def test_unknown_keys_ignored(self, tmp_path):
+        payload = EngineStats(block_solves=1).to_dict()
+        payload["from_the_future"] = 99
+        (tmp_path / STATS_FILENAME).write_text(json.dumps(payload))
+        loaded = load_stats(tmp_path)
+        assert loaded is not None
+        assert loaded.block_solves == 1

@@ -36,6 +36,13 @@ class TestModuleEntry:
         assert result.returncode == 0
         assert "rascad" in result.stdout
 
+    def test_version(self):
+        from repro import __version__
+
+        result = run_cli("--version")
+        assert result.returncode == 0
+        assert __version__ in result.stdout
+
     def test_error_path_exit_code(self):
         result = run_cli("solve", "/nonexistent/spec.json")
         assert result.returncode == 2

@@ -154,6 +154,59 @@ class TestParts:
         assert "HDD-36G" in out
 
 
+class TestVersion:
+    def test_version_flag_prints_and_exits(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestEngineFlags:
+    def test_sweep_jobs_matches_serial(self, spec_path, capsys):
+        argv = [
+            "sweep", spec_path, "Workgroup Server/Operating System",
+            "mtbf_hours", "20000", "40000",
+        ]
+        assert main(argv + ["--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2", "--no-cache"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_no_cache_solve(self, spec_path, capsys):
+        assert main(["solve", spec_path, "--no-cache"]) == 0
+        assert "availability" in capsys.readouterr().out
+
+    def test_cache_dir_populates_stats(self, spec_path, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["solve", spec_path, "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats" in out
+        assert "persistent cache" in out
+
+    def test_stats_without_history_is_friendly(self, tmp_path, capsys):
+        assert main(["stats", "--cache-dir", str(tmp_path / "empty")]) == 0
+        assert "no engine stats" in capsys.readouterr().out
+
+    def test_second_solve_hits_persistent_cache(
+        self, spec_path, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        main(["solve", spec_path, "--cache-dir", cache_dir])
+        main(["solve", spec_path, "--cache-dir", cache_dir])
+        capsys.readouterr()
+        main(["stats", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        # The second run recomputed nothing: every block came back from
+        # the persistent layer.
+        assert "block solves         : 0 computed" in out
+        assert "(0 from disk)" not in out
+
+
 class TestErrors:
     def test_bad_spec_path(self, capsys):
         code = main(["solve", "/nonexistent/model.json"])
