@@ -10,7 +10,8 @@ Usage (installed as ``rascad``, or ``python -m repro``):
     rascad sweep model.json "Sys/Block" mtbf_hours 1e5 2e5 5e5
     rascad validate model.json         # Monte Carlo cross-check
     rascad parts                       # the builtin component catalog
-    rascad stats                       # last run's engine counters
+    rascad stats [--json]              # last run's engine counters
+    rascad serve --port 8080           # the HTTP model-serving API
 
 Specs are the JSON engineering-language format of :mod:`repro.spec`;
 part numbers resolve against the builtin catalog unless ``--database``
@@ -20,6 +21,9 @@ points at a saved catalog file.
 (:mod:`repro.engine`): ``--jobs`` fans work out over processes,
 ``--cache-dir`` enables the persistent solve cache (default
 ``~/.cache/rascad``), ``--no-cache`` disables caching for the run.
+
+``serve`` starts the :mod:`repro.service` HTTP API on the same engine
+flags, so the server and CLI runs share one persistent cache.
 """
 
 from __future__ import annotations
@@ -222,19 +226,45 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from .engine import SolveCache
+    import json
+
+    from .engine import SolveCache, metrics_payload
 
     directory = args.cache_dir or default_cache_dir()
     stats = load_stats(directory)
+    disk_usage = SolveCache(cache_dir=directory).disk_usage()
+    if args.json:
+        # The same serialization the service's GET /metrics emits.
+        print(json.dumps(
+            metrics_payload(stats, disk_usage=disk_usage),
+            indent=2, sort_keys=True,
+        ))
+        return 0
     if stats is None:
         print(f"no engine stats recorded under {directory}")
         print("run an engine-backed command (solve, sweep, validate) first")
         return 0
     print(f"engine stats ({directory})")
     print(stats.format())
-    entries, size = SolveCache(cache_dir=directory).disk_usage()
+    entries, size = disk_usage
     print(f"persistent cache     : {entries} entries, {size} bytes")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        max_queue=args.max_queue,
+        request_timeout=args.request_timeout,
+        warm_start=args.warm_start,
+    )
+    return serve(config)
 
 
 def _cmd_parts(args: argparse.Namespace) -> int:
@@ -364,7 +394,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="cache directory to inspect (default: ~/.cache/rascad)",
     )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (the service's /metrics document)",
+    )
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = commands.add_parser(
+        "serve", help="run the HTTP model-serving API"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port; 0 picks a free port (default: 8080)",
+    )
+    add_engine_flags(serve)
+    serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="distinct solves admitted before 429 backpressure "
+             "(default: 64)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="default and maximum per-request deadline (default: 30)",
+    )
+    serve.add_argument(
+        "--warm-start", action="store_true",
+        help="pre-solve the library models into the cache at startup",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

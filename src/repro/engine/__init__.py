@@ -29,7 +29,9 @@ from .stats import (
     EngineStats,
     StatsCollector,
     load_stats,
+    metrics_payload,
     save_stats,
+    summarize_latencies,
 )
 
 __all__ = [
@@ -48,5 +50,7 @@ __all__ = [
     "EngineStats",
     "StatsCollector",
     "load_stats",
+    "metrics_payload",
     "save_stats",
+    "summarize_latencies",
 ]

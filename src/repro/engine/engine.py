@@ -153,6 +153,59 @@ class Engine:
             self.cache.put_system(key, solution)
         return solution
 
+    async def solve_async(
+        self, model: DiagramBlockModel, method: str = "direct"
+    ) -> SystemSolution:
+        """:meth:`solve` without blocking the event loop.
+
+        The submit API the service layer builds on: the solve runs on a
+        worker thread (the collector's locks make the caches and stats
+        safe under concurrent submissions) while the caller's event
+        loop keeps serving other requests.
+        """
+        import asyncio
+
+        return await asyncio.to_thread(self.solve, model, method)
+
+    def solve_many(
+        self,
+        models: Sequence[DiagramBlockModel],
+        method: str = "direct",
+    ) -> List[SystemSolution]:
+        """Solve several *distinct* models as one batch.
+
+        With ``jobs > 1`` the solves fan out over the process pool
+        (each worker keeps a process-local block cache mirroring this
+        engine's persistent layer); results are merged back into this
+        engine's system cache so follow-up :meth:`solve` calls of the
+        same specs hit locally.  Serial engines just loop.
+        """
+        models = list(models)
+        if not models:
+            return []
+        if self.jobs == 1 or len(models) == 1:
+            return [self.solve(model, method) for model in models]
+        cache_dir, use_cache = self._worker_cache_config
+        with self.stats.timer("solve"):
+            solutions = run_batch(
+                _solve_model_task,
+                [
+                    (model, method, cache_dir, use_cache)
+                    for model in models
+                ],
+                jobs=self.jobs,
+                timeout=self.timeout,
+                retries=self.retries,
+                stats=self.stats,
+            )
+        self.stats.increment("system_solves", len(solutions))
+        if self.cache is not None:
+            for model, solution in zip(models, solutions):
+                self.cache.put_system(
+                    model_digest(model, method), solution
+                )
+        return solutions
+
     def solve_chain(
         self, chain: MarkovChain, method: str = "direct"
     ) -> Dict[str, float]:
@@ -429,6 +482,16 @@ def _sweep_point_task(
     else:
         variant = with_block_changes(model, path, **{field: value})
     return engine._solve(variant, method).availability
+
+
+def _solve_model_task(
+    model: DiagramBlockModel,
+    method: str,
+    cache_dir: Optional[Path] = None,
+    use_cache: bool = True,
+) -> SystemSolution:
+    engine = _process_engine(cache_dir, use_cache)
+    return engine._solve(model, method)
 
 
 def _solve_availability_task(

@@ -6,20 +6,48 @@ an immutable :class:`EngineStats` snapshot whenever they want numbers —
 after a sweep, at CLI exit, or inside a benchmark.  CLI runs persist
 their final snapshot as JSON next to the disk cache so a later
 ``rascad stats`` invocation can show what the last batch did.
+
+The collector also carries the serving-layer telemetry behind the
+service's ``GET /metrics`` endpoint: gauges (queue depth, in-flight
+requests), per-route request counters, and per-route latency
+reservoirs summarized as p50/p95/p99.  :func:`metrics_payload` is the
+one serialization both ``rascad stats --json`` and the HTTP endpoint
+emit, so the two views can never drift apart.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import os
+import tempfile
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Deque, Dict, Iterator, Optional, Tuple, Union
 
 #: File name of the persisted last-run snapshot inside a cache dir.
 STATS_FILENAME = "stats.json"
+
+#: Samples kept per latency route; old samples fall off the window.
+LATENCY_WINDOW = 2048
+
+#: Counter names promoted to named :class:`EngineStats` fields; every
+#: other counter lands in the generic ``counters`` mapping.
+_NAMED_COUNTERS = (
+    "system_solves",
+    "system_cache_hits",
+    "block_solves",
+    "block_cache_hits",
+    "disk_hits",
+    "tasks_submitted",
+    "tasks_completed",
+    "tasks_retried",
+    "tasks_failed",
+)
 
 
 @dataclass(frozen=True)
@@ -42,6 +70,13 @@ class EngineStats:
         busy_seconds: Summed per-task execution time.
         stage_seconds: Wall time per named stage (``solve``, ``sweep``,
             ``uncertainty``, ``simulate``, ...).
+        counters: Every other counter recorded on the collector (the
+            service layer's admissions, dedup hits, rejections, ...).
+        gauges: Point-in-time values (queue depth, in-flight requests).
+        route_counts: Requests per ``"METHOD /path status"`` key.
+        latency: Per-route latency summaries (count/mean/p50/p95/p99/
+            max, all in seconds) over the last ``LATENCY_WINDOW``
+            samples.
     """
 
     system_solves: int = 0
@@ -56,6 +91,10 @@ class EngineStats:
     jobs: int = 1
     busy_seconds: float = 0.0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    route_counts: Dict[str, int] = field(default_factory=dict)
+    latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def block_lookups(self) -> int:
@@ -97,6 +136,13 @@ class EngineStats:
             "jobs": self.jobs,
             "busy_seconds": self.busy_seconds,
             "stage_seconds": dict(self.stage_seconds),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "route_counts": dict(self.route_counts),
+            "latency": {
+                route: dict(summary)
+                for route, summary in self.latency.items()
+            },
         }
 
     @classmethod
@@ -126,7 +172,45 @@ class EngineStats:
             lines.append(
                 f"stage {stage:<15}: {self.stage_seconds[stage]:.3f}s"
             )
+        for name in sorted(self.counters):
+            lines.append(f"{name:<21}: {self.counters[name]}")
+        for name in sorted(self.gauges):
+            lines.append(f"{name:<21}: {self.gauges[name]:g}")
+        for key in sorted(self.route_counts):
+            lines.append(f"route {key:<15}: {self.route_counts[key]}")
+        for route in sorted(self.latency):
+            summary = self.latency[route]
+            lines.append(
+                f"latency {route}: "
+                f"p50={summary.get('p50', 0.0) * 1000:.1f}ms "
+                f"p95={summary.get('p95', 0.0) * 1000:.1f}ms "
+                f"p99={summary.get('p99', 0.0) * 1000:.1f}ms "
+                f"({summary.get('count', 0):.0f} samples)"
+            )
         return "\n".join(lines)
+
+
+def _percentile(ordered: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def summarize_latencies(samples: "list[float]") -> Dict[str, float]:
+    """The ``/metrics`` latency summary for one route's sample window."""
+    if not samples:
+        return {"count": 0.0}
+    ordered = sorted(samples)
+    return {
+        "count": float(len(ordered)),
+        "mean": sum(ordered) / len(ordered),
+        "p50": _percentile(ordered, 50.0),
+        "p95": _percentile(ordered, 95.0),
+        "p99": _percentile(ordered, 99.0),
+        "max": ordered[-1],
+    }
 
 
 class StatsCollector:
@@ -138,10 +222,33 @@ class StatsCollector:
         self._stage_seconds: Dict[str, float] = {}
         self._busy_seconds = 0.0
         self._jobs = 1
+        self._gauges: Dict[str, float] = {}
+        self._route_counts: Dict[str, int] = {}
+        self._latencies: Dict[str, Deque[float]] = {}
 
     def increment(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time value (queue depth, in-flight, ...)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def record_request(self, route: str, status: int) -> None:
+        """Count one served request under ``"<route> <status>"``."""
+        key = f"{route} {status}"
+        with self._lock:
+            self._route_counts[key] = self._route_counts.get(key, 0) + 1
+
+    def record_latency(self, route: str, seconds: float) -> None:
+        """Add one latency sample to the route's sliding window."""
+        with self._lock:
+            window = self._latencies.get(route)
+            if window is None:
+                window = deque(maxlen=LATENCY_WINDOW)
+                self._latencies[route] = window
+            window.append(float(seconds))
 
     def add_busy(self, seconds: float) -> None:
         with self._lock:
@@ -181,6 +288,17 @@ class StatsCollector:
                 jobs=self._jobs,
                 busy_seconds=self._busy_seconds,
                 stage_seconds=dict(self._stage_seconds),
+                counters={
+                    name: value
+                    for name, value in self._counters.items()
+                    if name not in _NAMED_COUNTERS
+                },
+                gauges=dict(self._gauges),
+                route_counts=dict(self._route_counts),
+                latency={
+                    route: summarize_latencies(list(window))
+                    for route, window in self._latencies.items()
+                },
             )
 
     def reset(self) -> None:
@@ -189,14 +307,35 @@ class StatsCollector:
             self._stage_seconds.clear()
             self._busy_seconds = 0.0
             self._jobs = 1
+            self._gauges.clear()
+            self._route_counts.clear()
+            self._latencies.clear()
 
 
 def save_stats(stats: EngineStats, directory: Union[str, Path]) -> Path:
-    """Persist a snapshot as ``stats.json`` under ``directory``."""
+    """Persist a snapshot as ``stats.json`` under ``directory``.
+
+    The write is atomic (temp file + rename, the same discipline the
+    disk cache uses), so a reader — or a process killed mid-write —
+    never observes a truncated snapshot.
+    """
     directory = Path(directory).expanduser()
     directory.mkdir(parents=True, exist_ok=True)
     target = directory / STATS_FILENAME
-    target.write_text(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+    text = json.dumps(stats.to_dict(), indent=2, sort_keys=True)
+    fd, temp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=".stats-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
     return target
 
 
@@ -210,3 +349,39 @@ def load_stats(directory: Union[str, Path]) -> Optional[EngineStats]:
     if not isinstance(payload, dict):
         return None
     return EngineStats.from_dict(payload)
+
+
+def metrics_payload(
+    stats: Optional[EngineStats],
+    disk_usage: Optional[Tuple[int, int]] = None,
+    service: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The machine-readable metrics document.
+
+    One serialization shared by ``rascad stats --json`` and the
+    service's ``GET /metrics``: engine counters, derived rates, the
+    persistent cache's footprint, and (on the service) the serving
+    section.
+
+    Args:
+        stats: The snapshot to report; ``None`` yields ``engine: null``
+            (a ``rascad stats --json`` run before any engine run).
+        disk_usage: ``(entries, bytes)`` of the persistent cache.
+        service: Serving-layer extras (uptime, queue depth, ...).
+    """
+    payload: Dict[str, object] = {
+        "engine": stats.to_dict() if stats is not None else None,
+    }
+    if stats is not None:
+        payload["derived"] = {
+            "cache_hit_rate": stats.cache_hit_rate,
+            "block_lookups": stats.block_lookups,
+            "wall_seconds": stats.wall_seconds,
+            "worker_utilization": stats.worker_utilization,
+        }
+    if disk_usage is not None:
+        entries, size = disk_usage
+        payload["cache"] = {"disk_entries": entries, "disk_bytes": size}
+    if service is not None:
+        payload["service"] = dict(service)
+    return payload

@@ -1,0 +1,423 @@
+"""Route table and request handlers for the serving API.
+
+The application is transport-agnostic: :meth:`App.handle` maps one
+parsed :class:`~repro.service.protocol.Request` to one
+:class:`~repro.service.protocol.Response`, so tests can drive it
+without sockets and the lifecycle layer stays a thin connection loop.
+
+Routes:
+
+========================  ====================================================
+``POST /v1/solve``        spec JSON -> full measure set (queued, deduped)
+``POST /v1/sweep``        parametric sweep over one block or global field
+``POST /v1/validate``     Monte-Carlo cross-check of the analytic solution
+``GET /v1/library``       names of the built-in library models
+``GET /v1/library/{n}``   one library model as a spec document
+``GET /healthz``          liveness + queue gauges
+``GET /metrics``          JSON metrics; Prometheus text with
+                          ``?format=prometheus`` (or ``Accept: text/plain``)
+========================  ====================================================
+
+Untrusted payloads go through :func:`repro.spec.parse_spec` — the same
+validation path the CLI uses — so every malformed spec surfaces as a
+``400`` with a stable error code, never a stack trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..core import compute_measures
+from ..core.translator import SystemSolution
+from ..database import PartsDatabase, builtin_database
+from ..engine import Engine, metrics_payload
+from ..library import datacenter_model, e10000_model, workgroup_model
+from ..spec import model_to_spec, parse_spec
+from ..units import nines
+from .protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    error_for_exception,
+    error_response,
+    json_response,
+)
+from .queue import QueueFullError, SolveQueue
+
+#: The built-in library models served under ``/v1/library/{name}``.
+LIBRARY_MODELS: Dict[str, Callable] = {
+    "datacenter": datacenter_model,
+    "e10000": e10000_model,
+    "workgroup": workgroup_model,
+}
+
+#: Solver methods a request may select.
+ALLOWED_METHODS = ("direct", "gth", "power")
+
+#: Caps on the work one request may ask for.
+MAX_SWEEP_VALUES = 256
+MAX_REPLICATIONS = 512
+
+
+def _field(
+    payload: Mapping[str, object],
+    key: str,
+    kind: type,
+    required: bool = True,
+    default: object = None,
+) -> object:
+    """One validated request field, or a 400 with a precise message."""
+    if key not in payload:
+        if required:
+            raise ProtocolError(
+                400, "invalid_request", f"missing required field {key!r}"
+            )
+        return default
+    value = payload[key]
+    if kind is float and isinstance(value, int):
+        value = float(value)
+    if not isinstance(value, kind) or isinstance(value, bool):
+        raise ProtocolError(
+            400, "invalid_request",
+            f"field {key!r} must be a {kind.__name__}, "
+            f"got {type(value).__name__}",
+        )
+    return value
+
+
+class App:
+    """The serving application: routes, handlers, per-route metrics."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        queue: SolveQueue,
+        database: Optional[PartsDatabase] = None,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.engine = engine
+        self.queue = queue
+        self.database = database if database is not None else builtin_database()
+        self.request_timeout = request_timeout
+        self.started_at = time.monotonic()
+        self.in_flight = 0
+        self._routes: Dict[str, Callable] = {
+            "POST /v1/solve": self._solve,
+            "POST /v1/sweep": self._sweep,
+            "POST /v1/validate": self._validate,
+            "GET /v1/library": self._library_index,
+            "GET /healthz": self._healthz,
+            "GET /metrics": self._metrics,
+        }
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def handle(self, request: Request) -> Response:
+        """Serve one request; never raises, always meters."""
+        route = self._route_label(request)
+        stats = self.engine.stats
+        self.in_flight += 1
+        stats.set_gauge("in_flight", self.in_flight)
+        start = time.perf_counter()
+        try:
+            response = await self._dispatch(request)
+        except QueueFullError as error:
+            response = error_response(
+                429, "queue_full", str(error),
+                retry_after=error.retry_after,
+            )
+        except Exception as error:  # noqa: BLE001 - mapped to envelopes
+            response = error_for_exception(error)
+        finally:
+            self.in_flight -= 1
+            stats.set_gauge("in_flight", self.in_flight)
+        elapsed = time.perf_counter() - start
+        stats.record_request(route, response.status)
+        stats.record_latency(route, elapsed)
+        return response
+
+    def _route_label(self, request: Request) -> str:
+        """The metrics label: known routes literally, others bucketed."""
+        if request.path.startswith("/v1/library/"):
+            return f"{request.method} /v1/library/{{name}}"
+        key = f"{request.method} {request.path}"
+        if key in self._routes:
+            return key
+        return f"{request.method} (unmatched)"
+
+    async def _dispatch(self, request: Request) -> Response:
+        if request.path.startswith("/v1/library/"):
+            if request.method != "GET":
+                return self._method_not_allowed(request)
+            return self._library(request.path[len("/v1/library/"):])
+        handler = self._routes.get(f"{request.method} {request.path}")
+        if handler is not None:
+            return await _maybe_await(handler(request))
+        known_paths = {
+            key.split(" ", 1)[1] for key in self._routes
+        }
+        if request.path in known_paths:
+            return self._method_not_allowed(request)
+        return error_response(
+            404, "not_found", f"no route for {request.path!r}"
+        )
+
+    def _method_not_allowed(self, request: Request) -> Response:
+        return error_response(
+            405, "method_not_allowed",
+            f"{request.method} is not supported on {request.path!r}",
+        )
+
+    # ------------------------------------------------------------------
+    # model endpoints
+    # ------------------------------------------------------------------
+    def _parse_request_model(self, payload: Mapping[str, object]):
+        spec = _field(payload, "spec", dict)
+        return parse_spec(spec, database=self.database)
+
+    def _request_deadline(self, payload: Mapping[str, object]) -> float:
+        timeout = _field(
+            payload, "timeout_seconds", float,
+            required=False, default=self.request_timeout,
+        )
+        timeout = min(max(float(timeout), 0.001), self.request_timeout)
+        return time.monotonic() + timeout
+
+    def _method_of(self, payload: Mapping[str, object]) -> str:
+        method = _field(
+            payload, "method", str, required=False, default="direct"
+        )
+        if method not in ALLOWED_METHODS:
+            raise ProtocolError(
+                400, "invalid_request",
+                f"unknown method {method!r}; "
+                f"expected one of {sorted(ALLOWED_METHODS)}",
+            )
+        return method
+
+    async def _solve(self, request: Request) -> Response:
+        payload = request.json()
+        model = self._parse_request_model(payload)
+        method = self._method_of(payload)
+        mission = _field(payload, "mission", float, required=False)
+        deadline = self._request_deadline(payload)
+        solution = await self.queue.solve(model, method, deadline)
+        return json_response(solution_payload(solution, mission))
+
+    async def _sweep(self, request: Request) -> Response:
+        payload = request.json()
+        model = self._parse_request_model(payload)
+        method = self._method_of(payload)
+        block = _field(payload, "block", str, required=False)
+        field_name = _field(payload, "field", str)
+        raw_values = _field(payload, "values", list)
+        if not raw_values or len(raw_values) > MAX_SWEEP_VALUES:
+            raise ProtocolError(
+                400, "invalid_request",
+                f"'values' must hold 1..{MAX_SWEEP_VALUES} numbers, "
+                f"got {len(raw_values)}",
+            )
+        values: List[float] = []
+        for position, value in enumerate(raw_values):
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise ProtocolError(
+                    400, "invalid_request",
+                    f"values[{position}] must be a number",
+                )
+            values.append(float(value))
+        if block is None:
+            points = await asyncio.to_thread(
+                self.engine.sweep_global_field,
+                model, field_name, values, method,
+            )
+        else:
+            points = await asyncio.to_thread(
+                self.engine.sweep_block_field,
+                model, block, field_name, values, method,
+            )
+        return json_response({
+            "model": model.name,
+            "field": field_name,
+            "block": block,
+            "points": [
+                {
+                    "value": point.value,
+                    "availability": point.availability,
+                    "yearly_downtime_minutes": (
+                        point.yearly_downtime_minutes
+                    ),
+                }
+                for point in points
+            ],
+        })
+
+    async def _validate(self, request: Request) -> Response:
+        payload = request.json()
+        model = self._parse_request_model(payload)
+        method = self._method_of(payload)
+        replications = _field(
+            payload, "replications", int, required=False, default=40
+        )
+        if not 2 <= replications <= MAX_REPLICATIONS:
+            raise ProtocolError(
+                400, "invalid_request",
+                f"'replications' must be 2..{MAX_REPLICATIONS}",
+            )
+        horizon = _field(
+            payload, "horizon", float, required=False, default=30_000.0
+        )
+        seed = _field(payload, "seed", int, required=False, default=0)
+        deadline = self._request_deadline(payload)
+        solution = await self.queue.solve(model, method, deadline)
+        result = await asyncio.to_thread(
+            self.engine.simulate_system,
+            solution,
+            horizon,
+            replications,
+            seed,
+        )
+        agree = result.contains(solution.availability)
+        return json_response({
+            "model": model.name,
+            "analytic_availability": solution.availability,
+            "simulated_mean": result.mean,
+            "interval_low": result.low,
+            "interval_high": result.high,
+            "replications": result.replications,
+            "horizon_hours": horizon,
+            "agreement": agree,
+        })
+
+    # ------------------------------------------------------------------
+    # library + observability endpoints
+    # ------------------------------------------------------------------
+    def _library_index(self, request: Request) -> Response:
+        return json_response({"models": sorted(LIBRARY_MODELS)})
+
+    def _library(self, name: str) -> Response:
+        factory = LIBRARY_MODELS.get(name)
+        if factory is None:
+            return error_response(
+                404, "not_found",
+                f"no library model {name!r}; "
+                f"known: {sorted(LIBRARY_MODELS)}",
+            )
+        return json_response(model_to_spec(factory()))
+
+    def _healthz(self, request: Request) -> Response:
+        return json_response({
+            "status": "ok",
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "in_flight": self.in_flight,
+            "queue_depth": self.queue.depth,
+        })
+
+    def _metrics(self, request: Request) -> Response:
+        disk_usage = None
+        if self.engine.cache is not None:
+            disk_usage = self.engine.cache.disk_usage()
+        payload = metrics_payload(
+            self.engine.stats_snapshot(),
+            disk_usage=disk_usage,
+            service={
+                "uptime_seconds": time.monotonic() - self.started_at,
+                "in_flight": self.in_flight,
+                "queue_depth": self.queue.depth,
+                "max_queue": self.queue.max_queue,
+            },
+        )
+        wants_prometheus = (
+            request.query.get("format") == "prometheus"
+            or "text/plain" in request.headers.get("accept", "")
+        )
+        if not wants_prometheus:
+            return json_response(payload)
+        return Response(
+            body=render_prometheus(payload).encode("utf-8"),
+            content_type="text/plain; version=0.0.4",
+        )
+
+
+def solution_payload(
+    solution: SystemSolution, mission: Optional[float] = None
+) -> Dict[str, object]:
+    """The ``POST /v1/solve`` response body for a solved model.
+
+    Derives the same measure set the CLI prints, from the same
+    :func:`repro.core.compute_measures` call — byte-for-byte the CLI's
+    numbers.
+    """
+    measures = compute_measures(solution, mission_time_hours=mission)
+    return {
+        "model": solution.model.name,
+        "availability": measures.availability,
+        "nines": nines(measures.availability),
+        "yearly_downtime_minutes": measures.yearly_downtime_minutes,
+        "failures_per_year": measures.failures_per_year,
+        "mean_downtime_minutes": measures.mean_downtime_hours * 60.0,
+        "mission_time_hours": measures.mission_time_hours,
+        "interval_availability": measures.interval_availability,
+        "reliability_at_mission": measures.reliability_at_mission,
+        "mttf_hours": measures.mttf_hours,
+    }
+
+
+def render_prometheus(payload: Mapping[str, object]) -> str:
+    """Flatten the JSON metrics document into Prometheus text format."""
+    lines: List[str] = []
+
+    def emit(name: str, value: object, labels: str = "") -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        lines.append(f"rascad_{name}{labels} {float(value):.10g}")
+
+    engine = payload.get("engine")
+    if isinstance(engine, Mapping):
+        for key, value in sorted(engine.items()):
+            if key == "stage_seconds" and isinstance(value, Mapping):
+                for stage, seconds in sorted(value.items()):
+                    emit(
+                        "engine_stage_seconds", seconds,
+                        f'{{stage="{stage}"}}',
+                    )
+            elif key == "counters" and isinstance(value, Mapping):
+                for counter, count in sorted(value.items()):
+                    emit(counter, count)
+            elif key == "gauges" and isinstance(value, Mapping):
+                for gauge, reading in sorted(value.items()):
+                    emit(gauge, reading)
+            elif key == "route_counts" and isinstance(value, Mapping):
+                for route_status, count in sorted(value.items()):
+                    route, _, status = route_status.rpartition(" ")
+                    emit(
+                        "requests_total", count,
+                        f'{{route="{route}",status="{status}"}}',
+                    )
+            elif key == "latency" and isinstance(value, Mapping):
+                for route, summary in sorted(value.items()):
+                    if not isinstance(summary, Mapping):
+                        continue
+                    for quantile, seconds in sorted(summary.items()):
+                        emit(
+                            "latency_seconds", seconds,
+                            f'{{route="{route}",quantile="{quantile}"}}',
+                        )
+            else:
+                emit(f"engine_{key}", value)
+    for section in ("derived", "cache", "service"):
+        values = payload.get(section)
+        if isinstance(values, Mapping):
+            for key, value in sorted(values.items()):
+                emit(f"{section}_{key}", value)
+    return "\n".join(lines) + "\n"
+
+
+async def _maybe_await(value):
+    if asyncio.iscoroutine(value):
+        return await value
+    return value

@@ -1,0 +1,237 @@
+"""Server lifecycle: startup, connection loop, drain, and shutdown.
+
+:class:`Server` owns the pieces — an :class:`~repro.engine.Engine`, a
+:class:`~repro.service.queue.SolveQueue`, an
+:class:`~repro.service.app.App` — and runs the asyncio TCP listener
+around them:
+
+* **Startup** builds the engine from the same flags the CLI uses (so
+  the server shares its persistent cache with CLI runs), optionally
+  warm-starts by pre-solving the library models, and binds the socket
+  (``port=0`` picks a free port, reported by :meth:`Server.start`).
+* **Serving** is a keep-alive connection loop: read request, dispatch
+  through the app, write response, repeat until the client closes or a
+  protocol error forces the connection shut.
+* **Shutdown** (SIGTERM/SIGINT or :meth:`Server.shutdown`) stops
+  accepting, drains in-flight requests up to ``drain_timeout``
+  seconds, flushes the admission queue, and persists the final
+  :class:`~repro.engine.EngineStats` snapshot so ``rascad stats``
+  shows what the server did.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..engine import Engine, default_cache_dir
+from ..errors import RascadError
+from .app import App, LIBRARY_MODELS
+from .protocol import (
+    DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_READ_TIMEOUT,
+    MAX_HEADER_BYTES,
+    ProtocolError,
+    error_for_exception,
+    read_request,
+)
+from .queue import SolveQueue
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``rascad serve`` can configure.
+
+    Attributes:
+        host: Bind address.
+        port: Bind port; 0 lets the OS pick (reported by ``start()``).
+        jobs: Engine worker processes for batched distinct solves.
+        cache: False disables the solve cache entirely.
+        cache_dir: Persistent cache directory shared with CLI runs.
+        max_queue: Admission bound on distinct queued solves.
+        request_timeout: Default/maximum per-request deadline, seconds.
+        batch_window: Micro-batching coalescing window, seconds.
+        max_batch: Distinct solves per engine batch.
+        max_body_bytes: Request body size limit.
+        read_timeout: Socket read timeout for one request.
+        warm_start: Pre-solve the library models into the cache.
+        drain_timeout: Seconds shutdown waits for in-flight requests.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    jobs: int = 1
+    cache: bool = True
+    cache_dir: Optional[Union[str, Path]] = None
+    max_queue: int = 64
+    request_timeout: float = 30.0
+    batch_window: float = 0.002
+    max_batch: int = 16
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    read_timeout: float = DEFAULT_READ_TIMEOUT
+    warm_start: bool = False
+    drain_timeout: float = 10.0
+
+
+class Server:
+    """The asyncio HTTP server wrapping an engine-backed :class:`App`."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.engine = Engine(
+            jobs=self.config.jobs,
+            cache=self.config.cache,
+            cache_dir=self.config.cache_dir,
+        )
+        self.queue = SolveQueue(
+            self.engine,
+            max_queue=self.config.max_queue,
+            batch_window=self.config.batch_window,
+            max_batch=self.config.max_batch,
+        )
+        self.app = App(
+            self.engine,
+            self.queue,
+            request_timeout=self.config.request_timeout,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown_requested = asyncio.Event()
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # startup / shutdown
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the actual (host, port)."""
+        if self._server is not None:
+            raise RascadError("server already started")
+        self.queue.start()
+        if self.config.warm_start:
+            await self._warm_start()
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_HEADER_BYTES,
+        )
+        sockets = self._server.sockets or ()
+        host, port = self.config.host, self.config.port
+        for sock in sockets:
+            host, port = sock.getsockname()[:2]
+            break
+        return host, port
+
+    async def _warm_start(self) -> None:
+        """Pre-solve every library model into the (persistent) cache."""
+        for factory in LIBRARY_MODELS.values():
+            model = await asyncio.to_thread(factory)
+            await self.engine.solve_async(model)
+        self.engine.stats.increment(
+            "service_warm_started", len(LIBRARY_MODELS)
+        )
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger one graceful shutdown."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(
+                    signum, self.request_shutdown
+                )
+
+    def request_shutdown(self) -> None:
+        """Flag the serve loop to begin a graceful shutdown."""
+        self._shutdown_requested.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a signal (or :meth:`request_shutdown`) arrives,
+        then drain and stop."""
+        await self._shutdown_requested.wait()
+        await self.shutdown()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, drain in-flight work, persist stats."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain:
+            deadline = time.monotonic() + self.config.drain_timeout
+            while self.app.in_flight > 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+        await self.queue.close(drain=drain)
+        self._persist_stats()
+
+    def _persist_stats(self) -> None:
+        directory = self.config.cache_dir or default_cache_dir()
+        try:
+            self.engine.save_stats(directory)
+        except OSError:
+            pass  # stats persistence is best-effort, like the CLI's
+
+    # ------------------------------------------------------------------
+    # the connection loop
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while not self._closing:
+                try:
+                    request = await read_request(
+                        reader,
+                        max_body_bytes=self.config.max_body_bytes,
+                        read_timeout=self.config.read_timeout,
+                    )
+                except ProtocolError as error:
+                    response = error_for_exception(error)
+                    response.close = True
+                    self.engine.stats.record_request(
+                        "(protocol)", response.status
+                    )
+                    writer.write(response.encode())
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self.app.handle(request)
+                if self._closing or not request.keep_alive:
+                    response.close = True
+                writer.write(response.encode())
+                await writer.drain()
+                if response.close:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response; nothing to salvage
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+
+async def _run_server(config: ServiceConfig) -> int:
+    server = Server(config)
+    host, port = await server.start()
+    server.install_signal_handlers()
+    print(f"rascad service listening on http://{host}:{port}", flush=True)
+    await server.serve_until_shutdown()
+    print("rascad service drained and stopped", flush=True)
+    return 0
+
+
+def serve(config: Optional[ServiceConfig] = None) -> int:
+    """Blocking entry point behind ``rascad serve``."""
+    try:
+        return asyncio.run(_run_server(config or ServiceConfig()))
+    except KeyboardInterrupt:  # pragma: no cover - signal path
+        return 0

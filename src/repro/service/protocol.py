@@ -1,0 +1,299 @@
+"""Minimal HTTP/1.1 over asyncio streams: parsing, envelopes, errors.
+
+The service speaks just enough HTTP/1.1 for its JSON API — request
+line, headers, ``Content-Length`` bodies, keep-alive — with hard
+limits everywhere untrusted bytes arrive:
+
+* the header block is capped at :data:`MAX_HEADER_BYTES` and must
+  arrive within a read timeout;
+* bodies are capped at a configurable byte budget (``413`` beyond it);
+* chunked transfer encoding is refused (``501``) rather than parsed.
+
+Responses are JSON envelopes.  Errors always carry a stable machine
+code next to the human message::
+
+    {"error": {"code": "queue_full", "message": "..."}}
+
+so clients can branch on ``code`` without string-matching messages.
+The codes extend the :mod:`repro.errors` hierarchy: every library
+exception maps onto one code and one HTTP status (see
+:data:`ERROR_STATUS`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from ..errors import (
+    DatabaseError,
+    EngineError,
+    ModelError,
+    ParameterError,
+    RascadError,
+    SolverError,
+    SpecError,
+)
+
+#: Upper bound on the request line + header block, in bytes.
+MAX_HEADER_BYTES = 16_384
+
+#: Default upper bound on a request body, in bytes.
+DEFAULT_MAX_BODY_BYTES = 1_048_576
+
+#: Default seconds a client may take to deliver a complete request.
+DEFAULT_READ_TIMEOUT = 10.0
+
+#: Reason phrases for the statuses the service emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Library exception -> (HTTP status, stable error code).  Ordered:
+#: the first matching class wins, so subclasses precede their bases.
+ERROR_STATUS: Tuple[Tuple[type, int, str], ...] = (
+    (ParameterError, 400, "invalid_parameter"),
+    (SpecError, 400, "invalid_spec"),
+    (DatabaseError, 400, "unknown_part"),
+    (ModelError, 400, "invalid_model"),
+    (EngineError, 500, "engine_failure"),
+    (SolverError, 500, "solver_failure"),
+    (RascadError, 500, "internal_error"),
+)
+
+
+class ProtocolError(RascadError):
+    """A request the protocol layer refuses, with its wire response."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if connection == "close":
+            return False
+        return True  # HTTP/1.1 default
+
+    def json(self) -> Dict[str, object]:
+        """The body as a JSON object, or a 400 :class:`ProtocolError`."""
+        if not self.body:
+            raise ProtocolError(
+                400, "invalid_request", "request body must be a JSON object"
+            )
+        try:
+            payload = json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ProtocolError(
+                400, "invalid_json", f"request body is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                400, "invalid_request", "request body must be a JSON object"
+            )
+        return payload
+
+
+@dataclass
+class Response:
+    """One HTTP response ready to encode onto the wire."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+    close: bool = False
+
+    def encode(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        lines.append(f"Connection: {'close' if self.close else 'keep-alive'}")
+        head = "\r\n".join(lines).encode("latin-1")
+        return head + b"\r\n\r\n" + self.body
+
+
+def json_response(
+    payload: object,
+    status: int = 200,
+    headers: Optional[Dict[str, str]] = None,
+) -> Response:
+    """A JSON-encoded :class:`Response` for a payload mapping."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return Response(status=status, body=body, headers=dict(headers or {}))
+
+
+def error_response(
+    status: int,
+    code: str,
+    message: str,
+    retry_after: Optional[float] = None,
+) -> Response:
+    """The stable error envelope, optionally with ``Retry-After``."""
+    headers: Dict[str, str] = {}
+    if retry_after is not None:
+        # Retry-After is delta-seconds; round up so clients never
+        # retry before the window actually opens.
+        headers["Retry-After"] = str(max(1, int(retry_after + 0.999)))
+    return json_response(
+        {"error": {"code": code, "message": message}},
+        status=status,
+        headers=headers,
+    )
+
+
+def error_for_exception(error: Exception) -> Response:
+    """Map a library exception onto its wire envelope."""
+    if isinstance(error, ProtocolError):
+        return error_response(error.status, error.code, str(error))
+    for exc_type, status, code in ERROR_STATUS:
+        if isinstance(error, exc_type):
+            return error_response(status, code, str(error))
+    return error_response(500, "internal_error", str(error))
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    read_timeout: float = DEFAULT_READ_TIMEOUT,
+) -> Optional[Request]:
+    """Read one request off a connection.
+
+    Returns ``None`` on a clean EOF before any bytes (the client closed
+    an idle keep-alive connection).  Raises :class:`ProtocolError` for
+    anything malformed or over limits — the caller answers with the
+    error's status and closes.
+    """
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=read_timeout
+        )
+    except asyncio.TimeoutError:
+        raise ProtocolError(
+            408, "request_timeout", "timed out waiting for request headers"
+        ) from None
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            400, "invalid_request", "connection closed mid-request"
+        ) from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(
+            431, "headers_too_large",
+            f"header block exceeds {MAX_HEADER_BYTES} bytes",
+        ) from None
+
+    request = _parse_head(head)
+
+    if "transfer-encoding" in request.headers:
+        raise ProtocolError(
+            501, "unsupported_transfer_encoding",
+            "chunked bodies are not supported; send Content-Length",
+        )
+    length_text = request.headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(
+            400, "invalid_request",
+            f"malformed Content-Length {length_text!r}",
+        ) from None
+    if length < 0:
+        raise ProtocolError(
+            400, "invalid_request", "negative Content-Length"
+        )
+    if length > max_body_bytes:
+        raise ProtocolError(
+            413, "payload_too_large",
+            f"request body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit",
+        )
+    if length:
+        try:
+            request.body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=read_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ProtocolError(
+                408, "request_timeout",
+                "timed out waiting for the request body",
+            ) from None
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(
+                400, "invalid_request", "connection closed mid-body"
+            ) from None
+    return request
+
+
+def _parse_head(head: bytes) -> Request:
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            431, "headers_too_large",
+            f"header block exceeds {MAX_HEADER_BYTES} bytes",
+        )
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise ProtocolError(400, "invalid_request", "undecodable header")
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(
+            400, "invalid_request", f"malformed request line {lines[0]!r}"
+        )
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(
+            400, "invalid_request", f"unsupported protocol {version!r}"
+        )
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ProtocolError(
+                400, "invalid_request", f"malformed header line {line!r}"
+            )
+        headers[name.strip().lower()] = value.strip()
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+    )

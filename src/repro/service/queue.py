@@ -1,0 +1,329 @@
+"""Admission control and micro-batching in front of the engine.
+
+Every ``POST /v1/solve`` (and the solve inside ``/v1/validate``) flows
+through one :class:`SolveQueue`:
+
+* **Backpressure** — at most ``max_queue`` *distinct* solves may be
+  queued or running; beyond that :class:`QueueFullError` surfaces as a
+  ``429`` with ``Retry-After``, so overload sheds load instead of
+  accumulating unbounded work.
+* **Deduplication** — concurrent requests for the same content digest
+  share one in-flight future: the engine solves once and the result
+  fans out to every waiter.  64 clients posting the same spec cost one
+  solve.
+* **Micro-batching** — distinct requests that arrive within
+  ``batch_window`` seconds coalesce into one batch; when the engine
+  has ``jobs > 1`` the batch fans out over its process pool
+  (:meth:`repro.engine.Engine.solve_many`), otherwise batch members
+  solve on worker threads.
+* **Deadlines** — a waiter whose deadline passes gets
+  :class:`DeadlineExceededError` (``504``); the shared solve keeps
+  running for any waiters still inside their deadline.
+
+The queue meters itself through the engine's
+:class:`~repro.engine.stats.StatsCollector`: counters
+``service_admitted`` / ``service_dedup_hits`` / ``service_rejections``
+/ ``service_deadline_misses``, and gauges ``queue_depth`` /
+``batches_in_flight`` — all visible in ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.block import DiagramBlockModel
+from ..core.translator import SystemSolution
+from ..engine import Engine
+from ..engine.keys import model_digest
+from ..errors import RascadError
+
+
+class QueueFullError(RascadError):
+    """The admission queue is at capacity; retry after a short delay."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(RascadError):
+    """The request's deadline passed before its solve finished."""
+
+
+class ServiceClosedError(RascadError):
+    """The queue is draining for shutdown and admits no new work."""
+
+
+@dataclass
+class _Item:
+    key: str
+    model: DiagramBlockModel
+    method: str
+    future: "asyncio.Future[SystemSolution]"
+    enqueued_at: float = field(default_factory=time.monotonic)
+    deadline: Optional[float] = None
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+class SolveQueue:
+    """Bounded, deduplicating, micro-batching solve queue.
+
+    Args:
+        engine: The evaluation engine the batches run on.
+        max_queue: Admission bound on distinct queued-or-running solves.
+        batch_window: Seconds the batcher waits to coalesce more work
+            after the first item of a batch arrives.
+        max_batch: Upper bound on distinct solves per batch.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        max_queue: int = 64,
+        batch_window: float = 0.002,
+        max_batch: int = 16,
+    ) -> None:
+        if max_queue < 1:
+            raise RascadError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise RascadError(f"max_batch must be >= 1, got {max_batch}")
+        self.engine = engine
+        self.max_queue = max_queue
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self._pending: "asyncio.Queue[Optional[_Item]]" = asyncio.Queue()
+        self._inflight: Dict[str, "asyncio.Future[SystemSolution]"] = {}
+        self._admitted = 0
+        self._closed = False
+        self._batcher: Optional["asyncio.Task[None]"] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the batcher task on the running event loop."""
+        if self._batcher is None:
+            self._batcher = asyncio.get_running_loop().create_task(
+                self._run(), name="rascad-solve-batcher"
+            )
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop admitting work; optionally finish what was admitted.
+
+        With ``drain=False`` every queued solve fails with
+        :class:`ServiceClosedError` instead of running.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._batcher is None:
+            return
+        if not drain:
+            while True:
+                try:
+                    item = self._pending.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is not None:
+                    self._finish(
+                        item,
+                        error=ServiceClosedError("service shutting down"),
+                    )
+        self._pending.put_nowait(None)
+        await self._batcher
+        self._batcher = None
+
+    @property
+    def depth(self) -> int:
+        """Distinct solves currently admitted (queued or running)."""
+        return self._admitted
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def solve(
+        self,
+        model: DiagramBlockModel,
+        method: str = "direct",
+        deadline: Optional[float] = None,
+    ) -> SystemSolution:
+        """Submit one solve; dedups, queues, and awaits the result.
+
+        Args:
+            model: The validated model to solve.
+            method: Chain solver method, forwarded to the engine.
+            deadline: Absolute ``time.monotonic()`` deadline, or None.
+        """
+        if self._closed:
+            raise ServiceClosedError("service shutting down")
+        stats = self.engine.stats
+        key = model_digest(model, method)
+        future = self._inflight.get(key)
+        if future is not None:
+            stats.increment("service_dedup_hits")
+            return await self._wait(future, deadline)
+        if self._admitted >= self.max_queue:
+            stats.increment("service_rejections")
+            raise QueueFullError(
+                f"solve queue is full ({self.max_queue} in flight); "
+                "retry shortly",
+                retry_after=max(self.batch_window * 10, 0.5),
+            )
+        future = asyncio.get_running_loop().create_future()
+        item = _Item(
+            key=key, model=model, method=method,
+            future=future, deadline=deadline,
+        )
+        self._inflight[key] = future
+        self._admitted += 1
+        stats.increment("service_admitted")
+        stats.set_gauge("queue_depth", self._admitted)
+        self._pending.put_nowait(item)
+        return await self._wait(future, deadline)
+
+    async def _wait(
+        self,
+        future: "asyncio.Future[SystemSolution]",
+        deadline: Optional[float],
+    ) -> SystemSolution:
+        # Shield: the future is shared between deduped waiters, so one
+        # waiter's timeout must not cancel everyone's solve.
+        if deadline is None:
+            return await asyncio.shield(future)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            self.engine.stats.increment("service_deadline_misses")
+            raise DeadlineExceededError(
+                "request deadline passed while queued"
+            )
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), timeout=remaining
+            )
+        except asyncio.TimeoutError:
+            self.engine.stats.increment("service_deadline_misses")
+            raise DeadlineExceededError(
+                "request deadline passed before the solve finished"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # the batcher
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        closing = False
+        while not closing:
+            item = await self._pending.get()
+            if item is None:
+                break
+            batch = [item]
+            while len(batch) < self.max_batch:
+                try:
+                    extra = await asyncio.wait_for(
+                        self._pending.get(), timeout=self.batch_window
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if extra is None:
+                    closing = True
+                    break
+                batch.append(extra)
+            await self._solve_batch(batch)
+        # Drain anything still queued at shutdown so no waiter hangs.
+        while True:
+            try:
+                item = self._pending.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not None:
+                await self._solve_batch([item])
+
+    async def _solve_batch(self, batch: List[_Item]) -> None:
+        stats = self.engine.stats
+        now = time.monotonic()
+        live: List[_Item] = []
+        for item in batch:
+            if item.expired(now):
+                stats.increment("service_deadline_misses")
+                self._finish(
+                    item,
+                    error=DeadlineExceededError(
+                        "request deadline passed while queued"
+                    ),
+                )
+            else:
+                live.append(item)
+        if not live:
+            return
+        stats.increment("service_batches")
+        stats.set_gauge("batches_in_flight", 1)
+        try:
+            if self.engine.jobs > 1 and len(live) > 1:
+                await self._solve_via_pool(live)
+            else:
+                await self._solve_via_threads(live)
+        finally:
+            stats.set_gauge("batches_in_flight", 0)
+            stats.set_gauge("queue_depth", self._admitted)
+
+    async def _solve_via_threads(self, live: List[_Item]) -> None:
+        results = await asyncio.gather(
+            *(
+                asyncio.to_thread(
+                    self.engine.solve, item.model, item.method
+                )
+                for item in live
+            ),
+            return_exceptions=True,
+        )
+        for item, result in zip(live, results):
+            if isinstance(result, BaseException):
+                self._finish(item, error=result)
+            else:
+                self._finish(item, result=result)
+
+    async def _solve_via_pool(self, live: List[_Item]) -> None:
+        # solve_many takes one method per batch; group mixed methods.
+        by_method: Dict[str, List[_Item]] = {}
+        for item in live:
+            by_method.setdefault(item.method, []).append(item)
+        for method, items in by_method.items():
+            try:
+                solutions = await asyncio.to_thread(
+                    self.engine.solve_many,
+                    [item.model for item in items],
+                    method,
+                )
+            except Exception as error:
+                for item in items:
+                    self._finish(item, error=error)
+                continue
+            for item, solution in zip(items, solutions):
+                self._finish(item, result=solution)
+
+    def _finish(
+        self,
+        item: _Item,
+        result: Optional[SystemSolution] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        self._inflight.pop(item.key, None)
+        self._admitted -= 1
+        stats = self.engine.stats
+        stats.set_gauge("queue_depth", self._admitted)
+        stats.record_latency(
+            "queue", time.monotonic() - item.enqueued_at
+        )
+        if not item.future.done():
+            if error is not None:
+                item.future.set_exception(error)
+                # Mark retrieved now: if every waiter already timed
+                # out, nobody else will, and asyncio would log an
+                # "exception never retrieved" warning at GC time.
+                item.future.exception()
+            else:
+                item.future.set_result(result)

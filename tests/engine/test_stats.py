@@ -1,8 +1,15 @@
 """Instrumentation: counters, derived metrics, snapshot persistence."""
 
 import json
+import os
 
-from repro.engine import EngineStats, load_stats, save_stats
+from repro.engine import (
+    EngineStats,
+    load_stats,
+    metrics_payload,
+    save_stats,
+    summarize_latencies,
+)
 from repro.engine.stats import STATS_FILENAME, StatsCollector
 
 
@@ -92,3 +99,101 @@ class TestPersistence:
         loaded = load_stats(tmp_path)
         assert loaded is not None
         assert loaded.block_solves == 1
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path):
+        save_stats(EngineStats(block_solves=1), tmp_path)
+        save_stats(EngineStats(block_solves=2), tmp_path)
+        leftovers = [
+            name for name in os.listdir(tmp_path)
+            if name != STATS_FILENAME
+        ]
+        assert leftovers == []
+        assert load_stats(tmp_path).block_solves == 2
+
+    def test_pre_service_snapshot_files_still_load(self, tmp_path):
+        # A stats.json written before the service fields existed.
+        payload = EngineStats(block_solves=3).to_dict()
+        for legacy_missing in (
+            "counters", "gauges", "route_counts", "latency",
+        ):
+            del payload[legacy_missing]
+        (tmp_path / STATS_FILENAME).write_text(json.dumps(payload))
+        loaded = load_stats(tmp_path)
+        assert loaded is not None
+        assert loaded.block_solves == 3
+        assert loaded.route_counts == {}
+
+
+class TestServiceTelemetry:
+    def test_gauges_routes_and_latency_snapshot(self):
+        collector = StatsCollector()
+        collector.set_gauge("queue_depth", 3)
+        collector.record_request("POST /v1/solve", 200)
+        collector.record_request("POST /v1/solve", 200)
+        collector.record_request("POST /v1/solve", 429)
+        for sample in (0.010, 0.020, 0.030, 0.500):
+            collector.record_latency("POST /v1/solve", sample)
+        snapshot = collector.snapshot()
+        assert snapshot.gauges["queue_depth"] == 3.0
+        assert snapshot.route_counts["POST /v1/solve 200"] == 2
+        assert snapshot.route_counts["POST /v1/solve 429"] == 1
+        latency = snapshot.latency["POST /v1/solve"]
+        assert latency["count"] == 4
+        assert latency["p50"] == 0.020
+        assert latency["p99"] == 0.500
+        assert latency["max"] == 0.500
+
+    def test_generic_counters_survive_the_round_trip(self, tmp_path):
+        collector = StatsCollector()
+        collector.increment("service_dedup_hits", 63)
+        collector.increment("block_solves", 2)
+        snapshot = collector.snapshot()
+        assert snapshot.counters == {"service_dedup_hits": 63}
+        save_stats(snapshot, tmp_path)
+        loaded = load_stats(tmp_path)
+        assert loaded.counters["service_dedup_hits"] == 63
+
+    def test_reset_clears_service_telemetry(self):
+        collector = StatsCollector()
+        collector.set_gauge("in_flight", 5)
+        collector.record_request("GET /healthz", 200)
+        collector.record_latency("GET /healthz", 0.001)
+        collector.reset()
+        snapshot = collector.snapshot()
+        assert snapshot.gauges == {}
+        assert snapshot.route_counts == {}
+        assert snapshot.latency == {}
+
+    def test_summarize_latencies_empty_window(self):
+        assert summarize_latencies([]) == {"count": 0.0}
+
+    def test_percentiles_are_order_independent(self):
+        forward = summarize_latencies([0.001 * i for i in range(1, 101)])
+        backward = summarize_latencies(
+            [0.001 * i for i in range(100, 0, -1)]
+        )
+        assert forward == backward
+        assert forward["p95"] == 0.095
+
+
+class TestMetricsPayload:
+    def test_shared_serialization_shape(self):
+        stats = EngineStats(
+            block_solves=4, block_cache_hits=12,
+            counters={"service_admitted": 2},
+        )
+        payload = metrics_payload(
+            stats, disk_usage=(5, 1234), service={"in_flight": 1}
+        )
+        assert payload["engine"]["block_solves"] == 4
+        assert payload["derived"]["cache_hit_rate"] == 0.75
+        assert payload["cache"] == {
+            "disk_entries": 5, "disk_bytes": 1234,
+        }
+        assert payload["service"] == {"in_flight": 1}
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+    def test_no_stats_yields_engine_null(self):
+        payload = metrics_payload(None, disk_usage=(0, 0))
+        assert payload["engine"] is None
+        assert "derived" not in payload

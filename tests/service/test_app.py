@@ -1,0 +1,214 @@
+"""Route handlers driven without sockets: one Request in, one Response out."""
+
+import asyncio
+import json
+
+from repro.core import translate
+from repro.engine import Engine
+from repro.library import e10000_model, workgroup_model
+from repro.service.app import App, render_prometheus
+from repro.service.protocol import Request
+from repro.service.queue import SolveQueue
+from repro.spec import model_to_spec
+
+
+def _request(method, path, payload=None, query=None, headers=None):
+    body = json.dumps(payload).encode() if payload is not None else b""
+    return Request(
+        method=method,
+        path=path,
+        query=dict(query or {}),
+        headers=dict(headers or {}),
+        body=body,
+    )
+
+
+def call(app_requests, engine=None, **queue_kwargs):
+    """Run requests against a fresh App inside one event loop."""
+
+    async def go():
+        eng = engine if engine is not None else Engine()
+        queue = SolveQueue(eng, **queue_kwargs)
+        queue.start()
+        app = App(eng, queue)
+        responses = []
+        for request in app_requests:
+            response = await app.handle(request)
+            payload = (
+                json.loads(response.body)
+                if response.content_type.startswith("application/json")
+                else response.body.decode()
+            )
+            responses.append((response.status, payload, response))
+        await queue.close()
+        return responses, eng
+
+    return asyncio.run(go())
+
+
+class TestSolve:
+    def test_solve_matches_the_cli_path_bit_for_bit(self):
+        spec = model_to_spec(e10000_model())
+        responses, _ = call([_request("POST", "/v1/solve", {"spec": spec})])
+        status, payload, _ = responses[0]
+        assert status == 200
+        expected = translate(e10000_model()).availability
+        assert payload["availability"] == expected
+        assert payload["model"] == "E10000 Server"
+        assert payload["yearly_downtime_minutes"] > 0
+
+    def test_solve_without_spec_is_400(self):
+        responses, _ = call([_request("POST", "/v1/solve", {})])
+        status, payload, _ = responses[0]
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_request"
+
+    def test_malformed_spec_is_400_with_spec_code(self):
+        responses, _ = call([
+            _request("POST", "/v1/solve", {"spec": {"diagram": {}}})
+        ])
+        status, payload, _ = responses[0]
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_spec"
+
+    def test_unknown_method_is_400(self):
+        spec = model_to_spec(workgroup_model())
+        responses, _ = call([
+            _request(
+                "POST", "/v1/solve", {"spec": spec, "method": "magic"}
+            )
+        ])
+        status, payload, _ = responses[0]
+        assert status == 400
+
+    def test_bad_json_body_is_400(self):
+        request = Request("POST", "/v1/solve", {}, {}, b"{nope")
+        responses, _ = call([request])
+        status, payload, _ = responses[0]
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_json"
+
+
+class TestSweepAndValidate:
+    def test_sweep_block_field(self):
+        spec = model_to_spec(workgroup_model())
+        block = f"{spec['name']}/{spec['diagram']['blocks'][0]['name']}"
+        responses, _ = call([
+            _request("POST", "/v1/sweep", {
+                "spec": spec,
+                "block": block,
+                "field": "mtbf_hours",
+                "values": [50_000, 100_000],
+            })
+        ])
+        status, payload, _ = responses[0]
+        assert status == 200
+        assert len(payload["points"]) == 2
+        first, second = payload["points"]
+        assert second["availability"] > first["availability"]
+
+    def test_sweep_rejects_non_numeric_values(self):
+        spec = model_to_spec(workgroup_model())
+        responses, _ = call([
+            _request("POST", "/v1/sweep", {
+                "spec": spec,
+                "field": "mtbf_hours",
+                "values": ["many"],
+            })
+        ])
+        assert responses[0][0] == 400
+
+    def test_validate_agrees_with_analytic(self):
+        spec = model_to_spec(workgroup_model())
+        responses, _ = call([
+            _request("POST", "/v1/validate", {
+                "spec": spec, "replications": 8, "horizon": 2_000.0,
+                "seed": 7,
+            })
+        ])
+        status, payload, _ = responses[0]
+        assert status == 200
+        assert 0.9 < payload["analytic_availability"] <= 1.0
+        assert payload["replications"] == 8
+        assert isinstance(payload["agreement"], bool)
+
+
+class TestLibraryAndRouting:
+    def test_library_index_lists_models(self):
+        responses, _ = call([_request("GET", "/v1/library")])
+        status, payload, _ = responses[0]
+        assert status == 200
+        assert payload["models"] == ["datacenter", "e10000", "workgroup"]
+
+    def test_library_spec_round_trips_through_solve(self):
+        responses, _ = call([_request("GET", "/v1/library/workgroup")])
+        status, spec, _ = responses[0]
+        assert status == 200
+        responses, _ = call([_request("POST", "/v1/solve", {"spec": spec})])
+        assert responses[0][0] == 200
+
+    def test_unknown_library_model_is_404(self):
+        responses, _ = call([_request("GET", "/v1/library/vax")])
+        assert responses[0][0] == 404
+
+    def test_unknown_route_is_404(self):
+        responses, _ = call([_request("GET", "/v2/solve")])
+        status, payload, _ = responses[0]
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_wrong_method_is_405(self):
+        responses, _ = call([_request("GET", "/v1/solve")])
+        assert responses[0][0] == 405
+
+
+class TestObservability:
+    def test_healthz_reports_ok(self):
+        responses, _ = call([_request("GET", "/healthz")])
+        status, payload, _ = responses[0]
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+
+    def test_metrics_reflect_served_requests(self):
+        spec = model_to_spec(workgroup_model())
+        responses, engine = call([
+            _request("POST", "/v1/solve", {"spec": spec}),
+            _request("GET", "/metrics"),
+        ])
+        status, payload, _ = responses[1]
+        assert status == 200
+        assert payload["engine"]["system_solves"] == 1
+        assert payload["engine"]["route_counts"]["POST /v1/solve 200"] == 1
+        latency = payload["engine"]["latency"]["POST /v1/solve"]
+        assert latency["count"] == 1
+        assert latency["p95"] >= 0
+        assert payload["service"]["max_queue"] == 64
+        assert payload["derived"]["cache_hit_rate"] >= 0
+
+    def test_metrics_prometheus_format(self):
+        spec = model_to_spec(workgroup_model())
+        responses, _ = call([
+            _request("POST", "/v1/solve", {"spec": spec}),
+            _request(
+                "GET", "/metrics", query={"format": "prometheus"}
+            ),
+        ])
+        status, text, response = responses[1]
+        assert status == 200
+        assert response.content_type.startswith("text/plain")
+        assert "rascad_engine_system_solves 1" in text
+        assert (
+            'rascad_requests_total{route="POST /v1/solve",status="200"} 1'
+            in text
+        )
+        assert 'quantile="p95"' in text
+
+    def test_render_prometheus_skips_non_numeric(self):
+        text = render_prometheus({
+            "engine": {"system_solves": 2, "notes": "text"},
+            "service": {"uptime_seconds": 1.5},
+        })
+        assert "rascad_engine_system_solves 2" in text
+        assert "notes" not in text
+        assert "rascad_service_uptime_seconds 1.5" in text

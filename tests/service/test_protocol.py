@@ -1,0 +1,153 @@
+"""HTTP parsing limits, envelopes, and stable error codes."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import EngineError, SolverError, SpecError
+from repro.service.protocol import (
+    MAX_HEADER_BYTES,
+    ProtocolError,
+    Request,
+    error_for_exception,
+    error_response,
+    json_response,
+    read_request,
+)
+
+
+def _feed(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader(limit=MAX_HEADER_BYTES)
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _read(data: bytes, **kwargs):
+    async def go():
+        return await read_request(_feed(data), **kwargs)
+
+    return asyncio.run(go())
+
+
+class TestParsing:
+    def test_happy_path_post(self):
+        body = b'{"spec": 1}'
+        request = _read(
+            b"POST /v1/solve?format=json HTTP/1.1\r\n"
+            b"Host: example\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"\r\n" + body
+        )
+        assert request.method == "POST"
+        assert request.path == "/v1/solve"
+        assert request.query == {"format": "json"}
+        assert request.headers["host"] == "example"
+        assert request.body == body
+        assert request.json() == {"spec": 1}
+
+    def test_get_without_body(self):
+        request = _read(b"GET /healthz HTTP/1.1\r\n\r\n")
+        assert request.method == "GET"
+        assert request.body == b""
+
+    def test_clean_eof_returns_none(self):
+        assert _read(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError) as err:
+            _read(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_unsupported_version(self):
+        with pytest.raises(ProtocolError) as err:
+            _read(b"GET / HTTP/2.0\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_header_block_over_limit_is_431(self):
+        huge = b"GET / HTTP/1.1\r\nX-Pad: " + b"x" * MAX_HEADER_BYTES
+        with pytest.raises(ProtocolError) as err:
+            _read(huge + b"\r\n\r\n")
+        assert err.value.status == 431
+        assert err.value.code == "headers_too_large"
+
+    def test_body_over_limit_is_413(self):
+        with pytest.raises(ProtocolError) as err:
+            _read(
+                b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n",
+                max_body_bytes=10,
+            )
+        assert err.value.status == 413
+        assert err.value.code == "payload_too_large"
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(ProtocolError) as err:
+            _read(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_chunked_encoding_refused(self):
+        with pytest.raises(ProtocolError) as err:
+            _read(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+        assert err.value.status == 501
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(ProtocolError) as err:
+            _read(b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        assert err.value.status == 400
+
+    def test_connection_close_header(self):
+        request = _read(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+        assert _read(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+
+
+class TestEnvelopes:
+    def test_json_response_round_trips(self):
+        response = json_response({"a": 1})
+        wire = response.encode()
+        assert wire.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in wire
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert json.loads(body) == {"a": 1}
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_error_envelope_has_stable_code(self):
+        response = error_response(429, "queue_full", "busy", retry_after=0.5)
+        head, _, body = response.encode().partition(b"\r\n\r\n")
+        assert b"429" in head.splitlines()[0]
+        assert b"Retry-After: 1" in head
+        payload = json.loads(body)
+        assert payload["error"]["code"] == "queue_full"
+
+    def test_bad_json_body_maps_to_400(self):
+        request = Request("POST", "/", {}, {}, b"{nope")
+        with pytest.raises(ProtocolError) as err:
+            request.json()
+        assert err.value.status == 400
+        assert err.value.code == "invalid_json"
+
+    def test_non_object_json_body_rejected(self):
+        request = Request("POST", "/", {}, {}, b"[1, 2]")
+        with pytest.raises(ProtocolError) as err:
+            request.json()
+        assert err.value.code == "invalid_request"
+
+
+class TestExceptionMapping:
+    @pytest.mark.parametrize(
+        "error, status, code",
+        [
+            (SpecError("bad"), 400, "invalid_spec"),
+            (SolverError("sing"), 500, "solver_failure"),
+            (EngineError("pool"), 500, "engine_failure"),
+            (ValueError("odd"), 500, "internal_error"),
+        ],
+    )
+    def test_library_errors_have_stable_codes(self, error, status, code):
+        response = error_for_exception(error)
+        assert response.status == status
+        payload = json.loads(response.body)
+        assert payload["error"]["code"] == code

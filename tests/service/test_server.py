@@ -1,0 +1,246 @@
+"""End-to-end server tests over real sockets.
+
+Each test stands up a :class:`repro.service.Server` on an ephemeral
+port inside one event loop, drives it with a raw asyncio HTTP client,
+and asserts the paper-shaped guarantees: results bit-identical to the
+CLI path, one engine solve under a 64-client identical load, 429 on a
+full queue, and a drain-then-persist shutdown.
+"""
+
+import asyncio
+import json
+import time
+
+from repro.core import translate
+from repro.engine import load_stats
+from repro.library import datacenter_model, e10000_model, workgroup_model
+from repro.service import Server, ServiceConfig
+
+
+async def http_request(host, port, method, path, payload=None):
+    """One request on a fresh connection; returns (status, json_body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: test\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"\r\n"
+        ).encode()
+        writer.write(head + body)
+        await writer.drain()
+        raw = await reader.readuntil(b"\r\n\r\n")
+        status = int(raw.split(b" ", 2)[1])
+        headers = {}
+        for line in raw.decode().split("\r\n")[1:]:
+            if ":" in line:
+                name, value = line.split(":", 1)
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        data = await reader.readexactly(length) if length else b""
+        parsed = json.loads(data) if data else None
+        return status, parsed, headers
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def run_with_server(scenario, config=None):
+    """Start a server, run the scenario coroutine, shut down cleanly."""
+
+    async def go():
+        server = Server(config or ServiceConfig(port=0))
+        host, port = await server.start()
+        try:
+            return await scenario(server, host, port)
+        finally:
+            await server.shutdown()
+
+    return asyncio.run(go())
+
+
+class TestSolveParity:
+    def test_every_library_model_matches_the_cli_path(self):
+        factories = {
+            "datacenter": datacenter_model,
+            "e10000": e10000_model,
+            "workgroup": workgroup_model,
+        }
+
+        async def scenario(server, host, port):
+            observed = {}
+            for name in factories:
+                status, spec, _ = await http_request(
+                    host, port, "GET", f"/v1/library/{name}"
+                )
+                assert status == 200
+                status, result, _ = await http_request(
+                    host, port, "POST", "/v1/solve", {"spec": spec}
+                )
+                assert status == 200
+                observed[name] = result["availability"]
+            return observed
+
+        observed = run_with_server(scenario)
+        for name, factory in factories.items():
+            expected = translate(factory()).availability
+            assert observed[name] == expected  # bit-identical floats
+
+
+class TestDedupUnderLoad:
+    def test_64_identical_clients_cost_one_engine_solve(self):
+        async def scenario(server, host, port):
+            status, spec, _ = await http_request(
+                host, port, "GET", "/v1/library/e10000"
+            )
+            assert status == 200
+            results = await asyncio.gather(*(
+                http_request(
+                    host, port, "POST", "/v1/solve", {"spec": spec}
+                )
+                for _ in range(64)
+            ))
+            status, metrics, _ = await http_request(
+                host, port, "GET", "/metrics"
+            )
+            return results, metrics
+
+        results, metrics = run_with_server(
+            scenario,
+            # A generous window so all 64 requests join one in-flight
+            # solve even on a loaded CI box.
+            ServiceConfig(port=0, batch_window=0.02, max_queue=128),
+        )
+        statuses = [status for status, _, _ in results]
+        availabilities = {body["availability"] for _, body, _ in results}
+        assert statuses == [200] * 64
+        assert len(availabilities) == 1
+        engine = metrics["engine"]
+        # The dedup guarantee: one solve total, every other request
+        # either joined the in-flight future or hit the system cache.
+        assert engine["system_solves"] == 1
+        dedup = engine["counters"].get("service_dedup_hits", 0)
+        assert dedup + engine["system_cache_hits"] == 63
+
+
+class TestBackpressure:
+    def test_full_queue_returns_429_with_retry_after(self):
+        async def scenario(server, host, port):
+            # Saturate the queue faster than one worker thread drains
+            # it: distinct specs so dedup cannot absorb them.
+            base_status, spec, _ = await http_request(
+                host, port, "GET", "/v1/library/datacenter"
+            )
+            assert base_status == 200
+
+            def variant(index):
+                changed = json.loads(json.dumps(spec))
+                changed.setdefault("globals", {})["reboot_minutes"] = (
+                    5.0 + index / 7.0
+                )
+                return changed
+
+            results = await asyncio.gather(*(
+                http_request(
+                    host, port, "POST", "/v1/solve",
+                    {"spec": variant(index)},
+                )
+                for index in range(24)
+            ))
+            return results
+
+        results = run_with_server(
+            scenario,
+            ServiceConfig(
+                port=0, max_queue=2, batch_window=0.05, max_batch=1
+            ),
+        )
+        statuses = sorted(status for status, _, _ in results)
+        assert statuses.count(429) >= 1, statuses
+        rejected = next(r for r in results if r[0] == 429)
+        assert rejected[1]["error"]["code"] == "queue_full"
+        assert int(rejected[2]["retry-after"]) >= 1
+        assert statuses.count(200) >= 2  # admitted work still finishes
+
+
+class TestShutdown:
+    def test_shutdown_drains_and_persists_stats(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+
+        async def scenario(server, host, port):
+            status, spec, _ = await http_request(
+                host, port, "GET", "/v1/library/workgroup"
+            )
+            status, result, _ = await http_request(
+                host, port, "POST", "/v1/solve", {"spec": spec}
+            )
+            assert status == 200
+            server.request_shutdown()
+            await server.serve_until_shutdown()
+            return result
+
+        run_with_server(
+            scenario, ServiceConfig(port=0, cache_dir=cache_dir)
+        )
+        stats = load_stats(cache_dir)
+        assert stats is not None
+        assert stats.system_solves == 1
+        assert stats.route_counts["POST /v1/solve 200"] == 1
+        assert (cache_dir / "blocks").exists()  # shared with CLI runs
+
+    def test_closed_server_refuses_new_connections(self):
+        async def scenario(server, host, port):
+            await server.shutdown()
+            try:
+                await asyncio.wait_for(
+                    http_request(host, port, "GET", "/healthz"),
+                    timeout=1.0,
+                )
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                return True
+            return False
+
+        assert run_with_server(scenario)
+
+
+class TestWarmStart:
+    def test_warm_start_presolves_the_library(self):
+        async def scenario(server, host, port):
+            status, metrics, _ = await http_request(
+                host, port, "GET", "/metrics"
+            )
+            return metrics
+
+        metrics = run_with_server(
+            scenario, ServiceConfig(port=0, warm_start=True)
+        )
+        engine = metrics["engine"]
+        assert engine["counters"]["service_warm_started"] == 3
+        assert engine["system_solves"] == 3
+
+    def test_warm_start_makes_library_solves_cache_hits(self):
+        async def scenario(server, host, port):
+            status, spec, _ = await http_request(
+                host, port, "GET", "/v1/library/e10000"
+            )
+            start = time.perf_counter()
+            status, result, _ = await http_request(
+                host, port, "POST", "/v1/solve", {"spec": spec}
+            )
+            elapsed = time.perf_counter() - start
+            assert status == 200
+            status, metrics, _ = await http_request(
+                host, port, "GET", "/metrics"
+            )
+            return metrics, elapsed
+
+        metrics, _ = run_with_server(
+            scenario, ServiceConfig(port=0, warm_start=True)
+        )
+        assert metrics["engine"]["system_cache_hits"] >= 1

@@ -207,6 +207,70 @@ class TestEngineFlags:
         assert "(0 from disk)" not in out
 
 
+class TestStatsJson:
+    def test_stats_json_is_machine_readable(
+        self, spec_path, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["solve", spec_path, "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--cache-dir", cache_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"]["system_solves"] == 1
+        assert payload["cache"]["disk_entries"] > 0
+        assert 0.0 <= payload["derived"]["cache_hit_rate"] <= 1.0
+
+    def test_stats_json_without_history(self, tmp_path, capsys):
+        empty = str(tmp_path / "empty")
+        assert main(["stats", "--cache-dir", empty, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] is None
+        assert payload["cache"] == {"disk_entries": 0, "disk_bytes": 0}
+
+    def test_stats_json_matches_the_service_metrics_shape(
+        self, spec_path, tmp_path, capsys
+    ):
+        from repro.engine import SolveCache, load_stats, metrics_payload
+
+        cache_dir = str(tmp_path / "cache")
+        main(["solve", spec_path, "--cache-dir", cache_dir])
+        capsys.readouterr()
+        main(["stats", "--cache-dir", cache_dir, "--json"])
+        printed = json.loads(capsys.readouterr().out)
+        expected = metrics_payload(
+            load_stats(cache_dir),
+            disk_usage=SolveCache(cache_dir=cache_dir).disk_usage(),
+        )
+        assert printed == expected
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "9000",
+            "--jobs", "4", "--cache-dir", "/tmp/c", "--max-queue",
+            "128", "--request-timeout", "5", "--warm-start",
+        ])
+        assert args.host == "0.0.0.0"
+        assert args.port == 9000
+        assert args.jobs == 4
+        assert args.max_queue == 128
+        assert args.request_timeout == 5.0
+        assert args.warm_start
+
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.max_queue == 64
+        assert args.request_timeout == 30.0
+        assert not args.warm_start
+
+
 class TestErrors:
     def test_bad_spec_path(self, capsys):
         code = main(["solve", "/nonexistent/model.json"])
