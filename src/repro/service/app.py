@@ -44,7 +44,12 @@ from .protocol import (
     error_response,
     json_response,
 )
-from .queue import QueueFullError, SolveQueue
+from .queue import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+    SolveQueue,
+)
 
 #: The built-in library models served under ``/v1/library/{name}``.
 LIBRARY_MODELS: Dict[str, Callable] = {
@@ -128,6 +133,12 @@ class App:
             response = error_response(
                 429, "queue_full", str(error),
                 retry_after=error.retry_after,
+            )
+        except DeadlineExceededError as error:
+            response = error_response(504, "deadline_exceeded", str(error))
+        except ServiceClosedError as error:
+            response = error_response(
+                503, "service_unavailable", str(error)
             )
         except Exception as error:  # noqa: BLE001 - mapped to envelopes
             response = error_for_exception(error)

@@ -100,8 +100,16 @@ class Server:
             request_timeout=self.config.request_timeout,
         )
         self._server: Optional[asyncio.base_events.Server] = None
-        self._shutdown_requested = asyncio.Event()
+        self._shutdown_requested: Optional[asyncio.Event] = None
         self._closing = False
+
+    def _shutdown_event(self) -> asyncio.Event:
+        # Created lazily: on Python 3.9 an Event binds the event loop
+        # at construction, so building it in __init__ would break the
+        # natural construct-outside-the-loop-then-asyncio.run embedding.
+        if self._shutdown_requested is None:
+            self._shutdown_requested = asyncio.Event()
+        return self._shutdown_requested
 
     # ------------------------------------------------------------------
     # startup / shutdown
@@ -146,12 +154,12 @@ class Server:
 
     def request_shutdown(self) -> None:
         """Flag the serve loop to begin a graceful shutdown."""
-        self._shutdown_requested.set()
+        self._shutdown_event().set()
 
     async def serve_until_shutdown(self) -> None:
         """Block until a signal (or :meth:`request_shutdown`) arrives,
         then drain and stop."""
-        await self._shutdown_requested.wait()
+        await self._shutdown_event().wait()
         await self.shutdown()
 
     async def shutdown(self, drain: bool = True) -> None:

@@ -94,12 +94,16 @@ class Request:
     query: Dict[str, str]
     headers: Dict[str, str]
     body: bytes = b""
+    version: str = "HTTP/1.1"
 
     @property
     def keep_alive(self) -> bool:
         connection = self.headers.get("connection", "").lower()
         if connection == "close":
             return False
+        if self.version == "HTTP/1.0":
+            # HTTP/1.0 defaults to close; persist only on request.
+            return connection == "keep-alive"
         return True  # HTTP/1.1 default
 
     def json(self) -> Dict[str, object]:
@@ -296,4 +300,5 @@ def _parse_head(head: bytes) -> Request:
         path=unquote(split.path) or "/",
         query=query,
         headers=headers,
+        version=version,
     )

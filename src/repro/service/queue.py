@@ -298,9 +298,12 @@ class SolveQueue:
                     [item.model for item in items],
                     method,
                 )
-            except Exception as error:
-                for item in items:
-                    self._finish(item, error=error)
+            except Exception:
+                # solve_many fails the whole batch as soon as one task
+                # exhausts its retries; re-solve per item so one bad
+                # request cannot poison its co-batched neighbours —
+                # matching the per-item isolation of the thread path.
+                await self._solve_via_threads(items)
                 continue
             for item, solution in zip(items, solutions):
                 self._finish(item, result=solution)

@@ -2,6 +2,7 @@
 
 import asyncio
 import json
+import time
 
 from repro.core import translate
 from repro.engine import Engine
@@ -87,6 +88,44 @@ class TestSolve:
         status, payload, _ = responses[0]
         assert status == 400
         assert payload["error"]["code"] == "invalid_json"
+
+    def test_deadline_exceeded_is_504_gateway_timeout(self):
+        engine = Engine()
+        inner_solve = engine.solve
+
+        def slow_solve(model, method="direct"):
+            time.sleep(0.2)
+            return inner_solve(model, method)
+
+        engine.solve = slow_solve
+        spec = model_to_spec(workgroup_model())
+        responses, _ = call(
+            [_request(
+                "POST", "/v1/solve",
+                {"spec": spec, "timeout_seconds": 0.01},
+            )],
+            engine=engine,
+        )
+        status, payload, _ = responses[0]
+        assert status == 504
+        assert payload["error"]["code"] == "deadline_exceeded"
+
+    def test_draining_service_is_503_service_unavailable(self):
+        async def go():
+            engine = Engine()
+            queue = SolveQueue(engine)
+            queue.start()
+            await queue.close()
+            app = App(engine, queue)
+            spec = model_to_spec(workgroup_model())
+            return await app.handle(
+                _request("POST", "/v1/solve", {"spec": spec})
+            )
+
+        response = asyncio.run(go())
+        assert response.status == 503
+        payload = json.loads(response.body)
+        assert payload["error"]["code"] == "service_unavailable"
 
 
 class TestSweepAndValidate:

@@ -103,6 +103,15 @@ class TestParsing:
         assert not request.keep_alive
         assert _read(b"GET / HTTP/1.1\r\n\r\n").keep_alive
 
+    def test_http10_defaults_to_close(self):
+        request = _read(b"GET / HTTP/1.0\r\n\r\n")
+        assert request.version == "HTTP/1.0"
+        assert not request.keep_alive
+        kept = _read(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        )
+        assert kept.keep_alive
+
 
 class TestEnvelopes:
     def test_json_response_round_trips(self):

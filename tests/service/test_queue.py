@@ -7,6 +7,7 @@ import time
 import pytest
 
 from repro.engine.stats import StatsCollector
+from repro.errors import EngineError
 from repro.library import workgroup_model
 from repro.service.queue import (
     DeadlineExceededError,
@@ -190,6 +191,38 @@ class TestLifecycle:
         results = run(go())
         assert len(results) == 3
         assert all(result[0] == "solved" for result in results)
+
+    def test_pool_batch_failure_is_isolated_per_item(self):
+        # solve_many fails the whole batch on one bad task; the queue
+        # must fall back to per-item solves so the poison request does
+        # not 500 its co-batched neighbours.
+        poison = _variant(0)
+        good = _variant(1)
+
+        class PoisonEngine(SlowEngine):
+            def solve(self, model, method="direct"):
+                if model is poison:
+                    raise RuntimeError("poison")
+                return super().solve(model, method)
+
+            def solve_many(self, models, method="direct"):
+                raise EngineError("task 0 failed after 2 attempt(s)")
+
+        async def go():
+            engine = PoisonEngine(delay=0.0, jobs=2)
+            queue = SolveQueue(engine, batch_window=0.05)
+            queue.start()
+            results = await asyncio.gather(
+                queue.solve(poison),
+                queue.solve(good),
+                return_exceptions=True,
+            )
+            await queue.close()
+            return results
+
+        poisoned, healthy = run(go())
+        assert isinstance(poisoned, RuntimeError)
+        assert healthy[0] == "solved"
 
     def test_solver_failure_propagates_to_every_waiter(self):
         class FailingEngine(SlowEngine):

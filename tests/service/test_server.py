@@ -209,6 +209,28 @@ class TestShutdown:
         assert run_with_server(scenario)
 
 
+class TestEmbedding:
+    def test_server_built_outside_the_loop_serves_via_asyncio_run(self):
+        # The natural embedding pattern: construct Server at module
+        # scope (no running loop), then hand it to asyncio.run.  On
+        # Python 3.9 an eagerly-created asyncio.Event would bind the
+        # wrong loop here.
+        server = Server(ServiceConfig(port=0))
+
+        async def go():
+            host, port = await server.start()
+            status, payload, _ = await http_request(
+                host, port, "GET", "/healthz"
+            )
+            server.request_shutdown()
+            await server.serve_until_shutdown()
+            return status, payload
+
+        status, payload = asyncio.run(go())
+        assert status == 200
+        assert payload["status"] == "ok"
+
+
 class TestWarmStart:
     def test_warm_start_presolves_the_library(self):
         async def scenario(server, host, port):
