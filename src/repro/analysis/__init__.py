@@ -11,6 +11,7 @@ analysis capability", minus the GUI.
 
 from .parametric import (
     SweepPoint,
+    expand_values,
     with_block_changes,
     with_global_changes,
     sweep_block_field,
@@ -32,6 +33,7 @@ from .requirements import (
 
 __all__ = [
     "SweepPoint",
+    "expand_values",
     "with_block_changes",
     "with_global_changes",
     "sweep_block_field",

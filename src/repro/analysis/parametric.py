@@ -33,6 +33,58 @@ class SweepPoint:
     yearly_downtime_minutes: float
 
 
+def expand_values(tokens: Iterable[object]) -> List[float]:
+    """Expand sweep value tokens into an explicit value list.
+
+    Each token is either a number (kept as-is) or a
+    ``start:stop:count`` range shorthand — ``"1e5:1e6:10"`` expands to
+    10 values linearly spaced from ``1e5`` to ``1e6`` inclusive — so
+    large sweeps don't need thousands of values spelled out.  Tokens
+    may mix freely; malformed ranges raise :class:`SpecError` with the
+    offending token in the message.
+    """
+    values: List[float] = []
+    for token in tokens:
+        if isinstance(token, bool):
+            raise SpecError(f"sweep value {token!r} must be a number")
+        if isinstance(token, (int, float)):
+            values.append(float(token))
+            continue
+        text = str(token).strip()
+        if ":" not in text:
+            try:
+                values.append(float(text))
+            except ValueError:
+                raise SpecError(
+                    f"sweep value {text!r} is neither a number nor a "
+                    "start:stop:count range"
+                ) from None
+            continue
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise SpecError(
+                f"malformed range {text!r}: expected start:stop:count"
+            )
+        try:
+            start, stop = float(parts[0]), float(parts[1])
+            count = int(parts[2])
+        except ValueError:
+            raise SpecError(
+                f"malformed range {text!r}: start and stop must be "
+                "numbers, count an integer"
+            ) from None
+        if count < 2:
+            raise SpecError(
+                f"malformed range {text!r}: count must be >= 2 "
+                "(a single value needs no range)"
+            )
+        step = (stop - start) / (count - 1)
+        values.extend(start + step * index for index in range(count))
+    if not values:
+        raise SpecError("no sweep values given")
+    return values
+
+
 def _rebuild_diagram(
     diagram: MGDiagram,
     prefix: str,

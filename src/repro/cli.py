@@ -12,6 +12,9 @@ Usage (installed as ``rascad``, or ``python -m repro``):
     rascad parts                       # the builtin component catalog
     rascad stats [--json]              # last run's engine counters
     rascad serve --port 8080           # the HTTP model-serving API
+    rascad jobs submit model.json --kind sweep --field mtbf_hours \\
+        --block "Sys/Block" --values 1e5:1e6:50   # durable batch job
+    rascad jobs worker --jobs 4        # run queued jobs, resumably
 
 Specs are the JSON engineering-language format of :mod:`repro.spec`;
 part numbers resolve against the builtin catalog unless ``--database``
@@ -125,8 +128,10 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis import expand_values
+
     model = _load(args)
-    values = [float(v) for v in args.values]
+    values = expand_values(args.values)
     engine = _engine_from_args(args)
     points = engine.sweep_block_field(model, args.block, args.field, values)
     _persist_stats(engine, args)
@@ -263,8 +268,142 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         request_timeout=args.request_timeout,
         warm_start=args.warm_start,
+        jobs_db=args.jobs_db,
     )
     return serve(config)
+
+
+def _jobs_open(args: argparse.Namespace):
+    """The (store, checkpointer) pair the jobs subcommands share."""
+    from .database import builtin_database
+    from .jobs import open_store
+
+    database = (
+        PartsDatabase.load(args.database)
+        if args.database
+        else builtin_database()
+    )
+    return open_store(
+        db_path=getattr(args, "db", None),
+        cache_dir=getattr(args, "cache_dir", None),
+        database=database,
+    )
+
+
+def _print_job(record, verbose: bool = False) -> None:
+    import json
+
+    print(f"id        : {record.id}")
+    print(f"kind      : {record.kind}")
+    print(f"state     : {record.state}")
+    print(f"attempts  : {record.attempts}/{record.max_attempts}")
+    if record.worker:
+        print(f"worker    : {record.worker}")
+    if record.error:
+        print(f"error     : {record.error}")
+    if record.result is not None:
+        print("result    :")
+        print(json.dumps(record.result, indent=2, sort_keys=True))
+    elif verbose:
+        print("result    : (none yet)")
+
+
+def _cmd_jobs_submit(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .analysis import expand_values
+    from .jobs import JobSpec
+
+    spec_doc = json.loads(Path(args.spec).read_text())
+    params: dict = {}
+    if args.params:
+        params.update(json.loads(Path(args.params).read_text()))
+    if args.method:
+        params["method"] = args.method
+    if args.kind == "sweep":
+        if args.field:
+            params["field"] = args.field
+        if args.block:
+            params["block"] = args.block
+        if args.values:
+            params["values"] = expand_values(args.values)
+    elif args.kind == "validate":
+        if args.replications is not None:
+            params["replications"] = args.replications
+        if args.horizon is not None:
+            params["horizon"] = args.horizon
+        if args.seed is not None:
+            params["seed"] = args.seed
+    job = JobSpec(
+        kind=args.kind,
+        spec=spec_doc,
+        params=params,
+        priority=args.priority,
+        max_attempts=args.max_attempts,
+    )
+    store, _ = _jobs_open(args)
+    record, created = store.submit(job)
+    verb = "submitted" if created else "already queued (deduplicated)"
+    print(f"{record.id} {verb}")
+    print(f"state: {record.state}")
+    return 0
+
+
+def _cmd_jobs_status(args: argparse.Namespace) -> int:
+    store, _ = _jobs_open(args)
+    _print_job(store.get(args.id), verbose=True)
+    return 0
+
+
+def _cmd_jobs_list(args: argparse.Namespace) -> int:
+    store, _ = _jobs_open(args)
+    records = store.list_jobs(
+        state=args.state, kind=args.kind, limit=args.limit
+    )
+    if not records:
+        print("no jobs")
+        return 0
+    print(f"{'id':<40} {'kind':<12} {'state':<10} {'att':>3}  error")
+    for record in records:
+        error = (record.error or "")[:40]
+        print(f"{record.id:<40} {record.kind:<12} {record.state:<10} "
+              f"{record.attempts:>3}  {error}")
+    return 0
+
+
+def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
+    store, _ = _jobs_open(args)
+    record = store.cancel(args.id)
+    print(f"{record.id} -> {record.state}"
+          + (" (cancellation requested)"
+             if record.state == "running" else ""))
+    return 0
+
+
+def _cmd_jobs_worker(args: argparse.Namespace) -> int:
+    from .jobs import Worker, WorkerConfig
+
+    store, checkpointer = _jobs_open(args)
+    engine = _engine_from_args(args)
+    worker = Worker(
+        store,
+        engine,
+        checkpointer,
+        WorkerConfig(
+            poll_interval=args.poll,
+            lease_timeout=args.lease_timeout,
+            checkpoint_every=args.checkpoint_every,
+            once=args.once,
+            max_jobs=args.max_jobs,
+        ),
+    )
+    worker.install_signal_handlers()
+    print(f"worker {worker.config.name} polling {store.path}", flush=True)
+    processed = worker.run()
+    _persist_stats(engine, args)
+    print(f"worker exiting after {processed} job(s)", flush=True)
+    return 0
 
 
 def _cmd_parts(args: argparse.Namespace) -> int:
@@ -425,7 +564,106 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm-start", action="store_true",
         help="pre-solve the library models into the cache at startup",
     )
+    serve.add_argument(
+        "--jobs-db", default=None, metavar="PATH",
+        help="job store database for the /v1/jobs endpoints "
+             "(default: jobs.sqlite3 inside --cache-dir; jobs are "
+             "disabled when neither flag is given)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    jobs = commands.add_parser(
+        "jobs", help="durable background jobs (submit, inspect, run)"
+    )
+    jobs_commands = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def add_db_flag(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--db", default=None, metavar="PATH",
+            help="job store database "
+                 "(default: ~/.cache/rascad/jobs.sqlite3)",
+        )
+
+    submit = jobs_commands.add_parser(
+        "submit", help="enqueue a sweep/uncertainty/validate job"
+    )
+    submit.add_argument("spec", help="model spec file")
+    submit.add_argument(
+        "--kind", choices=["sweep", "uncertainty", "validate"],
+        default="sweep",
+    )
+    submit.add_argument("--block", default=None,
+                        help="block path for a sweep (omit for global)")
+    submit.add_argument("--field", default=None,
+                        help="field to sweep")
+    submit.add_argument(
+        "--values", nargs="+", default=None, metavar="V",
+        help="sweep values; numbers or start:stop:count ranges "
+             "(e.g. 1e5:1e6:10)",
+    )
+    submit.add_argument("--method", default=None,
+                        choices=["direct", "gth", "power"])
+    submit.add_argument("--replications", type=int, default=None)
+    submit.add_argument("--horizon", type=float, default=None)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument(
+        "--params", default=None, metavar="PARAMS.json",
+        help="kind-specific parameters as a JSON file (merged under "
+             "any explicit flags; required for uncertainty jobs)",
+    )
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first (default: 0)")
+    submit.add_argument("--max-attempts", type=int, default=3)
+    add_db_flag(submit)
+    submit.set_defaults(handler=_cmd_jobs_submit)
+
+    status = jobs_commands.add_parser("status", help="one job's state")
+    status.add_argument("id")
+    add_db_flag(status)
+    status.set_defaults(handler=_cmd_jobs_status)
+
+    jlist = jobs_commands.add_parser("list", help="recent jobs")
+    jlist.add_argument("--state", default=None,
+                       choices=["queued", "running", "succeeded",
+                                "failed", "cancelled"])
+    jlist.add_argument("--kind", default=None,
+                       choices=["sweep", "uncertainty", "validate"])
+    jlist.add_argument("--limit", type=int, default=50)
+    add_db_flag(jlist)
+    jlist.set_defaults(handler=_cmd_jobs_list)
+
+    cancel = jobs_commands.add_parser("cancel", help="cancel a job")
+    cancel.add_argument("id")
+    add_db_flag(cancel)
+    cancel.set_defaults(handler=_cmd_jobs_cancel)
+
+    worker = jobs_commands.add_parser(
+        "worker", help="run a job worker loop"
+    )
+    add_db_flag(worker)
+    add_engine_flags(worker)
+    worker.add_argument(
+        "--once", action="store_true",
+        help="drain the queue, then exit instead of polling",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="idle polling interval (default: 0.5)",
+    )
+    worker.add_argument(
+        "--lease-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="heartbeat age before a running job is presumed crashed "
+             "and reclaimed (default: 60)",
+    )
+    worker.add_argument(
+        "--checkpoint-every", type=int, default=25, metavar="POINTS",
+        help="points solved between durable checkpoints (default: 25)",
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after processing N jobs",
+    )
+    worker.set_defaults(handler=_cmd_jobs_worker)
 
     return parser
 

@@ -9,6 +9,11 @@ module runs such a batch with
 * a per-task ``timeout`` (enforced in pool mode; a timed-out task is
   re-submitted, the stuck worker is left to finish in the background);
 * bounded ``retries`` per task before the whole batch fails;
+* crash recovery — a worker process dying (OOM kill, segfault) breaks
+  the whole pool, so the runner rebuilds it, resubmits every
+  unfinished task, and charges an attempt only to the task that was
+  being collected; exhausted budgets surface as typed
+  :class:`~repro.errors.EngineError`, never a raw pool exception;
 * deterministic per-task seeding via :func:`repro.engine.keys.task_seed`
   — seeds depend only on ``(base seed, task index)``, never on which
   worker runs the task, so serial and parallel runs of a seeded batch
@@ -23,6 +28,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors import EngineError
@@ -129,11 +135,14 @@ def _run_pool(
     results: List = [None] * len(tasks)
     attempts = [0] * len(tasks)
     pool = ProcessPoolExecutor(max_workers=jobs)
+    pending: "dict" = {}
+
+    def submit(index: int) -> None:
+        pending[pool.submit(_timed_call, fn, tasks[index])] = index
+
     try:
-        pending = {
-            pool.submit(_timed_call, fn, task): index
-            for index, task in enumerate(tasks)
-        }
+        for index in range(len(tasks)):
+            submit(index)
         while pending:
             # Collect in submission order; .result() blocks with the
             # per-task timeout, so a hung worker surfaces as a retry
@@ -142,14 +151,34 @@ def _run_pool(
             del pending[future]
             try:
                 result, busy = future.result(timeout=timeout)
+            except BrokenProcessPool as error:
+                # A worker died (OOM kill, SIGKILL, segfault).  The
+                # whole pool is unusable: every sibling future fails
+                # with the same error through no fault of its own, so
+                # only the observed task spends an attempt.  Rebuild
+                # the pool and resubmit everything unfinished.
+                attempts[index] += 1
+                stats.increment("pool_breaks")
+                pool.shutdown(wait=False)
+                pool = ProcessPoolExecutor(max_workers=jobs)
+                if attempts[index] > retries:
+                    stats.increment("tasks_failed")
+                    raise EngineError(
+                        f"task {index} crashed the worker pool after "
+                        f"{attempts[index]} attempt(s): {error}"
+                    ) from error
+                stats.increment("tasks_retried")
+                outstanding = [index] + sorted(pending.values())
+                pending.clear()
+                for open_index in outstanding:
+                    submit(open_index)
+                continue
             except (Exception, FutureTimeoutError) as error:
                 future.cancel()
                 attempts[index] += 1
                 if attempts[index] <= retries:
                     stats.increment("tasks_retried")
-                    pending[pool.submit(_timed_call, fn, tasks[index])] = (
-                        index
-                    )
+                    submit(index)
                     continue
                 stats.increment("tasks_failed")
                 for open_future in pending:

@@ -1,0 +1,69 @@
+"""Retry policy: failure classification and backoff schedule.
+
+Failures split along the :mod:`repro.errors` hierarchy:
+
+* **Permanent** — the job can never succeed as specified: a malformed
+  spec, an unknown part number, an invalid model, or a solver that
+  deterministically fails to converge on these exact inputs.  Retrying
+  would burn worker time reproducing the same exception.
+* **Transient** — the environment failed, not the job: an engine task
+  timeout, a dead pool worker, an I/O error, or any exception the
+  library doesn't recognize.  These retry with exponential backoff
+  until the attempt budget runs out (at-least-once execution).
+
+The backoff jitter is *deterministic* — derived by hashing the job id
+and attempt number — so two workers racing on a requeued job still
+agree on when it becomes runnable, and tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..errors import (
+    DatabaseError,
+    ModelError,
+    SolverError,
+    SpecError,
+)
+
+#: Exception types whose failures no retry can fix.  ``ParameterError``
+#: is a ``SpecError`` subclass and ``EngineError`` (timeouts, pool
+#: crashes) is deliberately absent — the engine failing is exactly the
+#: transient case the retry loop exists for.
+PERMANENT_ERRORS = (SpecError, ModelError, DatabaseError, SolverError)
+
+#: Backoff schedule bounds, in seconds.
+DEFAULT_BASE_DELAY = 0.5
+DEFAULT_MAX_DELAY = 60.0
+
+
+def is_permanent(error: BaseException) -> bool:
+    """Whether a failure is deterministic and retrying is pointless."""
+    return isinstance(error, PERMANENT_ERRORS)
+
+
+def classify(error: BaseException) -> str:
+    """``"permanent"`` or ``"transient"`` — the stored failure class."""
+    return "permanent" if is_permanent(error) else "transient"
+
+
+def backoff_delay(
+    attempt: int,
+    key: str = "",
+    base: float = DEFAULT_BASE_DELAY,
+    cap: float = DEFAULT_MAX_DELAY,
+) -> float:
+    """Delay before retry number ``attempt`` (1-based), in seconds.
+
+    Exponential (``base * 2**(attempt-1)``) with multiplicative jitter
+    in ``[0.5, 1.0)`` so requeued jobs don't thunder back in lockstep.
+    The jitter is a pure function of ``(key, attempt)``.
+    """
+    if attempt < 1:
+        return 0.0
+    raw = min(base * (2.0 ** (attempt - 1)), cap)
+    material = f"rascad-backoff:{key}:{attempt}".encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    fraction = int.from_bytes(digest[:8], "big") / 2**64
+    return raw * (0.5 + 0.5 * fraction)

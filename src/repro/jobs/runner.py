@@ -1,0 +1,512 @@
+"""The worker loop: lease, execute in checkpointed chunks, resume.
+
+Execution is *point-wise*: every job kind decomposes into an ordered
+list of scalar point computations (sweep points, uncertainty samples,
+simulation replications), each a pure function of the job spec and the
+point index.  The runner solves points in chunks through the existing
+:class:`repro.engine.Engine` (fanning out over its process pool when
+``jobs > 1``), and after every chunk durably records the completed
+prefix as a :class:`~repro.jobs.types.Checkpoint` via temp-file+rename.
+
+Because points are pure and the final aggregation is a pure function of
+the *complete* value list, a run that crashes (SIGKILL) or is preempted
+(SIGTERM) and later resumed by any worker produces a result payload
+bit-identical to an uninterrupted run — and re-solves only the points
+past the last checkpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from ..analysis.parametric import with_block_changes
+from ..core.block import DiagramBlockModel
+from ..engine import Engine, task_seed
+from ..engine.engine import (
+    _replication_task,
+    _solve_availability_task,
+    _sweep_point_task,
+)
+from ..errors import SpecError
+from ..spec import parse_spec
+from ..units import MINUTES_PER_YEAR, availability_to_yearly_downtime_minutes
+from .retry import backoff_delay, classify, is_permanent
+from .store import JobStore
+from .types import (
+    Checkpoint,
+    JobRecord,
+    JobSpec,
+    distribution_from_dict,
+    result_digest,
+)
+
+#: Points solved between durable checkpoints (and heartbeats).
+DEFAULT_CHECKPOINT_EVERY = 25
+
+
+class Checkpointer:
+    """Atomic per-job checkpoint files under one directory."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, job_id: str) -> Path:
+        return self.directory / f"{job_id}.ckpt.json"
+
+    def save(self, checkpoint: Checkpoint) -> Path:
+        """Write-then-rename, so a crash mid-write never corrupts the
+        previous checkpoint."""
+        target = self.path(checkpoint.job_id)
+        fd, temp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=".ckpt-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(checkpoint.to_json())
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return target
+
+    def load(self, job_id: str) -> Optional[Checkpoint]:
+        """The last durable checkpoint, or ``None`` (missing/corrupt)."""
+        try:
+            text = self.path(job_id).read_text()
+            checkpoint = Checkpoint.from_json(text)
+        except (OSError, ValueError, KeyError):
+            return None
+        if checkpoint.job_id != job_id:
+            return None
+        return checkpoint
+
+    def clear(self, job_id: str) -> None:
+        try:
+            self.path(job_id).unlink()
+        except OSError:
+            pass
+
+
+@dataclass
+class Plan:
+    """A job decomposed into point computations plus an aggregation."""
+
+    total: int
+    solve_range: Callable[[int, int], List[float]]
+    aggregate: Callable[[List[float]], Dict[str, object]]
+
+
+def _require(params, key: str, kind_name: str):
+    if key not in params:
+        raise SpecError(f"{kind_name} job requires params.{key}")
+    return params[key]
+
+
+def _float_list(raw: object, label: str) -> List[float]:
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise SpecError(f"{label} must be a non-empty list of numbers")
+    values: List[float] = []
+    for position, value in enumerate(raw):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SpecError(f"{label}[{position}] must be a number")
+        values.append(float(value))
+    return values
+
+
+def plan_job(
+    spec: JobSpec, model: DiagramBlockModel, engine: Engine
+) -> Plan:
+    """Validate a job's parameters and build its execution plan.
+
+    Parameter problems raise :class:`~repro.errors.SpecError` —
+    permanent failures, classified as such by the retry policy.
+    """
+    if spec.kind == "sweep":
+        return _plan_sweep(spec, model, engine)
+    if spec.kind == "uncertainty":
+        return _plan_uncertainty(spec, model, engine)
+    if spec.kind == "validate":
+        return _plan_validate(spec, model, engine)
+    raise SpecError(f"unknown job kind {spec.kind!r}")
+
+
+def _plan_sweep(
+    spec: JobSpec, model: DiagramBlockModel, engine: Engine
+) -> Plan:
+    params = spec.params
+    field = str(_require(params, "field", "sweep"))
+    values = _float_list(_require(params, "values", "sweep"),
+                         "params.values")
+    block = params.get("block")
+    method = str(params.get("method", "direct"))
+
+    def solve_range(lo: int, hi: int) -> List[float]:
+        if engine.jobs == 1:
+            return [
+                _sweep_point_task(model, block, field, value, method, engine)
+                for value in values[lo:hi]
+            ]
+        cache_dir, use_cache = engine._worker_cache_config
+        return engine.map(
+            _sweep_point_task,
+            [
+                (model, block, field, value, method, None,
+                 cache_dir, use_cache)
+                for value in values[lo:hi]
+            ],
+            stage="jobs",
+        )
+
+    def aggregate(availabilities: List[float]) -> Dict[str, object]:
+        return {
+            "kind": "sweep",
+            "model": model.name,
+            "field": field,
+            "block": block,
+            "points": [
+                {
+                    "value": value,
+                    "availability": availability,
+                    "yearly_downtime_minutes": (
+                        availability_to_yearly_downtime_minutes(availability)
+                    ),
+                }
+                for value, availability in zip(values, availabilities)
+            ],
+        }
+
+    return Plan(len(values), solve_range, aggregate)
+
+
+def _plan_uncertainty(
+    spec: JobSpec, model: DiagramBlockModel, engine: Engine
+) -> Plan:
+    params = spec.params
+    samples = int(params.get("samples", 100))
+    if samples < 2:
+        raise SpecError(f"need at least 2 samples, got {samples}")
+    seed = params.get("seed")
+    entries = _require(params, "uncertain", "uncertainty")
+    if not isinstance(entries, (list, tuple)) or not entries:
+        raise SpecError("params.uncertain must be a non-empty list")
+    parsed = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise SpecError("each uncertain entry must be an object")
+        parsed.append((
+            str(_require(entry, "path", "uncertainty")),
+            str(_require(entry, "field", "uncertainty")),
+            distribution_from_dict(
+                _require(entry, "distribution", "uncertainty")
+            ),
+        ))
+    # Draws are sequential from one generator — the exact stream of
+    # Engine.propagate_uncertainty — so the variants (and hence the
+    # results) match an online run of the same spec bit-for-bit.
+    rng = np.random.default_rng(seed)
+    variants = []
+    for _ in range(samples):
+        variant = model
+        for path, field, distribution in parsed:
+            value = distribution.sample(rng)
+            variant = with_block_changes(variant, path, **{field: value})
+        variants.append(variant)
+
+    def solve_range(lo: int, hi: int) -> List[float]:
+        if engine.jobs == 1:
+            return [
+                engine._solve(variant, "direct").availability
+                for variant in variants[lo:hi]
+            ]
+        cache_dir, use_cache = engine._worker_cache_config
+        return engine.map(
+            _solve_availability_task,
+            [
+                (variant, "direct", cache_dir, use_cache)
+                for variant in variants[lo:hi]
+            ],
+            stage="jobs",
+        )
+
+    def aggregate(availabilities: List[float]) -> Dict[str, object]:
+        # Bit-identical to analysis.uncertainty.UncertaintyResult.
+        arr = np.asarray(availabilities, dtype=float)
+        downtimes = (1.0 - arr) * MINUTES_PER_YEAR
+        p05, p50, p95 = np.percentile(downtimes, [5.0, 50.0, 95.0])
+        return {
+            "kind": "uncertainty",
+            "model": model.name,
+            "samples": samples,
+            "mean_availability": float(arr.mean()),
+            "std_availability": float(arr.std(ddof=1)),
+            "downtime_p05": float(p05),
+            "downtime_p50": float(p50),
+            "downtime_p95": float(p95),
+        }
+
+    return Plan(samples, solve_range, aggregate)
+
+
+def _plan_validate(
+    spec: JobSpec, model: DiagramBlockModel, engine: Engine
+) -> Plan:
+    from ..semimarkov.simulation import _summarize
+    from ..validation.simulator import contributing_blocks
+
+    params = spec.params
+    replications = int(params.get("replications", 40))
+    if replications < 2:
+        raise SpecError(
+            f"need at least 2 replications, got {replications}"
+        )
+    horizon = float(params.get("horizon", 30_000.0))
+    seed = params.get("seed", 0)
+    seed = 0 if seed is None else int(seed)  # resumes must be seeded
+    method = str(params.get("method", "direct"))
+    solution = engine.solve(model, method)
+    contributing = contributing_blocks(solution)
+    g = model.global_parameters
+
+    def solve_range(lo: int, hi: int) -> List[float]:
+        tasks = [
+            (contributing, g, horizon, task_seed(seed, index))
+            for index in range(lo, hi)
+        ]
+        if engine.jobs == 1:
+            return [_replication_task(*task) for task in tasks]
+        return engine.map(_replication_task, tasks, stage="jobs")
+
+    def aggregate(samples: List[float]) -> Dict[str, object]:
+        result = _summarize(np.asarray(samples, dtype=float), 0.95)
+        return {
+            "kind": "validate",
+            "model": model.name,
+            "analytic_availability": solution.availability,
+            "simulated_mean": result.mean,
+            "interval_low": result.low,
+            "interval_high": result.high,
+            "replications": replications,
+            "horizon_hours": horizon,
+            "agreement": result.contains(solution.availability),
+        }
+
+    return Plan(replications, solve_range, aggregate)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+#: Outcomes :func:`execute_job` can report.
+SUCCEEDED = "succeeded"
+RELEASED = "released"
+CANCELLED = "cancelled"
+
+
+def execute_job(
+    record: JobRecord,
+    store: JobStore,
+    engine: Engine,
+    checkpointer: Checkpointer,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> str:
+    """Run one leased job to completion, preemption, or cancellation.
+
+    Raises on failure — the caller (the worker loop) owns the retry
+    bookkeeping.  Between chunks the runner checks for a stop request
+    (graceful preemption: checkpoint, release the lease, exit) and for
+    cancellation; after every chunk it checkpoints and heartbeats.
+    """
+    spec = record.spec
+    model = parse_spec(dict(spec.spec), database=store.database)
+    plan = plan_job(spec, model, engine)
+    stats = engine.stats
+
+    checkpoint = checkpointer.load(record.id)
+    if checkpoint is not None and (
+        checkpoint.kind != spec.kind or checkpoint.total != plan.total
+    ):
+        checkpoint = None  # stale checkpoint from an older spec format
+    values = list(checkpoint.values) if checkpoint is not None else []
+    if values:
+        stats.increment("jobs_points_resumed", len(values))
+
+    with stats.timer("jobs"):
+        while len(values) < plan.total:
+            if should_stop is not None and should_stop():
+                checkpointer.save(
+                    Checkpoint(record.id, spec.kind, plan.total, values)
+                )
+                store.release(record.id)
+                stats.increment("jobs_released")
+                return RELEASED
+            if store.cancel_requested(record.id):
+                store.mark_cancelled(record.id)
+                checkpointer.clear(record.id)
+                stats.increment("jobs_cancelled")
+                return CANCELLED
+            lo = len(values)
+            hi = min(lo + max(1, checkpoint_every), plan.total)
+            values.extend(plan.solve_range(lo, hi))
+            checkpointer.save(
+                Checkpoint(record.id, spec.kind, plan.total, values)
+            )
+            store.heartbeat(record.id)
+            stats.increment("jobs_points_completed", hi - lo)
+
+    payload = plan.aggregate(values)
+    payload["result_digest"] = result_digest(payload)
+    store.succeed(record.id, payload)
+    checkpointer.clear(record.id)
+    stats.increment("jobs_succeeded")
+    return SUCCEEDED
+
+
+@dataclass
+class WorkerConfig:
+    """Everything ``rascad jobs worker`` can configure.
+
+    Attributes:
+        name: Worker identity recorded on leased jobs.
+        poll_interval: Seconds between lease attempts when idle.
+        lease_timeout: Heartbeat age after which a running job is
+            presumed crashed and reclaimed.
+        checkpoint_every: Points per checkpoint/heartbeat chunk.
+        once: Drain the queue, then exit instead of polling.
+        max_jobs: Stop after this many processed jobs (None = no cap).
+    """
+
+    name: str = ""
+    poll_interval: float = 0.2
+    lease_timeout: float = 60.0
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+    once: bool = False
+    max_jobs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"{socket.gethostname()}:{os.getpid()}"
+
+
+class Worker:
+    """The lease/execute/retry loop around one engine and one store."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        engine: Engine,
+        checkpointer: Checkpointer,
+        config: Optional[WorkerConfig] = None,
+    ) -> None:
+        self.store = store
+        self.engine = engine
+        self.checkpointer = checkpointer
+        self.config = config or WorkerConfig()
+        self._stop = False
+
+    def request_stop(self) -> None:
+        """Finish the current chunk, checkpoint, release, and exit."""
+        self._stop = True
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT become graceful preemption."""
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(
+                    signum, lambda *_: self.request_stop()
+                )
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
+
+    def process(self, record: JobRecord) -> str:
+        """Execute one leased job, mapping failures through the retry
+        policy; returns the outcome state."""
+        try:
+            return execute_job(
+                record,
+                self.store,
+                self.engine,
+                self.checkpointer,
+                checkpoint_every=self.config.checkpoint_every,
+                should_stop=lambda: self._stop,
+            )
+        except Exception as error:  # noqa: BLE001 - classified below
+            retryable = not is_permanent(error)
+            delay = (
+                backoff_delay(record.attempts, key=record.id)
+                if retryable
+                else 0.0
+            )
+            state = self.store.fail(
+                record.id,
+                f"{classify(error)}: {type(error).__name__}: {error}",
+                retryable=retryable,
+                backoff=delay,
+            )
+            self.engine.stats.increment(
+                "jobs_retried" if state == "queued" else "jobs_failed"
+            )
+            return state
+
+    def run(self) -> int:
+        """The worker main loop; returns the number of processed jobs."""
+        processed = 0
+        config = self.config
+        while not self._stop:
+            record = self.store.lease(
+                worker=config.name, lease_timeout=config.lease_timeout
+            )
+            if record is None:
+                if config.once:
+                    break
+                time.sleep(config.poll_interval)
+                continue
+            self.process(record)
+            processed += 1
+            if config.max_jobs is not None and processed >= config.max_jobs:
+                break
+        return processed
+
+
+def default_jobs_dir(
+    cache_dir: Optional[Union[str, Path]] = None
+) -> Path:
+    """Where the job database and checkpoints live by default."""
+    from ..engine import default_cache_dir
+
+    base = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+    return base
+
+
+def open_store(
+    db_path: Optional[Union[str, Path]] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    database=None,
+) -> "tuple[JobStore, Checkpointer]":
+    """The (store, checkpointer) pair the CLI and service share.
+
+    Defaults to ``<cache-dir>/jobs.sqlite3`` with checkpoints under
+    ``<cache-dir>/checkpoints/`` so CLI workers and the HTTP service
+    coordinate through the same files out of the box.
+    """
+    from .store import JOBS_DB_FILENAME
+
+    base = default_jobs_dir(cache_dir)
+    path = Path(db_path).expanduser() if db_path else base / JOBS_DB_FILENAME
+    store = JobStore(path, database=database)
+    checkpointer = Checkpointer(path.parent / "checkpoints")
+    return store, checkpointer

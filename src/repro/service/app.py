@@ -7,16 +7,29 @@ without sockets and the lifecycle layer stays a thin connection loop.
 
 Routes:
 
-========================  ====================================================
-``POST /v1/solve``        spec JSON -> full measure set (queued, deduped)
-``POST /v1/sweep``        parametric sweep over one block or global field
-``POST /v1/validate``     Monte-Carlo cross-check of the analytic solution
-``GET /v1/library``       names of the built-in library models
-``GET /v1/library/{n}``   one library model as a spec document
-``GET /healthz``          liveness + queue gauges
-``GET /metrics``          JSON metrics; Prometheus text with
-                          ``?format=prometheus`` (or ``Accept: text/plain``)
-========================  ====================================================
+==============================  ==============================================
+``POST /v1/solve``              spec JSON -> full measure set (queued, deduped)
+``POST /v1/sweep``              parametric sweep over one block/global field
+``POST /v1/validate``           Monte-Carlo cross-check of the analytic
+                                solution
+``POST /v1/jobs``               submit a durable background job (``202``;
+                                ``200`` when deduplicated to an existing job)
+``GET /v1/jobs``                list jobs, filterable by state/kind
+``GET /v1/jobs/{id}``           one job's state machine position and result
+``POST /v1/jobs/{id}/cancel``   cancel a queued or running job
+``GET /v1/library``             names of the built-in library models
+``GET /v1/library/{n}``         one library model as a spec document
+``GET /healthz``                liveness + queue gauges
+``GET /metrics``                JSON metrics; Prometheus text with
+                                ``?format=prometheus`` (or
+                                ``Accept: text/plain``)
+==============================  ==============================================
+
+The job endpoints are the online face of :mod:`repro.jobs`: the service
+only enqueues, inspects, and cancels — execution belongs to
+``rascad jobs worker`` processes sharing the same SQLite store.  They
+answer ``503 jobs_disabled`` when the server was started without a job
+store.
 
 Untrusted payloads go through :func:`repro.spec.parse_spec` — the same
 validation path the CLI uses — so every malformed spec surfaces as a
@@ -27,7 +40,10 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..jobs import JobStore
 
 from ..core import compute_measures
 from ..core.translator import SystemSolution
@@ -101,17 +117,22 @@ class App:
         queue: SolveQueue,
         database: Optional[PartsDatabase] = None,
         request_timeout: float = 30.0,
+        jobs: Optional["JobStore"] = None,
     ) -> None:
         self.engine = engine
         self.queue = queue
         self.database = database if database is not None else builtin_database()
         self.request_timeout = request_timeout
+        self.jobs = jobs
         self.started_at = time.monotonic()
         self.in_flight = 0
+        self.in_flight_peak = 0
         self._routes: Dict[str, Callable] = {
             "POST /v1/solve": self._solve,
             "POST /v1/sweep": self._sweep,
             "POST /v1/validate": self._validate,
+            "POST /v1/jobs": self._jobs_submit,
+            "GET /v1/jobs": self._jobs_index,
             "GET /v1/library": self._library_index,
             "GET /healthz": self._healthz,
             "GET /metrics": self._metrics,
@@ -126,6 +147,9 @@ class App:
         stats = self.engine.stats
         self.in_flight += 1
         stats.set_gauge("in_flight", self.in_flight)
+        if self.in_flight > self.in_flight_peak:
+            self.in_flight_peak = self.in_flight
+            stats.set_gauge("in_flight_peak", self.in_flight_peak)
         start = time.perf_counter()
         try:
             response = await self._dispatch(request)
@@ -154,6 +178,10 @@ class App:
         """The metrics label: known routes literally, others bucketed."""
         if request.path.startswith("/v1/library/"):
             return f"{request.method} /v1/library/{{name}}"
+        if request.path.startswith("/v1/jobs/"):
+            if request.path.endswith("/cancel"):
+                return f"{request.method} /v1/jobs/{{id}}/cancel"
+            return f"{request.method} /v1/jobs/{{id}}"
         key = f"{request.method} {request.path}"
         if key in self._routes:
             return key
@@ -164,6 +192,8 @@ class App:
             if request.method != "GET":
                 return self._method_not_allowed(request)
             return self._library(request.path[len("/v1/library/"):])
+        if request.path.startswith("/v1/jobs/"):
+            return await self._jobs_item(request)
         handler = self._routes.get(f"{request.method} {request.path}")
         if handler is not None:
             return await _maybe_await(handler(request))
@@ -305,6 +335,115 @@ class App:
         })
 
     # ------------------------------------------------------------------
+    # background-job endpoints
+    # ------------------------------------------------------------------
+    def _jobs_store(self) -> "JobStore":
+        if self.jobs is None:
+            raise ProtocolError(
+                503, "jobs_disabled",
+                "this server was started without a job store; "
+                "run rascad serve with --jobs-db or --cache-dir",
+            )
+        return self.jobs
+
+    async def _jobs_submit(self, request: Request) -> Response:
+        from ..analysis import expand_values
+        from ..jobs import JOB_KINDS, JobSpec
+
+        store = self._jobs_store()
+        payload = request.json()
+        kind = _field(payload, "kind", str)
+        if kind not in JOB_KINDS:
+            raise ProtocolError(
+                400, "invalid_request",
+                f"unknown job kind {kind!r}; "
+                f"expected one of {sorted(JOB_KINDS)}",
+            )
+        spec = _field(payload, "spec", dict)
+        params = dict(
+            _field(payload, "params", dict, required=False, default={})
+        )
+        if kind == "sweep" and "values" in params:
+            # Accept the CLI's range shorthand over HTTP too: a string
+            # or a mixed token list expands to the explicit values the
+            # job id digests over.
+            raw = params["values"]
+            tokens = [raw] if isinstance(raw, str) else raw
+            if not isinstance(tokens, list):
+                raise ProtocolError(
+                    400, "invalid_request",
+                    "params.values must be a list or a "
+                    "start:stop:count string",
+                )
+            params["values"] = expand_values(tokens)
+        priority = _field(
+            payload, "priority", int, required=False, default=0
+        )
+        max_attempts = _field(
+            payload, "max_attempts", int, required=False, default=3
+        )
+        if not 1 <= max_attempts <= 10:
+            raise ProtocolError(
+                400, "invalid_request", "max_attempts must be 1..10"
+            )
+        job = JobSpec(
+            kind=kind, spec=spec, params=params,
+            priority=priority, max_attempts=max_attempts,
+        )
+        record, created = await asyncio.to_thread(store.submit, job)
+        self.engine.stats.increment(
+            "jobs_submitted" if created else "jobs_dedup_hits"
+        )
+        return json_response(
+            {"job": record.to_dict(), "created": created},
+            status=202 if created else 200,
+        )
+
+    async def _jobs_index(self, request: Request) -> Response:
+        store = self._jobs_store()
+        state = request.query.get("state")
+        kind = request.query.get("kind")
+        try:
+            limit = int(request.query.get("limit", "50"))
+        except ValueError:
+            raise ProtocolError(
+                400, "invalid_request", "limit must be an integer"
+            ) from None
+        records = await asyncio.to_thread(
+            store.list_jobs, state, kind, max(1, min(limit, 500))
+        )
+        return json_response({
+            "jobs": [record.to_dict() for record in records],
+            "counts": await asyncio.to_thread(store.counts),
+        })
+
+    async def _jobs_item(self, request: Request) -> Response:
+        from ..jobs import JobNotFoundError
+
+        store = self._jobs_store()
+        tail = request.path[len("/v1/jobs/"):]
+        if tail.endswith("/cancel"):
+            if request.method != "POST":
+                return self._method_not_allowed(request)
+            job_id = tail[: -len("/cancel")]
+            try:
+                record = await asyncio.to_thread(store.cancel, job_id)
+            except JobNotFoundError as error:
+                return error_response(404, "job_not_found", str(error))
+            self.engine.stats.increment("jobs_cancel_requests")
+            return json_response({"job": record.to_dict()})
+        if request.method != "GET":
+            return self._method_not_allowed(request)
+        try:
+            record = await asyncio.to_thread(store.get, tail)
+        except JobNotFoundError as error:
+            return error_response(404, "job_not_found", str(error))
+        include_spec = request.query.get("include_spec") in ("1", "true")
+        return json_response(
+            {"job": record.to_dict(include_spec=include_spec)}
+        )
+
+    # ------------------------------------------------------------------
     # library + observability endpoints
     # ------------------------------------------------------------------
     def _library_index(self, request: Request) -> Response:
@@ -328,6 +467,28 @@ class App:
             "queue_depth": self.queue.depth,
         })
 
+    def _service_section(self) -> Dict[str, object]:
+        """The ``service`` block of the metrics document.
+
+        Carries the admission-pressure gauges operators watch during
+        overload — current and peak queue depth / in-flight requests,
+        and saturation as a fraction of the admission bound — plus the
+        per-state job gauges when a job store is attached.
+        """
+        section: Dict[str, object] = {
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "in_flight": self.in_flight,
+            "in_flight_peak": self.in_flight_peak,
+            "queue_depth": self.queue.depth,
+            "queue_depth_peak": self.queue.depth_peak,
+            "queue_saturation": self.queue.depth / self.queue.max_queue,
+            "max_queue": self.queue.max_queue,
+        }
+        if self.jobs is not None:
+            for state, count in self.jobs.counts().items():
+                section[f"jobs_{state}"] = count
+        return section
+
     def _metrics(self, request: Request) -> Response:
         disk_usage = None
         if self.engine.cache is not None:
@@ -335,12 +496,7 @@ class App:
         payload = metrics_payload(
             self.engine.stats_snapshot(),
             disk_usage=disk_usage,
-            service={
-                "uptime_seconds": time.monotonic() - self.started_at,
-                "in_flight": self.in_flight,
-                "queue_depth": self.queue.depth,
-                "max_queue": self.queue.max_queue,
-            },
+            service=self._service_section(),
         )
         wants_prometheus = (
             request.query.get("format") == "prometheus"

@@ -61,6 +61,11 @@ class ServiceConfig:
         read_timeout: Socket read timeout for one request.
         warm_start: Pre-solve the library models into the cache.
         drain_timeout: Seconds shutdown waits for in-flight requests.
+        jobs_db: Job-store database path enabling the ``/v1/jobs``
+            endpoints.  Defaults to ``jobs.sqlite3`` inside
+            ``cache_dir`` when that is set; with neither configured
+            the endpoints answer ``503 jobs_disabled`` (keeps embedded
+            and test servers from writing outside their sandbox).
     """
 
     host: str = "127.0.0.1"
@@ -76,6 +81,7 @@ class ServiceConfig:
     read_timeout: float = DEFAULT_READ_TIMEOUT
     warm_start: bool = False
     drain_timeout: float = 10.0
+    jobs_db: Optional[Union[str, Path]] = None
 
 
 class Server:
@@ -94,14 +100,33 @@ class Server:
             batch_window=self.config.batch_window,
             max_batch=self.config.max_batch,
         )
+        self.jobs = self._build_job_store()
         self.app = App(
             self.engine,
             self.queue,
             request_timeout=self.config.request_timeout,
+            jobs=self.jobs,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown_requested: Optional[asyncio.Event] = None
         self._closing = False
+
+    def _build_job_store(self):
+        """The job store behind ``/v1/jobs``, or ``None`` (disabled).
+
+        Enabled by an explicit ``jobs_db`` path or implicitly by
+        ``cache_dir`` (the store lands next to the solve cache, where
+        ``rascad jobs worker --cache-dir`` finds it by default).
+        """
+        if self.config.jobs_db is None and self.config.cache_dir is None:
+            return None
+        from ..jobs import open_store
+
+        store, _ = open_store(
+            db_path=self.config.jobs_db,
+            cache_dir=self.config.cache_dir,
+        )
+        return store
 
     def _shutdown_event(self) -> asyncio.Event:
         # Created lazily: on Python 3.9 an Event binds the event loop

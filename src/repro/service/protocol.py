@@ -50,6 +50,7 @@ DEFAULT_READ_TIMEOUT = 10.0
 #: Reason phrases for the statuses the service emits.
 REASONS = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",

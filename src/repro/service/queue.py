@@ -99,6 +99,7 @@ class SolveQueue:
         self._pending: "asyncio.Queue[Optional[_Item]]" = asyncio.Queue()
         self._inflight: Dict[str, "asyncio.Future[SystemSolution]"] = {}
         self._admitted = 0
+        self.depth_peak = 0
         self._closed = False
         self._batcher: Optional["asyncio.Task[None]"] = None
 
@@ -183,6 +184,9 @@ class SolveQueue:
         self._admitted += 1
         stats.increment("service_admitted")
         stats.set_gauge("queue_depth", self._admitted)
+        if self._admitted > self.depth_peak:
+            self.depth_peak = self._admitted
+            stats.set_gauge("queue_depth_peak", self.depth_peak)
         self._pending.put_nowait(item)
         return await self._wait(future, deadline)
 

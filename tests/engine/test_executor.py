@@ -1,5 +1,7 @@
 """Batch executor: ordering, determinism, retry and timeout handling."""
 
+import os
+import signal
 import time
 
 import numpy as np
@@ -28,6 +30,20 @@ def _sleep_long(value):
     # worker exits well before the interpreter does.
     time.sleep(3.0)
     return value
+
+
+def _die_once(value, sentinel):
+    # SIGKILL the worker the first time through; a retry on a rebuilt
+    # pool (which sees the sentinel file) succeeds.
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("died")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * value
+
+
+def _die_always(value):
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 class TestSerial:
@@ -93,6 +109,39 @@ class TestParallel:
         assert snapshot.tasks_completed == 3
         assert snapshot.jobs == 2
         assert snapshot.busy_seconds >= 0.0
+
+
+class TestPoolCrash:
+    def test_killed_worker_is_retried_on_a_rebuilt_pool(self, tmp_path):
+        stats = StatsCollector()
+        sentinel = str(tmp_path / "died")
+        results = run_batch(
+            _die_once, [(7, sentinel)], jobs=2, retries=1, stats=stats
+        )
+        assert results == [49]
+        snapshot = stats.snapshot()
+        assert snapshot.counters["pool_breaks"] >= 1
+        assert snapshot.tasks_retried >= 1
+
+    def test_sibling_tasks_survive_one_crash(self, tmp_path):
+        # The crash poisons every in-flight future; the rebuilt pool
+        # must still deliver every task's result, in task order.
+        sentinel = str(tmp_path / "died")
+        tasks = [(value, sentinel) for value in range(6)]
+        results = run_batch(_die_once, tasks, jobs=2, retries=1)
+        assert results == [value * value for value in range(6)]
+
+    def test_repeated_crashes_raise_a_typed_error(self):
+        start = time.perf_counter()
+        stats = StatsCollector()
+        with pytest.raises(EngineError, match="crashed the worker pool"):
+            run_batch(
+                _die_always, [(1,)], jobs=2, retries=1, stats=stats
+            )
+        # Must fail promptly (no hang waiting on a dead pool) and
+        # record the abandoned task.
+        assert time.perf_counter() - start < 30.0
+        assert stats.snapshot().tasks_failed == 1
 
 
 class TestTimeout:

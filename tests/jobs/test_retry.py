@@ -1,0 +1,53 @@
+"""Failure classification and the deterministic backoff schedule."""
+
+from repro.errors import (
+    DatabaseError,
+    EngineError,
+    ModelError,
+    ParameterError,
+    SolverError,
+    SpecError,
+)
+from repro.jobs import backoff_delay, classify, is_permanent
+
+
+class TestClassification:
+    def test_spec_family_is_permanent(self):
+        for error in (
+            SpecError("bad spec"),
+            ParameterError("bad parameter"),
+            ModelError("bad model"),
+            DatabaseError("unknown part"),
+            SolverError("singular matrix"),
+        ):
+            assert is_permanent(error)
+            assert classify(error) == "permanent"
+
+    def test_engine_and_unknown_failures_are_transient(self):
+        for error in (
+            EngineError("task timed out"),
+            OSError("disk went away"),
+            RuntimeError("???"),
+        ):
+            assert not is_permanent(error)
+            assert classify(error) == "transient"
+
+
+class TestBackoff:
+    def test_deterministic_for_key_and_attempt(self):
+        assert backoff_delay(2, key="job-a") == backoff_delay(2, key="job-a")
+
+    def test_jitter_varies_with_key(self):
+        assert backoff_delay(2, key="job-a") != backoff_delay(2, key="job-b")
+
+    def test_exponential_growth_within_jitter_bounds(self):
+        for attempt in range(1, 6):
+            raw = 0.5 * 2 ** (attempt - 1)
+            delay = backoff_delay(attempt, key="job-x")
+            assert 0.5 * raw <= delay < raw
+
+    def test_capped(self):
+        assert backoff_delay(40, key="job-x", cap=60.0) < 60.0
+
+    def test_attempt_zero_is_immediate(self):
+        assert backoff_delay(0) == 0.0

@@ -1,0 +1,287 @@
+"""Checkpointed execution: resume bit-identity, preemption, retries."""
+
+import json
+
+import pytest
+
+from repro.engine import Engine
+from repro.jobs import (
+    Checkpoint,
+    Checkpointer,
+    JobSpec,
+    JobStore,
+    Worker,
+    WorkerConfig,
+    execute_job,
+    plan_job,
+)
+from repro.library import e10000_model
+from repro.spec import model_to_spec, parse_spec
+
+
+@pytest.fixture
+def harness(tmp_path):
+    store = JobStore(tmp_path / "jobs.sqlite3")
+    checkpointer = Checkpointer(tmp_path / "checkpoints")
+    engine = Engine(jobs=1, cache_dir=tmp_path / "cache")
+    return store, checkpointer, engine
+
+
+def sweep_spec(count=8, **overrides):
+    start, stop = 1e5, 1e6
+    step = (stop - start) / (count - 1)
+    params = {
+        "field": "mtbf_hours",
+        "block": "E10000 Server/Operating System",
+        "values": [start + step * i for i in range(count)],
+    }
+    params.update(overrides.pop("params", {}))
+    return JobSpec(
+        kind="sweep",
+        spec=model_to_spec(e10000_model()),
+        params=params,
+        **overrides,
+    )
+
+
+def run_once(spec, store, checkpointer, engine, **kwargs):
+    record, _ = store.submit(spec)
+    leased = store.lease("test-worker")
+    outcome = execute_job(leased, store, engine, checkpointer, **kwargs)
+    return outcome, store.get(record.id)
+
+
+class TestCheckpointer:
+    def test_save_load_round_trip(self, tmp_path):
+        ckpt = Checkpointer(tmp_path)
+        saved = Checkpoint("job-a", "sweep", 4, [0.9, 0.99])
+        ckpt.save(saved)
+        assert ckpt.load("job-a") == saved
+
+    def test_missing_checkpoint_is_none(self, tmp_path):
+        assert Checkpointer(tmp_path).load("job-missing") is None
+
+    def test_corrupt_checkpoint_is_none(self, tmp_path):
+        ckpt = Checkpointer(tmp_path)
+        ckpt.path("job-a").write_text("{not json")
+        assert ckpt.load("job-a") is None
+
+    def test_mismatched_id_is_none(self, tmp_path):
+        ckpt = Checkpointer(tmp_path)
+        ckpt.path("job-b").write_text(
+            Checkpoint("job-a", "sweep", 4, []).to_json()
+        )
+        assert ckpt.load("job-b") is None
+
+    def test_clear_removes_the_file(self, tmp_path):
+        ckpt = Checkpointer(tmp_path)
+        ckpt.save(Checkpoint("job-a", "sweep", 1, [1.0]))
+        ckpt.clear("job-a")
+        assert ckpt.load("job-a") is None
+
+
+class TestSweepExecution:
+    def test_sweep_matches_the_engine_sweep(self, harness):
+        store, checkpointer, engine = harness
+        spec = sweep_spec(count=4)
+        outcome, record = run_once(spec, store, checkpointer, engine)
+        assert outcome == "succeeded"
+        expected = engine.sweep_block_field(
+            e10000_model(),
+            "E10000 Server/Operating System",
+            "mtbf_hours",
+            spec.params["values"],
+        )
+        got = [p["availability"] for p in record.result["points"]]
+        assert got == [p.availability for p in expected]
+        assert record.result["result_digest"]
+
+    def test_checkpoint_cleared_after_success(self, harness):
+        store, checkpointer, engine = harness
+        _, record = run_once(sweep_spec(count=3), store, checkpointer,
+                             engine)
+        assert checkpointer.load(record.id) is None
+
+
+class TestResume:
+    def test_preempted_job_resumes_bit_identically(self, harness, tmp_path):
+        store, checkpointer, engine = harness
+        spec = sweep_spec(count=9)
+
+        # The uninterrupted reference run, on its own store and cache.
+        ref_store = JobStore(tmp_path / "ref.sqlite3")
+        ref_ckpt = Checkpointer(tmp_path / "ref-checkpoints")
+        ref_engine = Engine(jobs=1, cache_dir=tmp_path / "ref-cache")
+        _, reference = run_once(spec, ref_store, ref_ckpt, ref_engine,
+                                checkpoint_every=3)
+
+        # Interrupted run: stop after two 3-point chunks.
+        record, _ = store.submit(spec)
+        leased = store.lease("w1")
+        chunks = []
+        outcome = execute_job(
+            leased, store, engine, checkpointer, checkpoint_every=3,
+            should_stop=lambda: len(chunks) >= 2 or chunks.append(None),
+        )
+        assert outcome == "released"
+        checkpoint = checkpointer.load(record.id)
+        assert len(checkpoint.values) == 6  # two chunks durably recorded
+
+        # Resume with a *fresh* engine (new process after the crash):
+        # only the 3 points past the checkpoint are solved again.
+        fresh = Engine(jobs=1, cache_dir=tmp_path / "fresh-cache")
+        resumed = store.lease("w2")
+        assert execute_job(
+            resumed, store, fresh, checkpointer, checkpoint_every=3
+        ) == "succeeded"
+        assert fresh.stats.snapshot().system_solves == 3
+
+        final = store.get(record.id)
+        assert final.result == reference.result
+        assert (
+            final.result["result_digest"]
+            == reference.result["result_digest"]
+        )
+
+    def test_stale_checkpoint_is_discarded(self, harness):
+        store, checkpointer, engine = harness
+        spec = sweep_spec(count=4)
+        record, _ = store.submit(spec)
+        # A checkpoint from an older submission shape: wrong total.
+        checkpointer.save(Checkpoint(record.id, "sweep", 99, [0.5]))
+        leased = store.lease("w1")
+        assert execute_job(
+            leased, store, engine, checkpointer
+        ) == "succeeded"
+        assert len(store.get(record.id).result["points"]) == 4
+
+
+class TestCancellation:
+    def test_cancel_mid_run_stops_at_chunk_boundary(self, harness):
+        store, checkpointer, engine = harness
+        record, _ = store.submit(sweep_spec(count=6))
+        leased = store.lease("w1")
+        store.cancel(record.id)
+        outcome = execute_job(
+            leased, store, engine, checkpointer, checkpoint_every=2
+        )
+        assert outcome == "cancelled"
+        assert store.get(record.id).state == "cancelled"
+        assert checkpointer.load(record.id) is None
+
+
+class TestWorker:
+    def test_worker_drains_the_queue(self, harness):
+        store, checkpointer, engine = harness
+        a, _ = store.submit(sweep_spec(count=2))
+        b, _ = store.submit(sweep_spec(count=3))
+        worker = Worker(
+            store, engine, checkpointer, WorkerConfig(once=True)
+        )
+        assert worker.run() == 2
+        assert store.get(a.id).state == "succeeded"
+        assert store.get(b.id).state == "succeeded"
+
+    def test_permanent_failure_does_not_retry(self, harness):
+        store, checkpointer, engine = harness
+        spec = sweep_spec(params={"block": "E10000 Server/NoSuchBlock"})
+        record, _ = store.submit(spec)
+        worker = Worker(
+            store, engine, checkpointer, WorkerConfig(once=True)
+        )
+        worker.run()
+        failed = store.get(record.id)
+        assert failed.state == "failed"
+        assert failed.attempts == 1
+        assert "permanent" in failed.error
+
+    def test_transient_failure_requeues_with_backoff(self, harness):
+        store, checkpointer, engine = harness
+        record, _ = store.submit(sweep_spec(count=2))
+        leased = store.lease("w1")
+        worker = Worker(store, engine, checkpointer)
+
+        original = execute_job
+
+        def boom(*args, **kwargs):
+            raise OSError("disk went away")
+
+        import repro.jobs.runner as runner_module
+
+        runner_module_execute = runner_module.execute_job
+        runner_module.execute_job = boom
+        try:
+            state = worker.process(leased)
+        finally:
+            runner_module.execute_job = runner_module_execute
+        assert original is runner_module_execute
+        assert state == "queued"
+        requeued = store.get(record.id)
+        assert requeued.not_before > 0
+        assert "transient" in requeued.error
+
+
+class TestPlans:
+    def test_uncertainty_matches_the_engine(self, harness):
+        store, checkpointer, engine = harness
+        spec = JobSpec(
+            kind="uncertainty",
+            spec=model_to_spec(e10000_model()),
+            params={
+                "uncertain": [{
+                    "path": "E10000 Server/Operating System",
+                    "field": "mtbf_hours",
+                    "distribution": {
+                        "type": "uniform", "low": 1e5, "high": 5e5,
+                    },
+                }],
+                "samples": 6,
+                "seed": 42,
+            },
+        )
+        outcome, record = run_once(spec, store, checkpointer, engine,
+                                   checkpoint_every=2)
+        assert outcome == "succeeded"
+
+        from repro.analysis.uncertainty import UncertainField
+        from repro.semimarkov.distributions import Uniform
+
+        expected = Engine(jobs=1).propagate_uncertainty(
+            e10000_model(),
+            [UncertainField(
+                "E10000 Server/Operating System", "mtbf_hours",
+                Uniform(1e5, 5e5),
+            )],
+            samples=6,
+            seed=42,
+        )
+        assert record.result["mean_availability"] == expected.mean_availability
+        assert record.result["downtime_p50"] == expected.downtime_p50
+
+    def test_validate_reports_agreement(self, harness):
+        store, checkpointer, engine = harness
+        spec = JobSpec(
+            kind="validate",
+            spec=model_to_spec(e10000_model()),
+            params={"replications": 4, "horizon": 2_000.0, "seed": 7},
+        )
+        outcome, record = run_once(spec, store, checkpointer, engine,
+                                   checkpoint_every=2)
+        assert outcome == "succeeded"
+        result = record.result
+        assert result["replications"] == 4
+        assert 0.0 < result["simulated_mean"] <= 1.0
+        assert isinstance(result["agreement"], bool)
+
+    def test_sweep_requires_field(self, harness):
+        _, _, engine = harness
+        spec = JobSpec(
+            kind="sweep",
+            spec=model_to_spec(e10000_model()),
+            params={"values": [1.0]},
+        )
+        model = parse_spec(json.loads(json.dumps(dict(spec.spec))))
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError, match="params.field"):
+            plan_job(spec, model, engine)

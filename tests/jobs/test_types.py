@@ -1,0 +1,144 @@
+"""Job specs, content-digest ids, checkpoints, and result digests."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.jobs import (
+    Checkpoint,
+    JobSpec,
+    distribution_from_dict,
+    job_digest,
+    result_digest,
+)
+from repro.library import e10000_model
+from repro.semimarkov.distributions import Lognormal, Uniform
+from repro.spec import model_to_spec
+
+
+def sweep_spec(**overrides):
+    params = {
+        "field": "mtbf_hours",
+        "values": [1e5, 2e5, 3e5],
+        "block": "E10000 Server/Operating System",
+    }
+    params.update(overrides.pop("params", {}))
+    return JobSpec(
+        kind="sweep",
+        spec=model_to_spec(e10000_model()),
+        params=params,
+        **overrides,
+    )
+
+
+class TestJobSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError, match="unknown job kind"):
+            JobSpec(kind="teleport", spec={})
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(SpecError, match="max_attempts"):
+            sweep_spec(max_attempts=0)
+
+    def test_json_round_trip(self):
+        spec = sweep_spec(priority=3, max_attempts=5)
+        restored = JobSpec.from_json(spec.to_json())
+        assert restored == spec
+
+    def test_from_json_fills_defaults(self):
+        text = json.dumps({"kind": "sweep", "spec": {}, "params": {}})
+        restored = JobSpec.from_json(text)
+        assert restored.priority == 0
+        assert restored.max_attempts == 3
+
+
+class TestJobDigest:
+    def test_identical_specs_share_an_id(self):
+        assert job_digest(sweep_spec()) == job_digest(sweep_spec())
+
+    def test_id_is_spec_format_invariant(self):
+        # Reordering keys in the spec document must not change the id:
+        # the digest hashes the *parsed model*, not the JSON text.
+        document = model_to_spec(e10000_model())
+        shuffled = json.loads(
+            json.dumps(document, sort_keys=True)
+        )
+        a = JobSpec(kind="sweep", spec=document,
+                    params={"field": "mtbf_hours", "values": [1.0, 2.0]})
+        b = JobSpec(kind="sweep", spec=shuffled,
+                    params={"field": "mtbf_hours", "values": [1.0, 2.0]})
+        assert job_digest(a) == job_digest(b)
+
+    def test_different_params_differ(self):
+        a = sweep_spec()
+        b = sweep_spec(params={"values": [1e5, 2e5]})
+        assert job_digest(a) != job_digest(b)
+
+    def test_different_kind_differs(self):
+        sweep = sweep_spec()
+        validate = JobSpec(
+            kind="validate", spec=sweep.spec, params={"replications": 4}
+        )
+        assert job_digest(sweep) != job_digest(validate)
+
+    def test_malformed_spec_fails_at_submission(self):
+        bad = JobSpec(kind="sweep", spec={"diagram": {}}, params={})
+        with pytest.raises(SpecError):
+            job_digest(bad)
+
+    def test_id_shape(self):
+        digest = job_digest(sweep_spec())
+        assert digest.startswith("job-")
+        assert len(digest) == len("job-") + 32
+
+
+class TestCheckpoint:
+    def test_round_trip(self):
+        original = Checkpoint("job-abc", "sweep", 10, [0.9, 0.99])
+        restored = Checkpoint.from_json(original.to_json())
+        assert restored == original
+
+    def test_values_restored_as_floats(self):
+        restored = Checkpoint.from_json(
+            json.dumps({"job_id": "j", "kind": "sweep",
+                        "total": 2, "values": [1, 2]})
+        )
+        assert restored.values == [1.0, 2.0]
+        assert all(isinstance(v, float) for v in restored.values)
+
+
+class TestResultDigest:
+    def test_key_order_invariant(self):
+        assert result_digest({"a": 1, "b": 2}) == result_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_value_sensitive(self):
+        assert result_digest({"a": 1}) != result_digest({"a": 2})
+
+
+class TestDistributionFromDict:
+    def test_uniform(self):
+        dist = distribution_from_dict(
+            {"type": "uniform", "low": 1.0, "high": 2.0}
+        )
+        assert isinstance(dist, Uniform)
+
+    def test_lognormal(self):
+        dist = distribution_from_dict(
+            {"type": "lognormal", "mu": 10.8, "sigma": 0.4}
+        )
+        assert isinstance(dist, Lognormal)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SpecError, match="unknown distribution"):
+            distribution_from_dict({"type": "cauchy"})
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(SpecError, match="bad arguments"):
+            distribution_from_dict({"type": "uniform", "nope": 1.0})
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(SpecError, match="'type'"):
+            distribution_from_dict({"low": 1.0})

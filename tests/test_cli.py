@@ -85,6 +85,43 @@ class TestSweep:
         downtimes = [float(line.split()[-1]) for line in lines]
         assert downtimes[0] > downtimes[1]
 
+    def test_range_shorthand_expands(self, spec_path, capsys):
+        assert main([
+            "sweep", spec_path, "Workgroup Server/Operating System",
+            "mtbf_hours", "20000:40000:3",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()[1:]
+        assert len(lines) == 3
+        assert [float(line.split()[0]) for line in lines] == [
+            20000.0, 30000.0, 40000.0,
+        ]
+
+    def test_ranges_mix_with_plain_values(self, spec_path, capsys):
+        assert main([
+            "sweep", spec_path, "Workgroup Server/Operating System",
+            "mtbf_hours", "10000", "20000:40000:2",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()[1:]
+        assert len(lines) == 3
+
+    def test_malformed_range_is_a_clear_error(self, spec_path, capsys):
+        code = main([
+            "sweep", spec_path, "Workgroup Server/Operating System",
+            "mtbf_hours", "20000:40000",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "20000:40000" in err
+        assert "start:stop:count" in err
+
+    def test_range_count_below_two_rejected(self, spec_path, capsys):
+        code = main([
+            "sweep", spec_path, "Workgroup Server/Operating System",
+            "mtbf_hours", "1:2:1",
+        ])
+        assert code == 2
+        assert "count" in capsys.readouterr().err
+
 
 class TestValidate:
     def test_agreement(self, spec_path, capsys):
@@ -269,6 +306,84 @@ class TestServeParser:
         assert args.max_queue == 64
         assert args.request_timeout == 30.0
         assert not args.warm_start
+
+
+class TestJobsCli:
+    def _submit(self, spec_path, db, extra=()):
+        return main([
+            "jobs", "submit", spec_path,
+            "--kind", "sweep",
+            "--block", "Workgroup Server/Operating System",
+            "--field", "mtbf_hours",
+            "--values", "20000:40000:3",
+            "--db", db, *extra,
+        ])
+
+    def test_submit_then_dedup(self, spec_path, tmp_path, capsys):
+        db = str(tmp_path / "jobs.sqlite3")
+        assert self._submit(spec_path, db) == 0
+        first = capsys.readouterr().out
+        assert "submitted" in first
+        assert self._submit(spec_path, db) == 0
+        assert "deduplicated" in capsys.readouterr().out
+
+    def test_status_and_list(self, spec_path, tmp_path, capsys):
+        db = str(tmp_path / "jobs.sqlite3")
+        self._submit(spec_path, db)
+        job_id = capsys.readouterr().out.split()[0]
+        assert main(["jobs", "status", job_id, "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert job_id in out
+        assert "queued" in out
+        assert main(["jobs", "list", "--db", db]) == 0
+        assert job_id in capsys.readouterr().out
+
+    def test_cancel(self, spec_path, tmp_path, capsys):
+        db = str(tmp_path / "jobs.sqlite3")
+        self._submit(spec_path, db)
+        job_id = capsys.readouterr().out.split()[0]
+        assert main(["jobs", "cancel", job_id, "--db", db]) == 0
+        assert "cancelled" in capsys.readouterr().out
+
+    def test_status_unknown_id_errors(self, tmp_path, capsys):
+        db = str(tmp_path / "jobs.sqlite3")
+        code = main(["jobs", "status", "job-missing", "--db", db])
+        assert code == 2
+        assert "no job" in capsys.readouterr().err
+
+    def test_worker_once_drains_the_queue(self, spec_path, tmp_path,
+                                          capsys):
+        db = str(tmp_path / "jobs.sqlite3")
+        self._submit(spec_path, db)
+        job_id = capsys.readouterr().out.split()[0]
+        assert main([
+            "jobs", "worker", "--once", "--db", db,
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exiting after 1 job(s)" in out
+        main(["jobs", "status", job_id, "--db", db])
+        status = capsys.readouterr().out
+        assert "succeeded" in status
+        assert "result_digest" in status
+
+    def test_worker_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["jobs", "worker"])
+        assert args.poll == 0.5
+        assert args.lease_timeout == 60.0
+        assert args.checkpoint_every == 25
+        assert not args.once
+        assert args.max_jobs is None
+
+    def test_serve_jobs_db_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--jobs-db", "/tmp/q.db"]
+        )
+        assert args.jobs_db == "/tmp/q.db"
 
 
 class TestErrors:
