@@ -1,0 +1,204 @@
+"""E12 — observability overhead on the engine's hot path, measured.
+
+Runs the E9 workload (the 24-point CPU MTBF sweep of the Data Center
+model, cold, cache off so every round does identical solve work) under
+the default disabled tracer and three traced configurations:
+
+* **ring** — the default traced configuration: request/solve-level
+  spans into the in-memory ring buffer (what ``/debug/traces``
+  serves).  This is what a traced server or jobs worker runs, and it
+  is the configuration the < 3% acceptance bound applies to.
+* **ring detail** — ``detail=True`` adds one span per *block* solve
+  (``--trace-detail``), multiplying span volume ~25x on this
+  workload.  Deep-dive verbosity; reported, not asserted.
+* **jsonl detail** — detail verbosity plus a trace directory, every
+  span appended to ``spans.jsonl``.  The most expensive mode.
+
+Methodology, learned the hard way on noisy CI hardware (identical-code
+runs 95-190 ms apart, multi-second frequency-scaling episodes):
+
+* **Steady state.**  Traced tracers persist across rounds with rings
+  pre-filled to capacity, so appends are balanced by evictions, the
+  tracked-object population stays flat, and tracing triggers no extra
+  GC collections — the regime a long-lived process runs in.  (A cold
+  ring's one-time fill transient, bounded by its capacity, briefly
+  adds gen-0 collections; that is the price of *enabling* tracing,
+  not of running with it.)
+* **GC-free timed windows.**  The collector is disabled during timed
+  sweeps and run between them, the ``timeit`` rationale: collection
+  placement is process-global state that would otherwise land in one
+  variant's windows for many rounds at a stretch.
+* **A-B-A triplets.**  Each traced sample is bracketed by two
+  baseline sweeps and compared against their mean, cancelling linear
+  machine-speed drift within the triplet; the reported overhead is
+  the median across triplets, robust to the occasional throttling
+  episode.  On this hardware the null error of the estimator (A-B-A
+  against an identical variant) measures within +/-1%.
+
+Results also land in ``BENCH_e12_obs.json`` at the repository root.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro import datacenter_model
+from repro.engine import Engine
+from repro.obs.export import SpanExporter
+from repro.obs.trace import Tracer, set_tracer
+
+from ._report import emit_table
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_e12_obs.json"
+
+CPU = "Data Center System/Server Box/CPU Module"
+VALUES = [25_000.0 * step for step in range(1, 25)]
+
+#: A-B-A triplets per traced variant (the asserted default-config
+#: variant gets the most samples).
+TRIPLETS = {"ring": 24, "ring detail": 8, "jsonl detail": 8}
+
+#: The acceptance bound on default-configuration tracing overhead.
+MAX_OVERHEAD = 0.03
+
+
+def _sweep_once() -> float:
+    engine = Engine(cache=False)
+    model = datacenter_model()
+    start = time.perf_counter()
+    engine.sweep_block_field(model, CPU, "mtbf_hours", VALUES)
+    return time.perf_counter() - start
+
+
+def _steady_tracer(spans_per_run: int, **kwargs) -> Tracer:
+    """A persistent tracer whose ring one warmup sweep fills."""
+    exporter = SpanExporter(capacity=max(1, spans_per_run))
+    return Tracer(enabled=True, exporter=exporter, **kwargs)
+
+
+def _measure(tmp_base: Path) -> dict:
+    import gc
+
+    # Span inventory on throwaway rings: how many spans each traced
+    # configuration emits per sweep (also sizes the steady-state rings).
+    spans = {}
+    for name, kwargs in (
+        ("ring", {}), ("ring detail", {"detail": True}),
+    ):
+        probe = Tracer(
+            enabled=True, exporter=SpanExporter(capacity=65536), **kwargs
+        )
+        set_tracer(probe)
+        _sweep_once()
+        spans[name] = len(probe.exporter)
+    spans["jsonl detail"] = spans["ring detail"]
+
+    off = Tracer(enabled=False)
+    jsonl_exporter = SpanExporter(
+        capacity=max(1, spans["jsonl detail"]), trace_dir=tmp_base
+    )
+    tracers = {
+        "ring": _steady_tracer(spans["ring"]),
+        "ring detail": _steady_tracer(spans["ring detail"], detail=True),
+        "jsonl detail": Tracer(
+            enabled=True, exporter=jsonl_exporter, detail=True
+        ),
+    }
+
+    baselines = []
+    ratios = {name: [] for name in tracers}
+    try:
+        for tracer in tracers.values():  # warmup fills rings
+            set_tracer(tracer)
+            _sweep_once()
+        set_tracer(off)
+        _sweep_once()
+
+        gc.disable()
+        try:
+            for name, tracer in tracers.items():
+                for _ in range(TRIPLETS[name]):
+                    gc.collect()
+                    set_tracer(off)
+                    before = _sweep_once()
+                    gc.collect()
+                    set_tracer(tracer)
+                    traced = _sweep_once()
+                    gc.collect()
+                    set_tracer(off)
+                    after = _sweep_once()
+                    baseline = (before + after) / 2.0
+                    baselines.extend((before, after))
+                    ratios[name].append(traced / baseline)
+        finally:
+            gc.enable()
+            gc.collect()
+    finally:
+        set_tracer(Tracer(enabled=False))
+        jsonl_exporter.close()
+
+    return {
+        "off_median": statistics.median(baselines),
+        "overhead": {
+            name: statistics.median(values) - 1.0
+            for name, values in ratios.items()
+        },
+        "spans_per_run": spans,
+    }
+
+
+def bench_e12_obs_overhead(benchmark, tmp_path_factory):
+    run = benchmark.pedantic(
+        lambda: _measure(tmp_path_factory.mktemp("e12")),
+        rounds=1,
+        iterations=1,
+    )
+
+    overhead = run["overhead"]
+    spans = run["spans_per_run"]
+
+    assert spans["ring"] > 0, "tracing-on run recorded no spans"
+    assert spans["ring detail"] > spans["ring"], (
+        "detail verbosity did not add block-level spans"
+    )
+    assert overhead["ring"] < MAX_OVERHEAD, (
+        f"default-configuration tracing cost {overhead['ring']:.1%} on "
+        f"the E9 workload; the budget is {MAX_OVERHEAD:.0%}"
+    )
+
+    emit_table(
+        "E12: tracing overhead, 24-point CPU MTBF sweep "
+        "(median of A-B-A triplets vs disabled tracer)",
+        ["variant", "overhead", "spans/run", "triplets"],
+        [
+            [
+                "off (null spans)",
+                f"baseline ({run['off_median'] * 1e3:.1f} ms)",
+                "0", "-",
+            ],
+        ] + [
+            [
+                name,
+                f"{overhead[name]:+.1%}",
+                str(spans[name]),
+                str(TRIPLETS[name]),
+            ]
+            for name in ("ring", "ring detail", "jsonl detail")
+        ],
+    )
+
+    RESULT_PATH.write_text(json.dumps({
+        "benchmark": "e12_obs_overhead",
+        "sweep_points": len(VALUES),
+        "median_off_seconds": round(run["off_median"], 6),
+        "ring_overhead_frac": round(overhead["ring"], 4),
+        "ring_detail_overhead_frac": round(overhead["ring detail"], 4),
+        "jsonl_detail_overhead_frac": round(
+            overhead["jsonl detail"], 4
+        ),
+        "spans_per_run": spans["ring"],
+        "spans_per_run_detail": spans["ring detail"],
+        "triplets": TRIPLETS,
+        "max_overhead_frac": MAX_OVERHEAD,
+    }, indent=2, sort_keys=True) + "\n")

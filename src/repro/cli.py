@@ -15,6 +15,8 @@ Usage (installed as ``rascad``, or ``python -m repro``):
     rascad jobs submit model.json --kind sweep --field mtbf_hours \\
         --block "Sys/Block" --values 1e5:1e6:50   # durable batch job
     rascad jobs worker --jobs 4        # run queued jobs, resumably
+    rascad trace tail traces/          # recent exported spans
+    rascad trace summary traces/       # per-span latency rollup
 
 Specs are the JSON engineering-language format of :mod:`repro.spec`;
 part numbers resolve against the builtin catalog unless ``--database``
@@ -27,6 +29,12 @@ points at a saved catalog file.
 
 ``serve`` starts the :mod:`repro.service` HTTP API on the same engine
 flags, so the server and CLI runs share one persistent cache.
+
+Every engine-backed command also takes the shared observability flags
+(:mod:`repro.obs`): ``--trace``/``--trace-dir`` enable tracing (the
+latter exports spans to ``DIR/spans.jsonl`` for ``rascad trace``),
+``--trace-detail`` adds per-block solve spans, ``--log-level`` and
+``--log-json`` control structured logging.
 """
 
 from __future__ import annotations
@@ -55,6 +63,23 @@ def _load(args: argparse.Namespace):
     return load_spec(args.spec, database=database)
 
 
+def _configure_obs(args: argparse.Namespace) -> None:
+    """Install logging/tracing from the shared observability flags."""
+    from .obs import configure_logging, configure_tracing
+
+    configure_logging(
+        level=getattr(args, "log_level", "info"),
+        json_output=getattr(args, "log_json", False),
+    )
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is not None or getattr(args, "trace", False):
+        configure_tracing(
+            enabled=True,
+            trace_dir=trace_dir,
+            detail=getattr(args, "trace_detail", False),
+        )
+
+
 def _engine_from_args(args: argparse.Namespace) -> Engine:
     """Build the evaluation engine an engine-backed command runs on."""
     return Engine(
@@ -74,6 +99,7 @@ def _persist_stats(engine: Engine, args: argparse.Namespace) -> None:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    _configure_obs(args)
     model = _load(args)
     engine = _engine_from_args(args)
     solution = engine.solve(model)
@@ -130,6 +156,7 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis import expand_values
 
+    _configure_obs(args)
     model = _load(args)
     values = expand_values(args.values)
     engine = _engine_from_args(args)
@@ -143,6 +170,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    _configure_obs(args)
     model = _load(args)
     if args.deep:
         from .validation import validate_model
@@ -269,8 +297,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.request_timeout,
         warm_start=args.warm_start,
         jobs_db=args.jobs_db,
+        trace=args.trace,
+        trace_dir=args.trace_dir,
+        trace_sample=args.trace_sample,
+        trace_detail=args.trace_detail,
+        log_level=args.log_level,
+        log_json=args.log_json,
     )
     return serve(config)
+
+
+def _cmd_trace_tail(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import read_spans
+
+    spans = read_spans(
+        args.trace_dir, limit=args.limit, trace_id=args.trace_id
+    )
+    if args.name:
+        spans = [s for s in spans if s.get("name") == args.name]
+    if args.json:
+        for span in spans:
+            print(json.dumps(span, sort_keys=True))
+        return 0
+    if not spans:
+        print(f"no spans under {args.trace_dir}")
+        return 0
+    print(f"{'trace':<8} {'span':<8} {'parent':<8} "
+          f"{'name':<24} {'ms':>10}  status")
+    for span in spans:
+        duration_ms = float(span.get("duration", 0.0) or 0.0) * 1000.0
+        parent = span.get("parent_id") or "-"
+        print(
+            f"{str(span.get('trace_id', ''))[:8]:<8} "
+            f"{str(span.get('span_id', ''))[:8]:<8} "
+            f"{str(parent)[:8]:<8} "
+            f"{str(span.get('name', '')):<24} "
+            f"{duration_ms:>10.3f}  {span.get('status', 'ok')}"
+        )
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from .obs import Histogram, read_spans
+
+    spans = read_spans(args.trace_dir)
+    if not spans:
+        print(f"no spans under {args.trace_dir}")
+        return 0
+    groups: dict = {}
+    for span in spans:
+        name = str(span.get("name", "?"))
+        entry = groups.setdefault(name, [Histogram(), 0])
+        duration = span.get("duration")
+        if isinstance(duration, (int, float)):
+            entry[0].observe(float(duration))
+        if span.get("status") == "error":
+            entry[1] += 1
+    print(f"{'name':<24} {'count':>7} {'total s':>9} "
+          f"{'mean ms':>9} {'p95 ms':>9} {'errors':>7}")
+    for name in sorted(groups):
+        histogram, errors = groups[name]
+        print(
+            f"{name:<24} {histogram.count:>7} {histogram.sum:>9.3f} "
+            f"{histogram.mean * 1000:>9.3f} "
+            f"{histogram.quantile(0.95) * 1000:>9.3f} {errors:>7}"
+        )
+    traces = len({span.get("trace_id") for span in spans})
+    print(f"{len(spans)} spans across {traces} trace(s)")
+    return 0
 
 
 def _jobs_open(args: argparse.Namespace):
@@ -384,6 +480,7 @@ def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
 def _cmd_jobs_worker(args: argparse.Namespace) -> int:
     from .jobs import Worker, WorkerConfig
 
+    _configure_obs(args)
     store, checkpointer = _jobs_open(args)
     engine = _engine_from_args(args)
     worker = Worker(
@@ -448,6 +545,30 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument(
             "--no-cache", action="store_true",
             help="disable the solve cache for this run",
+        )
+        add_obs_flags(subparser)
+
+    def add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--trace", action="store_true",
+            help="enable tracing without a span export file",
+        )
+        subparser.add_argument(
+            "--trace-dir", default=None, metavar="DIR",
+            help="enable tracing and export spans to DIR/spans.jsonl",
+        )
+        subparser.add_argument(
+            "--trace-detail", action="store_true",
+            help="also emit per-block solve spans (deep-dive traces)",
+        )
+        subparser.add_argument(
+            "--log-level", default="info", metavar="LEVEL",
+            choices=["debug", "info", "warning", "error"],
+            help="log level for the rascad logger (default: info)",
+        )
+        subparser.add_argument(
+            "--log-json", action="store_true",
+            help="emit structured JSON log lines (with trace ids)",
         )
 
     solve = commands.add_parser("solve", help="system measures")
@@ -570,7 +691,51 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: jobs.sqlite3 inside --cache-dir; jobs are "
              "disabled when neither flag is given)",
     )
+    serve.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATIO",
+        help="head-sampling ratio in [0, 1]; errors and slow spans "
+             "are always kept (default: 1.0)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    trace = commands.add_parser(
+        "trace", help="inspect exported trace spans"
+    )
+    trace_commands = trace.add_subparsers(
+        dest="trace_command", required=True
+    )
+
+    tail = trace_commands.add_parser(
+        "tail", help="most recent spans from a trace directory"
+    )
+    tail.add_argument(
+        "trace_dir", help="directory holding spans.jsonl",
+    )
+    tail.add_argument(
+        "--limit", type=int, default=50, metavar="N",
+        help="show at most the last N spans (default: 50)",
+    )
+    tail.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="only spans of one trace",
+    )
+    tail.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="only spans with this name (e.g. engine.solve)",
+    )
+    tail.add_argument(
+        "--json", action="store_true",
+        help="one JSON span object per line instead of a table",
+    )
+    tail.set_defaults(handler=_cmd_trace_tail)
+
+    summary = trace_commands.add_parser(
+        "summary", help="per-span-name latency/error rollup"
+    )
+    summary.add_argument(
+        "trace_dir", help="directory holding spans.jsonl",
+    )
+    summary.set_defaults(handler=_cmd_trace_summary)
 
     jobs = commands.add_parser(
         "jobs", help="durable background jobs (submit, inspect, run)"

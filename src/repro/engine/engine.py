@@ -44,6 +44,7 @@ from ..errors import SolverError
 from ..markov.chain import MarkovChain
 from ..markov.rewards import failure_frequency as chain_failure_frequency
 from ..markov.steady_state import steady_state
+from ..obs.trace import get_tracer
 from ..units import MINUTES_PER_YEAR, availability_to_yearly_downtime_minutes
 from .cache import SolveCache, default_cache_dir
 from .executor import run_batch, seeded_tasks
@@ -105,24 +106,34 @@ class Engine:
             global_parameters: GlobalParameters,
             solve_method: str = method,
         ) -> ChainSolve:
-            if self.cache is None:
-                self.stats.increment("block_solves")
-                return solve_block_chain(
+            # Detail-level: one span per *block* solve floods traces of
+            # sweep-heavy workloads, so it is opt-in (``--trace-detail``).
+            with get_tracer().span_detail(
+                "engine.block_solve", method=solve_method
+            ) as span:
+                if self.cache is None:
+                    self.stats.increment("block_solves")
+                    span.set_attr("cache", "off")
+                    return solve_block_chain(
+                        effective, global_parameters, solve_method
+                    )
+                key = block_digest(
                     effective, global_parameters, solve_method
                 )
-            key = block_digest(effective, global_parameters, solve_method)
-            value, layer = self.cache.get_block(key)
-            if value is not None:
-                self.stats.increment("block_cache_hits")
-                if layer == "disk":
-                    self.stats.increment("disk_hits")
-                return value
-            solved = solve_block_chain(
-                effective, global_parameters, solve_method
-            )
-            self.stats.increment("block_solves")
-            self.cache.put_block(key, solved)
-            return solved
+                value, layer = self.cache.get_block(key)
+                if value is not None:
+                    self.stats.increment("block_cache_hits")
+                    if layer == "disk":
+                        self.stats.increment("disk_hits")
+                    span.set_attr("cache", layer or "memory")
+                    return value
+                solved = solve_block_chain(
+                    effective, global_parameters, solve_method
+                )
+                self.stats.increment("block_solves")
+                span.set_attr("cache", "miss")
+                self.cache.put_block(key, solved)
+                return solved
 
         return solver
 
@@ -139,19 +150,26 @@ class Engine:
     def _solve(
         self, model: DiagramBlockModel, method: str
     ) -> SystemSolution:
-        if self.cache is not None:
-            key = model_digest(model, method)
-            cached = self.cache.get_system(key)
-            if cached is not None:
-                self.stats.increment("system_cache_hits")
-                return cached
-        solution = translate(
-            model, method=method, chain_solver=self.chain_solver(method)
-        )
-        self.stats.increment("system_solves")
-        if self.cache is not None:
-            self.cache.put_system(key, solution)
-        return solution
+        with get_tracer().span("engine.solve", method=method) as span:
+            if self.cache is not None:
+                key = model_digest(model, method)
+                cached = self.cache.get_system(key)
+                if cached is not None:
+                    self.stats.increment("system_cache_hits")
+                    span.set_attr("cache", "hit")
+                    return cached
+            solution = translate(
+                model,
+                method=method,
+                chain_solver=self.chain_solver(method),
+            )
+            self.stats.increment("system_solves")
+            if self.cache is not None:
+                span.set_attr("cache", "miss")
+                self.cache.put_system(key, solution)
+            else:
+                span.set_attr("cache", "off")
+            return solution
 
     async def solve_async(
         self, model: DiagramBlockModel, method: str = "direct"

@@ -25,13 +25,19 @@ results always come back in task order.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import EngineError
+from ..obs.clock import Stopwatch
+from ..obs.trace import (
+    capture_spans,
+    current_carrier,
+    export_remote,
+    get_tracer,
+)
 from .keys import task_seed
 from .stats import StatsCollector
 
@@ -49,11 +55,26 @@ def seeded_tasks(
     ]
 
 
-def _timed_call(fn: Callable, args: Tuple):
-    """Run one task in a worker and report its execution time."""
-    start = time.perf_counter()
-    result = fn(*args)
-    return result, time.perf_counter() - start
+def _timed_call(
+    fn: Callable,
+    args: Tuple,
+    carrier: Optional[Dict[str, object]] = None,
+):
+    """Run one task in a worker and report its execution time.
+
+    With a trace ``carrier`` the call runs under
+    :func:`repro.obs.trace.capture_spans`: every span the task finishes
+    in this worker travels back with the result for the parent to
+    re-export, parent links intact across the process boundary.
+    """
+    watch = Stopwatch()
+    if carrier is None:
+        result = fn(*args)
+        return result, watch.elapsed, None
+    with capture_spans(carrier) as spans:
+        with get_tracer().span("engine.task"):
+            result = fn(*args)
+    return result, watch.elapsed, spans
 
 
 def run_batch(
@@ -90,9 +111,10 @@ def run_batch(
     stats.increment("tasks_submitted", len(tasks))
     if not tasks:
         return []
-    if jobs == 1:
-        return _run_serial(fn, tasks, retries, stats)
-    return _run_pool(fn, tasks, jobs, timeout, retries, stats)
+    with get_tracer().span("engine.batch", tasks=len(tasks), jobs=jobs):
+        if jobs == 1:
+            return _run_serial(fn, tasks, retries, stats)
+        return _run_pool(fn, tasks, jobs, timeout, retries, stats)
 
 
 def _run_serial(
@@ -104,11 +126,11 @@ def _run_serial(
     results = []
     for index, task in enumerate(tasks):
         for attempt in range(retries + 1):
-            start = time.perf_counter()
+            watch = Stopwatch()
             try:
                 result = fn(*task)
             except Exception as error:
-                stats.add_busy(time.perf_counter() - start)
+                stats.add_busy(watch.elapsed)
                 if attempt < retries:
                     stats.increment("tasks_retried")
                     continue
@@ -117,7 +139,7 @@ def _run_serial(
                     f"task {index} failed after {attempt + 1} attempt(s): "
                     f"{error}"
                 ) from error
-            stats.add_busy(time.perf_counter() - start)
+            stats.add_busy(watch.elapsed)
             results.append(result)
             stats.increment("tasks_completed")
             break
@@ -136,9 +158,13 @@ def _run_pool(
     attempts = [0] * len(tasks)
     pool = ProcessPoolExecutor(max_workers=jobs)
     pending: "dict" = {}
+    # Snapshot the active span once; every task ships the same carrier
+    # so worker-side spans link back to this batch.  None when tracing
+    # is off — workers then skip the capture machinery entirely.
+    carrier = current_carrier()
 
     def submit(index: int) -> None:
-        pending[pool.submit(_timed_call, fn, tasks[index])] = index
+        pending[pool.submit(_timed_call, fn, tasks[index], carrier)] = index
 
     try:
         for index in range(len(tasks)):
@@ -150,7 +176,7 @@ def _run_pool(
             future, index = next(iter(pending.items()))
             del pending[future]
             try:
-                result, busy = future.result(timeout=timeout)
+                result, busy, spans = future.result(timeout=timeout)
             except BrokenProcessPool as error:
                 # A worker died (OOM kill, SIGKILL, segfault).  The
                 # whole pool is unusable: every sibling future fails
@@ -195,6 +221,13 @@ def _run_pool(
             results[index] = result
             stats.add_busy(busy)
             stats.increment("tasks_completed")
+            if spans:
+                export_remote(
+                    spans,
+                    sampled=bool(carrier.get("sampled", True))
+                    if carrier
+                    else True,
+                )
     except BaseException:
         # Abandon the pool without joining: a worker stuck in a
         # timed-out task must not wedge the error path too.

@@ -9,10 +9,13 @@ their final snapshot as JSON next to the disk cache so a later
 
 The collector also carries the serving-layer telemetry behind the
 service's ``GET /metrics`` endpoint: gauges (queue depth, in-flight
-requests), per-route request counters, and per-route latency
-reservoirs summarized as p50/p95/p99.  :func:`metrics_payload` is the
-one serialization both ``rascad stats --json`` and the HTTP endpoint
-emit, so the two views can never drift apart.
+requests), per-route request counters, and per-route latency as
+fixed-bucket mergeable histograms
+(:class:`~repro.obs.histogram.Histogram` — rendered as native
+Prometheus ``_bucket``/``_sum``/``_count`` series).
+:func:`metrics_payload` is the one serialization both
+``rascad stats --json`` and the HTTP endpoint emit, so the two views
+can never drift apart.
 """
 
 from __future__ import annotations
@@ -22,18 +25,16 @@ import math
 import os
 import tempfile
 import threading
-import time
-from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Deque, Dict, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from ..obs.clock import Stopwatch
+from ..obs.histogram import Histogram
 
 #: File name of the persisted last-run snapshot inside a cache dir.
 STATS_FILENAME = "stats.json"
-
-#: Samples kept per latency route; old samples fall off the window.
-LATENCY_WINDOW = 2048
 
 #: Counter names promoted to named :class:`EngineStats` fields; every
 #: other counter lands in the generic ``counters`` mapping.
@@ -74,9 +75,10 @@ class EngineStats:
             service layer's admissions, dedup hits, rejections, ...).
         gauges: Point-in-time values (queue depth, in-flight requests).
         route_counts: Requests per ``"METHOD /path status"`` key.
-        latency: Per-route latency summaries (count/mean/p50/p95/p99/
-            max, all in seconds) over the last ``LATENCY_WINDOW``
-            samples.
+        latency: Per-route latency histograms in the serialized shape
+            of :meth:`repro.obs.histogram.Histogram.to_dict` —
+            cumulative ``le``-keyed bucket counts plus ``sum`` and
+            ``count``, all durations in seconds.
     """
 
     system_solves: int = 0
@@ -180,12 +182,29 @@ class EngineStats:
             lines.append(f"route {key:<15}: {self.route_counts[key]}")
         for route in sorted(self.latency):
             summary = self.latency[route]
+            if isinstance(summary, dict) and "buckets" in summary:
+                try:
+                    histogram = Histogram.from_dict(summary)
+                except (ValueError, TypeError):
+                    continue
+                p50, p95, p99 = (
+                    histogram.quantile(0.50),
+                    histogram.quantile(0.95),
+                    histogram.quantile(0.99),
+                )
+                count = histogram.count
+            else:
+                # A stats.json persisted before histograms existed.
+                p50 = summary.get("p50", 0.0)
+                p95 = summary.get("p95", 0.0)
+                p99 = summary.get("p99", 0.0)
+                count = summary.get("count", 0)
             lines.append(
                 f"latency {route}: "
-                f"p50={summary.get('p50', 0.0) * 1000:.1f}ms "
-                f"p95={summary.get('p95', 0.0) * 1000:.1f}ms "
-                f"p99={summary.get('p99', 0.0) * 1000:.1f}ms "
-                f"({summary.get('count', 0):.0f} samples)"
+                f"p50={p50 * 1000:.1f}ms "
+                f"p95={p95 * 1000:.1f}ms "
+                f"p99={p99 * 1000:.1f}ms "
+                f"({count:.0f} samples)"
             )
         return "\n".join(lines)
 
@@ -199,7 +218,12 @@ def _percentile(ordered: "list[float]", q: float) -> float:
 
 
 def summarize_latencies(samples: "list[float]") -> Dict[str, float]:
-    """The ``/metrics`` latency summary for one route's sample window."""
+    """Exact quantile summary of a raw sample list.
+
+    ``/metrics`` latency now flows through
+    :class:`~repro.obs.histogram.Histogram`; this helper remains for
+    ad-hoc analysis of raw sample lists (benchmarks, tests).
+    """
     if not samples:
         return {"count": 0.0}
     ordered = sorted(samples)
@@ -224,7 +248,7 @@ class StatsCollector:
         self._jobs = 1
         self._gauges: Dict[str, float] = {}
         self._route_counts: Dict[str, int] = {}
-        self._latencies: Dict[str, Deque[float]] = {}
+        self._latencies: Dict[str, Histogram] = {}
 
     def increment(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -242,13 +266,13 @@ class StatsCollector:
             self._route_counts[key] = self._route_counts.get(key, 0) + 1
 
     def record_latency(self, route: str, seconds: float) -> None:
-        """Add one latency sample to the route's sliding window."""
+        """Add one latency sample to the route's histogram."""
         with self._lock:
-            window = self._latencies.get(route)
-            if window is None:
-                window = deque(maxlen=LATENCY_WINDOW)
-                self._latencies[route] = window
-            window.append(float(seconds))
+            histogram = self._latencies.get(route)
+            if histogram is None:
+                histogram = Histogram()
+                self._latencies[route] = histogram
+            histogram.observe(float(seconds))
 
     def add_busy(self, seconds: float) -> None:
         with self._lock:
@@ -267,11 +291,11 @@ class StatsCollector:
     @contextmanager
     def timer(self, stage: str) -> Iterator[None]:
         """Attribute the wall time of a ``with`` body to ``stage``."""
-        start = time.perf_counter()
+        watch = Stopwatch()
         try:
             yield
         finally:
-            self.add_stage_time(stage, time.perf_counter() - start)
+            self.add_stage_time(stage, watch.elapsed)
 
     def snapshot(self) -> EngineStats:
         with self._lock:
@@ -296,8 +320,8 @@ class StatsCollector:
                 gauges=dict(self._gauges),
                 route_counts=dict(self._route_counts),
                 latency={
-                    route: summarize_latencies(list(window))
-                    for route, window in self._latencies.items()
+                    route: histogram.to_dict()
+                    for route, histogram in self._latencies.items()
                 },
             )
 

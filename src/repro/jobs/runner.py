@@ -37,6 +37,7 @@ from ..engine.engine import (
     _sweep_point_task,
 )
 from ..errors import SpecError
+from ..obs import get_logger, get_tracer
 from ..spec import parse_spec
 from ..units import MINUTES_PER_YEAR, availability_to_yearly_downtime_minutes
 from .retry import backoff_delay, classify, is_permanent
@@ -345,34 +346,65 @@ def execute_job(
     if values:
         stats.increment("jobs_points_resumed", len(values))
 
-    with stats.timer("jobs"):
-        while len(values) < plan.total:
-            if should_stop is not None and should_stop():
+    tracer = get_tracer()
+    log = get_logger("jobs")
+    with tracer.span(
+        "jobs.execute",
+        job_id=record.id,
+        kind=spec.kind,
+        total=plan.total,
+        resumed=len(values),
+    ) as job_span:
+        log.info(
+            "executing job",
+            extra={
+                "job_id": record.id, "kind": spec.kind,
+                "total": plan.total, "resumed": len(values),
+            },
+        )
+        with stats.timer("jobs"):
+            while len(values) < plan.total:
+                if should_stop is not None and should_stop():
+                    checkpointer.save(
+                        Checkpoint(
+                            record.id, spec.kind, plan.total, values
+                        )
+                    )
+                    store.release(record.id)
+                    stats.increment("jobs_released")
+                    job_span.set_attr("outcome", RELEASED)
+                    return RELEASED
+                if store.cancel_requested(record.id):
+                    store.mark_cancelled(record.id)
+                    checkpointer.clear(record.id)
+                    stats.increment("jobs_cancelled")
+                    job_span.set_attr("outcome", CANCELLED)
+                    return CANCELLED
+                lo = len(values)
+                hi = min(lo + max(1, checkpoint_every), plan.total)
+                # One span per chunk: a resumed job's trace starts at
+                # the first un-checkpointed chunk, so the chunk spans
+                # of one job across restarts tile its point range.
+                with tracer.span(
+                    "jobs.chunk", job_id=record.id, lo=lo, hi=hi
+                ):
+                    values.extend(plan.solve_range(lo, hi))
                 checkpointer.save(
                     Checkpoint(record.id, spec.kind, plan.total, values)
                 )
-                store.release(record.id)
-                stats.increment("jobs_released")
-                return RELEASED
-            if store.cancel_requested(record.id):
-                store.mark_cancelled(record.id)
-                checkpointer.clear(record.id)
-                stats.increment("jobs_cancelled")
-                return CANCELLED
-            lo = len(values)
-            hi = min(lo + max(1, checkpoint_every), plan.total)
-            values.extend(plan.solve_range(lo, hi))
-            checkpointer.save(
-                Checkpoint(record.id, spec.kind, plan.total, values)
-            )
-            store.heartbeat(record.id)
-            stats.increment("jobs_points_completed", hi - lo)
+                store.heartbeat(record.id)
+                stats.increment("jobs_points_completed", hi - lo)
 
-    payload = plan.aggregate(values)
-    payload["result_digest"] = result_digest(payload)
-    store.succeed(record.id, payload)
-    checkpointer.clear(record.id)
-    stats.increment("jobs_succeeded")
+        payload = plan.aggregate(values)
+        payload["result_digest"] = result_digest(payload)
+        store.succeed(record.id, payload)
+        checkpointer.clear(record.id)
+        stats.increment("jobs_succeeded")
+        job_span.set_attr("outcome", SUCCEEDED)
+        log.info(
+            "job succeeded",
+            extra={"job_id": record.id, "kind": spec.kind},
+        )
     return SUCCEEDED
 
 
@@ -459,6 +491,15 @@ class Worker:
             )
             self.engine.stats.increment(
                 "jobs_retried" if state == "queued" else "jobs_failed"
+            )
+            get_logger("jobs").warning(
+                "job failed",
+                extra={
+                    "job_id": record.id,
+                    "error_class": classify(error),
+                    "retryable": retryable,
+                    "state": state,
+                },
             )
             return state
 

@@ -1,0 +1,60 @@
+"""Observability — tracing, histograms, span export, structured logs.
+
+The one instrumentation layer every other subsystem meters through,
+built entirely on the stdlib:
+
+* :mod:`.clock` — the monotonic :class:`Stopwatch` behind every
+  duration (replacing three hand-rolled ``time.perf_counter()`` pairs).
+* :mod:`.trace` — :class:`Tracer`/:class:`Span` with ``contextvars``
+  propagation and an explicit carrier protocol for the process-pool
+  boundary; off by default and cheap when off.
+* :mod:`.histogram` — fixed-bucket, mergeable, Prometheus-compatible
+  latency histograms.
+* :mod:`.export` — bounded ring buffer plus atomic-append JSONL with
+  head sampling (errors and slow spans are always kept).
+* :mod:`.logging` — JSON log records carrying trace/span ids.
+"""
+
+from .clock import Stopwatch, monotonic, stopwatch, wall_time
+from .export import SPANS_FILENAME, SpanExporter, head_sampled, read_spans
+from .histogram import DEFAULT_LATENCY_BUCKETS, Histogram, format_bound
+from .logging import JsonFormatter, configure_logging, get_logger
+from .trace import (
+    Span,
+    Tracer,
+    capture_spans,
+    configure_tracing,
+    current_carrier,
+    current_span,
+    export_remote,
+    get_tracer,
+    set_tracer,
+    use_span,
+)
+
+__all__ = [
+    "Stopwatch",
+    "monotonic",
+    "stopwatch",
+    "wall_time",
+    "SPANS_FILENAME",
+    "SpanExporter",
+    "head_sampled",
+    "read_spans",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "format_bound",
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+    "Span",
+    "Tracer",
+    "capture_spans",
+    "configure_tracing",
+    "current_carrier",
+    "current_span",
+    "export_remote",
+    "get_tracer",
+    "set_tracer",
+    "use_span",
+]

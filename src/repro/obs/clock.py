@@ -1,0 +1,65 @@
+"""Monotonic timing helpers — the one idiom behind every duration.
+
+Before :mod:`repro.obs` existed, ``time.perf_counter()`` pairs were
+hand-rolled independently in ``engine/stats.py``, ``engine/executor.py``
+and ``service/app.py``.  Every duration in the codebase now flows
+through a :class:`Stopwatch` (or the :func:`stopwatch` context manager),
+so "how do we measure elapsed time" has exactly one answer: the
+monotonic high-resolution clock, never wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["monotonic", "wall_time", "Stopwatch", "stopwatch"]
+
+
+def monotonic() -> float:
+    """The monotonic high-resolution clock durations are measured on."""
+    return time.perf_counter()
+
+
+def wall_time() -> float:
+    """Wall-clock epoch seconds — for timestamps, never for durations."""
+    return time.time()
+
+
+class Stopwatch:
+    """A started monotonic stopwatch.
+
+    ``elapsed`` can be read any number of times while running;
+    :meth:`stop` freezes it.  Restarting is deliberate non-goal — make
+    a new one, they are cheap.
+    """
+
+    __slots__ = ("started_at", "_stopped_at")
+
+    def __init__(self) -> None:
+        self.started_at = monotonic()
+        self._stopped_at: float = -1.0
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since start (frozen once :meth:`stop` was called)."""
+        if self._stopped_at >= 0.0:
+            return self._stopped_at - self.started_at
+        return monotonic() - self.started_at
+
+    def stop(self) -> float:
+        """Freeze and return the elapsed time."""
+        if self._stopped_at < 0.0:
+            self._stopped_at = monotonic()
+        return self.elapsed
+
+
+@contextmanager
+def stopwatch() -> Iterator[Stopwatch]:
+    """``with stopwatch() as watch: ...`` — stopped on exit."""
+    watch = Stopwatch()
+    try:
+        yield watch
+    finally:
+        watch.stop()

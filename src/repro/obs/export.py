@@ -1,0 +1,232 @@
+"""Span export: bounded ring buffer plus atomic-append JSONL.
+
+Finished spans arrive here as plain dicts (see
+:meth:`repro.obs.trace.Span.to_dict`).  The exporter keeps the most
+recent spans in a bounded in-memory ring (behind ``/debug/traces``) and
+optionally appends each kept span as one JSON line to
+``<trace_dir>/spans.jsonl``.
+
+Writes go through a single ``os.write`` on an ``O_APPEND`` descriptor,
+so concurrent writers — a server process and a ``rascad jobs worker``
+sharing one trace directory — interleave whole lines, never bytes.
+
+Sampling is *head* sampling: the keep/drop decision is a deterministic
+hash of the trace id, made once per trace, so either every span of a
+trace is kept or none — a sampled-out trace never shows up as orphan
+fragments.  Two classes of span override the head decision and are
+always kept: spans that ended in an error, and spans slower than the
+exporter's slow threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Union
+
+__all__ = ["SpanExporter", "head_sampled", "SPANS_FILENAME"]
+
+#: File name of the JSONL span log inside a trace directory.
+SPANS_FILENAME = "spans.jsonl"
+
+#: Default capacity of the in-memory ring buffer.
+DEFAULT_CAPACITY = 2048
+
+#: Spans at least this slow (seconds) are kept even when sampled out.
+DEFAULT_SLOW_THRESHOLD = 0.25
+
+
+def head_sampled(trace_id: str, ratio: float) -> bool:
+    """The deterministic head-sampling decision for one trace.
+
+    Hashes the trace id into [0, 1) so every participant — parent
+    process, pool workers, a later resumed job — reaches the same
+    verdict without coordination.
+    """
+    if ratio >= 1.0:
+        return True
+    if ratio <= 0.0:
+        return False
+    try:
+        bucket = int(trace_id[:8], 16) / float(0xFFFFFFFF)
+    except ValueError:
+        return True
+    return bucket < ratio
+
+
+class SpanExporter:
+    """Ring buffer + optional JSONL sink for finished spans."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        trace_dir: Optional[Union[str, Path]] = None,
+        slow_threshold: float = DEFAULT_SLOW_THRESHOLD,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.slow_threshold = slow_threshold
+        self.trace_dir: Optional[Path] = None
+        self._ring: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._fd: Optional[int] = None
+        self._dropped = 0
+        if trace_dir is not None:
+            self.trace_dir = Path(trace_dir).expanduser()
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def path(self) -> Optional[Path]:
+        """The JSONL file spans land in, or ``None`` (memory only)."""
+        if self.trace_dir is None:
+            return None
+        return self.trace_dir / SPANS_FILENAME
+
+    def keep(self, payload, sampled: bool) -> bool:
+        """Head decision, overridden for errors and slow spans.
+
+        Accepts either a span payload dict or a finished ``Span``.
+        """
+        if sampled:
+            return True
+        if isinstance(payload, dict):
+            status = payload.get("status")
+            duration = payload.get("duration")
+        else:
+            status = payload.status
+            duration = payload.duration
+        if status == "error":
+            return True
+        return (
+            isinstance(duration, (int, float))
+            and duration >= self.slow_threshold
+        )
+
+    def export(self, payload, sampled: bool = True) -> bool:
+        """Store one finished span; returns whether it was kept.
+
+        ``payload`` is either a span dict (remote spans arriving from a
+        pool worker) or a finished ``Span`` object.  Span objects are
+        kept as-is in the ring and serialized lazily on read: the extra
+        dicts a ``to_dict`` would allocate here are what tips the GC
+        into extra gen-0 collections mid-solve, and reads are rare.
+        """
+        if not self.keep(payload, sampled):
+            with self._lock:
+                self._dropped += 1
+            return False
+        if self.trace_dir is not None:
+            # The JSONL sink needs the dict now anyway; reuse it for
+            # the ring so readers never re-serialize.
+            if not isinstance(payload, dict):
+                payload = payload.to_dict()
+            line = (
+                json.dumps(payload, sort_keys=True, default=str) + "\n"
+            ).encode("utf-8")
+            # deque.append is atomic under the GIL — no lock on the
+            # ring; the lock only guards the JSONL descriptor.
+            self._ring.append(payload)
+            with self._lock:
+                if self._fd is None:
+                    self._fd = os.open(
+                        str(self.path),
+                        os.O_APPEND | os.O_CREAT | os.O_WRONLY,
+                        0o644,
+                    )
+                os.write(self._fd, line)
+        else:
+            self._ring.append(payload)
+        return True
+
+    def _snapshot(self) -> List[Dict[str, object]]:
+        # Appends don't lock, so a concurrent writer can invalidate
+        # this iteration; retry — reads are rare, writes are cheap.
+        while True:
+            try:
+                items = list(self._ring)
+                break
+            except RuntimeError:
+                continue
+        return [
+            item if isinstance(item, dict) else item.to_dict()
+            for item in items
+        ]
+
+    def recent(
+        self,
+        limit: int = 100,
+        trace_id: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """The newest kept spans, newest first, optionally filtered."""
+        spans = self._snapshot()
+        spans.reverse()
+        if trace_id is not None:
+            spans = [s for s in spans if s.get("trace_id") == trace_id]
+        if name is not None:
+            spans = [s for s in spans if s.get("name") == name]
+        return spans[: max(0, limit)]
+
+    def trace(self, trace_id: str) -> List[Dict[str, object]]:
+        """Every buffered span of one trace, in arrival order."""
+        return [
+            span for span in self._snapshot()
+            if span.get("trace_id") == trace_id
+        ]
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded by head sampling since construction."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._ring)  # len() on a deque is atomic
+
+    def close(self) -> None:
+        """Release the JSONL descriptor (spans already written stay)."""
+        with self._lock:
+            if self._fd is not None:
+                try:
+                    os.close(self._fd)
+                except OSError:
+                    pass
+                self._fd = None
+
+
+def read_spans(
+    trace_dir: Union[str, Path],
+    limit: Optional[int] = None,
+    trace_id: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Parse ``spans.jsonl`` under a trace directory (newest last).
+
+    Corrupt lines (a process killed mid-``os.write`` can leave at most
+    one) are skipped, never fatal.
+    """
+    path = Path(trace_dir).expanduser() / SPANS_FILENAME
+    spans: List[Dict[str, object]] = []
+    try:
+        text = path.read_text()
+    except OSError:
+        return spans
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(payload, dict):
+            continue
+        if trace_id is not None and payload.get("trace_id") != trace_id:
+            continue
+        spans.append(payload)
+    if limit is not None and limit >= 0:
+        spans = spans[-limit:]
+    return spans

@@ -1,0 +1,99 @@
+"""Structured logging: JSON records carrying trace/span ids.
+
+All repro loggers live under the ``"rascad"`` namespace
+(:func:`get_logger`).  :func:`configure_logging` installs one stream
+handler on that namespace — plain text for humans, or, with
+``json_output=True``, one JSON object per line whose fields are stable
+enough to grep and to join against the span export: every record
+emitted inside an active span carries that span's ``trace_id`` and
+``span_id``, so ``rascad trace tail`` and the JSONL log line up.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+from .trace import current_span
+
+__all__ = [
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+    "ROOT_LOGGER_NAME",
+]
+
+#: The namespace every repro logger hangs off.
+ROOT_LOGGER_NAME = "rascad"
+
+#: ``logging.LogRecord`` attributes that are plumbing, not payload.
+_STANDARD_ATTRS = frozenset((
+    "args", "asctime", "created", "exc_info", "exc_text", "filename",
+    "funcName", "levelname", "levelno", "lineno", "message", "module",
+    "msecs", "msg", "name", "pathname", "process", "processName",
+    "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+))
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra=`` keys pass through."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+            "pid": record.process,
+        }
+        span = current_span()
+        if span is not None:
+            payload["trace_id"] = span.trace_id
+            payload["span_id"] = span.span_id
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        for key, value in record.__dict__.items():
+            if key in _STANDARD_ATTRS or key.startswith("_"):
+                continue
+            if key not in payload:
+                payload[key] = value
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_logging(
+    level: str = "info",
+    json_output: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install one handler on the ``rascad`` logger namespace.
+
+    Idempotent: reconfiguring replaces the previous handler instead of
+    stacking a second one (the CLI calls this once per command, tests
+    many times per process).
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    handler = logging.StreamHandler(stream or sys.stderr)
+    if json_output:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s %(message)s"
+        ))
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger in the ``rascad`` namespace (``rascad.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")

@@ -39,6 +39,7 @@ validation path the CLI uses — so every malformed spec surfaces as a
 from __future__ import annotations
 
 import asyncio
+import re
 import time
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional
 
@@ -50,6 +51,8 @@ from ..core.translator import SystemSolution
 from ..database import PartsDatabase, builtin_database
 from ..engine import Engine, metrics_payload
 from ..library import datacenter_model, e10000_model, workgroup_model
+from ..obs.clock import Stopwatch
+from ..obs.trace import get_tracer
 from ..spec import model_to_spec, parse_spec
 from ..units import nines
 from .protocol import (
@@ -136,13 +139,20 @@ class App:
             "GET /v1/library": self._library_index,
             "GET /healthz": self._healthz,
             "GET /metrics": self._metrics,
+            "GET /debug/traces": self._debug_traces,
         }
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     async def handle(self, request: Request) -> Response:
-        """Serve one request; never raises, always meters."""
+        """Serve one request; never raises, always meters.
+
+        With tracing enabled every request runs under a
+        ``service.request`` root span whose trace id is echoed back in
+        the ``X-Rascad-Trace-Id`` response header, so a caller can pull
+        the full tree from ``/debug/traces`` (or the JSONL export).
+        """
         route = self._route_label(request)
         stats = self.engine.stats
         self.in_flight += 1
@@ -150,28 +160,41 @@ class App:
         if self.in_flight > self.in_flight_peak:
             self.in_flight_peak = self.in_flight
             stats.set_gauge("in_flight_peak", self.in_flight_peak)
-        start = time.perf_counter()
+        watch = Stopwatch()
         try:
-            response = await self._dispatch(request)
-        except QueueFullError as error:
-            response = error_response(
-                429, "queue_full", str(error),
-                retry_after=error.retry_after,
-            )
-        except DeadlineExceededError as error:
-            response = error_response(504, "deadline_exceeded", str(error))
-        except ServiceClosedError as error:
-            response = error_response(
-                503, "service_unavailable", str(error)
-            )
-        except Exception as error:  # noqa: BLE001 - mapped to envelopes
-            response = error_for_exception(error)
+            with get_tracer().span(
+                "service.request", route=route, method=request.method,
+                path=request.path,
+            ) as span:
+                try:
+                    response = await self._dispatch(request)
+                except QueueFullError as error:
+                    response = error_response(
+                        429, "queue_full", str(error),
+                        retry_after=error.retry_after,
+                    )
+                except DeadlineExceededError as error:
+                    response = error_response(
+                        504, "deadline_exceeded", str(error)
+                    )
+                except ServiceClosedError as error:
+                    response = error_response(
+                        503, "service_unavailable", str(error)
+                    )
+                except Exception as error:  # noqa: BLE001 - mapped below
+                    response = error_for_exception(error)
+                span.set_attr("status", response.status)
+                if response.status >= 500:
+                    span.record_error(f"status {response.status}")
+                if span.trace_id:
+                    response.headers.setdefault(
+                        "X-Rascad-Trace-Id", span.trace_id
+                    )
         finally:
             self.in_flight -= 1
             stats.set_gauge("in_flight", self.in_flight)
-        elapsed = time.perf_counter() - start
         stats.record_request(route, response.status)
-        stats.record_latency(route, elapsed)
+        stats.record_latency(route, watch.elapsed)
         return response
 
     def _route_label(self, request: Request) -> str:
@@ -489,6 +512,37 @@ class App:
                 section[f"jobs_{state}"] = count
         return section
 
+    def _debug_traces(self, request: Request) -> Response:
+        """Recent spans from the in-memory ring, newest first.
+
+        Query parameters: ``trace_id`` and ``name`` filter, ``limit``
+        caps the result (default 100, max 1000).  Answers
+        ``404 tracing_disabled`` when the process runs without tracing.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return error_response(
+                404, "tracing_disabled",
+                "tracing is off; start the server with --trace-dir "
+                "or --trace",
+            )
+        try:
+            limit = int(request.query.get("limit", "100"))
+        except ValueError:
+            raise ProtocolError(
+                400, "invalid_request", "limit must be an integer"
+            ) from None
+        spans = tracer.exporter.recent(
+            limit=max(1, min(limit, 1000)),
+            trace_id=request.query.get("trace_id"),
+            name=request.query.get("name"),
+        )
+        return json_response({
+            "spans": spans,
+            "buffered": len(tracer.exporter),
+            "dropped": tracer.exporter.dropped,
+        })
+
     def _metrics(self, request: Request) -> Response:
         disk_usage = None
         if self.engine.cache is not None:
@@ -534,54 +588,246 @@ def solution_payload(
     }
 
 
-def render_prometheus(payload: Mapping[str, object]) -> str:
-    """Flatten the JSON metrics document into Prometheus text format."""
-    lines: List[str] = []
+#: Engine snapshot fields that only ever increase — rendered as
+#: Prometheus counters (``_total`` suffix); everything else in the
+#: snapshot is a gauge.
+_ENGINE_COUNTER_FIELDS = frozenset((
+    "system_solves",
+    "system_cache_hits",
+    "block_solves",
+    "block_cache_hits",
+    "disk_hits",
+    "tasks_submitted",
+    "tasks_completed",
+    "tasks_retried",
+    "tasks_failed",
+))
 
-    def emit(name: str, value: object, labels: str = "") -> None:
+#: Characters legal in a Prometheus metric name (after the first).
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """``name`` coerced into a valid Prometheus metric name."""
+    cleaned = _METRIC_NAME_RE.sub("_", name)
+    if not cleaned:
+        return "_"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """A label value escaped per the Prometheus exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format requires escaping inside a quoted label value.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help_text(value: str) -> str:
+    """``# HELP`` text escaped to stay on one exposition line.
+
+    The format escapes backslash and newline in help text; carriage
+    return is escaped too so no parser ever sees a bare line break.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+    )
+
+
+def format_metric_value(value: object) -> str:
+    """One sample value, formatted to round-trip exactly.
+
+    Integral values render as bare integers (``1``, not ``1.0``);
+    everything else uses ``repr``'s shortest form, which ``float()``
+    parses back to the identical double.
+    """
+    number = float(value)  # type: ignore[arg-type]
+    if number != number or number in (float("inf"), float("-inf")):
+        return repr(number).replace("inf", "Inf").replace("nan", "NaN")
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _MetricFamilies:
+    """Accumulates samples grouped into ``# HELP``/``# TYPE`` families."""
+
+    def __init__(self) -> None:
+        # family name -> (type, help, [(suffix, labels, value), ...])
+        self._families: Dict[str, tuple] = {}
+
+    def _family(self, name: str, kind: str, help_text: str) -> list:
+        entry = self._families.get(name)
+        if entry is None:
+            entry = (kind, help_text, [])
+            self._families[name] = entry
+        return entry[2]
+
+    def add(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        value: object,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             return
-        lines.append(f"rascad_{name}{labels} {float(value):.10g}")
+        family = "rascad_" + metric_name(name)
+        if kind == "counter" and not family.endswith("_total"):
+            family += "_total"
+        self._family(family, kind, help_text).append(
+            ("", dict(labels or {}), value)
+        )
 
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Mapping[str, str],
+        summary: Mapping[str, object],
+    ) -> None:
+        """One serialized :class:`~repro.obs.histogram.Histogram`."""
+        family = "rascad_" + metric_name(name)
+        samples = self._family(family, "histogram", help_text)
+        buckets = summary.get("buckets")
+        if isinstance(buckets, Mapping):
+            for le, count in buckets.items():
+                if isinstance(count, bool) or not isinstance(
+                    count, (int, float)
+                ):
+                    continue
+                samples.append(
+                    ("_bucket", {**labels, "le": str(le)}, count)
+                )
+        for suffix, key in (("_sum", "sum"), ("_count", "count")):
+            value = summary.get(key)
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            samples.append((suffix, dict(labels), value))
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for family, (kind, help_text, samples) in self._families.items():
+            if not samples:
+                continue
+            lines.append(f"# HELP {family} {escape_help_text(help_text)}")
+            lines.append(f"# TYPE {family} {kind}")
+            for suffix, labels, value in samples:
+                if labels:
+                    rendered = ",".join(
+                        f'{metric_name(key)}="{escape_label_value(str(val))}"'
+                        for key, val in labels.items()
+                    )
+                    label_part = "{" + rendered + "}"
+                else:
+                    label_part = ""
+                lines.append(
+                    f"{family}{suffix}{label_part} "
+                    f"{format_metric_value(value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+def render_prometheus(payload: Mapping[str, object]) -> str:
+    """Render the JSON metrics document as Prometheus exposition text.
+
+    Every numeric leaf of the document becomes exactly one sample in a
+    ``# HELP``/``# TYPE``-announced family: monotonic counts become
+    counters (``_total``), point-in-time values become gauges, and
+    per-route latency becomes a native histogram
+    (``_bucket``/``_sum``/``_count``) — label values escaped per the
+    exposition format.
+    """
+    doc = _MetricFamilies()
     engine = payload.get("engine")
     if isinstance(engine, Mapping):
         for key, value in sorted(engine.items()):
             if key == "stage_seconds" and isinstance(value, Mapping):
                 for stage, seconds in sorted(value.items()):
-                    emit(
-                        "engine_stage_seconds", seconds,
-                        f'{{stage="{stage}"}}',
+                    doc.add(
+                        "engine_stage_seconds", "counter",
+                        "Wall time accumulated per engine stage.",
+                        seconds, {"stage": str(stage)},
                     )
             elif key == "counters" and isinstance(value, Mapping):
                 for counter, count in sorted(value.items()):
-                    emit(counter, count)
+                    doc.add(
+                        counter, "counter",
+                        f"Engine counter {counter}.", count,
+                    )
             elif key == "gauges" and isinstance(value, Mapping):
                 for gauge, reading in sorted(value.items()):
-                    emit(gauge, reading)
+                    doc.add(
+                        gauge, "gauge",
+                        f"Service gauge {gauge}.", reading,
+                    )
             elif key == "route_counts" and isinstance(value, Mapping):
                 for route_status, count in sorted(value.items()):
                     route, _, status = route_status.rpartition(" ")
-                    emit(
-                        "requests_total", count,
-                        f'{{route="{route}",status="{status}"}}',
+                    doc.add(
+                        "requests_total", "counter",
+                        "Requests served by route and status.",
+                        count, {"route": route, "status": status},
                     )
             elif key == "latency" and isinstance(value, Mapping):
                 for route, summary in sorted(value.items()):
                     if not isinstance(summary, Mapping):
                         continue
-                    for quantile, seconds in sorted(summary.items()):
-                        emit(
-                            "latency_seconds", seconds,
-                            f'{{route="{route}",quantile="{quantile}"}}',
+                    if "buckets" in summary:
+                        doc.histogram(
+                            "latency_seconds",
+                            "Request latency by route, in seconds.",
+                            {"route": str(route)}, summary,
                         )
+                    else:
+                        # A legacy quantile summary (pre-histogram
+                        # stats.json rendered via ``rascad stats``).
+                        for quantile, seconds in sorted(summary.items()):
+                            doc.add(
+                                "latency_seconds", "gauge",
+                                "Request latency by route, in seconds.",
+                                seconds,
+                                {
+                                    "route": str(route),
+                                    "quantile": str(quantile),
+                                },
+                            )
+            elif key in _ENGINE_COUNTER_FIELDS:
+                doc.add(
+                    f"engine_{key}", "counter",
+                    f"Engine counter {key}.", value,
+                )
+            elif key == "busy_seconds":
+                doc.add(
+                    "engine_busy_seconds", "counter",
+                    "Summed per-task execution time.", value,
+                )
             else:
-                emit(f"engine_{key}", value)
+                doc.add(
+                    f"engine_{key}", "gauge",
+                    f"Engine gauge {key}.", value,
+                )
     for section in ("derived", "cache", "service"):
         values = payload.get(section)
         if isinstance(values, Mapping):
             for key, value in sorted(values.items()):
-                emit(f"{section}_{key}", value)
-    return "\n".join(lines) + "\n"
+                doc.add(
+                    f"{section}_{key}", "gauge",
+                    f"{section.capitalize()} gauge {key}.", value,
+                )
+    return doc.render()
 
 
 async def _maybe_await(value):

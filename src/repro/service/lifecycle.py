@@ -31,6 +31,7 @@ from typing import Optional, Tuple, Union
 
 from ..engine import Engine, default_cache_dir
 from ..errors import RascadError
+from ..obs import configure_logging, configure_tracing, get_logger
 from .app import App, LIBRARY_MODELS
 from .protocol import (
     DEFAULT_MAX_BODY_BYTES,
@@ -66,6 +67,16 @@ class ServiceConfig:
             ``cache_dir`` when that is set; with neither configured
             the endpoints answer ``503 jobs_disabled`` (keeps embedded
             and test servers from writing outside their sandbox).
+        trace: Enable tracing (``/debug/traces`` and the
+            ``X-Rascad-Trace-Id`` header) without a JSONL export.
+        trace_dir: Enable tracing *and* export kept spans to
+            ``<trace_dir>/spans.jsonl``.
+        trace_sample: Head-sampling ratio in [0, 1]; errors and slow
+            spans are kept regardless.
+        trace_detail: Also emit per-block solve spans — deep-dive
+            verbosity; the default keeps traced serving cheap.
+        log_level: Level for the ``rascad`` logger namespace.
+        log_json: Emit one JSON object per log line (with trace ids).
     """
 
     host: str = "127.0.0.1"
@@ -82,6 +93,12 @@ class ServiceConfig:
     warm_start: bool = False
     drain_timeout: float = 10.0
     jobs_db: Optional[Union[str, Path]] = None
+    trace: bool = False
+    trace_dir: Optional[Union[str, Path]] = None
+    trace_sample: float = 1.0
+    trace_detail: bool = False
+    log_level: str = "info"
+    log_json: bool = False
 
 
 class Server:
@@ -89,6 +106,13 @@ class Server:
 
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
+        if self.config.trace or self.config.trace_dir is not None:
+            configure_tracing(
+                enabled=True,
+                trace_dir=self.config.trace_dir,
+                sample_ratio=self.config.trace_sample,
+                detail=self.config.trace_detail,
+            )
         self.engine = Engine(
             jobs=self.config.jobs,
             cache=self.config.cache,
@@ -257,14 +281,21 @@ async def _run_server(config: ServiceConfig) -> int:
     host, port = await server.start()
     server.install_signal_handlers()
     print(f"rascad service listening on http://{host}:{port}", flush=True)
+    get_logger("service").info(
+        "listening",
+        extra={"host": host, "port": port, "jobs": config.jobs},
+    )
     await server.serve_until_shutdown()
     print("rascad service drained and stopped", flush=True)
+    get_logger("service").info("drained and stopped")
     return 0
 
 
 def serve(config: Optional[ServiceConfig] = None) -> int:
     """Blocking entry point behind ``rascad serve``."""
+    config = config or ServiceConfig()
+    configure_logging(level=config.log_level, json_output=config.log_json)
     try:
-        return asyncio.run(_run_server(config or ServiceConfig()))
+        return asyncio.run(_run_server(config))
     except KeyboardInterrupt:  # pragma: no cover - signal path
         return 0

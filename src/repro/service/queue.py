@@ -39,6 +39,7 @@ from ..core.translator import SystemSolution
 from ..engine import Engine
 from ..engine.keys import model_digest
 from ..errors import RascadError
+from ..obs.trace import current_span, get_tracer, use_span
 
 
 class QueueFullError(RascadError):
@@ -65,6 +66,14 @@ class _Item:
     future: "asyncio.Future[SystemSolution]"
     enqueued_at: float = field(default_factory=time.monotonic)
     deadline: Optional[float] = None
+    # Tracing (None / null spans when tracing is off): ``wait_span``
+    # covers admission -> batch pickup, ``batch_span`` covers the solve
+    # itself, ``request_span`` is the submitting request's span so the
+    # batcher task can parent ``batch_span`` correctly even though it
+    # runs outside the request's context.
+    wait_span: object = None
+    batch_span: object = None
+    request_span: object = None
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now >= self.deadline
@@ -163,11 +172,13 @@ class SolveQueue:
         if self._closed:
             raise ServiceClosedError("service shutting down")
         stats = self.engine.stats
+        tracer = get_tracer()
         key = model_digest(model, method)
         future = self._inflight.get(key)
         if future is not None:
             stats.increment("service_dedup_hits")
-            return await self._wait(future, deadline)
+            with tracer.span("service.dedup_wait", key=key):
+                return await self._wait(future, deadline)
         if self._admitted >= self.max_queue:
             stats.increment("service_rejections")
             raise QueueFullError(
@@ -179,6 +190,8 @@ class SolveQueue:
         item = _Item(
             key=key, model=model, method=method,
             future=future, deadline=deadline,
+            wait_span=tracer.start_span("service.queue_wait", key=key),
+            request_span=current_span(),
         )
         self._inflight[key] = future
         self._admitted += 1
@@ -248,9 +261,11 @@ class SolveQueue:
 
     async def _solve_batch(self, batch: List[_Item]) -> None:
         stats = self.engine.stats
+        tracer = get_tracer()
         now = time.monotonic()
         live: List[_Item] = []
         for item in batch:
+            tracer.finish(item.wait_span)
             if item.expired(now):
                 stats.increment("service_deadline_misses")
                 self._finish(
@@ -263,6 +278,13 @@ class SolveQueue:
                 live.append(item)
         if not live:
             return
+        for item in live:
+            item.batch_span = tracer.start_span(
+                "service.batch",
+                parent=item.request_span,
+                batch_size=len(live),
+                method=item.method,
+            )
         stats.increment("service_batches")
         stats.set_gauge("batches_in_flight", 1)
         try:
@@ -274,14 +296,18 @@ class SolveQueue:
             stats.set_gauge("batches_in_flight", 0)
             stats.set_gauge("queue_depth", self._admitted)
 
+    async def _solve_one_threaded(self, item: _Item) -> SystemSolution:
+        # use_span is active when to_thread copies the context, so the
+        # worker-thread solve records its spans under the item's batch
+        # span (and through it, the originating request).
+        with use_span(item.batch_span):
+            return await asyncio.to_thread(
+                self.engine.solve, item.model, item.method
+            )
+
     async def _solve_via_threads(self, live: List[_Item]) -> None:
         results = await asyncio.gather(
-            *(
-                asyncio.to_thread(
-                    self.engine.solve, item.model, item.method
-                )
-                for item in live
-            ),
+            *(self._solve_one_threaded(item) for item in live),
             return_exceptions=True,
         )
         for item, result in zip(live, results):
@@ -297,11 +323,15 @@ class SolveQueue:
             by_method.setdefault(item.method, []).append(item)
         for method, items in by_method.items():
             try:
-                solutions = await asyncio.to_thread(
-                    self.engine.solve_many,
-                    [item.model for item in items],
-                    method,
-                )
+                # The pool fans the group out as one engine batch; its
+                # carrier comes from the first item's batch span, so
+                # worker-side spans join that item's trace.
+                with use_span(items[0].batch_span):
+                    solutions = await asyncio.to_thread(
+                        self.engine.solve_many,
+                        [item.model for item in items],
+                        method,
+                    )
             except Exception:
                 # solve_many fails the whole batch as soon as one task
                 # exhausts its retries; re-solve per item so one bad
@@ -321,6 +351,12 @@ class SolveQueue:
         self._inflight.pop(item.key, None)
         self._admitted -= 1
         stats = self.engine.stats
+        tracer = get_tracer()
+        # finish() is idempotent, so the wait span is safe to close
+        # again here — it only matters for items failed before pickup
+        # (shutdown drain), whose wait span would otherwise leak.
+        tracer.finish(item.wait_span, error=error)
+        tracer.finish(item.batch_span, error=error)
         stats.set_gauge("queue_depth", self._admitted)
         stats.record_latency(
             "queue", time.monotonic() - item.enqueued_at

@@ -3,6 +3,8 @@
 import json
 import os
 
+import pytest
+
 from repro.engine import (
     EngineStats,
     load_stats,
@@ -139,9 +141,13 @@ class TestServiceTelemetry:
         assert snapshot.route_counts["POST /v1/solve 429"] == 1
         latency = snapshot.latency["POST /v1/solve"]
         assert latency["count"] == 4
-        assert latency["p50"] == 0.020
-        assert latency["p99"] == 0.500
-        assert latency["max"] == 0.500
+        assert latency["sum"] == pytest.approx(0.560)
+        # Histogram buckets are cumulative with Prometheus `le`
+        # semantics: 0.010 and 0.020 land at or below le=0.025.
+        assert latency["buckets"]["0.025"] == 2
+        assert latency["buckets"]["0.05"] == 3
+        assert latency["buckets"]["0.5"] == 4
+        assert latency["buckets"]["+Inf"] == 4
 
     def test_generic_counters_survive_the_round_trip(self, tmp_path):
         collector = StatsCollector()

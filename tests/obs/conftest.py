@@ -1,0 +1,12 @@
+"""Every obs test leaves the process-global tracer as it found it."""
+
+import pytest
+
+from repro.obs.trace import get_tracer, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def restore_global_tracer():
+    previous = get_tracer()
+    yield
+    set_tracer(previous)

@@ -1,0 +1,44 @@
+"""The one timing idiom: monotonic stopwatches."""
+
+import time
+
+from repro.obs.clock import Stopwatch, monotonic, stopwatch, wall_time
+
+
+def test_monotonic_never_goes_backwards():
+    readings = [monotonic() for _ in range(100)]
+    assert readings == sorted(readings)
+
+
+def test_wall_time_is_epoch_seconds():
+    assert abs(wall_time() - time.time()) < 1.0
+
+
+class TestStopwatch:
+    def test_elapsed_grows_while_running(self):
+        watch = Stopwatch()
+        first = watch.elapsed
+        time.sleep(0.005)
+        second = watch.elapsed
+        assert 0.0 <= first < second
+
+    def test_stop_freezes_elapsed(self):
+        watch = Stopwatch()
+        time.sleep(0.002)
+        frozen = watch.stop()
+        time.sleep(0.005)
+        assert watch.elapsed == frozen
+
+    def test_stop_is_idempotent(self):
+        watch = Stopwatch()
+        first = watch.stop()
+        time.sleep(0.002)
+        assert watch.stop() == first
+
+    def test_context_manager_stops_on_exit(self):
+        with stopwatch() as watch:
+            time.sleep(0.002)
+        frozen = watch.elapsed
+        time.sleep(0.005)
+        assert watch.elapsed == frozen
+        assert frozen >= 0.002

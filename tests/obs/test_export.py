@@ -1,0 +1,137 @@
+"""Span export: ring buffer, JSONL appends, head sampling."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    SPANS_FILENAME,
+    SpanExporter,
+    head_sampled,
+    read_spans,
+)
+
+
+def _span(**overrides):
+    payload = {
+        "name": "engine.solve",
+        "trace_id": "aa" * 16,
+        "span_id": "bb" * 8,
+        "parent_id": None,
+        "start_unix": 1.0,
+        "duration": 0.01,
+        "status": "ok",
+        "pid": 1,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestRingBuffer:
+    def test_keeps_only_the_newest_capacity_spans(self):
+        exporter = SpanExporter(capacity=3)
+        for index in range(5):
+            exporter.export(_span(span_id=f"{index:016x}"))
+        assert len(exporter) == 3
+        newest = exporter.recent()
+        assert [s["span_id"] for s in newest] == [
+            "0000000000000004", "0000000000000003", "0000000000000002",
+        ]
+
+    def test_recent_filters_by_trace_and_name(self):
+        exporter = SpanExporter()
+        exporter.export(_span(trace_id="t1", name="a"))
+        exporter.export(_span(trace_id="t2", name="b"))
+        assert len(exporter.recent(trace_id="t1")) == 1
+        assert exporter.recent(name="b")[0]["trace_id"] == "t2"
+        assert exporter.recent(limit=0) == []
+
+    def test_trace_returns_arrival_order(self):
+        exporter = SpanExporter()
+        exporter.export(_span(trace_id="t", span_id="first"))
+        exporter.export(_span(trace_id="other"))
+        exporter.export(_span(trace_id="t", span_id="second"))
+        assert [s["span_id"] for s in exporter.trace("t")] == [
+            "first", "second",
+        ]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpanExporter(capacity=0)
+
+
+class TestSampling:
+    def test_head_sampled_is_deterministic(self):
+        trace_id = "80000000" + "00" * 12
+        assert head_sampled(trace_id, 1.0)
+        assert not head_sampled(trace_id, 0.0)
+        # 0x80000000 / 0xFFFFFFFF is just above one half.
+        assert not head_sampled(trace_id, 0.5)
+        assert head_sampled(trace_id, 0.51)
+
+    def test_head_sampled_tolerates_junk_trace_ids(self):
+        assert head_sampled("not-hex!", 0.5)
+
+    def test_sampled_out_spans_are_dropped_and_counted(self):
+        exporter = SpanExporter()
+        assert not exporter.export(_span(), sampled=False)
+        assert exporter.dropped == 1
+        assert len(exporter) == 0
+
+    def test_errors_survive_sampling(self):
+        exporter = SpanExporter()
+        assert exporter.export(_span(status="error"), sampled=False)
+        assert len(exporter) == 1
+
+    def test_slow_spans_survive_sampling(self):
+        exporter = SpanExporter(slow_threshold=0.1)
+        assert exporter.export(_span(duration=0.5), sampled=False)
+        assert not exporter.export(_span(duration=0.05), sampled=False)
+
+
+class TestJsonl:
+    def test_spans_append_one_json_line_each(self, tmp_path):
+        exporter = SpanExporter(trace_dir=tmp_path)
+        exporter.export(_span(span_id="one"))
+        exporter.export(_span(span_id="two"))
+        exporter.close()
+        lines = (tmp_path / SPANS_FILENAME).read_text().splitlines()
+        assert [json.loads(line)["span_id"] for line in lines] == [
+            "one", "two",
+        ]
+
+    def test_memory_only_exporter_has_no_path(self):
+        assert SpanExporter().path is None
+
+    def test_close_is_safe_without_writes(self, tmp_path):
+        SpanExporter(trace_dir=tmp_path).close()
+        SpanExporter().close()
+
+
+class TestReadSpans:
+    def test_round_trips_through_the_file(self, tmp_path):
+        exporter = SpanExporter(trace_dir=tmp_path)
+        exporter.export(_span(trace_id="t1", span_id="one"))
+        exporter.export(_span(trace_id="t2", span_id="two"))
+        exporter.close()
+        spans = read_spans(tmp_path)
+        assert [s["span_id"] for s in spans] == ["one", "two"]
+        assert read_spans(tmp_path, trace_id="t2")[0]["span_id"] == "two"
+        assert [s["span_id"] for s in read_spans(tmp_path, limit=1)] == [
+            "two",
+        ]
+
+    def test_missing_file_is_empty_not_fatal(self, tmp_path):
+        assert read_spans(tmp_path / "nowhere") == []
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        path = tmp_path / SPANS_FILENAME
+        path.write_text(
+            json.dumps(_span(span_id="good")) + "\n"
+            + '{"truncated": \n'
+            + "[1, 2, 3]\n"
+            + "\n"
+            + json.dumps(_span(span_id="also-good")) + "\n"
+        )
+        spans = read_spans(tmp_path)
+        assert [s["span_id"] for s in spans] == ["good", "also-good"]

@@ -1,0 +1,171 @@
+"""Fixed-bucket histograms: le semantics, merge algebra, round-trips."""
+
+import pytest
+
+from repro.obs.histogram import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    format_bound,
+)
+
+
+class TestConstruction:
+    def test_default_ladder_spans_sub_ms_to_30s(self):
+        histogram = Histogram()
+        assert histogram.bounds[0] == 0.0005
+        assert histogram.bounds[-1] == 30.0
+        assert len(histogram.counts) == len(DEFAULT_LATENCY_BUCKETS) + 1
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+    def test_infinite_bound_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0, float("inf")])
+
+
+class TestObserve:
+    def test_le_semantics_value_on_bound_lands_in_that_bucket(self):
+        histogram = Histogram([1.0, 2.0])
+        histogram.observe(1.0)
+        assert histogram.counts == [1, 0, 0]
+
+    def test_overflow_bucket_catches_the_tail(self):
+        histogram = Histogram([1.0, 2.0])
+        histogram.observe(100.0)
+        assert histogram.counts == [0, 0, 1]
+
+    def test_sum_count_mean(self):
+        histogram = Histogram([1.0])
+        for value in (0.25, 0.75, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(3.0)
+        assert histogram.mean == pytest.approx(1.0)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+
+class TestCumulative:
+    def test_buckets_are_cumulative_and_end_at_inf(self):
+        histogram = Histogram([1.0, 2.0])
+        for value in (0.5, 1.5, 1.5, 5.0):
+            histogram.observe(value)
+        assert histogram.cumulative() == [
+            ("1", 1), ("2", 3), ("+Inf", 4),
+        ]
+
+    def test_format_bound_drops_trailing_zero(self):
+        assert format_bound(1.0) == "1"
+        assert format_bound(0.25) == "0.25"
+        assert format_bound(float("inf")) == "+Inf"
+
+
+class TestMerge:
+    def test_merge_adds_counts_and_sums(self):
+        left, right = Histogram([1.0, 2.0]), Histogram([1.0, 2.0])
+        left.observe(0.5)
+        right.observe(1.5)
+        right.observe(5.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left.sum == pytest.approx(7.0)
+        assert left.counts == [1, 1, 1]
+
+    def test_merge_rejects_different_ladders(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0]).merge(Histogram([2.0]))
+
+    def test_merge_equals_observing_everything_in_one(self):
+        """The property per-worker rollups rely on."""
+        samples_a = [0.001, 0.02, 0.3, 4.0]
+        samples_b = [0.0001, 0.05, 50.0]
+        merged = Histogram()
+        other = Histogram()
+        combined = Histogram()
+        for value in samples_a:
+            merged.observe(value)
+            combined.observe(value)
+        for value in samples_b:
+            other.observe(value)
+            combined.observe(value)
+        merged.merge(other)
+        assert merged.counts == combined.counts
+        assert merged.sum == pytest.approx(combined.sum)
+
+
+class TestQuantile:
+    def test_interpolates_within_the_bucket(self):
+        histogram = Histogram([1.0, 2.0])
+        for _ in range(4):
+            histogram.observe(1.5)  # all in the (1, 2] bucket
+        # Rank q*4 falls inside the bucket; linear interpolation
+        # between the previous bound (1.0) and this bound (2.0).
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+
+    def test_tail_reports_last_finite_bound(self):
+        histogram = Histogram([1.0])
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == 1.0
+
+    def test_empty_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+
+class TestRoundTrip:
+    def test_to_dict_matches_prometheus_shape(self):
+        histogram = Histogram([1.0])
+        histogram.observe(0.5)
+        histogram.observe(3.0)
+        payload = histogram.to_dict()
+        assert payload == {
+            "count": 2,
+            "sum": pytest.approx(3.5),
+            "buckets": {"1": 1, "+Inf": 2},
+        }
+
+    def test_from_dict_round_trips_counts_and_quantiles(self):
+        histogram = Histogram()
+        for value in (0.0004, 0.003, 0.08, 0.08, 1.7, 45.0):
+            histogram.observe(value)
+        rebuilt = Histogram.from_dict(histogram.to_dict())
+        assert rebuilt.bounds == histogram.bounds
+        assert rebuilt.counts == histogram.counts
+        assert rebuilt.count == histogram.count
+        assert rebuilt.sum == pytest.approx(histogram.sum)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert rebuilt.quantile(q) == pytest.approx(
+                histogram.quantile(q)
+            )
+
+    def test_from_dict_with_custom_ladder(self):
+        histogram = Histogram([0.5, 1.5])
+        histogram.observe(1.0)
+        rebuilt = Histogram.from_dict(histogram.to_dict())
+        assert rebuilt.bounds == (0.5, 1.5)
+        assert rebuilt.counts == histogram.counts
+
+    def test_from_dict_without_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram.from_dict({"count": 1, "sum": 2.0})
+
+    def test_merged_snapshots_equal_snapshot_of_merge(self):
+        left, right = Histogram(), Histogram()
+        left.observe(0.01)
+        right.observe(2.0)
+        rebuilt = Histogram.from_dict(left.to_dict())
+        rebuilt.merge(Histogram.from_dict(right.to_dict()))
+        left.merge(right)
+        assert rebuilt.to_dict() == left.to_dict()

@@ -1,0 +1,104 @@
+"""Structured logging: JSON records that join against the span export."""
+
+import io
+import json
+import logging
+from pathlib import Path
+
+import pytest
+
+from repro.obs.logging import (
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.trace import Tracer, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def reset_rascad_logger():
+    yield
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+    logger.propagate = True
+
+
+def _configure(**kwargs):
+    stream = io.StringIO()
+    configure_logging(stream=stream, **kwargs)
+    return stream
+
+
+class TestGetLogger:
+    def test_namespaces_under_rascad(self):
+        assert get_logger().name == "rascad"
+        assert get_logger("service").name == "rascad.service"
+
+
+class TestConfigure:
+    def test_reconfiguring_replaces_the_handler(self):
+        _configure()
+        _configure()
+        assert len(logging.getLogger(ROOT_LOGGER_NAME).handlers) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="chatty")
+
+    def test_level_filters_records(self):
+        stream = _configure(level="warning")
+        get_logger("engine").info("quiet")
+        get_logger("engine").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_does_not_propagate_to_the_root_logger(self):
+        _configure()
+        assert not logging.getLogger(ROOT_LOGGER_NAME).propagate
+
+
+class TestJsonOutput:
+    def test_record_is_one_json_object_with_stable_fields(self):
+        stream = _configure(json_output=True)
+        get_logger("service").info("listening", extra={"port": 8080})
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "info"
+        assert payload["logger"] == "rascad.service"
+        assert payload["message"] == "listening"
+        assert payload["port"] == 8080
+        assert isinstance(payload["pid"], int)
+        assert isinstance(payload["ts"], float)
+
+    def test_records_inside_a_span_carry_trace_ids(self):
+        stream = _configure(json_output=True)
+        tracer = Tracer(enabled=True)
+        set_tracer(tracer)
+        with tracer.span("service.request") as span:
+            get_logger("service").info("handling")
+        payload = json.loads(stream.getvalue())
+        assert payload["trace_id"] == span.trace_id
+        assert payload["span_id"] == span.span_id
+
+    def test_records_outside_a_span_omit_trace_ids(self):
+        stream = _configure(json_output=True)
+        get_logger().info("idle")
+        payload = json.loads(stream.getvalue())
+        assert "trace_id" not in payload
+
+    def test_exceptions_are_captured(self):
+        stream = _configure(json_output=True)
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger().exception("failed")
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "error"
+        assert "ValueError: boom" in payload["exception"]
+
+    def test_non_serializable_extras_fall_back_to_str(self):
+        stream = _configure(json_output=True)
+        get_logger().info("obj", extra={"path": Path("/tmp/x")})
+        payload = json.loads(stream.getvalue())
+        assert payload["path"] == "/tmp/x"

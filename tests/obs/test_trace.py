@@ -1,0 +1,260 @@
+"""Tracing: span trees, the null fast path, and pool propagation."""
+
+import pytest
+
+from repro.obs.export import SpanExporter
+from repro.obs.trace import (
+    NULL_SPAN,
+    Tracer,
+    capture_spans,
+    configure_tracing,
+    current_carrier,
+    current_span,
+    export_remote,
+    get_tracer,
+    set_tracer,
+    use_span,
+)
+
+
+def _tracer(**kwargs):
+    return Tracer(enabled=True, exporter=SpanExporter(), **kwargs)
+
+
+class TestDisabledTracer:
+    def test_span_returns_the_shared_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("engine.solve") is NULL_SPAN
+        assert tracer.start_span("engine.solve") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.set_attr("key", "value")
+            span.record_error("boom")
+            assert current_span() is None
+        assert NULL_SPAN.trace_id == ""
+
+    def test_finish_is_safe_on_null_and_none(self):
+        tracer = _tracer()
+        tracer.finish(NULL_SPAN)
+        tracer.finish(None)
+
+
+class TestDetailVerbosity:
+    def test_detail_spans_are_null_by_default(self):
+        tracer = _tracer()
+        assert tracer.span_detail("engine.block_solve") is NULL_SPAN
+        assert len(tracer.exporter) == 0
+
+    def test_detail_spans_are_real_when_opted_in(self):
+        tracer = _tracer(detail=True)
+        with tracer.span("engine.solve") as parent:
+            with tracer.span_detail("engine.block_solve") as child:
+                assert child is not NULL_SPAN
+                assert child.parent_id == parent.span_id
+        names = [s["name"] for s in tracer.exporter.recent()]
+        assert "engine.block_solve" in names
+
+    def test_detail_spans_stay_null_when_disabled(self):
+        tracer = Tracer(enabled=False, detail=True)
+        assert tracer.span_detail("engine.block_solve") is NULL_SPAN
+
+    def test_capture_spans_inherits_carrier_detail(self):
+        carrier = {
+            "trace_id": "ab" * 16, "span_id": "cd" * 8,
+            "sampled": True, "detail": True,
+        }
+        set_tracer(Tracer(enabled=False))
+        with capture_spans(carrier) as collected:
+            with get_tracer().span_detail("engine.block_solve"):
+                pass
+        assert [s["name"] for s in collected] == ["engine.block_solve"]
+
+    def test_capture_spans_defaults_to_no_detail(self):
+        carrier = {
+            "trace_id": "ab" * 16, "span_id": "cd" * 8, "sampled": True,
+        }
+        set_tracer(Tracer(enabled=False))
+        with capture_spans(carrier) as collected:
+            with get_tracer().span_detail("engine.block_solve"):
+                pass
+        assert collected == []
+
+
+class TestSpanTree:
+    def test_nested_spans_share_a_trace_and_link_parents(self):
+        tracer = _tracer()
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+            assert current_span() is outer
+        assert current_span() is None
+        assert outer.parent_id is None
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = _tracer()
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_exit_records_duration_and_exports(self):
+        tracer = _tracer()
+        with tracer.span("op", kind="test") as span:
+            pass
+        assert span.duration >= 0.0
+        exported = tracer.exporter.recent()
+        assert len(exported) == 1
+        assert exported[0]["name"] == "op"
+        assert exported[0]["attrs"] == {"kind": "test"}
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = _tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("op") as span:
+                raise RuntimeError("boom")
+        assert span.status == "error"
+        assert "RuntimeError: boom" in span.error
+        assert tracer.exporter.recent()[0]["status"] == "error"
+
+    def test_finish_is_idempotent(self):
+        tracer = _tracer()
+        span = tracer.start_span("op")
+        tracer.finish(span)
+        tracer.finish(span)
+        assert len(tracer.exporter.recent()) == 1
+
+    def test_explicit_parent_overrides_context(self):
+        tracer = _tracer()
+        elsewhere = tracer.start_span("request")
+        with tracer.span("unrelated"):
+            child = tracer.start_span("batch", parent=elsewhere)
+        assert child.trace_id == elsewhere.trace_id
+        assert child.parent_id == elsewhere.span_id
+
+    def test_finish_with_error_records_it(self):
+        tracer = _tracer()
+        span = tracer.start_span("op")
+        tracer.finish(span, error=ValueError("bad"))
+        assert span.status == "error"
+        assert "ValueError: bad" in span.error
+
+    def test_use_span_activates_without_finishing(self):
+        tracer = _tracer()
+        span = tracer.start_span("batch")
+        with use_span(span):
+            assert current_span() is span
+            child = tracer.start_span("solve")
+        assert current_span() is None
+        assert child.parent_id == span.span_id
+        assert tracer.exporter.recent() == []  # nothing finished
+
+    def test_use_span_tolerates_null_and_none(self):
+        with use_span(None):
+            assert current_span() is None
+        with use_span(NULL_SPAN):
+            assert current_span() is None
+
+
+class TestSampling:
+    def test_children_inherit_the_head_decision(self):
+        tracer = _tracer(sample_ratio=0.0)
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                pass
+        assert not root.sampled
+        assert not child.sampled
+        assert tracer.exporter.recent() == []
+        assert tracer.exporter.dropped == 2
+
+    def test_errors_survive_a_sampled_out_trace(self):
+        tracer = _tracer(sample_ratio=0.0)
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                raise RuntimeError("kept")
+        kept = tracer.exporter.recent()
+        assert len(kept) == 1
+        assert kept[0]["status"] == "error"
+
+
+class TestGlobalTracer:
+    def test_default_global_tracer_is_disabled(self):
+        set_tracer(Tracer(enabled=False))
+        assert not get_tracer().enabled
+
+    def test_configure_tracing_installs_and_returns(self, tmp_path):
+        tracer = configure_tracing(trace_dir=tmp_path, sample_ratio=0.5)
+        assert get_tracer() is tracer
+        assert tracer.enabled
+        assert tracer.sample_ratio == 0.5
+        assert tracer.exporter.trace_dir == tmp_path
+
+
+class TestCrossProcess:
+    def test_carrier_is_none_when_disabled_or_idle(self):
+        set_tracer(Tracer(enabled=False))
+        assert current_carrier() is None
+        set_tracer(_tracer())
+        assert current_carrier() is None  # enabled but no active span
+
+    def test_carrier_names_the_active_span(self):
+        tracer = _tracer()
+        set_tracer(tracer)
+        with tracer.span("batch") as span:
+            carrier = current_carrier()
+        assert carrier == {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "sampled": True,
+            "detail": False,
+        }
+
+    def test_capture_spans_parents_worker_spans_to_the_carrier(self):
+        carrier = {
+            "trace_id": "ab" * 16, "span_id": "cd" * 8, "sampled": True,
+        }
+        set_tracer(Tracer(enabled=False))
+        with capture_spans(carrier) as collected:
+            with get_tracer().span("engine.task"):
+                with get_tracer().span("engine.solve"):
+                    pass
+        # The previous (disabled) tracer is restored afterwards.
+        assert not get_tracer().enabled
+        assert [s["name"] for s in collected] == [
+            "engine.solve", "engine.task",
+        ]
+        task = collected[1]
+        assert task["trace_id"] == carrier["trace_id"]
+        assert task["parent_id"] == carrier["span_id"]
+        solve = collected[0]
+        assert solve["parent_id"] == task["span_id"]
+
+    def test_export_remote_feeds_the_local_exporter(self):
+        tracer = _tracer()
+        set_tracer(tracer)
+        payloads = [
+            {"name": "engine.task", "trace_id": "t", "status": "ok"},
+            {"name": "engine.solve", "trace_id": "t", "status": "ok"},
+        ]
+        assert export_remote(payloads) == 2
+        assert len(tracer.exporter.recent()) == 2
+
+    def test_export_remote_is_a_noop_when_disabled(self):
+        set_tracer(Tracer(enabled=False))
+        assert export_remote([{"name": "x"}]) == 0
+
+    def test_span_to_dict_shape(self):
+        tracer = _tracer()
+        with tracer.span("op", method="direct") as span:
+            pass
+        payload = span.to_dict()
+        assert payload["name"] == "op"
+        assert len(payload["trace_id"]) == 32
+        assert len(payload["span_id"]) == 16
+        assert payload["parent_id"] is None
+        assert payload["status"] == "ok"
+        assert payload["attrs"] == {"method": "direct"}
+        assert isinstance(payload["pid"], int)

@@ -1,0 +1,168 @@
+"""Property-based tests: JSON metrics -> Prometheus exposition.
+
+The invariant ``GET /metrics?format=prometheus`` promises: every
+numeric leaf of the JSON metrics document becomes exactly one sample
+whose value parses back to the identical float, under a valid metric
+name — whatever the route names, counter keys, or histogram contents
+look like.
+"""
+
+import math
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.histogram import Histogram
+from repro.service.app import (
+    escape_label_value,
+    format_metric_value,
+    metric_name,
+    render_prometheus,
+)
+
+#: A full metric name as the exposition format defines it.
+VALID_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: One sample line: ``name{labels} value`` or ``name value``.
+SAMPLE_LINE = re.compile(r"^([^\s{]+)(\{.*\})? (\S+)$")
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, width=64
+)
+metric_keys = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_categories=("Cs",)
+    ),
+    min_size=1, max_size=20,
+)
+
+
+@st.composite
+def histogram_summaries(draw):
+    bounds = sorted(draw(st.sets(
+        st.floats(
+            min_value=1e-6, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+        min_size=1, max_size=6,
+    )))
+    histogram = Histogram(bounds)
+    for value in draw(st.lists(
+        st.floats(min_value=0.0, max_value=2e6,
+                  allow_nan=False, allow_infinity=False),
+        max_size=20,
+    )):
+        histogram.observe(value)
+    return histogram.to_dict()
+
+
+@st.composite
+def metrics_payloads(draw):
+    return {
+        "engine": {
+            "system_solves": draw(st.integers(0, 10**9)),
+            "busy_seconds": draw(finite_floats),
+            "counters": draw(st.dictionaries(
+                metric_keys, st.integers(0, 10**9), max_size=4
+            )),
+            "gauges": draw(st.dictionaries(
+                metric_keys, finite_floats, max_size=4
+            )),
+            "stage_seconds": draw(st.dictionaries(
+                metric_keys, finite_floats, max_size=4
+            )),
+            "route_counts": draw(st.dictionaries(
+                metric_keys, st.integers(0, 10**9), max_size=4
+            )),
+            "latency": draw(st.dictionaries(
+                metric_keys, histogram_summaries(), max_size=3
+            )),
+        },
+        "derived": draw(st.dictionaries(
+            metric_keys, finite_floats, max_size=4
+        )),
+        "cache": draw(st.dictionaries(
+            metric_keys, finite_floats, max_size=4
+        )),
+        "service": draw(st.dictionaries(
+            metric_keys, finite_floats, max_size=4
+        )),
+    }
+
+
+def numeric_leaves(payload):
+    """Every numeric value the renderer promises to emit, as floats."""
+    leaves = []
+
+    def walk(node):
+        if isinstance(node, dict):
+            for value in node.values():
+                walk(value)
+        elif isinstance(node, bool):
+            pass
+        elif isinstance(node, (int, float)):
+            leaves.append(float(node))
+
+    walk(payload)
+    return leaves
+
+
+def parse_samples(text):
+    """``(name, value)`` pairs from rendered exposition text."""
+    samples = []
+    # The exposition format is \n-delimited; \r may legally appear
+    # inside quoted label values, so don't use splitlines() here.
+    for line in text.split("\n"):
+        if not line or line.startswith("#"):
+            continue
+        match = SAMPLE_LINE.match(line)
+        assert match is not None, f"unparseable sample line: {line!r}"
+        samples.append((match.group(1), float(match.group(3))))
+    return samples
+
+
+@given(payload=metrics_payloads())
+@settings(max_examples=60, deadline=None)
+def test_every_numeric_leaf_round_trips(payload):
+    samples = parse_samples(render_prometheus(payload))
+    for name, _ in samples:
+        assert VALID_METRIC_NAME.match(name), name
+    # One sample per numeric leaf, values exactly preserved.
+    assert sorted(value for _, value in samples) == sorted(
+        numeric_leaves(payload)
+    )
+
+
+@given(value=st.one_of(
+    finite_floats,
+    st.integers(-10**15, 10**15),
+    st.just(float("nan")),
+    st.just(float("inf")),
+    st.just(float("-inf")),
+))
+def test_format_metric_value_parses_back_identically(value):
+    parsed = float(format_metric_value(value))
+    if math.isnan(float(value)):
+        assert math.isnan(parsed)
+    else:
+        assert parsed == float(value)
+
+
+@given(value=st.text(max_size=60))
+def test_label_escaping_round_trips(value):
+    escaped = escape_label_value(value)
+    assert "\n" not in escaped
+    # Standard exposition unescape: the three escapes, in one pass.
+    unescaped = re.sub(
+        r"\\(.)",
+        lambda m: {"n": "\n", '"': '"', "\\": "\\"}.get(
+            m.group(1), m.group(0)
+        ),
+        escaped,
+    )
+    assert unescaped == value
+
+
+@given(name=st.text(max_size=40))
+def test_metric_name_always_yields_a_valid_name(name):
+    assert VALID_METRIC_NAME.match(metric_name(name))

@@ -221,7 +221,8 @@ class TestObservability:
         assert payload["engine"]["route_counts"]["POST /v1/solve 200"] == 1
         latency = payload["engine"]["latency"]["POST /v1/solve"]
         assert latency["count"] == 1
-        assert latency["p95"] >= 0
+        assert latency["sum"] >= 0
+        assert latency["buckets"]["+Inf"] == 1
         assert payload["service"]["max_queue"] == 64
         assert payload["derived"]["cache_hit_rate"] >= 0
 
@@ -236,18 +237,26 @@ class TestObservability:
         status, text, response = responses[1]
         assert status == 200
         assert response.content_type.startswith("text/plain")
-        assert "rascad_engine_system_solves 1" in text
+        assert "rascad_engine_system_solves_total 1" in text
+        assert "# TYPE rascad_engine_system_solves_total counter" in text
         assert (
             'rascad_requests_total{route="POST /v1/solve",status="200"} 1'
             in text
         )
-        assert 'quantile="p95"' in text
+        # Latency is a native histogram family, not quantile gauges.
+        assert "# TYPE rascad_latency_seconds histogram" in text
+        assert (
+            'rascad_latency_seconds_bucket{route="POST /v1/solve",le="+Inf"} 1'
+            in text
+        )
+        assert 'rascad_latency_seconds_count{route="POST /v1/solve"} 1' in text
+        assert "quantile=" not in text
 
     def test_render_prometheus_skips_non_numeric(self):
         text = render_prometheus({
             "engine": {"system_solves": 2, "notes": "text"},
             "service": {"uptime_seconds": 1.5},
         })
-        assert "rascad_engine_system_solves 2" in text
+        assert "rascad_engine_system_solves_total 2" in text
         assert "notes" not in text
         assert "rascad_service_uptime_seconds 1.5" in text

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""CI smoke test: one HTTP solve produces one complete exported trace.
+
+Exercises the observability pipeline end to end, with a real server
+process:
+
+1. Start ``rascad serve`` with ``--trace-dir`` (and ``--trace-detail``)
+   on a free port, JSON logging on.
+2. Solve a library model over HTTP and read the ``X-Rascad-Trace-Id``
+   response header.
+3. Assert ``<trace-dir>/spans.jsonl`` holds exactly that trace: a
+   single ``service.request`` root, queue/batch stages beneath it,
+   engine solve spans beneath those, and per-block detail spans — with
+   every parent link resolving inside the trace.
+4. Assert ``/debug/traces`` serves the same trace from the in-memory
+   ring, and ``rascad trace summary`` renders the directory.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs.export import read_spans  # noqa: E402
+
+STARTUP_TIMEOUT = 60.0
+
+
+def wait_for_port(log_path: Path, process: subprocess.Popen) -> str:
+    """The base URL, parsed from the server's startup line."""
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            sys.stdout.write(log_path.read_text())
+            raise AssertionError("server exited during startup")
+        match = re.search(
+            r"listening on (http://\S+)", log_path.read_text()
+        )
+        if match:
+            return match.group(1)
+        time.sleep(0.05)
+    raise AssertionError("server did not start within 60 s")
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def main() -> int:
+    base = Path(tempfile.mkdtemp(prefix="rascad-obs-smoke-"))
+    trace_dir = base / "traces"
+    log_path = base / "serve.log"
+    print(f"workdir: {base}")
+
+    with log_path.open("wb") as log:
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--no-cache",
+                "--trace-dir", str(trace_dir),
+                "--trace-detail",
+                "--log-json",
+            ],
+            stdout=log,
+            stderr=subprocess.STDOUT,
+        )
+    try:
+        url = wait_for_port(log_path, server)
+        print(f"server up at {url}")
+
+        spec = get_json(f"{url}/v1/library/workgroup")
+        body = json.dumps({"spec": spec}).encode()
+        request = urllib.request.Request(
+            f"{url}/v1/solve", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            assert response.status == 200, response.status
+            trace_id = response.headers.get("X-Rascad-Trace-Id")
+            payload = json.loads(response.read())
+        assert trace_id, "solve response carried no X-Rascad-Trace-Id"
+        assert 0.0 < payload["availability"] <= 1.0
+        print(f"solved over HTTP, trace {trace_id}")
+
+        # The same trace is live in the ring behind /debug/traces.
+        debug = get_json(f"{url}/debug/traces?trace_id={trace_id}")
+        assert debug["spans"], "/debug/traces returned no spans"
+    finally:
+        server.send_signal(signal.SIGTERM)
+        server.wait(timeout=30)
+
+    sys.stdout.write(log_path.read_text())
+
+    spans = read_spans(trace_dir, trace_id=trace_id)
+    names = [span["name"] for span in spans]
+    by_id = {span["span_id"]: span for span in spans}
+    for span in spans:
+        parent = span.get("parent_id")
+        assert parent is None or parent in by_id, (
+            f"span {span['name']} has dangling parent {parent}"
+        )
+
+    roots = [s for s in spans if s.get("parent_id") is None]
+    assert len(roots) == 1, f"expected one root span, got {roots}"
+    assert roots[0]["name"] == "service.request", roots[0]["name"]
+    assert roots[0]["trace_id"] == trace_id
+
+    for stage in (
+        "service.queue_wait", "service.batch",
+        "engine.solve", "engine.block_solve",
+    ):
+        assert stage in names, f"trace is missing a {stage} span"
+    engine_children = [n for n in names if n.startswith("engine.")]
+    assert engine_children, "no engine spans beneath the request"
+
+    summary = subprocess.run(
+        [
+            sys.executable, "-m", "repro",
+            "trace", "summary", str(trace_dir),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert summary.returncode == 0, summary.stderr
+    assert "service.request" in summary.stdout, summary.stdout
+
+    print(
+        f"PASS: one solve exported one complete trace "
+        f"({len(spans)} spans, root {roots[0]['span_id']}, "
+        f"{len(engine_children)} engine spans)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
