@@ -1,0 +1,220 @@
+"""E13 — the unified numerical kernel layer: sparse wins, grid wins.
+
+Two headline claims of the ``repro.num`` substrate:
+
+* **Representation crossover** — block chains generated for wide
+  redundancy (the paper's "larger N and K" regime) are extremely
+  sparse (~2.3 transitions per state), so the CSR ``sparse-direct``
+  backend overtakes dense LAPACK once the state count clears a few
+  hundred.  The ladder sweeps the redundancy quantity and reports the
+  per-solve time of both backends on identical operators.
+* **Shared-grid uniformization** — a 65-point transient curve through
+  :func:`repro.num.transient_grid` shares one ``v_k = p0 P^k`` power
+  sequence instead of re-running uniformization per point; the result
+  is bit-identical to per-point evaluation and at least 5x faster.
+
+Results also land in ``BENCH_e13_num.json`` at the repository root so
+the kernel numbers travel with the code.  ``python
+benchmarks/bench_e13_num.py --quick`` runs a reduced ladder for CI.
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import BlockParameters, GlobalParameters, generate_block_chain
+from repro.num import (
+    GeneratorOperator,
+    SolverOptions,
+    solve_steady,
+    transient_distribution,
+    transient_grid,
+)
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_e13_num.json"
+
+#: Redundancy quantities for the sparse-vs-dense ladder (~7 states per
+#: unit of quantity with nontransparent recovery and repair).
+LADDER = [32, 64, 128, 256]
+QUICK_LADDER = [32, 64]
+
+GRID_QUANTITY = 64
+QUICK_GRID_QUANTITY = 32
+GRID_POINTS = 65
+GRID_HORIZON_HOURS = 64.0
+
+
+def _wide_redundancy_chain(quantity):
+    """An N-of-1 wide-redundancy block chain (the paper's Section 4)."""
+    parameters = BlockParameters(
+        name="FRU",
+        quantity=quantity,
+        min_required=1,
+        mtbf_hours=50_000.0,
+        transient_fit=10_000.0,
+        p_latent_fault=0.05,
+        p_spf=0.02,
+        p_correct_diagnosis=0.95,
+        recovery="nontransparent",
+        repair="nontransparent",
+    )
+    return generate_block_chain(parameters, GlobalParameters())
+
+
+def _time_solve(op, options, repeats=3):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        pi = solve_steady(op, options)
+    elapsed = (time.perf_counter() - start) / repeats
+    return elapsed, pi
+
+
+def _representation_ladder(quantities):
+    """Dense vs sparse steady-state solve times on identical chains."""
+    rows = []
+    for quantity in quantities:
+        chain = _wide_redundancy_chain(quantity)
+        dense_op = GeneratorOperator.from_chain(chain, representation="dense")
+        sparse_op = GeneratorOperator.from_chain(
+            chain, representation="sparse"
+        )
+        dense_s, dense_pi = _time_solve(
+            dense_op, SolverOptions(steady_method="dense-direct")
+        )
+        sparse_s, sparse_pi = _time_solve(
+            sparse_op,
+            SolverOptions(
+                steady_method="sparse-direct", representation="sparse"
+            ),
+        )
+        np.testing.assert_allclose(sparse_pi, dense_pi, atol=1e-9)
+        rows.append({
+            "quantity": quantity,
+            "n_states": chain.n_states,
+            "nnz": sparse_op.nnz,
+            "dense_ms": round(dense_s * 1e3, 3),
+            "sparse_ms": round(sparse_s * 1e3, 3),
+        })
+    return rows
+
+
+def _grid_section(quantity):
+    """Shared-grid vs per-point uniformization on one transient curve."""
+    chain = _wide_redundancy_chain(quantity)
+    op = GeneratorOperator.from_chain(chain, representation="dense")
+    times = np.linspace(0.0, GRID_HORIZON_HOURS, GRID_POINTS).tolist()
+    p0 = chain.initial_distribution()
+
+    start = time.perf_counter()
+    grid = transient_grid(op, times, p0=p0)
+    grid_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    per_point = [transient_distribution(op, t, p0=p0) for t in times]
+    per_point_s = time.perf_counter() - start
+
+    bit_identical = all(
+        np.array_equal(a, b) for a, b in zip(grid, per_point)
+    )
+    return {
+        "quantity": quantity,
+        "n_states": chain.n_states,
+        "n_points": GRID_POINTS,
+        "horizon_hours": GRID_HORIZON_HOURS,
+        "grid_ms": round(grid_s * 1e3, 1),
+        "per_point_ms": round(per_point_s * 1e3, 1),
+        "speedup": round(per_point_s / grid_s, 2),
+        "bit_identical": bit_identical,
+    }
+
+
+def _run(quick=False):
+    ladder = _representation_ladder(QUICK_LADDER if quick else LADDER)
+    grid = _grid_section(QUICK_GRID_QUANTITY if quick else GRID_QUANTITY)
+
+    # The headline claims, asserted so a regression fails the benchmark.
+    largest = ladder[-1]
+    assert largest["sparse_ms"] < largest["dense_ms"], (
+        f"sparse-direct should win at {largest['n_states']} states"
+    )
+    assert grid["bit_identical"], "grid evaluation must match per-point"
+    assert grid["speedup"] >= 5.0, (
+        f"shared-grid speedup {grid['speedup']}x below the 5x floor"
+    )
+
+    crossover = next(
+        (row["n_states"] for row in ladder
+         if row["sparse_ms"] < row["dense_ms"]),
+        None,
+    )
+    return {
+        "benchmark": "e13_num_kernels",
+        "quick": quick,
+        "representation_ladder": ladder,
+        "sparse_crossover_n_states": crossover,
+        "uniformization_grid": grid,
+    }
+
+
+def _emit(results):
+    from ._report import emit_table
+
+    emit_table(
+        "E13: sparse vs dense steady-state solve (wide-redundancy chains)",
+        ["quantity", "states", "nnz", "dense ms", "sparse ms"],
+        [
+            [row["quantity"], row["n_states"], row["nnz"],
+             f"{row['dense_ms']:.2f}", f"{row['sparse_ms']:.2f}"]
+            for row in results["representation_ladder"]
+        ],
+    )
+    grid = results["uniformization_grid"]
+    emit_table(
+        f"E13: shared-grid uniformization, {grid['n_points']}-point curve "
+        f"({grid['n_states']} states)",
+        ["metric", "value"],
+        [
+            ["per-point", f"{grid['per_point_ms']:.0f} ms"],
+            ["shared grid", f"{grid['grid_ms']:.0f} ms"],
+            ["speedup", f"{grid['speedup']:.1f}x"],
+            ["bit-identical", "yes" if grid["bit_identical"] else "NO"],
+        ],
+    )
+
+
+def _write(results):
+    RESULT_PATH.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def bench_e13_num_kernels(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    _emit(results)
+    _write(results)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="E13 numerical-kernel benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced ladder for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    results = _run(quick=args.quick)
+    if not args.quick:
+        # Quick runs are CI smoke checks; only full runs refresh the
+        # checked-in result file.
+        _write(results)
+    print(json.dumps(results, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -89,6 +89,29 @@ def _engine_from_args(args: argparse.Namespace) -> Engine:
     )
 
 
+def _solver_options_from_args(args: argparse.Namespace):
+    """The solver configuration selected by the shared solver flags.
+
+    CLI flags take precedence over every other layer (request
+    payloads, job params, defaults); unset flags fall back to the
+    canonical defaults, so plain runs stay bit-identical to the
+    pre-registry dense direct solve.
+    """
+    from .num import SolverOptions
+
+    changes = {}
+    steady = getattr(args, "steady_method", None)
+    if steady is not None:
+        changes["steady_method"] = steady
+    transient = getattr(args, "transient_method", None)
+    if transient is not None:
+        changes["transient_method"] = transient
+    representation = getattr(args, "representation", None)
+    if representation is not None:
+        changes["representation"] = representation
+    return SolverOptions(**changes)
+
+
 def _persist_stats(engine: Engine, args: argparse.Namespace) -> None:
     """Best-effort snapshot persistence for a later ``rascad stats``."""
     directory = getattr(args, "cache_dir", None) or default_cache_dir()
@@ -102,7 +125,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     _configure_obs(args)
     model = _load(args)
     engine = _engine_from_args(args)
-    solution = engine.solve(model)
+    solution = engine.solve(model, _solver_options_from_args(args))
     _persist_stats(engine, args)
     measures = compute_measures(
         solution, mission_time_hours=args.mission
@@ -160,7 +183,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     model = _load(args)
     values = expand_values(args.values)
     engine = _engine_from_args(args)
-    points = engine.sweep_block_field(model, args.block, args.field, values)
+    points = engine.sweep_block_field(
+        model, args.block, args.field, values,
+        method=_solver_options_from_args(args),
+    )
     _persist_stats(engine, args)
     print(f"{'value':>12}  {'availability':>13}  {'min/yr':>10}")
     for point in points:
@@ -184,7 +210,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(report.summary())
         return 0 if report.passed else 1
     engine = _engine_from_args(args)
-    solution = engine.solve(model)
+    solution = engine.solve(model, _solver_options_from_args(args))
     result = engine.simulate_system(
         solution,
         horizon=args.horizon,
@@ -303,6 +329,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_detail=args.trace_detail,
         log_level=args.log_level,
         log_json=args.log_json,
+        default_solver=_solver_options_from_args(args),
     )
     return serve(config)
 
@@ -546,7 +573,30 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache", action="store_true",
             help="disable the solve cache for this run",
         )
+        add_solver_flags(subparser)
         add_obs_flags(subparser)
+
+    def add_solver_flags(subparser: argparse.ArgumentParser) -> None:
+        from .num import STEADY_ALIASES, TRANSIENT_METHODS, backend_names
+
+        subparser.add_argument(
+            "--steady-method", default=None, metavar="BACKEND",
+            choices=sorted(set(backend_names()) | set(STEADY_ALIASES)),
+            help="steady-state solver backend "
+                 "(default: dense-direct; see docs/solvers.md)",
+        )
+        subparser.add_argument(
+            "--transient-method", default=None, metavar="METHOD",
+            choices=sorted(TRANSIENT_METHODS),
+            help="transient solver: uniformization, expm, ode, or auto "
+                 "(default: uniformization)",
+        )
+        subparser.add_argument(
+            "--representation", default=None,
+            choices=["auto", "dense", "sparse"],
+            help="generator storage: dense ndarray, sparse CSR, or "
+                 "auto-select by size and fill-in (default: auto)",
+        )
 
     def add_obs_flags(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
@@ -766,8 +816,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep values; numbers or start:stop:count ranges "
              "(e.g. 1e5:1e6:10)",
     )
-    submit.add_argument("--method", default=None,
-                        choices=["direct", "gth", "power"])
+    from .num import STEADY_ALIASES, backend_names
+
+    submit.add_argument(
+        "--method", default=None,
+        choices=sorted(set(backend_names()) | set(STEADY_ALIASES)),
+        help="steady-state backend the job's solves use "
+             "(full control via a 'solver' object in --params)",
+    )
     submit.add_argument("--replications", type=int, default=None)
     submit.add_argument("--horizon", type=float, default=None)
     submit.add_argument("--seed", type=int, default=None)

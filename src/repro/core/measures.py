@@ -120,9 +120,10 @@ def _interval_availability(
     if grid_points < 3:
         grid_points = 3
     times = np.linspace(0.0, horizon, grid_points)
-    values = np.array(
-        [solution.point_availability(float(t)) for t in times]
-    )
+    # One grid call per block: sparse chains share a single
+    # uniformization power sequence across the whole grid instead of
+    # re-running the transient solve per time point.
+    values = np.array(solution.point_availability_grid(times))
     from scipy.integrate import simpson
 
     integral = float(simpson(values, x=times))
@@ -153,7 +154,7 @@ def system_mttf(
 
     for _round in range(max_doublings):
         times = np.linspace(left, left + width, 17)
-        values = np.array([solution.reliability(float(t)) for t in times])
+        values = np.array(solution.reliability_grid(times))
         segment = float(simpson(values, x=times))
         total += segment
         left += width

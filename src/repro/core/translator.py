@@ -23,18 +23,24 @@ Composition rules implemented here (DESIGN.md §5):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import SpecError
 from ..markov.chain import MarkovChain
 
-from ..markov.rewards import (
-    failure_frequency as chain_failure_frequency,
-    steady_state_availability,
+from ..markov.mttf import absorbing_variant
+from ..markov.rewards import crossing_frequency
+from ..num import (
+    DEFAULT_OPTIONS,
+    STIFFNESS_LIMIT,
+    SolverOptions,
+    as_operator,
+    as_options,
+    solve_steady,
+    transient_grid,
 )
-from ..markov.steady_state import steady_state
 from ..rbd.blocks import Leaf, Series
 from .block import DiagramBlockModel, MGBlock, MGDiagram
 from .generator import classify_model_type, generate_block_chain
@@ -124,33 +130,45 @@ class ChainSolve:
     availability: float
     failure_frequency: float
     steady_state: Dict[str, float]
+    backend: str = "dense-direct"
+    representation: str = "dense"
+    n_states: int = 0
+    nnz: int = 0
 
 
 #: Signature of a pluggable chain solver; :func:`translate` accepts one
 #: so callers (the evaluation engine) can memoize the per-block solves.
+#: The third argument is the canonicalised :class:`~repro.num.SolverOptions`.
 ChainSolver = Callable[
-    [BlockParameters, GlobalParameters, str], ChainSolve
+    [BlockParameters, GlobalParameters, SolverOptions], ChainSolve
 ]
 
 
 def solve_block_chain(
     effective: BlockParameters,
     global_parameters: GlobalParameters,
-    method: str = "direct",
+    method: Union[str, SolverOptions] = "direct",
 ) -> ChainSolve:
     """Generate and solve the CTMC for one block's effective parameters."""
+    options = as_options(method)
     chain = generate_block_chain(effective, global_parameters)
-    pi = steady_state(chain, method=method)
+    op = as_operator(chain, representation=options.representation)
+    pi_vector = solve_steady(op, options)
+    pi = dict(zip(chain.state_names, pi_vector.tolist()))
     availability = sum(
         pi[state.name] * (1.0 if state.is_up else 0.0) for state in chain
     )
-    frequency = chain_failure_frequency(chain, method=method)
+    frequency = crossing_frequency(chain, pi, up_to_down=True)
     return ChainSolve(
         chain=chain,
         model_type=classify_model_type(effective),
         availability=availability,
         failure_frequency=frequency,
         steady_state=pi,
+        backend=options.steady_method,
+        representation=op.representation,
+        n_states=chain.n_states,
+        nnz=op.nnz,
     )
 
 
@@ -174,60 +192,151 @@ class BlockSolution:
     failure_frequency: float
     steady_state: Dict[str, float] = field(default_factory=dict)
     children: List["BlockSolution"] = field(default_factory=list)
+    options: SolverOptions = DEFAULT_OPTIONS
 
     @property
     def name(self) -> str:
         return self.block.name
 
     def _matrices(self):
-        """Cached (Q, up indicator, Q_UU) for fast transient evaluation."""
+        """Cached (operator, up indicator, Q_UU, up indices)."""
         cached = getattr(self, "_matrix_cache", None)
         if cached is None:
-            q = self.chain.generator_matrix()
+            op = as_operator(
+                self.chain,
+                representation=self.options.representation,
+                validate=False,
+            )
             indicator = (self.chain.reward_vector() > 0).astype(float)
             up_index = [
                 i for i, value in enumerate(indicator) if value > 0
             ]
-            q_uu = q[np.ix_(up_index, up_index)]
-            cached = (q, indicator, q_uu, up_index)
+            q_uu = op.dense()[np.ix_(up_index, up_index)]
+            cached = (op, indicator, q_uu, up_index)
             self._matrix_cache = cached
         return cached
 
+    def _uniformization_points(self, op, times: Sequence[float]) -> List[int]:
+        """Grid indices the shared uniformization path should evaluate.
+
+        Sparse operators use the matrix-free shared grid whenever the
+        Poisson truncation stays tractable; dense (small) chains keep
+        the historic ``expm`` evaluation, which is exact and faster for
+        them.  The split is decided per time point so single-point calls
+        take the same branch as any grid containing that point.
+        """
+        if op.representation != "sparse":
+            return []
+        lam = op.uniformization_rate()
+        return [
+            i for i, t in enumerate(times) if lam * float(t) <= STIFFNESS_LIMIT
+        ]
+
+    def point_availability_grid(
+        self, times: Sequence[float]
+    ) -> List[float]:
+        """Instantaneous availability A(t) at every grid point.
+
+        Chain-backed blocks evaluate the whole grid from one shared
+        uniformization power sequence when the operator is sparse (see
+        :func:`repro.num.transient_grid`); results are identical to
+        calling :meth:`point_availability` per point.
+        """
+        times = [float(t) for t in times]
+        if self.chain is not None:
+            op, indicator, _q_uu, _up = self._matrices()
+            p0 = self.chain.initial_distribution()
+            results: List[Optional[float]] = [None] * len(times)
+            shared = self._uniformization_points(op, times)
+            if shared:
+                grid = transient_grid(
+                    op,
+                    [times[i] for i in shared],
+                    p0=p0,
+                    tol=self.options.uniformization_tol,
+                )
+                for i, probabilities in zip(shared, grid):
+                    results[i] = float(
+                        np.clip(probabilities @ indicator, 0.0, 1.0)
+                    )
+            rest = [i for i in range(len(times)) if results[i] is None]
+            if rest:
+                from scipy.linalg import expm
+
+                q = op.dense()
+                for i in rest:
+                    results[i] = float(
+                        np.clip(p0 @ expm(q * times[i]) @ indicator, 0.0, 1.0)
+                    )
+            return results  # type: ignore[return-value]
+        grids = [child.point_availability_grid(times) for child in self.children]
+        quantity = self.block.parameters.quantity
+        combined = []
+        for i in range(len(times)):
+            value = 1.0
+            for grid in grids:
+                value *= grid[i]
+            combined.append(value ** quantity)
+        return combined
+
+    def reliability_grid(self, times: Sequence[float]) -> List[float]:
+        """Mission reliability R(t) at every grid point.
+
+        Sparse chains build the absorbing variant once and share a
+        single uniformization power sequence across the grid; dense
+        chains keep the exact ``expm(Q_UU t)`` evaluation.
+        """
+        times = [float(t) for t in times]
+        if self.chain is not None:
+            op, _indicator, q_uu, up_index = self._matrices()
+            if len(up_index) == self.chain.n_states:
+                return [1.0] * len(times)
+            start = self.chain.index(self.chain.state_names[0])
+            row = up_index.index(start)
+            results: List[Optional[float]] = [None] * len(times)
+            shared = self._uniformization_points(op, times)
+            if shared:
+                absorbing = absorbing_variant(self.chain)
+                absorbing_op = as_operator(
+                    absorbing, representation="sparse", validate=False
+                )
+                p0 = absorbing.initial_distribution()
+                grid = transient_grid(
+                    absorbing_op,
+                    [times[i] for i in shared],
+                    p0=p0,
+                    tol=self.options.uniformization_tol,
+                )
+                for i, probabilities in zip(shared, grid):
+                    results[i] = float(
+                        np.clip(probabilities[up_index].sum(), 0.0, 1.0)
+                    )
+            rest = [i for i in range(len(times)) if results[i] is None]
+            if rest:
+                from scipy.linalg import expm
+
+                for i in rest:
+                    results[i] = float(
+                        np.clip(expm(q_uu * times[i])[row, :].sum(), 0.0, 1.0)
+                    )
+            return results  # type: ignore[return-value]
+        grids = [child.reliability_grid(times) for child in self.children]
+        quantity = self.block.parameters.quantity
+        combined = []
+        for i in range(len(times)):
+            value = 1.0
+            for grid in grids:
+                value *= grid[i]
+            combined.append(value ** quantity)
+        return combined
+
     def point_availability(self, t: float) -> float:
         """Instantaneous availability A(t), starting from all-up."""
-        if self.chain is not None:
-            from scipy.linalg import expm
-
-            q, indicator, _q_uu, _up = self._matrices()
-            p0 = self.chain.initial_distribution()
-            value = float(
-                np.clip(p0 @ expm(q * t) @ indicator, 0.0, 1.0)
-            )
-            # Redundant aggregate: the chain already covers the subtree.
-            return value
-        value = 1.0
-        for child in self.children:
-            value *= child.point_availability(t)
-        return value ** self.block.parameters.quantity
+        return self.point_availability_grid([t])[0]
 
     def reliability(self, t: float) -> float:
         """Mission reliability R(t): no failure of this block by t."""
-        if self.chain is not None:
-            from scipy.linalg import expm
-
-            _q, _indicator, q_uu, up_index = self._matrices()
-            if len(up_index) == self.chain.n_states:
-                return 1.0
-            start = self.chain.index(self.chain.state_names[0])
-            row = up_index.index(start)
-            value = float(
-                np.clip(expm(q_uu * t)[row, :].sum(), 0.0, 1.0)
-            )
-            return value
-        value = 1.0
-        for child in self.children:
-            value *= child.reliability(t)
-        return value ** self.block.parameters.quantity
+        return self.reliability_grid([t])[0]
 
 
 @dataclass
@@ -239,6 +348,7 @@ class SystemSolution:
     by_path: Dict[str, BlockSolution]
     availability: float
     failure_frequency: float
+    options: SolverOptions = DEFAULT_OPTIONS
 
     def block(self, path: str) -> BlockSolution:
         try:
@@ -262,30 +372,62 @@ class SystemSolution:
             value *= solution.reliability(t)
         return value
 
+    def point_availability_grid(self, times: Sequence[float]) -> List[float]:
+        """A(t) at every grid point, sharing per-block power sequences."""
+        times = [float(t) for t in times]
+        grids = [
+            solution.point_availability_grid(times)
+            for solution in self.blocks
+        ]
+        results = []
+        for i in range(len(times)):
+            value = 1.0
+            for grid in grids:
+                value *= grid[i]
+            results.append(value)
+        return results
+
+    def reliability_grid(self, times: Sequence[float]) -> List[float]:
+        """R(t) at every grid point, sharing per-block power sequences."""
+        times = [float(t) for t in times]
+        grids = [
+            solution.reliability_grid(times) for solution in self.blocks
+        ]
+        results = []
+        for i in range(len(times)):
+            value = 1.0
+            for grid in grids:
+                value *= grid[i]
+            results.append(value)
+        return results
+
 
 def translate(
     model: DiagramBlockModel,
-    method: str = "direct",
+    method: Union[str, SolverOptions] = "direct",
     chain_solver: Optional[ChainSolver] = None,
 ) -> SystemSolution:
     """Translate and solve a diagram/block model.
 
     Args:
         model: The MG specification tree.
-        method: Steady-state solver ("direct", "gth" or "power") —
-            exposed so the validation benchmarks can cross-check paths.
+        method: A steady-state backend name ("direct", "gth", "power",
+            "sparse-direct", "sparse-iterative") or a full
+            :class:`~repro.num.SolverOptions` value — exposed so the
+            validation benchmarks can cross-check paths.
         chain_solver: Optional replacement for
             :func:`solve_block_chain`; the evaluation engine passes a
             memoizing wrapper here so structurally identical blocks are
             solved once.
     """
     model.validate()
+    options = as_options(method)
     g = model.global_parameters
     solver = chain_solver or solve_block_chain
     by_path: Dict[str, BlockSolution] = {}
     top = [
         _solve_block(block, f"{model.root.name}/{block.name}", 1, g, by_path,
-                     method, solver)
+                     options, solver)
         for block in model.root
     ]
     availability = 1.0
@@ -298,6 +440,7 @@ def translate(
         by_path=by_path,
         availability=availability,
         failure_frequency=frequency,
+        options=options,
     )
 
 
@@ -323,7 +466,7 @@ def _solve_block(
     level: int,
     g: GlobalParameters,
     by_path: Dict[str, BlockSolution],
-    method: str,
+    options: SolverOptions,
     solver: ChainSolver = solve_block_chain,
 ) -> BlockSolution:
     children: List[BlockSolution] = []
@@ -331,7 +474,7 @@ def _solve_block(
         children = [
             _solve_block(
                 child, f"{path}/{child.name}", level + 1, g, by_path,
-                method, solver
+                options, solver
             )
             for child in block.subdiagram
         ]
@@ -352,6 +495,7 @@ def _solve_block(
             availability=availability,
             failure_frequency=frequency,
             children=children,
+            options=options,
         )
     else:
         if block.has_subdiagram:
@@ -373,7 +517,7 @@ def _solve_block(
             )
         else:
             effective = block.parameters
-        solved = solver(effective, g, method)
+        solved = solver(effective, g, options)
         solution = BlockSolution(
             path=path,
             level=level,
@@ -385,6 +529,7 @@ def _solve_block(
             failure_frequency=solved.failure_frequency,
             steady_state=solved.steady_state,
             children=children,
+            options=options,
         )
     by_path[path] = solution
     return solution

@@ -22,6 +22,7 @@ from .keys import (
     block_digest,
     canonical_payload,
     chain_digest,
+    method_token,
     model_digest,
     task_seed,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "block_digest",
     "canonical_payload",
     "chain_digest",
+    "method_token",
     "model_digest",
     "task_seed",
     "EngineStats",

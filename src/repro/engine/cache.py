@@ -28,7 +28,7 @@ from typing import Iterator, Optional, Tuple, Union
 
 #: Bumped whenever the pickled payload layout changes; mismatched disk
 #: entries are silently discarded.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 #: Default persistent-cache location (override per-engine or with the
 #: ``RASCAD_CACHE_DIR`` environment variable).

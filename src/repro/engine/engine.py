@@ -42,14 +42,19 @@ from ..core.translator import (
 )
 from ..errors import SolverError
 from ..markov.chain import MarkovChain
-from ..markov.rewards import failure_frequency as chain_failure_frequency
+from ..markov.rewards import crossing_frequency
 from ..markov.steady_state import steady_state
+from ..num import SolverOptions, as_options
 from ..obs.trace import get_tracer
 from ..units import MINUTES_PER_YEAR, availability_to_yearly_downtime_minutes
 from .cache import SolveCache, default_cache_dir
 from .executor import run_batch, seeded_tasks
 from .keys import block_digest, chain_digest, model_digest
 from .stats import EngineStats, StatsCollector, save_stats
+
+#: Anything the engine accepts as a solve method: a legacy method name
+#: ("direct", "gth", ...) or a full :class:`~repro.num.SolverOptions`.
+MethodLike = Union[str, SolverOptions]
 
 
 class Engine:
@@ -98,27 +103,30 @@ class Engine:
     # ------------------------------------------------------------------
     # cached solving
     # ------------------------------------------------------------------
-    def chain_solver(self, method: str = "direct") -> ChainSolver:
+    def chain_solver(self, method: MethodLike = "direct") -> ChainSolver:
         """A memoizing chain solver for :func:`repro.core.translate`."""
+        options = as_options(method)
 
         def solver(
             effective: BlockParameters,
             global_parameters: GlobalParameters,
-            solve_method: str = method,
+            solve_options: SolverOptions = options,
         ) -> ChainSolve:
             # Detail-level: one span per *block* solve floods traces of
             # sweep-heavy workloads, so it is opt-in (``--trace-detail``).
             with get_tracer().span_detail(
-                "engine.block_solve", method=solve_method
+                "engine.block_solve", method=solve_options.steady_method
             ) as span:
                 if self.cache is None:
-                    self.stats.increment("block_solves")
                     span.set_attr("cache", "off")
-                    return solve_block_chain(
-                        effective, global_parameters, solve_method
+                    return self._record_block_solve(
+                        solve_block_chain(
+                            effective, global_parameters, solve_options
+                        ),
+                        span,
                     )
                 key = block_digest(
-                    effective, global_parameters, solve_method
+                    effective, global_parameters, solve_options
                 )
                 value, layer = self.cache.get_block(key)
                 if value is not None:
@@ -127,18 +135,30 @@ class Engine:
                         self.stats.increment("disk_hits")
                     span.set_attr("cache", layer or "memory")
                     return value
-                solved = solve_block_chain(
-                    effective, global_parameters, solve_method
+                solved = self._record_block_solve(
+                    solve_block_chain(
+                        effective, global_parameters, solve_options
+                    ),
+                    span,
                 )
-                self.stats.increment("block_solves")
                 span.set_attr("cache", "miss")
                 self.cache.put_block(key, solved)
                 return solved
 
         return solver
 
+    def _record_block_solve(self, solved: ChainSolve, span) -> ChainSolve:
+        """Count one computed block solve and annotate its span."""
+        self.stats.increment("block_solves")
+        self.stats.record_backend_solve(solved.backend, solved.n_states)
+        span.set_attr("backend", solved.backend)
+        span.set_attr("representation", solved.representation)
+        span.set_attr("n_states", solved.n_states)
+        span.set_attr("nnz", solved.nnz)
+        return solved
+
     def solve(
-        self, model: DiagramBlockModel, method: str = "direct"
+        self, model: DiagramBlockModel, method: MethodLike = "direct"
     ) -> SystemSolution:
         """Cached, instrumented equivalent of ``translate(model)``.
 
@@ -148,9 +168,12 @@ class Engine:
             return self._solve(model, method)
 
     def _solve(
-        self, model: DiagramBlockModel, method: str
+        self, model: DiagramBlockModel, method: MethodLike
     ) -> SystemSolution:
-        with get_tracer().span("engine.solve", method=method) as span:
+        method = as_options(method)
+        with get_tracer().span(
+            "engine.solve", method=method.steady_method
+        ) as span:
             if self.cache is not None:
                 key = model_digest(model, method)
                 cached = self.cache.get_system(key)
@@ -172,7 +195,7 @@ class Engine:
             return solution
 
     async def solve_async(
-        self, model: DiagramBlockModel, method: str = "direct"
+        self, model: DiagramBlockModel, method: MethodLike = "direct"
     ) -> SystemSolution:
         """:meth:`solve` without blocking the event loop.
 
@@ -188,7 +211,7 @@ class Engine:
     def solve_many(
         self,
         models: Sequence[DiagramBlockModel],
-        method: str = "direct",
+        method: MethodLike = "direct",
     ) -> List[SystemSolution]:
         """Solve several *distinct* models as one batch.
 
@@ -199,6 +222,7 @@ class Engine:
         same specs hit locally.  Serial engines just loop.
         """
         models = list(models)
+        method = as_options(method)
         if not models:
             return []
         if self.jobs == 1 or len(models) == 1:
@@ -225,7 +249,7 @@ class Engine:
         return solutions
 
     def solve_chain(
-        self, chain: MarkovChain, method: str = "direct"
+        self, chain: MarkovChain, method: MethodLike = "direct"
     ) -> Dict[str, float]:
         """Cached steady-state solve of a raw CTMC.
 
@@ -233,8 +257,9 @@ class Engine:
         frequency are derived and cached alongside under the keys
         ``"__availability__"`` and ``"__failure_frequency__"``.
         """
+        options = as_options(method)
         key = (
-            chain_digest(chain, method) if self.cache is not None else None
+            chain_digest(chain, options) if self.cache is not None else None
         )
         if key is not None:
             value, layer = self.cache.get_block(key)
@@ -243,16 +268,21 @@ class Engine:
                 if layer == "disk":
                     self.stats.increment("disk_hits")
                 return value
-        pi = dict(steady_state(chain, method=method))
+        pi = dict(steady_state(chain, method=options))
+        # Derive the failure frequency from the distribution already in
+        # hand (the solve is deterministic, so this matches what a
+        # second markov.rewards.failure_frequency solve would sum).
+        frequency = crossing_frequency(chain, pi, up_to_down=True)
         # Reward-weighted, in chain state order — bit-identical to
         # markov.rewards.steady_state_availability.
         pi["__availability__"] = sum(
             pi[state.name] * state.reward for state in chain
         )
-        pi["__failure_frequency__"] = chain_failure_frequency(
-            chain, method=method
-        )
+        pi["__failure_frequency__"] = frequency
         self.stats.increment("block_solves")
+        self.stats.record_backend_solve(
+            options.steady_method, chain.n_states
+        )
         if key is not None:
             self.cache.put_block(key, pi)
         return pi
@@ -280,7 +310,7 @@ class Engine:
         path: str,
         field: str,
         values: Sequence[object],
-        method: str = "direct",
+        method: MethodLike = "direct",
     ) -> List["SweepPoint"]:
         """Engine-backed :func:`repro.analysis.sweep_block_field`."""
         return self._sweep(model, path, field, values, method)
@@ -290,7 +320,7 @@ class Engine:
         model: DiagramBlockModel,
         field: str,
         values: Sequence[object],
-        method: str = "direct",
+        method: MethodLike = "direct",
     ) -> List["SweepPoint"]:
         """Engine-backed :func:`repro.analysis.sweep_global_field`."""
         return self._sweep(model, None, field, values, method)
@@ -301,11 +331,12 @@ class Engine:
         path: Optional[str],
         field: str,
         values: Sequence[object],
-        method: str,
+        method: MethodLike,
     ) -> List["SweepPoint"]:
         from ..analysis.parametric import SweepPoint
 
         values = list(values)
+        method = as_options(method)
         with self.stats.timer("sweep"):
             if self.jobs == 1:
                 availabilities = [
@@ -483,7 +514,7 @@ def _sweep_point_task(
     path: Optional[str],
     field: str,
     value: object,
-    method: str,
+    method: MethodLike,
     engine: Optional[Engine] = None,
     cache_dir: Optional[Path] = None,
     use_cache: bool = True,
@@ -504,7 +535,7 @@ def _sweep_point_task(
 
 def _solve_model_task(
     model: DiagramBlockModel,
-    method: str,
+    method: MethodLike,
     cache_dir: Optional[Path] = None,
     use_cache: bool = True,
 ) -> SystemSolution:
@@ -514,7 +545,7 @@ def _solve_model_task(
 
 def _solve_availability_task(
     model: DiagramBlockModel,
-    method: str,
+    method: MethodLike,
     cache_dir: Optional[Path] = None,
     use_cache: bool = True,
 ) -> float:

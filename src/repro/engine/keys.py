@@ -25,12 +25,13 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import fields
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..core.block import DiagramBlockModel, MGBlock, MGDiagram
 from ..core.parameters import BlockParameters, GlobalParameters, Scenario
 from ..errors import EngineError
 from ..markov.chain import MarkovChain
+from ..num import SolverOptions, as_options
 
 #: Annotation-only BlockParameters fields that never affect a solve.
 _ANNOTATION_FIELDS = frozenset({"description", "part_number"})
@@ -130,10 +131,21 @@ def _digest(payload: Dict[str, object], context: List[object]) -> str:
     return hashlib.sha256(encoded).hexdigest()
 
 
+def method_token(method: Union[str, SolverOptions]) -> str:
+    """The canonical solver-options token digested into cache keys.
+
+    Legacy method strings and full :class:`~repro.num.SolverOptions`
+    values canonicalise to the same token space, so ``"direct"`` and
+    ``SolverOptions()`` share cached results while distinct backends
+    (or tolerances) can never alias each other.
+    """
+    return as_options(method).cache_token()
+
+
 def block_digest(
     effective: BlockParameters,
     global_parameters: GlobalParameters,
-    method: str = "direct",
+    method: Union[str, SolverOptions] = "direct",
 ) -> str:
     """Cache key for one block-chain solve.
 
@@ -142,18 +154,22 @@ def block_digest(
     """
     return _digest(
         canonical_payload(effective),
-        [canonical_payload(global_parameters), method],
+        [canonical_payload(global_parameters), method_token(method)],
     )
 
 
-def model_digest(model: DiagramBlockModel, method: str = "direct") -> str:
+def model_digest(
+    model: DiagramBlockModel, method: Union[str, SolverOptions] = "direct"
+) -> str:
     """Cache key for a whole-model solve (``translate``)."""
-    return _digest(canonical_payload(model), [method])
+    return _digest(canonical_payload(model), [method_token(method)])
 
 
-def chain_digest(chain: MarkovChain, method: str = "direct") -> str:
+def chain_digest(
+    chain: MarkovChain, method: Union[str, SolverOptions] = "direct"
+) -> str:
     """Cache key for a raw CTMC steady-state solve (GMB/library chains)."""
-    return _digest(canonical_payload(chain), [method])
+    return _digest(canonical_payload(chain), [method_token(method)])
 
 
 def task_seed(base_seed: Optional[int], index: int) -> Optional[int]:

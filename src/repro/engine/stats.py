@@ -259,6 +259,19 @@ class StatsCollector:
         with self._lock:
             self._gauges[name] = float(value)
 
+    def record_backend_solve(self, backend: str, n_states: int) -> None:
+        """Count one computed solve against its numerical backend.
+
+        Maintains the ``solves_by_backend.<name>`` counters and the
+        high-water ``largest_n_states`` gauge surfaced by
+        ``rascad stats`` and ``GET /metrics``.
+        """
+        with self._lock:
+            key = f"solves_by_backend.{backend}"
+            self._counters[key] = self._counters.get(key, 0) + 1
+            if float(n_states) > self._gauges.get("largest_n_states", 0.0):
+                self._gauges["largest_n_states"] = float(n_states)
+
     def record_request(self, route: str, status: int) -> None:
         """Count one served request under ``"<route> <status>"``."""
         key = f"{route} {status}"
@@ -402,6 +415,17 @@ def metrics_payload(
             "block_lookups": stats.block_lookups,
             "wall_seconds": stats.wall_seconds,
             "worker_utilization": stats.worker_utilization,
+        }
+        prefix = "solves_by_backend."
+        payload["solvers"] = {
+            "solves_by_backend": {
+                name[len(prefix):]: count
+                for name, count in sorted(stats.counters.items())
+                if name.startswith(prefix)
+            },
+            "largest_n_states": int(
+                stats.gauges.get("largest_n_states", 0.0)
+            ),
         }
     if disk_usage is not None:
         entries, size = disk_usage

@@ -28,6 +28,23 @@ class SolverError(RascadError):
     """A numerical solution failed or did not converge."""
 
 
+class UnknownBackendError(SolverError):
+    """A solver backend name is not registered.
+
+    Attributes:
+        name: The unknown name that was requested.
+        valid: The registered names that would have been accepted.
+    """
+
+    def __init__(self, name: str, valid: tuple) -> None:
+        self.name = name
+        self.valid = tuple(valid)
+        super().__init__(
+            f"unknown solver backend {name!r}; "
+            f"expected one of {sorted(self.valid)}"
+        )
+
+
 class DatabaseError(RascadError):
     """A part-number lookup against the component database failed."""
 

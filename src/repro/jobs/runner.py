@@ -36,7 +36,8 @@ from ..engine.engine import (
     _solve_availability_task,
     _sweep_point_task,
 )
-from ..errors import SpecError
+from ..errors import SolverError, SpecError
+from ..num import SolverOptions, as_options
 from ..obs import get_logger, get_tracer
 from ..spec import parse_spec
 from ..units import MINUTES_PER_YEAR, availability_to_yearly_downtime_minutes
@@ -116,6 +117,27 @@ def _require(params, key: str, kind_name: str):
     return params[key]
 
 
+def _solver_options(params, kind_name: str) -> SolverOptions:
+    """The job's solver configuration from ``params``.
+
+    ``params.solver`` (a full options object) wins over the legacy
+    ``params.method`` string.  Both live in the job's persisted,
+    digested parameters, so a resumed job re-plans with exactly the
+    backend it started with.  Bad names or tolerances are the
+    submitter's fault — a permanent :class:`~repro.errors.SpecError`,
+    not a retryable solver failure.
+    """
+    raw = params.get("solver")
+    if raw is None:
+        raw = str(params.get("method", "direct"))
+    try:
+        return as_options(raw)
+    except SolverError as exc:
+        raise SpecError(
+            f"{kind_name} job has invalid params.solver: {exc}"
+        ) from exc
+
+
 def _float_list(raw: object, label: str) -> List[float]:
     if not isinstance(raw, (list, tuple)) or not raw:
         raise SpecError(f"{label} must be a non-empty list of numbers")
@@ -152,7 +174,7 @@ def _plan_sweep(
     values = _float_list(_require(params, "values", "sweep"),
                          "params.values")
     block = params.get("block")
-    method = str(params.get("method", "direct"))
+    method = _solver_options(params, "sweep")
 
     def solve_range(lo: int, hi: int) -> List[float]:
         if engine.jobs == 1:
@@ -199,6 +221,7 @@ def _plan_uncertainty(
     samples = int(params.get("samples", 100))
     if samples < 2:
         raise SpecError(f"need at least 2 samples, got {samples}")
+    method = _solver_options(params, "uncertainty")
     seed = params.get("seed")
     entries = _require(params, "uncertain", "uncertainty")
     if not isinstance(entries, (list, tuple)) or not entries:
@@ -229,14 +252,14 @@ def _plan_uncertainty(
     def solve_range(lo: int, hi: int) -> List[float]:
         if engine.jobs == 1:
             return [
-                engine._solve(variant, "direct").availability
+                engine._solve(variant, method).availability
                 for variant in variants[lo:hi]
             ]
         cache_dir, use_cache = engine._worker_cache_config
         return engine.map(
             _solve_availability_task,
             [
-                (variant, "direct", cache_dir, use_cache)
+                (variant, method, cache_dir, use_cache)
                 for variant in variants[lo:hi]
             ],
             stage="jobs",
@@ -276,7 +299,7 @@ def _plan_validate(
     horizon = float(params.get("horizon", 30_000.0))
     seed = params.get("seed", 0)
     seed = 0 if seed is None else int(seed)  # resumes must be seeded
-    method = str(params.get("method", "direct"))
+    method = _solver_options(params, "validate")
     solution = engine.solve(model, method)
     contributing = contributing_blocks(solution)
     g = model.global_parameters

@@ -21,6 +21,7 @@ from .transient import (
     uniformization_terms,
 )
 from .rewards import (
+    crossing_frequency,
     expected_reward_rate,
     steady_state_availability,
     interval_reward,
@@ -60,6 +61,7 @@ __all__ = [
     "transient_probabilities_ode",
     "transient_curve",
     "uniformization_terms",
+    "crossing_frequency",
     "expected_reward_rate",
     "steady_state_availability",
     "interval_reward",

@@ -5,15 +5,27 @@ entry into any down state as mission failure.  This module derives the
 absorbing variant of an availability chain and computes MTTF, the
 reliability function R(t), the hazard rate, and the paper's interval
 failure rate over ``(0, T)``.
+
+Generator construction, the MTTF fundamental-matrix solve and the
+uniformization power sequence all live in :mod:`repro.num`;
+:func:`reliability_curve` evaluates the whole time grid from a single
+power sequence instead of re-running uniformization per point.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import ModelError, SolverError
+from ..num import (
+    SolverOptions,
+    absorption_times,
+    as_operator,
+    as_options,
+    transient_grid,
+)
 from .chain import MarkovChain
 from .transient import transient_probabilities, transient_probabilities_ode
 
@@ -48,26 +60,25 @@ def _transient_partition(chain: MarkovChain) -> List[int]:
 
 
 def mean_time_to_failure(
-    chain: MarkovChain, start: Optional[str] = None
+    chain: MarkovChain,
+    start: Optional[str] = None,
+    options: Union[None, str, SolverOptions] = None,
 ) -> float:
     """MTTF from ``start`` (default: first state) until any down state.
 
     Solves the fundamental-matrix system ``Q_UU tau = -1`` restricted to
     up states; ``tau_i`` is the expected time to absorption from state i.
+    The solve is dense LAPACK or sparse SuperLU depending on the
+    operator representation selected by ``options``.
     """
     up_index = _transient_partition(chain)
     if not up_index:
         raise ModelError(f"chain {chain.name!r} has no up state")
     if len(up_index) == chain.n_states:
         return float("inf")
-    q = chain.generator_matrix()
-    q_uu = q[np.ix_(up_index, up_index)]
-    try:
-        tau = np.linalg.solve(q_uu, -np.ones(len(up_index)))
-    except np.linalg.LinAlgError as exc:
-        raise SolverError(f"MTTF system is singular: {exc}") from exc
-    if (tau < -1e-9).any():
-        raise SolverError("MTTF solve produced negative expected times")
+    opts = as_options(options)
+    op = as_operator(chain, representation=opts.representation, validate=False)
+    tau = absorption_times(op, up_index, opts)
     start_name = start if start is not None else chain.state_names[0]
     position = chain.index(start_name)
     if position not in up_index:
@@ -96,9 +107,27 @@ def reliability_curve(
     chain: MarkovChain,
     times: Sequence[float],
     start: Optional[str] = None,
+    options: Union[None, str, SolverOptions] = None,
 ) -> List[float]:
-    """R(t) sampled at each time point."""
-    return [reliability_at(chain, float(t), start=start) for t in times]
+    """R(t) sampled at each time point.
+
+    The absorbing variant is built once and the whole grid shares a
+    single uniformization power sequence; each value is bit-identical
+    to calling :func:`reliability_at` point by point.
+    """
+    times = [float(t) for t in times]
+    if not times:
+        return []
+    opts = as_options(options)
+    absorbing = absorbing_variant(chain)
+    p0 = absorbing.initial_distribution(start)
+    op = as_operator(absorbing, representation=opts.representation)
+    up_index = _transient_partition(absorbing)
+    grid = transient_grid(op, times, p0=p0, tol=opts.uniformization_tol)
+    return [
+        float(np.clip(probabilities[up_index].sum(), 0.0, 1.0))
+        for probabilities in grid
+    ]
 
 
 def hazard_rate(
@@ -117,8 +146,7 @@ def hazard_rate(
     step = dt if dt is not None else max(t, 1.0) * 1e-4
     lo = max(t - step, 0.0)
     hi = t + step
-    r_lo = reliability_at(chain, lo, start=start)
-    r_hi = reliability_at(chain, hi, start=start)
+    r_lo, r_hi = reliability_curve(chain, [lo, hi], start=start)
     if r_lo <= 0.0 or r_hi <= 0.0:
         raise SolverError(
             f"reliability vanished near t={t}; hazard rate undefined"

@@ -4,6 +4,11 @@ RAScad assigns each state a reward rate (1 = up, 0 = down) and derives
 system measures from reward-weighted probabilities [Goal/Lavenberg/Trivedi
 1987; Trivedi 1982].  This module provides the steady-state and interval
 (cumulative) reward measures the paper lists in Section 4.
+
+The interval integrals share the uniformization core in
+:mod:`repro.num.uniformization` with the transient and reliability
+paths; steady-state measures accept any registered solver backend via
+:class:`~repro.num.SolverOptions`.
 """
 
 from __future__ import annotations
@@ -12,12 +17,10 @@ from typing import Optional, Union
 
 import numpy as np
 from scipy.integrate import solve_ivp
-from scipy.stats import poisson
 
 from ..errors import SolverError
+from ..num import SolverOptions, as_operator, interval_reward_value
 from .chain import MarkovChain
-from .steady_state import _as_generator
-from .transient import uniformization_terms
 
 
 def expected_reward_rate(pi: np.ndarray, rewards: np.ndarray) -> float:
@@ -32,7 +35,7 @@ def expected_reward_rate(pi: np.ndarray, rewards: np.ndarray) -> float:
 
 
 def steady_state_availability(
-    chain: MarkovChain, method: str = "direct"
+    chain: MarkovChain, method: Union[str, SolverOptions] = "direct"
 ) -> float:
     """Steady-state availability: reward-weighted stationary probability."""
     from .steady_state import steady_state
@@ -63,8 +66,8 @@ def interval_reward(
 
     ``"auto"`` picks between them by stiffness.
     """
-    q = _as_generator(chain)
-    n = q.shape[0]
+    op = as_operator(chain, validate=False)
+    n = op.n
     if rewards is None:
         if not isinstance(chain, MarkovChain):
             raise SolverError("rewards are required for a bare generator")
@@ -82,42 +85,19 @@ def interval_reward(
     if horizon == 0:
         return float(p0 @ rewards)
 
-    lam = float(-q.diagonal().min())
+    lam = op.uniformization_rate()
     if method == "auto":
         method = "ode" if lam * horizon > 1e6 else "uniformization"
 
     if method == "uniformization":
-        return _interval_reward_uniformization(q, horizon, rewards, p0, tol)
+        op.validate()
+        return interval_reward_value(op, horizon, rewards, p0, tol=tol)
     if method == "ode":
-        return _interval_reward_ode(q, horizon, rewards, p0)
+        return _interval_reward_ode(op.dense(), horizon, rewards, p0)
     raise SolverError(
         f"unknown interval-reward method {method!r}; "
         "expected 'auto', 'uniformization' or 'ode'"
     )
-
-
-def _interval_reward_uniformization(
-    q: np.ndarray,
-    horizon: float,
-    rewards: np.ndarray,
-    p0: np.ndarray,
-    tol: float,
-) -> float:
-    p, lam, n_terms = uniformization_terms(q, horizon, tol=tol)
-    if lam == 0.0:
-        return float(p0 @ rewards)
-    mean = lam * horizon
-    # Integral weights: int_0^T pois(k; lam s) ds = sf(k, mean) / lam.
-    ks = np.arange(n_terms)
-    weights = poisson.sf(ks, mean) / lam
-    acc = 0.0
-    v = p0.copy()
-    for k in range(n_terms):
-        acc += weights[k] * float(v @ rewards)
-        if weights[k] < tol * max(acc, 1.0) and k > mean:
-            break
-        v = v @ p
-    return acc / horizon
 
 
 def _interval_reward_ode(
@@ -155,7 +135,9 @@ def interval_availability(
     return interval_reward(chain, horizon, rewards=indicator, p0=p0, method=method)
 
 
-def failure_frequency(chain: MarkovChain, method: str = "direct") -> float:
+def failure_frequency(
+    chain: MarkovChain, method: Union[str, SolverOptions] = "direct"
+) -> float:
     """Steady-state system failure frequency (events per hour).
 
     The rate of up -> down crossings: ``sum_{i up} pi_i sum_{j down} q_ij``.
@@ -163,7 +145,9 @@ def failure_frequency(chain: MarkovChain, method: str = "direct") -> float:
     return _crossing_frequency(chain, up_to_down=True, method=method)
 
 
-def recovery_frequency(chain: MarkovChain, method: str = "direct") -> float:
+def recovery_frequency(
+    chain: MarkovChain, method: Union[str, SolverOptions] = "direct"
+) -> float:
     """Steady-state system recovery frequency (down -> up crossings)."""
     return _crossing_frequency(chain, up_to_down=False, method=method)
 
@@ -220,12 +204,17 @@ def interval_recovery_frequency(
     )
 
 
-def _crossing_frequency(
-    chain: MarkovChain, up_to_down: bool, method: str
+def crossing_frequency(
+    chain: MarkovChain,
+    pi: dict,
+    up_to_down: bool = True,
 ) -> float:
-    from .steady_state import steady_state
+    """Steady-state crossing frequency from a precomputed distribution.
 
-    pi = steady_state(chain, method=method)
+    ``pi`` maps state names to stationary probabilities (the result of
+    :func:`~repro.markov.steady_state.steady_state`); callers that have
+    already solved the chain avoid a second full solve.
+    """
     up = set(chain.up_states())
     total = 0.0
     for transition in chain.transitions():
@@ -239,3 +228,14 @@ def _crossing_frequency(
         if crosses:
             total += pi[transition.source] * transition.rate
     return total
+
+
+def _crossing_frequency(
+    chain: MarkovChain,
+    up_to_down: bool,
+    method: Union[str, SolverOptions],
+) -> float:
+    from .steady_state import steady_state
+
+    pi = steady_state(chain, method=method)
+    return crossing_frequency(chain, pi, up_to_down=up_to_down)

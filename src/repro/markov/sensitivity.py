@@ -20,6 +20,7 @@ from typing import Callable, Dict, Iterable, List, Tuple
 import numpy as np
 
 from ..errors import SolverError
+from ..num import as_operator
 from .chain import MarkovChain
 
 ChainFactory = Callable[[float], MarkovChain]
@@ -83,7 +84,7 @@ def stationary_derivative(
     from .steady_state import solve_steady_state
 
     pi = solve_steady_state(chain)
-    m = chain.generator_matrix()
+    m = as_operator(chain, representation="dense", validate=False).dense().copy()
     m[:, -1] = 1.0
     direction = np.zeros((n, n))
     direction[i, j] += 1.0

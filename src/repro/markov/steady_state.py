@@ -1,4 +1,4 @@
-"""Steady-state solution of CTMCs.
+"""Steady-state solution of CTMCs — compatibility shims over ``repro.num``.
 
 Three independent numerical paths are provided on purpose: the direct
 linear solve is the production path; Grassmann-Taksar-Heyman (GTH)
@@ -7,6 +7,10 @@ whose rates span nine orders of magnitude (FIT-level transients vs.
 minute-level reboots); uniformized power iteration is the third opinion
 used by the E4/E5 cross-validation benchmarks, mirroring how RAScad was
 validated against SHARPE and MEADEP.
+
+The implementations live in :mod:`repro.num` (see
+:func:`repro.num.solve_steady` and the backend registry); this module
+keeps the historic one-call-per-method signatures working unchanged.
 """
 
 from __future__ import annotations
@@ -15,30 +19,16 @@ from typing import Dict, Union
 
 import numpy as np
 
-from ..errors import SolverError
+from ..errors import SolverError, UnknownBackendError
+from ..num import (
+    SolverOptions,
+    as_operator,
+    as_options,
+    backend_names,
+    power_iteration,
+    solve_steady,
+)
 from .chain import MarkovChain
-
-
-def _as_generator(model: Union[MarkovChain, np.ndarray]) -> np.ndarray:
-    if isinstance(model, MarkovChain):
-        return model.generator_matrix()
-    q = np.asarray(model, dtype=float)
-    if q.ndim != 2 or q.shape[0] != q.shape[1]:
-        raise SolverError(f"generator must be square, got shape {q.shape}")
-    return q
-
-
-def _check_generator(q: np.ndarray) -> None:
-    n = q.shape[0]
-    off_diag = q - np.diag(np.diag(q))
-    if (off_diag < -1e-15).any():
-        raise SolverError("generator has negative off-diagonal rates")
-    row_sums = np.abs(q.sum(axis=1))
-    scale = max(1.0, float(np.abs(q).max()))
-    if (row_sums > 1e-8 * scale).any():
-        raise SolverError("generator rows do not sum to zero")
-    if n == 0:
-        raise SolverError("empty generator")
 
 
 def solve_steady_state(model: Union[MarkovChain, np.ndarray]) -> np.ndarray:
@@ -47,26 +37,7 @@ def solve_steady_state(model: Union[MarkovChain, np.ndarray]) -> np.ndarray:
     The singular system is made determinate by replacing one balance
     equation with the normalisation constraint.
     """
-    q = _as_generator(model)
-    _check_generator(q)
-    n = q.shape[0]
-    if n == 1:
-        return np.array([1.0])
-    a = q.T.copy()
-    a[-1, :] = 1.0
-    b = np.zeros(n)
-    b[-1] = 1.0
-    try:
-        pi = np.linalg.solve(a, b)
-    except np.linalg.LinAlgError:
-        pi, *_ = np.linalg.lstsq(a, b, rcond=None)
-    if not np.isfinite(pi).all():
-        raise SolverError("direct steady-state solve produced non-finite values")
-    pi = np.clip(pi, 0.0, None)
-    total = pi.sum()
-    if total <= 0:
-        raise SolverError("direct steady-state solve produced a zero vector")
-    return pi / total
+    return solve_steady(model, SolverOptions(steady_method="dense-direct"))
 
 
 def solve_steady_state_gth(model: Union[MarkovChain, np.ndarray]) -> np.ndarray:
@@ -76,34 +47,7 @@ def solve_steady_state_gth(model: Union[MarkovChain, np.ndarray]) -> np.ndarray:
     and divisions of non-negative quantities, so it suffers no catastrophic
     cancellation even on extremely stiff generators.  O(n^3).
     """
-    q = _as_generator(model)
-    _check_generator(q)
-    n = q.shape[0]
-    if n == 1:
-        return np.array([1.0])
-    p = q.copy().astype(float)
-    # Work on the off-diagonal rate matrix; the diagonal is implied.
-    np.fill_diagonal(p, 0.0)
-    for k in range(n - 1, 0, -1):
-        total = p[k, :k].sum()
-        if total <= 0.0:
-            # State k cannot reach eliminated block; treat as unreachable
-            # in steady state by leaving a zero pivot (handled below).
-            continue
-        p[:k, :k] += np.outer(p[:k, k], p[k, :k]) / total
-
-    pi = np.zeros(n)
-    pi[0] = 1.0
-    for k in range(1, n):
-        total = p[k, :k].sum()
-        if total <= 0.0:
-            pi[k] = 0.0
-            continue
-        pi[k] = pi[:k] @ p[:k, k] / total
-    norm = pi.sum()
-    if norm <= 0 or not np.isfinite(norm):
-        raise SolverError("GTH elimination failed to normalise")
-    return pi / norm
+    return solve_steady(model, SolverOptions(steady_method="gth"))
 
 
 def solve_steady_state_power(
@@ -118,53 +62,30 @@ def solve_steady_state_power(
     for any irreducible chain.  Slow but entirely independent of the
     direct solvers, which is exactly what a validation oracle needs.
     """
-    q = _as_generator(model)
-    _check_generator(q)
-    n = q.shape[0]
-    if n == 1:
-        return np.array([1.0])
-    lam = float(-q.diagonal().min()) * 1.05
-    if lam <= 0:
-        # All-absorbing generator: steady state is the initial state; the
-        # convention here is uniform over states, but this never occurs
-        # for validated availability chains.
-        raise SolverError("generator has no transitions; no unique steady state")
-    p = np.eye(n) + q / lam
-    pi = np.full(n, 1.0 / n)
-    for iteration in range(max_iterations):
-        nxt = pi @ p
-        # Aitken-free plain iteration; chains here are small and well mixed.
-        delta = np.abs(nxt - pi).max()
-        pi = nxt
-        if delta < tol:
-            pi = np.clip(pi, 0.0, None)
-            return pi / pi.sum()
-    raise SolverError(
-        f"power iteration did not converge within {max_iterations} steps "
-        f"(residual {delta:.3e})"
+    return power_iteration(
+        as_operator(model), tol=tol, max_iterations=max_iterations
     )
 
 
 def steady_state(
-    chain: MarkovChain, method: str = "direct"
+    chain: MarkovChain,
+    method: Union[str, SolverOptions] = "direct",
 ) -> Dict[str, float]:
     """Steady-state probabilities keyed by state name.
 
     Args:
         chain: The chain to solve.
-        method: ``"direct"``, ``"gth"`` or ``"power"``.
+        method: A backend name (``"direct"``, ``"gth"``, ``"power"``,
+            ``"sparse-direct"``, ``"sparse-iterative"``) or a full
+            :class:`~repro.num.SolverOptions` value.
     """
-    solvers = {
-        "direct": solve_steady_state,
-        "gth": solve_steady_state_gth,
-        "power": solve_steady_state_power,
-    }
     try:
-        solver = solvers[method]
-    except KeyError:
+        options = as_options(method)
+    except UnknownBackendError:
+        legacy = sorted(set(backend_names()) | {"direct"})
         raise SolverError(
             f"unknown steady-state method {method!r}; "
-            f"expected one of {sorted(solvers)}"
+            f"expected one of {legacy}"
         ) from None
-    pi = solver(chain)
+    pi = solve_steady(chain, options)
     return dict(zip(chain.state_names, pi.tolist()))

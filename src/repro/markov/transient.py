@@ -1,9 +1,16 @@
-"""Transient solution of CTMCs.
+"""Transient solution of CTMCs — compatibility shims over ``repro.num``.
 
 The production path is Jensen's uniformization (randomization), the
 standard approach in availability tools (Reibman/Smith/Trivedi 1989 is
 the paper's reference [6]).  Matrix-exponential and ODE paths exist as
 independent cross-checks for the validation benchmarks.
+
+The Poisson-truncation machinery and the uniformization power sequence
+live once in :mod:`repro.num.uniformization`; this module keeps the
+historic signatures (including the test-visible
+:func:`uniformization_terms` helper) working unchanged, and
+:func:`transient_curve` now evaluates the whole grid from a single
+power sequence via :func:`repro.num.transient_grid`.
 """
 
 from __future__ import annotations
@@ -15,8 +22,15 @@ from scipy import linalg as sla
 from scipy.integrate import solve_ivp
 
 from ..errors import SolverError
+from ..num import (
+    as_operator,
+    poisson_pmf_series,
+    poisson_tail,
+    poisson_truncation,
+    transient_grid,
+    validate_generator,
+)
 from .chain import MarkovChain
-from .steady_state import _as_generator, _check_generator
 
 
 def uniformization_terms(
@@ -28,7 +42,7 @@ def uniformization_terms(
     ``exp(Q t) = sum_k pois(k; lam*t) P^k`` truncated after ``n_terms``
     terms with total truncated probability mass below ``tol``.
     """
-    _check_generator(q)
+    validate_generator(q)
     if t < 0:
         raise SolverError(f"time must be non-negative, got {t}")
     lam = float(-q.diagonal().min())
@@ -37,37 +51,33 @@ def uniformization_terms(
     lam *= 1.0 + 1e-9  # guard against a zero row in P from rounding
     p = np.eye(q.shape[0]) + q / lam
     mean = lam * t
-    # Find the smallest m with P(Poisson(mean) > m) < tol by accumulating
-    # the series directly in log space for large means.
     if mean == 0.0:
         return p, lam, 1
-    n_terms = int(mean + 10.0 * np.sqrt(mean) + 20.0)
-    while _poisson_tail(mean, n_terms) > tol:
-        n_terms = int(n_terms * 1.5) + 1
-        if n_terms > 50_000_000:
-            raise SolverError(
-                f"uniformization would need more than {n_terms} terms; "
-                "the horizon is too stiff — use transient_probabilities_ode"
-            )
-    return p, lam, n_terms + 1
+    return p, lam, poisson_truncation(mean, tol)
 
 
 def _poisson_pmf_series(mean: float, n_terms: int) -> np.ndarray:
     """Poisson pmf values 0..n_terms-1, computed stably in log space."""
-    k = np.arange(n_terms, dtype=float)
-    from scipy.special import gammaln
-
-    log_pmf = k * np.log(mean) - mean - gammaln(k + 1.0) if mean > 0 else (
-        np.where(k == 0, 0.0, -np.inf)
-    )
-    return np.exp(log_pmf)
+    return poisson_pmf_series(mean, n_terms)
 
 
 def _poisson_tail(mean: float, m: int) -> float:
     """P(Poisson(mean) > m)."""
-    from scipy.stats import poisson
+    return poisson_tail(mean, m)
 
-    return float(poisson.sf(m, mean))
+
+def _initial_vector(
+    model: Union[MarkovChain, np.ndarray],
+    n: int,
+    p0: Optional[np.ndarray],
+) -> np.ndarray:
+    if p0 is None:
+        if isinstance(model, MarkovChain):
+            p0 = model.initial_distribution()
+        else:
+            p0 = np.zeros(n)
+            p0[0] = 1.0
+    return np.asarray(p0, dtype=float)
 
 
 def transient_probabilities(
@@ -77,37 +87,18 @@ def transient_probabilities(
     tol: float = 1e-12,
 ) -> np.ndarray:
     """State probabilities at time ``t`` by uniformization."""
-    q = _as_generator(model)
-    n = q.shape[0]
-    if p0 is None:
-        if isinstance(model, MarkovChain):
-            p0 = model.initial_distribution()
-        else:
-            p0 = np.zeros(n)
-            p0[0] = 1.0
-    p0 = np.asarray(p0, dtype=float)
-    if p0.shape != (n,):
-        raise SolverError(f"initial vector has shape {p0.shape}, expected ({n},)")
+    op = as_operator(model, validate=False)
+    p0 = _initial_vector(model, op.n, p0)
+    if p0.shape != (op.n,):
+        raise SolverError(
+            f"initial vector has shape {p0.shape}, expected ({op.n},)"
+        )
     if abs(p0.sum() - 1.0) > 1e-9 or (p0 < -1e-12).any():
         raise SolverError("initial vector is not a probability distribution")
     if t == 0.0:
         return p0.copy()
-
-    p, lam, n_terms = uniformization_terms(q, t, tol=tol)
-    if lam == 0.0:
-        return p0.copy()
-    weights = _poisson_pmf_series(lam * t, n_terms)
-    acc = np.zeros(n)
-    v = p0.copy()
-    for k in range(n_terms):
-        acc += weights[k] * v
-        v = v @ p
-    # Renormalize the truncated series.
-    mass = weights.sum()
-    if mass <= 0:
-        raise SolverError("Poisson weights vanished; horizon too stiff")
-    result = acc / mass
-    return np.clip(result, 0.0, 1.0)
+    op.validate()
+    return transient_grid(op, [t], p0=p0, tol=tol)[0]
 
 
 def transient_probabilities_expm(
@@ -116,15 +107,15 @@ def transient_probabilities_expm(
     p0: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """State probabilities at time ``t`` via ``scipy.linalg.expm``."""
-    q = _as_generator(model)
-    n = q.shape[0]
+    op = as_operator(model, validate=False)
+    n = op.n
     if p0 is None:
         p0 = np.zeros(n)
         p0[0] = 1.0
         if isinstance(model, MarkovChain):
             p0 = model.initial_distribution()
     p0 = np.asarray(p0, dtype=float)
-    result = p0 @ sla.expm(q * t)
+    result = p0 @ sla.expm(op.dense() * t)
     return np.clip(result, 0.0, 1.0)
 
 
@@ -141,8 +132,8 @@ def transient_probabilities_ode(
     method, suitable when uniformization's ``lam * t`` is astronomically
     large (e.g. a 15-month horizon against minute-scale reboot rates).
     """
-    q = _as_generator(model)
-    n = q.shape[0]
+    op = as_operator(model, validate=False)
+    n = op.n
     if p0 is None:
         p0 = np.zeros(n)
         p0[0] = 1.0
@@ -151,7 +142,7 @@ def transient_probabilities_ode(
     p0 = np.asarray(p0, dtype=float)
     if t == 0.0:
         return p0.copy()
-    qt = q.T
+    qt = op.dense().T
 
     def forward(_time: float, p: np.ndarray) -> np.ndarray:
         return qt @ p
@@ -181,7 +172,12 @@ def transient_curve(
     p0: Optional[np.ndarray] = None,
     method: str = "uniformization",
 ) -> List[np.ndarray]:
-    """State probability vectors at each requested time point."""
+    """State probability vectors at each requested time point.
+
+    With the default uniformization method the whole grid shares one
+    vector-matrix power sequence (see :func:`repro.num.transient_grid`);
+    results stay bit-identical to point-by-point evaluation.
+    """
     methods = {
         "uniformization": transient_probabilities,
         "expm": transient_probabilities_expm,
@@ -193,4 +189,9 @@ def transient_curve(
         raise SolverError(
             f"unknown transient method {method!r}; expected {sorted(methods)}"
         ) from None
-    return [solver(model, float(t), p0=p0) for t in times]
+    times = [float(t) for t in times]
+    if method == "uniformization" and times:
+        op = as_operator(model)
+        grid_p0 = _initial_vector(model, op.n, p0)
+        return transient_grid(op, times, p0=grid_p0)
+    return [solver(model, t, p0=p0) for t in times]

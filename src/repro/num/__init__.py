@@ -1,0 +1,85 @@
+"""The unified numerical kernel layer.
+
+``repro.num`` is the single numerical substrate under the whole stack:
+generator construction and validation (:class:`GeneratorOperator`,
+:func:`as_operator`, :func:`validate_generator`), solver configuration
+(:class:`SolverOptions`, :func:`as_options`), the steady-state backend
+registry (:func:`solve_steady`, :func:`get_backend`,
+:func:`backend_names`) and the shared uniformization core
+(:func:`transient_grid`, :func:`transient_distribution`,
+:func:`interval_reward_value`).  The ``repro.markov`` solver modules
+are thin compatibility shims over this package; the engine, service,
+jobs and CLI thread :class:`SolverOptions` straight through to it.
+"""
+
+from __future__ import annotations
+
+from .backends import (
+    MAX_POWER_ITERATIONS,
+    SteadyBackend,
+    absorption_times,
+    backend_names,
+    get_backend,
+    power_iteration,
+    register_backend,
+    solve_steady,
+    steady_backends,
+)
+from .operator import (
+    SPARSE_DENSITY_CEILING,
+    SPARSE_STATE_FLOOR,
+    GeneratorOperator,
+    as_operator,
+    validate_generator,
+)
+from .options import (
+    DEFAULT_OPTIONS,
+    REPRESENTATIONS,
+    STEADY_ALIASES,
+    TRANSIENT_METHODS,
+    SolverOptions,
+    as_options,
+)
+from .uniformization import (
+    STIFFNESS_LIMIT,
+    interval_reward_value,
+    poisson_pmf_series,
+    poisson_tail,
+    poisson_truncation,
+    stiffness,
+    transient_distribution,
+    transient_grid,
+    uniformized,
+)
+
+__all__ = [
+    "DEFAULT_OPTIONS",
+    "GeneratorOperator",
+    "MAX_POWER_ITERATIONS",
+    "REPRESENTATIONS",
+    "SPARSE_DENSITY_CEILING",
+    "SPARSE_STATE_FLOOR",
+    "STEADY_ALIASES",
+    "STIFFNESS_LIMIT",
+    "SolverOptions",
+    "SteadyBackend",
+    "TRANSIENT_METHODS",
+    "absorption_times",
+    "as_operator",
+    "as_options",
+    "backend_names",
+    "get_backend",
+    "interval_reward_value",
+    "poisson_pmf_series",
+    "poisson_tail",
+    "poisson_truncation",
+    "power_iteration",
+    "register_backend",
+    "solve_steady",
+    "stiffness",
+    "steady_backends",
+    "transient_distribution",
+    "transient_grid",
+    "uniformized",
+    "validate_generator",
+]

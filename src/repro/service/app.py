@@ -50,7 +50,9 @@ from ..core import compute_measures
 from ..core.translator import SystemSolution
 from ..database import PartsDatabase, builtin_database
 from ..engine import Engine, metrics_payload
+from ..errors import SolverError
 from ..library import datacenter_model, e10000_model, workgroup_model
+from ..num import SolverOptions
 from ..obs.clock import Stopwatch
 from ..obs.trace import get_tracer
 from ..spec import model_to_spec, parse_spec
@@ -77,7 +79,9 @@ LIBRARY_MODELS: Dict[str, Callable] = {
     "workgroup": workgroup_model,
 }
 
-#: Solver methods a request may select.
+#: Legacy ``"method"`` spellings a request may select; full control
+#: (backend, representation, tolerances) goes through the ``"solver"``
+#: object, validated by :class:`repro.num.SolverOptions`.
 ALLOWED_METHODS = ("direct", "gth", "power")
 
 #: Caps on the work one request may ask for.
@@ -121,12 +125,16 @@ class App:
         database: Optional[PartsDatabase] = None,
         request_timeout: float = 30.0,
         jobs: Optional["JobStore"] = None,
+        default_solver: Optional[SolverOptions] = None,
     ) -> None:
         self.engine = engine
         self.queue = queue
         self.database = database if database is not None else builtin_database()
         self.request_timeout = request_timeout
         self.jobs = jobs
+        self.default_solver = (
+            default_solver if default_solver is not None else SolverOptions()
+        )
         self.started_at = time.monotonic()
         self.in_flight = 0
         self.in_flight_peak = 0
@@ -262,10 +270,37 @@ class App:
             )
         return method
 
+    def _solver_options_of(
+        self, payload: Mapping[str, object]
+    ) -> SolverOptions:
+        """The request's solver configuration, as canonical options.
+
+        Precedence: the request's ``solver`` object > its legacy
+        ``method`` string > the server's configured default (the
+        ``rascad serve`` solver flags).  Any invalid name or tolerance
+        is the client's fault, so :class:`~repro.errors.SolverError`
+        maps to a 400 here rather than the generic 500 a mid-solve
+        failure gets.
+        """
+        base = self.default_solver
+        if "method" in payload:
+            base = base.with_changes(
+                steady_method=self._method_of(payload)
+            )
+        solver = _field(payload, "solver", dict, required=False)
+        if solver is None:
+            return base
+        try:
+            return SolverOptions.from_dict({**base.to_dict(), **solver})
+        except SolverError as exc:
+            raise ProtocolError(
+                400, "invalid_request", f"invalid solver options: {exc}"
+            ) from exc
+
     async def _solve(self, request: Request) -> Response:
         payload = request.json()
         model = self._parse_request_model(payload)
-        method = self._method_of(payload)
+        method = self._solver_options_of(payload)
         mission = _field(payload, "mission", float, required=False)
         deadline = self._request_deadline(payload)
         solution = await self.queue.solve(model, method, deadline)
@@ -274,7 +309,7 @@ class App:
     async def _sweep(self, request: Request) -> Response:
         payload = request.json()
         model = self._parse_request_model(payload)
-        method = self._method_of(payload)
+        method = self._solver_options_of(payload)
         block = _field(payload, "block", str, required=False)
         field_name = _field(payload, "field", str)
         raw_values = _field(payload, "values", list)
@@ -323,7 +358,7 @@ class App:
     async def _validate(self, request: Request) -> Response:
         payload = request.json()
         model = self._parse_request_model(payload)
-        method = self._method_of(payload)
+        method = self._solver_options_of(payload)
         replications = _field(
             payload, "replications", int, required=False, default=40
         )
@@ -399,6 +434,16 @@ class App:
                     "start:stop:count string",
                 )
             params["values"] = expand_values(tokens)
+        if "solver" in params:
+            # Reject bad solver options at submit time: a worker would
+            # only discover them hours later, after the queue drains.
+            try:
+                SolverOptions.from_dict(params["solver"])
+            except SolverError as exc:
+                raise ProtocolError(
+                    400, "invalid_request",
+                    f"invalid params.solver: {exc}",
+                ) from exc
         priority = _field(
             payload, "priority", int, required=False, default=0
         )
@@ -763,6 +808,14 @@ def render_prometheus(payload: Mapping[str, object]) -> str:
                     )
             elif key == "counters" and isinstance(value, Mapping):
                 for counter, count in sorted(value.items()):
+                    if counter.startswith("solves_by_backend."):
+                        backend = counter.split(".", 1)[1]
+                        doc.add(
+                            "solves_by_backend", "counter",
+                            "Computed solves by numerical backend.",
+                            count, {"backend": backend},
+                        )
+                        continue
                     doc.add(
                         counter, "counter",
                         f"Engine counter {counter}.", count,

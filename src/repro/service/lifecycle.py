@@ -31,6 +31,7 @@ from typing import Optional, Tuple, Union
 
 from ..engine import Engine, default_cache_dir
 from ..errors import RascadError
+from ..num import SolverOptions
 from ..obs import configure_logging, configure_tracing, get_logger
 from .app import App, LIBRARY_MODELS
 from .protocol import (
@@ -77,6 +78,9 @@ class ServiceConfig:
             verbosity; the default keeps traced serving cheap.
         log_level: Level for the ``rascad`` logger namespace.
         log_json: Emit one JSON object per log line (with trace ids).
+        default_solver: Server-wide default solver configuration
+            (the ``rascad serve`` solver flags); requests override it
+            per-call via their ``method`` string or ``solver`` object.
     """
 
     host: str = "127.0.0.1"
@@ -99,6 +103,7 @@ class ServiceConfig:
     trace_detail: bool = False
     log_level: str = "info"
     log_json: bool = False
+    default_solver: Optional[SolverOptions] = None
 
 
 class Server:
@@ -130,6 +135,7 @@ class Server:
             self.queue,
             request_timeout=self.config.request_timeout,
             jobs=self.jobs,
+            default_solver=self.config.default_solver,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown_requested: Optional[asyncio.Event] = None

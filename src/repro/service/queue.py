@@ -39,6 +39,7 @@ from ..core.translator import SystemSolution
 from ..engine import Engine
 from ..engine.keys import model_digest
 from ..errors import RascadError
+from ..num import SolverOptions, as_options
 from ..obs.trace import current_span, get_tracer, use_span
 
 
@@ -62,7 +63,7 @@ class ServiceClosedError(RascadError):
 class _Item:
     key: str
     model: DiagramBlockModel
-    method: str
+    method: SolverOptions
     future: "asyncio.Future[SystemSolution]"
     enqueued_at: float = field(default_factory=time.monotonic)
     deadline: Optional[float] = None
@@ -159,18 +160,21 @@ class SolveQueue:
     async def solve(
         self,
         model: DiagramBlockModel,
-        method: str = "direct",
+        method: object = "direct",
         deadline: Optional[float] = None,
     ) -> SystemSolution:
         """Submit one solve; dedups, queues, and awaits the result.
 
         Args:
             model: The validated model to solve.
-            method: Chain solver method, forwarded to the engine.
+            method: Chain solver method (a legacy name or
+                :class:`~repro.num.SolverOptions`), forwarded to the
+                engine; micro-batches group by its canonical form.
             deadline: Absolute ``time.monotonic()`` deadline, or None.
         """
         if self._closed:
             raise ServiceClosedError("service shutting down")
+        method = as_options(method)
         stats = self.engine.stats
         tracer = get_tracer()
         key = model_digest(model, method)
@@ -283,7 +287,7 @@ class SolveQueue:
                 "service.batch",
                 parent=item.request_span,
                 batch_size=len(live),
-                method=item.method,
+                method=item.method.cache_token(),
             )
         stats.increment("service_batches")
         stats.set_gauge("batches_in_flight", 1)
@@ -317,8 +321,9 @@ class SolveQueue:
                 self._finish(item, result=result)
 
     async def _solve_via_pool(self, live: List[_Item]) -> None:
-        # solve_many takes one method per batch; group mixed methods.
-        by_method: Dict[str, List[_Item]] = {}
+        # solve_many takes one method per batch; group mixed methods
+        # (SolverOptions is frozen, so it hashes by value).
+        by_method: Dict[SolverOptions, List[_Item]] = {}
         for item in live:
             by_method.setdefault(item.method, []).append(item)
         for method, items in by_method.items():

@@ -1,0 +1,144 @@
+"""The steady-state backend registry and its five solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.gmb import MarkovBuilder
+from repro.num import (
+    SolverOptions,
+    absorption_times,
+    as_operator,
+    backend_names,
+    get_backend,
+    solve_steady,
+    steady_backends,
+)
+from repro.num.backends import UnknownBackendError
+
+EXPECTED_BACKENDS = (
+    "dense-direct",
+    "gth",
+    "power",
+    "sparse-direct",
+    "sparse-iterative",
+)
+
+
+def two_state(lam=1e-3, mu=0.25):
+    return (
+        MarkovBuilder("pair")
+        .up("Ok")
+        .down("Down")
+        .arc("Ok", "Down", lam)
+        .arc("Down", "Ok", mu)
+        .build()
+    )
+
+
+def birth_death(n=12, lam=0.3, mu=1.1):
+    builder = MarkovBuilder("bd")
+    for i in range(n):
+        builder.up(f"S{i}")
+    for i in range(n - 1):
+        builder.arc(f"S{i}", f"S{i + 1}", lam)
+        builder.arc(f"S{i + 1}", f"S{i}", mu)
+    return builder.build()
+
+
+class TestRegistry:
+    def test_all_expected_backends_registered(self):
+        assert backend_names() == tuple(sorted(EXPECTED_BACKENDS))
+
+    def test_get_backend_returns_named_entries(self):
+        for name in EXPECTED_BACKENDS:
+            backend = get_backend(name)
+            assert backend.name == name
+            assert backend.representation in ("dense", "sparse", "any")
+            assert backend.summary
+
+    def test_unknown_backend_error_carries_valid_names(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            get_backend("magic")
+        assert excinfo.value.name == "magic"
+        assert set(excinfo.value.valid) == set(backend_names())
+
+    def test_steady_backends_iterates_registry(self):
+        registry = steady_backends()
+        assert set(registry) == set(backend_names())
+        assert all(
+            backend.name == name for name, backend in registry.items()
+        )
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("name", EXPECTED_BACKENDS)
+    def test_two_state_closed_form(self, name):
+        chain = two_state(1e-3, 0.25)
+        pi = solve_steady(chain, SolverOptions(steady_method=name))
+        assert pi[0] == pytest.approx(0.25 / (1e-3 + 0.25), rel=1e-8)
+        assert pi.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", EXPECTED_BACKENDS)
+    def test_birth_death_detailed_balance(self, name):
+        chain = birth_death()
+        pi = solve_steady(chain, SolverOptions(steady_method=name))
+        rho = 0.3 / 1.1
+        expected = rho ** np.arange(12)
+        expected /= expected.sum()
+        np.testing.assert_allclose(pi, expected, rtol=1e-7)
+
+    def test_sparse_backends_accept_dense_operators(self):
+        # Capability dispatch: the operator is coerced into the
+        # representation the backend requires.
+        op = as_operator(two_state(), representation="dense")
+        pi = solve_steady(op, SolverOptions(steady_method="sparse-direct"))
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_dense_backends_accept_sparse_operators(self):
+        op = as_operator(two_state(), representation="sparse")
+        pi = solve_steady(op, SolverOptions(steady_method="dense-direct"))
+        assert pi.sum() == pytest.approx(1.0)
+
+
+class TestFailureModes:
+    def test_sparse_direct_reports_singular_systems(self):
+        # Two disconnected components: the stationary distribution is
+        # not unique, so the normalised system is singular.  (Built as
+        # a raw matrix because MarkovBuilder rejects reducible chains.)
+        block = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        q = np.zeros((4, 4))
+        q[:2, :2] = block
+        q[2:, 2:] = block
+        with pytest.raises(SolverError):
+            solve_steady(q, SolverOptions(steady_method="sparse-direct"))
+
+    def test_solve_steady_rejects_unknown_backend_late(self):
+        options = SolverOptions()
+        object.__setattr__(options, "steady_method", "bogus")
+        with pytest.raises(SolverError):
+            solve_steady(two_state(), options)
+
+
+class TestAbsorptionTimes:
+    def test_dense_and_sparse_agree_on_mttf_system(self):
+        # Absorbing two-state chain: MTTF from the up state is 1/lam.
+        lam = 1e-3
+        chain = (
+            MarkovBuilder("absorbing")
+            .up("Ok")
+            .down("Failed")
+            .arc("Ok", "Failed", lam)
+            .build()
+        )
+        up_index = [0]
+        dense = absorption_times(
+            as_operator(chain, representation="dense", validate=False),
+            up_index,
+        )
+        sparse = absorption_times(
+            as_operator(chain, representation="sparse", validate=False),
+            up_index,
+        )
+        assert dense[0] == pytest.approx(1.0 / lam)
+        assert sparse[0] == pytest.approx(1.0 / lam)

@@ -1,0 +1,112 @@
+"""SolverOptions: canonicalisation, validation, and cache tokens."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.num import (
+    DEFAULT_OPTIONS,
+    SolverOptions,
+    as_options,
+    backend_names,
+)
+from repro.num.backends import UnknownBackendError
+
+
+class TestCanonicalisation:
+    def test_direct_alias_canonicalises_to_dense_direct(self):
+        assert SolverOptions(steady_method="direct").steady_method == (
+            "dense-direct"
+        )
+        assert SolverOptions(steady_method="dense").steady_method == (
+            "dense-direct"
+        )
+        assert SolverOptions(steady_method="sparse").steady_method == (
+            "sparse-direct"
+        )
+
+    def test_aliases_compare_and_hash_equal(self):
+        assert SolverOptions(steady_method="direct") == SolverOptions()
+        assert hash(SolverOptions(steady_method="direct")) == hash(
+            SolverOptions()
+        )
+
+    def test_cache_token_identical_for_aliases(self):
+        assert (
+            SolverOptions(steady_method="direct").cache_token()
+            == DEFAULT_OPTIONS.cache_token()
+        )
+
+    def test_cache_token_distinguishes_backends_and_tolerances(self):
+        tokens = {
+            SolverOptions(steady_method=name).cache_token()
+            for name in backend_names()
+        }
+        assert len(tokens) == len(backend_names())
+        assert (
+            SolverOptions(tolerance=1e-10).cache_token()
+            != DEFAULT_OPTIONS.cache_token()
+        )
+
+
+class TestValidation:
+    def test_unknown_backend_lists_valid_names(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            SolverOptions(steady_method="magic")
+        message = str(excinfo.value)
+        for name in backend_names():
+            assert name in message
+
+    def test_unknown_backend_is_a_solver_error(self):
+        with pytest.raises(SolverError):
+            SolverOptions(steady_method="magic")
+
+    def test_unknown_transient_method(self):
+        with pytest.raises(SolverError, match="unknown transient method"):
+            SolverOptions(transient_method="magic")
+
+    def test_unknown_representation(self):
+        with pytest.raises(SolverError, match="unknown representation"):
+            SolverOptions(representation="ragged")
+
+    @pytest.mark.parametrize("bad", [0.0, -1e-9, 2.0, "tight", None])
+    def test_bad_tolerance_rejected(self, bad):
+        with pytest.raises(SolverError, match="tolerance"):
+            SolverOptions(tolerance=bad)
+
+
+class TestConversion:
+    def test_round_trips_through_dict(self):
+        options = SolverOptions(
+            steady_method="gth",
+            transient_method="expm",
+            representation="sparse",
+            tolerance=1e-9,
+        )
+        assert SolverOptions.from_dict(options.to_dict()) == options
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(SolverError, match="unknown solver option"):
+            SolverOptions.from_dict({"steady": "gth"})
+
+    def test_from_dict_rejects_non_string_methods(self):
+        with pytest.raises(SolverError, match="must be a string"):
+            SolverOptions.from_dict({"steady_method": 3})
+
+    def test_as_options_accepts_all_spellings(self):
+        assert as_options(None) is DEFAULT_OPTIONS
+        assert as_options("gth").steady_method == "gth"
+        assert as_options({"steady_method": "power"}).steady_method == (
+            "power"
+        )
+        options = SolverOptions(steady_method="gth")
+        assert as_options(options) is options
+
+    def test_as_options_rejects_other_types(self):
+        with pytest.raises(SolverError):
+            as_options(42)
+
+    def test_with_changes_revalidates(self):
+        options = DEFAULT_OPTIONS.with_changes(steady_method="power")
+        assert options.steady_method == "power"
+        with pytest.raises(SolverError):
+            DEFAULT_OPTIONS.with_changes(steady_method="magic")
