@@ -1,0 +1,217 @@
+"""E14 — the cluster layer: fleet speedup at identical answers.
+
+The cluster's two headline claims, measured with real worker
+processes and real sockets:
+
+* **Horizontal speedup** — the same sweep fanned over 1, 2, and 4
+  worker processes by an in-process :class:`repro.cluster.Coordinator`
+  (static membership, fresh in-memory shard table per fleet, every
+  fleet on pristine no-cache workers, so nothing is amortized across
+  runs).  On a machine with at least 2 CPUs the 2-worker fleet must
+  clear a 1.7x speedup over the 1-worker fleet; on a single-CPU
+  machine the ratio is reported but not asserted (there is no
+  parallelism to win).
+* **Bit-identity** — every fleet's merged payload carries the same
+  ``result_digest`` as the single-process engine run, whatever the
+  placement did.
+
+Results also land in ``BENCH_e14_cluster.json`` at the repository
+root so the scale-out numbers travel with the code.  ``python
+benchmarks/bench_e14_cluster.py --quick`` runs a reduced sweep for CI.
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cluster import (  # noqa: E402
+    ClusterConfig,
+    Coordinator,
+    Membership,
+    SweepWorkload,
+    wait_until_healthy,
+)
+from repro.engine import Engine  # noqa: E402
+from repro.jobs import result_digest  # noqa: E402
+from repro.library import datacenter_model  # noqa: E402
+from repro.spec import model_to_spec  # noqa: E402
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_e14_cluster.json"
+
+POINTS = 360
+QUICK_POINTS = 120
+SHARD_SIZE = 15
+BLOCK = "Data Center System/Server Box/System Board"
+FIELD = "mtbf_hours"
+FLEETS = [1, 2, 4]
+QUICK_FLEETS = [1, 2]
+SPEEDUP_FLOOR = 1.7
+
+
+def _values(points):
+    start, stop = 1e5, 1e6
+    step = (stop - start) / (points - 1)
+    return [start + step * i for i in range(points)]
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _reference_digest(spec, values):
+    """The single-process engine run's digest-stamped payload."""
+    model = datacenter_model()
+    engine = Engine(jobs=1, cache=False)
+    points = engine.sweep_block_field(model, BLOCK, FIELD, values)
+    workload = SweepWorkload(
+        spec, FIELD, values, block=BLOCK, model_name=model.name
+    )
+    payload = workload.aggregate([
+        {
+            "value": point.value,
+            "availability": point.availability,
+            "yearly_downtime_minutes": point.yearly_downtime_minutes,
+        }
+        for point in points
+    ])
+    return result_digest(payload)
+
+
+def _start_workers(count):
+    """``count`` pristine no-cache worker processes, ready to serve."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    workers = []
+    for _ in range(count):
+        port = _free_port()
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--host", "127.0.0.1", "--port", str(port),
+                "--jobs", "1", "--no-cache",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.STDOUT,
+        )
+        workers.append((f"http://127.0.0.1:{port}", process))
+    for url, _ in workers:
+        if not wait_until_healthy(url, timeout=60.0):
+            raise RuntimeError(f"worker {url} never became healthy")
+    return workers
+
+
+def _stop_workers(workers):
+    for _, process in workers:
+        if process.poll() is None:
+            process.terminate()
+    for _, process in workers:
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+def _fleet_run(count, spec, values):
+    """One timed sweep over a fresh ``count``-worker fleet."""
+    workers = _start_workers(count)
+    try:
+        config = ClusterConfig(
+            workers=tuple(url for url, _ in workers),
+            shard_size=SHARD_SIZE,
+            steal_after=120.0,  # no speculative re-execution in timings
+            call_timeout=300.0,
+        )
+        coordinator = Coordinator(Membership(), config=config)
+        workload = SweepWorkload(
+            spec, FIELD, values, block=BLOCK,
+            model_name="Data Center System",
+        )
+        start = time.perf_counter()
+        merged = coordinator.run_workload(workload, timeout=600.0)
+        elapsed = time.perf_counter() - start
+        return elapsed, merged
+    finally:
+        _stop_workers(workers)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweep and fleet ladder for CI",
+    )
+    args = parser.parse_args()
+
+    points = QUICK_POINTS if args.quick else POINTS
+    fleets = QUICK_FLEETS if args.quick else FLEETS
+    cpus = os.cpu_count() or 1
+    spec = model_to_spec(datacenter_model())
+    values = _values(points)
+
+    reference = _reference_digest(spec, values)
+    print(f"single-process digest: {reference}")
+    print(f"{points}-point datacenter sweep, shard size {SHARD_SIZE}, "
+          f"{cpus} CPUs")
+
+    rows = []
+    for count in fleets:
+        elapsed, merged = _fleet_run(count, spec, values)
+        digest = merged["result_digest"]
+        assert digest == reference, (count, digest, reference)
+        assert len(merged["points"]) == points
+        rows.append({
+            "workers": count,
+            "elapsed_seconds": round(elapsed, 3),
+            "points_per_sec": round(points / elapsed, 1),
+            "result_digest": digest,
+        })
+        print(f"  {count} worker(s): {elapsed:6.2f} s "
+              f"({points / elapsed:7.1f} points/s)  digest ok")
+
+    base = rows[0]["elapsed_seconds"]
+    speedups = {
+        row["workers"]: round(base / row["elapsed_seconds"], 2)
+        for row in rows
+    }
+    for workers, speedup in speedups.items():
+        if workers > 1:
+            print(f"  speedup x{workers} workers: {speedup:.2f}")
+
+    # The parallelism claim only holds where parallelism exists.
+    if cpus >= 2 and 2 in speedups:
+        assert speedups[2] >= SPEEDUP_FLOOR, (
+            f"2-worker speedup {speedups[2]:.2f} below "
+            f"{SPEEDUP_FLOOR} on a {cpus}-CPU machine"
+        )
+    elif 2 in speedups:
+        print(f"  (single CPU: {SPEEDUP_FLOOR}x floor not asserted)")
+
+    RESULT_PATH.write_text(json.dumps({
+        "benchmark": "e14_cluster_speedup",
+        "points": points,
+        "shard_size": SHARD_SIZE,
+        "cpu_count": cpus,
+        "quick": args.quick,
+        "fleets": rows,
+        "speedups": {str(k): v for k, v in speedups.items()},
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_asserted": cpus >= 2,
+        "result_digest": reference,
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    print("PASS: every fleet bit-identical to the single-process run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

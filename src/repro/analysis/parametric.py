@@ -33,6 +33,12 @@ class SweepPoint:
     yearly_downtime_minutes: float
 
 
+#: Upper bound on one range token's expansion.  Beyond this a typo'd
+#: count (``1:2:999999999``) would allocate gigabytes before anything
+#: downstream could refuse it.
+MAX_RANGE_COUNT = 100_000
+
+
 def expand_values(tokens: Iterable[object]) -> List[float]:
     """Expand sweep value tokens into an explicit value list.
 
@@ -41,7 +47,9 @@ def expand_values(tokens: Iterable[object]) -> List[float]:
     10 values linearly spaced from ``1e5`` to ``1e6`` inclusive — so
     large sweeps don't need thousands of values spelled out.  Tokens
     may mix freely; malformed ranges raise :class:`SpecError` with the
-    offending token in the message.
+    offending token in the message.  Counts must be positive (>= 2)
+    and at most :data:`MAX_RANGE_COUNT` — both the CLI and the service
+    surface these as friendly 400-style errors rather than tracebacks.
     """
     values: List[float] = []
     for token in tokens:
@@ -73,10 +81,20 @@ def expand_values(tokens: Iterable[object]) -> List[float]:
                 f"malformed range {text!r}: start and stop must be "
                 "numbers, count an integer"
             ) from None
+        if count <= 0:
+            raise SpecError(
+                f"malformed range {text!r}: count must be a positive "
+                f"integer, got {count}"
+            )
         if count < 2:
             raise SpecError(
                 f"malformed range {text!r}: count must be >= 2 "
                 "(a single value needs no range)"
+            )
+        if count > MAX_RANGE_COUNT:
+            raise SpecError(
+                f"malformed range {text!r}: count {count} exceeds the "
+                f"{MAX_RANGE_COUNT}-value limit"
             )
         step = (stop - start) / (count - 1)
         values.extend(start + step * index for index in range(count))

@@ -17,6 +17,12 @@ Usage (installed as ``rascad``, or ``python -m repro``):
     rascad jobs worker --jobs 4        # run queued jobs, resumably
     rascad trace tail traces/          # recent exported spans
     rascad trace summary traces/       # per-span latency rollup
+    rascad cluster coordinator --worker http://h1:8081 \\
+        --worker http://h2:8081        # shard sweeps over a fleet
+    rascad cluster worker --coordinator http://h0:8080  # join a fleet
+    rascad cluster status http://h0:8080   # fleet + workload view
+    rascad sweep model.json "Sys/Block" mtbf_hours 1e5:1e6:200 \\
+        --cluster http://h0:8080       # run the sweep on the fleet
 
 Specs are the JSON engineering-language format of :mod:`repro.spec`;
 part numbers resolve against the builtin catalog unless ``--database``
@@ -44,7 +50,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .analysis import downtime_budget
+from .analysis import downtime_budget, expand_values
 from .core import compute_measures, translate
 from .database import PartsDatabase, builtin_database
 from .engine import Engine, default_cache_dir, load_stats
@@ -177,21 +183,60 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .analysis import expand_values
-
     _configure_obs(args)
-    model = _load(args)
     values = expand_values(args.values)
+    if args.cluster:
+        return _cluster_sweep(args, values)
+    model = _load(args)
     engine = _engine_from_args(args)
     points = engine.sweep_block_field(
         model, args.block, args.field, values,
         method=_solver_options_from_args(args),
     )
     _persist_stats(engine, args)
+    _print_sweep_points(
+        (point.value, point.availability, point.yearly_downtime_minutes)
+        for point in points
+    )
+    return 0
+
+
+def _print_sweep_points(points) -> None:
     print(f"{'value':>12}  {'availability':>13}  {'min/yr':>10}")
-    for point in points:
-        print(f"{point.value:>12g}  {point.availability:>13.8f}  "
-              f"{point.yearly_downtime_minutes:>10.3f}")
+    for value, availability, downtime in points:
+        print(f"{value:>12g}  {availability:>13.8f}  {downtime:>10.3f}")
+
+
+def _cluster_sweep(args: argparse.Namespace, values: List[float]) -> int:
+    """Run the sweep through a cluster coordinator instead of locally."""
+    import json
+    from pathlib import Path
+
+    from .cluster import CoordinatorClient
+
+    spec_doc = json.loads(Path(args.spec).read_text())
+    payload: dict = {
+        "spec": spec_doc,
+        "block": args.block,
+        "field": args.field,
+        "values": values,
+    }
+    solver = _solver_options_from_args(args).to_dict()
+    if solver:
+        payload["solver"] = solver
+    client = CoordinatorClient(args.cluster)
+    merged = client.sweep(payload, timeout=args.cluster_timeout)
+    _print_sweep_points(
+        (
+            point["value"],
+            point["availability"],
+            point["yearly_downtime_minutes"],
+        )
+        for point in merged["points"]
+    )
+    digest = merged.get("result_digest")
+    if digest:
+        print(f"result digest: {digest}")
     return 0
 
 
@@ -435,7 +480,6 @@ def _cmd_jobs_submit(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from .analysis import expand_values
     from .jobs import JobSpec
 
     spec_doc = json.loads(Path(args.spec).read_text())
@@ -527,6 +571,119 @@ def _cmd_jobs_worker(args: argparse.Namespace) -> int:
     processed = worker.run()
     _persist_stats(engine, args)
     print(f"worker exiting after {processed} job(s)", flush=True)
+    return 0
+
+
+def _cluster_service_config(args: argparse.Namespace):
+    """The shared ``ServiceConfig`` of the cluster subcommands."""
+    from .service import ServiceConfig
+
+    return ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        jobs_db=getattr(args, "jobs_db", None),
+        trace=args.trace,
+        trace_dir=args.trace_dir,
+        trace_detail=args.trace_detail,
+        log_level=args.log_level,
+        log_json=args.log_json,
+        default_solver=_solver_options_from_args(args),
+    )
+
+
+def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .service import serve
+
+    config = dataclasses.replace(
+        _cluster_service_config(args),
+        cluster=True,
+        cluster_workers=tuple(args.worker or ()),
+        cluster_shard_size=args.shard_size,
+        cluster_lease_timeout=args.lease_timeout,
+        cluster_steal_after=args.steal_after,
+        cluster_max_shard_attempts=args.max_shard_attempts,
+        cluster_call_timeout=args.call_timeout,
+        cluster_fanout_threshold=args.fanout_threshold,
+    )
+    return serve(config)
+
+
+def _cmd_cluster_worker(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .cluster import HeartbeatPusher
+    from .obs import configure_logging
+    from .service import Server
+
+    config = _cluster_service_config(args)
+    configure_logging(
+        level=config.log_level, json_output=config.log_json
+    )
+
+    async def run() -> int:
+        server = Server(config)
+        host, port = await server.start()
+        server.install_signal_handlers()
+        advertise = args.advertise or f"http://{host}:{port}"
+        pusher = HeartbeatPusher(
+            args.coordinator, advertise,
+            interval=args.heartbeat_interval,
+        )
+        pusher.start()
+        print(
+            f"rascad cluster worker {advertise} registering with "
+            f"{args.coordinator}",
+            flush=True,
+        )
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            pusher.stop()
+        print("rascad cluster worker drained and stopped", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - signal path
+        return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .cluster import CoordinatorClient
+
+    status = CoordinatorClient(args.coordinator).status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    totals = status.get("totals", {})
+    print(f"coordinator {args.coordinator}")
+    print(f"jobs completed   : {totals.get('jobs_completed', 0)}")
+    print(f"shards completed : {totals.get('shards_completed', 0)}")
+    print(f"shards stolen    : {totals.get('shards_stolen', 0)}")
+    print(f"shards retried   : {totals.get('shards_retried', 0)}")
+    workers = status.get("workers", [])
+    if not workers:
+        print("no workers registered")
+        return 0
+    print(f"{'worker':<24} {'state':<14} {'done':>6} {'fail':>6} "
+          f"{'stolen':>7} {'in flight':>10}")
+    for row in workers:
+        print(f"{row.get('id', '?'):<24} {row.get('state', '?'):<14} "
+              f"{row.get('shards_done', 0):>6} "
+              f"{row.get('shards_failed', 0):>6} "
+              f"{row.get('shards_stolen', 0):>7} "
+              f"{row.get('in_flight', 0):>10}")
+    active = status.get("active", [])
+    for entry in active:
+        print(f"active: {entry.get('kind')} {entry.get('workload')} "
+              f"{entry.get('done')}/{entry.get('shards')} shards")
     return 0
 
 
@@ -650,6 +807,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("block")
     sweep.add_argument("field")
     sweep.add_argument("values", nargs="+")
+    sweep.add_argument(
+        "--cluster", default=None, metavar="URL",
+        help="run the sweep through a cluster coordinator at URL "
+             "instead of the local engine",
+    )
+    sweep.add_argument(
+        "--cluster-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="deadline for a --cluster sweep (default: 600)",
+    )
     add_engine_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
@@ -885,6 +1051,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after processing N jobs",
     )
     worker.set_defaults(handler=_cmd_jobs_worker)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="sharded multi-worker fleet (coordinator, worker, status)",
+    )
+    cluster_commands = cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+
+    def add_bind_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--host", default="127.0.0.1",
+            help="bind address (default: 127.0.0.1)",
+        )
+        subparser.add_argument(
+            "--port", type=int, default=0,
+            help="bind port; 0 picks a free port (default: 0)",
+        )
+        add_engine_flags(subparser)
+
+    coordinator = cluster_commands.add_parser(
+        "coordinator",
+        help="serve as a coordinator fanning sweeps out over workers",
+    )
+    add_bind_flags(coordinator)
+    coordinator.add_argument(
+        "--worker", action="append", default=None, metavar="URL",
+        help="static worker base URL (repeatable); more workers may "
+             "join dynamically via POST /v1/cluster/workers",
+    )
+    coordinator.add_argument(
+        "--jobs-db", default=None, metavar="PATH",
+        help="SQLite path persisting the shard table (and /v1/jobs); "
+             "a restarted coordinator resumes completed shards from it",
+    )
+    coordinator.add_argument(
+        "--shard-size", type=int, default=16, metavar="POINTS",
+        help="points per shard (default: 16)",
+    )
+    coordinator.add_argument(
+        "--lease-timeout", type=float, default=15.0, metavar="SECONDS",
+        help="heartbeat age before a dynamic worker leaves placement "
+             "(default: 15)",
+    )
+    coordinator.add_argument(
+        "--steal-after", type=float, default=5.0, metavar="SECONDS",
+        help="shard runtime before idle workers re-execute it "
+             "speculatively (default: 5)",
+    )
+    coordinator.add_argument(
+        "--max-shard-attempts", type=int, default=4, metavar="N",
+        help="attempts per shard before the workload fails (default: 4)",
+    )
+    coordinator.add_argument(
+        "--call-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="socket timeout for one shard HTTP call (default: 60)",
+    )
+    coordinator.add_argument(
+        "--fanout-threshold", type=int, default=2, metavar="POINTS",
+        help="minimum sweep size worth sharding (default: 2)",
+    )
+    coordinator.set_defaults(handler=_cmd_cluster_coordinator)
+
+    cluster_worker = cluster_commands.add_parser(
+        "worker",
+        help="serve solves and register with a coordinator",
+    )
+    add_bind_flags(cluster_worker)
+    cluster_worker.add_argument(
+        "--coordinator", required=True, metavar="URL",
+        help="coordinator base URL to register with",
+    )
+    cluster_worker.add_argument(
+        "--advertise", default=None, metavar="URL",
+        help="URL the coordinator should dial back "
+             "(default: http://HOST:PORT as bound)",
+    )
+    cluster_worker.add_argument(
+        "--heartbeat-interval", type=float, default=2.0,
+        metavar="SECONDS",
+        help="seconds between registration heartbeats (default: 2)",
+    )
+    cluster_worker.set_defaults(handler=_cmd_cluster_worker)
+
+    cluster_status = cluster_commands.add_parser(
+        "status", help="one coordinator's fleet and workload view"
+    )
+    cluster_status.add_argument(
+        "coordinator", metavar="URL", help="coordinator base URL"
+    )
+    cluster_status.add_argument(
+        "--json", action="store_true",
+        help="print the raw /v1/cluster/status document",
+    )
+    cluster_status.set_defaults(handler=_cmd_cluster_status)
 
     return parser
 

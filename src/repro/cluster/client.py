@@ -1,0 +1,298 @@
+"""HTTP clients for the cluster: coordinator->worker and worker->coordinator.
+
+Workers are plain :mod:`repro.service` processes — the coordinator
+drives them with the same JSON API any user would, one short-lived
+``http.client`` connection per call (connections are cheap next to a
+shard's solve time, and per-call connections make worker death visible
+as an immediate socket error instead of a hung keep-alive).
+
+Failure classification mirrors the jobs retry policy: transport errors
+and 5xx/backpressure statuses are *retryable* (the shard re-queues and
+another worker picks it up); a 4xx means the request itself is bad and
+retrying elsewhere would fail identically, so it is *permanent* and
+fails the whole workload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from typing import Dict, List, Mapping, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..obs import TRACE_PARENT_HEADER, get_logger
+from .config import ClusterError
+from .membership import worker_id_for
+
+#: Statuses worth retrying on another worker (or the same one later).
+_RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+
+class WorkerCallError(ClusterError):
+    """One worker call failed; ``retryable`` drives shard re-queueing."""
+
+    def __init__(
+        self,
+        message: str,
+        retryable: bool = True,
+        status: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+        self.status = status
+
+
+def _split_base_url(url: str) -> Tuple[str, int]:
+    split = urlsplit(url if "//" in url else f"http://{url}")
+    if split.scheme not in ("", "http"):
+        raise ClusterError(
+            f"cluster URLs must be http://, got {url!r}"
+        )
+    if not split.hostname:
+        raise ClusterError(f"malformed cluster URL {url!r}")
+    return split.hostname, split.port or 80
+
+
+class _JsonHttpClient:
+    """Minimal JSON-over-HTTP: one connection per call, hard timeout."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        self.url = url
+        self.host, self.port = _split_base_url(url)
+        self.timeout = timeout
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, object]] = None,
+        headers: Optional[Mapping[str, str]] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, object]]:
+        """One call; returns ``(status, body)`` or raises
+        :class:`WorkerCallError` on transport problems."""
+        body = b""
+        send_headers = {"Content-Type": "application/json"}
+        if headers:
+            send_headers.update(headers)
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            connection.request(method, path, body=body, headers=send_headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (OSError, socket.timeout, http.client.HTTPException) as exc:
+            raise WorkerCallError(
+                f"{method} {self.url}{path} failed: "
+                f"{type(exc).__name__}: {exc}",
+                retryable=True,
+            ) from exc
+        finally:
+            connection.close()
+        try:
+            parsed = json.loads(raw) if raw else {}
+        except ValueError as exc:
+            raise WorkerCallError(
+                f"{method} {self.url}{path} returned undecodable JSON: "
+                f"{exc}",
+                retryable=True,
+                status=response.status,
+            ) from exc
+        if not isinstance(parsed, dict):
+            parsed = {"body": parsed}
+        return response.status, parsed
+
+
+class WorkerClient:
+    """The coordinator's handle on one worker process."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        self.worker_id = worker_id_for(url)
+        self._http = _JsonHttpClient(url, timeout=timeout)
+
+    @property
+    def url(self) -> str:
+        return self._http.url
+
+    def call(
+        self,
+        path: str,
+        payload: Mapping[str, object],
+        trace_header: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """One ``POST``; non-200 raises a classified error."""
+        headers: Dict[str, str] = {}
+        if trace_header:
+            headers[TRACE_PARENT_HEADER] = trace_header
+        status, body = self._http.request(
+            "POST", path, payload=payload, headers=headers
+        )
+        if status == 200:
+            return body
+        error = body.get("error")
+        detail = (
+            error.get("message") if isinstance(error, Mapping) else body
+        )
+        raise WorkerCallError(
+            f"worker {self.worker_id} answered {status} on {path}: "
+            f"{detail}",
+            retryable=status in _RETRYABLE_STATUSES,
+            status=status,
+        )
+
+    def execute_shard(
+        self,
+        workload,
+        lo: int,
+        hi: int,
+        trace_header: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Run one shard's calls in order and extract its points."""
+        bodies = [
+            self.call(path, payload, trace_header=trace_header)
+            for path, payload in workload.calls(lo, hi)
+        ]
+        return workload.extract(bodies, lo, hi)
+
+    def healthy(self) -> bool:
+        try:
+            status, _ = self._http.request(
+                "GET", "/healthz", timeout=min(self._http.timeout, 5.0)
+            )
+        except WorkerCallError:
+            return False
+        return status == 200
+
+    def metrics(self) -> Optional[Dict[str, object]]:
+        """The worker's ``/metrics`` document, or ``None`` if down."""
+        try:
+            status, body = self._http.request("GET", "/metrics")
+        except WorkerCallError:
+            return None
+        return body if status == 200 else None
+
+
+class CoordinatorClient:
+    """What workers and the CLI use to talk *to* a coordinator."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        self._http = _JsonHttpClient(url, timeout=timeout)
+
+    @property
+    def url(self) -> str:
+        return self._http.url
+
+    def register_worker(self, worker_url: str) -> Dict[str, object]:
+        status, body = self._http.request(
+            "POST", "/v1/cluster/workers", payload={"url": worker_url}
+        )
+        if status != 200:
+            raise ClusterError(
+                f"coordinator {self.url} refused registration "
+                f"({status}): {body}"
+            )
+        return body
+
+    def status(self) -> Dict[str, object]:
+        status, body = self._http.request("GET", "/v1/cluster/status")
+        if status != 200:
+            raise ClusterError(
+                f"coordinator {self.url} answered {status} on "
+                f"/v1/cluster/status: {body}"
+            )
+        return body
+
+    def sweep(
+        self, payload: Mapping[str, object], timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        status, body = self._http.request(
+            "POST", "/v1/sweep", payload=payload, timeout=timeout
+        )
+        if status != 200:
+            error = body.get("error")
+            detail = (
+                error.get("message") if isinstance(error, Mapping) else body
+            )
+            raise ClusterError(
+                f"cluster sweep failed ({status}): {detail}"
+            )
+        return body
+
+
+class HeartbeatPusher:
+    """The worker-side registration/heartbeat loop, on a daemon thread.
+
+    ``rascad cluster worker`` starts one next to its HTTP server: it
+    registers the worker's advertised URL with the coordinator, then
+    re-registers every ``interval`` seconds (registration is an upsert
+    that doubles as the heartbeat).  A dead coordinator only logs — the
+    worker keeps serving, and the next successful push re-registers it.
+    """
+
+    def __init__(
+        self,
+        coordinator_url: str,
+        advertise_url: str,
+        interval: float = 2.0,
+    ) -> None:
+        self.client = CoordinatorClient(coordinator_url, timeout=5.0)
+        self.advertise_url = advertise_url
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.pushes = 0
+        self.failures = 0
+
+    def push_once(self) -> bool:
+        try:
+            self.client.register_worker(self.advertise_url)
+        except ClusterError as error:
+            self.failures += 1
+            get_logger("cluster").warning(
+                "heartbeat push failed",
+                extra={
+                    "coordinator": self.client.url,
+                    "error": str(error),
+                },
+            )
+            return False
+        self.pushes += 1
+        return True
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.push_once()
+            self._stop.wait(self.interval)
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="rascad-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+
+def wait_until_healthy(
+    url: str, timeout: float = 10.0, poll: float = 0.05
+) -> bool:
+    """Poll a service's ``/healthz`` until it answers or time runs out."""
+    client = WorkerClient(url, timeout=min(timeout, 5.0))
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if client.healthy():
+            return True
+        time.sleep(poll)
+    return False

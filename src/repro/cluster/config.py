@@ -1,0 +1,99 @@
+"""Cluster configuration and the cluster error hierarchy.
+
+One frozen :class:`ClusterConfig` travels from the CLI flags (``rascad
+cluster coordinator``) through the service into the coordinator, the
+same shape reuse as :class:`repro.service.ServiceConfig` — construction
+validates every knob so a bad flag fails at startup, not mid-sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..errors import RascadError
+
+
+class ClusterError(RascadError):
+    """A cluster-level failure (no workers, shard budget exhausted)."""
+
+
+class NoWorkersError(ClusterError):
+    """Every worker is dead or none ever registered."""
+
+
+class ShardFailedError(ClusterError):
+    """One shard exhausted its attempt budget across all workers."""
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything the coordinator can configure.
+
+    Attributes:
+        workers: Static worker base URLs registered at startup.  More
+            workers may join at runtime via ``POST /v1/cluster/workers``.
+        shard_size: Points per shard.  Smaller shards rebalance better
+            after a worker death but pay more per-request overhead.
+        lease_timeout: Seconds without a heartbeat after which a
+            dynamically registered worker is considered dead.  Static
+            workers are probed by dispatch instead (a failed shard call
+            marks them dead).
+        heartbeat_interval: Seconds between worker-side heartbeat
+            pushes (``rascad cluster worker``); must be well under
+            ``lease_timeout``.
+        steal_after: Seconds a shard may run on one worker before an
+            idle worker re-executes it speculatively (work stealing of
+            slow shards).  The first completion wins; solves are
+            deterministic, so a stolen shard's result is bit-identical
+            to the original's.
+        max_shard_attempts: Distinct execution attempts per shard
+            before the whole job fails with :class:`ShardFailedError`.
+        call_timeout: Socket timeout for one shard HTTP call.
+        fanout_threshold: Minimum point count worth sharding; smaller
+            workloads run on a single worker (one shard).
+    """
+
+    workers: Tuple[str, ...] = field(default_factory=tuple)
+    shard_size: int = 16
+    lease_timeout: float = 15.0
+    heartbeat_interval: float = 2.0
+    steal_after: float = 5.0
+    max_shard_attempts: int = 4
+    call_timeout: float = 60.0
+    fanout_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workers", tuple(self.workers))
+        if self.shard_size < 1:
+            raise ClusterError(
+                f"shard_size must be >= 1, got {self.shard_size}"
+            )
+        if self.lease_timeout <= 0:
+            raise ClusterError(
+                f"lease_timeout must be positive, got {self.lease_timeout}"
+            )
+        if not 0 < self.heartbeat_interval < self.lease_timeout:
+            raise ClusterError(
+                "heartbeat_interval must be positive and below "
+                f"lease_timeout, got {self.heartbeat_interval} "
+                f"(lease_timeout={self.lease_timeout})"
+            )
+        if self.steal_after <= 0:
+            raise ClusterError(
+                f"steal_after must be positive, got {self.steal_after}"
+            )
+        if self.max_shard_attempts < 1:
+            raise ClusterError(
+                "max_shard_attempts must be >= 1, "
+                f"got {self.max_shard_attempts}"
+            )
+        if self.call_timeout <= 0:
+            raise ClusterError(
+                f"call_timeout must be positive, got {self.call_timeout}"
+            )
+        if self.fanout_threshold < 1:
+            raise ClusterError(
+                "fanout_threshold must be >= 1, "
+                f"got {self.fanout_threshold}"
+            )

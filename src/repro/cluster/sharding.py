@@ -1,0 +1,114 @@
+"""Shard planning and rendezvous (highest-random-weight) placement.
+
+A workload of ``total`` ordered points splits into contiguous
+``[lo, hi)`` shards of at most ``shard_size`` points.  Shard ids are
+**content digests** — the workload digest hashed with the range — so
+the same workload planned twice (or replanned by a restarted
+coordinator) produces the same ids, and the persisted shard table in
+SQLite lines up with the fresh plan row for row.
+
+Placement is rendezvous hashing: every (shard, worker) pair gets a
+deterministic score, and a shard prefers the live worker with the
+highest score.  Adding or losing one worker only moves the shards that
+scored highest on it — no global reshuffle — and the score order also
+drives work stealing: an idle worker picks, among the shards nobody is
+running, the one that scores highest *for it*, with the lexicographic
+shard id as the deterministic tie-break.  Placement never affects
+results (solves are deterministic and the merge is positional); it only
+affects which process does the work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of a workload's point range."""
+
+    id: str
+    index: int
+    lo: int
+    hi: int
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+
+def shard_id(workload_digest: str, lo: int, hi: int) -> str:
+    """The content-digest id of one shard of one workload."""
+    encoded = f"{workload_digest}:{lo}:{hi}".encode("utf-8")
+    return "shard-" + hashlib.sha256(encoded).hexdigest()[:24]
+
+
+def plan_shards(
+    workload_digest: str, total: int, shard_size: int
+) -> List[Shard]:
+    """Tile ``[0, total)`` into at-most-``shard_size`` shards.
+
+    The tiling is the same one the jobs runner's checkpoint chunks use:
+    contiguous, in order, last shard possibly short.  Planning is a
+    pure function of ``(workload_digest, total, shard_size)``, which is
+    what makes coordinator restarts resumable.
+    """
+    if total < 1:
+        raise ValueError(f"total must be >= 1, got {total}")
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    shards = []
+    for index, lo in enumerate(range(0, total, shard_size)):
+        hi = min(lo + shard_size, total)
+        shards.append(
+            Shard(id=shard_id(workload_digest, lo, hi),
+                  index=index, lo=lo, hi=hi)
+        )
+    return shards
+
+
+def rendezvous_score(shard: str, worker: str) -> int:
+    """The deterministic placement score of one (shard, worker) pair."""
+    encoded = f"{shard}|{worker}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(encoded).digest()[:8], "big")
+
+
+def preferred_worker(shard: str, workers: Sequence[str]) -> str:
+    """The worker a shard lands on: highest score, id tie-break."""
+    if not workers:
+        raise ValueError("no workers to place the shard on")
+    return max(
+        sorted(workers),
+        key=lambda worker: rendezvous_score(shard, worker),
+    )
+
+
+def assign_shards(
+    shards: Sequence[Shard], workers: Sequence[str]
+) -> Dict[str, List[Shard]]:
+    """The full rendezvous assignment: worker id -> its shards."""
+    placement: Dict[str, List[Shard]] = {worker: [] for worker in workers}
+    for shard in shards:
+        placement[preferred_worker(shard.id, workers)].append(shard)
+    return placement
+
+
+def pick_shard(
+    worker: str, pending: Sequence[Shard]
+) -> Optional[Shard]:
+    """The next shard an idle worker takes from the pending set.
+
+    Highest rendezvous score for *this* worker first — so every worker
+    drains its own rendezvous assignment before stealing shards that
+    preferred somebody else — with the lexicographically smallest shard
+    id breaking score ties.  Deterministic given the pending set, so a
+    scheduling decision never depends on thread timing alone.
+    """
+    if not pending:
+        return None
+    return max(
+        sorted(pending, key=lambda shard: shard.id, reverse=True),
+        key=lambda shard: rendezvous_score(shard.id, worker),
+    )

@@ -1,0 +1,276 @@
+"""Shardable workloads: what the coordinator fans out and folds back.
+
+A workload is an ordered list of *points*, each solvable through the
+worker-side :mod:`repro.service` HTTP API, plus a pure aggregation over
+the complete point list — the exact contract the jobs runner's
+checkpointed plans satisfy, lifted across process boundaries.  Because
+aggregation sees the full positional list and each point is a
+deterministic solve, a result assembled from any shard placement (or
+any interleaving of retries and steals) is bit-identical to the
+single-process run of the same workload.
+
+Three shapes:
+
+* :class:`SweepWorkload` — one block/global field over many values;
+  each shard is a single ``POST /v1/sweep`` covering its value range.
+* :class:`BatchSolveWorkload` — many independent spec documents; each
+  shard issues one ``POST /v1/solve`` per spec.
+* :class:`UncertaintyWorkload` — Monte-Carlo parameter uncertainty.
+  The coordinator draws every variant up front from one seeded
+  generator (the same sequential stream the jobs planner uses, so the
+  sample set is identical), ships variants as batch solves, and
+  aggregates with the jobs runner's exact formulas.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SpecError
+from ..units import MINUTES_PER_YEAR
+
+#: One worker call: (path, JSON payload).
+Call = Tuple[str, Dict[str, object]]
+
+
+def _canonical_digest(document: Mapping[str, object]) -> str:
+    encoded = json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return "wl-" + hashlib.sha256(encoded).hexdigest()[:32]
+
+
+class SweepWorkload:
+    """A parametric sweep sharded over contiguous value ranges."""
+
+    kind = "sweep"
+
+    def __init__(
+        self,
+        spec: Mapping[str, object],
+        field: str,
+        values: Sequence[float],
+        block: Optional[str] = None,
+        solver: Optional[Mapping[str, object]] = None,
+        model_name: Optional[str] = None,
+    ) -> None:
+        if not values:
+            raise SpecError("sweep workload needs at least one value")
+        self.spec = dict(spec)
+        self.field = field
+        self.block = block
+        self.values = [float(value) for value in values]
+        self.solver = dict(solver) if solver else None
+        self.model_name = model_name or str(self.spec.get("name", ""))
+        self.digest = _canonical_digest({
+            "kind": self.kind,
+            "spec": self.spec,
+            "field": self.field,
+            "block": self.block,
+            "values": self.values,
+            "solver": self.solver,
+        })
+
+    @property
+    def total(self) -> int:
+        return len(self.values)
+
+    def calls(self, lo: int, hi: int) -> List[Call]:
+        """One ``/v1/sweep`` request covering points ``[lo, hi)``."""
+        payload: Dict[str, object] = {
+            "spec": self.spec,
+            "field": self.field,
+            "values": self.values[lo:hi],
+            # Shard requests never fan out again, even if the worker
+            # happens to be a coordinator itself.
+            "cluster": False,
+        }
+        if self.block is not None:
+            payload["block"] = self.block
+        if self.solver is not None:
+            payload["solver"] = self.solver
+        return [("/v1/sweep", payload)]
+
+    def extract(
+        self, bodies: List[Mapping[str, object]], lo: int, hi: int
+    ) -> List[Dict[str, object]]:
+        """The shard's points out of its response bodies."""
+        points = bodies[0].get("points")
+        if not isinstance(points, list) or len(points) != hi - lo:
+            raise SpecError(
+                f"worker returned {0 if not isinstance(points, list) else len(points)} "
+                f"points for shard [{lo}, {hi})"
+            )
+        return [dict(point) for point in points]
+
+    def aggregate(
+        self, points: List[Mapping[str, object]]
+    ) -> Dict[str, object]:
+        """The same payload shape the jobs runner's sweep plan emits."""
+        return {
+            "kind": "sweep",
+            "model": self.model_name,
+            "field": self.field,
+            "block": self.block,
+            "points": [dict(point) for point in points],
+        }
+
+
+class BatchSolveWorkload:
+    """Independent spec documents solved one ``/v1/solve`` each."""
+
+    kind = "batch"
+
+    #: Response fields carried into each batch point.
+    POINT_FIELDS = (
+        "model", "availability", "yearly_downtime_minutes", "mttf_hours",
+    )
+
+    def __init__(
+        self,
+        specs: Sequence[Mapping[str, object]],
+        solver: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        if not specs:
+            raise SpecError("batch workload needs at least one spec")
+        self.specs = [dict(spec) for spec in specs]
+        self.solver = dict(solver) if solver else None
+        self.digest = _canonical_digest({
+            "kind": self.kind,
+            "specs": self.specs,
+            "solver": self.solver,
+        })
+
+    @property
+    def total(self) -> int:
+        return len(self.specs)
+
+    def calls(self, lo: int, hi: int) -> List[Call]:
+        calls: List[Call] = []
+        for spec in self.specs[lo:hi]:
+            payload: Dict[str, object] = {"spec": spec}
+            if self.solver is not None:
+                payload["solver"] = self.solver
+            calls.append(("/v1/solve", payload))
+        return calls
+
+    def extract(
+        self, bodies: List[Mapping[str, object]], lo: int, hi: int
+    ) -> List[Dict[str, object]]:
+        if len(bodies) != hi - lo:
+            raise SpecError(
+                f"worker returned {len(bodies)} results for "
+                f"shard [{lo}, {hi})"
+            )
+        return [
+            {key: body.get(key) for key in self.POINT_FIELDS}
+            for body in bodies
+        ]
+
+    def aggregate(
+        self, points: List[Mapping[str, object]]
+    ) -> Dict[str, object]:
+        return {
+            "kind": "batch",
+            "count": len(points),
+            "results": [dict(point) for point in points],
+        }
+
+
+class UncertaintyWorkload(BatchSolveWorkload):
+    """Parameter-uncertainty propagation as a sharded variant batch.
+
+    Built by :func:`uncertainty_workload`, which owns the variant
+    drawing; this class only re-aggregates the batch availabilities
+    with the jobs runner's formulas so the summary statistics are
+    bit-identical to an offline ``uncertainty`` job over the same
+    samples.
+    """
+
+    kind = "uncertainty"
+
+    def __init__(
+        self,
+        specs: Sequence[Mapping[str, object]],
+        model_name: str,
+        solver: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        super().__init__(specs, solver=solver)
+        self.model_name = model_name
+        self.digest = _canonical_digest({
+            "kind": self.kind,
+            "specs": self.specs,
+            "solver": self.solver,
+        })
+
+    def aggregate(
+        self, points: List[Mapping[str, object]]
+    ) -> Dict[str, object]:
+        arr = np.asarray(
+            [float(point["availability"]) for point in points], dtype=float
+        )
+        downtimes = (1.0 - arr) * MINUTES_PER_YEAR
+        p05, p50, p95 = np.percentile(downtimes, [5.0, 50.0, 95.0])
+        return {
+            "kind": "uncertainty",
+            "model": self.model_name,
+            "samples": len(points),
+            "mean_availability": float(arr.mean()),
+            "std_availability": float(arr.std(ddof=1)),
+            "downtime_p05": float(p05),
+            "downtime_p50": float(p50),
+            "downtime_p95": float(p95),
+        }
+
+
+def uncertainty_workload(
+    spec: Mapping[str, object],
+    uncertain: Sequence[Mapping[str, object]],
+    samples: int,
+    seed: Optional[int] = None,
+    solver: Optional[Mapping[str, object]] = None,
+    database=None,
+) -> UncertaintyWorkload:
+    """Draw the variant set and wrap it as a shardable batch.
+
+    Draws are sequential from one seeded generator — byte-for-byte the
+    stream ``Engine.propagate_uncertainty`` and the jobs planner
+    consume — so the variant population (and hence every downstream
+    statistic) matches the single-process paths exactly.
+    """
+    from ..analysis.parametric import with_block_changes
+    from ..jobs.types import distribution_from_dict
+    from ..spec import model_to_spec, parse_spec
+
+    if samples < 2:
+        raise SpecError(f"need at least 2 samples, got {samples}")
+    if not uncertain:
+        raise SpecError("uncertainty workload needs uncertain entries")
+    model = parse_spec(dict(spec), database=database)
+    parsed = []
+    for entry in uncertain:
+        if not isinstance(entry, Mapping):
+            raise SpecError("each uncertain entry must be an object")
+        try:
+            path, field = str(entry["path"]), str(entry["field"])
+            distribution = distribution_from_dict(entry["distribution"])
+        except KeyError as exc:
+            raise SpecError(
+                f"uncertain entry is missing {exc.args[0]!r}"
+            ) from None
+        parsed.append((path, field, distribution))
+    rng = np.random.default_rng(seed)
+    variants = []
+    for _ in range(samples):
+        variant = model
+        for path, field, distribution in parsed:
+            value = distribution.sample(rng)
+            variant = with_block_changes(variant, path, **{field: value})
+        variants.append(model_to_spec(variant))
+    return UncertaintyWorkload(
+        variants, model_name=model.name, solver=solver
+    )

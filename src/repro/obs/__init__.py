@@ -20,14 +20,18 @@ from .export import SPANS_FILENAME, SpanExporter, head_sampled, read_spans
 from .histogram import DEFAULT_LATENCY_BUCKETS, Histogram, format_bound
 from .logging import JsonFormatter, configure_logging, get_logger
 from .trace import (
+    TRACE_PARENT_HEADER,
     Span,
     Tracer,
     capture_spans,
+    carrier_from_header,
+    carrier_to_header,
     configure_tracing,
     current_carrier,
     current_span,
     export_remote,
     get_tracer,
+    remote_parent_span,
     set_tracer,
     use_span,
 )
@@ -48,13 +52,17 @@ __all__ = [
     "configure_logging",
     "get_logger",
     "Span",
+    "TRACE_PARENT_HEADER",
     "Tracer",
     "capture_spans",
+    "carrier_from_header",
+    "carrier_to_header",
     "configure_tracing",
     "current_carrier",
     "current_span",
     "export_remote",
     "get_tracer",
+    "remote_parent_span",
     "set_tracer",
     "use_span",
 ]

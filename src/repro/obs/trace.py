@@ -45,6 +45,10 @@ __all__ = [
     "capture_spans",
     "export_remote",
     "use_span",
+    "TRACE_PARENT_HEADER",
+    "carrier_to_header",
+    "carrier_from_header",
+    "remote_parent_span",
 ]
 
 #: The active span of the current logical context (task / thread).
@@ -435,6 +439,63 @@ def capture_spans(
     finally:
         _CURRENT.reset(token)
         set_tracer(previous)
+
+
+#: HTTP header carrying a trace carrier between cluster processes.
+TRACE_PARENT_HEADER = "X-Rascad-Trace-Parent"
+
+
+def carrier_to_header(carrier: Dict[str, object]) -> str:
+    """Serialize a :func:`current_carrier` dict for an HTTP header.
+
+    The wire form is ``trace_id:span_id:sampled:detail`` with the two
+    flags as ``0``/``1`` — the cross-*host* edition of the carrier the
+    process pool already ships by pickle.
+    """
+    return (
+        f"{carrier['trace_id']}:{carrier['span_id']}:"
+        f"{1 if carrier.get('sampled', True) else 0}:"
+        f"{1 if carrier.get('detail', False) else 0}"
+    )
+
+
+def carrier_from_header(text: str) -> Optional[Dict[str, object]]:
+    """Parse a :data:`TRACE_PARENT_HEADER` value; ``None`` if invalid.
+
+    Malformed headers are ignored rather than rejected — a bad trace
+    header must never fail the request it rides on.
+    """
+    parts = text.strip().split(":")
+    if len(parts) != 4 or not parts[0] or not parts[1]:
+        return None
+    return {
+        "trace_id": parts[0],
+        "span_id": parts[1],
+        "sampled": parts[2] == "1",
+        "detail": parts[3] == "1",
+    }
+
+
+def remote_parent_span(carrier: Dict[str, object]) -> Optional[Span]:
+    """An un-entered stand-in for a span living in another process.
+
+    Pass the result as ``parent=`` to :meth:`Tracer.start_span` so a
+    locally created span links into a remote trace (the coordinator's
+    ``cluster.shard`` span becomes the parent of a worker's
+    ``service.request``).  The stand-in is never entered, finished, or
+    exported — it only donates its ids and sampling verdict.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return None
+    return Span(
+        name="<remote-parent>",
+        trace_id=str(carrier["trace_id"]),
+        span_id=str(carrier["span_id"]),
+        parent_id=None,
+        sampled=bool(carrier.get("sampled", True)),
+        tracer=tracer,
+    )
 
 
 def export_remote(

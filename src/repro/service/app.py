@@ -19,6 +19,11 @@ Routes:
 ``POST /v1/jobs/{id}/cancel``   cancel a queued or running job
 ``GET /v1/library``             names of the built-in library models
 ``GET /v1/library/{n}``         one library model as a spec document
+``POST /v1/cluster/workers``    register (and heartbeat) a worker with a
+                                coordinator
+``GET /v1/cluster/workers``     the coordinator's fleet table
+``GET /v1/cluster/status``      coordinator totals, config, active
+                                workloads
 ``GET /healthz``                liveness + queue gauges
 ``GET /metrics``                JSON metrics; Prometheus text with
                                 ``?format=prometheus`` (or
@@ -29,7 +34,11 @@ The job endpoints are the online face of :mod:`repro.jobs`: the service
 only enqueues, inspects, and cancels — execution belongs to
 ``rascad jobs worker`` processes sharing the same SQLite store.  They
 answer ``503 jobs_disabled`` when the server was started without a job
-store.
+store.  The cluster endpoints are the same pattern for
+:mod:`repro.cluster`: they answer ``503 cluster_disabled`` unless the
+server runs as a coordinator, and with a coordinator attached
+``POST /v1/sweep`` fans large value lists out across the registered
+fleet (clients opt out per-request with ``"cluster": false``).
 
 Untrusted payloads go through :func:`repro.spec.parse_spec` — the same
 validation path the CLI uses — so every malformed spec surfaces as a
@@ -44,6 +53,7 @@ import time
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..cluster import Coordinator
     from ..jobs import JobStore
 
 from ..core import compute_measures
@@ -54,7 +64,13 @@ from ..errors import SolverError
 from ..library import datacenter_model, e10000_model, workgroup_model
 from ..num import SolverOptions
 from ..obs.clock import Stopwatch
-from ..obs.trace import get_tracer
+from ..obs.trace import (
+    TRACE_PARENT_HEADER,
+    carrier_from_header,
+    get_tracer,
+    remote_parent_span,
+    use_span,
+)
 from ..spec import model_to_spec, parse_spec
 from ..units import nines
 from .protocol import (
@@ -88,6 +104,10 @@ ALLOWED_METHODS = ("direct", "gth", "power")
 MAX_SWEEP_VALUES = 256
 MAX_REPLICATIONS = 512
 
+#: A coordinator fans sweeps out across the fleet, so it accepts far
+#: larger value lists than a single process will compute inline.
+MAX_CLUSTER_SWEEP_VALUES = 4096
+
 
 def _field(
     payload: Mapping[str, object],
@@ -106,7 +126,9 @@ def _field(
     value = payload[key]
     if kind is float and isinstance(value, int):
         value = float(value)
-    if not isinstance(value, kind) or isinstance(value, bool):
+    if not isinstance(value, kind) or (
+        isinstance(value, bool) and kind is not bool
+    ):
         raise ProtocolError(
             400, "invalid_request",
             f"field {key!r} must be a {kind.__name__}, "
@@ -126,12 +148,14 @@ class App:
         request_timeout: float = 30.0,
         jobs: Optional["JobStore"] = None,
         default_solver: Optional[SolverOptions] = None,
+        cluster: Optional["Coordinator"] = None,
     ) -> None:
         self.engine = engine
         self.queue = queue
         self.database = database if database is not None else builtin_database()
         self.request_timeout = request_timeout
         self.jobs = jobs
+        self.cluster = cluster
         self.default_solver = (
             default_solver if default_solver is not None else SolverOptions()
         )
@@ -145,6 +169,9 @@ class App:
             "POST /v1/jobs": self._jobs_submit,
             "GET /v1/jobs": self._jobs_index,
             "GET /v1/library": self._library_index,
+            "GET /v1/cluster/workers": self._cluster_workers,
+            "POST /v1/cluster/workers": self._cluster_register,
+            "GET /v1/cluster/status": self._cluster_status,
             "GET /healthz": self._healthz,
             "GET /metrics": self._metrics,
             "GET /debug/traces": self._debug_traces,
@@ -168,9 +195,18 @@ class App:
         if self.in_flight > self.in_flight_peak:
             self.in_flight_peak = self.in_flight
             stats.set_gauge("in_flight_peak", self.in_flight_peak)
+        # A coordinator dispatching a shard here ships its span ids in
+        # the trace-parent header; adopting them as the remote parent
+        # stitches this worker's request tree into the cluster trace.
+        remote_parent = None
+        header = request.headers.get(TRACE_PARENT_HEADER.lower())
+        if header:
+            carrier = carrier_from_header(header)
+            if carrier is not None:
+                remote_parent = remote_parent_span(carrier)
         watch = Stopwatch()
         try:
-            with get_tracer().span(
+            with use_span(remote_parent), get_tracer().span(
                 "service.request", route=route, method=request.method,
                 path=request.path,
             ) as span:
@@ -313,10 +349,18 @@ class App:
         block = _field(payload, "block", str, required=False)
         field_name = _field(payload, "field", str)
         raw_values = _field(payload, "values", list)
-        if not raw_values or len(raw_values) > MAX_SWEEP_VALUES:
+        # A coordinator fans the sweep out across its fleet unless the
+        # client opts out with ``"cluster": false`` (the shard requests
+        # themselves carry that opt-out, so fleets of coordinators
+        # cannot recurse).
+        fan_out = self.cluster is not None and _field(
+            payload, "cluster", bool, required=False, default=True
+        )
+        cap = MAX_CLUSTER_SWEEP_VALUES if fan_out else MAX_SWEEP_VALUES
+        if not raw_values or len(raw_values) > cap:
             raise ProtocolError(
                 400, "invalid_request",
-                f"'values' must hold 1..{MAX_SWEEP_VALUES} numbers, "
+                f"'values' must hold 1..{cap} numbers, "
                 f"got {len(raw_values)}",
             )
         values: List[float] = []
@@ -329,6 +373,16 @@ class App:
                     f"values[{position}] must be a number",
                 )
             values.append(float(value))
+        if fan_out and len(values) >= self.cluster.config.fanout_threshold:
+            return await self._cluster_sweep(
+                payload, model, method, block, field_name, values
+            )
+        if len(values) > MAX_SWEEP_VALUES:
+            raise ProtocolError(
+                400, "invalid_request",
+                f"'values' must hold 1..{MAX_SWEEP_VALUES} numbers "
+                f"without cluster fan-out, got {len(values)}",
+            )
         if block is None:
             points = await asyncio.to_thread(
                 self.engine.sweep_global_field,
@@ -391,6 +445,79 @@ class App:
             "horizon_hours": horizon,
             "agreement": agree,
         })
+
+    # ------------------------------------------------------------------
+    # cluster endpoints
+    # ------------------------------------------------------------------
+    def _coordinator(self) -> "Coordinator":
+        if self.cluster is None:
+            raise ProtocolError(
+                503, "cluster_disabled",
+                "this server is not a cluster coordinator; start it "
+                "with rascad cluster coordinator (or rascad serve "
+                "with --cluster / --cluster-worker)",
+            )
+        return self.cluster
+
+    async def _cluster_sweep(
+        self,
+        payload: Mapping[str, object],
+        model,
+        method: SolverOptions,
+        block: Optional[str],
+        field_name: str,
+        values: List[float],
+    ) -> Response:
+        """Fan one sweep out over the fleet and merge the shards.
+
+        The workload pins the request's fully resolved solver options,
+        so every worker solves with identical numerics whatever its own
+        defaults are — a precondition for the bit-identity guarantee.
+        """
+        from ..cluster import SweepWorkload
+
+        workload = SweepWorkload(
+            _field(payload, "spec", dict),
+            field_name,
+            values,
+            block=block,
+            solver=method.to_dict(),
+            model_name=model.name,
+        )
+        timeout = _field(payload, "timeout_seconds", float, required=False)
+        merged = await asyncio.to_thread(
+            self._coordinator().run_workload, workload, timeout
+        )
+        self.engine.stats.increment("cluster_sweeps")
+        return json_response(merged)
+
+    def _cluster_workers(self, request: Request) -> Response:
+        coordinator = self._coordinator()
+        return json_response(
+            {"workers": coordinator.membership.snapshot()}
+        )
+
+    def _cluster_register(self, request: Request) -> Response:
+        from ..cluster import ClusterError
+
+        coordinator = self._coordinator()
+        payload = request.json()
+        url = _field(payload, "url", str)
+        try:
+            info = coordinator.membership.register(url)
+        except ClusterError as exc:
+            raise ProtocolError(
+                400, "invalid_request", str(exc)
+            ) from exc
+        self.engine.stats.increment("cluster_registrations")
+        return json_response({
+            "worker": info.to_dict(),
+            "heartbeat_interval": coordinator.config.heartbeat_interval,
+            "lease_timeout": coordinator.config.lease_timeout,
+        })
+
+    def _cluster_status(self, request: Request) -> Response:
+        return json_response(self._coordinator().status())
 
     # ------------------------------------------------------------------
     # background-job endpoints
@@ -555,6 +682,17 @@ class App:
         if self.jobs is not None:
             for state, count in self.jobs.counts().items():
                 section[f"jobs_{state}"] = count
+        if self.cluster is not None:
+            section["cluster_workers_alive"] = len(
+                self.cluster.membership.alive()
+            )
+            section["cluster_workers_known"] = len(self.cluster.membership)
+            section["cluster_jobs_completed"] = self.cluster.jobs_completed
+            section["cluster_shards_completed"] = (
+                self.cluster.shards_completed
+            )
+            section["cluster_shards_stolen"] = self.cluster.shards_stolen
+            section["cluster_shards_retried"] = self.cluster.shards_retried
         return section
 
     def _debug_traces(self, request: Request) -> Response:
@@ -597,6 +735,16 @@ class App:
             disk_usage=disk_usage,
             service=self._service_section(),
         )
+        if self.cluster is not None:
+            payload["cluster"] = {
+                "workers": self.cluster.membership.snapshot(),
+                "totals": {
+                    "jobs_completed": self.cluster.jobs_completed,
+                    "shards_completed": self.cluster.shards_completed,
+                    "shards_stolen": self.cluster.shards_stolen,
+                    "shards_retried": self.cluster.shards_retried,
+                },
+            }
         wants_prometheus = (
             request.query.get("format") == "prometheus"
             or "text/plain" in request.headers.get("accept", "")
@@ -880,6 +1028,36 @@ def render_prometheus(payload: Mapping[str, object]) -> str:
                     f"{section}_{key}", "gauge",
                     f"{section.capitalize()} gauge {key}.", value,
                 )
+    cluster = payload.get("cluster")
+    if isinstance(cluster, Mapping):
+        workers = cluster.get("workers")
+        if isinstance(workers, list):
+            for row in workers:
+                if not isinstance(row, Mapping):
+                    continue
+                labels = {"worker": str(row.get("id", ""))}
+                doc.add(
+                    "cluster_worker_up", "gauge",
+                    "Worker liveness (1 = eligible for placement).",
+                    1 if row.get("state") == "alive" else 0, labels,
+                )
+                doc.add(
+                    "cluster_worker_in_flight", "gauge",
+                    "Shards currently executing on the worker.",
+                    row.get("in_flight"), labels,
+                )
+                for counter in (
+                    "shards_done", "shards_failed", "shards_stolen"
+                ):
+                    doc.add(
+                        f"cluster_worker_{counter}", "counter",
+                        f"Per-worker {counter.replace('_', ' ')}.",
+                        row.get(counter), labels,
+                    )
+        # Fleet totals are NOT emitted here: the coordinator's stats
+        # collector already counts them (cluster_shards_completed and
+        # friends render from the engine counters section), and a
+        # family must not carry duplicate samples.
     return doc.render()
 
 

@@ -25,7 +25,7 @@ import asyncio
 import contextlib
 import signal
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
@@ -81,6 +81,20 @@ class ServiceConfig:
         default_solver: Server-wide default solver configuration
             (the ``rascad serve`` solver flags); requests override it
             per-call via their ``method`` string or ``solver`` object.
+        cluster: Run as a cluster coordinator even with no static
+            workers — the fleet then joins dynamically over
+            ``POST /v1/cluster/workers``.
+        cluster_workers: Static worker base URLs; naming any implies
+            coordinator mode.
+        cluster_shard_size: Points per shard when fanning out.
+        cluster_lease_timeout: Seconds without a heartbeat before a
+            dynamic worker drops out of placement.
+        cluster_steal_after: Seconds a shard may run on one worker
+            before an idle worker re-executes it speculatively.
+        cluster_max_shard_attempts: Attempts per shard before the
+            workload fails.
+        cluster_call_timeout: Socket timeout for one shard HTTP call.
+        cluster_fanout_threshold: Minimum sweep size worth sharding.
     """
 
     host: str = "127.0.0.1"
@@ -104,6 +118,14 @@ class ServiceConfig:
     log_level: str = "info"
     log_json: bool = False
     default_solver: Optional[SolverOptions] = None
+    cluster: bool = False
+    cluster_workers: Tuple[str, ...] = field(default_factory=tuple)
+    cluster_shard_size: int = 16
+    cluster_lease_timeout: float = 15.0
+    cluster_steal_after: float = 5.0
+    cluster_max_shard_attempts: int = 4
+    cluster_call_timeout: float = 60.0
+    cluster_fanout_threshold: int = 2
 
 
 class Server:
@@ -130,12 +152,14 @@ class Server:
             max_batch=self.config.max_batch,
         )
         self.jobs = self._build_job_store()
+        self.coordinator = self._build_coordinator()
         self.app = App(
             self.engine,
             self.queue,
             request_timeout=self.config.request_timeout,
             jobs=self.jobs,
             default_solver=self.config.default_solver,
+            cluster=self.coordinator,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown_requested: Optional[asyncio.Event] = None
@@ -157,6 +181,45 @@ class Server:
             cache_dir=self.config.cache_dir,
         )
         return store
+
+    def _build_coordinator(self):
+        """The cluster coordinator, or ``None`` (not coordinating).
+
+        The shard table shares the jobs database when one is
+        configured, so a killed coordinator restarted against the same
+        path resumes from the completed shards; without any persistent
+        path the table lives in memory (embedded and test servers).
+        """
+        if not self.config.cluster and not self.config.cluster_workers:
+            return None
+        from ..cluster import (
+            ClusterConfig,
+            Coordinator,
+            Membership,
+            ShardStore,
+        )
+
+        cluster_config = ClusterConfig(
+            workers=tuple(self.config.cluster_workers),
+            shard_size=self.config.cluster_shard_size,
+            lease_timeout=self.config.cluster_lease_timeout,
+            steal_after=self.config.cluster_steal_after,
+            max_shard_attempts=self.config.cluster_max_shard_attempts,
+            call_timeout=self.config.cluster_call_timeout,
+            fanout_threshold=self.config.cluster_fanout_threshold,
+        )
+        if self.config.jobs_db is not None:
+            store_path = str(self.config.jobs_db)
+        elif self.config.cache_dir is not None:
+            store_path = str(Path(self.config.cache_dir) / "jobs.sqlite3")
+        else:
+            store_path = ":memory:"
+        return Coordinator(
+            Membership(lease_timeout=cluster_config.lease_timeout),
+            store=ShardStore(store_path),
+            config=cluster_config,
+            stats=self.engine.stats,
+        )
 
     def _shutdown_event(self) -> asyncio.Event:
         # Created lazily: on Python 3.9 an Event binds the event loop
@@ -231,6 +294,9 @@ class Server:
             while self.app.in_flight > 0 and time.monotonic() < deadline:
                 await asyncio.sleep(0.01)
         await self.queue.close(drain=drain)
+        if self.coordinator is not None:
+            with contextlib.suppress(Exception):
+                self.coordinator.store.close()
         self._persist_stats()
 
     def _persist_stats(self) -> None:

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qsl, unquote, urlsplit
 
+from ..cluster.config import ClusterError, NoWorkersError, ShardFailedError
 from ..errors import (
     DatabaseError,
     EngineError,
@@ -59,6 +60,7 @@ REASONS = {
     429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     501: "Not Implemented",
     503: "Service Unavailable",
     504: "Gateway Timeout",
@@ -71,6 +73,9 @@ ERROR_STATUS: Tuple[Tuple[type, int, str], ...] = (
     (SpecError, 400, "invalid_spec"),
     (DatabaseError, 400, "unknown_part"),
     (ModelError, 400, "invalid_model"),
+    (NoWorkersError, 503, "no_workers"),
+    (ShardFailedError, 502, "shard_failed"),
+    (ClusterError, 500, "cluster_failure"),
     (EngineError, 500, "engine_failure"),
     (SolverError, 500, "solver_failure"),
     (RascadError, 500, "internal_error"),
@@ -96,6 +101,11 @@ class Request:
     headers: Dict[str, str]
     body: bytes = b""
     version: str = "HTTP/1.1"
+    #: Effective body budget; :func:`read_request` stamps the server's
+    #: configured cap so :meth:`json` never re-litigates an admitted
+    #: body.  Hand-built requests (embedded apps, tests) fall back to
+    #: :data:`DEFAULT_MAX_BODY_BYTES`.
+    max_body_bytes: Optional[int] = None
 
     @property
     def keep_alive(self) -> bool:
@@ -108,13 +118,42 @@ class Request:
         return True  # HTTP/1.1 default
 
     def json(self) -> Dict[str, object]:
-        """The body as a JSON object, or a 400 :class:`ProtocolError`."""
+        """The body as a JSON object, or a 400 :class:`ProtocolError`.
+
+        Two families of refusal: ``invalid_json`` for bodies that do
+        not parse, ``bad_request`` for bodies that are hostile rather
+        than wrong — oversized payloads reaching an embedded app
+        without the socket layer's 413 guard, and pathologically
+        nested documents that blow the parser's recursion budget.
+        Both are the client's fault and must never surface as a 500.
+        """
+        limit = (
+            self.max_body_bytes
+            if self.max_body_bytes is not None
+            else DEFAULT_MAX_BODY_BYTES
+        )
+        if len(self.body) > limit:
+            raise ProtocolError(
+                400, "bad_request",
+                f"request body of {len(self.body)} bytes exceeds the "
+                f"{limit}-byte limit",
+            )
         if not self.body:
             raise ProtocolError(
                 400, "invalid_request", "request body must be a JSON object"
             )
         try:
             payload = json.loads(self.body)
+        except RecursionError:
+            raise ProtocolError(
+                400, "bad_request",
+                "request body is nested too deeply to parse",
+            ) from None
+        except MemoryError:
+            raise ProtocolError(
+                400, "bad_request",
+                "request body is too large to parse",
+            ) from None
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ProtocolError(
                 400, "invalid_json", f"request body is not valid JSON: {exc}"
@@ -222,6 +261,7 @@ async def read_request(
         ) from None
 
     request = _parse_head(head)
+    request.max_body_bytes = max_body_bytes
 
     if "transfer-encoding" in request.headers:
         raise ProtocolError(

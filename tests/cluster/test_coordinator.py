@@ -1,0 +1,276 @@
+"""Dispatch scheduling against scripted workers: retries, steals, resume.
+
+These tests drive the real :class:`Coordinator` machinery — shard
+planning, the per-worker dispatch threads, the durable
+:class:`ShardStore` — but replace the HTTP client with scripted fakes,
+so failure interleavings that would be timing lotteries over real
+sockets become deterministic event choreography.
+"""
+
+import hashlib
+import threading
+import time
+
+import pytest
+
+from repro.cluster.client import WorkerCallError
+from repro.cluster.config import (
+    ClusterConfig,
+    ClusterError,
+    NoWorkersError,
+    ShardFailedError,
+)
+from repro.cluster.coordinator import Coordinator, ShardStore, _JobState
+from repro.cluster.membership import Membership, worker_id_for
+from repro.cluster.sharding import plan_shards
+
+
+class FakeWorkload:
+    """An engine-free workload: points are just their own values."""
+
+    kind = "fake"
+
+    def __init__(self, total=12, tag="t"):
+        self.values = [float(i) for i in range(total)]
+        self.digest = "wl-" + hashlib.sha256(
+            f"{tag}:{total}".encode()
+        ).hexdigest()[:32]
+
+    @property
+    def total(self):
+        return len(self.values)
+
+    def calls(self, lo, hi):
+        return [("/fake", {"lo": lo, "hi": hi})]
+
+    def aggregate(self, points):
+        return {"kind": "fake", "points": [dict(p) for p in points]}
+
+
+class ScriptedClient:
+    """A worker client whose behaviour is a per-worker callable."""
+
+    def __init__(self, url, behaviors, calls):
+        self.url = url
+        self.worker_id = worker_id_for(url)
+        self._behaviors = behaviors
+        self._calls = calls
+
+    def execute_shard(self, workload, lo, hi, trace_header=None):
+        behavior = self._behaviors.get(self.worker_id)
+        if behavior is not None:
+            behavior(lo, hi)
+        self._calls.append((self.worker_id, lo, hi))
+        return [
+            {"value": value, "worker": self.worker_id}
+            for value in workload.values[lo:hi]
+        ]
+
+
+def make_coordinator(
+    workers, behaviors=None, store=None, **config_overrides
+):
+    config_overrides.setdefault("shard_size", 4)
+    config_overrides.setdefault("heartbeat_interval", 0.01)
+    config = ClusterConfig(workers=tuple(workers), **config_overrides)
+    calls = []
+    coordinator = Coordinator(
+        Membership(lease_timeout=config.lease_timeout),
+        store=store,
+        config=config,
+        client_factory=lambda url, timeout=None: ScriptedClient(
+            url, behaviors or {}, calls
+        ),
+    )
+    return coordinator, calls
+
+
+def merged_values(payload):
+    return [point["value"] for point in payload["points"]]
+
+
+class TestHappyPath:
+    def test_two_workers_cover_the_whole_range_in_order(self):
+        coordinator, calls = make_coordinator(
+            ["http://a:1", "http://b:1"]
+        )
+        workload = FakeWorkload(total=22)
+        payload = coordinator.run_workload(workload, timeout=30)
+        assert merged_values(payload) == workload.values
+        assert payload["result_digest"]
+        assert coordinator.jobs_completed == 1
+        assert coordinator.shards_completed == 6
+        # Every executed range landed exactly once in the result.
+        done = sum(
+            coordinator.membership.get(w).shards_done
+            for w in ("a:1", "b:1")
+        )
+        assert done == 6
+
+    def test_rerun_of_a_completed_workload_is_all_cache(self):
+        store = ShardStore()
+        coordinator, calls = make_coordinator(
+            ["http://a:1"], store=store
+        )
+        workload = FakeWorkload(total=8)
+        first = coordinator.run_workload(workload, timeout=30)
+        executed = len(calls)
+        second = coordinator.run_workload(workload, timeout=30)
+        assert second == first
+        assert len(calls) == executed  # nothing re-executed
+
+
+class TestFailures:
+    def test_retryable_failure_requeues_on_the_survivor(self):
+        bad_failed = threading.Event()
+
+        def bad(lo, hi):
+            bad_failed.set()
+            raise WorkerCallError("connection refused", retryable=True)
+
+        def good(lo, hi):
+            assert bad_failed.wait(10)
+
+        coordinator, calls = make_coordinator(
+            ["http://bad:1", "http://good:1"],
+            behaviors={"bad:1": bad, "good:1": good},
+        )
+        workload = FakeWorkload(total=12)
+        payload = coordinator.run_workload(workload, timeout=30)
+        assert merged_values(payload) == workload.values
+        assert {worker for worker, _, _ in calls} == {"good:1"}
+        assert coordinator.membership.get("bad:1").state == "dead"
+        assert coordinator.shards_retried >= 1
+        assert coordinator.membership.get("bad:1").shards_failed >= 1
+
+    def test_permanent_failure_fails_the_workload(self):
+        def bad(lo, hi):
+            raise WorkerCallError(
+                "spec rejected", retryable=False, status=400
+            )
+
+        coordinator, _ = make_coordinator(
+            ["http://a:1"], behaviors={"a:1": bad}
+        )
+        workload = FakeWorkload(total=8)
+        with pytest.raises(WorkerCallError, match="spec rejected"):
+            coordinator.run_workload(workload, timeout=30)
+        # The failed shard went back on the market, not into limbo.
+        states = {
+            row["state"]
+            for row in coordinator.store.rows(workload.digest)
+        }
+        assert states == {"pending"}
+
+    def test_every_worker_dead_raises_no_workers(self):
+        def bad(lo, hi):
+            raise WorkerCallError("boom", retryable=True)
+
+        coordinator, _ = make_coordinator(
+            ["http://a:1", "http://b:1"],
+            behaviors={"a:1": bad, "b:1": bad},
+        )
+        with pytest.raises(NoWorkersError):
+            coordinator.run_workload(FakeWorkload(total=8), timeout=30)
+
+    def test_empty_fleet_raises_no_workers(self):
+        coordinator, _ = make_coordinator([])
+        with pytest.raises(NoWorkersError):
+            coordinator.run_workload(FakeWorkload(total=8), timeout=30)
+
+    def test_deadline_raises_cluster_error(self):
+        release = threading.Event()
+
+        def stuck(lo, hi):
+            release.wait(10)
+
+        coordinator, _ = make_coordinator(
+            ["http://a:1"], behaviors={"a:1": stuck}, steal_after=60.0
+        )
+        try:
+            with pytest.raises(ClusterError, match="deadline"):
+                coordinator.run_workload(FakeWorkload(total=8),
+                                         timeout=0.3)
+        finally:
+            release.set()
+
+    def test_exhausted_attempts_raise_shard_failed(self):
+        coordinator, _ = make_coordinator(["http://a:1"])
+        workload = FakeWorkload(total=4)
+        shards = plan_shards(workload.digest, workload.total, 4)
+        state = _JobState(shards)
+        state.attempts[shards[0].id] = (
+            coordinator.config.max_shard_attempts
+        )
+        with state.condition:
+            assert coordinator._claim("a:1", state) is None
+        assert isinstance(state.error, ShardFailedError)
+
+
+class TestStealing:
+    def test_slow_shard_is_stolen_and_first_write_wins(self):
+        slow_claimed = threading.Event()
+        release_slow = threading.Event()
+
+        def slow(lo, hi):
+            slow_claimed.set()
+            release_slow.wait(10)
+
+        def fast(lo, hi):
+            assert slow_claimed.wait(10)
+
+        coordinator, calls = make_coordinator(
+            ["http://fast:1", "http://slow:1"],
+            behaviors={"slow:1": slow, "fast:1": fast},
+            steal_after=0.05,
+        )
+        workload = FakeWorkload(total=8)
+        try:
+            payload = coordinator.run_workload(workload, timeout=30)
+        finally:
+            release_slow.set()
+        assert merged_values(payload) == workload.values
+        assert coordinator.shards_stolen >= 1
+        assert coordinator.membership.get("fast:1").shards_stolen >= 1
+        # Let the stuck worker finish; its late completion must lose.
+        time.sleep(0.1)
+        results = coordinator.store.results(workload.digest)
+        assert sorted(
+            value
+            for points in results.values()
+            for value in (p["value"] for p in points)
+        ) == workload.values
+
+
+class TestResume:
+    def test_completed_shards_are_not_reexecuted(self):
+        workload = FakeWorkload(total=12)
+        shards = plan_shards(workload.digest, workload.total, 4)
+        store = ShardStore()
+        store.plan(workload.digest, shards)
+        store.lease(shards[0].id, "previous:1")
+        store.complete(shards[0].id, [
+            {"value": value, "worker": "previous:1"}
+            for value in workload.values[shards[0].lo:shards[0].hi]
+        ])
+
+        coordinator, calls = make_coordinator(
+            ["http://a:1"], store=store
+        )
+        payload = coordinator.run_workload(workload, timeout=30)
+        assert merged_values(payload) == workload.values
+        executed = {(lo, hi) for _, lo, hi in calls}
+        assert (shards[0].lo, shards[0].hi) not in executed
+        assert len(executed) == 2
+
+
+class TestStatus:
+    def test_totals_and_workers_reported(self):
+        coordinator, _ = make_coordinator(["http://a:1"])
+        coordinator.run_workload(FakeWorkload(total=8), timeout=30)
+        status = coordinator.status()
+        assert status["totals"]["jobs_completed"] == 1
+        assert status["totals"]["shards_completed"] == 2
+        assert [w["id"] for w in status["workers"]] == ["a:1"]
+        assert status["active"] == []
+        assert status["config"]["shard_size"] == 4

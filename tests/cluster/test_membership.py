@@ -1,0 +1,121 @@
+"""Worker registration, heartbeat leases, and liveness transitions."""
+
+import pytest
+
+from repro.cluster.config import ClusterError
+from repro.cluster.membership import Membership, worker_id_for
+
+
+class TestWorkerId:
+    def test_strips_scheme(self):
+        assert worker_id_for("http://node-1:8100") == "node-1:8100"
+
+    def test_bare_host_port_accepted(self):
+        assert worker_id_for("node-1:8100") == "node-1:8100"
+
+    def test_malformed_url_raises(self):
+        with pytest.raises(ClusterError):
+            worker_id_for("http://")
+
+
+class TestRegistration:
+    def test_register_then_get(self):
+        members = Membership()
+        info = members.register("http://node-1:8100", now=100.0)
+        assert info.id == "node-1:8100"
+        assert members.get("node-1:8100") is info
+        assert info.state == "alive"
+
+    def test_reregistration_is_a_heartbeat(self):
+        members = Membership()
+        members.register("http://node-1:8100", now=100.0)
+        info = members.register("http://node-1:8100", now=250.0)
+        assert info.heartbeat_at == 250.0
+        assert len(members) == 1
+
+    def test_reregistration_revives_a_dead_worker(self):
+        members = Membership()
+        members.register("http://node-1:8100", now=100.0)
+        members.mark_dead("node-1:8100", "connection refused")
+        assert members.get("node-1:8100").state == "dead"
+        info = members.register("http://node-1:8100", now=110.0)
+        assert info.state == "alive"
+        assert info.last_error is None
+
+    def test_static_flag_is_sticky(self):
+        members = Membership()
+        members.register("http://node-1:8100", static=True, now=100.0)
+        info = members.register("http://node-1:8100", now=200.0)
+        assert info.static
+
+
+class TestHeartbeat:
+    def test_unknown_worker_returns_false(self):
+        assert Membership().heartbeat("ghost:1") is False
+
+    def test_heartbeat_revives(self):
+        members = Membership()
+        members.register("http://node-1:8100", now=100.0)
+        members.mark_dead("node-1:8100")
+        assert members.heartbeat("node-1:8100", now=105.0) is True
+        assert members.get("node-1:8100").state == "alive"
+
+
+class TestLiveness:
+    def test_dynamic_worker_expires_without_heartbeats(self):
+        members = Membership(lease_timeout=10.0)
+        members.register("http://node-1:8100", now=100.0)
+        assert [w.id for w in members.alive(now=105.0)] == ["node-1:8100"]
+        assert members.alive(now=120.0) == []
+        # A fresh heartbeat brings it back into placement.
+        members.heartbeat("node-1:8100", now=121.0)
+        assert [w.id for w in members.alive(now=122.0)] == ["node-1:8100"]
+
+    def test_static_worker_never_lease_expires(self):
+        members = Membership(lease_timeout=10.0)
+        members.register("http://node-1:8100", static=True, now=100.0)
+        assert [w.id for w in members.alive(now=10_000.0)] == [
+            "node-1:8100"
+        ]
+
+    def test_dead_worker_excluded_even_with_fresh_lease(self):
+        members = Membership(lease_timeout=10.0)
+        members.register("http://node-1:8100", now=100.0)
+        members.mark_dead("node-1:8100")
+        assert members.alive(now=101.0) == []
+
+    def test_alive_is_sorted_by_id(self):
+        members = Membership()
+        for host in ("node-3", "node-1", "node-2"):
+            members.register(f"http://{host}:8100", now=100.0)
+        assert [w.id for w in members.alive(now=100.0)] == [
+            "node-1:8100", "node-2:8100", "node-3:8100"
+        ]
+
+    def test_snapshot_marks_expired_leases(self):
+        members = Membership(lease_timeout=10.0)
+        members.register("http://node-1:8100", now=100.0)
+        members.register("http://node-2:8100", static=True, now=100.0)
+        rows = {row["id"]: row for row in members.snapshot(now=200.0)}
+        assert rows["node-1:8100"]["state"] == "lease_expired"
+        assert rows["node-2:8100"]["state"] == "alive"
+
+    def test_invalid_lease_timeout_rejected(self):
+        with pytest.raises(ClusterError):
+            Membership(lease_timeout=0.0)
+
+
+class TestCounters:
+    def test_record_accumulates(self):
+        members = Membership()
+        members.register("http://node-1:8100", now=100.0)
+        members.record("node-1:8100", "shards_done")
+        members.record("node-1:8100", "shards_done")
+        members.record("node-1:8100", "in_flight")
+        members.record("node-1:8100", "in_flight", -1)
+        info = members.get("node-1:8100")
+        assert info.shards_done == 2
+        assert info.in_flight == 0
+
+    def test_record_on_unknown_worker_is_a_noop(self):
+        Membership().record("ghost:1", "shards_done")

@@ -1,0 +1,114 @@
+"""Shard planning and rendezvous placement: determinism and tiling."""
+
+import random
+
+import pytest
+
+from repro.cluster.sharding import (
+    assign_shards,
+    pick_shard,
+    plan_shards,
+    preferred_worker,
+    rendezvous_score,
+    shard_id,
+)
+
+DIGEST = "wl-0123456789abcdef0123456789abcdef"
+
+
+class TestPlan:
+    def test_tiles_the_range_exactly(self):
+        shards = plan_shards(DIGEST, 37, 10)
+        assert [(s.lo, s.hi) for s in shards] == [
+            (0, 10), (10, 20), (20, 30), (30, 37)
+        ]
+        assert [s.index for s in shards] == [0, 1, 2, 3]
+        assert shards[-1].size == 7
+
+    def test_single_shard_when_total_fits(self):
+        shards = plan_shards(DIGEST, 5, 16)
+        assert [(s.lo, s.hi) for s in shards] == [(0, 5)]
+
+    def test_ids_are_content_digests(self):
+        again = plan_shards(DIGEST, 37, 10)
+        assert [s.id for s in again] == [s.id for s in plan_shards(
+            DIGEST, 37, 10)]
+        assert all(s.id == shard_id(DIGEST, s.lo, s.hi) for s in again)
+        assert len({s.id for s in again}) == len(again)
+
+    def test_different_workloads_get_different_ids(self):
+        other = "wl-ffffffffffffffffffffffffffffffff"
+        assert shard_id(DIGEST, 0, 10) != shard_id(other, 0, 10)
+        assert shard_id(DIGEST, 0, 10) != shard_id(DIGEST, 0, 11)
+
+    @pytest.mark.parametrize("total,size", [(0, 4), (4, 0), (-1, 4)])
+    def test_rejects_degenerate_plans(self, total, size):
+        with pytest.raises(ValueError):
+            plan_shards(DIGEST, total, size)
+
+
+class TestRendezvous:
+    WORKERS = ["host-a:8100", "host-b:8100", "host-c:8100"]
+
+    def test_score_is_deterministic(self):
+        sid = shard_id(DIGEST, 0, 10)
+        assert rendezvous_score(sid, "host-a:8100") == rendezvous_score(
+            sid, "host-a:8100"
+        )
+
+    def test_preferred_worker_is_stable_under_unrelated_removal(self):
+        # The rendezvous property: removing a worker only moves the
+        # shards that preferred it.
+        shards = plan_shards(DIGEST, 200, 10)
+        for victim in self.WORKERS:
+            remaining = [w for w in self.WORKERS if w != victim]
+            for shard in shards:
+                before = preferred_worker(shard.id, self.WORKERS)
+                after = preferred_worker(shard.id, remaining)
+                if before != victim:
+                    assert after == before
+
+    def test_assignment_covers_every_shard_once(self):
+        shards = plan_shards(DIGEST, 200, 10)
+        placement = assign_shards(shards, self.WORKERS)
+        placed = [s.id for group in placement.values() for s in group]
+        assert sorted(placed) == sorted(s.id for s in shards)
+
+    def test_assignment_spreads_across_the_fleet(self):
+        shards = plan_shards(DIGEST, 320, 4)
+        placement = assign_shards(shards, self.WORKERS)
+        assert all(placement[worker] for worker in self.WORKERS)
+
+    def test_no_workers_raises(self):
+        with pytest.raises(ValueError):
+            preferred_worker(shard_id(DIGEST, 0, 10), [])
+
+
+class TestPickShard:
+    def test_empty_pending_returns_none(self):
+        assert pick_shard("host-a:8100", []) is None
+
+    def test_pick_is_independent_of_pending_order(self):
+        shards = plan_shards(DIGEST, 100, 10)
+        reference = pick_shard("host-b:8100", shards)
+        for seed in range(5):
+            shuffled = list(shards)
+            random.Random(seed).shuffle(shuffled)
+            assert pick_shard("host-b:8100", shuffled) == reference
+
+    def test_pick_is_the_highest_score_for_that_worker(self):
+        shards = plan_shards(DIGEST, 100, 10)
+        picked = pick_shard("host-c:8100", shards)
+        best = max(
+            rendezvous_score(s.id, "host-c:8100") for s in shards
+        )
+        assert rendezvous_score(picked.id, "host-c:8100") == best
+
+    def test_workers_drain_their_own_assignment_first(self):
+        shards = plan_shards(DIGEST, 100, 10)
+        workers = ["host-a:8100", "host-b:8100"]
+        placement = assign_shards(shards, workers)
+        for worker in workers:
+            if placement[worker]:
+                picked = pick_shard(worker, shards)
+                assert preferred_worker(picked.id, workers) == worker

@@ -1,0 +1,137 @@
+"""Workload shapes: digests, shard calls, extraction, aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.workloads import (
+    BatchSolveWorkload,
+    SweepWorkload,
+    UncertaintyWorkload,
+    uncertainty_workload,
+)
+from repro.errors import SpecError
+from repro.library import e10000_model
+from repro.spec import model_to_spec
+from repro.units import MINUTES_PER_YEAR
+
+SPEC = {"name": "m", "diagram": {"name": "m", "blocks": []}}
+
+
+class TestSweepWorkload:
+    def workload(self, values=(1.0, 2.0, 3.0, 4.0)):
+        return SweepWorkload(
+            SPEC, "mtbf_hours", values, block="m/Disk", model_name="m"
+        )
+
+    def test_digest_is_content_addressed(self):
+        assert self.workload().digest == self.workload().digest
+        assert self.workload().digest != self.workload((9.0,)).digest
+        assert self.workload().digest.startswith("wl-")
+
+    def test_shard_call_carries_the_value_slice(self):
+        calls = self.workload().calls(1, 3)
+        assert len(calls) == 1
+        path, payload = calls[0]
+        assert path == "/v1/sweep"
+        assert payload["values"] == [2.0, 3.0]
+        assert payload["block"] == "m/Disk"
+        # Shards must never fan out again on a coordinator worker.
+        assert payload["cluster"] is False
+
+    def test_extract_validates_point_count(self):
+        workload = self.workload()
+        points = workload.extract(
+            [{"points": [{"value": 2.0}, {"value": 3.0}]}], 1, 3
+        )
+        assert [p["value"] for p in points] == [2.0, 3.0]
+        with pytest.raises(SpecError, match="1 points"):
+            workload.extract([{"points": [{"value": 2.0}]}], 1, 3)
+        with pytest.raises(SpecError, match="0 points"):
+            workload.extract([{"points": None}], 1, 3)
+
+    def test_aggregate_matches_the_jobs_result_shape(self):
+        payload = self.workload().aggregate([{"value": 1.0}])
+        assert payload == {
+            "kind": "sweep", "model": "m", "field": "mtbf_hours",
+            "block": "m/Disk", "points": [{"value": 1.0}],
+        }
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(SpecError):
+            SweepWorkload(SPEC, "mtbf_hours", [])
+
+
+class TestBatchSolveWorkload:
+    def test_one_solve_call_per_spec(self):
+        specs = [dict(SPEC, name=f"m{i}") for i in range(5)]
+        workload = BatchSolveWorkload(specs, solver={"method": "direct"})
+        calls = workload.calls(2, 5)
+        assert [path for path, _ in calls] == ["/v1/solve"] * 3
+        assert [p["spec"]["name"] for _, p in calls] == ["m2", "m3", "m4"]
+        assert all(p["solver"] == {"method": "direct"} for _, p in calls)
+
+    def test_extract_projects_point_fields(self):
+        workload = BatchSolveWorkload([SPEC, SPEC])
+        bodies = [
+            {"model": "m", "availability": 0.9,
+             "yearly_downtime_minutes": 5.0, "mttf_hours": 1.0,
+             "extra": "dropped"},
+            {"model": "m", "availability": 0.99,
+             "yearly_downtime_minutes": 1.0, "mttf_hours": 2.0},
+        ]
+        points = workload.extract(bodies, 0, 2)
+        assert all("extra" not in point for point in points)
+        assert [p["availability"] for p in points] == [0.9, 0.99]
+        with pytest.raises(SpecError, match="1 results"):
+            workload.extract(bodies[:1], 0, 2)
+
+
+class TestUncertaintyWorkload:
+    UNCERTAIN = [{
+        "path": "E10000 Server/Operating System",
+        "field": "mtbf_hours",
+        "distribution": {"type": "uniform", "low": 1e5, "high": 5e5},
+    }]
+
+    def test_same_seed_draws_the_same_variants(self):
+        spec = model_to_spec(e10000_model())
+        a = uncertainty_workload(spec, self.UNCERTAIN, samples=4, seed=7)
+        b = uncertainty_workload(spec, self.UNCERTAIN, samples=4, seed=7)
+        assert a.digest == b.digest
+        assert a.specs == b.specs
+        c = uncertainty_workload(spec, self.UNCERTAIN, samples=4, seed=8)
+        assert c.digest != a.digest
+
+    def test_variants_actually_vary_the_field(self):
+        spec = model_to_spec(e10000_model())
+        workload = uncertainty_workload(
+            spec, self.UNCERTAIN, samples=4, seed=7
+        )
+        assert workload.total == 4
+        assert len({str(variant) for variant in workload.specs}) == 4
+
+    def test_aggregate_uses_the_jobs_formulas(self):
+        workload = UncertaintyWorkload([SPEC, SPEC, SPEC], model_name="m")
+        availabilities = [0.9, 0.95, 0.99]
+        payload = workload.aggregate(
+            [{"availability": a} for a in availabilities]
+        )
+        arr = np.asarray(availabilities)
+        downtimes = (1.0 - arr) * MINUTES_PER_YEAR
+        assert payload["samples"] == 3
+        assert payload["mean_availability"] == float(arr.mean())
+        assert payload["std_availability"] == float(arr.std(ddof=1))
+        assert payload["downtime_p50"] == float(
+            np.percentile(downtimes, 50.0)
+        )
+
+    def test_guards(self):
+        spec = model_to_spec(e10000_model())
+        with pytest.raises(SpecError, match="at least 2 samples"):
+            uncertainty_workload(spec, self.UNCERTAIN, samples=1)
+        with pytest.raises(SpecError, match="uncertain"):
+            uncertainty_workload(spec, [], samples=4)
+        with pytest.raises(SpecError, match="missing"):
+            uncertainty_workload(
+                spec, [{"path": "x", "field": "y"}], samples=4
+            )

@@ -145,6 +145,52 @@ class TestEnvelopes:
         assert err.value.code == "invalid_request"
 
 
+class TestHostileBodies:
+    """Hostile-but-parseable-path bodies must be 400s, never 500s."""
+
+    def test_oversized_body_on_an_embedded_request_is_bad_request(self):
+        request = Request(
+            "POST", "/", {}, {}, b"x" * 64, max_body_bytes=32
+        )
+        with pytest.raises(ProtocolError) as err:
+            request.json()
+        assert err.value.status == 400
+        assert err.value.code == "bad_request"
+        assert "64 bytes" in str(err.value)
+
+    def test_configured_cap_is_honored_over_the_default(self):
+        body = json.dumps({"a": "b" * 128}).encode()
+        request = Request(
+            "POST", "/", {}, {}, body, max_body_bytes=len(body)
+        )
+        assert request.json()["a"] == "b" * 128
+
+    def test_deeply_nested_body_is_bad_request(self):
+        request = Request("POST", "/", {}, {}, b"[" * 100_000)
+        with pytest.raises(ProtocolError) as err:
+            request.json()
+        assert err.value.status == 400
+        assert err.value.code == "bad_request"
+        assert "nested" in str(err.value)
+
+    def test_plain_malformed_json_keeps_its_own_code(self):
+        request = Request("POST", "/", {}, {}, b"{nope", max_body_bytes=8)
+        with pytest.raises(ProtocolError) as err:
+            request.json()
+        assert err.value.code == "invalid_json"
+
+    def test_read_request_stamps_the_body_budget(self):
+        body = b'{"a": 1}'
+        request = _read(
+            b"POST / HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n"
+            + body,
+            max_body_bytes=512,
+        )
+        assert request.max_body_bytes == 512
+        assert request.json() == {"a": 1}
+
+
 class TestExceptionMapping:
     @pytest.mark.parametrize(
         "error, status, code",

@@ -122,6 +122,29 @@ class TestSweep:
         assert code == 2
         assert "count" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("token", ["1:2:0", "1:2:-3"])
+    def test_non_positive_range_count_is_a_clear_error(
+        self, spec_path, capsys, token
+    ):
+        code = main([
+            "sweep", spec_path, "Workgroup Server/Operating System",
+            "mtbf_hours", token,
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert token in err
+        assert "positive" in err
+
+    def test_absurd_range_count_is_refused_before_allocating(
+        self, spec_path, capsys
+    ):
+        code = main([
+            "sweep", spec_path, "Workgroup Server/Operating System",
+            "mtbf_hours", "1:2:999999999",
+        ])
+        assert code == 2
+        assert "exceeds" in capsys.readouterr().err
+
 
 class TestValidate:
     def test_agreement(self, spec_path, capsys):
@@ -398,3 +421,78 @@ class TestErrors:
             "mtbf_hourz", "1",
         ])
         assert code == 2
+
+
+class TestClusterCli:
+    def test_coordinator_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "cluster", "coordinator", "--port", "8100",
+            "--worker", "http://a:8101", "--worker", "http://b:8102",
+            "--shard-size", "8", "--steal-after", "2",
+            "--max-shard-attempts", "6", "--jobs-db", "/tmp/c.db",
+        ])
+        assert args.worker == ["http://a:8101", "http://b:8102"]
+        assert args.shard_size == 8
+        assert args.steal_after == 2.0
+        assert args.max_shard_attempts == 6
+        assert args.jobs_db == "/tmp/c.db"
+        assert args.fanout_threshold == 2  # default
+
+    def test_worker_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "cluster", "worker", "--coordinator", "http://c:8100",
+            "--advertise", "http://me:8101",
+            "--heartbeat-interval", "1.5",
+        ])
+        assert args.coordinator == "http://c:8100"
+        assert args.advertise == "http://me:8101"
+        assert args.heartbeat_interval == 1.5
+
+    def test_worker_requires_a_coordinator(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "worker"])
+
+    def test_status_takes_a_url(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "cluster", "status", "http://c:8100", "--json"
+        ])
+        assert args.coordinator == "http://c:8100"
+        assert args.json
+
+    def test_sweep_cluster_flags_parse(self, spec_path):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "sweep", spec_path, "Workgroup Server/Operating System",
+            "mtbf_hours", "1:2:4", "--cluster", "http://c:8100",
+            "--cluster-timeout", "120",
+        ])
+        assert args.cluster == "http://c:8100"
+        assert args.cluster_timeout == 120.0
+
+    def test_status_against_a_live_coordinator(self, capsys):
+        import asyncio
+
+        from repro.service import Server, ServiceConfig
+
+        async def go():
+            server = Server(ServiceConfig(port=0, cluster=True))
+            host, port = await server.start()
+            try:
+                return await asyncio.to_thread(
+                    main, ["cluster", "status", f"http://{host}:{port}"]
+                )
+            finally:
+                await server.shutdown()
+
+        assert asyncio.run(go()) == 0
+        out = capsys.readouterr().out
+        assert "jobs completed" in out or "jobs_completed" in out
