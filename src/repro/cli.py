@@ -23,6 +23,13 @@ Usage (installed as ``rascad``, or ``python -m repro``):
     rascad cluster status http://h0:8080   # fleet + workload view
     rascad sweep model.json "Sys/Block" mtbf_hours 1e5:1e6:200 \\
         --cluster http://h0:8080       # run the sweep on the fleet
+    rascad models publish model.json --name myserver --tag prod
+    rascad models list                 # registered models and tags
+    rascad models show myserver@prod   # one version: lineage, numbers
+    rascad models diff myserver@prod myserver@latest
+    rascad models check model.json --name myserver --tag prod
+    rascad models tag myserver prod a1b2c3d4   # move a tag
+    rascad models rollback myserver prod       # undo the last move
 
 Specs are the JSON engineering-language format of :mod:`repro.spec`;
 part numbers resolve against the builtin catalog unless ``--database``
@@ -375,6 +382,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         log_level=args.log_level,
         log_json=args.log_json,
         default_solver=_solver_options_from_args(args),
+        registry_db=args.registry_db,
+        registry_threshold=args.registry_threshold,
+        registry_seed=not args.no_registry_seed,
     )
     return serve(config)
 
@@ -687,6 +697,217 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _registry_open(args: argparse.Namespace, engine=None):
+    """The registry a ``rascad models`` subcommand works against."""
+    from .registry import open_registry
+
+    database = (
+        PartsDatabase.load(args.database)
+        if args.database
+        else builtin_database()
+    )
+    return open_registry(
+        db_path=getattr(args, "registry_db", None),
+        cache_dir=getattr(args, "cache_dir", None),
+        engine=engine,
+        database=database,
+    )
+
+
+def _model_slug(name: str) -> str:
+    """A legal registry name derived from a model's display name."""
+    import re as _re
+
+    slug = _re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-._").lower()
+    return slug[:64] or "model"
+
+
+def _print_version_record(record, heading: str = "version") -> None:
+    evaluation = record.evaluation or {}
+    print(f"{heading}   : {record.name}@{record.digest[:12]}")
+    print(f"digest    : {record.digest}")
+    parent = record.parent_digest
+    print(f"parent    : {parent[:12] if parent else '(root)'}")
+    if evaluation:
+        print(f"availability : {evaluation['availability']:.8f}")
+        print(f"downtime     : "
+              f"{evaluation['yearly_downtime_minutes']:.3f} min/yr")
+        print(f"MTTF         : {evaluation['mttf_hours']:.0f} h")
+    if record.diff:
+        print("changes vs parent:")
+        for entry in record.diff:
+            if entry["kind"] == "changed":
+                print(f"  ~ {entry['path']}: {entry['field']} "
+                      f"{entry['old']!r} -> {entry['new']!r}")
+            else:
+                sign = "+" if entry["kind"] == "added" else "-"
+                print(f"  {sign} {entry['path']}")
+
+
+def _cmd_models_publish(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .spec import parse_spec
+
+    _configure_obs(args)
+    engine = _engine_from_args(args)
+    registry = _registry_open(args, engine=engine)
+    try:
+        spec_doc = json.loads(Path(args.spec).read_text())
+        name = args.name
+        if name is None:
+            model = parse_spec(spec_doc, database=registry.database)
+            name = _model_slug(model.name)
+        result = registry.publish(
+            spec_doc, name,
+            description=args.description,
+            tag=args.tag,
+            force=args.force,
+            threshold=args.threshold,
+        )
+    finally:
+        _persist_stats(engine, args)
+        registry.close()
+    verb = "published" if result.created else "already published"
+    print(f"{verb} {name}@{result.version.digest[:12]}")
+    tags = ["latest"] + ([args.tag] if args.tag else [])
+    print(f"tags      : {', '.join(dict.fromkeys(tags))}")
+    evaluation = result.version.evaluation or {}
+    if evaluation:
+        print(f"availability : {evaluation['availability']:.8f}")
+        print(f"downtime     : "
+              f"{evaluation['yearly_downtime_minutes']:.3f} min/yr")
+    gate = result.gate
+    if gate is not None:
+        delta = gate["downtime_delta_minutes"]
+        print(f"gate      : {delta:+.3f} min/yr vs {gate['tag']} "
+              f"baseline (threshold {gate['threshold_minutes']:g})"
+              + (" [FORCED]" if gate.get("forced") else ""))
+    return 0
+
+
+def _cmd_models_list(args: argparse.Namespace) -> int:
+    registry = _registry_open(args)
+    try:
+        rows = registry.list_models()
+    finally:
+        registry.close()
+    if not rows:
+        print("no models registered")
+        return 0
+    print(f"{'name':<20} {'vers':>4}  {'tags':<32} description")
+    for row in rows:
+        tags = ", ".join(
+            f"{tag}={digest[:8]}"
+            for tag, digest in sorted(row["tags"].items())
+        )
+        print(f"{row['name']:<20} {row['versions']:>4}  {tags:<32} "
+              f"{row['description']}")
+    return 0
+
+
+def _cmd_models_show(args: argparse.Namespace) -> int:
+    from .registry import parse_ref
+
+    registry = _registry_open(args)
+    try:
+        name, selector = parse_ref(args.ref)
+        if selector is None:
+            detail = registry.model_detail(name)
+            print(f"model     : {detail['name']}")
+            if detail["description"]:
+                print(f"about     : {detail['description']}")
+            tags = detail["tags"]
+            for tag in sorted(tags):
+                print(f"tag       : {tag} -> {tags[tag][:12]}")
+            print(f"{'digest':<14} {'parent':<14} {'min/yr':>10}")
+            for version in detail["versions"]:
+                evaluation = version["evaluation"] or {}
+                downtime = evaluation.get("yearly_downtime_minutes")
+                rendered = (
+                    "-" if downtime is None else f"{downtime:.3f}"
+                )
+                parent = version["parent_digest"]
+                parent_text = parent[:12] if parent else "(root)"
+                print(f"{version['digest'][:12]:<14} "
+                      f"{parent_text:<14} {rendered:>10}")
+            return 0
+        record = registry.resolve(args.ref)
+        _print_version_record(record)
+        return 0
+    finally:
+        registry.close()
+
+
+def _cmd_models_diff(args: argparse.Namespace) -> int:
+    from .spec import diff_models, format_diff, parse_spec
+
+    registry = _registry_open(args)
+    try:
+        old = registry.resolve(args.old)
+        new = registry.resolve(args.new)
+        old_model = parse_spec(old.spec, database=registry.database)
+        new_model = parse_spec(new.spec, database=registry.database)
+    finally:
+        registry.close()
+    print(f"--- {args.old} ({old.digest[:12]})")
+    print(f"+++ {args.new} ({new.digest[:12]})")
+    print(format_diff(diff_models(old_model, new_model)))
+    return 0
+
+
+def _cmd_models_tag(args: argparse.Namespace) -> int:
+    registry = _registry_open(args)
+    try:
+        previous, digest = registry.move_tag(
+            args.name, args.tag, args.selector
+        )
+    finally:
+        registry.close()
+    was = previous[:12] if previous else "(unset)"
+    print(f"{args.name}@{args.tag}: {was} -> {digest[:12]}")
+    return 0
+
+
+def _cmd_models_rollback(args: argparse.Namespace) -> int:
+    registry = _registry_open(args)
+    try:
+        current, previous = registry.rollback(args.name, args.tag)
+    finally:
+        registry.close()
+    print(f"{args.name}@{args.tag}: rolled back "
+          f"{current[:12]} -> {previous[:12]}")
+    return 0
+
+
+def _cmd_models_check(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    _configure_obs(args)
+    engine = _engine_from_args(args)
+    registry = _registry_open(args, engine=engine)
+    try:
+        spec_doc = json.loads(Path(args.spec).read_text())
+        verdict = registry.check(
+            spec_doc, args.name, args.tag, threshold=args.threshold
+        )
+    finally:
+        _persist_stats(engine, args)
+        registry.close()
+    print(f"candidate : {verdict['candidate_digest'][:12]}")
+    baseline = verdict["baseline_digest"]
+    print(f"baseline  : {baseline[:12] if baseline else '(none)'}")
+    delta = verdict["downtime_delta_minutes"]
+    if delta is not None:
+        print(f"delta     : {delta:+.3f} min/yr "
+              f"(threshold {verdict['threshold_minutes']:g})")
+    rejected = bool(verdict["would_reject"])
+    print(f"verdict   : {'REJECT' if rejected else 'PASS'}")
+    return 1 if rejected else 0
+
+
 def _cmd_parts(args: argparse.Namespace) -> int:
     database = (
         PartsDatabase.load(args.database)
@@ -911,6 +1132,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-sample", type=float, default=1.0, metavar="RATIO",
         help="head-sampling ratio in [0, 1]; errors and slow spans "
              "are always kept (default: 1.0)",
+    )
+    serve.add_argument(
+        "--registry-db", default=None, metavar="PATH",
+        help="model registry database for /v1/models "
+             "(default: registry.sqlite3 inside --cache-dir, else "
+             "in-memory for the server's lifetime)",
+    )
+    serve.add_argument(
+        "--registry-threshold", type=float, default=1.0,
+        metavar="MINUTES",
+        help="regression-gate threshold in extra yearly downtime "
+             "minutes a tagged publish may cost (default: 1.0)",
+    )
+    serve.add_argument(
+        "--no-registry-seed", action="store_true",
+        help="do not publish the built-in library models into the "
+             "registry at startup",
     )
     serve.set_defaults(handler=_cmd_serve)
 
@@ -1146,6 +1384,113 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw /v1/cluster/status document",
     )
     cluster_status.set_defaults(handler=_cmd_cluster_status)
+
+    models = commands.add_parser(
+        "models",
+        help="versioned model registry (publish, tag, gate, rollback)",
+    )
+    models_commands = models.add_subparsers(
+        dest="models_command", required=True
+    )
+
+    def add_registry_flag(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--registry-db", default=None, metavar="PATH",
+            help="registry database "
+                 "(default: ~/.cache/rascad/registry.sqlite3)",
+        )
+
+    publish = models_commands.add_parser(
+        "publish",
+        help="publish a spec as an immutable version, optionally "
+             "moving a tag through the regression gate",
+    )
+    publish.add_argument("spec", help="model spec file")
+    publish.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="registry model name (default: slug of the spec's "
+             "model name)",
+    )
+    publish.add_argument(
+        "--tag", default=None, metavar="TAG",
+        help="also point TAG at the new version (gated against the "
+             "tag's current holder)",
+    )
+    publish.add_argument(
+        "--force", action="store_true",
+        help="override a regression-gate rejection (recorded)",
+    )
+    publish.add_argument(
+        "--threshold", type=float, default=None, metavar="MINUTES",
+        help="gate threshold in extra yearly downtime minutes "
+             "(default: 1.0)",
+    )
+    publish.add_argument(
+        "--description", default=None,
+        help="one-line model description (first publish wins)",
+    )
+    add_registry_flag(publish)
+    add_engine_flags(publish)
+    publish.set_defaults(handler=_cmd_models_publish)
+
+    mlist = models_commands.add_parser(
+        "list", help="registered models, their tags and version counts"
+    )
+    add_registry_flag(mlist)
+    mlist.set_defaults(handler=_cmd_models_list)
+
+    show = models_commands.add_parser(
+        "show",
+        help="one model (bare name) or one version (name@tag / "
+             "name@digest)",
+    )
+    show.add_argument("ref", help="name, name@tag, or name@digest")
+    add_registry_flag(show)
+    show.set_defaults(handler=_cmd_models_show)
+
+    mdiff = models_commands.add_parser(
+        "diff", help="structured diff between two registry versions"
+    )
+    mdiff.add_argument("old", help="baseline ref (name@tag/@digest)")
+    mdiff.add_argument("new", help="candidate ref")
+    add_registry_flag(mdiff)
+    mdiff.set_defaults(handler=_cmd_models_diff)
+
+    mtag = models_commands.add_parser(
+        "tag", help="point a tag at a version (ungated operator move)"
+    )
+    mtag.add_argument("name")
+    mtag.add_argument("tag")
+    mtag.add_argument(
+        "selector", help="tag or digest prefix to point at"
+    )
+    add_registry_flag(mtag)
+    mtag.set_defaults(handler=_cmd_models_tag)
+
+    rollback = models_commands.add_parser(
+        "rollback",
+        help="move a tag back to its previous distinct version",
+    )
+    rollback.add_argument("name")
+    rollback.add_argument("tag")
+    add_registry_flag(rollback)
+    rollback.set_defaults(handler=_cmd_models_rollback)
+
+    check = models_commands.add_parser(
+        "check",
+        help="dry-run the regression gate (exit 1 on would-reject)",
+    )
+    check.add_argument("spec", help="candidate model spec file")
+    check.add_argument("--name", required=True, metavar="NAME")
+    check.add_argument("--tag", required=True, metavar="TAG")
+    check.add_argument(
+        "--threshold", type=float, default=None, metavar="MINUTES",
+        help="gate threshold in extra yearly downtime minutes "
+             "(default: 1.0)",
+    )
+    add_registry_flag(check)
+    add_engine_flags(check)
+    check.set_defaults(handler=_cmd_models_check)
 
     return parser
 

@@ -1,0 +1,101 @@
+"""Versioned model registry — named models, immutable content-digest
+versions, mutable tags, and availability-regression gating.
+
+The paper's RAScad is a *shared* modeling tool: "a library of models
+for existing Sun products" maintained by engineers at different sites.
+This package is that sharing layer for the reproduction:
+
+* :mod:`.types` — records, errors, refs (``name@tag`` /
+  ``name@digest``), and the content digest a version is addressed by.
+* :mod:`.store` — SQLite persistence (jobs-store durability idioms):
+  models, immutable versions with lineage diffs and evaluation
+  records, tags, and the append-only tag history ``rollback`` walks.
+* :mod:`.evaluate` — the publish-time evaluation record (availability,
+  yearly downtime, MTTF) the regression gate compares.
+* :mod:`.resolver` — one-shot ref resolution, so engine cache keys and
+  cluster shard digests are computed from the resolved spec and stay
+  bit-identical to inline submission.
+* :mod:`.registry` — the :class:`ModelRegistry` facade: publish with
+  gating, resolve, tag, rollback, library seeding.
+
+The service mounts it under ``/v1/models`` and accepts
+``"model_ref"`` anywhere an inline ``"spec"`` is accepted; the CLI
+front-end is ``rascad models``.
+"""
+
+from pathlib import Path
+from typing import Optional, Union
+
+from .evaluate import EVALUATION_FIELDS, downtime_delta, evaluate_model
+from .registry import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    LIBRARY_SEEDS,
+    ModelRegistry,
+)
+from .resolver import resolve_selector, resolve_version
+from .store import REGISTRY_DB_FILENAME, RegistryStore
+from .types import (
+    LATEST_TAG,
+    MIN_DIGEST_PREFIX,
+    ModelNotFoundError,
+    PublishResult,
+    RefError,
+    RegistryError,
+    RegressionError,
+    VersionNotFoundError,
+    VersionRecord,
+    looks_like_digest,
+    parse_ref,
+    spec_digest,
+)
+
+
+def open_registry(
+    db_path: Optional[Union[str, Path]] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    **kwargs,
+) -> ModelRegistry:
+    """A :class:`ModelRegistry` at the conventional location.
+
+    Mirrors :func:`repro.jobs.open_store`: an explicit ``db_path``
+    wins, else ``registry.sqlite3`` inside ``cache_dir``, else inside
+    the default cache directory — so the CLI and a served registry
+    share one file by default.  Remaining kwargs go to
+    :class:`ModelRegistry`.
+    """
+    if db_path is None:
+        from ..engine import default_cache_dir
+
+        directory = (
+            Path(cache_dir) if cache_dir is not None
+            else default_cache_dir()
+        )
+        db_path = Path(directory).expanduser() / REGISTRY_DB_FILENAME
+    return ModelRegistry(RegistryStore(db_path), **kwargs)
+
+
+__all__ = [
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "EVALUATION_FIELDS",
+    "LATEST_TAG",
+    "LIBRARY_SEEDS",
+    "MIN_DIGEST_PREFIX",
+    "ModelNotFoundError",
+    "ModelRegistry",
+    "PublishResult",
+    "REGISTRY_DB_FILENAME",
+    "RefError",
+    "RegistryError",
+    "RegistryStore",
+    "RegressionError",
+    "VersionNotFoundError",
+    "VersionRecord",
+    "downtime_delta",
+    "evaluate_model",
+    "looks_like_digest",
+    "open_registry",
+    "parse_ref",
+    "resolve_selector",
+    "resolve_version",
+    "spec_digest",
+]

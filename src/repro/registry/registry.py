@@ -1,0 +1,419 @@
+"""The registry facade: publish, resolve, tag, rollback, gate.
+
+:class:`ModelRegistry` ties the pieces together — content digesting
+(:mod:`.types`), SQLite persistence (:mod:`.store`), ref resolution
+(:mod:`.resolver`), and publish-time evaluation (:mod:`.evaluate`) —
+and emits ``registry.publish``/``registry.resolve`` spans plus
+``registry_*`` counters so publish traffic shows up in ``/metrics``
+like every other subsystem.
+
+The regression gate runs at publish time: when a publish targets a tag
+that already points at another version, the candidate's yearly
+downtime is compared against the tagged baseline's, and the publish is
+rejected with a structured :class:`~.types.RegressionError` when it
+worsens by more than the configured threshold (``force=True``
+overrides, and the override is recorded in the result).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..database import PartsDatabase, builtin_database
+from ..obs.trace import get_tracer
+from ..spec import model_to_spec, parse_spec
+from ..spec.diff import diff_models
+from .evaluate import downtime_delta, evaluate_model
+from .resolver import resolve_selector, resolve_version
+from .store import RegistryStore
+from .types import (
+    LATEST_TAG,
+    PublishResult,
+    RegistryError,
+    RegressionError,
+    VersionRecord,
+    diff_payload,
+    spec_digest,
+    valid_name,
+)
+
+#: Default gate threshold: reject a rollout that costs more than one
+#: extra minute of downtime per year over the tagged baseline.
+DEFAULT_REGRESSION_THRESHOLD = 1.0
+
+#: The built-in library models every server seeds at startup, with
+#: the descriptions ``/v1/models`` lists them under.
+LIBRARY_SEEDS: Dict[str, str] = {
+    "datacenter": "Paper Figures 1-2 Data Center System",
+    "e10000": "Enterprise-10000-class single server (experiment E6)",
+    "workgroup": "Small, mostly non-redundant workgroup server",
+}
+
+
+def _library_factories() -> Dict[str, Callable]:
+    from ..library import datacenter_model, e10000_model, workgroup_model
+
+    return {
+        "datacenter": datacenter_model,
+        "e10000": e10000_model,
+        "workgroup": workgroup_model,
+    }
+
+
+class ModelRegistry:
+    """Versioned model registry with tags and availability gating.
+
+    Args:
+        store: The SQLite persistence layer.
+        engine: Optional :class:`repro.engine.Engine` evaluations run
+            through (shares its solve cache); without one, evaluation
+            falls back to a bare ``translate`` with identical numbers.
+        database: Parts database resolved specs parse against.
+        default_threshold: Gate threshold in downtime minutes/year.
+        stats: Stats collector for ``registry_*`` counters; defaults
+            to the engine's.
+    """
+
+    def __init__(
+        self,
+        store: RegistryStore,
+        engine=None,
+        database: Optional[PartsDatabase] = None,
+        default_threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+        stats=None,
+    ) -> None:
+        self.store = store
+        self.engine = engine
+        self.database = (
+            database if database is not None else builtin_database()
+        )
+        self.default_threshold = float(default_threshold)
+        self.stats = stats if stats is not None else getattr(
+            engine, "stats", None
+        )
+
+    def _increment(self, counter: str, amount: int = 1) -> None:
+        if self.stats is not None:
+            self.stats.increment(counter, amount)
+
+    def close(self) -> None:
+        self.store.close()
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        spec: Mapping[str, object],
+        name: str,
+        description: Optional[str] = None,
+        tag: Optional[str] = None,
+        force: bool = False,
+        threshold: Optional[float] = None,
+        evaluate: bool = True,
+    ) -> PublishResult:
+        """Publish a spec as a version of ``name``; optionally tag it.
+
+        The spec document is validated (the same ``parse_spec`` path
+        every endpoint uses), digested from its *parsed* canonical
+        form, and stored verbatim — resolution returns the exact
+        document, so ref-based solving is bit-identical to inline
+        submission.  Idempotent: re-publishing an existing digest
+        creates nothing and never rewrites lineage.
+        """
+        valid_name(name)
+        if tag is not None:
+            valid_name(tag, "tag name")
+        with get_tracer().span("registry.publish", model=name) as span:
+            model = parse_spec(spec, database=self.database)
+            digest = spec_digest(model)
+            span.set_attr("digest", digest[:16])
+            now = time.time()
+            self.store.upsert_model(name, description or "", now)
+            existing = self.store.version_row(name, digest)
+            created = existing is None
+            if created:
+                parent = self.store.tag_digest(name, LATEST_TAG)
+                diff = self._lineage_diff(name, parent, model)
+                evaluation = (
+                    evaluate_model(model, engine=self.engine)
+                    if evaluate else None
+                )
+                self.store.insert_version(
+                    name, digest, dict(spec), parent, diff,
+                    evaluation, now,
+                )
+            gate = self._gate(
+                name, digest, model, tag, force, threshold
+            )
+            if tag is not None:
+                self.store.set_tag(name, tag, digest, now)
+            self.store.set_tag(name, LATEST_TAG, digest, now)
+            self._increment("registry_publishes")
+            record = self._record(self.store.version_row(name, digest))
+            return PublishResult(
+                version=record, created=created, gate=gate
+            )
+
+    def _lineage_diff(
+        self, name: str, parent: Optional[str], model
+    ) -> List[Dict[str, object]]:
+        """The structured diff against the parent version, if any."""
+        if parent is None:
+            return []
+        parent_row = self.store.version_row(name, parent)
+        if parent_row is None:
+            return []
+        parent_model = parse_spec(
+            parent_row["spec"], database=self.database
+        )
+        return diff_payload(diff_models(parent_model, model))
+
+    def _gate(
+        self,
+        name: str,
+        digest: str,
+        model,
+        tag: Optional[str],
+        force: bool,
+        threshold: Optional[float],
+    ) -> Optional[Dict[str, object]]:
+        """Run the regression gate for a tag move; raises on reject."""
+        if tag is None or tag == LATEST_TAG:
+            return None
+        baseline_digest = self.store.tag_digest(name, tag)
+        if baseline_digest is None or baseline_digest == digest:
+            return None
+        baseline = self.evaluation_for(name, baseline_digest)
+        candidate = self.evaluation_for(name, digest, model=model)
+        delta = downtime_delta(baseline, candidate)
+        limit = (
+            self.default_threshold if threshold is None
+            else float(threshold)
+        )
+        gate: Dict[str, object] = {
+            "tag": tag,
+            "baseline_digest": baseline_digest,
+            "candidate_digest": digest,
+            "baseline_downtime_minutes": (
+                baseline["yearly_downtime_minutes"]
+            ),
+            "candidate_downtime_minutes": (
+                candidate["yearly_downtime_minutes"]
+            ),
+            "downtime_delta_minutes": delta,
+            "threshold_minutes": limit,
+            "forced": False,
+        }
+        if delta is not None and delta > limit:
+            if not force:
+                self._increment("registry_regressions_blocked")
+                raise RegressionError(
+                    f"publishing {name}@{digest[:12]} to tag "
+                    f"{tag!r} worsens yearly downtime by "
+                    f"{delta:+.3f} minutes (baseline "
+                    f"{baseline_digest[:12]}, threshold "
+                    f"{limit:g}); re-run with force to override",
+                    details=gate,
+                )
+            gate["forced"] = True
+            self._increment("registry_regressions_forced")
+        return gate
+
+    def check(
+        self,
+        spec: Mapping[str, object],
+        name: str,
+        tag: str,
+        threshold: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Dry-run the gate: what would publishing to ``tag`` do?
+
+        Writes nothing.  Returns the gate comparison plus a
+        ``would_reject`` verdict (``False`` when the tag is unheld or
+        already points at this content).
+        """
+        valid_name(name)
+        valid_name(tag, "tag name")
+        model = parse_spec(spec, database=self.database)
+        digest = spec_digest(model)
+        limit = (
+            self.default_threshold if threshold is None
+            else float(threshold)
+        )
+        verdict: Dict[str, object] = {
+            "name": name,
+            "tag": tag,
+            "candidate_digest": digest,
+            "threshold_minutes": limit,
+            "would_reject": False,
+            "downtime_delta_minutes": None,
+            "baseline_digest": None,
+        }
+        row = self.store.model_row(name)
+        baseline_digest = (
+            self.store.tag_digest(name, tag) if row is not None else None
+        )
+        if baseline_digest is None or baseline_digest == digest:
+            return verdict
+        baseline = self.evaluation_for(name, baseline_digest)
+        candidate = evaluate_model(model, engine=self.engine)
+        delta = downtime_delta(baseline, candidate)
+        verdict.update({
+            "baseline_digest": baseline_digest,
+            "baseline_downtime_minutes": (
+                baseline["yearly_downtime_minutes"]
+            ),
+            "candidate_downtime_minutes": (
+                candidate["yearly_downtime_minutes"]
+            ),
+            "downtime_delta_minutes": delta,
+            "would_reject": delta is not None and delta > limit,
+        })
+        return verdict
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, ref: str) -> VersionRecord:
+        """The version a ref points at, spec included."""
+        with get_tracer().span("registry.resolve", ref=ref) as span:
+            row = resolve_version(self.store, ref)
+            span.set_attr("digest", str(row["digest"])[:16])
+            self._increment("registry_resolves")
+            return self._record(row)
+
+    def resolve_spec(self, ref: str) -> Dict[str, object]:
+        """The stored spec document a ref points at, verbatim.
+
+        This is what ``"model_ref"`` requests substitute for their
+        ``"spec"`` — the exact JSON document that was published, so
+        digests computed downstream match inline submission.
+        """
+        return self.resolve(ref).spec
+
+    # ------------------------------------------------------------------
+    # tags and rollback
+    # ------------------------------------------------------------------
+    def move_tag(
+        self, name: str, tag: str, selector: str
+    ) -> Tuple[Optional[str], str]:
+        """Point ``tag`` at the version ``selector`` picks.
+
+        Returns ``(previous_digest, new_digest)``.  Unlike publish,
+        an explicit tag move is an operator action and is not gated.
+        """
+        valid_name(tag, "tag name")
+        digest = resolve_selector(self.store, name, selector)
+        previous = self.store.set_tag(name, tag, digest)
+        self._increment("registry_tag_moves")
+        return previous, digest
+
+    def rollback(self, name: str, tag: str) -> Tuple[str, str]:
+        """Move ``tag`` back to its previous distinct target.
+
+        Returns ``(rolled_back_from, rolled_back_to)``.
+        """
+        self.store.require_model(name)
+        current = self.store.tag_digest(name, tag)
+        if current is None:
+            raise RegistryError(
+                f"model {name!r} has no tag {tag!r} to roll back"
+            )
+        previous = self.store.previous_tag_digest(name, tag)
+        if previous is None:
+            raise RegistryError(
+                f"tag {name}@{tag} has no previous version in its "
+                "history to roll back to"
+            )
+        self.store.set_tag(name, tag, previous)
+        self._increment("registry_rollbacks")
+        return current, previous
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return self.store.names()
+
+    def list_models(self) -> List[Dict[str, object]]:
+        return self.store.list_models()
+
+    def model_detail(self, name: str) -> Dict[str, object]:
+        """One model's tags and version summaries for the API."""
+        row = self.store.require_model(name)
+        return {
+            "name": row["name"],
+            "description": row["description"],
+            "created_at": row["created_at"],
+            "tags": self.store.tags_for(name),
+            "versions": self.store.list_versions(name),
+        }
+
+    def version_detail(self, name: str, selector: str) -> VersionRecord:
+        digest = resolve_selector(self.store, name, selector)
+        row = self.store.version_row(name, digest)
+        if row is None:
+            raise RegistryError(
+                f"model {name!r} has no version {digest!r}"
+            )
+        return self._record(row)
+
+    def evaluation_for(
+        self, name: str, digest: str, model=None
+    ) -> Dict[str, float]:
+        """A version's evaluation record, computed and backfilled
+        lazily when the version was published without one (library
+        seeds)."""
+        row = self.store.version_row(name, digest)
+        if row is None:
+            raise RegistryError(
+                f"model {name!r} has no version {digest!r}"
+            )
+        if row["evaluation"] is not None:
+            return dict(row["evaluation"])
+        if model is None:
+            model = parse_spec(row["spec"], database=self.database)
+        evaluation = evaluate_model(model, engine=self.engine)
+        self.store.set_evaluation(name, digest, evaluation)
+        return evaluation
+
+    def counts(self) -> Dict[str, int]:
+        return self.store.counts()
+
+    # ------------------------------------------------------------------
+    # library seeding
+    # ------------------------------------------------------------------
+    def seed_library(self) -> int:
+        """Publish the built-in library models (idempotent, lazy).
+
+        Seeds carry no evaluation — it is computed and backfilled the
+        first time the gate (or an explicit evaluation query) needs
+        it — so server startup stays solve-free and cheap.  Returns
+        the number of versions actually created.
+        """
+        created = 0
+        for name, factory in _library_factories().items():
+            result = self.publish(
+                model_to_spec(factory()),
+                name=name,
+                description=LIBRARY_SEEDS.get(name, ""),
+                evaluate=False,
+            )
+            created += 1 if result.created else 0
+        return created
+
+    def _record(self, row: Mapping[str, object]) -> VersionRecord:
+        return VersionRecord(
+            name=str(row["name"]),
+            digest=str(row["digest"]),
+            spec=dict(row["spec"]),
+            parent_digest=row["parent_digest"],
+            diff=list(row["diff"]),
+            evaluation=(
+                None if row["evaluation"] is None
+                else dict(row["evaluation"])
+            ),
+            created_at=float(row["created_at"]),
+        )

@@ -1,0 +1,54 @@
+"""Ref resolution: ``name``, ``name@tag``, ``name@digest`` to a version.
+
+Resolution order for a selector: exact tag match first, then — when
+the selector can only be hex — a unique digest-prefix lookup.  A bare
+name resolves through the auto-maintained ``latest`` tag.  Resolution
+happens exactly once per request (at the service or coordinator that
+accepted the ref), so everything downstream — engine cache keys,
+cluster shard digests, job ids — is computed from the resolved spec
+and stays bit-identical to an inline submission.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .store import RegistryStore
+from .types import (
+    LATEST_TAG,
+    VersionNotFoundError,
+    looks_like_digest,
+    parse_ref,
+)
+
+
+def resolve_selector(
+    store: RegistryStore, name: str, selector: Optional[str]
+) -> str:
+    """The full digest a selector picks within one model."""
+    store.require_model(name)
+    if selector is None:
+        selector = LATEST_TAG
+    digest = store.tag_digest(name, selector)
+    if digest is not None:
+        return digest
+    if looks_like_digest(selector):
+        return store.find_digest(name, selector)
+    raise VersionNotFoundError(
+        f"model {name!r} has no tag {selector!r}; "
+        f"tags: {sorted(store.tags_for(name))}"
+    )
+
+
+def resolve_version(
+    store: RegistryStore, ref: str
+) -> Dict[str, object]:
+    """The decoded version row (spec included) a ref points at."""
+    name, selector = parse_ref(ref)
+    digest = resolve_selector(store, name, selector)
+    row = store.version_row(name, digest)
+    if row is None:  # a tag pointing at a deleted/foreign digest
+        raise VersionNotFoundError(
+            f"model {name!r} has no version {digest!r}"
+        )
+    return row

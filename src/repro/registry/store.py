@@ -1,0 +1,412 @@
+"""SQLite persistence for the model registry.
+
+The same durability idiom as :mod:`repro.jobs.store` — every mutation
+is one transaction on a short-lived WAL connection, so the file is
+safe to share between the CLI, the HTTP service, and publish scripts.
+``:memory:`` stores (embedded and test servers) keep one persistent
+connection behind a lock instead, like the cluster's shard table.
+
+Schema: ``registry_models`` (one row per name),
+``registry_versions`` (immutable, keyed ``(name, digest)``; the spec
+document is stored verbatim so resolution returns byte-identical
+inputs), ``registry_tags`` (the mutable pointer layer), and
+``registry_tag_history`` (append-only, what ``rollback`` walks).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from .types import (
+    ModelNotFoundError,
+    RefError,
+    VersionNotFoundError,
+)
+
+#: Default file name inside a cache directory.
+REGISTRY_DB_FILENAME = "registry.sqlite3"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS registry_models (
+    name        TEXT PRIMARY KEY,
+    description TEXT NOT NULL DEFAULT '',
+    created_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS registry_versions (
+    name          TEXT NOT NULL,
+    digest        TEXT NOT NULL,
+    spec          TEXT NOT NULL,
+    parent_digest TEXT,
+    diff          TEXT NOT NULL DEFAULT '[]',
+    evaluation    TEXT,
+    created_at    REAL NOT NULL,
+    PRIMARY KEY (name, digest)
+);
+CREATE TABLE IF NOT EXISTS registry_tags (
+    name       TEXT NOT NULL,
+    tag        TEXT NOT NULL,
+    digest     TEXT NOT NULL,
+    updated_at REAL NOT NULL,
+    PRIMARY KEY (name, tag)
+);
+CREATE TABLE IF NOT EXISTS registry_tag_history (
+    id     INTEGER PRIMARY KEY AUTOINCREMENT,
+    name   TEXT NOT NULL,
+    tag    TEXT NOT NULL,
+    digest TEXT NOT NULL,
+    set_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_registry_tag_history
+    ON registry_tag_history (name, tag, id);
+"""
+
+
+class RegistryStore:
+    """SQLite-backed storage for models, versions, tags, and history."""
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self.path = str(path)
+        self._memory: Optional[sqlite3.Connection] = None
+        self._lock = threading.Lock()
+        if self.path == ":memory:":
+            self._memory = sqlite3.connect(
+                ":memory:", check_same_thread=False
+            )
+            self._memory.row_factory = sqlite3.Row
+            with self._lock, self._memory:
+                self._memory.executescript(_SCHEMA)
+        else:
+            resolved = Path(self.path).expanduser()
+            resolved.parent.mkdir(parents=True, exist_ok=True)
+            self.path = str(resolved)
+            with self._connect() as conn:
+                conn.executescript(_SCHEMA)
+
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        """One transaction; short-lived for files, locked for memory."""
+        if self._memory is not None:
+            with self._lock, self._memory:
+                yield self._memory
+            return
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        try:
+            with conn:
+                yield conn
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        if self._memory is not None:
+            with self._lock:
+                self._memory.close()
+
+    # ------------------------------------------------------------------
+    # models
+    # ------------------------------------------------------------------
+    def upsert_model(
+        self,
+        name: str,
+        description: str = "",
+        now: Optional[float] = None,
+    ) -> bool:
+        """Create the model row if missing; returns ``created``."""
+        now = time.time() if now is None else now
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "INSERT OR IGNORE INTO registry_models "
+                "(name, description, created_at) VALUES (?, ?, ?)",
+                (name, description, now),
+            )
+            created = cursor.rowcount == 1
+            if not created and description:
+                conn.execute(
+                    "UPDATE registry_models SET description = ? "
+                    "WHERE name = ? AND description = ''",
+                    (description, name),
+                )
+            return created
+
+    def model_row(self, name: str) -> Optional[Dict[str, object]]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM registry_models WHERE name = ?", (name,)
+            ).fetchone()
+        return dict(row) if row is not None else None
+
+    def require_model(self, name: str) -> Dict[str, object]:
+        row = self.model_row(name)
+        if row is None:
+            raise ModelNotFoundError(
+                f"no model {name!r} in the registry; "
+                f"known: {self.names()}"
+            )
+        return row
+
+    def names(self) -> List[str]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT name FROM registry_models ORDER BY name"
+            ).fetchall()
+        return [row["name"] for row in rows]
+
+    def list_models(self) -> List[Dict[str, object]]:
+        """One summary row per model: description, counts, tags."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                """
+                SELECT m.name, m.description, m.created_at,
+                       (SELECT COUNT(*) FROM registry_versions v
+                         WHERE v.name = m.name) AS versions,
+                       (SELECT COUNT(*) FROM registry_tags t
+                         WHERE t.name = m.name) AS tags
+                FROM registry_models m ORDER BY m.name
+                """
+            ).fetchall()
+            summaries = []
+            for row in rows:
+                tags = conn.execute(
+                    "SELECT tag, digest FROM registry_tags "
+                    "WHERE name = ? ORDER BY tag",
+                    (row["name"],),
+                ).fetchall()
+                summaries.append({
+                    "name": row["name"],
+                    "description": row["description"],
+                    "created_at": row["created_at"],
+                    "versions": row["versions"],
+                    "tags": {t["tag"]: t["digest"] for t in tags},
+                })
+        return summaries
+
+    # ------------------------------------------------------------------
+    # versions
+    # ------------------------------------------------------------------
+    def insert_version(
+        self,
+        name: str,
+        digest: str,
+        spec: Dict[str, object],
+        parent_digest: Optional[str],
+        diff: List[Dict[str, object]],
+        evaluation: Optional[Dict[str, float]],
+        now: Optional[float] = None,
+    ) -> bool:
+        """Insert an immutable version row; returns ``created``.
+
+        Re-publishing an existing ``(name, digest)`` is a no-op — the
+        stored spec, lineage, and evaluation are never overwritten.
+        """
+        now = time.time() if now is None else now
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "INSERT OR IGNORE INTO registry_versions "
+                "(name, digest, spec, parent_digest, diff, evaluation,"
+                " created_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    name, digest,
+                    json.dumps(spec, sort_keys=True),
+                    parent_digest,
+                    json.dumps(diff),
+                    None if evaluation is None
+                    else json.dumps(evaluation, sort_keys=True),
+                    now,
+                ),
+            )
+            return cursor.rowcount == 1
+
+    def version_row(
+        self, name: str, digest: str
+    ) -> Optional[Dict[str, object]]:
+        """The decoded version row for an exact digest, or ``None``."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM registry_versions "
+                "WHERE name = ? AND digest = ?",
+                (name, digest),
+            ).fetchone()
+        return self._decode_version(row)
+
+    def find_digest(self, name: str, prefix: str) -> str:
+        """The unique full digest starting with ``prefix``.
+
+        Raises :class:`VersionNotFoundError` when nothing matches and
+        :class:`RefError` when the prefix is ambiguous (git-style).
+        """
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT digest FROM registry_versions "
+                "WHERE name = ? AND digest LIKE ? LIMIT 2",
+                (name, prefix + "%"),
+            ).fetchall()
+        if not rows:
+            raise VersionNotFoundError(
+                f"model {name!r} has no version with digest "
+                f"prefix {prefix!r}"
+            )
+        if len(rows) > 1:
+            raise RefError(
+                f"digest prefix {prefix!r} is ambiguous for model "
+                f"{name!r}; give more characters"
+            )
+        return rows[0]["digest"]
+
+    def list_versions(self, name: str) -> List[Dict[str, object]]:
+        """Version summaries, newest first (no spec documents)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT name, digest, parent_digest, evaluation, "
+                "created_at FROM registry_versions WHERE name = ? "
+                "ORDER BY created_at DESC, digest",
+                (name,),
+            ).fetchall()
+        return [
+            {
+                "digest": row["digest"],
+                "parent_digest": row["parent_digest"],
+                "evaluation": (
+                    None if row["evaluation"] is None
+                    else json.loads(row["evaluation"])
+                ),
+                "created_at": row["created_at"],
+            }
+            for row in rows
+        ]
+
+    def set_evaluation(
+        self, name: str, digest: str, evaluation: Dict[str, float]
+    ) -> None:
+        """Backfill a lazily computed evaluation, first write wins."""
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE registry_versions SET evaluation = ? "
+                "WHERE name = ? AND digest = ? AND evaluation IS NULL",
+                (json.dumps(evaluation, sort_keys=True), name, digest),
+            )
+
+    def _decode_version(
+        self, row: Optional[sqlite3.Row]
+    ) -> Optional[Dict[str, object]]:
+        if row is None:
+            return None
+        return {
+            "name": row["name"],
+            "digest": row["digest"],
+            "spec": json.loads(row["spec"]),
+            "parent_digest": row["parent_digest"],
+            "diff": json.loads(row["diff"]),
+            "evaluation": (
+                None if row["evaluation"] is None
+                else json.loads(row["evaluation"])
+            ),
+            "created_at": row["created_at"],
+        }
+
+    # ------------------------------------------------------------------
+    # tags
+    # ------------------------------------------------------------------
+    def tag_digest(self, name: str, tag: str) -> Optional[str]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT digest FROM registry_tags "
+                "WHERE name = ? AND tag = ?",
+                (name, tag),
+            ).fetchone()
+        return row["digest"] if row is not None else None
+
+    def tags_for(self, name: str) -> Dict[str, str]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT tag, digest FROM registry_tags "
+                "WHERE name = ? ORDER BY tag",
+                (name,),
+            ).fetchall()
+        return {row["tag"]: row["digest"] for row in rows}
+
+    def set_tag(
+        self,
+        name: str,
+        tag: str,
+        digest: str,
+        now: Optional[float] = None,
+    ) -> Optional[str]:
+        """Point ``tag`` at ``digest``; returns the previous digest.
+
+        A no-op (no history row) when the tag already points there, so
+        idempotent re-publishes do not spam the rollback history.
+        """
+        now = time.time() if now is None else now
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT digest FROM registry_tags "
+                "WHERE name = ? AND tag = ?",
+                (name, tag),
+            ).fetchone()
+            previous = row["digest"] if row is not None else None
+            if previous == digest:
+                return previous
+            conn.execute(
+                "INSERT INTO registry_tags (name, tag, digest,"
+                " updated_at) VALUES (?, ?, ?, ?) "
+                "ON CONFLICT (name, tag) DO UPDATE SET "
+                "digest = excluded.digest, "
+                "updated_at = excluded.updated_at",
+                (name, tag, digest, now),
+            )
+            conn.execute(
+                "INSERT INTO registry_tag_history "
+                "(name, tag, digest, set_at) VALUES (?, ?, ?, ?)",
+                (name, tag, digest, now),
+            )
+            return previous
+
+    def tag_history(
+        self, name: str, tag: str, limit: int = 20
+    ) -> List[Dict[str, object]]:
+        """Tag movements, newest first."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT digest, set_at FROM registry_tag_history "
+                "WHERE name = ? AND tag = ? ORDER BY id DESC LIMIT ?",
+                (name, tag, limit),
+            ).fetchall()
+        return [
+            {"digest": row["digest"], "set_at": row["set_at"]}
+            for row in rows
+        ]
+
+    def previous_tag_digest(self, name: str, tag: str) -> Optional[str]:
+        """The digest to roll back to: the most recent history entry
+        that differs from the tag's current target."""
+        current = self.tag_digest(name, tag)
+        if current is None:
+            return None
+        for entry in self.tag_history(name, tag, limit=100):
+            if entry["digest"] != current:
+                return str(entry["digest"])
+        return None
+
+    # ------------------------------------------------------------------
+    # gauges
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Registry-wide gauges for ``/metrics``."""
+        with self._connect() as conn:
+            models = conn.execute(
+                "SELECT COUNT(*) AS n FROM registry_models"
+            ).fetchone()["n"]
+            versions = conn.execute(
+                "SELECT COUNT(*) AS n FROM registry_versions"
+            ).fetchone()["n"]
+            tags = conn.execute(
+                "SELECT COUNT(*) AS n FROM registry_tags"
+            ).fetchone()["n"]
+        return {"models": models, "versions": versions, "tags": tags}

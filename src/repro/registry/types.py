@@ -1,0 +1,179 @@
+"""Records, errors, and content digests for the model registry.
+
+A registry *version* is immutable and content-addressed: its digest is
+a SHA-256 over the canonical payload of the **parsed** model (the same
+:func:`repro.engine.keys.canonical_payload` encoding the solve cache
+keys on), so two spec documents that differ only in field order, float
+spelling, or annotation text share one version — exactly when they
+solve bit-identically.  Tags (``prod``, ``staging``, ``latest``) are
+the mutable layer on top.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import RascadError
+
+#: Registry model and tag names: DNS-label-ish, no ``@`` (the ref
+#: separator), no ``/`` (the URL separator).
+NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: The auto-maintained tag every publish moves to the new version.
+LATEST_TAG = "latest"
+
+#: Minimum hex prefix length accepted when a ref selects by digest.
+MIN_DIGEST_PREFIX = 8
+
+_HEX_RE = re.compile(r"^[0-9a-f]+$")
+
+
+class RegistryError(RascadError):
+    """Base class for model-registry failures."""
+
+
+class ModelNotFoundError(RegistryError):
+    """No model with the given name exists in the registry."""
+
+
+class VersionNotFoundError(RegistryError):
+    """A model exists but the selected tag/digest does not."""
+
+
+class RefError(RegistryError):
+    """A model reference string is malformed or ambiguous."""
+
+
+class RegressionError(RegistryError):
+    """Publish-time gate: the candidate regresses the tagged baseline.
+
+    Attributes:
+        details: Structured description of the rejected rollout —
+            model, tag, both digests, both yearly-downtime numbers,
+            the delta, and the threshold that was exceeded.  The
+            service surfaces this verbatim inside the
+            ``regression_detected`` error envelope.
+    """
+
+    def __init__(self, message: str, details: Dict[str, object]) -> None:
+        super().__init__(message)
+        self.details = dict(details)
+
+
+def valid_name(name: str, what: str = "model name") -> str:
+    """``name`` if it is a legal registry name, else :class:`RefError`."""
+    if not isinstance(name, str) or not NAME_RE.match(name):
+        raise RefError(
+            f"invalid {what} {name!r}: expected "
+            "[A-Za-z0-9][A-Za-z0-9._-]{0,63}"
+        )
+    return name
+
+
+def parse_ref(ref: str) -> Tuple[str, Optional[str]]:
+    """Split ``name``, ``name@tag`` or ``name@digest`` into its parts.
+
+    The selector is returned verbatim (tag resolution versus digest
+    prefix lookup is the registry's job); a bare name selects the
+    :data:`LATEST_TAG`.
+    """
+    if not isinstance(ref, str) or not ref:
+        raise RefError("model ref must be a non-empty string")
+    name, separator, selector = ref.partition("@")
+    valid_name(name)
+    if separator and not selector:
+        raise RefError(
+            f"invalid model ref {ref!r}: expected name, name@tag, "
+            "or name@digest"
+        )
+    return name, (selector if separator else None)
+
+
+def looks_like_digest(selector: str) -> bool:
+    """True when a ref selector can only be a hex digest prefix."""
+    return (
+        len(selector) >= MIN_DIGEST_PREFIX
+        and _HEX_RE.match(selector) is not None
+    )
+
+
+def spec_digest(model) -> str:
+    """The content digest of a parsed model, as a full hex string.
+
+    Unlike :func:`repro.engine.keys.model_digest` no solver token is
+    mixed in: a registry version identifies *what* is modeled, not how
+    it will be solved.
+    """
+    from ..engine.keys import canonical_payload
+
+    document = {
+        "kind": "registry_version",
+        "model": canonical_payload(model),
+    }
+    encoded = json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def diff_payload(entries) -> List[Dict[str, object]]:
+    """Serialize :func:`repro.spec.diff.diff_models` entries to JSON."""
+    return [
+        {
+            "kind": entry.kind.value,
+            "path": entry.path,
+            "field": entry.field,
+            "old": entry.old,
+            "new": entry.new,
+        }
+        for entry in entries
+    ]
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """One immutable, content-addressed version of a named model."""
+
+    name: str
+    digest: str
+    spec: Dict[str, object]
+    parent_digest: Optional[str]
+    diff: List[Dict[str, object]]
+    evaluation: Optional[Dict[str, float]]
+    created_at: float
+
+    def to_dict(self, include_spec: bool = False) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "digest": self.digest,
+            "parent_digest": self.parent_digest,
+            "diff": self.diff,
+            "evaluation": self.evaluation,
+            "created_at": self.created_at,
+        }
+        if include_spec:
+            payload["spec"] = self.spec
+        return payload
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """What one :meth:`ModelRegistry.publish` call did."""
+
+    version: VersionRecord
+    created: bool
+    #: The gate's comparison against the tagged baseline, or ``None``
+    #: when no gating applied (first version, no target tag, or the
+    #: tag already pointed at this digest).
+    gate: Optional[Dict[str, object]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version.to_dict(),
+            "created": self.created,
+            "gate": self.gate,
+        }

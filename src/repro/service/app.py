@@ -17,6 +17,17 @@ Routes:
 ``GET /v1/jobs``                list jobs, filterable by state/kind
 ``GET /v1/jobs/{id}``           one job's state machine position and result
 ``POST /v1/jobs/{id}/cancel``   cancel a queued or running job
+``GET /v1/models``              registry model summaries
+``POST /v1/models``             publish a spec as a version (``201``; the
+                                regression gate answers ``409
+                                regression_detected``)
+``GET /v1/models/{n}``          one model's tags and version history
+``GET /v1/models/{n}/versions/{d}``  one immutable version (lineage diff,
+                                evaluation; ``?include_spec=1`` adds the
+                                stored spec)
+``POST /v1/models/{n}/tags``    move a tag (``{"tag", "digest"|"ref"}``)
+                                or roll it back (``{"tag", "rollback":
+                                true}``)
 ``GET /v1/library``             names of the built-in library models
 ``GET /v1/library/{n}``         one library model as a spec document
 ``POST /v1/cluster/workers``    register (and heartbeat) a worker with a
@@ -40,6 +51,15 @@ server runs as a coordinator, and with a coordinator attached
 ``POST /v1/sweep`` fans large value lists out across the registered
 fleet (clients opt out per-request with ``"cluster": false``).
 
+With a model registry attached (every :class:`~repro.service.Server`
+builds one, seeded from :mod:`repro.library`), ``/v1/solve``,
+``/v1/sweep``, ``/v1/validate`` and job submissions accept
+``"model_ref": "name@tag"`` / ``"name@digest"`` in place of an inline
+``"spec"``.  The ref resolves exactly once, before anything digests
+the document, so cache keys, shard digests and result digests are
+bit-identical to inline submission — and ``/v1/library`` becomes a
+thin compatibility shim over ``/v1/models``.
+
 Untrusted payloads go through :func:`repro.spec.parse_spec` — the same
 validation path the CLI uses — so every malformed spec surfaces as a
 ``400`` with a stable error code, never a stack trace.
@@ -55,6 +75,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..cluster import Coordinator
     from ..jobs import JobStore
+    from ..registry import ModelRegistry
 
 from ..core import compute_measures
 from ..core.translator import SystemSolution
@@ -149,6 +170,7 @@ class App:
         jobs: Optional["JobStore"] = None,
         default_solver: Optional[SolverOptions] = None,
         cluster: Optional["Coordinator"] = None,
+        registry: Optional["ModelRegistry"] = None,
     ) -> None:
         self.engine = engine
         self.queue = queue
@@ -156,6 +178,7 @@ class App:
         self.request_timeout = request_timeout
         self.jobs = jobs
         self.cluster = cluster
+        self.registry = registry
         self.default_solver = (
             default_solver if default_solver is not None else SolverOptions()
         )
@@ -168,6 +191,8 @@ class App:
             "POST /v1/validate": self._validate,
             "POST /v1/jobs": self._jobs_submit,
             "GET /v1/jobs": self._jobs_index,
+            "GET /v1/models": self._models_index,
+            "POST /v1/models": self._models_publish,
             "GET /v1/library": self._library_index,
             "GET /v1/cluster/workers": self._cluster_workers,
             "POST /v1/cluster/workers": self._cluster_register,
@@ -249,6 +274,16 @@ class App:
             if request.path.endswith("/cancel"):
                 return f"{request.method} /v1/jobs/{{id}}/cancel"
             return f"{request.method} /v1/jobs/{{id}}"
+        if request.path.startswith("/v1/models/"):
+            tail = request.path[len("/v1/models/"):]
+            if tail.endswith("/tags"):
+                return f"{request.method} /v1/models/{{name}}/tags"
+            if "/versions/" in tail:
+                return (
+                    f"{request.method} "
+                    "/v1/models/{name}/versions/{digest}"
+                )
+            return f"{request.method} /v1/models/{{name}}"
         key = f"{request.method} {request.path}"
         if key in self._routes:
             return key
@@ -261,6 +296,8 @@ class App:
             return self._library(request.path[len("/v1/library/"):])
         if request.path.startswith("/v1/jobs/"):
             return await self._jobs_item(request)
+        if request.path.startswith("/v1/models/"):
+            return await self._models_item(request)
         handler = self._routes.get(f"{request.method} {request.path}")
         if handler is not None:
             return await _maybe_await(handler(request))
@@ -282,9 +319,34 @@ class App:
     # ------------------------------------------------------------------
     # model endpoints
     # ------------------------------------------------------------------
+    def _request_spec_doc(
+        self, payload: Mapping[str, object]
+    ) -> Dict[str, object]:
+        """The request's spec document: inline, or resolved from a ref.
+
+        ``"model_ref"`` substitutes a registry reference
+        (``name@tag`` / ``name@digest``) for an inline ``"spec"``.
+        Resolution happens here, exactly once, before anything digests
+        the document — so engine cache keys, cluster shard digests and
+        result digests are computed from the resolved spec and stay
+        bit-identical to inline submission.
+        """
+        has_spec = "spec" in payload
+        has_ref = "model_ref" in payload
+        if has_spec and has_ref:
+            raise ProtocolError(
+                400, "invalid_request",
+                "provide either 'spec' or 'model_ref', not both",
+            )
+        if has_ref:
+            ref = _field(payload, "model_ref", str)
+            return self._registry_required().resolve_spec(ref)
+        return _field(payload, "spec", dict)
+
     def _parse_request_model(self, payload: Mapping[str, object]):
-        spec = _field(payload, "spec", dict)
-        return parse_spec(spec, database=self.database)
+        return parse_spec(
+            self._request_spec_doc(payload), database=self.database
+        )
 
     def _request_deadline(self, payload: Mapping[str, object]) -> float:
         timeout = _field(
@@ -344,7 +406,8 @@ class App:
 
     async def _sweep(self, request: Request) -> Response:
         payload = request.json()
-        model = self._parse_request_model(payload)
+        spec_doc = self._request_spec_doc(payload)
+        model = parse_spec(spec_doc, database=self.database)
         method = self._solver_options_of(payload)
         block = _field(payload, "block", str, required=False)
         field_name = _field(payload, "field", str)
@@ -375,7 +438,8 @@ class App:
             values.append(float(value))
         if fan_out and len(values) >= self.cluster.config.fanout_threshold:
             return await self._cluster_sweep(
-                payload, model, method, block, field_name, values
+                payload, spec_doc, model, method, block, field_name,
+                values,
             )
         if len(values) > MAX_SWEEP_VALUES:
             raise ProtocolError(
@@ -462,6 +526,7 @@ class App:
     async def _cluster_sweep(
         self,
         payload: Mapping[str, object],
+        spec_doc: Mapping[str, object],
         model,
         method: SolverOptions,
         block: Optional[str],
@@ -473,11 +538,14 @@ class App:
         The workload pins the request's fully resolved solver options,
         so every worker solves with identical numerics whatever its own
         defaults are — a precondition for the bit-identity guarantee.
+        ``spec_doc`` is the already-resolved document (inline spec or
+        registry ref), so shard digests never depend on how the client
+        spelled the model.
         """
         from ..cluster import SweepWorkload
 
         workload = SweepWorkload(
-            _field(payload, "spec", dict),
+            dict(spec_doc),
             field_name,
             values,
             block=block,
@@ -544,7 +612,7 @@ class App:
                 f"unknown job kind {kind!r}; "
                 f"expected one of {sorted(JOB_KINDS)}",
             )
-        spec = _field(payload, "spec", dict)
+        spec = self._request_spec_doc(payload)
         params = dict(
             _field(payload, "params", dict, required=False, default={})
         )
@@ -639,12 +707,133 @@ class App:
         )
 
     # ------------------------------------------------------------------
+    # model-registry endpoints
+    # ------------------------------------------------------------------
+    def _registry_required(self) -> "ModelRegistry":
+        if self.registry is None:
+            raise ProtocolError(
+                503, "registry_disabled",
+                "this server was started without a model registry; "
+                "rascad serve attaches one by default",
+            )
+        return self.registry
+
+    async def _models_index(self, request: Request) -> Response:
+        registry = self._registry_required()
+        return json_response({
+            "models": await asyncio.to_thread(registry.list_models),
+        })
+
+    async def _models_publish(self, request: Request) -> Response:
+        registry = self._registry_required()
+        payload = request.json()
+        name = _field(payload, "name", str)
+        spec = _field(payload, "spec", dict)
+        tag = _field(payload, "tag", str, required=False)
+        force = _field(
+            payload, "force", bool, required=False, default=False
+        )
+        threshold = _field(payload, "threshold", float, required=False)
+        description = _field(
+            payload, "description", str, required=False
+        )
+        result = await asyncio.to_thread(
+            registry.publish, spec, name,
+            description=description, tag=tag, force=force,
+            threshold=threshold,
+        )
+        return json_response(
+            result.to_dict(), status=201 if result.created else 200
+        )
+
+    async def _models_item(self, request: Request) -> Response:
+        """Dispatch ``/v1/models/{name}...`` sub-resources."""
+        registry = self._registry_required()
+        tail = request.path[len("/v1/models/"):]
+        if tail.endswith("/tags"):
+            if request.method != "POST":
+                return self._method_not_allowed(request)
+            name = tail[: -len("/tags")]
+            return await self._models_tags(request, registry, name)
+        if "/versions/" in tail:
+            if request.method != "GET":
+                return self._method_not_allowed(request)
+            name, _, selector = tail.partition("/versions/")
+            record = await asyncio.to_thread(
+                registry.version_detail, name, selector
+            )
+            include_spec = request.query.get("include_spec") in (
+                "1", "true"
+            )
+            return json_response({
+                "version": record.to_dict(include_spec=include_spec),
+            })
+        if request.method != "GET":
+            return self._method_not_allowed(request)
+        return json_response({
+            "model": await asyncio.to_thread(
+                registry.model_detail, tail
+            ),
+        })
+
+    async def _models_tags(
+        self, request: Request, registry: "ModelRegistry", name: str
+    ) -> Response:
+        """Move a tag to a version, or roll it back one step."""
+        payload = request.json()
+        tag = _field(payload, "tag", str)
+        rollback = _field(
+            payload, "rollback", bool, required=False, default=False
+        )
+        if rollback:
+            current, previous = await asyncio.to_thread(
+                registry.rollback, name, tag
+            )
+            return json_response({
+                "name": name,
+                "tag": tag,
+                "rolled_back_from": current,
+                "digest": previous,
+            })
+        selector = _field(payload, "digest", str, required=False)
+        if selector is None:
+            selector = _field(payload, "ref", str, required=False)
+        if selector is None:
+            raise ProtocolError(
+                400, "invalid_request",
+                "tag moves need 'digest' (or 'ref'), or "
+                "'rollback': true",
+            )
+        previous, digest = await asyncio.to_thread(
+            registry.move_tag, name, tag, selector
+        )
+        return json_response({
+            "name": name,
+            "tag": tag,
+            "previous": previous,
+            "digest": digest,
+        })
+
+    # ------------------------------------------------------------------
     # library + observability endpoints
     # ------------------------------------------------------------------
     def _library_index(self, request: Request) -> Response:
+        """Library names — a compatibility shim over the registry.
+
+        With a registry attached the index lists every registered
+        model (the library seeds are published at startup); without
+        one it falls back to the built-in factories.
+        """
+        if self.registry is not None:
+            return json_response({"models": self.registry.names()})
         return json_response({"models": sorted(LIBRARY_MODELS)})
 
     def _library(self, name: str) -> Response:
+        if self.registry is not None:
+            try:
+                return json_response(self.registry.resolve_spec(name))
+            except Exception as error:  # noqa: BLE001 - mapped envelope
+                return error_for_exception(error)
         factory = LIBRARY_MODELS.get(name)
         if factory is None:
             return error_response(
@@ -735,6 +924,8 @@ class App:
             disk_usage=disk_usage,
             service=self._service_section(),
         )
+        if self.registry is not None:
+            payload["registry"] = self.registry.counts()
         if self.cluster is not None:
             payload["cluster"] = {
                 "workers": self.cluster.membership.snapshot(),
@@ -1020,7 +1211,7 @@ def render_prometheus(payload: Mapping[str, object]) -> str:
                     f"engine_{key}", "gauge",
                     f"Engine gauge {key}.", value,
                 )
-    for section in ("derived", "cache", "service"):
+    for section in ("derived", "cache", "service", "registry"):
         values = payload.get(section)
         if isinstance(values, Mapping):
             for key, value in sorted(values.items()):

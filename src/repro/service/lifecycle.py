@@ -95,6 +95,17 @@ class ServiceConfig:
             workload fails.
         cluster_call_timeout: Socket timeout for one shard HTTP call.
         cluster_fanout_threshold: Minimum sweep size worth sharding.
+        registry_db: Model-registry database path.  Defaults to
+            ``registry.sqlite3`` inside ``cache_dir`` when that is
+            set (shared with ``rascad models`` CLI runs); with
+            neither configured the registry lives in memory for the
+            server's lifetime.
+        registry_threshold: Regression-gate threshold, in extra
+            yearly downtime minutes a tagged rollout may cost before
+            publish rejects it.
+        registry_seed: Publish the built-in library models into the
+            registry at startup (idempotent; evaluation is lazy, so
+            seeding performs no solves).
     """
 
     host: str = "127.0.0.1"
@@ -126,6 +137,9 @@ class ServiceConfig:
     cluster_max_shard_attempts: int = 4
     cluster_call_timeout: float = 60.0
     cluster_fanout_threshold: int = 2
+    registry_db: Optional[Union[str, Path]] = None
+    registry_threshold: float = 1.0
+    registry_seed: bool = True
 
 
 class Server:
@@ -153,6 +167,7 @@ class Server:
         )
         self.jobs = self._build_job_store()
         self.coordinator = self._build_coordinator()
+        self.registry = self._build_registry()
         self.app = App(
             self.engine,
             self.queue,
@@ -160,6 +175,7 @@ class Server:
             jobs=self.jobs,
             default_solver=self.config.default_solver,
             cluster=self.coordinator,
+            registry=self.registry,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown_requested: Optional[asyncio.Event] = None
@@ -220,6 +236,39 @@ class Server:
             config=cluster_config,
             stats=self.engine.stats,
         )
+
+    def _build_registry(self):
+        """The model registry behind ``/v1/models``.
+
+        Every server gets one: a persistent file next to the solve
+        cache when ``registry_db`` or ``cache_dir`` is configured
+        (shared with ``rascad models`` CLI runs), else in-memory for
+        the server's lifetime.  Seeding the library models creates
+        rows only — evaluation is lazy — so startup stays solve-free
+        and the engine-stats tests keep their exact counts.
+        """
+        from ..registry import (
+            REGISTRY_DB_FILENAME,
+            ModelRegistry,
+            RegistryStore,
+        )
+
+        if self.config.registry_db is not None:
+            store_path = str(self.config.registry_db)
+        elif self.config.cache_dir is not None:
+            store_path = str(
+                Path(self.config.cache_dir) / REGISTRY_DB_FILENAME
+            )
+        else:
+            store_path = ":memory:"
+        registry = ModelRegistry(
+            RegistryStore(store_path),
+            engine=self.engine,
+            default_threshold=self.config.registry_threshold,
+        )
+        if self.config.registry_seed:
+            registry.seed_library()
+        return registry
 
     def _shutdown_event(self) -> asyncio.Event:
         # Created lazily: on Python 3.9 an Event binds the event loop
@@ -297,6 +346,9 @@ class Server:
         if self.coordinator is not None:
             with contextlib.suppress(Exception):
                 self.coordinator.store.close()
+        if self.registry is not None:
+            with contextlib.suppress(Exception):
+                self.registry.close()
         self._persist_stats()
 
     def _persist_stats(self) -> None:

@@ -29,6 +29,13 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from ..cluster.config import ClusterError, NoWorkersError, ShardFailedError
+from ..registry.types import (
+    ModelNotFoundError,
+    RefError,
+    RegistryError,
+    RegressionError,
+    VersionNotFoundError,
+)
 from ..errors import (
     DatabaseError,
     EngineError,
@@ -51,9 +58,11 @@ DEFAULT_READ_TIMEOUT = 10.0
 #: Reason phrases for the statuses the service emits.
 REASONS = {
     200: "OK",
+    201: "Created",
     202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
+    409: "Conflict",
     405: "Method Not Allowed",
     408: "Request Timeout",
     413: "Payload Too Large",
@@ -69,6 +78,11 @@ REASONS = {
 #: Library exception -> (HTTP status, stable error code).  Ordered:
 #: the first matching class wins, so subclasses precede their bases.
 ERROR_STATUS: Tuple[Tuple[type, int, str], ...] = (
+    (RegressionError, 409, "regression_detected"),
+    (ModelNotFoundError, 404, "not_found"),
+    (VersionNotFoundError, 404, "not_found"),
+    (RefError, 400, "invalid_ref"),
+    (RegistryError, 400, "registry_error"),
     (ParameterError, 400, "invalid_parameter"),
     (SpecError, 400, "invalid_spec"),
     (DatabaseError, 400, "unknown_part"),
@@ -204,17 +218,25 @@ def error_response(
     code: str,
     message: str,
     retry_after: Optional[float] = None,
+    details: Optional[Dict[str, object]] = None,
 ) -> Response:
-    """The stable error envelope, optionally with ``Retry-After``."""
+    """The stable error envelope, optionally with ``Retry-After``.
+
+    ``details`` attaches a structured object next to the message —
+    the regression gate uses it to report both digests, both downtime
+    numbers, the delta, and the threshold, so clients need not parse
+    prose.
+    """
     headers: Dict[str, str] = {}
     if retry_after is not None:
         # Retry-After is delta-seconds; round up so clients never
         # retry before the window actually opens.
         headers["Retry-After"] = str(max(1, int(retry_after + 0.999)))
+    envelope: Dict[str, object] = {"code": code, "message": message}
+    if details is not None:
+        envelope["details"] = details
     return json_response(
-        {"error": {"code": code, "message": message}},
-        status=status,
-        headers=headers,
+        {"error": envelope}, status=status, headers=headers,
     )
 
 
@@ -222,9 +244,14 @@ def error_for_exception(error: Exception) -> Response:
     """Map a library exception onto its wire envelope."""
     if isinstance(error, ProtocolError):
         return error_response(error.status, error.code, str(error))
+    details = getattr(error, "details", None)
+    if not isinstance(details, dict):
+        details = None
     for exc_type, status, code in ERROR_STATUS:
         if isinstance(error, exc_type):
-            return error_response(status, code, str(error))
+            return error_response(
+                status, code, str(error), details=details
+            )
     return error_response(500, "internal_error", str(error))
 
 

@@ -9,12 +9,41 @@ produces a structured, per-path diff of two models.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional
 
 from ..core.block import DiagramBlockModel
 from ..core.parameters import Scenario
+
+#: Relative tolerance for float parameter comparison.  JSON
+#: round-trips are exact for IEEE doubles, but specs that passed
+#: through other tools (or decimal re-formatting) can pick up
+#: last-ulp noise; anything within one part in 1e12 is the same
+#: engineering value and must not report a spurious CHANGED entry.
+FLOAT_REL_TOLERANCE = 1e-12
+
+
+def _values_differ(old_value: object, new_value: object) -> bool:
+    """Whether two parameter values meaningfully differ.
+
+    Floats compare with :data:`FLOAT_REL_TOLERANCE` (relative only:
+    an absolute tolerance would equate distinct near-zero rates);
+    everything else compares exactly.
+    """
+    if (
+        isinstance(old_value, (int, float))
+        and isinstance(new_value, (int, float))
+        and not isinstance(old_value, bool)
+        and not isinstance(new_value, bool)
+        and (isinstance(old_value, float) or isinstance(new_value, float))
+    ):
+        return not math.isclose(
+            old_value, new_value,
+            rel_tol=FLOAT_REL_TOLERANCE, abs_tol=0.0,
+        )
+    return old_value != new_value
 
 
 class ChangeKind(Enum):
@@ -53,7 +82,7 @@ def diff_models(
     for field in dataclasses.fields(old.global_parameters):
         old_value = getattr(old.global_parameters, field.name)
         new_value = getattr(new.global_parameters, field.name)
-        if old_value != new_value:
+        if _values_differ(old_value, new_value):
             entries.append(DiffEntry(
                 ChangeKind.CHANGED, "<globals>", field.name,
                 _display(old_value), _display(new_value),
@@ -76,7 +105,7 @@ def diff_models(
         for field in dataclasses.fields(old_parameters):
             old_value = getattr(old_parameters, field.name)
             new_value = getattr(new_parameters, field.name)
-            if old_value != new_value:
+            if _values_differ(old_value, new_value):
                 entries.append(DiffEntry(
                     ChangeKind.CHANGED, path, field.name,
                     _display(old_value), _display(new_value),

@@ -1,0 +1,338 @@
+"""The model registry: publish, digests, gating, refs, rollback."""
+
+import json
+
+import pytest
+
+from repro.engine import Engine
+from repro.library import workgroup_model
+from repro.registry import (
+    LATEST_TAG,
+    ModelNotFoundError,
+    ModelRegistry,
+    RefError,
+    RegistryError,
+    RegistryStore,
+    RegressionError,
+    VersionNotFoundError,
+    looks_like_digest,
+    parse_ref,
+    spec_digest,
+)
+from repro.spec import model_to_spec, parse_spec
+
+OS = "Operating System"
+
+
+def fresh_registry(**kwargs):
+    return ModelRegistry(RegistryStore(":memory:"), **kwargs)
+
+
+def workgroup_spec():
+    return model_to_spec(workgroup_model())
+
+
+def degraded_spec(mtbf=3_000.0):
+    spec = workgroup_spec()
+    for block in spec["diagram"]["blocks"]:
+        if block["name"] == OS:
+            block["mtbf_hours"] = mtbf
+    return spec
+
+
+class TestRefs:
+    def test_bare_name(self):
+        assert parse_ref("wg") == ("wg", None)
+
+    def test_name_at_tag(self):
+        assert parse_ref("wg@prod") == ("wg", "prod")
+
+    def test_trailing_at_rejected(self):
+        with pytest.raises(RefError):
+            parse_ref("wg@")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(RefError):
+            parse_ref("bad name@prod")
+
+    def test_digest_heuristic(self):
+        assert looks_like_digest("a1b2c3d4")
+        assert not looks_like_digest("a1b2c3")  # too short
+        assert not looks_like_digest("production")  # not hex
+
+
+class TestDigest:
+    def test_digest_is_content_addressed(self):
+        model = parse_spec(workgroup_spec())
+        again = parse_spec(json.loads(json.dumps(workgroup_spec())))
+        assert spec_digest(model) == spec_digest(again)
+
+    def test_digest_changes_with_content(self):
+        base = parse_spec(workgroup_spec())
+        changed = parse_spec(degraded_spec())
+        assert spec_digest(base) != spec_digest(changed)
+
+
+class TestPublish:
+    def test_publish_creates_and_tags_latest(self):
+        registry = fresh_registry()
+        result = registry.publish(workgroup_spec(), "wg")
+        assert result.created
+        assert result.gate is None
+        assert registry.store.tag_digest("wg", LATEST_TAG) == (
+            result.version.digest
+        )
+
+    def test_republish_same_content_is_idempotent(self):
+        registry = fresh_registry()
+        first = registry.publish(workgroup_spec(), "wg")
+        second = registry.publish(workgroup_spec(), "wg")
+        assert first.created and not second.created
+        assert first.version.digest == second.version.digest
+        assert registry.counts() == {
+            "models": 1, "versions": 1, "tags": 1,
+        }
+
+    def test_lineage_parent_and_diff(self):
+        registry = fresh_registry()
+        registry.publish(workgroup_spec(), "wg")
+        result = registry.publish(degraded_spec(), "wg")
+        parent = registry.store.tag_digest("wg", LATEST_TAG)
+        assert result.version.parent_digest is not None
+        assert parent == result.version.digest
+        (entry,) = result.version.diff
+        assert entry["kind"] == "changed"
+        assert entry["field"] == "mtbf_hours"
+        assert entry["old"] == 30_000.0
+        assert entry["new"] == 3_000.0
+
+    def test_stored_spec_returned_verbatim(self):
+        registry = fresh_registry()
+        spec = workgroup_spec()
+        registry.publish(spec, "wg", tag="prod")
+        resolved = registry.resolve_spec("wg@prod")
+        assert resolved == json.loads(json.dumps(spec))
+
+    def test_evaluation_recorded_at_publish(self):
+        registry = fresh_registry()
+        result = registry.publish(workgroup_spec(), "wg")
+        evaluation = result.version.evaluation
+        assert evaluation is not None
+        assert 0.99 < evaluation["availability"] < 1.0
+        assert evaluation["yearly_downtime_minutes"] > 0
+        assert evaluation["mttf_hours"] > 0
+
+    def test_invalid_name_rejected(self):
+        registry = fresh_registry()
+        with pytest.raises(RefError):
+            registry.publish(workgroup_spec(), "no spaces allowed")
+
+    def test_engine_backed_evaluation_matches_bare(self):
+        bare = fresh_registry().publish(workgroup_spec(), "wg")
+        backed = fresh_registry(engine=Engine()).publish(
+            workgroup_spec(), "wg"
+        )
+        assert bare.version.evaluation == backed.version.evaluation
+
+
+class TestGate:
+    def test_regression_rejected_with_details(self):
+        registry = fresh_registry()
+        registry.publish(workgroup_spec(), "wg", tag="prod")
+        with pytest.raises(RegressionError) as excinfo:
+            registry.publish(degraded_spec(), "wg", tag="prod")
+        details = excinfo.value.details
+        assert details["tag"] == "prod"
+        assert details["downtime_delta_minutes"] > details[
+            "threshold_minutes"
+        ]
+        assert details["baseline_digest"] != details["candidate_digest"]
+        # prod still points at the baseline.
+        assert registry.store.tag_digest("wg", "prod") == (
+            details["baseline_digest"]
+        )
+
+    def test_force_overrides_and_records(self):
+        registry = fresh_registry()
+        registry.publish(workgroup_spec(), "wg", tag="prod")
+        result = registry.publish(
+            degraded_spec(), "wg", tag="prod", force=True
+        )
+        assert result.gate["forced"] is True
+        assert registry.store.tag_digest("wg", "prod") == (
+            result.version.digest
+        )
+
+    def test_wide_threshold_admits_the_regression(self):
+        registry = fresh_registry()
+        registry.publish(workgroup_spec(), "wg", tag="prod")
+        result = registry.publish(
+            degraded_spec(), "wg", tag="prod", threshold=10_000.0
+        )
+        assert result.gate["forced"] is False
+
+    def test_improvement_passes_the_gate(self):
+        registry = fresh_registry()
+        registry.publish(degraded_spec(), "wg", tag="prod")
+        result = registry.publish(
+            workgroup_spec(), "wg", tag="prod"
+        )
+        assert result.gate["downtime_delta_minutes"] < 0
+
+    def test_latest_tag_is_never_gated(self):
+        registry = fresh_registry()
+        registry.publish(workgroup_spec(), "wg", tag=LATEST_TAG)
+        registry.publish(degraded_spec(), "wg", tag=LATEST_TAG)
+
+    def test_check_is_a_dry_run(self):
+        registry = fresh_registry()
+        registry.publish(workgroup_spec(), "wg", tag="prod")
+        verdict = registry.check(degraded_spec(), "wg", "prod")
+        assert verdict["would_reject"] is True
+        assert registry.counts()["versions"] == 1  # nothing written
+
+    def test_check_passes_when_tag_unheld(self):
+        registry = fresh_registry()
+        registry.publish(workgroup_spec(), "wg")
+        verdict = registry.check(degraded_spec(), "wg", "prod")
+        assert verdict["would_reject"] is False
+        assert verdict["baseline_digest"] is None
+
+
+class TestResolve:
+    def test_bare_name_resolves_latest(self):
+        registry = fresh_registry()
+        registry.publish(workgroup_spec(), "wg")
+        newest = registry.publish(degraded_spec(), "wg")
+        assert registry.resolve("wg").digest == newest.version.digest
+
+    def test_tag_wins_over_digest_heuristic(self):
+        registry = fresh_registry()
+        result = registry.publish(workgroup_spec(), "wg")
+        # A tag that looks like a digest still resolves as a tag.
+        registry.move_tag("wg", "deadbeef", result.version.digest[:12])
+        assert registry.resolve("wg@deadbeef").digest == (
+            result.version.digest
+        )
+
+    def test_digest_prefix_resolves(self):
+        registry = fresh_registry()
+        result = registry.publish(workgroup_spec(), "wg")
+        prefix = result.version.digest[:12]
+        assert registry.resolve(f"wg@{prefix}").digest == (
+            result.version.digest
+        )
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelNotFoundError):
+            fresh_registry().resolve("ghost")
+
+    def test_unknown_tag_lists_known_tags(self):
+        registry = fresh_registry()
+        registry.publish(workgroup_spec(), "wg", tag="prod")
+        with pytest.raises(VersionNotFoundError) as excinfo:
+            registry.resolve("wg@staging")
+        assert "prod" in str(excinfo.value)
+
+    def test_unknown_digest_prefix(self):
+        registry = fresh_registry()
+        registry.publish(workgroup_spec(), "wg")
+        with pytest.raises(VersionNotFoundError):
+            registry.resolve("wg@0123456789abcdef")
+
+
+class TestTagsAndRollback:
+    def test_move_tag_returns_previous(self):
+        registry = fresh_registry()
+        first = registry.publish(workgroup_spec(), "wg", tag="prod")
+        second = registry.publish(
+            degraded_spec(), "wg", tag="prod", force=True
+        )
+        previous, digest = registry.move_tag(
+            "wg", "prod", first.version.digest[:12]
+        )
+        assert previous == second.version.digest
+        assert digest == first.version.digest
+
+    def test_rollback_restores_previous_holder(self):
+        registry = fresh_registry()
+        first = registry.publish(workgroup_spec(), "wg", tag="prod")
+        second = registry.publish(
+            degraded_spec(), "wg", tag="prod", force=True
+        )
+        rolled_from, rolled_to = registry.rollback("wg", "prod")
+        assert rolled_from == second.version.digest
+        assert rolled_to == first.version.digest
+        assert registry.store.tag_digest("wg", "prod") == (
+            first.version.digest
+        )
+
+    def test_rollback_without_history_is_an_error(self):
+        registry = fresh_registry()
+        registry.publish(workgroup_spec(), "wg", tag="prod")
+        with pytest.raises(RegistryError):
+            registry.rollback("wg", "prod")
+
+    def test_rollback_of_unset_tag_is_an_error(self):
+        registry = fresh_registry()
+        registry.publish(workgroup_spec(), "wg")
+        with pytest.raises(RegistryError):
+            registry.rollback("wg", "prod")
+
+
+class TestSeeding:
+    def test_seed_publishes_the_library_without_solving(self):
+        engine = Engine()
+        registry = fresh_registry(engine=engine)
+        created = registry.seed_library()
+        assert created == 3
+        assert registry.names() == ["datacenter", "e10000", "workgroup"]
+        # Lazy evaluation: seeding performed zero solves.
+        assert engine.stats.snapshot().system_solves == 0
+        for row in registry.list_models():
+            assert row["tags"].keys() == {LATEST_TAG}
+
+    def test_seeding_is_idempotent(self):
+        registry = fresh_registry()
+        assert registry.seed_library() == 3
+        assert registry.seed_library() == 0
+        assert registry.counts()["versions"] == 3
+
+    def test_lazy_evaluation_backfills_once(self):
+        registry = fresh_registry()
+        registry.seed_library()
+        digest = registry.store.tag_digest("workgroup", LATEST_TAG)
+        row = registry.store.version_row("workgroup", digest)
+        assert row["evaluation"] is None
+        evaluation = registry.evaluation_for("workgroup", digest)
+        assert evaluation["yearly_downtime_minutes"] > 0
+        row = registry.store.version_row("workgroup", digest)
+        assert row["evaluation"] == evaluation
+
+
+class TestPersistence:
+    def test_registry_survives_reopen(self, tmp_path):
+        path = tmp_path / "registry.sqlite3"
+        first = ModelRegistry(RegistryStore(path))
+        published = first.publish(workgroup_spec(), "wg", tag="prod")
+        first.close()
+        second = ModelRegistry(RegistryStore(path))
+        assert second.resolve("wg@prod").digest == (
+            published.version.digest
+        )
+        assert second.resolve_spec("wg@prod") == json.loads(
+            json.dumps(workgroup_spec())
+        )
+        second.close()
+
+    def test_counters_flow_through_stats(self):
+        engine = Engine()
+        registry = fresh_registry(engine=engine)
+        registry.publish(workgroup_spec(), "wg", tag="prod")
+        registry.resolve("wg@prod")
+        with pytest.raises(RegressionError):
+            registry.publish(degraded_spec(), "wg", tag="prod")
+        counters = engine.stats.snapshot().counters
+        assert counters["registry_publishes"] == 1
+        assert counters["registry_resolves"] == 1
+        assert counters["registry_regressions_blocked"] == 1

@@ -96,3 +96,49 @@ class TestImpact:
     def test_no_change_zero_delta(self):
         impact = diff_impact(workgroup_model(), workgroup_model())
         assert impact["downtime_delta_minutes"] == pytest.approx(0.0)
+
+
+class TestFloatTolerance:
+    """Float comparison uses a relative tolerance, not exact ``==``."""
+
+    def test_spec_round_trip_diffs_empty(self):
+        # model -> spec -> JSON -> spec -> model must diff clean: this
+        # is the registry's lineage-diff path, where a stored version
+        # is reparsed before comparison.
+        import json
+
+        from repro.spec import model_to_spec, parse_spec
+
+        original = workgroup_model()
+        round_tripped = parse_spec(
+            json.loads(json.dumps(model_to_spec(original)))
+        )
+        assert diff_models(original, round_tripped) == []
+
+    def test_last_ulp_noise_is_not_a_change(self):
+        old = workgroup_model()
+        noisy = 30_000.0 * (1.0 + 1e-15)
+        new = with_block_changes(old, OS, mtbf_hours=noisy)
+        assert diff_models(old, new) == []
+
+    def test_real_changes_still_reported(self):
+        old = workgroup_model()
+        new = with_block_changes(
+            old, OS, mtbf_hours=30_000.0 * (1.0 + 1e-9)
+        )
+        (entry,) = diff_models(old, new)
+        assert entry.kind is ChangeKind.CHANGED
+        assert entry.field == "mtbf_hours"
+
+    def test_distinct_near_zero_values_differ(self):
+        # Relative-only tolerance: tiny rates that differ by orders
+        # of magnitude must not be equated by an absolute epsilon.
+        old = workgroup_model()
+        new = with_global_changes(old, mttm_hours=1e-14)
+        assert len(diff_models(old, new)) == 1
+
+    def test_global_float_noise_ignored(self):
+        old = workgroup_model()
+        value = old.global_parameters.mttm_hours
+        new = with_global_changes(old, mttm_hours=value * (1.0 + 1e-15))
+        assert diff_models(old, new) == []
