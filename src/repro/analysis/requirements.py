@@ -15,7 +15,7 @@ from typing import Optional
 
 from ..core.block import DiagramBlockModel
 from ..core.translator import translate
-from ..errors import SolverError
+from ..errors import BracketError, SolverError
 from ..units import (
     MINUTES_PER_YEAR,
     availability_to_yearly_downtime_minutes,
@@ -111,8 +111,9 @@ def solve_parameter_for_target(
     field: MTBFs, repair times, probabilities).  ``path`` selects a
     block field; ``path=None`` solves a global field.
 
-    Returns the boundary value; raises if the bracket does not span the
-    target.
+    Returns the boundary value; raises :class:`~repro.errors.BracketError`
+    — carrying both evaluated endpoints — if the bracket does not span
+    the target.
     """
     if not 0.0 < target_availability < 1.0:
         raise SolverError(
@@ -132,10 +133,12 @@ def solve_parameter_for_target(
     a_low = availability_at(low)
     a_high = availability_at(high)
     if (a_low - target_availability) * (a_high - target_availability) > 0:
-        raise SolverError(
-            f"bracket [{low}, {high}] does not span the target: "
-            f"A({low}) = {a_low:.8f}, A({high}) = {a_high:.8f}, "
-            f"target {target_availability:.8f}"
+        raise BracketError(
+            low=low,
+            high=high,
+            low_value=a_low,
+            high_value=a_high,
+            target=target_availability,
         )
     increasing = a_high > a_low
     lo, hi = low, high

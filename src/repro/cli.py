@@ -30,6 +30,11 @@ Usage (installed as ``rascad``, or ``python -m repro``):
     rascad models check model.json --name myserver --tag prod
     rascad models tag myserver prod a1b2c3d4   # move a tag
     rascad models rollback myserver prod       # undo the last move
+    rascad importance model.json       # Birnbaum importance ranking
+    rascad study run study.json        # design-space Pareto search
+    rascad study status                # recorded studies
+    rascad study front study-ab12..    # a study's cost/downtime front
+    rascad study publish study-ab12.. --tag prod  # winner -> registry
 
 Specs are the JSON engineering-language format of :mod:`repro.spec`;
 part numbers resolve against the builtin catalog unless ``--database``
@@ -908,6 +913,207 @@ def _cmd_models_check(args: argparse.Namespace) -> int:
     return 1 if rejected else 0
 
 
+def _cmd_importance(args: argparse.Namespace) -> int:
+    from .analysis import birnbaum_importance
+
+    _configure_obs(args)
+    model = _load(args)
+    engine = _engine_from_args(args)
+    solution = engine.solve(model, _solver_options_from_args(args))
+    _persist_stats(engine, args)
+    print(f"model        : {model.name}")
+    print(f"availability : {solution.availability:.8f}")
+    print()
+    print(f"{'birnbaum':>10}  {'avail':>10}  {'potential min/yr':>16}  "
+          "block")
+    for row in birnbaum_importance(solution):
+        print(f"{row.birnbaum:>10.6f}  {row.availability:>10.6f}  "
+              f"{row.potential_downtime_minutes:>16.3f}  {row.path}")
+    return 0
+
+
+def _study_store_open(args: argparse.Namespace):
+    """The study store a ``rascad study`` subcommand works against.
+
+    Shares the server's layout: ``STUDIES_DIR`` explicitly, else
+    ``CACHE_DIR/studies``, falling back to the default cache
+    directory — so CLI runs and a ``--cache-dir`` server see the same
+    records.
+    """
+    from pathlib import Path
+
+    from .studies import StudyStore
+
+    directory = getattr(args, "studies_dir", None)
+    if directory is None:
+        base = getattr(args, "cache_dir", None) or default_cache_dir()
+        directory = Path(base) / "studies"
+    return StudyStore(directory)
+
+
+def _study_parse(args: argparse.Namespace, document):
+    """Parse a study document against the selected parts catalog."""
+    from .studies import parse_study
+
+    database = (
+        PartsDatabase.load(args.database)
+        if args.database
+        else builtin_database()
+    )
+    return parse_study(document, database=database), database
+
+
+def _cmd_study_run(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .render import render_front_table
+    from .studies import run_study, study_digest
+
+    _configure_obs(args)
+    document = json.loads(Path(args.study).read_text())
+    if args.base is not None:
+        document["base"] = json.loads(Path(args.base).read_text())
+    study, database = _study_parse(args, document)
+    study_id = study_digest(study, database=database)
+    store = _study_store_open(args)
+    record, created = store.submit(study_id, study.to_dict())
+    if not created and record.get("state") == "succeeded" and not args.rerun:
+        print(f"{study_id} already solved (--rerun to force)")
+        print()
+        print(render_front_table(record["result"]))
+        return 0
+    engine = _engine_from_args(args)
+    try:
+        result = run_study(study, engine=engine, database=database)
+    except RascadError as error:
+        store.fail(study_id, f"{type(error).__name__}: {error}")
+        raise
+    finally:
+        _persist_stats(engine, args)
+    store.succeed(study_id, result)
+    print(f"study     : {study_id}")
+    print(f"digest    : {result['result_digest']}")
+    print()
+    print(render_front_table(result))
+    return 0
+
+
+def _cmd_study_status(args: argparse.Namespace) -> int:
+    store = _study_store_open(args)
+    if args.id is not None:
+        record = store.get(args.id)
+        print(f"study    : {record['study_id']}")
+        print(f"name     : {record.get('name')}")
+        print(f"strategy : {record.get('strategy')}")
+        print(f"state    : {record.get('state')}")
+        if record.get("error"):
+            print(f"error    : {record['error']}")
+        result = record.get("result")
+        if isinstance(result, dict):
+            print(f"evaluated: {result.get('evaluated')} "
+                  f"({result.get('feasible')} feasible)")
+            print(f"front    : {result.get('front')}")
+            print(f"winner   : {result.get('winner')}")
+            print(f"digest   : {result.get('result_digest')}")
+        return 0
+    summaries = store.list()
+    if not summaries:
+        print("no studies recorded")
+        return 0
+    print(f"{'study id':<40} {'strategy':<10} {'state':<10} "
+          f"{'eval':>5} {'front':>5}  name")
+    for row in summaries:
+        evaluated = row["evaluated"] if row["evaluated"] is not None else "-"
+        front = row["front_size"] if row["front_size"] is not None else "-"
+        print(f"{row['study_id']:<40} {row['strategy']:<10} "
+              f"{row['state']:<10} {evaluated:>5} {front:>5}  "
+              f"{row['name']}")
+    return 0
+
+
+def _study_result(store, study_id):
+    record = store.get(study_id)
+    result = record.get("result")
+    if not isinstance(result, dict):
+        raise RascadError(
+            f"study {study_id} is {record.get('state')}; no result "
+            "to render"
+        )
+    return record, result
+
+
+def _cmd_study_front(args: argparse.Namespace) -> int:
+    from .render import front_to_dot, render_front_table
+
+    _, result = _study_result(_study_store_open(args), args.id)
+    print(front_to_dot(result) if args.dot else render_front_table(result))
+    return 0
+
+
+def _cmd_study_publish(args: argparse.Namespace) -> int:
+    from .spec import model_to_spec
+    from .studies import CandidateFactory, parse_study
+
+    _configure_obs(args)
+    store = _study_store_open(args)
+    record, result = _study_result(store, args.id)
+    winner = result.get("winner")
+    if winner is None:
+        raise RascadError(
+            f"study {args.id} has an empty front; nothing to publish"
+        )
+    rows = [
+        row for row in result.get("candidates", [])
+        if row.get("index") == winner
+    ]
+    if not rows:
+        raise RascadError(
+            f"study {args.id} result names winner {winner} but has "
+            "no such candidate row"
+        )
+    engine = _engine_from_args(args)
+    registry = _registry_open(args, engine=engine)
+    try:
+        study = parse_study(
+            record["document"], database=registry.database
+        )
+        base_model = parse_spec_document(
+            study.base, registry.database
+        )
+        factory = CandidateFactory(study, base_model, registry.database)
+        candidate = factory.build(tuple(rows[0]["assignment"]))
+        spec_doc = model_to_spec(candidate.model)
+        name = args.name or _model_slug(f"{study.name}-winner")
+        publish = registry.publish(
+            spec_doc, name,
+            description=args.description,
+            tag=args.tag,
+            force=args.force,
+            source={
+                "study_id": args.id,
+                "candidate": winner,
+                "result_digest": result.get("result_digest"),
+            },
+        )
+    finally:
+        _persist_stats(engine, args)
+        registry.close()
+    verb = "published" if publish.created else "already published"
+    print(f"{verb} {name}@{publish.version.digest[:12]} "
+          f"from study {args.id} candidate {winner}")
+    print(f"cost      : {rows[0]['cost']:.2f}")
+    print(f"downtime  : {rows[0]['yearly_downtime_minutes']:.3f} min/yr")
+    return 0
+
+
+def parse_spec_document(base, database):
+    """Parse an inline base spec document (study publish helper)."""
+    from .spec import parse_spec
+
+    return parse_spec(dict(base), database=database)
+
+
 def _cmd_parts(args: argparse.Namespace) -> int:
     database = (
         PartsDatabase.load(args.database)
@@ -1013,6 +1219,14 @@ def build_parser() -> argparse.ArgumentParser:
     report = commands.add_parser("report", help="markdown RAS report")
     report.add_argument("spec")
     report.set_defaults(handler=_cmd_report)
+
+    importance = commands.add_parser(
+        "importance",
+        help="Birnbaum importance and improvement potentials",
+    )
+    importance.add_argument("spec")
+    add_engine_flags(importance)
+    importance.set_defaults(handler=_cmd_importance)
 
     budget = commands.add_parser("budget", help="downtime budget")
     budget.add_argument("spec")
@@ -1204,11 +1418,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     submit = jobs_commands.add_parser(
-        "submit", help="enqueue a sweep/uncertainty/validate job"
+        "submit", help="enqueue a sweep/uncertainty/validate/study job"
     )
     submit.add_argument("spec", help="model spec file")
     submit.add_argument(
-        "--kind", choices=["sweep", "uncertainty", "validate"],
+        "--kind", choices=["sweep", "uncertainty", "validate", "study"],
         default="sweep",
     )
     submit.add_argument("--block", default=None,
@@ -1234,7 +1448,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--params", default=None, metavar="PARAMS.json",
         help="kind-specific parameters as a JSON file (merged under "
-             "any explicit flags; required for uncertainty jobs)",
+             "any explicit flags; required for uncertainty and "
+             "study jobs — a study's params are the study document "
+             "minus 'base')",
     )
     submit.add_argument("--priority", type=int, default=0,
                         help="higher runs first (default: 0)")
@@ -1252,7 +1468,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["queued", "running", "succeeded",
                                 "failed", "cancelled"])
     jlist.add_argument("--kind", default=None,
-                       choices=["sweep", "uncertainty", "validate"])
+                       choices=["sweep", "uncertainty", "validate",
+                                "study"])
     jlist.add_argument("--limit", type=int, default=50)
     add_db_flag(jlist)
     jlist.set_defaults(handler=_cmd_jobs_list)
@@ -1491,6 +1708,87 @@ def build_parser() -> argparse.ArgumentParser:
     add_registry_flag(check)
     add_engine_flags(check)
     check.set_defaults(handler=_cmd_models_check)
+
+    study = commands.add_parser(
+        "study",
+        help="design-space studies (run, status, front, publish)",
+    )
+    study_commands = study.add_subparsers(
+        dest="study_command", required=True
+    )
+
+    def add_studies_flag(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--studies-dir", default=None, metavar="DIR",
+            help="study record directory "
+                 "(default: CACHE_DIR/studies, ~/.cache/rascad/studies)",
+        )
+
+    run = study_commands.add_parser(
+        "run", help="run a study document and print its Pareto front"
+    )
+    run.add_argument("study", help="study document file (JSON)")
+    run.add_argument(
+        "--base", default=None, metavar="SPEC.json",
+        help="base model spec file (overrides the document's 'base')",
+    )
+    run.add_argument(
+        "--rerun", action="store_true",
+        help="re-run even if this study id already has a result",
+    )
+    add_studies_flag(run)
+    add_engine_flags(run)
+    run.set_defaults(handler=_cmd_study_run)
+
+    sstatus = study_commands.add_parser(
+        "status", help="recorded studies, or one study's state"
+    )
+    sstatus.add_argument("id", nargs="?", default=None,
+                         help="study id (omit to list all)")
+    add_studies_flag(sstatus)
+    sstatus.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache directory holding studies/")
+    sstatus.set_defaults(handler=_cmd_study_status)
+
+    front = study_commands.add_parser(
+        "front", help="a finished study's Pareto front"
+    )
+    front.add_argument("id", help="study id")
+    front.add_argument(
+        "--dot", action="store_true",
+        help="emit a Graphviz scatter (render with dot -Kneato)",
+    )
+    add_studies_flag(front)
+    front.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory holding studies/")
+    front.set_defaults(handler=_cmd_study_front)
+
+    spublish = study_commands.add_parser(
+        "publish",
+        help="publish a study's winning candidate to the model "
+             "registry, with the study id in its lineage",
+    )
+    spublish.add_argument("id", help="study id")
+    spublish.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="registry model name (default: slug of '<study>-winner')",
+    )
+    spublish.add_argument(
+        "--tag", default=None, metavar="TAG",
+        help="also point TAG at the published version (gated)",
+    )
+    spublish.add_argument(
+        "--force", action="store_true",
+        help="override a regression-gate rejection (recorded)",
+    )
+    spublish.add_argument(
+        "--description", default=None,
+        help="one-line model description (first publish wins)",
+    )
+    add_studies_flag(spublish)
+    add_registry_flag(spublish)
+    add_engine_flags(spublish)
+    spublish.set_defaults(handler=_cmd_study_publish)
 
     return parser
 

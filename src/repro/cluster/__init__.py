@@ -56,6 +56,7 @@ from .sharding import (
 )
 from .workloads import (
     BatchSolveWorkload,
+    StudyWorkload,
     SweepWorkload,
     UncertaintyWorkload,
     uncertainty_workload,
@@ -73,6 +74,7 @@ __all__ = [
     "Shard",
     "ShardFailedError",
     "ShardStore",
+    "StudyWorkload",
     "SweepWorkload",
     "UncertaintyWorkload",
     "WorkerCallError",

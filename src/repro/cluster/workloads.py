@@ -227,6 +227,55 @@ class UncertaintyWorkload(BatchSolveWorkload):
         }
 
 
+class StudyWorkload(BatchSolveWorkload):
+    """One study *round* as a sharded batch of candidate solves.
+
+    A design-space study is adaptive — round N+1's candidates depend
+    on round N's availabilities — so the whole study cannot be one
+    fixed workload.  Instead the study runner fans each round out as
+    one of these: the candidates' spec documents become a batch solve
+    whose digest ties it to ``(study id, round index)``, and
+    ``aggregate`` folds the shard points into the flat availability
+    list the round generator is waiting for.  Everything downstream
+    (dedup, constraints, the Pareto front) is recomputed from the
+    complete trace by :func:`repro.studies.aggregate_study`, so the
+    merged front is bit-identical to a single-process run.
+    """
+
+    kind = "study"
+
+    def __init__(
+        self,
+        study_id: str,
+        round_index: int,
+        specs: Sequence[Mapping[str, object]],
+        solver: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        super().__init__(specs, solver=solver)
+        self.study_id = study_id
+        self.round_index = round_index
+        self.digest = _canonical_digest({
+            "kind": self.kind,
+            "study_id": study_id,
+            "round": round_index,
+            "specs": self.specs,
+            "solver": self.solver,
+        })
+
+    def aggregate(
+        self, points: List[Mapping[str, object]]
+    ) -> Dict[str, object]:
+        return {
+            "kind": "study_round",
+            "study_id": self.study_id,
+            "round": self.round_index,
+            "count": len(points),
+            "availabilities": [
+                float(point["availability"]) for point in points
+            ],
+        }
+
+
 def uncertainty_workload(
     spec: Mapping[str, object],
     uncertain: Sequence[Mapping[str, object]],

@@ -6,7 +6,7 @@ names a part number inherits that part's RAS defaults, which its own
 spec fields may then override.
 """
 
-from .parts import PartRecord, PartsDatabase
+from .parts import PartRecord, PartsDatabase, model_cost
 from .builtin import builtin_database
 
-__all__ = ["PartRecord", "PartsDatabase", "builtin_database"]
+__all__ = ["PartRecord", "PartsDatabase", "builtin_database", "model_cost"]

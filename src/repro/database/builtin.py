@@ -21,6 +21,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=45.0,
         corrective_minutes=60.0,
         verification_minutes=30.0,
+        cost=4_500.0,
     ),
     PartRecord(
         part_number="CPU-400",
@@ -30,6 +31,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=30.0,
         corrective_minutes=20.0,
         verification_minutes=15.0,
+        cost=2_400.0,
     ),
     PartRecord(
         part_number="MEM-1G",
@@ -39,6 +41,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=25.0,
         corrective_minutes=15.0,
         verification_minutes=10.0,
+        cost=1_800.0,
     ),
     PartRecord(
         part_number="PSU-650",
@@ -48,6 +51,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=10.0,
         corrective_minutes=10.0,
         verification_minutes=5.0,
+        cost=600.0,
     ),
     PartRecord(
         part_number="FAN-92",
@@ -57,6 +61,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=5.0,
         corrective_minutes=5.0,
         verification_minutes=5.0,
+        cost=80.0,
     ),
     PartRecord(
         part_number="HDD-36G",
@@ -66,6 +71,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=15.0,
         corrective_minutes=10.0,
         verification_minutes=120.0,  # data restore / resync dominates
+        cost=900.0,
     ),
     PartRecord(
         part_number="IOB-PCI",
@@ -75,6 +81,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=30.0,
         corrective_minutes=25.0,
         verification_minutes=15.0,
+        cost=1_200.0,
     ),
     PartRecord(
         part_number="NIC-GE",
@@ -84,6 +91,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=20.0,
         corrective_minutes=10.0,
         verification_minutes=10.0,
+        cost=400.0,
     ),
     PartRecord(
         part_number="HBA-FC",
@@ -93,6 +101,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=20.0,
         corrective_minutes=10.0,
         verification_minutes=15.0,
+        cost=700.0,
     ),
     PartRecord(
         part_number="RAIDC-01",
@@ -102,6 +111,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=25.0,
         corrective_minutes=20.0,
         verification_minutes=30.0,
+        cost=1_500.0,
     ),
     PartRecord(
         part_number="BKPL-FCAL",
@@ -111,6 +121,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=30.0,
         corrective_minutes=45.0,
         verification_minutes=15.0,
+        cost=650.0,
     ),
     PartRecord(
         part_number="SWBD-16",
@@ -120,6 +131,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=30.0,
         corrective_minutes=20.0,
         verification_minutes=15.0,
+        cost=2_200.0,
     ),
     PartRecord(
         part_number="CLKBD-01",
@@ -129,6 +141,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=30.0,
         corrective_minutes=30.0,
         verification_minutes=15.0,
+        cost=950.0,
     ),
     PartRecord(
         part_number="SCBD-01",
@@ -138,6 +151,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=30.0,
         corrective_minutes=25.0,
         verification_minutes=20.0,
+        cost=1_700.0,
     ),
     PartRecord(
         part_number="TAPE-DLT",
@@ -147,6 +161,7 @@ _BUILTIN_RECORDS = [
         diagnosis_minutes=15.0,
         corrective_minutes=15.0,
         verification_minutes=20.0,
+        cost=1_100.0,
     ),
 ]
 

@@ -26,6 +26,10 @@ class PartRecord:
     diagnosis_minutes: float = 30.0
     corrective_minutes: float = 30.0
     verification_minutes: float = 30.0
+    #: Per-unit acquisition cost in arbitrary currency units.  Zero
+    #: means "not priced" — cost roll-ups count such parts as free
+    #: rather than failing, so catalogs predating the field still load.
+    cost: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.part_number:
@@ -39,6 +43,11 @@ class PartRecord:
             raise DatabaseError(
                 f"{self.part_number}: FIT must be non-negative, "
                 f"got {self.transient_fit}"
+            )
+        if self.cost < 0:
+            raise DatabaseError(
+                f"{self.part_number}: cost must be non-negative, "
+                f"got {self.cost}"
             )
 
     def as_block_fields(self) -> Dict[str, float]:
@@ -121,3 +130,23 @@ class PartsDatabase:
     @classmethod
     def load(cls, path: Union[str, Path]) -> "PartsDatabase":
         return cls.from_json(Path(path).read_text())
+
+
+def model_cost(model, database: PartsDatabase) -> float:
+    """Sum the catalog cost of every FRU a model deploys.
+
+    The roll-up is solve-free: ``quantity x per-unit cost`` over every
+    block carrying a ``part_number``, matching ``component_count``'s
+    convention that quantities are per-diagram counts (not multiplied
+    through parent levels).  Blocks without a part number — and parts
+    priced at the 0.0 "not priced" default — contribute nothing.
+    Unknown part numbers raise :class:`~repro.errors.DatabaseError`.
+    """
+    total = 0.0
+    for _level, _path, block in model.walk():
+        part_number = block.parameters.part_number
+        if not part_number:
+            continue
+        record = database.lookup(part_number)
+        total += block.parameters.quantity * record.cost
+    return total

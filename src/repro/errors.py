@@ -45,6 +45,47 @@ class UnknownBackendError(SolverError):
         )
 
 
+class BracketError(SolverError):
+    """A root-finding bracket does not span the requested target.
+
+    Raised with the evaluated endpoints attached, so callers (and the
+    HTTP error envelope) can show *why* the search is hopeless instead
+    of a bare "did not converge".
+
+    Attributes:
+        low / high: The bracket endpoints that were evaluated.
+        low_value / high_value: The objective at each endpoint.
+        target: The requested objective value.
+        details: The same numbers as a JSON-ready mapping.
+    """
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        low_value: float,
+        high_value: float,
+        target: float,
+    ) -> None:
+        self.low = low
+        self.high = high
+        self.low_value = low_value
+        self.high_value = high_value
+        self.target = target
+        self.details = {
+            "low": low,
+            "high": high,
+            "low_value": low_value,
+            "high_value": high_value,
+            "target": target,
+        }
+        super().__init__(
+            f"bracket [{low}, {high}] does not span the target: "
+            f"f({low}) = {low_value:.8f}, f({high}) = {high_value:.8f}, "
+            f"target {target:.8f}"
+        )
+
+
 class DatabaseError(RascadError):
     """A part-number lookup against the component database failed."""
 

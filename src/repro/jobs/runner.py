@@ -104,11 +104,20 @@ class Checkpointer:
 
 @dataclass
 class Plan:
-    """A job decomposed into point computations plus an aggregation."""
+    """A job decomposed into point computations plus an aggregation.
+
+    ``solve_range(lo, hi)`` may return fewer than ``hi - lo`` values —
+    adaptive kinds (studies) clamp chunks to their round boundaries,
+    and the runner simply keeps calling until ``total`` values exist.
+    ``resume``, when set, is called once with the checkpointed value
+    prefix before any solving, so plans that carry internal search
+    state (again: studies) can replay it.
+    """
 
     total: int
     solve_range: Callable[[int, int], List[float]]
     aggregate: Callable[[List[float]], Dict[str, object]]
+    resume: Optional[Callable[[List[float]], None]] = None
 
 
 def _require(params, key: str, kind_name: str):
@@ -163,6 +172,8 @@ def plan_job(
         return _plan_uncertainty(spec, model, engine)
     if spec.kind == "validate":
         return _plan_validate(spec, model, engine)
+    if spec.kind == "study":
+        return _plan_study(spec, model, engine)
     raise SpecError(f"unknown job kind {spec.kind!r}")
 
 
@@ -330,6 +341,61 @@ def _plan_validate(
     return Plan(replications, solve_range, aggregate)
 
 
+def _plan_study(
+    spec: JobSpec, model: DiagramBlockModel, engine: Engine
+) -> Plan:
+    """A checkpointed, resumable design-space study.
+
+    The study document is the job spec's model document as ``base``
+    plus the search parameters from ``params``.  Strategy rounds are a
+    pure function of the availability prefix, so the checkpointed
+    scalar list *is* the whole search state: ``resume`` replays it,
+    ``solve_range`` evaluates the current round's remainder (clamped
+    to the chunk), and ``aggregate`` recomputes everything else.
+    """
+    from ..database import builtin_database
+    from ..studies import (
+        aggregate_study,
+        make_strategy,
+        parse_study,
+        replay,
+    )
+    from ..studies.runner import evaluate_candidates
+    from ..studies.spec import SEARCH_KEYS
+
+    params = spec.params
+    document: Dict[str, object] = {"base": dict(spec.spec)}
+    for key in SEARCH_KEYS:
+        if key in params:
+            document[key] = params[key]
+    database = builtin_database()
+    study = parse_study(document, database=database)
+    strategy = make_strategy(study, model, database)
+    history: List[float] = []
+
+    def resume(values: List[float]) -> None:
+        history[:] = list(values)
+
+    def solve_range(lo: int, hi: int) -> List[float]:
+        if len(history) != lo:
+            raise SolverError(
+                f"study plan out of sync: history has {len(history)} "
+                f"values, runner asked for range [{lo}, {hi})"
+            )
+        _trace, pending = replay(strategy, history)
+        chunk = pending[:hi - lo]
+        availabilities = evaluate_candidates(engine, chunk, study.method)
+        history.extend(availabilities)
+        return availabilities
+
+    def aggregate(availabilities: List[float]) -> Dict[str, object]:
+        return aggregate_study(
+            study, strategy, availabilities, database=database
+        )
+
+    return Plan(strategy.total(), solve_range, aggregate, resume=resume)
+
+
 # ----------------------------------------------------------------------
 # execution
 # ----------------------------------------------------------------------
@@ -368,6 +434,8 @@ def execute_job(
     values = list(checkpoint.values) if checkpoint is not None else []
     if values:
         stats.increment("jobs_points_resumed", len(values))
+    if plan.resume is not None:
+        plan.resume(list(values))
 
     tracer = get_tracer()
     log = get_logger("jobs")

@@ -31,7 +31,7 @@ from ..semimarkov.distributions import (
 from ..spec import parse_spec
 
 #: Workload kinds the runner knows how to execute.
-JOB_KINDS = ("sweep", "uncertainty", "validate")
+JOB_KINDS = ("sweep", "uncertainty", "validate", "study")
 
 #: Job state machine.  ``queued -> running -> succeeded | failed |
 #: cancelled``; a transient failure or an expired lease moves a running
@@ -99,6 +99,10 @@ class JobSpec:
               distribution}``), ``samples``, ``seed``.
             * ``validate`` — ``replications``, ``horizon``, ``seed``,
               ``method``.
+            * ``study`` — the study document minus ``base`` (``spec``
+              is the base model): ``variables`` (required),
+              ``strategy``, ``options``, ``constraints``, ``method``,
+              ``name``.
         priority: Higher runs first among queued jobs.
         max_attempts: Execution attempts before a transient failure
             becomes permanent.

@@ -112,6 +112,7 @@ class ModelRegistry:
         force: bool = False,
         threshold: Optional[float] = None,
         evaluate: bool = True,
+        source: Optional[Dict[str, object]] = None,
     ) -> PublishResult:
         """Publish a spec as a version of ``name``; optionally tag it.
 
@@ -120,7 +121,9 @@ class ModelRegistry:
         form, and stored verbatim — resolution returns the exact
         document, so ref-based solving is bit-identical to inline
         submission.  Idempotent: re-publishing an existing digest
-        creates nothing and never rewrites lineage.
+        creates nothing and never rewrites lineage.  ``source``
+        records provenance on *new* versions (e.g. ``{"study_id":
+        ...}`` when a study publishes its winner).
         """
         valid_name(name)
         if tag is not None:
@@ -142,7 +145,7 @@ class ModelRegistry:
                 )
                 self.store.insert_version(
                     name, digest, dict(spec), parent, diff,
-                    evaluation, now,
+                    evaluation, now, source=source,
                 )
             gate = self._gate(
                 name, digest, model, tag, force, threshold
@@ -416,4 +419,8 @@ class ModelRegistry:
                 else dict(row["evaluation"])
             ),
             created_at=float(row["created_at"]),
+            source=(
+                None if row.get("source") is None
+                else dict(row["source"])
+            ),
         )

@@ -46,6 +46,7 @@ CREATE TABLE IF NOT EXISTS registry_versions (
     diff          TEXT NOT NULL DEFAULT '[]',
     evaluation    TEXT,
     created_at    REAL NOT NULL,
+    source        TEXT,
     PRIMARY KEY (name, digest)
 );
 CREATE TABLE IF NOT EXISTS registry_tags (
@@ -67,6 +68,23 @@ CREATE INDEX IF NOT EXISTS idx_registry_tag_history
 """
 
 
+def _migrate(conn: sqlite3.Connection) -> None:
+    """Bring a pre-existing database up to the current schema.
+
+    ``source`` (nullable JSON: where a version came from, e.g. the
+    study that selected it) postdates the original table, so opening
+    an older file adds the column in place.
+    """
+    columns = {
+        row[1]
+        for row in conn.execute("PRAGMA table_info(registry_versions)")
+    }
+    if "source" not in columns:
+        conn.execute(
+            "ALTER TABLE registry_versions ADD COLUMN source TEXT"
+        )
+
+
 class RegistryStore:
     """SQLite-backed storage for models, versions, tags, and history."""
 
@@ -81,12 +99,14 @@ class RegistryStore:
             self._memory.row_factory = sqlite3.Row
             with self._lock, self._memory:
                 self._memory.executescript(_SCHEMA)
+                _migrate(self._memory)
         else:
             resolved = Path(self.path).expanduser()
             resolved.parent.mkdir(parents=True, exist_ok=True)
             self.path = str(resolved)
             with self._connect() as conn:
                 conn.executescript(_SCHEMA)
+                _migrate(conn)
 
     @contextmanager
     def _connect(self) -> Iterator[sqlite3.Connection]:
@@ -199,6 +219,7 @@ class RegistryStore:
         diff: List[Dict[str, object]],
         evaluation: Optional[Dict[str, float]],
         now: Optional[float] = None,
+        source: Optional[Dict[str, object]] = None,
     ) -> bool:
         """Insert an immutable version row; returns ``created``.
 
@@ -210,7 +231,7 @@ class RegistryStore:
             cursor = conn.execute(
                 "INSERT OR IGNORE INTO registry_versions "
                 "(name, digest, spec, parent_digest, diff, evaluation,"
-                " created_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                " created_at, source) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     name, digest,
                     json.dumps(spec, sort_keys=True),
@@ -219,6 +240,8 @@ class RegistryStore:
                     None if evaluation is None
                     else json.dumps(evaluation, sort_keys=True),
                     now,
+                    None if source is None
+                    else json.dumps(source, sort_keys=True),
                 ),
             )
             return cursor.rowcount == 1
@@ -308,6 +331,10 @@ class RegistryStore:
                 else json.loads(row["evaluation"])
             ),
             "created_at": row["created_at"],
+            "source": (
+                None if row["source"] is None
+                else json.loads(row["source"])
+            ),
         }
 
     # ------------------------------------------------------------------

@@ -145,6 +145,9 @@ class VersionRecord:
     diff: List[Dict[str, object]]
     evaluation: Optional[Dict[str, float]]
     created_at: float
+    #: Provenance of the version (e.g. the study that selected it),
+    #: or ``None`` for direct publishes.
+    source: Optional[Dict[str, object]] = None
 
     def to_dict(self, include_spec: bool = False) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -154,6 +157,7 @@ class VersionRecord:
             "diff": self.diff,
             "evaluation": self.evaluation,
             "created_at": self.created_at,
+            "source": self.source,
         }
         if include_spec:
             payload["spec"] = self.spec

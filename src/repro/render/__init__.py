@@ -7,12 +7,15 @@ generated Markov chains, and full markdown model reports.
 
 from .ascii import render_model_tree, render_chain_table
 from .dot import chain_to_dot, model_to_dot
+from .front import front_to_dot, render_front_table
 from .report import model_report
 
 __all__ = [
     "render_model_tree",
     "render_chain_table",
     "chain_to_dot",
+    "front_to_dot",
     "model_to_dot",
     "model_report",
+    "render_front_table",
 ]

@@ -1,0 +1,123 @@
+"""Rendering of design-space study results: Pareto fronts.
+
+Two views of a finished study payload (the document
+:func:`repro.studies.aggregate_study` produces):
+
+* :func:`render_front_table` — an aligned text table of the
+  non-dominated candidates, cheapest first, with the winner marked.
+* :func:`front_to_dot` — a Graphviz-dot scatter of *all* evaluated
+  candidates in cost/downtime space, front members highlighted, so
+  ``dot -Kneato -Tsvg`` draws the trade-off curve directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..errors import SpecError
+
+
+def _front_rows(payload: Mapping[str, object]) -> List[Mapping[str, object]]:
+    from ..studies import front_rows
+
+    if not isinstance(payload, Mapping) or "front" not in payload:
+        raise SpecError(
+            "expected a finished study payload with a 'front' key"
+        )
+    return front_rows(payload)
+
+
+def _changes_text(row: Mapping[str, object]) -> str:
+    changes = row.get("changes") or []
+    parts = []
+    for change in changes:
+        where = change.get("path") or "(global)"
+        parts.append(
+            f"{where}.{change.get('field')}={change.get('value')}"
+        )
+    return ", ".join(parts) if parts else "(base model)"
+
+
+def render_front_table(payload: Mapping[str, object]) -> str:
+    """The Pareto front as aligned text, cheapest candidate first."""
+    rows = _front_rows(payload)
+    winner = payload.get("winner")
+    lines: List[str] = [
+        f"Study: {payload.get('name')}  "
+        f"[{payload.get('strategy')}; {payload.get('evaluated')} evaluated, "
+        f"{payload.get('feasible')} feasible, {len(rows)} on front]"
+    ]
+    lines.append("")
+    header = (
+        f"{'':>2} {'idx':>4} {'cost':>12} {'downtime min/yr':>16} "
+        f"{'availability':>14}  changes"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in sorted(rows, key=lambda r: (r["cost"], r["index"])):
+        mark = "*" if row["index"] == winner else ""
+        lines.append(
+            f"{mark:>2} {row['index']:>4} {row['cost']:>12.2f} "
+            f"{row['yearly_downtime_minutes']:>16.4f} "
+            f"{row['availability']:>14.9f}  {_changes_text(row)}"
+        )
+    lines.append("")
+    lines.append("* = winner (lowest downtime, ties broken by cost)")
+    return "\n".join(lines)
+
+
+def front_to_dot(payload: Mapping[str, object]) -> str:
+    """All evaluated candidates as a dot scatter in objective space.
+
+    Positions are ``pos="cost,downtime!"`` pinned coordinates (render
+    with ``-Kneato``), normalized to a 10x10 canvas; front members are
+    filled, dominated candidates grey, infeasible ones hollow.
+    """
+    rows = _front_rows(payload)
+    front_indexes = {row["index"] for row in rows}
+    winner = payload.get("winner")
+    candidates = [
+        row for row in payload.get("candidates", [])
+        if row.get("valid")
+    ]
+    costs = [float(row["cost"]) for row in candidates]
+    downtimes = [
+        float(row["yearly_downtime_minutes"]) for row in candidates
+    ]
+
+    def scaled(value: float, values: List[float]) -> float:
+        lo, hi = min(values), max(values)
+        return 5.0 if hi == lo else 10.0 * (value - lo) / (hi - lo)
+
+    lines = [
+        "graph pareto_front {",
+        "    // x = cost, y = yearly downtime; render with -Kneato",
+        '    node [shape=circle, width=0.25, fixedsize=true, '
+        'fontsize=8];',
+    ]
+    for row, cost, downtime in zip(candidates, costs, downtimes):
+        index = row["index"]
+        x = scaled(cost, costs)
+        # Downtime grows downward so "better" is visually up.
+        y = 10.0 - scaled(downtime, downtimes)
+        if index == winner:
+            style = 'style=filled, fillcolor="#d62728"'
+        elif index in front_indexes:
+            style = 'style=filled, fillcolor="#1f77b4"'
+        elif row.get("feasible"):
+            style = 'style=filled, fillcolor="#cccccc"'
+        else:
+            style = "style=dashed"
+        lines.append(
+            f'    c{index} [label="{index}", pos="{x:.3f},{y:.3f}!", '
+            f"{style}, tooltip=\"cost={cost:.2f}, "
+            f'downtime={downtime:.4f}min/yr"];'
+        )
+    ordered = sorted(rows, key=lambda r: (r["cost"], r["index"]))
+    for left, right in zip(ordered, ordered[1:]):
+        lines.append(
+            f"    c{left['index']} -- c{right['index']} "
+            '[color="#1f77b4"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -76,6 +76,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..cluster import Coordinator
     from ..jobs import JobStore
     from ..registry import ModelRegistry
+    from ..studies import StudySpec, StudyStore
 
 from ..core import compute_measures
 from ..core.translator import SystemSolution
@@ -171,7 +172,10 @@ class App:
         default_solver: Optional[SolverOptions] = None,
         cluster: Optional["Coordinator"] = None,
         registry: Optional["ModelRegistry"] = None,
+        studies: Optional["StudyStore"] = None,
     ) -> None:
+        from ..studies import StudyStore
+
         self.engine = engine
         self.queue = queue
         self.database = database if database is not None else builtin_database()
@@ -179,6 +183,9 @@ class App:
         self.jobs = jobs
         self.cluster = cluster
         self.registry = registry
+        # Studies are always enabled: results are JSON documents, so
+        # an in-memory store costs nothing for embedded servers.
+        self.studies = studies if studies is not None else StudyStore()
         self.default_solver = (
             default_solver if default_solver is not None else SolverOptions()
         )
@@ -191,6 +198,8 @@ class App:
             "POST /v1/validate": self._validate,
             "POST /v1/jobs": self._jobs_submit,
             "GET /v1/jobs": self._jobs_index,
+            "POST /v1/studies": self._studies_submit,
+            "GET /v1/studies": self._studies_index,
             "GET /v1/models": self._models_index,
             "POST /v1/models": self._models_publish,
             "GET /v1/library": self._library_index,
@@ -274,6 +283,15 @@ class App:
             if request.path.endswith("/cancel"):
                 return f"{request.method} /v1/jobs/{{id}}/cancel"
             return f"{request.method} /v1/jobs/{{id}}"
+        if request.path.startswith("/v1/studies/"):
+            if request.path.endswith("/front"):
+                return f"{request.method} /v1/studies/{{id}}/front"
+            if "/candidates/" in request.path:
+                return (
+                    f"{request.method} "
+                    "/v1/studies/{id}/candidates/{index}"
+                )
+            return f"{request.method} /v1/studies/{{id}}"
         if request.path.startswith("/v1/models/"):
             tail = request.path[len("/v1/models/"):]
             if tail.endswith("/tags"):
@@ -296,6 +314,8 @@ class App:
             return self._library(request.path[len("/v1/library/"):])
         if request.path.startswith("/v1/jobs/"):
             return await self._jobs_item(request)
+        if request.path.startswith("/v1/studies/"):
+            return await self._studies_item(request)
         if request.path.startswith("/v1/models/"):
             return await self._models_item(request)
         handler = self._routes.get(f"{request.method} {request.path}")
@@ -707,6 +727,204 @@ class App:
         )
 
     # ------------------------------------------------------------------
+    # design-space study endpoints
+    # ------------------------------------------------------------------
+    def _study_document(
+        self, payload: Mapping[str, object]
+    ) -> Dict[str, object]:
+        """The study document with its base resolved at the front door.
+
+        Accepts an inline ``base`` spec or a ``model_ref`` registry
+        reference — resolution happens once, here, so ref-based
+        studies share their study id (and every cached candidate
+        solve) with inline submission of the same exploration.
+        """
+        from ..studies.spec import SEARCH_KEYS
+
+        has_base = "base" in payload
+        has_ref = "model_ref" in payload
+        if has_base == has_ref:
+            raise ProtocolError(
+                400, "invalid_request",
+                "provide either 'base' or 'model_ref', not "
+                + ("both" if has_base else "neither"),
+            )
+        if has_ref:
+            ref = _field(payload, "model_ref", str)
+            base = self._registry_required().resolve_spec(ref)
+        else:
+            base = _field(payload, "base", dict)
+        document: Dict[str, object] = {"base": dict(base)}
+        for key in SEARCH_KEYS:
+            if key in payload:
+                document[key] = payload[key]
+        return document
+
+    def _study_evaluator(self, study: "StudySpec", timeout):
+        """Per-round evaluation, fanned over the cluster when one is
+        attached and the round is worth sharding.
+
+        Candidates ship as plain batch solves with the study's solver
+        pinned, so a fleet-evaluated round returns bit-identical
+        availabilities to a local :meth:`Engine.solve_many` — the
+        merged front digest equals the single-process digest.
+        """
+        from ..cluster import StudyWorkload
+        from ..studies import INVALID_AVAILABILITY, study_digest
+        from ..studies.runner import evaluate_candidates
+
+        coordinator = self.cluster
+        study_id = study_digest(study, database=self.database)
+        solver = SolverOptions(steady_method=study.method).to_dict()
+        state = {"round": 0}
+
+        def evaluate(candidates):
+            round_index = state["round"]
+            state["round"] += 1
+            valid = [
+                (position, candidate)
+                for position, candidate in enumerate(candidates)
+                if candidate.model is not None
+            ]
+            if (
+                coordinator is None
+                or len(valid) < coordinator.config.fanout_threshold
+            ):
+                return evaluate_candidates(
+                    self.engine, candidates, study.method
+                )
+            workload = StudyWorkload(
+                study_id,
+                round_index,
+                [
+                    model_to_spec(candidate.model)
+                    for _position, candidate in valid
+                ],
+                solver=solver,
+            )
+            merged = coordinator.run_workload(workload, timeout)
+            availabilities = [INVALID_AVAILABILITY] * len(candidates)
+            for (position, _candidate), availability in zip(
+                valid, merged["availabilities"]
+            ):
+                availabilities[position] = float(availability)
+            self.engine.stats.increment("cluster_study_rounds")
+            return availabilities
+
+        return evaluate
+
+    def _run_study_sync(
+        self, study: "StudySpec", use_cluster: bool, timeout
+    ) -> Dict[str, object]:
+        from ..studies import run_study
+
+        evaluate = None
+        if use_cluster and self.cluster is not None:
+            evaluate = self._study_evaluator(study, timeout)
+        return run_study(
+            study,
+            engine=self.engine,
+            database=self.database,
+            evaluate=evaluate,
+        )
+
+    async def _studies_submit(self, request: Request) -> Response:
+        from ..studies import parse_study, study_digest
+
+        payload = request.json()
+        document = self._study_document(payload)
+        study = parse_study(document, database=self.database)
+        study_id = study_digest(study, database=self.database)
+        record, created = await asyncio.to_thread(
+            self.studies.submit, study_id, study.to_dict()
+        )
+        if not created and record.get("state") == "succeeded":
+            self.engine.stats.increment("studies_dedup_hits")
+            return json_response(
+                {"study": record, "created": False}, status=200
+            )
+        use_cluster = _field(
+            payload, "cluster", bool, required=False, default=True
+        )
+        timeout = _field(
+            payload, "timeout_seconds", float, required=False
+        )
+        try:
+            result = await asyncio.to_thread(
+                self._run_study_sync, study, use_cluster, timeout
+            )
+        except Exception as error:
+            await asyncio.to_thread(
+                self.studies.fail,
+                study_id,
+                f"{type(error).__name__}: {error}",
+            )
+            self.engine.stats.increment("studies_failed")
+            raise
+        record = await asyncio.to_thread(
+            self.studies.succeed, study_id, result
+        )
+        self.engine.stats.increment("studies_completed")
+        return json_response(
+            {"study": record, "created": created},
+            status=201 if created else 200,
+        )
+
+    async def _studies_index(self, request: Request) -> Response:
+        return json_response({
+            "studies": await asyncio.to_thread(self.studies.list),
+            "counts": await asyncio.to_thread(self.studies.counts),
+        })
+
+    async def _studies_item(self, request: Request) -> Response:
+        from ..studies import front_rows
+
+        if request.method != "GET":
+            return self._method_not_allowed(request)
+        tail = request.path[len("/v1/studies/"):]
+        parts = tail.split("/")
+        study_id = parts[0]
+        record = await asyncio.to_thread(self.studies.get, study_id)
+        if len(parts) == 1:
+            return json_response({"study": record})
+        result = record.get("result")
+        if not isinstance(result, dict):
+            return error_response(
+                409, "study_not_finished",
+                f"study {study_id} is {record.get('state')}; "
+                "no result yet",
+            )
+        if parts[1:] == ["front"]:
+            return json_response({
+                "study_id": study_id,
+                "front": front_rows(result),
+                "winner": result.get("winner"),
+                "result_digest": result.get("result_digest"),
+            })
+        if len(parts) == 3 and parts[1] == "candidates":
+            try:
+                index = int(parts[2])
+            except ValueError:
+                raise ProtocolError(
+                    400, "invalid_request",
+                    "candidate index must be an integer",
+                ) from None
+            for row in result.get("candidates", []):
+                if row.get("index") == index:
+                    return json_response({
+                        "study_id": study_id,
+                        "candidate": row,
+                        "on_front": index in result.get("front", []),
+                    })
+            return error_response(
+                404, "not_found",
+                f"study {study_id} has no candidate {index}",
+            )
+        return error_response(
+            404, "not_found", f"no route for {request.path!r}"
+        )
+
+    # ------------------------------------------------------------------
     # model-registry endpoints
     # ------------------------------------------------------------------
     def _registry_required(self) -> "ModelRegistry":
@@ -871,6 +1089,8 @@ class App:
         if self.jobs is not None:
             for state, count in self.jobs.counts().items():
                 section[f"jobs_{state}"] = count
+        for state, count in self.studies.counts().items():
+            section[f"studies_{state}"] = count
         if self.cluster is not None:
             section["cluster_workers_alive"] = len(
                 self.cluster.membership.alive()

@@ -168,6 +168,7 @@ class Server:
         self.jobs = self._build_job_store()
         self.coordinator = self._build_coordinator()
         self.registry = self._build_registry()
+        self.studies = self._build_study_store()
         self.app = App(
             self.engine,
             self.queue,
@@ -176,6 +177,7 @@ class Server:
             default_solver=self.config.default_solver,
             cluster=self.coordinator,
             registry=self.registry,
+            studies=self.studies,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown_requested: Optional[asyncio.Event] = None
@@ -269,6 +271,19 @@ class Server:
         if self.config.registry_seed:
             registry.seed_library()
         return registry
+
+    def _build_study_store(self):
+        """The study store behind ``/v1/studies``.
+
+        Studies persist as JSON documents under ``cache_dir/studies``
+        when a cache directory is configured (so ``rascad study
+        status`` sees server-run studies), else in memory.
+        """
+        from ..studies import StudyStore
+
+        if self.config.cache_dir is None:
+            return StudyStore()
+        return StudyStore(Path(self.config.cache_dir) / "studies")
 
     def _shutdown_event(self) -> asyncio.Event:
         # Created lazily: on Python 3.9 an Event binds the event loop

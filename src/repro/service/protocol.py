@@ -29,6 +29,7 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from ..cluster.config import ClusterError, NoWorkersError, ShardFailedError
+from ..studies.store import StudyNotFoundError
 from ..registry.types import (
     ModelNotFoundError,
     RefError,
@@ -37,6 +38,7 @@ from ..registry.types import (
     VersionNotFoundError,
 )
 from ..errors import (
+    BracketError,
     DatabaseError,
     EngineError,
     ModelError,
@@ -79,6 +81,7 @@ REASONS = {
 #: the first matching class wins, so subclasses precede their bases.
 ERROR_STATUS: Tuple[Tuple[type, int, str], ...] = (
     (RegressionError, 409, "regression_detected"),
+    (StudyNotFoundError, 404, "not_found"),
     (ModelNotFoundError, 404, "not_found"),
     (VersionNotFoundError, 404, "not_found"),
     (RefError, 400, "invalid_ref"),
@@ -91,6 +94,9 @@ ERROR_STATUS: Tuple[Tuple[type, int, str], ...] = (
     (ShardFailedError, 502, "shard_failed"),
     (ClusterError, 500, "cluster_failure"),
     (EngineError, 500, "engine_failure"),
+    # A hopeless bracket is the requester's target, not a numerical
+    # failure — 400, and before its SolverError base claims it as 500.
+    (BracketError, 400, "target_not_bracketed"),
     (SolverError, 500, "solver_failure"),
     (RascadError, 500, "internal_error"),
 )

@@ -1,0 +1,238 @@
+"""Materializing candidate designs from variable assignments.
+
+A candidate is one point of the search space: a value per decision
+variable, applied to the base model as the same immutable rebuilds the
+sweep layer uses.  Materialization is *total*: assignments that violate
+parameter validation (K > N and friends) yield an explicitly invalid
+candidate instead of raising, so search strategies keep a fixed,
+deterministic evaluation geometry whatever the assignment mix — an
+invalid candidate simply never gets a solve (its availability is pinned
+to the 0.0 sentinel) and never enters the front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..analysis.parametric import with_block_changes, with_global_changes
+from ..core.block import DiagramBlockModel
+from ..core.parameters import Scenario
+from ..database import PartsDatabase, model_cost
+from ..errors import SpecError
+from .spec import (
+    StudySpec,
+    Variable,
+    _INTEGER_FIELDS,
+    _SCENARIO_FIELDS,
+)
+
+#: Availability recorded for a candidate that cannot be built.
+INVALID_AVAILABILITY = 0.0
+
+#: One assignment: a value per study variable, in variable order.
+Assignment = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One materialized design point.
+
+    ``model`` is ``None`` for invalid assignments; ``changes`` is the
+    candidate's lineage back to the base spec — one structured entry
+    per variable whose assigned value differs from the base value.
+    """
+
+    assignment: Assignment
+    model: Optional[DiagramBlockModel]
+    cost: float
+    changes: Tuple[Dict[str, object], ...]
+
+    @property
+    def valid(self) -> bool:
+        return self.model is not None
+
+
+def _coerce(variable: Variable, value: object) -> object:
+    if variable.field in _SCENARIO_FIELDS:
+        return Scenario(str(value))
+    if variable.field in _INTEGER_FIELDS:
+        return int(value)  # type: ignore[arg-type]
+    return float(value)  # type: ignore[arg-type]
+
+
+def _display(value: object) -> object:
+    return value.value if isinstance(value, Scenario) else value
+
+
+class CandidateFactory:
+    """Builds (and memoizes) candidates for one study.
+
+    Materialization cost is dominated by the model rebuild, and the
+    adaptive strategies revisit assignments freely — the memo makes a
+    revisit a dictionary hit, mirroring how the engine cache makes the
+    revisit's *solve* a cache hit.
+    """
+
+    def __init__(
+        self,
+        study: StudySpec,
+        base_model: DiagramBlockModel,
+        database: PartsDatabase,
+    ) -> None:
+        self.study = study
+        self.base_model = base_model
+        self.database = database
+        self.variables = study.variables
+        self._memo: Dict[Assignment, Candidate] = {}
+        self._base_values = [
+            self._current_value(variable) for variable in self.variables
+        ]
+
+    def _current_value(self, variable: Variable) -> object:
+        if variable.path is None:
+            value = getattr(
+                self.base_model.global_parameters, variable.field
+            )
+        else:
+            value = getattr(
+                self.base_model.find(variable.path).parameters,
+                variable.field,
+            )
+        return _display(value)
+
+    def base_value(self, position: int) -> object:
+        """The base model's value of variable ``position``."""
+        return self._base_values[position]
+
+    def build(self, assignment: Assignment) -> Candidate:
+        assignment = tuple(assignment)
+        if len(assignment) != len(self.variables):
+            raise SpecError(
+                f"assignment has {len(assignment)} values for "
+                f"{len(self.variables)} variables"
+            )
+        cached = self._memo.get(assignment)
+        if cached is not None:
+            return cached
+
+        model: Optional[DiagramBlockModel] = self.base_model
+        changes: List[Dict[str, object]] = []
+        try:
+            for variable, value in zip(self.variables, assignment):
+                coerced = _coerce(variable, value)
+                if variable.path is None:
+                    model = with_global_changes(
+                        model, **{variable.field: coerced}
+                    )
+                else:
+                    model = with_block_changes(
+                        model, variable.path, **{variable.field: coerced}
+                    )
+        except SpecError:
+            model = None
+        for position, (variable, value) in enumerate(
+            zip(self.variables, assignment)
+        ):
+            if value != self._base_values[position]:
+                changes.append({
+                    "path": variable.path,
+                    "field": variable.field,
+                    "base": self._base_values[position],
+                    "value": value,
+                })
+        cost = (
+            model_cost(model, self.database) if model is not None else 0.0
+        )
+        candidate = Candidate(
+            assignment=assignment,
+            model=model,
+            cost=cost,
+            changes=tuple(changes),
+        )
+        self._memo[assignment] = candidate
+        return candidate
+
+    # ------------------------------------------------------------------
+    # solve-free constraint checks
+    # ------------------------------------------------------------------
+    def violates_min_k(self, assignment: Assignment) -> bool:
+        """Whether any assigned ``min_required`` breaks ``min_k``."""
+        min_k = self.study.constraints.min_k
+        if min_k is None:
+            return False
+        for variable, value in zip(self.variables, assignment):
+            if variable.field == "min_required" and int(value) < min_k:
+                return True
+        return False
+
+    def violates_max_cost(self, candidate: Candidate) -> bool:
+        max_cost = self.study.constraints.max_cost
+        return (
+            max_cost is not None
+            and candidate.valid
+            and candidate.cost > max_cost
+        )
+
+    def repair(self, assignment: Assignment) -> Assignment:
+        """Clamp cross-variable ``min_required`` > ``quantity`` clashes.
+
+        The evolutionary strategy mutates genes independently, so a
+        child can pair K with a smaller N.  Repair deterministically
+        drops each clashing ``min_required`` to the largest allowed
+        value that fits; unfixable assignments come back unchanged and
+        materialize as invalid.
+        """
+        quantities: Dict[Optional[str], int] = {}
+        for variable, value in zip(self.variables, assignment):
+            if variable.field == "quantity":
+                quantities[variable.path] = int(value)
+        repaired = list(assignment)
+        for position, variable in enumerate(self.variables):
+            if variable.field != "min_required":
+                continue
+            quantity = quantities.get(variable.path)
+            if quantity is None:
+                block = self.base_model.find(variable.path or "")
+                quantity = block.parameters.quantity
+            if int(repaired[position]) <= quantity:
+                continue
+            fitting = [
+                int(value)
+                for value in variable.values
+                if int(value) <= quantity
+            ]
+            if fitting:
+                repaired[position] = max(fitting)
+        return tuple(repaired)
+
+
+def feasible(
+    factory: CandidateFactory,
+    candidate: Candidate,
+    yearly_downtime_minutes: Optional[float],
+) -> bool:
+    """Whether an evaluated candidate satisfies every constraint."""
+    constraints = factory.study.constraints
+    if not candidate.valid:
+        return False
+    if factory.violates_min_k(candidate.assignment):
+        return False
+    if (
+        constraints.max_cost is not None
+        and candidate.cost > constraints.max_cost
+    ):
+        return False
+    if (
+        constraints.max_downtime_minutes is not None
+        and yearly_downtime_minutes is not None
+        and yearly_downtime_minutes > constraints.max_downtime_minutes
+    ):
+        return False
+    return True
+
+
+def serialize_changes(
+    changes: Tuple[Mapping[str, object], ...]
+) -> List[Dict[str, object]]:
+    return [dict(change) for change in changes]

@@ -1,0 +1,58 @@
+"""Cost/downtime dominance and the non-dominated front.
+
+Both objectives minimize: a candidate *dominates* another when it is
+no worse on both cost and yearly downtime and strictly better on at
+least one.  Candidates that tie exactly on both objectives do not
+dominate each other — they are distinct designs with the same
+headline numbers, and the front keeps all of them.
+
+Everything here compares floats exactly, on purpose: the inputs are
+deterministic solver outputs and solve-free cost roll-ups, identical
+bit-for-bit across processes, so exact comparison is what makes the
+front itself bit-identical whatever evaluated the candidates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: One front input: (cost, yearly_downtime_minutes, candidate index).
+Point = Tuple[float, float, int]
+
+
+def dominates(a: Point, b: Point) -> bool:
+    """Whether ``a`` Pareto-dominates ``b`` (minimize both objectives)."""
+    a_cost, a_down, _ = a
+    b_cost, b_down, _ = b
+    if a_cost > b_cost or a_down > b_down:
+        return False
+    return a_cost < b_cost or a_down < b_down
+
+
+def pareto_front(points: Sequence[Point]) -> List[Point]:
+    """The non-dominated subset, sorted by (cost, downtime, index).
+
+    A single sweep over the cost-sorted points: a point joins the
+    front iff its downtime is strictly below the best downtime seen at
+    any strictly lower cost, and not above the best downtime within
+    its own exact cost (equal-cost points with worse downtime are
+    dominated; exact ties on both objectives all survive).
+    """
+    ordered = sorted(points, key=lambda point: (point[0], point[1], point[2]))
+    front: List[Point] = []
+    best_downtime_cheaper = float("inf")  # over strictly lower costs
+    group_cost: float = float("nan")
+    group_best: float = float("inf")
+    for point in ordered:
+        cost, downtime, _ = point
+        if cost != group_cost:
+            best_downtime_cheaper = min(best_downtime_cheaper, group_best)
+            group_cost = cost
+            group_best = float("inf")
+        if downtime >= best_downtime_cheaper:
+            continue  # a strictly cheaper design is at least as good
+        if downtime > group_best:
+            continue  # an equal-cost design is strictly better
+        group_best = min(group_best, downtime)
+        front.append(point)
+    return front

@@ -1,0 +1,366 @@
+"""The declarative study specification.
+
+A *study* is the design-phase question RAScad was built for: a base
+model, a handful of decision variables (redundancy counts, repair
+times, recovery transparency), objectives, and constraints — "which of
+these candidate architectures should I build?".  The spec is a plain
+JSON document::
+
+    {
+      "name": "workgroup-redundancy",
+      "base": { ... model spec ... },
+      "variables": [
+        {"path": "WG/Server", "field": "quantity", "range": [1, 4]},
+        {"path": "WG/Server", "field": "corrective_minutes",
+         "values": [30, 60, "120:240:3"]},
+        {"path": "WG/Server", "field": "recovery",
+         "choices": ["transparent", "nontransparent"]}
+      ],
+      "strategy": "grid",
+      "constraints": {"max_downtime_minutes": 60, "max_cost": 50000}
+    }
+
+Variables come in three shapes: ``range`` (inclusive integer range —
+N, K, spares), ``values`` (an explicit grid, with the sweep layer's
+``start:stop:count`` shorthand), and ``choices`` (categorical strings
+such as recovery scenarios).  Studies are identified by a **content
+digest** over the parsed base model and the canonicalized search
+space, so two documents that describe the same exploration share an
+id — and share every cached candidate solve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.parameters import BlockParameters, GlobalParameters, Scenario
+from ..database import PartsDatabase
+from ..engine.keys import model_digest
+from ..errors import SpecError
+from ..spec import parse_spec
+
+#: Search strategies :mod:`repro.studies.strategies` registers.
+DEFAULT_STRATEGY = "grid"
+
+#: Block fields that must hold integers.
+_INTEGER_FIELDS = frozenset({"quantity", "min_required"})
+
+#: Block fields that hold recovery/repair scenarios.
+_SCENARIO_FIELDS = frozenset({"recovery", "repair"})
+
+_BLOCK_FIELD_NAMES = frozenset(
+    f.name for f in dataclasses.fields(BlockParameters)
+)
+_GLOBAL_FIELD_NAMES = frozenset(
+    f.name for f in dataclasses.fields(GlobalParameters)
+)
+
+#: Candidate grids beyond this are a typo, not a study.
+MAX_VARIABLE_VALUES = 10_000
+
+#: The study-document keys besides ``base`` — what a study job's
+#: ``params`` carry (the base rides in the job's model document).
+SEARCH_KEYS = (
+    "name", "variables", "strategy", "options", "constraints", "method",
+)
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One decision variable: a spec field and its candidate values.
+
+    ``path`` names a block (``None`` = a global parameter field);
+    ``values`` is the normalized, ordered candidate list — integers
+    for count fields, floats for rates/durations, scenario strings
+    for categorical choices.
+    """
+
+    path: Optional[str]
+    field: str
+    values: Tuple[object, ...]
+
+    @property
+    def key(self) -> str:
+        return f"{self.path or '<globals>'}:{self.field}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "field": self.field,
+            "values": list(self.values),
+        }
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Hard limits a candidate must satisfy to enter the front.
+
+    ``max_cost`` and ``min_k`` are solve-free and pre-prune the grid;
+    ``max_downtime_minutes`` needs the solve and marks infeasible
+    candidates after evaluation.
+    """
+
+    max_downtime_minutes: Optional[float] = None
+    max_cost: Optional[float] = None
+    min_k: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "max_downtime_minutes": self.max_downtime_minutes,
+            "max_cost": self.max_cost,
+            "min_k": self.min_k,
+        }
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """A parsed, validated study — the hashable exploration request.
+
+    ``base`` is always an inline model spec document: ``model_ref``
+    submissions are resolved at the front door (exactly like solves),
+    so a ref-based study shares its digest — and its cache — with the
+    same study submitted inline.
+    """
+
+    name: str
+    base: Mapping[str, object]
+    variables: Tuple[Variable, ...]
+    strategy: str = DEFAULT_STRATEGY
+    options: Mapping[str, object] = field(default_factory=dict)
+    constraints: Constraints = field(default_factory=Constraints)
+    method: str = "direct"
+
+    def to_dict(self, include_base: bool = True) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "variables": [variable.to_dict() for variable in self.variables],
+            "strategy": self.strategy,
+            "options": dict(self.options),
+            "constraints": self.constraints.to_dict(),
+            "method": self.method,
+        }
+        if include_base:
+            payload["base"] = dict(self.base)
+        return payload
+
+
+def _expand_numeric(raw: object, label: str) -> List[float]:
+    from ..analysis.parametric import expand_values
+
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise SpecError(f"{label} must be a non-empty list")
+    return expand_values(raw)
+
+
+def _variable_from_dict(entry: Mapping[str, object]) -> Variable:
+    if not isinstance(entry, Mapping):
+        raise SpecError(f"each variable must be an object, got {entry!r}")
+    field_name = entry.get("field")
+    if not isinstance(field_name, str) or not field_name:
+        raise SpecError("variable needs a 'field' name")
+    path = entry.get("path")
+    if path is not None and (not isinstance(path, str) or not path):
+        raise SpecError("variable 'path' must be a non-empty string or null")
+    label = f"variable {path or '<globals>'}:{field_name}"
+
+    if path is None:
+        if field_name not in _GLOBAL_FIELD_NAMES:
+            raise SpecError(
+                f"{label}: unknown global field; "
+                f"known: {sorted(_GLOBAL_FIELD_NAMES)}"
+            )
+    elif field_name not in _BLOCK_FIELD_NAMES:
+        raise SpecError(
+            f"{label}: unknown block field; "
+            f"known: {sorted(_BLOCK_FIELD_NAMES)}"
+        )
+
+    shapes = [key for key in ("range", "values", "choices") if key in entry]
+    if len(shapes) != 1:
+        raise SpecError(
+            f"{label}: give exactly one of 'range', 'values', 'choices'"
+        )
+    shape = shapes[0]
+    raw = entry[shape]
+
+    values: List[object]
+    if shape == "choices":
+        if field_name not in _SCENARIO_FIELDS:
+            raise SpecError(
+                f"{label}: 'choices' fits scenario fields "
+                f"({sorted(_SCENARIO_FIELDS)}); use 'values' for "
+                "numeric fields"
+            )
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise SpecError(f"{label}: 'choices' must be a non-empty list")
+        values = []
+        for choice in raw:
+            try:
+                values.append(Scenario(str(choice)).value)
+            except ValueError:
+                raise SpecError(
+                    f"{label}: unknown scenario {choice!r}; known: "
+                    f"{[s.value for s in Scenario]}"
+                ) from None
+    elif shape == "range":
+        if (
+            not isinstance(raw, (list, tuple))
+            or len(raw) != 2
+            or any(isinstance(v, bool) or not isinstance(v, int) for v in raw)
+        ):
+            raise SpecError(
+                f"{label}: 'range' must be [low, high] integers"
+            )
+        low, high = int(raw[0]), int(raw[1])
+        if low > high:
+            raise SpecError(f"{label}: range low {low} > high {high}")
+        values = list(range(low, high + 1))
+    else:
+        if field_name in _SCENARIO_FIELDS:
+            raise SpecError(
+                f"{label}: use 'choices' for scenario fields"
+            )
+        numeric = _expand_numeric(raw, f"{label}: 'values'")
+        if field_name in _INTEGER_FIELDS:
+            values = []
+            for value in numeric:
+                if value != int(value):
+                    raise SpecError(
+                        f"{label}: {field_name} values must be integers, "
+                        f"got {value}"
+                    )
+                values.append(int(value))
+        else:
+            values = list(numeric)
+
+    deduped = list(dict.fromkeys(values))
+    if len(deduped) > MAX_VARIABLE_VALUES:
+        raise SpecError(
+            f"{label}: {len(deduped)} candidate values exceed the "
+            f"{MAX_VARIABLE_VALUES} limit"
+        )
+    return Variable(path=path, field=field_name, values=tuple(deduped))
+
+
+def _constraints_from_dict(raw: object) -> Constraints:
+    if raw is None:
+        return Constraints()
+    if not isinstance(raw, Mapping):
+        raise SpecError("'constraints' must be an object")
+    known = {"max_downtime_minutes", "max_cost", "min_k"}
+    unknown = sorted(set(raw) - known)
+    if unknown:
+        raise SpecError(
+            f"unknown constraints {unknown}; known: {sorted(known)}"
+        )
+
+    def _number(key: str) -> Optional[float]:
+        value = raw.get(key)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SpecError(f"constraints.{key} must be a number")
+        if value < 0:
+            raise SpecError(
+                f"constraints.{key} must be non-negative, got {value}"
+            )
+        return float(value)
+
+    min_k = raw.get("min_k")
+    if min_k is not None:
+        if isinstance(min_k, bool) or not isinstance(min_k, int):
+            raise SpecError("constraints.min_k must be an integer")
+        if min_k < 1:
+            raise SpecError(f"constraints.min_k must be >= 1, got {min_k}")
+    return Constraints(
+        max_downtime_minutes=_number("max_downtime_minutes"),
+        max_cost=_number("max_cost"),
+        min_k=min_k,
+    )
+
+
+def parse_study(
+    document: Mapping[str, object],
+    database: Optional[PartsDatabase] = None,
+) -> StudySpec:
+    """Parse and validate a study document (with an inline ``base``).
+
+    Validates the base spec by parsing it, every variable against the
+    parameter vocabulary, and every block path against the base model.
+    Variables are sorted by ``(path, field)`` so documents that list
+    the same search space in a different order are the *same study*.
+    """
+    if not isinstance(document, Mapping):
+        raise SpecError("study document must be an object")
+    base = document.get("base")
+    if not isinstance(base, Mapping):
+        raise SpecError("study needs an inline 'base' model spec")
+    model = parse_spec(dict(base), database=database)
+
+    raw_variables = document.get("variables")
+    if not isinstance(raw_variables, (list, tuple)) or not raw_variables:
+        raise SpecError("study needs a non-empty 'variables' list")
+    variables = sorted(
+        (_variable_from_dict(entry) for entry in raw_variables),
+        key=lambda variable: (variable.path or "", variable.field),
+    )
+    seen_keys = set()
+    for variable in variables:
+        if variable.key in seen_keys:
+            raise SpecError(f"duplicate variable {variable.key}")
+        seen_keys.add(variable.key)
+        if variable.path is not None:
+            model.find(variable.path)  # raises SpecError on a bad path
+
+    strategy = document.get("strategy", DEFAULT_STRATEGY)
+    if not isinstance(strategy, str) or not strategy:
+        raise SpecError("'strategy' must be a strategy name")
+    options = document.get("options", {})
+    if not isinstance(options, Mapping):
+        raise SpecError("'options' must be an object")
+    method = document.get("method", "direct")
+    if not isinstance(method, str) or not method:
+        raise SpecError("'method' must be a solver method name")
+
+    name = document.get("name") or f"study-of-{model.name}"
+    if not isinstance(name, str):
+        raise SpecError("'name' must be a string")
+
+    return StudySpec(
+        name=name,
+        base=dict(base),
+        variables=tuple(variables),
+        strategy=strategy,
+        options=dict(options),
+        constraints=_constraints_from_dict(document.get("constraints")),
+        method=method,
+    )
+
+
+def study_digest(
+    study: StudySpec, database: Optional[PartsDatabase] = None
+) -> str:
+    """The content-digest study id.
+
+    Hashes the parsed base model's engine digest (so spelled-out
+    defaults or key order in the base spec don't fork the id) together
+    with the canonicalized search space — the same normalization the
+    job and workload digests use.
+    """
+    model = parse_spec(dict(study.base), database=database)
+    document = {
+        "kind": "study",
+        "model": model_digest(model, study.method),
+        "variables": [variable.to_dict() for variable in study.variables],
+        "strategy": study.strategy,
+        "options": dict(study.options),
+        "constraints": study.constraints.to_dict(),
+    }
+    encoded = json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return "study-" + hashlib.sha256(encoded).hexdigest()[:32]

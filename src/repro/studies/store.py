@@ -1,0 +1,169 @@
+"""Persistence for submitted studies and their results.
+
+One JSON document per study, keyed by the content-digest study id,
+written with the checkpoint layer's temp-file-then-rename idiom so a
+crash never leaves a half-written record.  ``directory=None`` keeps
+everything in memory — the embedded test server's mode.
+
+A record carries the submitted study document, a coarse state
+(``running`` / ``succeeded`` / ``failed``), and — once finished — the
+result payload or the error message.  Because the study id is a
+content digest, re-submitting the same exploration is idempotent: the
+store simply returns the existing record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import RascadError
+
+#: The states a stored study moves through.
+STUDY_STATES = ("running", "succeeded", "failed")
+
+
+class StudyNotFoundError(RascadError):
+    """No stored study under the requested id."""
+
+
+class StudyStore:
+    """Thread-safe study records, in memory or on disk."""
+
+    def __init__(
+        self, directory: Optional[Union[str, Path]] = None
+    ) -> None:
+        self._lock = threading.Lock()
+        self._memory: Dict[str, Dict[str, object]] = {}
+        self.directory: Optional[Path] = None
+        if directory is not None:
+            self.directory = Path(directory)
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # storage primitives
+    # ------------------------------------------------------------------
+    def _path(self, study_id: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{study_id}.json"
+
+    def _write(self, record: Dict[str, object]) -> None:
+        study_id = str(record["study_id"])
+        if self.directory is None:
+            self._memory[study_id] = json.loads(json.dumps(record))
+            return
+        path = self._path(study_id)
+        temp = path.with_suffix(".tmp")
+        temp.write_text(json.dumps(record, sort_keys=True))
+        os.replace(temp, path)
+
+    def _read(self, study_id: str) -> Optional[Dict[str, object]]:
+        if self.directory is None:
+            record = self._memory.get(study_id)
+            return json.loads(json.dumps(record)) if record else None
+        path = self._path(study_id)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def submit(
+        self, study_id: str, document: Dict[str, object]
+    ) -> tuple:
+        """Record a new study as running, idempotently.
+
+        Returns ``(record, created)`` — re-submitting an id returns
+        the existing record untouched, so a finished study's result
+        survives duplicate submissions.
+        """
+        with self._lock:
+            existing = self._read(study_id)
+            if existing is not None:
+                return existing, False
+            record: Dict[str, object] = {
+                "study_id": study_id,
+                "name": document.get("name"),
+                "strategy": document.get(
+                    "strategy", "grid"
+                ),
+                "state": "running",
+                "document": document,
+                "result": None,
+                "error": None,
+            }
+            self._write(record)
+            return record, True
+
+    def succeed(
+        self, study_id: str, result: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Attach a finished result payload."""
+        with self._lock:
+            record = self._require(study_id)
+            record["state"] = "succeeded"
+            record["result"] = result
+            record["error"] = None
+            self._write(record)
+            return record
+
+    def fail(self, study_id: str, error: str) -> Dict[str, object]:
+        with self._lock:
+            record = self._require(study_id)
+            record["state"] = "failed"
+            record["error"] = error
+            self._write(record)
+            return record
+
+    def _require(self, study_id: str) -> Dict[str, object]:
+        record = self._read(study_id)
+        if record is None:
+            raise StudyNotFoundError(f"no study {study_id!r}")
+        return record
+
+    def get(self, study_id: str) -> Dict[str, object]:
+        """The full record, or :class:`StudyNotFoundError`."""
+        with self._lock:
+            return self._require(study_id)
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            if self.directory is None:
+                return sorted(self._memory)
+            return sorted(
+                path.stem
+                for path in self.directory.glob("study-*.json")
+            )
+
+    def list(self) -> List[Dict[str, object]]:
+        """Summaries (no documents/results), sorted by id."""
+        summaries = []
+        for study_id in self.ids():
+            record = self.get(study_id)
+            result = record.get("result") or {}
+            summaries.append({
+                "study_id": study_id,
+                "name": record.get("name"),
+                "strategy": record.get("strategy"),
+                "state": record.get("state"),
+                "evaluated": result.get("evaluated"),
+                "front_size": (
+                    len(result.get("front", []))
+                    if record.get("state") == "succeeded"
+                    else None
+                ),
+            })
+        return summaries
+
+    def counts(self) -> Dict[str, int]:
+        """Per-state totals, for the metrics endpoint."""
+        counts = {state: 0 for state in STUDY_STATES}
+        for study_id in self.ids():
+            state = str(self.get(study_id).get("state"))
+            if state in counts:
+                counts[state] += 1
+        return counts

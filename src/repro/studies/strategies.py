@@ -1,0 +1,389 @@
+"""Search strategies: how a study walks its candidate space.
+
+Every strategy is a deterministic *round generator*: it yields batches
+of candidates, receives each batch's availabilities back, and decides
+the next batch from them.  Because a round is a pure function of the
+study spec and all earlier availabilities, the full evaluation trace —
+the ordered list of ``(candidate, availability)`` pairs — is replayable
+from the scalar value list alone.  That single property is what the
+rest of the stack leans on: the jobs layer checkpoints nothing but the
+value prefix, the cluster layer fans whole rounds out as shardable
+batches, and the final Pareto front is a pure aggregation over the
+complete trace — so 1-process, multi-worker, and resumed runs are
+bit-identical by construction.
+
+Three built-ins behind a registry (mirroring the solver backends):
+
+* ``grid`` — exhaustive product of every variable, with solve-free
+  constraint pre-pruning (validity, ``min_k``, ``max_cost``).
+* ``descent`` — deterministic coordinate descent: sweep one variable
+  at a time from the base design, keep the best feasible value, loop.
+* ``evolve`` — a seeded evolutionary search: elitist selection on
+  Pareto rank with crossover and per-gene mutation from each
+  variable's value list.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.block import DiagramBlockModel
+from ..database import PartsDatabase
+from ..errors import SpecError
+from ..units import availability_to_yearly_downtime_minutes
+from .candidates import Assignment, Candidate, CandidateFactory, feasible
+from .pareto import pareto_front
+from .spec import StudySpec
+
+#: A strategy round generator: yields candidate batches, receives the
+#: batch's availabilities via ``send``.
+Rounds = Generator[List[Candidate], List[float], None]
+
+
+class Strategy:
+    """Base class: owns the factory and the deterministic geometry."""
+
+    name = "strategy"
+
+    def __init__(
+        self,
+        study: StudySpec,
+        base_model: DiagramBlockModel,
+        database: PartsDatabase,
+    ) -> None:
+        self.study = study
+        self.factory = CandidateFactory(study, base_model, database)
+        self.variables = study.variables
+
+    def total(self) -> int:
+        """Exact number of evaluations, known before any solve."""
+        raise NotImplementedError
+
+    def rounds(self) -> Rounds:
+        """A fresh round generator (replayable any number of times)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared selection helpers
+    # ------------------------------------------------------------------
+    def _order_key(
+        self, candidate: Candidate, availability: float, position: int
+    ) -> Tuple[int, int, float, float, int]:
+        """Deterministic preference: feasible, then valid, then best
+        downtime, then cheapest, then earliest."""
+        downtime = (
+            availability_to_yearly_downtime_minutes(availability)
+            if candidate.valid
+            else float("inf")
+        )
+        is_feasible = feasible(self.factory, candidate, downtime)
+        return (
+            0 if is_feasible else 1,
+            0 if candidate.valid else 1,
+            downtime,
+            candidate.cost,
+            position,
+        )
+
+
+def replay(
+    strategy: Strategy, values: Sequence[float]
+) -> Tuple[List[Candidate], List[Candidate]]:
+    """Reconstruct the evaluation trace from a value prefix.
+
+    Returns ``(trace, pending)``: the candidate behind each value in
+    order, and the not-yet-evaluated remainder of the round containing
+    index ``len(values)`` (empty iff the study is complete).  Raises
+    :class:`~repro.errors.SpecError` when ``values`` is longer than
+    the strategy's trajectory — a checkpoint from a different study.
+    """
+    trace: List[Candidate] = []
+    generator = strategy.rounds()
+    try:
+        batch = next(generator)
+    except StopIteration:
+        batch = []
+    while batch:
+        if len(trace) + len(batch) > len(values):
+            done = len(values) - len(trace)
+            trace.extend(batch[:done])
+            return trace, batch[done:]
+        trace.extend(batch)
+        feed = list(values[len(trace) - len(batch):len(trace)])
+        try:
+            batch = generator.send(feed)
+        except StopIteration:
+            batch = []
+    if len(trace) != len(values):
+        raise SpecError(
+            f"value trace has {len(values)} entries but the "
+            f"{strategy.name} strategy evaluates {len(trace)}"
+        )
+    return trace, []
+
+
+class GridStrategy(Strategy):
+    """Exhaustive product with solve-free pre-pruning."""
+
+    name = "grid"
+
+    def __init__(self, study, base_model, database) -> None:
+        super().__init__(study, base_model, database)
+        self.pruned_invalid = 0
+        self.pruned_min_k = 0
+        self.pruned_cost = 0
+        pool: List[Candidate] = []
+        for assignment in itertools.product(
+            *(variable.values for variable in self.variables)
+        ):
+            if self.factory.violates_min_k(assignment):
+                self.pruned_min_k += 1
+                continue
+            candidate = self.factory.build(assignment)
+            if not candidate.valid:
+                self.pruned_invalid += 1
+                continue
+            if self.factory.violates_max_cost(candidate):
+                self.pruned_cost += 1
+                continue
+            pool.append(candidate)
+        if not pool:
+            raise SpecError(
+                "every grid candidate was pruned: "
+                f"{self.pruned_invalid} invalid, "
+                f"{self.pruned_min_k} below min_k, "
+                f"{self.pruned_cost} over max_cost"
+            )
+        self.pool = pool
+
+    def total(self) -> int:
+        return len(self.pool)
+
+    def pruned(self) -> Dict[str, int]:
+        return {
+            "invalid": self.pruned_invalid,
+            "min_k": self.pruned_min_k,
+            "max_cost": self.pruned_cost,
+        }
+
+    def rounds(self) -> Rounds:
+        yield list(self.pool)
+
+
+class DescentStrategy(Strategy):
+    """Coordinate descent from the base design.
+
+    Each round sweeps every variable in order: all of its values with
+    the other variables held at the incumbent, then the incumbent
+    moves to the best evaluated design.  Invalid combinations occupy
+    their trace index with the 0.0 sentinel (never solved), keeping
+    the geometry fixed; revisited assignments are engine-cache hits.
+    ``options.rounds`` controls the number of passes (default 2).
+    """
+
+    name = "descent"
+
+    def __init__(self, study, base_model, database) -> None:
+        super().__init__(study, base_model, database)
+        rounds = study.options.get("rounds", 2)
+        if isinstance(rounds, bool) or not isinstance(rounds, int):
+            raise SpecError("options.rounds must be an integer")
+        if not 1 <= rounds <= 32:
+            raise SpecError(
+                f"options.rounds must be in [1, 32], got {rounds}"
+            )
+        self.sweep_rounds = rounds
+        self.start = tuple(
+            self._nearest(position, variable)
+            for position, variable in enumerate(self.variables)
+        )
+
+    def _nearest(self, position: int, variable) -> object:
+        """The variable value closest to the base design (ties: lower)."""
+        base = self.factory.base_value(position)
+        if base in variable.values:
+            return base
+        numeric = [
+            value for value in variable.values
+            if isinstance(value, (int, float))
+        ]
+        if numeric and isinstance(base, (int, float)):
+            return min(
+                numeric, key=lambda value: (abs(value - base), value)
+            )
+        return variable.values[0]
+
+    def total(self) -> int:
+        per_sweep = sum(
+            len(variable.values) for variable in self.variables
+        )
+        return self.sweep_rounds * per_sweep
+
+    def rounds(self) -> Rounds:
+        incumbent = self.start
+        for _sweep in range(self.sweep_rounds):
+            for position in range(len(self.variables)):
+                variable = self.variables[position]
+                batch = [
+                    self.factory.build(
+                        incumbent[:position]
+                        + (value,)
+                        + incumbent[position + 1:]
+                    )
+                    for value in variable.values
+                ]
+                availabilities = yield batch
+                best = min(
+                    range(len(batch)),
+                    key=lambda i: self._order_key(
+                        batch[i], availabilities[i], i
+                    ),
+                )
+                if batch[best].valid:
+                    incumbent = batch[best].assignment
+
+
+class EvolutionStrategy(Strategy):
+    """Seeded elitist evolutionary Pareto search.
+
+    ``options``: ``population`` (default 16), ``generations``
+    (default 8), ``seed`` (default 0), ``mutation`` (default 0.25).
+    All randomness flows from one ``numpy`` generator seeded by the
+    study spec, consumed in a fixed order — the whole trajectory is a
+    pure function of the spec and the (deterministic) availabilities.
+    """
+
+    name = "evolve"
+
+    #: Elites carried unchanged into the next generation.
+    ELITES = 2
+
+    def __init__(self, study, base_model, database) -> None:
+        super().__init__(study, base_model, database)
+        options = study.options
+
+        def _int_option(key: str, default: int, low: int, high: int) -> int:
+            value = options.get(key, default)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SpecError(f"options.{key} must be an integer")
+            if not low <= value <= high:
+                raise SpecError(
+                    f"options.{key} must be in [{low}, {high}], got {value}"
+                )
+            return value
+
+        self.population_size = _int_option("population", 16, 2, 1024)
+        self.generations = _int_option("generations", 8, 1, 256)
+        self.seed = _int_option("seed", 0, 0, 2**31 - 1)
+        mutation = options.get("mutation", 0.25)
+        if isinstance(mutation, bool) or not isinstance(
+            mutation, (int, float)
+        ) or not 0.0 <= float(mutation) <= 1.0:
+            raise SpecError("options.mutation must be a number in [0, 1]")
+        self.mutation = float(mutation)
+
+    def total(self) -> int:
+        return self.population_size * self.generations
+
+    def _random_assignment(self, rng: np.random.Generator) -> Assignment:
+        return self.factory.repair(tuple(
+            variable.values[int(rng.integers(len(variable.values)))]
+            for variable in self.variables
+        ))
+
+    def rounds(self) -> Rounds:
+        rng = np.random.default_rng(self.seed)
+        population = [
+            self._random_assignment(rng)
+            for _ in range(self.population_size)
+        ]
+        for _generation in range(self.generations):
+            batch = [
+                self.factory.build(assignment) for assignment in population
+            ]
+            availabilities = yield batch
+            ranked = self._rank(batch, availabilities)
+            elites = [
+                batch[i].assignment for i in ranked[:self.ELITES]
+            ]
+            parents = ranked[:max(2, len(ranked) // 2)]
+            next_population: List[Assignment] = list(elites)
+            while len(next_population) < self.population_size:
+                mother = batch[
+                    parents[int(rng.integers(len(parents)))]
+                ].assignment
+                father = batch[
+                    parents[int(rng.integers(len(parents)))]
+                ].assignment
+                child = list(
+                    mother[position]
+                    if rng.random() < 0.5
+                    else father[position]
+                    for position in range(len(self.variables))
+                )
+                for position, variable in enumerate(self.variables):
+                    if rng.random() < self.mutation:
+                        child[position] = variable.values[
+                            int(rng.integers(len(variable.values)))
+                        ]
+                next_population.append(self.factory.repair(tuple(child)))
+            population = next_population
+
+    def _rank(
+        self, batch: List[Candidate], availabilities: List[float]
+    ) -> List[int]:
+        """Generation order: Pareto rank 0 first, then the rest by the
+        shared deterministic preference key."""
+        points = [
+            (candidate.cost,
+             availability_to_yearly_downtime_minutes(availability),
+             position)
+            for position, (candidate, availability) in enumerate(
+                 zip(batch, availabilities)
+             )
+            if candidate.valid
+        ]
+        front_positions = {index for _c, _d, index in pareto_front(points)}
+        return sorted(
+            range(len(batch)),
+            key=lambda i: (
+                0 if i in front_positions else 1,
+            ) + self._order_key(batch[i], availabilities[i], i),
+        )
+
+
+#: The strategy registry, name -> class.
+STRATEGIES: Dict[str, type] = {}
+
+
+def register_strategy(cls: type) -> type:
+    """Register a strategy class under its ``name``."""
+    STRATEGIES[cls.name] = cls
+    return cls
+
+
+for _cls in (GridStrategy, DescentStrategy, EvolutionStrategy):
+    register_strategy(_cls)
+
+
+def make_strategy(
+    study: StudySpec,
+    base_model: DiagramBlockModel,
+    database: Optional[PartsDatabase] = None,
+) -> Strategy:
+    """Instantiate the study's strategy, or raise for unknown names."""
+    from ..database import builtin_database
+
+    cls = STRATEGIES.get(study.strategy)
+    if cls is None:
+        raise SpecError(
+            f"unknown study strategy {study.strategy!r}; "
+            f"known: {sorted(STRATEGIES)}"
+        )
+    return cls(
+        study, base_model,
+        database if database is not None else builtin_database(),
+    )

@@ -61,3 +61,31 @@ class TestBirnbaum:
         )
         (row,) = birnbaum_importance(translate(DiagramBlockModel(root)))
         assert row.birnbaum == pytest.approx(1.0)
+
+
+class TestFiniteDifference:
+    def test_birnbaum_matches_numeric_partial_derivative(self):
+        """Birnbaum importance is dA_sys/dA_i.  Perturb one block's
+        MTBF and cross-check the chain rule numerically:
+        (dA_sys/dm) / (dA_i/dm) must equal the analytic Birnbaum."""
+        from repro.analysis.parametric import with_block_changes
+
+        base = model()
+        solution = translate(base)
+        rows = {row.name: row for row in birnbaum_importance(solution)}
+        for name, mtbf in (("weak", 10_000.0), ("strong", 100_000.0)):
+            path = f"sys/{name}"
+            step = mtbf * 1e-4
+            up = translate(
+                with_block_changes(base, path, mtbf_hours=mtbf + step)
+            )
+            down = translate(
+                with_block_changes(base, path, mtbf_hours=mtbf - step)
+            )
+            d_system = up.availability - down.availability
+            d_block = _block_contribution(
+                up.block(path)
+            ) - _block_contribution(down.block(path))
+            assert d_system / d_block == pytest.approx(
+                rows[name].birnbaum, rel=1e-6
+            )

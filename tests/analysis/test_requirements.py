@@ -131,3 +131,42 @@ class TestSolveParameterForTarget:
                 workgroup_model(), "mtbf_hours", 1.0,
                 low=1.0, high=2.0, path=OS,
             )
+
+
+class TestBracketError:
+    def trigger(self):
+        from repro.errors import BracketError
+
+        with pytest.raises(BracketError) as excinfo:
+            solve_parameter_for_target(
+                workgroup_model(), "mtbf_hours", 0.99999999,
+                low=10_000.0, high=20_000.0, path=OS,
+            )
+        return excinfo.value
+
+    def test_is_a_typed_solver_error(self):
+        from repro.errors import BracketError
+
+        error = self.trigger()
+        assert isinstance(error, BracketError)
+        assert isinstance(error, SolverError)
+
+    def test_carries_the_evaluated_endpoints(self):
+        error = self.trigger()
+        assert error.low == 10_000.0
+        assert error.high == 20_000.0
+        assert error.target == 0.99999999
+        # Both endpoint availabilities sit below the target: the
+        # caller can see the bracket is hopeless, not just "failed".
+        assert error.low_value < error.target
+        assert error.high_value < error.target
+        assert error.low_value < error.high_value
+
+    def test_details_mapping_is_json_ready(self):
+        import json
+
+        error = self.trigger()
+        assert set(error.details) == {
+            "low", "high", "low_value", "high_value", "target",
+        }
+        assert json.loads(json.dumps(error.details)) == error.details

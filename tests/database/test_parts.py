@@ -108,3 +108,70 @@ class TestBuiltinCatalog:
         b = builtin_database()
         a.add(PartRecord(part_number="LOCAL-1"))
         assert "LOCAL-1" not in b
+
+
+class TestCost:
+    def test_cost_defaults_to_unpriced(self):
+        record = PartRecord(part_number="X-1", mtbf_hours=1e5)
+        assert record.cost == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(DatabaseError, match="cost"):
+            PartRecord(part_number="X-1", cost=-1.0)
+
+    def test_cost_survives_json_round_trip(self):
+        db = PartsDatabase()
+        db.add(PartRecord(part_number="X-1", cost=123.5))
+        reread = PartsDatabase.from_json(db.to_json())
+        assert reread.lookup("X-1").cost == 123.5
+
+    def test_cost_not_a_block_field(self):
+        record = PartRecord(part_number="X-1", cost=9.0)
+        assert "cost" not in record.as_block_fields()
+
+    def test_builtin_parts_are_priced(self):
+        assert all(record.cost > 0 for record in builtin_database())
+
+
+class TestModelCost:
+    def test_rollup_is_quantity_times_unit_cost(self):
+        from repro.database import model_cost
+        from repro.library import workgroup_model
+
+        db = builtin_database()
+        model = workgroup_model()
+        expected = sum(
+            block.parameters.quantity
+            * db.lookup(block.parameters.part_number).cost
+            for _level, _path, block in model.walk()
+            if block.parameters.part_number
+        )
+        assert model_cost(model, db) == expected == 19460.0
+
+    def test_unpriced_and_unnumbered_blocks_are_free(self):
+        from repro.core import (
+            BlockParameters, DiagramBlockModel, MGBlock, MGDiagram,
+        )
+        from repro.database import model_cost
+
+        db = PartsDatabase()
+        db.add(PartRecord(part_number="FREE-1"))  # cost defaults 0.0
+        root = MGDiagram("sys", [
+            MGBlock(BlockParameters(
+                name="a", part_number="FREE-1", quantity=3,
+            )),
+            MGBlock(BlockParameters(name="b")),
+        ])
+        assert model_cost(DiagramBlockModel(root), db) == 0.0
+
+    def test_unknown_part_number_rejected(self):
+        from repro.core import (
+            BlockParameters, DiagramBlockModel, MGBlock, MGDiagram,
+        )
+        from repro.database import model_cost
+
+        root = MGDiagram("sys", [
+            MGBlock(BlockParameters(name="a", part_number="NOPE-1")),
+        ])
+        with pytest.raises(DatabaseError, match="NOPE-1"):
+            model_cost(DiagramBlockModel(root), PartsDatabase())

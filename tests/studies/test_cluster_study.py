@@ -1,0 +1,147 @@
+"""Cluster-evaluated studies: merged fronts are bit-identical.
+
+Drives the real :class:`Coordinator` (shard planning, dispatch
+threads, merge) with an engine-backed fake client that executes each
+shard's ``/v1/solve`` calls in process — the cross-process protocol
+without sockets, deterministic under any shard placement.
+"""
+
+from repro.cluster import ClusterConfig, Coordinator, Membership
+from repro.cluster.membership import worker_id_for
+from repro.cluster.workloads import StudyWorkload
+from repro.engine import Engine
+from repro.library import workgroup_model
+from repro.spec import model_to_spec, parse_spec
+from repro.studies import INVALID_AVAILABILITY, parse_study, run_study
+
+FAN = "Workgroup Server/Fan"
+PSU = "Workgroup Server/Power Supply"
+
+
+def study_for(strategy="grid", **extra):
+    document = {
+        "name": "wg",
+        "base": model_to_spec(workgroup_model()),
+        "strategy": strategy,
+        "variables": [
+            {"path": FAN, "field": "quantity", "values": [1, 2, 3]},
+            {"path": FAN, "field": "min_required", "values": [1, 2]},
+            {"path": PSU, "field": "quantity", "values": [1, 2]},
+        ],
+    }
+    document.update(extra)
+    return parse_study(document)
+
+
+class EngineClient:
+    """A worker client that solves shard calls on a local engine."""
+
+    def __init__(self, url, engine):
+        self.url = url
+        self.worker_id = worker_id_for(url)
+        self.engine = engine
+
+    def execute_shard(self, workload, lo, hi, trace_header=None):
+        bodies = []
+        for _path, payload in workload.calls(lo, hi):
+            model = parse_spec(dict(payload["spec"]))
+            solution = self.engine.solve(model, "direct")
+            # Only availability flows into the round's aggregate; the
+            # other point fields ride along as the service would send
+            # them, but a study never reads them.
+            bodies.append({
+                "model": model.name,
+                "availability": solution.availability,
+            })
+        return bodies
+
+
+def make_coordinator(worker_count):
+    urls = [f"http://worker-{i}:1" for i in range(worker_count)]
+    config = ClusterConfig(
+        workers=tuple(urls), shard_size=2, fanout_threshold=1,
+    )
+    engine = Engine()
+    return Coordinator(
+        Membership(lease_timeout=config.lease_timeout),
+        config=config,
+        client_factory=lambda url, timeout=None: EngineClient(
+            url, engine
+        ),
+    )
+
+
+def cluster_run(study, worker_count):
+    """run_study with per-round coordinator fan-out (the service's
+    evaluator shape, without the HTTP front end)."""
+    coordinator = make_coordinator(worker_count)
+    state = {"round": 0, "rounds_fanned": 0}
+
+    def evaluate(candidates):
+        round_index = state["round"]
+        state["round"] += 1
+        valid = [
+            (position, candidate)
+            for position, candidate in enumerate(candidates)
+            if candidate.model is not None
+        ]
+        workload = StudyWorkload(
+            "study-test", round_index,
+            [model_to_spec(c.model) for _p, c in valid],
+        )
+        merged = coordinator.run_workload(workload, timeout=60)
+        state["rounds_fanned"] += 1
+        availabilities = [INVALID_AVAILABILITY] * len(candidates)
+        for (position, _c), availability in zip(
+            valid, merged["availabilities"]
+        ):
+            availabilities[position] = float(availability)
+        return availabilities
+
+    return run_study(study, evaluate=evaluate), state
+
+
+class TestClusterBitIdentity:
+    def test_one_and_two_worker_fronts_match_single_process(self):
+        local = run_study(study_for(), engine=Engine())
+        one, state_one = cluster_run(study_for(), worker_count=1)
+        two, state_two = cluster_run(study_for(), worker_count=2)
+        assert state_one["rounds_fanned"] >= 1
+        assert state_two["rounds_fanned"] >= 1
+        assert one == local
+        assert two == local
+        assert (
+            one["result_digest"]
+            == two["result_digest"]
+            == local["result_digest"]
+        )
+
+    def test_adaptive_strategy_fans_every_round(self):
+        study = study_for(
+            "evolve",
+            options={"population": 4, "generations": 3, "seed": 1},
+        )
+        local = run_study(study_for(
+            "evolve",
+            options={"population": 4, "generations": 3, "seed": 1},
+        ), engine=Engine())
+        clustered, state = cluster_run(study, worker_count=2)
+        assert state["rounds_fanned"] == 3
+        assert clustered == local
+
+    def test_workload_digest_pins_study_and_round(self):
+        spec = model_to_spec(workgroup_model())
+        a = StudyWorkload("study-x", 0, [spec])
+        b = StudyWorkload("study-x", 1, [spec])
+        c = StudyWorkload("study-y", 0, [spec])
+        assert len({a.digest, b.digest, c.digest}) == 3
+
+    def test_round_aggregate_shape(self):
+        spec = model_to_spec(workgroup_model())
+        workload = StudyWorkload("study-x", 2, [spec, spec])
+        payload = workload.aggregate([
+            {"availability": 0.9}, {"availability": 0.99},
+        ])
+        assert payload["kind"] == "study_round"
+        assert payload["round"] == 2
+        assert payload["availabilities"] == [0.9, 0.99]

@@ -1,0 +1,88 @@
+"""Dominance and Pareto-front extraction, including degenerate ties."""
+
+from hypothesis import given, strategies as st
+
+from repro.studies import dominates, pareto_front
+
+
+class TestDominates:
+    def test_strictly_better_dominates(self):
+        assert dominates((1.0, 1.0, 0), (2.0, 2.0, 1))
+
+    def test_equal_cost_better_downtime_dominates(self):
+        assert dominates((1.0, 1.0, 0), (1.0, 2.0, 1))
+
+    def test_equal_downtime_cheaper_dominates(self):
+        assert dominates((1.0, 1.0, 0), (2.0, 1.0, 1))
+
+    def test_exact_tie_does_not_dominate(self):
+        assert not dominates((1.0, 1.0, 0), (1.0, 1.0, 1))
+        assert not dominates((1.0, 1.0, 1), (1.0, 1.0, 0))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1.0, 2.0, 0), (2.0, 1.0, 1))
+        assert not dominates((2.0, 1.0, 1), (1.0, 2.0, 0))
+
+
+class TestFront:
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_single_point(self):
+        assert pareto_front([(1.0, 2.0, 7)]) == [(1.0, 2.0, 7)]
+
+    def test_dominated_point_removed(self):
+        front = pareto_front([(1.0, 1.0, 0), (2.0, 2.0, 1)])
+        assert front == [(1.0, 1.0, 0)]
+
+    def test_tradeoff_points_both_survive(self):
+        points = [(1.0, 5.0, 0), (2.0, 3.0, 1), (3.0, 1.0, 2)]
+        assert pareto_front(points) == points
+
+    def test_equal_cost_keeps_only_best_downtime(self):
+        front = pareto_front([
+            (1.0, 5.0, 0), (1.0, 3.0, 1), (1.0, 7.0, 2),
+        ])
+        assert front == [(1.0, 3.0, 1)]
+
+    def test_exact_ties_on_both_objectives_all_survive(self):
+        points = [(1.0, 3.0, 0), (1.0, 3.0, 1), (1.0, 3.0, 2)]
+        assert sorted(pareto_front(points)) == points
+
+    def test_front_is_cost_sorted(self):
+        front = pareto_front([
+            (3.0, 1.0, 0), (1.0, 5.0, 1), (2.0, 3.0, 2),
+        ])
+        assert [p[0] for p in front] == [1.0, 2.0, 3.0]
+
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(0.0, 100.0, allow_nan=False),
+        st.floats(0.0, 100.0, allow_nan=False),
+    ),
+    max_size=30,
+)
+
+
+class TestFrontProperties:
+    @given(points_strategy)
+    def test_front_is_exactly_the_nondominated_set(self, raw):
+        points = [(c, d, i) for i, (c, d) in enumerate(raw)]
+        front = set(pareto_front(points))
+        for point in points:
+            dominated = any(
+                dominates(other, point)
+                for other in points
+                if other is not point
+            )
+            assert (point in front) == (not dominated)
+
+    @given(points_strategy, st.randoms(use_true_random=False))
+    def test_front_is_input_order_invariant(self, raw, rng):
+        points = [(c, d, i) for i, (c, d) in enumerate(raw)]
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        assert sorted(pareto_front(points)) == sorted(
+            pareto_front(shuffled)
+        )

@@ -1,0 +1,175 @@
+"""run_study / aggregate_study: determinism, caching, persistence."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Engine
+from repro.jobs.types import result_digest
+from repro.library import workgroup_model
+from repro.spec import model_to_spec
+from repro.studies import (
+    StudyNotFoundError,
+    StudyStore,
+    aggregate_study,
+    front_rows,
+    make_strategy,
+    parse_study,
+    run_study,
+)
+from repro.studies.runner import evaluate_candidates
+from repro.studies.spec import SEARCH_KEYS
+
+FAN = "Workgroup Server/Fan"
+PSU = "Workgroup Server/Power Supply"
+
+
+def study_for(strategy="grid", **extra):
+    document = {
+        "name": "wg",
+        "base": model_to_spec(workgroup_model()),
+        "strategy": strategy,
+        "variables": [
+            {"path": FAN, "field": "quantity", "values": [2, 3]},
+            {"path": PSU, "field": "quantity", "values": [1, 2]},
+        ],
+    }
+    document.update(extra)
+    return parse_study(document)
+
+
+class TestRunStudy:
+    def test_result_shape_and_digest(self):
+        result = run_study(study_for(), engine=Engine())
+        assert result["kind"] == "study"
+        assert result["evaluated"] == result["total"] == 4
+        assert result["front"]
+        assert result["winner"] in result["front"]
+        stamped = result.pop("result_digest")
+        # The digest covers exactly the digest-free payload.
+        assert stamped == result_digest(result)
+
+    def test_rerun_is_bit_identical(self):
+        a = run_study(study_for(), engine=Engine())
+        b = run_study(study_for(), engine=Engine())
+        assert a == b
+
+    def test_json_round_trip_is_stable(self):
+        result = run_study(study_for(), engine=Engine())
+        assert json.loads(json.dumps(result)) == result
+
+    def test_warm_cache_skips_every_solve(self):
+        first = Engine()
+        result = run_study(study_for(), engine=first)
+        warm = Engine(cache=first.cache)
+        again = run_study(study_for(), engine=warm)
+        assert again == result
+        stats = warm.stats.snapshot()
+        assert stats.system_solves == 0
+        assert stats.system_cache_hits == result["evaluated"]
+
+    def test_infeasible_candidates_stay_off_the_front(self):
+        result = run_study(
+            study_for(constraints={"max_downtime_minutes": 350.0}),
+            engine=Engine(),
+        )
+        rows = {row["index"]: row for row in result["candidates"]}
+        assert any(not row["feasible"] for row in rows.values())
+        for index in result["front"]:
+            assert rows[index]["feasible"]
+
+    def test_front_rows_follow_front_order(self):
+        result = run_study(study_for(), engine=Engine())
+        assert [row["index"] for row in front_rows(result)] == (
+            result["front"]
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_front_is_evaluation_order_invariant(self, rng):
+        """Permuting the order candidates are *solved* inside each
+        round cannot change a single byte of the result."""
+        reference = run_study(study_for(), engine=Engine())
+        engine = Engine()
+
+        def shuffled_evaluate(candidates):
+            order = list(range(len(candidates)))
+            rng.shuffle(order)
+            availabilities = [None] * len(candidates)
+            for position in order:
+                availabilities[position] = evaluate_candidates(
+                    engine, [candidates[position]]
+                )[0]
+            return availabilities
+
+        shuffled = run_study(study_for(), evaluate=shuffled_evaluate)
+        assert shuffled == reference
+
+
+class TestAggregate:
+    def test_payload_is_digest_free(self):
+        study = study_for()
+        strategy = make_strategy(study, workgroup_model())
+        values = evaluate_candidates(
+            Engine(), next(strategy.rounds())
+        )
+        fresh = make_strategy(study, workgroup_model())
+        payload = aggregate_study(study, fresh, values)
+        assert "result_digest" not in payload
+
+    def test_incomplete_trace_rejected(self):
+        study = study_for()
+        strategy = make_strategy(study, workgroup_model())
+        with pytest.raises(RuntimeError, match="incomplete"):
+            aggregate_study(study, strategy, [0.9])
+
+    def test_search_keys_cover_the_document(self):
+        document = study_for().to_dict()
+        assert set(document) == set(SEARCH_KEYS) | {"base"}
+
+
+class TestStudyStore:
+    def test_submit_is_idempotent(self, tmp_path):
+        store = StudyStore(tmp_path)
+        _, created = store.submit("study-a", {"name": "x"})
+        record, again = store.submit("study-a", {"name": "ignored"})
+        assert created and not again
+        assert record["name"] == "x"
+        assert record["state"] == "running"
+
+    def test_succeed_fail_round_trip(self, tmp_path):
+        store = StudyStore(tmp_path)
+        store.submit("study-a", {"name": "x"})
+        store.succeed("study-a", {"front": [0]})
+        assert store.get("study-a")["state"] == "succeeded"
+        store.submit("study-b", {"name": "y"})
+        store.fail("study-b", "boom")
+        assert store.get("study-b")["error"] == "boom"
+        assert store.counts() == {
+            "running": 0, "succeeded": 1, "failed": 1,
+        }
+
+    def test_disk_records_survive_reopen(self, tmp_path):
+        StudyStore(tmp_path).submit("study-a", {"name": "x"})
+        reopened = StudyStore(tmp_path)
+        assert reopened.ids() == ["study-a"]
+        assert reopened.get("study-a")["name"] == "x"
+
+    def test_memory_store_isolates_callers(self):
+        store = StudyStore()
+        record, _ = store.submit("study-a", {"name": "x"})
+        record["state"] = "mutated"
+        assert store.get("study-a")["state"] == "running"
+
+    def test_missing_study_raises(self, tmp_path):
+        with pytest.raises(StudyNotFoundError):
+            StudyStore(tmp_path).get("study-missing")
+
+    def test_list_summarizes(self, tmp_path):
+        store = StudyStore(tmp_path)
+        store.submit("study-a", {"name": "x", "strategy": "grid"})
+        store.succeed("study-a", {"evaluated": 4, "front": [0, 1]})
+        summary = store.list()[0]
+        assert summary["front_size"] == 2
+        assert summary["evaluated"] == 4

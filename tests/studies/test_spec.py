@@ -1,0 +1,126 @@
+"""Study-document parsing, canonicalization, and content digests."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.library import workgroup_model
+from repro.spec import model_to_spec
+from repro.studies import parse_study, study_digest
+
+FAN = "Workgroup Server/Fan"
+PSU = "Workgroup Server/Power Supply"
+
+
+def document(**overrides):
+    doc = {
+        "name": "wg",
+        "base": model_to_spec(workgroup_model()),
+        "variables": [
+            {"path": FAN, "field": "quantity", "values": [2, 3]},
+            {"path": PSU, "field": "corrective_minutes",
+             "values": [30.0, 60.0]},
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestParsing:
+    def test_variables_sorted_by_path_then_field(self):
+        study = parse_study(document())
+        assert [v.path for v in study.variables] == [FAN, PSU]
+
+    def test_range_expands_inclusively(self):
+        study = parse_study(document(variables=[
+            {"path": FAN, "field": "quantity", "range": [1, 4]},
+        ]))
+        assert study.variables[0].values == (1, 2, 3, 4)
+
+    def test_values_shorthand_expands(self):
+        study = parse_study(document(variables=[
+            {"path": FAN, "field": "corrective_minutes",
+             "values": ["10:30:3"]},
+        ]))
+        assert study.variables[0].values == (10.0, 20.0, 30.0)
+
+    def test_choices_normalize_scenarios(self):
+        study = parse_study(document(variables=[
+            {"path": FAN, "field": "recovery",
+             "choices": ["transparent", "nontransparent"]},
+        ]))
+        assert study.variables[0].values == (
+            "transparent", "nontransparent",
+        )
+
+    def test_integer_field_rejects_fractions(self):
+        with pytest.raises(SpecError, match="must be integers"):
+            parse_study(document(variables=[
+                {"path": FAN, "field": "quantity", "values": [1.5]},
+            ]))
+
+    def test_unknown_block_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown block field"):
+            parse_study(document(variables=[
+                {"path": FAN, "field": "warp_factor", "values": [1]},
+            ]))
+
+    def test_bad_path_rejected(self):
+        with pytest.raises(SpecError):
+            parse_study(document(variables=[
+                {"path": "Workgroup Server/Nope", "field": "quantity",
+                 "values": [1]},
+            ]))
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(SpecError, match="duplicate variable"):
+            parse_study(document(variables=[
+                {"path": FAN, "field": "quantity", "values": [1, 2]},
+                {"path": FAN, "field": "quantity", "values": [2, 3]},
+            ]))
+
+    def test_choices_only_for_scenario_fields(self):
+        with pytest.raises(SpecError, match="scenario fields"):
+            parse_study(document(variables=[
+                {"path": FAN, "field": "quantity", "choices": ["1"]},
+            ]))
+
+    def test_unknown_constraint_rejected(self):
+        with pytest.raises(SpecError, match="unknown constraints"):
+            parse_study(document(constraints={"max_price": 1}))
+
+    def test_negative_constraint_rejected(self):
+        with pytest.raises(SpecError, match="non-negative"):
+            parse_study(document(constraints={"max_cost": -1}))
+
+    def test_base_is_required_inline(self):
+        with pytest.raises(SpecError, match="inline 'base'"):
+            parse_study({"variables": [], "name": "x"})
+
+
+class TestDigest:
+    def test_variable_order_does_not_fork_the_id(self):
+        forward = parse_study(document())
+        doc = document()
+        doc["variables"] = list(reversed(doc["variables"]))
+        backward = parse_study(doc)
+        assert study_digest(forward) == study_digest(backward)
+
+    def test_search_space_changes_the_id(self):
+        a = parse_study(document())
+        b = parse_study(document(variables=[
+            {"path": FAN, "field": "quantity", "values": [2, 3, 4]},
+        ]))
+        assert study_digest(a) != study_digest(b)
+
+    def test_constraints_change_the_id(self):
+        a = parse_study(document())
+        b = parse_study(document(
+            constraints={"max_downtime_minutes": 300.0}
+        ))
+        assert study_digest(a) != study_digest(b)
+
+    def test_digest_is_stable_across_reparses(self):
+        assert study_digest(parse_study(document())) == study_digest(
+            parse_study(document())
+        )
+        assert study_digest(parse_study(document())).startswith("study-")

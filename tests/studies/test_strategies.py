@@ -1,0 +1,216 @@
+"""Search strategies: pruning, determinism, and replay fidelity."""
+
+import pytest
+
+from repro.database import builtin_database
+from repro.engine import Engine
+from repro.errors import SpecError
+from repro.library import workgroup_model
+from repro.spec import model_to_spec
+from repro.studies import (
+    STRATEGIES,
+    Strategy,
+    make_strategy,
+    parse_study,
+    register_strategy,
+    replay,
+)
+from repro.studies.runner import evaluate_candidates
+
+FAN = "Workgroup Server/Fan"
+PSU = "Workgroup Server/Power Supply"
+
+
+def study_for(strategy="grid", variables=None, **extra):
+    document = {
+        "name": "wg",
+        "base": model_to_spec(workgroup_model()),
+        "strategy": strategy,
+        "variables": variables or [
+            {"path": FAN, "field": "quantity", "values": [2, 3]},
+            {"path": PSU, "field": "quantity", "values": [1, 2]},
+        ],
+    }
+    document.update(extra)
+    return parse_study(document)
+
+
+def strategy_for(study):
+    return make_strategy(study, workgroup_model(), builtin_database())
+
+
+def drive(strategy, engine=None):
+    """Run a strategy to completion, returning the value trace."""
+    engine = engine or Engine()
+    values = []
+    generator = strategy.rounds()
+    try:
+        batch = next(generator)
+    except StopIteration:
+        return values
+    while batch:
+        availabilities = evaluate_candidates(engine, batch)
+        values.extend(availabilities)
+        try:
+            batch = generator.send(list(availabilities))
+        except StopIteration:
+            batch = []
+    return values
+
+
+class TestGrid:
+    def test_pool_is_the_full_product(self):
+        strategy = strategy_for(study_for())
+        assert strategy.total() == 4
+
+    def test_min_k_prunes_without_building(self):
+        strategy = strategy_for(study_for(
+            variables=[
+                {"path": FAN, "field": "quantity", "values": [2, 3]},
+                {"path": FAN, "field": "min_required",
+                 "values": [1, 2]},
+            ],
+            constraints={"min_k": 2},
+        ))
+        # min_required=1 assignments never enter the pool.
+        assert strategy.total() == 2
+        assert strategy.pruned()["min_k"] == 2
+
+    def test_invalid_k_greater_than_n_pruned(self):
+        strategy = strategy_for(study_for(variables=[
+            {"path": FAN, "field": "quantity", "values": [1, 3]},
+            {"path": FAN, "field": "min_required", "values": [2]},
+        ]))
+        # quantity=1 with min_required=2 cannot materialize.
+        assert strategy.total() == 1
+        assert strategy.pruned()["invalid"] == 1
+
+    def test_all_pruned_is_an_error(self):
+        with pytest.raises(SpecError, match="every grid candidate"):
+            strategy_for(study_for(
+                variables=[
+                    {"path": FAN, "field": "quantity", "values": [1]},
+                    {"path": FAN, "field": "min_required",
+                     "values": [2]},
+                ],
+            ))
+
+
+class TestDescent:
+    def test_total_is_rounds_times_sweep(self):
+        study = study_for("descent", options={"rounds": 3})
+        assert strategy_for(study).total() == 3 * 4
+
+    def test_start_is_nearest_to_base(self):
+        # Base fan quantity is 2: the sweep starts there, not at 3.
+        strategy = strategy_for(study_for("descent"))
+        assert strategy.start[0] == 2
+
+    def test_bad_rounds_rejected(self):
+        with pytest.raises(SpecError, match="rounds"):
+            strategy_for(study_for("descent", options={"rounds": 0}))
+
+    def test_trace_is_deterministic(self):
+        study = study_for("descent")
+        assert drive(strategy_for(study)) == drive(strategy_for(study))
+
+
+class TestEvolution:
+    def options(self, **overrides):
+        options = {"population": 4, "generations": 3, "seed": 7}
+        options.update(overrides)
+        return options
+
+    def test_total_is_population_times_generations(self):
+        study = study_for("evolve", options=self.options())
+        assert strategy_for(study).total() == 12
+
+    def test_same_seed_same_trajectory(self):
+        study = study_for("evolve", options=self.options())
+        assert drive(strategy_for(study)) == drive(strategy_for(study))
+
+    def test_seed_changes_the_trajectory_shape(self):
+        a = strategy_for(study_for("evolve", options=self.options()))
+        b = strategy_for(
+            study_for("evolve", options=self.options(seed=8))
+        )
+        engine = Engine()
+        trace_a, _ = replay(a, drive(a, engine))
+        trace_b, _ = replay(b, drive(b, engine))
+        assignments = lambda t: [c.assignment for c in t]  # noqa: E731
+        # Different seeds draw different initial populations (the
+        # search may still converge to the same winners).
+        assert assignments(trace_a) != assignments(trace_b)
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(SpecError, match="population"):
+            strategy_for(
+                study_for("evolve", options=self.options(population=1))
+            )
+        with pytest.raises(SpecError, match="mutation"):
+            strategy_for(
+                study_for("evolve", options=self.options(mutation=2.0))
+            )
+
+
+class TestReplay:
+    @pytest.mark.parametrize("name,options", [
+        ("grid", {}),
+        ("descent", {"rounds": 2}),
+        ("evolve", {"population": 4, "generations": 2, "seed": 3}),
+    ])
+    def test_full_replay_reconstructs_the_trace(self, name, options):
+        study = study_for(name, options=options)
+        strategy = strategy_for(study)
+        values = drive(strategy)
+        trace, pending = replay(strategy_for(study), values)
+        assert pending == []
+        assert len(trace) == len(values) == strategy.total()
+
+    def test_partial_replay_returns_the_pending_remainder(self):
+        study = study_for("descent")
+        strategy = strategy_for(study)
+        values = drive(strategy)
+        trace, pending = replay(strategy_for(study), values[:3])
+        assert len(trace) == 3
+        assert pending  # mid-round: the rest of the sweep batch
+        full, _ = replay(strategy_for(study), values)
+        assert [c.assignment for c in trace] == [
+            c.assignment for c in full[:3]
+        ]
+
+    def test_overlong_values_rejected(self):
+        study = study_for()
+        strategy = strategy_for(study)
+        values = drive(strategy)
+        with pytest.raises(SpecError, match="trace"):
+            replay(strategy_for(study), values + [0.5])
+
+
+class TestRegistry:
+    def test_unknown_strategy_lists_known(self):
+        study = study_for()
+        object.__setattr__(study, "strategy", "annealing")
+        with pytest.raises(SpecError, match="known:"):
+            make_strategy(study, workgroup_model())
+
+    def test_register_strategy_extends_the_registry(self):
+        class OneShot(Strategy):
+            name = "one-shot"
+
+            def total(self):
+                return 1
+
+            def rounds(self):
+                yield [self.factory.build(tuple(
+                    v.values[0] for v in self.variables
+                ))]
+
+        register_strategy(OneShot)
+        try:
+            study = study_for()
+            object.__setattr__(study, "strategy", "one-shot")
+            strategy = make_strategy(study, workgroup_model())
+            assert strategy.total() == 1
+        finally:
+            del STRATEGIES["one-shot"]

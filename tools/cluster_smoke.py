@@ -25,23 +25,19 @@ Run from the repository root::
 
 from __future__ import annotations
 
-import os
 import signal
-import socket
-import subprocess
 import sys
 import tempfile
 import threading
 import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+from _smoke_common import Fleet, free_port, subprocess_env
 
 from repro.analysis import expand_values  # noqa: E402
 from repro.cluster import (  # noqa: E402
     CoordinatorClient,
     SweepWorkload,
-    wait_until_healthy,
 )
 from repro.engine import Engine  # noqa: E402
 from repro.jobs import result_digest  # noqa: E402
@@ -54,12 +50,6 @@ BLOCK = "E10000 Server/Operating System"
 FIELD = "mtbf_hours"
 SWEEP_TIMEOUT = 300.0
 LEASE_TIMEOUT = 4.0
-
-
-def free_port() -> int:
-    with socket.socket() as sock:
-        sock.bind(("127.0.0.1", 0))
-        return sock.getsockname()[1]
 
 
 def reference_payload(base: Path, spec: dict, values: list) -> dict:
@@ -91,23 +81,11 @@ def main() -> int:
     reference = reference_payload(base, spec, values)
     print(f"reference digest: {reference['result_digest']}")
 
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
     coordinator_port = free_port()
     coordinator_url = f"http://127.0.0.1:{coordinator_port}"
-    processes = []
 
-    def spawn(name: str, argv: list) -> subprocess.Popen:
-        log = (base / f"{name}.log").open("wb")
-        process = subprocess.Popen(
-            [sys.executable, "-m", "repro", *argv],
-            env=env, stdout=log, stderr=subprocess.STDOUT,
-        )
-        processes.append(process)
-        return process
-
-    try:
-        spawn("coordinator", [
+    with Fleet(base, env=subprocess_env()) as fleet:
+        fleet.spawn("coordinator", [
             "cluster", "coordinator",
             "--host", "127.0.0.1", "--port", str(coordinator_port),
             "--jobs-db", str(base / "cluster.sqlite3"),
@@ -116,6 +94,7 @@ def main() -> int:
             "--lease-timeout", str(LEASE_TIMEOUT),
             "--steal-after", "2.0",
         ])
+        from repro.cluster import wait_until_healthy
         if not wait_until_healthy(coordinator_url, timeout=30.0):
             print("FAIL: coordinator never became healthy")
             return 1
@@ -123,7 +102,7 @@ def main() -> int:
         workers = []
         for index in range(2):
             port = free_port()
-            workers.append((f"http://127.0.0.1:{port}", spawn(
+            workers.append((f"http://127.0.0.1:{port}", fleet.spawn(
                 f"worker-{index}", [
                     "cluster", "worker",
                     "--host", "127.0.0.1", "--port", str(port),
@@ -236,15 +215,6 @@ def main() -> int:
             f"{totals['shards_retried']} shard retries)"
         )
         return 0
-    finally:
-        for process in processes:
-            if process.poll() is None:
-                process.terminate()
-        for process in processes:
-            try:
-                process.wait(timeout=10)
-            except subprocess.TimeoutExpired:
-                process.kill()
 
 
 if __name__ == "__main__":

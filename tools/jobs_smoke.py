@@ -24,7 +24,6 @@ Run from the repository root::
 from __future__ import annotations
 
 import json
-import os
 import signal
 import subprocess
 import sys
@@ -32,7 +31,7 @@ import tempfile
 import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+from _smoke_common import subprocess_env
 
 from repro.analysis import expand_values  # noqa: E402
 from repro.engine import Engine  # noqa: E402
@@ -90,10 +89,7 @@ def main() -> int:
     checkpointer = Checkpointer(base / "checkpoints")
     record, _ = store.submit(job_spec())
 
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(
-        Path(__file__).resolve().parents[1] / "src"
-    )
+    env = subprocess_env()
     worker = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "jobs", "worker",

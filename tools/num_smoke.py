@@ -20,9 +20,8 @@ Run from the repository root::
 from __future__ import annotations
 
 import sys
-from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+import _smoke_common  # noqa: F401  (puts src/ on sys.path)
 
 from repro.engine import Engine  # noqa: E402
 from repro.library import e10000_model  # noqa: E402

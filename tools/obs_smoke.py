@@ -32,7 +32,7 @@ import time
 import urllib.request
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+from _smoke_common import get_json
 
 from repro.obs.export import read_spans  # noqa: E402
 
@@ -53,11 +53,6 @@ def wait_for_port(log_path: Path, process: subprocess.Popen) -> str:
             return match.group(1)
         time.sleep(0.05)
     raise AssertionError("server did not start within 60 s")
-
-
-def get_json(url: str) -> dict:
-    with urllib.request.urlopen(url, timeout=30) as response:
-        return json.loads(response.read())
 
 
 def main() -> int:

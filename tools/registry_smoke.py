@@ -23,43 +23,17 @@ Run from the repository root::
 from __future__ import annotations
 
 import json
-import socket
-import subprocess
 import sys
 import tempfile
-import urllib.error
-import urllib.request
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+from _smoke_common import Fleet, cli, request, subprocess_env
 
-import os  # noqa: E402
-
-from repro.cluster import wait_until_healthy  # noqa: E402
 from repro.library import workgroup_model  # noqa: E402
 from repro.spec import model_to_spec  # noqa: E402
 
 BLOCK = "Workgroup Server/Operating System"
 SWEEP_VALUES = [1e5 + 1.8e4 * i for i in range(50)]
-
-
-def free_port() -> int:
-    with socket.socket() as sock:
-        sock.bind(("127.0.0.1", 0))
-        return sock.getsockname()[1]
-
-
-def request(url: str, payload=None, method=None):
-    """One HTTP exchange; returns (status, raw_body_bytes)."""
-    data = None
-    if payload is not None:
-        data = json.dumps(payload).encode()
-    req = urllib.request.Request(url, data=data, method=method)
-    try:
-        with urllib.request.urlopen(req, timeout=60) as response:
-            return response.status, response.read()
-    except urllib.error.HTTPError as error:
-        return error.code, error.read()
 
 
 def main() -> int:
@@ -78,20 +52,13 @@ def main() -> int:
     good_path.write_text(json.dumps(good))
     bad_path.write_text(json.dumps(bad))
 
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
-
-    def cli(*argv: str) -> int:
-        return subprocess.run(
-            [sys.executable, "-m", "repro", *argv],
-            env=env,
-        ).returncode
+    env = subprocess_env()
 
     # 1. CLI publish v1 to prod.
     code = cli(
         "models", "publish", str(good_path), "--name", "smoke",
         "--tag", "prod", "--registry-db", str(registry_db),
-        "--cache-dir", str(cache_dir),
+        "--cache-dir", str(cache_dir), env=env,
     )
     if code != 0:
         print(f"FAIL: CLI publish exited {code}")
@@ -101,7 +68,7 @@ def main() -> int:
     code = cli(
         "models", "check", str(bad_path), "--name", "smoke",
         "--tag", "prod", "--registry-db", str(registry_db),
-        "--cache-dir", str(cache_dir),
+        "--cache-dir", str(cache_dir), env=env,
     )
     if code != 1:
         print(f"FAIL: check exited {code}, expected the REJECT exit 1")
@@ -109,22 +76,12 @@ def main() -> int:
     print("CLI publish + gate dry-run OK")
 
     # 3-6. The HTTP side, on the same registry file.
-    port = free_port()
-    url = f"http://127.0.0.1:{port}"
-    log = (base / "server.log").open("wb")
-    server = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve",
-            "--host", "127.0.0.1", "--port", str(port),
+    with Fleet(base, env=env) as fleet:
+        url = fleet.spawn_server("server", [
+            "serve",
             "--registry-db", str(registry_db),
             "--cache-dir", str(cache_dir),
-        ],
-        env=env, stdout=log, stderr=subprocess.STDOUT,
-    )
-    try:
-        if not wait_until_healthy(url, timeout=30.0):
-            print("FAIL: server never became healthy")
-            return 1
+        ])
 
         # The CLI-published version is visible over HTTP.
         status, body = request(f"{url}/v1/models/smoke")
@@ -199,13 +156,6 @@ def main() -> int:
             f"{points}-point ref sweep byte-identical to inline"
         )
         return 0
-    finally:
-        if server.poll() is None:
-            server.terminate()
-        try:
-            server.wait(timeout=10)
-        except subprocess.TimeoutExpired:
-            server.kill()
 
 
 if __name__ == "__main__":
