@@ -35,6 +35,13 @@ Usage (installed as ``rascad``, or ``python -m repro``):
     rascad study status                # recorded studies
     rascad study front study-ab12..    # a study's cost/downtime front
     rascad study publish study-ab12.. --tag prod  # winner -> registry
+    rascad events replay model.json --seed 3 \\
+        --shift "Sys/Disk=0.01" --out trace.json  # synthetic field trace
+    rascad events ingest trace.json --url http://h0:8080  # batch ingest
+    rascad calibrate run model.json --events trace.json   # queued job
+    rascad calibrate status            # fitted rates, stored proposal
+    rascad calibrate propose model.json   # drift -> re-fitted proposal
+    rascad calibrate publish --name myserver --tag prod   # gated
 
 Specs are the JSON engineering-language format of :mod:`repro.spec`;
 part numbers resolve against the builtin catalog unless ``--database``
@@ -390,6 +397,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry_db=args.registry_db,
         registry_threshold=args.registry_threshold,
         registry_seed=not args.no_registry_seed,
+        telemetry_max_pending=args.telemetry_max_pending,
+        telemetry_max_batch=args.telemetry_max_batch,
+        telemetry_window_hours=args.telemetry_window,
     )
     return serve(config)
 
@@ -1114,6 +1124,402 @@ def parse_spec_document(base, database):
     return parse_spec(dict(base), database=database)
 
 
+def _http_json(url: str, payload=None, timeout: float = 60.0):
+    """One JSON request/response against a running rascad server."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            body = response.read()
+            return response.status, json.loads(body or b"{}"), {}
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        try:
+            document = json.loads(body)
+        except ValueError:
+            document = {
+                "error": {
+                    "code": "http_error",
+                    "message": body.decode("utf-8", errors="replace"),
+                }
+            }
+        return exc.code, document, dict(exc.headers or {})
+
+
+def _http_expect(url: str, payload=None, ok=(200, 201)):
+    """A JSON call that turns error envelopes into CLI errors."""
+    status, document, _headers = _http_json(url, payload)
+    if status not in ok:
+        error = document.get("error", {})
+        raise RascadError(
+            f"{url} answered {status} "
+            f"{error.get('code', '?')}: {error.get('message', '')}"
+        )
+    return document
+
+
+def _parse_shifts(raw) -> dict:
+    """``PATH=FACTOR`` tokens into the synthetic-source shift map."""
+    shifts: dict = {}
+    for token in raw or []:
+        path, separator, factor = token.rpartition("=")
+        if not separator or not path:
+            raise RascadError(
+                f"--shift must be PATH=FACTOR, got {token!r}"
+            )
+        try:
+            shifts[path] = float(factor)
+        except ValueError:
+            raise RascadError(
+                f"--shift factor must be a number, got {factor!r}"
+            ) from None
+    return shifts
+
+
+def _telemetry_hub_open(args: argparse.Namespace):
+    """The local telemetry hub a CLI subcommand works against.
+
+    State lives under ``CACHE_DIR/telemetry`` — the same directory a
+    ``rascad serve --cache-dir`` server persists to, so local and
+    served workflows see one estimator.
+    """
+    from pathlib import Path as _Path
+
+    from .engine import default_cache_dir
+    from .telemetry import TelemetryHub
+
+    base = getattr(args, "cache_dir", None) or default_cache_dir()
+    return TelemetryHub(
+        directory=_Path(base) / "telemetry",
+        window_hours=getattr(args, "window", None) or 168.0,
+    )
+
+
+def _drift_config_from_args(args: argparse.Namespace, window_hours):
+    from .telemetry import DriftConfig
+
+    changes = {"window_hours": window_hours}
+    if getattr(args, "drift_shift", None) is not None:
+        changes["shift"] = args.drift_shift
+    if getattr(args, "drift_threshold", None) is not None:
+        changes["threshold"] = args.drift_threshold
+    if getattr(args, "min_events", None) is not None:
+        changes["min_events"] = args.min_events
+    return DriftConfig(**changes)
+
+
+def _cmd_events_replay(args: argparse.Namespace) -> int:
+    """Generate a reproducible synthetic field trace from a spec."""
+    import json
+    from pathlib import Path
+
+    from .telemetry import synthetic_field_events
+
+    _configure_obs(args)
+    model = _load(args)
+    events = synthetic_field_events(
+        model,
+        window_hours=args.window,
+        seed=args.seed,
+        server=args.server,
+        mtbf_shifts=_parse_shifts(args.shift) or None,
+    )
+    document = {
+        "model": model.name,
+        "window_hours": args.window,
+        "seed": args.seed,
+        "events": [event.to_dict() for event in events],
+    }
+    if args.url:
+        accepted, duplicates = _post_events(
+            args.url, document["events"], args.batch_size
+        )
+        print(f"replayed {accepted} event(s) to {args.url} "
+              f"({duplicates} duplicate(s) skipped)")
+        return 0
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {len(events)} event(s) to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _post_events(url: str, events, batch_size: int):
+    """POST events in batches, honouring 429 Retry-After backpressure."""
+    import time as _time
+
+    endpoint = url.rstrip("/") + "/v1/events"
+    accepted = duplicates = 0
+    for lo in range(0, len(events), max(1, batch_size)):
+        batch = events[lo:lo + max(1, batch_size)]
+        for _attempt in range(10):
+            status, document, headers = _http_json(
+                endpoint, {"events": batch}
+            )
+            if status != 429:
+                break
+            _time.sleep(float(headers.get("Retry-After", 1)))
+        if status != 200:
+            error = document.get("error", {})
+            raise RascadError(
+                f"ingest batch at {lo} answered {status} "
+                f"{error.get('code', '?')}: {error.get('message', '')}"
+            )
+        accepted += int(document.get("accepted", 0))
+        duplicates += int(document.get("duplicates", 0))
+    return accepted, duplicates
+
+
+def _read_events_file(path) -> list:
+    """The event list from a trace file (bare list or ``{"events"}``)."""
+    import json
+    from pathlib import Path
+
+    document = json.loads(Path(path).read_text())
+    events = (
+        document.get("events") if isinstance(document, dict) else document
+    )
+    if not isinstance(events, list):
+        raise RascadError(
+            f"{path} holds no event list; expected a JSON array or "
+            "an object with an 'events' key"
+        )
+    return events
+
+
+def _cmd_events_ingest(args: argparse.Namespace) -> int:
+    """Ingest a trace file into a server or the local estimator."""
+    from .telemetry import parse_events
+
+    _configure_obs(args)
+    events = _read_events_file(args.events)
+    if args.url:
+        accepted, duplicates = _post_events(
+            args.url, events, args.batch_size
+        )
+        print(f"ingested {accepted} event(s) into {args.url} "
+              f"({duplicates} duplicate(s) skipped)")
+        return 0
+    hub = _telemetry_hub_open(args)
+    parsed = parse_events(events)
+    accepted = duplicates = 0
+    for lo in range(0, len(parsed), max(1, args.batch_size)):
+        result = hub.ingest(
+            [
+                event.to_dict()
+                for event in parsed[lo:lo + max(1, args.batch_size)]
+            ]
+        )
+        accepted += int(result["accepted"])
+        duplicates += int(result["duplicates"])
+    print(f"ingested {accepted} event(s) "
+          f"({duplicates} duplicate(s) skipped)")
+    print(f"state digest : {hub.estimator.state_digest()}")
+    print(f"parts        : {hub.estimator.parts}, "
+          f"units: {hub.estimator.units}")
+    return 0
+
+
+def _print_calibration_summary(summary: dict) -> None:
+    print(f"events       : {summary['events_total']} across "
+          f"{summary['parts']} part(s), {summary['units']} unit(s)")
+    window = summary.get("event_window")
+    if window:
+        print(f"window       : {window['start_hours']:.1f} .. "
+              f"{window['end_hours']:.1f} h")
+    print(f"state digest : {summary['state_digest']}")
+    fitted = summary.get("fitted", {})
+    rows = fitted.get("parts", [])
+    if rows:
+        print(f"{'failures':>8} {'rate/h':>12} {'mtbf h':>12}  part")
+        for row in rows:
+            mtbf = row.get("mtbf_hours")
+            mtbf_text = f"{mtbf:.0f}" if mtbf else "-"
+            print(f"{row['failures']:>8} {row['failure_rate']:>12.3e} "
+                  f"{mtbf_text:>12}  {row['part']}")
+    proposal = summary.get("proposal")
+    if proposal:
+        print(f"proposal     : {proposal['proposal_digest'][:16]} "
+              f"({', '.join(proposal.get('drifted_parts') or [])})")
+
+
+def _cmd_calibrate_status(args: argparse.Namespace) -> int:
+    if args.url:
+        summary = _http_expect(
+            args.url.rstrip("/") + "/v1/calibration"
+        )
+    else:
+        summary = _telemetry_hub_open(args).summary()
+    import json
+
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    _print_calibration_summary(summary)
+    return 0
+
+
+def _cmd_calibrate_run(args: argparse.Namespace) -> int:
+    """Submit a checkpointed ``kind="calibration"`` background job."""
+    import json
+    from pathlib import Path
+
+    from .jobs import JobSpec
+
+    _configure_obs(args)
+    spec_doc = json.loads(Path(args.spec).read_text())
+    if args.events:
+        source: dict = {
+            "kind": "events", "events": _read_events_file(args.events),
+        }
+    else:
+        source = {
+            "kind": "synthetic",
+            "seed": args.seed,
+            "window_hours": args.trace_window,
+            "server": args.server,
+        }
+        shifts = _parse_shifts(args.shift)
+        if shifts:
+            source["shifts"] = shifts
+    params: dict = {
+        "source": source,
+        "chunk_events": args.chunk_events,
+        "window_hours": args.window,
+    }
+    drift: dict = {}
+    if args.drift_shift is not None:
+        drift["shift"] = args.drift_shift
+    if args.drift_threshold is not None:
+        drift["threshold"] = args.drift_threshold
+    if args.min_events is not None:
+        drift["min_events"] = args.min_events
+    if drift:
+        params["drift"] = drift
+    job = JobSpec(kind="calibration", spec=spec_doc, params=params)
+    store, _ = _jobs_open(args)
+    record, created = store.submit(job)
+    verb = "submitted" if created else "already queued (deduplicated)"
+    print(f"{record.id} {verb}")
+    print(f"state: {record.state}")
+    print("run it with: rascad jobs worker --once")
+    return 0
+
+
+def _cmd_calibrate_propose(args: argparse.Namespace) -> int:
+    """Fit, drift-detect against a spec, and store a proposal."""
+    import json
+    from pathlib import Path
+
+    _configure_obs(args)
+    if args.url:
+        payload: dict = {
+            "spec": json.loads(Path(args.spec).read_text())
+        }
+        drift: dict = {}
+        if args.drift_shift is not None:
+            drift["shift"] = args.drift_shift
+        if args.drift_threshold is not None:
+            drift["threshold"] = args.drift_threshold
+        if args.min_events is not None:
+            drift["min_events"] = args.min_events
+        if drift:
+            payload["drift"] = drift
+        document = _http_expect(
+            args.url.rstrip("/") + "/v1/calibration/propose", payload
+        )
+        proposal = document["proposal"]
+    else:
+        hub = _telemetry_hub_open(args)
+        model = _load(args)
+        engine = _engine_from_args(args)
+        try:
+            proposal = hub.propose(
+                model,
+                engine,
+                drift_config=_drift_config_from_args(
+                    args, hub.estimator.window_hours
+                ),
+                options=_solver_options_from_args(args),
+            )
+        finally:
+            _persist_stats(engine, args)
+    drift = proposal.get("drift", {})
+    print(f"proposal  : {proposal['proposal_digest'][:16]}")
+    print(f"model     : {proposal['model']}")
+    print(f"drifted   : {', '.join(drift.get('drifted_parts', []))}")
+    for part, entry in sorted(proposal.get("refit", {}).items()):
+        new = entry.get("new_mtbf_hours")
+        new_text = f"{new:.0f}" if new else "-"
+        print(f"  ~ {part}: mtbf {entry['old_mtbf_hours']:.0f} "
+              f"-> {new_text} h")
+    evaluation = proposal.get("evaluation", {})
+    if evaluation:
+        print(f"candidate : {evaluation['availability']:.8f} avail, "
+              f"{evaluation['yearly_downtime_minutes']:.3f} min/yr")
+    return 0
+
+
+def _cmd_calibrate_publish(args: argparse.Namespace) -> int:
+    """Publish the stored proposal to the registry (gated when tagged)."""
+    _configure_obs(args)
+    if args.url:
+        payload: dict = {"name": args.name}
+        if args.tag:
+            payload["tag"] = args.tag
+        if args.force:
+            payload["force"] = True
+        if args.threshold is not None:
+            payload["threshold"] = args.threshold
+        document = _http_expect(
+            args.url.rstrip("/") + "/v1/calibration/publish", payload
+        )
+        version = document.get("version", {})
+        verb = (
+            "published" if document.get("created") else "already published"
+        )
+        print(f"{verb} {args.name}@{version.get('digest', '')[:12]}")
+        return 0
+    hub = _telemetry_hub_open(args)
+    engine = _engine_from_args(args)
+    registry = _registry_open(args, engine=engine)
+    try:
+        result = hub.publish(
+            registry,
+            args.name,
+            tag=args.tag,
+            force=args.force,
+            threshold=args.threshold,
+        )
+    finally:
+        _persist_stats(engine, args)
+        registry.close()
+    verb = "published" if result.created else "already published"
+    print(f"{verb} {args.name}@{result.version.digest[:12]} "
+          "from calibration proposal")
+    source = result.version.source or {}
+    rates = source.get("fitted_rates", {})
+    for part, rate in sorted(rates.items()):
+        print(f"  {part}: fitted rate {rate:.3e}/h")
+    gate = result.gate
+    if gate is not None:
+        delta = gate["downtime_delta_minutes"]
+        print(f"gate      : {delta:+.3f} min/yr vs {gate['tag']} "
+              f"baseline (threshold {gate['threshold_minutes']:g})"
+              + (" [FORCED]" if gate.get("forced") else ""))
+    return 0
+
+
 def _cmd_parts(args: argparse.Namespace) -> int:
     database = (
         PartsDatabase.load(args.database)
@@ -1364,6 +1770,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not publish the built-in library models into the "
              "registry at startup",
     )
+    serve.add_argument(
+        "--telemetry-max-pending", type=int, default=10_000, metavar="N",
+        help="field events admitted but not yet applied before "
+             "POST /v1/events answers 429 (default: 10000)",
+    )
+    serve.add_argument(
+        "--telemetry-max-batch", type=int, default=1_024, metavar="N",
+        help="maximum events in one /v1/events batch (default: 1024)",
+    )
+    serve.add_argument(
+        "--telemetry-window", type=float, default=168.0, metavar="HOURS",
+        help="drift-detection window width in hours (default: 168)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     trace = commands.add_parser(
@@ -1422,7 +1841,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("spec", help="model spec file")
     submit.add_argument(
-        "--kind", choices=["sweep", "uncertainty", "validate", "study"],
+        "--kind",
+        choices=["sweep", "uncertainty", "validate", "study",
+                 "calibration"],
         default="sweep",
     )
     submit.add_argument("--block", default=None,
@@ -1469,7 +1890,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "failed", "cancelled"])
     jlist.add_argument("--kind", default=None,
                        choices=["sweep", "uncertainty", "validate",
-                                "study"])
+                                "study", "calibration"])
     jlist.add_argument("--limit", type=int, default=50)
     add_db_flag(jlist)
     jlist.set_defaults(handler=_cmd_jobs_list)
@@ -1789,6 +2210,208 @@ def build_parser() -> argparse.ArgumentParser:
     add_registry_flag(spublish)
     add_engine_flags(spublish)
     spublish.set_defaults(handler=_cmd_study_publish)
+
+    events = commands.add_parser(
+        "events",
+        help="field-event traces (replay a synthetic trace, ingest)",
+    )
+    events_commands = events.add_subparsers(
+        dest="events_command", required=True
+    )
+
+    def add_ingest_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--url", default=None, metavar="URL",
+            help="POST to a running rascad serve instead of the "
+                 "local telemetry state",
+        )
+        subparser.add_argument(
+            "--batch-size", type=int, default=256, metavar="N",
+            help="events per ingest batch (default: 256)",
+        )
+
+    replay = events_commands.add_parser(
+        "replay",
+        help="generate a reproducible synthetic field trace from a spec",
+    )
+    replay.add_argument("spec", help="model spec file")
+    replay.add_argument(
+        "--window", type=float, default=10_950.0, metavar="HOURS",
+        help="observation window in hours (default: 10950, ~15 months)",
+    )
+    replay.add_argument(
+        "--seed", type=int, default=0,
+        help="trace seed (default: 0)",
+    )
+    replay.add_argument(
+        "--server", default="server-A", metavar="NAME",
+        help="unit-name prefix for the simulated fleet "
+             "(default: server-A)",
+    )
+    replay.add_argument(
+        "--shift", action="append", default=None, metavar="PATH=FACTOR",
+        help="multiply one part's spec MTBF by FACTOR before "
+             "simulating (repeatable; <1 injects drift)",
+    )
+    replay.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the trace to FILE instead of stdout",
+    )
+    add_ingest_flags(replay)
+    add_obs_flags(replay)
+    replay.set_defaults(handler=_cmd_events_replay)
+
+    ingest = events_commands.add_parser(
+        "ingest",
+        help="feed a trace file into a server or the local estimator",
+    )
+    ingest.add_argument(
+        "events", metavar="TRACE.json",
+        help="event trace file (array, or object with 'events')",
+    )
+    ingest.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="local telemetry state directory root "
+             "(default: ~/.cache/rascad; state in DIR/telemetry)",
+    )
+    ingest.add_argument(
+        "--window", type=float, default=None, metavar="HOURS",
+        help="drift window for fresh local state (default: 168)",
+    )
+    add_ingest_flags(ingest)
+    add_obs_flags(ingest)
+    ingest.set_defaults(handler=_cmd_events_ingest)
+
+    calibrate = commands.add_parser(
+        "calibrate",
+        help="online rate calibration from field events "
+             "(run, status, propose, publish)",
+    )
+    calibrate_commands = calibrate.add_subparsers(
+        dest="calibrate_command", required=True
+    )
+
+    def add_drift_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--drift-shift", type=float, default=None, metavar="S",
+            help="rate-shift factor the CUSUM tests for (default: 2.0)",
+        )
+        subparser.add_argument(
+            "--drift-threshold", type=float, default=None, metavar="H",
+            help="CUSUM decision threshold (default: 8.0)",
+        )
+        subparser.add_argument(
+            "--min-events", type=int, default=None, metavar="N",
+            help="failures required before deterioration is "
+                 "confirmable (default: 5)",
+        )
+
+    crun = calibrate_commands.add_parser(
+        "run",
+        help="submit a checkpointed calibration job "
+             "(execute with: rascad jobs worker)",
+    )
+    crun.add_argument("spec", help="model spec file")
+    crun.add_argument(
+        "--events", default=None, metavar="TRACE.json",
+        help="ingest this trace file (default: a synthetic trace)",
+    )
+    crun.add_argument("--seed", type=int, default=0,
+                      help="synthetic trace seed (default: 0)")
+    crun.add_argument(
+        "--trace-window", type=float, default=10_950.0, metavar="HOURS",
+        help="synthetic observation window (default: 10950)",
+    )
+    crun.add_argument(
+        "--server", default="server-A", metavar="NAME",
+        help="synthetic fleet unit-name prefix (default: server-A)",
+    )
+    crun.add_argument(
+        "--shift", action="append", default=None, metavar="PATH=FACTOR",
+        help="synthetic MTBF shift (repeatable; <1 injects drift)",
+    )
+    crun.add_argument(
+        "--chunk-events", type=int, default=256, metavar="N",
+        help="events per checkpointable chunk (default: 256)",
+    )
+    crun.add_argument(
+        "--window", type=float, default=168.0, metavar="HOURS",
+        help="drift-detection window width (default: 168)",
+    )
+    add_drift_flags(crun)
+    add_db_flag(crun)
+    add_obs_flags(crun)
+    crun.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="cache directory holding jobs.sqlite3")
+    crun.set_defaults(handler=_cmd_calibrate_run)
+
+    cstatus = calibrate_commands.add_parser(
+        "status", help="fitted per-part rates and the stored proposal"
+    )
+    cstatus.add_argument(
+        "--url", default=None, metavar="URL",
+        help="query a running rascad serve instead of local state",
+    )
+    cstatus.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="local telemetry state directory root")
+    cstatus.add_argument("--window", type=float, default=None,
+                         metavar="HOURS",
+                         help="drift window for fresh local state")
+    cstatus.add_argument(
+        "--json", action="store_true",
+        help="print the raw /v1/calibration document",
+    )
+    cstatus.set_defaults(handler=_cmd_calibrate_status)
+
+    cpropose = calibrate_commands.add_parser(
+        "propose",
+        help="detect drift against a spec and store a re-fitted "
+             "calibration proposal",
+    )
+    cpropose.add_argument("spec", help="model spec file")
+    cpropose.add_argument(
+        "--url", default=None, metavar="URL",
+        help="propose on a running rascad serve instead of locally",
+    )
+    add_drift_flags(cpropose)
+    cpropose.add_argument("--window", type=float, default=None,
+                          metavar="HOURS",
+                          help="drift window for fresh local state")
+    add_engine_flags(cpropose)
+    cpropose.set_defaults(handler=_cmd_calibrate_propose)
+
+    cpublish = calibrate_commands.add_parser(
+        "publish",
+        help="publish the stored proposal to the model registry "
+             "(tagging runs the regression gate)",
+    )
+    cpublish.add_argument(
+        "--name", required=True, metavar="NAME",
+        help="registry model name",
+    )
+    cpublish.add_argument(
+        "--tag", default=None, metavar="TAG",
+        help="also point TAG at the published version (gated)",
+    )
+    cpublish.add_argument(
+        "--force", action="store_true",
+        help="override a regression-gate rejection (recorded)",
+    )
+    cpublish.add_argument(
+        "--threshold", type=float, default=None, metavar="MINUTES",
+        help="gate threshold in extra yearly downtime minutes "
+             "(default: 1.0)",
+    )
+    cpublish.add_argument(
+        "--url", default=None, metavar="URL",
+        help="publish through a running rascad serve instead of locally",
+    )
+    cpublish.add_argument("--window", type=float, default=None,
+                          metavar="HOURS",
+                          help="drift window for fresh local state")
+    add_registry_flag(cpublish)
+    add_engine_flags(cpublish)
+    cpublish.set_defaults(handler=_cmd_calibrate_publish)
 
     return parser
 

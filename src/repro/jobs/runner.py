@@ -174,6 +174,8 @@ def plan_job(
         return _plan_validate(spec, model, engine)
     if spec.kind == "study":
         return _plan_study(spec, model, engine)
+    if spec.kind == "calibration":
+        return _plan_calibration(spec, model, engine)
     raise SpecError(f"unknown job kind {spec.kind!r}")
 
 
@@ -394,6 +396,151 @@ def _plan_study(
         )
 
     return Plan(strategy.total(), solve_range, aggregate, resume=resume)
+
+
+def _plan_calibration(
+    spec: JobSpec, model: DiagramBlockModel, engine: Engine
+) -> Plan:
+    """A checkpointed, resumable field-data calibration fit.
+
+    The event stream is a pure function of the job's parameters —
+    either regenerated synthetically from ``(spec, seed, window,
+    shifts)`` or carried verbatim in ``params.source.events`` — so a
+    point is simply "ingest chunk *i*" and its checkpointed scalar is
+    the accepted-event count.  ``resume`` re-ingests the checkpointed
+    prefix chunks into a fresh estimator (pure replay, like the study
+    plan's history), which is why a SIGKILL'd fit resumes to the
+    bit-identical estimator state, fitted rates, and proposal digest.
+    """
+    from ..telemetry import (
+        DriftConfig,
+        NoDriftError,
+        OutOfOrderError,
+        RateEstimator,
+        TelemetryError,
+        build_proposal,
+        parse_events,
+        synthetic_field_events,
+    )
+
+    params = spec.params
+    source = _require(params, "source", "calibration")
+    if not isinstance(source, dict) or "kind" not in source:
+        raise SpecError(
+            "params.source must be an object with a 'kind' key"
+        )
+    chunk_events = int(params.get("chunk_events", 256))
+    if chunk_events < 1:
+        raise SpecError(
+            f"chunk_events must be >= 1, got {chunk_events}"
+        )
+    window_hours = float(params.get("window_hours", 168.0))
+    confidence = float(params.get("confidence", 0.95))
+    drift_raw = params.get("drift")
+    if drift_raw is not None and not isinstance(drift_raw, dict):
+        raise SpecError("params.drift must be an object")
+    try:
+        drift_config = DriftConfig(
+            window_hours=window_hours, **(drift_raw or {})
+        )
+    except (TelemetryError, TypeError) as exc:
+        raise SpecError(
+            f"calibration job has invalid params.drift: {exc}"
+        ) from exc
+    options = _solver_options(params, "calibration")
+
+    source_kind = source["kind"]
+    if source_kind == "synthetic":
+        try:
+            events = synthetic_field_events(
+                model,
+                window_hours=float(
+                    source.get("window_hours", 10_950.0)
+                ),
+                seed=int(source.get("seed", 0)),
+                server=str(source.get("server", "server-A")),
+                mtbf_shifts=source.get("shifts"),
+            )
+        except TelemetryError as exc:
+            raise SpecError(
+                f"calibration job has a bad synthetic source: {exc}"
+            ) from exc
+    elif source_kind == "events":
+        try:
+            events = parse_events(
+                _require(source, "events", "calibration")
+            )
+            # Dry-run the full stream now so ordering problems are
+            # permanent submission errors, not worker retries.
+            probe = RateEstimator(window_hours=window_hours)
+            probe.ingest_many(events)
+        except OutOfOrderError as exc:
+            raise SpecError(
+                f"calibration job events are out of order: {exc}"
+            ) from exc
+        except TelemetryError as exc:
+            raise SpecError(
+                f"calibration job has malformed events: {exc}"
+            ) from exc
+    else:
+        raise SpecError(
+            f"unknown calibration source kind {source_kind!r}; "
+            "known: ['synthetic', 'events']"
+        )
+
+    chunks = [
+        events[lo:lo + chunk_events]
+        for lo in range(0, len(events), chunk_events)
+    ] or [[]]
+    estimator = RateEstimator(window_hours=window_hours)
+    ingested = [0]  # chunks folded into ``estimator`` so far
+
+    def resume(values: List[float]) -> None:
+        for index in range(len(values)):
+            estimator.ingest_many(chunks[index])
+        ingested[0] = len(values)
+
+    def solve_range(lo: int, hi: int) -> List[float]:
+        if ingested[0] != lo:
+            raise SolverError(
+                f"calibration plan out of sync: {ingested[0]} chunks "
+                f"ingested, runner asked for range [{lo}, {hi})"
+            )
+        accepted: List[float] = []
+        for index in range(lo, hi):
+            count, _duplicates = estimator.ingest_many(chunks[index])
+            accepted.append(float(count))
+            ingested[0] = index + 1
+        return accepted
+
+    def aggregate(values: List[float]) -> Dict[str, object]:
+        fitted = estimator.fit(confidence=confidence)
+        try:
+            proposal: Optional[Dict[str, object]] = build_proposal(
+                estimator,
+                model,
+                engine,
+                drift_config=drift_config,
+                options=options,
+                confidence=confidence,
+            )
+        except NoDriftError:
+            proposal = None
+        payload: Dict[str, object] = {
+            "kind": "calibration",
+            "model": model.name,
+            "events_total": len(events),
+            "accepted": int(sum(values)),
+            "chunks": len(chunks),
+            "state_digest": estimator.state_digest(),
+            "event_window": estimator.event_window(),
+            "fitted": fitted.to_dict(),
+            "drifted": proposal is not None,
+            "proposal": proposal,
+        }
+        return payload
+
+    return Plan(len(chunks), solve_range, aggregate, resume=resume)
 
 
 # ----------------------------------------------------------------------

@@ -31,7 +31,7 @@ from ..semimarkov.distributions import (
 from ..spec import parse_spec
 
 #: Workload kinds the runner knows how to execute.
-JOB_KINDS = ("sweep", "uncertainty", "validate", "study")
+JOB_KINDS = ("sweep", "uncertainty", "validate", "study", "calibration")
 
 #: Job state machine.  ``queued -> running -> succeeded | failed |
 #: cancelled``; a transient failure or an expired lease moves a running
@@ -103,6 +103,11 @@ class JobSpec:
               is the base model): ``variables`` (required),
               ``strategy``, ``options``, ``constraints``, ``method``,
               ``name``.
+            * ``calibration`` — ``source`` (required; ``{"kind":
+              "synthetic", seed, window_hours, server, shifts}`` or
+              ``{"kind": "events", "events": [...]}``),
+              ``chunk_events``, ``window_hours``, ``drift`` (the
+              detector config), ``confidence``, ``method``.
         priority: Higher runs first among queued jobs.
         max_attempts: Execution attempts before a transient failure
             becomes permanent.

@@ -35,6 +35,17 @@ Routes:
 ``GET /v1/cluster/workers``     the coordinator's fleet table
 ``GET /v1/cluster/status``      coordinator totals, config, active
                                 workloads
+``POST /v1/events``             batch field-event ingest (atomic; ``429
+                                backlog_full`` under admission pressure,
+                                ``400 out_of_order`` / ``bad_request``
+                                for broken payloads)
+``GET /v1/calibration``         estimator status, fitted rates, last
+                                proposal
+``GET /v1/calibration/proposal``  the stored calibration proposal
+``POST /v1/calibration/propose``  fit + drift-detect against a model
+                                (``409 no_drift`` when nothing crossed)
+``POST /v1/calibration/publish``  publish the proposal to the registry
+                                (tagging runs the regression gate)
 ``GET /healthz``                liveness + queue gauges
 ``GET /metrics``                JSON metrics; Prometheus text with
                                 ``?format=prometheus`` (or
@@ -77,6 +88,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..jobs import JobStore
     from ..registry import ModelRegistry
     from ..studies import StudySpec, StudyStore
+    from ..telemetry import TelemetryHub
 
 from ..core import compute_measures
 from ..core.translator import SystemSolution
@@ -173,6 +185,7 @@ class App:
         cluster: Optional["Coordinator"] = None,
         registry: Optional["ModelRegistry"] = None,
         studies: Optional["StudyStore"] = None,
+        telemetry: Optional["TelemetryHub"] = None,
     ) -> None:
         from ..studies import StudyStore
 
@@ -183,6 +196,7 @@ class App:
         self.jobs = jobs
         self.cluster = cluster
         self.registry = registry
+        self.telemetry = telemetry
         # Studies are always enabled: results are JSON documents, so
         # an in-memory store costs nothing for embedded servers.
         self.studies = studies if studies is not None else StudyStore()
@@ -206,6 +220,11 @@ class App:
             "GET /v1/cluster/workers": self._cluster_workers,
             "POST /v1/cluster/workers": self._cluster_register,
             "GET /v1/cluster/status": self._cluster_status,
+            "POST /v1/events": self._events_ingest,
+            "GET /v1/calibration": self._calibration_status,
+            "GET /v1/calibration/proposal": self._calibration_proposal,
+            "POST /v1/calibration/propose": self._calibration_propose,
+            "POST /v1/calibration/publish": self._calibration_publish,
             "GET /healthz": self._healthz,
             "GET /metrics": self._metrics,
             "GET /debug/traces": self._debug_traces,
@@ -606,6 +625,105 @@ class App:
 
     def _cluster_status(self, request: Request) -> Response:
         return json_response(self._coordinator().status())
+
+    # ------------------------------------------------------------------
+    # telemetry endpoints
+    # ------------------------------------------------------------------
+    def _telemetry_required(self) -> "TelemetryHub":
+        if self.telemetry is None:
+            raise ProtocolError(
+                503, "telemetry_disabled",
+                "this server was started without telemetry; "
+                "rascad serve attaches a hub by default",
+            )
+        return self.telemetry
+
+    async def _events_ingest(self, request: Request) -> Response:
+        """Batch field-event ingest, atomic per batch.
+
+        Malformed or out-of-order payloads answer a structured 400
+        (``bad_request`` / ``out_of_order``) without touching state; a
+        full admission backlog answers 429 with ``Retry-After``.
+        """
+        from ..telemetry import BacklogFullError
+
+        hub = self._telemetry_required()
+        payload = request.json()
+        events = _field(payload, "events", list)
+        try:
+            result = await asyncio.to_thread(hub.ingest, events)
+        except BacklogFullError as error:
+            details = error.details if isinstance(
+                error.details, dict
+            ) else None
+            return error_response(
+                429, "backlog_full", str(error),
+                retry_after=1.0, details=details,
+            )
+        return json_response(result)
+
+    async def _calibration_status(self, request: Request) -> Response:
+        hub = self._telemetry_required()
+        return json_response(await asyncio.to_thread(hub.summary))
+
+    async def _calibration_proposal(
+        self, request: Request
+    ) -> Response:
+        hub = self._telemetry_required()
+        return json_response({"proposal": hub.require_proposal()})
+
+    async def _calibration_propose(self, request: Request) -> Response:
+        """Fit, detect drift against the request's model, and build a
+        calibration proposal (409 ``no_drift`` when nothing crossed)."""
+        from ..telemetry import DriftConfig, TelemetryError
+
+        hub = self._telemetry_required()
+        payload = request.json()
+        model = self._parse_request_model(payload)
+        options = self._solver_options_of(payload)
+        drift_raw = _field(payload, "drift", dict, required=False)
+        drift_config = None
+        if drift_raw is not None:
+            try:
+                drift_config = DriftConfig(
+                    window_hours=hub.estimator.window_hours,
+                    **drift_raw,
+                )
+            except (TelemetryError, TypeError) as exc:
+                raise ProtocolError(
+                    400, "invalid_request",
+                    f"invalid drift config: {exc}",
+                ) from exc
+        confidence = _field(
+            payload, "confidence", float, required=False, default=0.95
+        )
+        proposal = await asyncio.to_thread(
+            hub.propose, model, self.engine, drift_config, options,
+            None, confidence,
+        )
+        return json_response({"proposal": proposal}, status=201)
+
+    async def _calibration_publish(self, request: Request) -> Response:
+        """Publish the stored proposal as a registry version.
+
+        Tagging opts into the availability regression gate — a
+        calibration that worsens the tag holder still gets its 409.
+        """
+        hub = self._telemetry_required()
+        registry = self._registry_required()
+        payload = request.json()
+        name = _field(payload, "name", str)
+        tag = _field(payload, "tag", str, required=False)
+        force = _field(
+            payload, "force", bool, required=False, default=False
+        )
+        threshold = _field(payload, "threshold", float, required=False)
+        result = await asyncio.to_thread(
+            hub.publish, registry, name, tag, force, threshold
+        )
+        return json_response(
+            result.to_dict(), status=201 if result.created else 200
+        )
 
     # ------------------------------------------------------------------
     # background-job endpoints
@@ -1146,6 +1264,8 @@ class App:
         )
         if self.registry is not None:
             payload["registry"] = self.registry.counts()
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry.counts()
         if self.cluster is not None:
             payload["cluster"] = {
                 "workers": self.cluster.membership.snapshot(),
@@ -1431,7 +1551,7 @@ def render_prometheus(payload: Mapping[str, object]) -> str:
                     f"engine_{key}", "gauge",
                     f"Engine gauge {key}.", value,
                 )
-    for section in ("derived", "cache", "service", "registry"):
+    for section in ("derived", "cache", "service", "registry", "telemetry"):
         values = payload.get(section)
         if isinstance(values, Mapping):
             for key, value in sorted(values.items()):

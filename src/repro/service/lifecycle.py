@@ -106,6 +106,14 @@ class ServiceConfig:
         registry_seed: Publish the built-in library models into the
             registry at startup (idempotent; evaluation is lazy, so
             seeding performs no solves).
+        telemetry_max_pending: Admission bound on field events admitted
+            but not yet folded into estimator state; beyond it
+            ``POST /v1/events`` answers ``429 backlog_full``.
+        telemetry_max_batch: Cap on one ingest batch's event count.
+        telemetry_window_hours: Drift-ladder window width for the
+            server's rate estimator.  Telemetry state persists under
+            ``cache_dir/telemetry`` when a cache directory is set,
+            else in memory for the server's lifetime.
     """
 
     host: str = "127.0.0.1"
@@ -140,6 +148,9 @@ class ServiceConfig:
     registry_db: Optional[Union[str, Path]] = None
     registry_threshold: float = 1.0
     registry_seed: bool = True
+    telemetry_max_pending: int = 10_000
+    telemetry_max_batch: int = 1_024
+    telemetry_window_hours: float = 168.0
 
 
 class Server:
@@ -169,6 +180,7 @@ class Server:
         self.coordinator = self._build_coordinator()
         self.registry = self._build_registry()
         self.studies = self._build_study_store()
+        self.telemetry = self._build_telemetry()
         self.app = App(
             self.engine,
             self.queue,
@@ -178,6 +190,7 @@ class Server:
             cluster=self.coordinator,
             registry=self.registry,
             studies=self.studies,
+            telemetry=self.telemetry,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown_requested: Optional[asyncio.Event] = None
@@ -284,6 +297,29 @@ class Server:
         if self.config.cache_dir is None:
             return StudyStore()
         return StudyStore(Path(self.config.cache_dir) / "studies")
+
+    def _build_telemetry(self):
+        """The telemetry hub behind ``/v1/events``.
+
+        Every server gets one; state persists under
+        ``cache_dir/telemetry`` when a cache directory is configured
+        (shared with ``rascad events``/``rascad calibrate`` CLI runs),
+        else in memory for the server's lifetime.
+        """
+        from ..telemetry import TelemetryHub
+
+        directory = (
+            Path(self.config.cache_dir) / "telemetry"
+            if self.config.cache_dir is not None
+            else None
+        )
+        return TelemetryHub(
+            directory=directory,
+            stats=self.engine.stats,
+            max_pending=self.config.telemetry_max_pending,
+            max_batch=self.config.telemetry_max_batch,
+            window_hours=self.config.telemetry_window_hours,
+        )
 
     def _shutdown_event(self) -> asyncio.Event:
         # Created lazily: on Python 3.9 an Event binds the event loop

@@ -30,6 +30,13 @@ from urllib.parse import parse_qsl, unquote, urlsplit
 
 from ..cluster.config import ClusterError, NoWorkersError, ShardFailedError
 from ..studies.store import StudyNotFoundError
+from ..telemetry.events import (
+    BacklogFullError,
+    NoDriftError,
+    NoProposalError,
+    OutOfOrderError,
+    TelemetryError,
+)
 from ..registry.types import (
     ModelNotFoundError,
     RefError,
@@ -82,6 +89,13 @@ REASONS = {
 ERROR_STATUS: Tuple[Tuple[type, int, str], ...] = (
     (RegressionError, 409, "regression_detected"),
     (StudyNotFoundError, 404, "not_found"),
+    # Telemetry: subclasses before their TelemetryError base, which
+    # sweeps any other field-event complaint into a client-fault 400.
+    (BacklogFullError, 429, "backlog_full"),
+    (OutOfOrderError, 400, "out_of_order"),
+    (NoDriftError, 409, "no_drift"),
+    (NoProposalError, 404, "not_found"),
+    (TelemetryError, 400, "bad_request"),
     (ModelNotFoundError, 404, "not_found"),
     (VersionNotFoundError, 404, "not_found"),
     (RefError, 400, "invalid_ref"),

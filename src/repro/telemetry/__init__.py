@@ -1,0 +1,96 @@
+"""Streaming field-event telemetry and online rate calibration.
+
+The ninth subsystem: the live path from observed field events back
+into model parameters.  The paper validates its generated models
+against 15 months of E10000 field data by hand; this package closes
+that loop continuously:
+
+* :mod:`.events` — validated failure/repair/latent-detect records on
+  an integer tick grid, with content-digest ids for idempotent replay;
+* :mod:`.estimator` — mergeable, checkpointable per-FRU exposure-time
+  MLE rate estimators (chi-square intervals via the *shared*
+  :mod:`repro.validation.intervals` implementation), following the
+  associative-merge discipline of the obs histograms;
+* :mod:`.drift` — deterministic windowed-LLR CUSUM drift detection
+  against the rates a registry model's spec encodes;
+* :mod:`.calibrate` — re-fitted specs with diff lineage, solved
+  through the engine and published to the registry with calibration
+  provenance, still subject to the regression gate;
+* :mod:`.source` — reproducible synthetic field traces (the
+  test/bench event source, companion to ``repro.validation.field_data``);
+* :mod:`.hub` — the serving-side state: bounded admission, atomic
+  batches, persistence, proposals.
+"""
+
+from .calibrate import build_proposal, publish_proposal, refit_model
+from .drift import (
+    DETERIORATION,
+    IMPROVEMENT,
+    DriftConfig,
+    DriftReport,
+    PartDrift,
+    detect_drift,
+)
+from .estimator import (
+    FittedRates,
+    PartFit,
+    RateEstimator,
+    STATE_FORMAT,
+    UnitState,
+)
+from .events import (
+    EVENT_KINDS,
+    TICKS_PER_HOUR,
+    BacklogFullError,
+    FieldEvent,
+    NoDriftError,
+    NoProposalError,
+    OutOfOrderError,
+    TelemetryError,
+    event_from_dict,
+    events_from_field_log,
+    from_ticks,
+    parse_events,
+    to_ticks,
+)
+from .hub import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_PENDING,
+    TelemetryHub,
+)
+from .source import reference_rates, synthetic_field_events
+
+__all__ = [
+    "BacklogFullError",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_PENDING",
+    "DETERIORATION",
+    "DriftConfig",
+    "DriftReport",
+    "EVENT_KINDS",
+    "FieldEvent",
+    "FittedRates",
+    "IMPROVEMENT",
+    "NoDriftError",
+    "NoProposalError",
+    "OutOfOrderError",
+    "PartDrift",
+    "PartFit",
+    "RateEstimator",
+    "STATE_FORMAT",
+    "TICKS_PER_HOUR",
+    "TelemetryError",
+    "TelemetryHub",
+    "UnitState",
+    "build_proposal",
+    "detect_drift",
+    "event_from_dict",
+    "events_from_field_log",
+    "from_ticks",
+    "parse_events",
+    "publish_proposal",
+    "refit_model",
+    "reference_rates",
+    "synthetic_field_events",
+    "to_ticks",
+]

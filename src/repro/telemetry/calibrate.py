@@ -1,0 +1,190 @@
+"""Calibration proposals: confirmed drift back into the registry.
+
+The closing arc of the field-data loop: when the drift detector
+confirms that a part's observed rate has left the rate its spec
+encodes, :func:`build_proposal` re-fits the spec — each drifted
+block's ``mtbf_hours`` becomes the reciprocal of its fitted rate —
+solves the candidate through the engine (so the proposal carries its
+predicted availability), and packages the :mod:`repro.spec.diff`
+lineage, the event window, and the fitted rates into one
+content-digested proposal document.
+
+:func:`publish_proposal` pushes the candidate into the registry as a
+new version with ``{"source": "calibration", "event_window": ...,
+"fitted_rates": ...}`` provenance.  It is **never auto-tagged**: a
+plain publish only records the version (and moves ``latest``, which
+is never gated); promoting it to a real tag goes through
+``registry.publish``'s availability regression gate like any other
+candidate — a calibration that makes the model *worse* than the tag
+holder still gets its 409.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, TYPE_CHECKING
+
+from ..analysis.parametric import with_block_changes
+from ..core.block import DiagramBlockModel
+from ..engine import Engine
+from ..jobs.types import result_digest
+from ..obs import get_tracer
+from ..registry.types import diff_payload, spec_digest
+from ..spec import model_to_spec
+from ..spec.diff import diff_models
+from ..units import availability_to_yearly_downtime_minutes
+from .drift import DriftConfig, DriftReport, detect_drift
+from .estimator import FittedRates, RateEstimator
+from .events import NoDriftError, TelemetryError
+from .source import reference_rates
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..registry import ModelRegistry, PublishResult
+
+
+def refit_model(
+    model: DiagramBlockModel,
+    fitted: FittedRates,
+    report: DriftReport,
+) -> DiagramBlockModel:
+    """The model with every drifted block's MTBF re-fitted.
+
+    ``mtbf_hours`` becomes ``1 / fitted_rate``; a part confirmed as
+    *improved* with zero observed failures falls back to the upper
+    confidence bound — the most conservative rate the data allows.
+    """
+    refitted = model
+    for part in report.drifted_parts:
+        entry = fitted.part(part)
+        rate = entry.failure_rate if entry.failure_rate > 0 else entry.rate_high
+        if rate <= 0:
+            raise TelemetryError(
+                f"part {part!r} drifted but has no usable fitted rate"
+            )
+        refitted = with_block_changes(
+            refitted, part, mtbf_hours=1.0 / rate
+        )
+    return refitted
+
+
+def build_proposal(
+    estimator: RateEstimator,
+    model: DiagramBlockModel,
+    engine: Engine,
+    drift_config: Optional[DriftConfig] = None,
+    options: object = "direct",
+    window_end_hours: Optional[float] = None,
+    confidence: float = 0.95,
+) -> Dict[str, object]:
+    """Detect drift against ``model`` and emit a proposal document.
+
+    Raises :class:`NoDriftError` (HTTP 409) when no part's CUSUM
+    crossed its threshold — a proposal without confirmed drift would
+    republish noise.  The document is pure data (JSON-ready) and
+    closes with its own ``proposal_digest``, the bit-identity witness
+    the SIGKILL-resume smoke test compares.
+    """
+    tracer = get_tracer()
+    reference = reference_rates(model)
+    with tracer.span(
+        "telemetry.fit",
+        model=model.name,
+        parts=estimator.parts,
+        events=estimator.events_total,
+    ) as span:
+        fitted = estimator.fit(
+            window_end_hours=window_end_hours, confidence=confidence
+        )
+        report = detect_drift(estimator, reference, drift_config)
+        span.set_attr("drifted", len(report.drifted_parts))
+    if not report.any_drift:
+        raise NoDriftError(
+            f"no drift confirmed for model {model.name!r} over "
+            f"{estimator.events_total} events",
+            details={
+                "model": model.name,
+                "events": estimator.events_total,
+                "parts": [entry.to_dict() for entry in report.parts],
+            },
+        )
+    refitted = refit_model(model, fitted, report)
+    candidate_spec = model_to_spec(refitted)
+    solution = engine.solve(refitted, options)
+    event_window = estimator.event_window() or {}
+    fitted_rates = {
+        part: fitted.part(part).failure_rate
+        for part in report.drifted_parts
+    }
+    proposal: Dict[str, object] = {
+        "kind": "calibration_proposal",
+        "model": model.name,
+        "spec": candidate_spec,
+        "base_digest": spec_digest(model),
+        "candidate_digest": spec_digest(refitted),
+        "event_window": event_window,
+        "fitted": fitted.to_dict(),
+        "fitted_rates": fitted_rates,
+        "drift": report.to_dict(),
+        "diff": diff_payload(diff_models(model, refitted)),
+        "refit": {
+            part: {
+                "old_mtbf_hours": 1.0 / reference[part],
+                "new_mtbf_hours": 1.0 / fitted_rates[part]
+                if fitted_rates[part] > 0
+                else None,
+                "rate_low": fitted.part(part).rate_low,
+                "rate_high": fitted.part(part).rate_high,
+            }
+            for part in report.drifted_parts
+        },
+        "evaluation": {
+            "availability": solution.availability,
+            "yearly_downtime_minutes": (
+                availability_to_yearly_downtime_minutes(
+                    solution.availability
+                )
+            ),
+        },
+        "provenance": {
+            "source": "calibration",
+            "event_window": event_window,
+            "fitted_rates": fitted_rates,
+        },
+    }
+    proposal["proposal_digest"] = result_digest(proposal)
+    return proposal
+
+
+def publish_proposal(
+    registry: "ModelRegistry",
+    proposal: Mapping[str, object],
+    name: str,
+    tag: Optional[str] = None,
+    force: bool = False,
+    threshold: Optional[float] = None,
+) -> "PublishResult":
+    """Publish a proposal's candidate spec with calibration provenance.
+
+    Tagging is the caller's explicit choice and runs the registry's
+    availability regression gate; omitting ``tag`` records the version
+    without promoting it anywhere.
+    """
+    if not isinstance(proposal, Mapping) or "spec" not in proposal:
+        raise TelemetryError(
+            "calibration proposal must be an object with a 'spec' field"
+        )
+    provenance = proposal.get("provenance")
+    if not isinstance(provenance, Mapping):
+        raise TelemetryError(
+            "calibration proposal is missing its provenance record"
+        )
+    return registry.publish(
+        proposal["spec"],  # type: ignore[arg-type]
+        name,
+        description=(
+            f"calibration proposal {proposal.get('proposal_digest', '')[:16]}"
+        ),
+        tag=tag,
+        force=force,
+        threshold=threshold,
+        source=dict(provenance),
+    )

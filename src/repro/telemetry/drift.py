@@ -1,0 +1,224 @@
+"""Deterministic drift detection: windowed LLR with CUSUM thresholds.
+
+Per part, the detector walks the estimator's fixed window ladder —
+``(window index, up-exposure, failure count)`` rows, already merged
+across units — and runs two one-sided Page CUSUM tests against the
+reference rate ``lambda_0`` the registry model's spec encodes:
+
+* **deterioration**: the per-window log-likelihood ratio of
+  ``lambda = shift * lambda_0`` (``shift > 1``) against ``lambda_0``
+  for a Poisson count ``n`` over exposure ``T`` is
+  ``n * ln(shift) - (shift - 1) * lambda_0 * T``;
+* **improvement**: the same statistic at ``1 / shift``.
+
+Each side accumulates ``S = max(0, S + LLR)``; drift is *confirmed*
+when a side's peak crosses ``threshold`` (log-likelihood units — the
+classical CUSUM decision interval ``h``) and the part has at least
+``min_events`` failures.  Everything is a pure float function of the
+integer ladder, so two detectors over the same merged state agree
+bit-for-bit — there is no randomness and no clock anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .estimator import RateEstimator
+from .events import TICKS_PER_HOUR, TelemetryError, to_ticks
+
+#: Drift directions a part can confirm.
+DETERIORATION = "deterioration"
+IMPROVEMENT = "improvement"
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Detection parameters; defaults suit month-scale field windows."""
+
+    window_hours: float = 168.0
+    shift: float = 2.0
+    threshold: float = 8.0
+    min_events: int = 5
+
+    def __post_init__(self) -> None:
+        if self.window_hours <= 0:
+            raise TelemetryError(
+                f"drift window must be positive, got {self.window_hours}"
+            )
+        if self.shift <= 1.0:
+            raise TelemetryError(
+                f"CUSUM shift must exceed 1, got {self.shift}"
+            )
+        if self.threshold <= 0:
+            raise TelemetryError(
+                f"CUSUM threshold must be positive, got {self.threshold}"
+            )
+        if self.min_events < 1:
+            raise TelemetryError(
+                f"min_events must be >= 1, got {self.min_events}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "window_hours": self.window_hours,
+            "shift": self.shift,
+            "threshold": self.threshold,
+            "min_events": self.min_events,
+        }
+
+
+@dataclass(frozen=True)
+class PartDrift:
+    """One part's drift verdict and the statistics behind it."""
+
+    part: str
+    reference_rate: float
+    fitted_rate: float
+    failures: int
+    exposure_hours: float
+    windows: int
+    statistic_up: float
+    statistic_down: float
+    threshold: float
+    direction: Optional[str]
+    drifted: bool
+    first_window: Optional[int]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "part": self.part,
+            "reference_rate": self.reference_rate,
+            "fitted_rate": self.fitted_rate,
+            "failures": self.failures,
+            "exposure_hours": self.exposure_hours,
+            "windows": self.windows,
+            "statistic_up": self.statistic_up,
+            "statistic_down": self.statistic_down,
+            "threshold": self.threshold,
+            "direction": self.direction,
+            "drifted": self.drifted,
+            "first_window": self.first_window,
+        }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """All parts' verdicts under one configuration."""
+
+    config: DriftConfig
+    parts: Tuple[PartDrift, ...]
+
+    @property
+    def drifted_parts(self) -> List[str]:
+        return sorted(
+            entry.part for entry in self.parts if entry.drifted
+        )
+
+    @property
+    def any_drift(self) -> bool:
+        return any(entry.drifted for entry in self.parts)
+
+    def part(self, name: str) -> PartDrift:
+        for entry in self.parts:
+            if entry.part == name:
+                return entry
+        raise TelemetryError(f"no drift verdict for part {name!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config.to_dict(),
+            "parts": [entry.to_dict() for entry in self.parts],
+            "drifted_parts": self.drifted_parts,
+            "any_drift": self.any_drift,
+        }
+
+
+def _cusum(
+    rows: List[Tuple[int, int, int]], rate: float, shift: float
+) -> Tuple[float, Optional[int]]:
+    """Peak CUSUM statistic and the first window index crossing it is
+    reported by the caller; here: ``(peak, first_window_at_peak)``."""
+    log_shift = math.log(shift)
+    statistic = 0.0
+    peak = 0.0
+    first: Optional[int] = None
+    for index, up_ticks, failures in rows:
+        exposure = up_ticks / TICKS_PER_HOUR
+        statistic = max(
+            0.0,
+            statistic
+            + failures * log_shift
+            - (shift - 1.0) * rate * exposure,
+        )
+        if statistic > peak:
+            peak = statistic
+            if first is None:
+                first = index
+    return peak, first
+
+
+def detect_drift(
+    estimator: RateEstimator,
+    reference: Mapping[str, float],
+    config: Optional[DriftConfig] = None,
+) -> DriftReport:
+    """Run the windowed-LLR CUSUM over every part with a reference.
+
+    ``reference`` maps part (block path) to the rate the current spec
+    encodes — see :func:`repro.telemetry.source.reference_rates`.
+    Parts the estimator tracks without a reference rate are skipped
+    (nothing to drift *from*); the config's window must match the
+    estimator's ladder, exactly as histogram merges insist.
+    """
+    config = config or DriftConfig(
+        window_hours=estimator.window_hours
+    )
+    if to_ticks(config.window_hours) != estimator.window_ticks:
+        raise TelemetryError(
+            f"drift window {config.window_hours} h does not match the "
+            f"estimator's ladder of {estimator.window_hours} h"
+        )
+    fitted = estimator.fit()
+    verdicts: List[PartDrift] = []
+    for part in estimator.part_names:
+        rate = reference.get(part)
+        if rate is None:
+            continue
+        if rate <= 0:
+            raise TelemetryError(
+                f"reference rate for {part!r} must be positive, got {rate}"
+            )
+        rows = estimator.part_windows(part)
+        up_peak, up_first = _cusum(rows, rate, config.shift)
+        # Improvement: likelihood of a rate *shift times lower*.  The
+        # same LLR formula at 1/shift rewards empty, long windows.
+        down_peak, down_first = _cusum(rows, rate, 1.0 / config.shift)
+        part_fit = fitted.part(part)
+        direction: Optional[str] = None
+        first: Optional[int] = None
+        if (
+            part_fit.failures >= config.min_events
+            and up_peak >= config.threshold
+        ):
+            direction, first = DETERIORATION, up_first
+        elif down_peak >= config.threshold:
+            direction, first = IMPROVEMENT, down_first
+        verdicts.append(
+            PartDrift(
+                part=part,
+                reference_rate=rate,
+                fitted_rate=part_fit.failure_rate,
+                failures=part_fit.failures,
+                exposure_hours=part_fit.up_hours,
+                windows=len(rows),
+                statistic_up=up_peak,
+                statistic_down=down_peak,
+                threshold=config.threshold,
+                direction=direction,
+                drifted=direction is not None,
+                first_window=first,
+            )
+        )
+    return DriftReport(config=config, parts=tuple(verdicts))

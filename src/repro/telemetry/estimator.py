@@ -1,0 +1,524 @@
+"""Per-FRU online exposure-time MLE rate estimation, mergeable state.
+
+The estimator consumes a monotonic event stream per ``(part, unit)``
+and maintains, entirely in integers on the tick grid:
+
+* up/down exposure (a unit is assumed up from the observation start;
+  ``failure`` flips it down, ``repair`` flips it up);
+* failure / repair / latent-detect counts;
+* a per-window failure-count and up-exposure ladder (fixed window
+  width, like an :class:`repro.obs.histogram.Histogram` bucket ladder)
+  feeding the drift detector;
+* the set of accepted event ids, so replays dedup instead of
+  double-counting.
+
+**Merge discipline.**  Exactly like the obs histograms: two estimator
+states merge iff their configuration (observation start, window
+ladder) matches, by summing integer accumulators — associative and
+order-insensitive by construction, because everything is integer
+arithmetic and each unit's stream lives wholly in one shard (merging
+two states that both saw the same unit raises ``ValueError``; shard
+event streams *by unit*, the way cluster workers do).  The fitted
+rates are then a pure function of the merged integers, summed in
+sorted key order — bit-identical however ingestion was interleaved,
+sharded, checkpointed, or resumed.
+
+**Estimate.**  The MLE of an exponential failure rate under exposure
+censoring is ``n_failures / up_time``; the confidence interval is the
+chi-square (Garwood) bound from the *shared* implementation in
+:mod:`repro.validation.intervals` — the same function MEADEP quotes.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..validation.intervals import poisson_rate_interval
+from .events import (
+    TICKS_PER_HOUR,
+    FieldEvent,
+    OutOfOrderError,
+    TelemetryError,
+    from_ticks,
+    to_ticks,
+)
+
+#: Serialization format version, checked by :meth:`RateEstimator.from_dict`.
+STATE_FORMAT = 1
+
+_UP = "up"
+_DOWN = "down"
+
+
+@dataclass
+class UnitState:
+    """One unit's integer accumulators (internal to the estimator)."""
+
+    first_tick: int
+    last_tick: int
+    status: str
+    up_ticks: int = 0
+    down_ticks: int = 0
+    failures: int = 0
+    repairs: int = 0
+    latent_detects: int = 0
+    window_failures: Dict[int, int] = field(default_factory=dict)
+    window_up_ticks: Dict[int, int] = field(default_factory=dict)
+    seen: Set[str] = field(default_factory=set)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "first_tick": self.first_tick,
+            "last_tick": self.last_tick,
+            "status": self.status,
+            "up_ticks": self.up_ticks,
+            "down_ticks": self.down_ticks,
+            "failures": self.failures,
+            "repairs": self.repairs,
+            "latent_detects": self.latent_detects,
+            "window_failures": {
+                str(k): v for k, v in sorted(self.window_failures.items())
+            },
+            "window_up_ticks": {
+                str(k): v for k, v in sorted(self.window_up_ticks.items())
+            },
+            "seen": sorted(self.seen),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "UnitState":
+        return cls(
+            first_tick=int(payload["first_tick"]),
+            last_tick=int(payload["last_tick"]),
+            status=str(payload["status"]),
+            up_ticks=int(payload["up_ticks"]),
+            down_ticks=int(payload["down_ticks"]),
+            failures=int(payload["failures"]),
+            repairs=int(payload["repairs"]),
+            latent_detects=int(payload["latent_detects"]),
+            window_failures={
+                int(k): int(v)
+                for k, v in payload["window_failures"].items()  # type: ignore
+            },
+            window_up_ticks={
+                int(k): int(v)
+                for k, v in payload["window_up_ticks"].items()  # type: ignore
+            },
+            seen=set(payload["seen"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class PartFit:
+    """One part's fitted rates, counts, and confidence bounds."""
+
+    part: str
+    units: int
+    failures: int
+    repairs: int
+    latent_detects: int
+    up_hours: float
+    down_hours: float
+    failure_rate: float
+    rate_low: float
+    rate_high: float
+    mtbf_hours: Optional[float]
+    mttr_hours: Optional[float]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "part": self.part,
+            "units": self.units,
+            "failures": self.failures,
+            "repairs": self.repairs,
+            "latent_detects": self.latent_detects,
+            "up_hours": self.up_hours,
+            "down_hours": self.down_hours,
+            "failure_rate": self.failure_rate,
+            "rate_low": self.rate_low,
+            "rate_high": self.rate_high,
+            "mtbf_hours": self.mtbf_hours,
+            "mttr_hours": self.mttr_hours,
+        }
+
+
+@dataclass(frozen=True)
+class FittedRates:
+    """The estimator's full fit: per-part rates plus the window."""
+
+    confidence: float
+    start_hours: float
+    end_hours: Optional[float]
+    parts: Tuple[PartFit, ...]
+
+    def part(self, name: str) -> PartFit:
+        for entry in self.parts:
+            if entry.part == name:
+                return entry
+        raise TelemetryError(f"no fitted rates for part {name!r}")
+
+    def rate(self, name: str) -> float:
+        return self.part(name).failure_rate
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "confidence": self.confidence,
+            "start_hours": self.start_hours,
+            "end_hours": self.end_hours,
+            "parts": [entry.to_dict() for entry in self.parts],
+        }
+
+    def digest(self) -> str:
+        """Content digest of the fit — the bit-identity witness."""
+        encoded = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()
+
+
+class RateEstimator:
+    """Mergeable, checkpointable per-FRU rate estimator state."""
+
+    def __init__(
+        self,
+        start_hours: float = 0.0,
+        window_hours: float = 168.0,
+    ) -> None:
+        if window_hours <= 0:
+            raise TelemetryError(
+                f"drift window must be positive, got {window_hours}"
+            )
+        self.start_tick = to_ticks(start_hours)
+        if self.start_tick < 0:
+            raise TelemetryError(
+                f"observation start must be non-negative, got {start_hours}"
+            )
+        self.window_ticks = to_ticks(window_hours)
+        if self.window_ticks <= 0:
+            raise TelemetryError(
+                f"drift window quantizes to zero ticks: {window_hours}"
+            )
+        self._units: Dict[str, Dict[str, UnitState]] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def start_hours(self) -> float:
+        return from_ticks(self.start_tick)
+
+    @property
+    def window_hours(self) -> float:
+        return from_ticks(self.window_ticks)
+
+    @property
+    def part_names(self) -> List[str]:
+        return sorted(self._units)
+
+    @property
+    def parts(self) -> int:
+        return len(self._units)
+
+    @property
+    def units(self) -> int:
+        return sum(len(units) for units in self._units.values())
+
+    @property
+    def events_total(self) -> int:
+        return sum(
+            len(state.seen)
+            for units in self._units.values()
+            for state in units.values()
+        )
+
+    def unit_state(self, part: str, unit: str) -> Optional[UnitState]:
+        return self._units.get(part, {}).get(unit)
+
+    def part_windows(self, part: str) -> List[Tuple[int, int, int]]:
+        """Sorted ``(window_index, up_ticks, failures)`` rows for one
+        part, summed over its units — the drift detector's input."""
+        up: Dict[int, int] = {}
+        failures: Dict[int, int] = {}
+        for unit in sorted(self._units.get(part, {})):
+            state = self._units[part][unit]
+            for index, ticks in state.window_up_ticks.items():
+                up[index] = up.get(index, 0) + ticks
+            for index, count in state.window_failures.items():
+                failures[index] = failures.get(index, 0) + count
+        return [
+            (index, up.get(index, 0), failures.get(index, 0))
+            for index in sorted(set(up) | set(failures))
+        ]
+
+    def event_window(self) -> Optional[Dict[str, object]]:
+        """The observed event window ``{start_hours, end_hours,
+        events}``, or ``None`` before any event."""
+        first: Optional[int] = None
+        last: Optional[int] = None
+        for units in self._units.values():
+            for state in units.values():
+                if first is None or state.first_tick < first:
+                    first = state.first_tick
+                if last is None or state.last_tick > last:
+                    last = state.last_tick
+        if first is None or last is None:
+            return None
+        return {
+            "start_hours": from_ticks(first),
+            "end_hours": from_ticks(last),
+            "events": self.events_total,
+        }
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, event: FieldEvent) -> bool:
+        """Apply one event; True if accepted, False if a replay.
+
+        Raises :class:`OutOfOrderError` for an event at or before the
+        unit's last accepted tick that is *not* a replay of an already
+        accepted event.
+        """
+        units = self._units.get(event.part)
+        state = units.get(event.unit) if units is not None else None
+        if state is None:
+            state = UnitState(
+                first_tick=event.ticks,
+                last_tick=self.start_tick,
+                status=_UP,
+            )
+            created = True
+        else:
+            created = False
+        event_id = event.event_id
+        if event.ticks <= state.last_tick:
+            if event_id in state.seen:
+                return False
+            raise OutOfOrderError(
+                f"event {event_id} for {event.part!r}/{event.unit!r} at "
+                f"{event.time_hours} h is not after the unit's last "
+                f"accepted event at {from_ticks(state.last_tick)} h",
+                details={
+                    "part": event.part,
+                    "unit": event.unit,
+                    "event_id": event_id,
+                    "time_hours": event.time_hours,
+                    "last_hours": from_ticks(state.last_tick),
+                },
+            )
+        if created:
+            self._units.setdefault(event.part, {})[event.unit] = state
+        self._accumulate(state, event.ticks)
+        if event.kind == "failure":
+            state.failures += 1
+            window = event.ticks // self.window_ticks
+            state.window_failures[window] = (
+                state.window_failures.get(window, 0) + 1
+            )
+            state.status = _DOWN
+        elif event.kind == "repair":
+            state.repairs += 1
+            state.status = _UP
+        else:  # latent_detect: counted, no exposure state change
+            state.latent_detects += 1
+        state.last_tick = event.ticks
+        if event.ticks < state.first_tick:  # pragma: no cover - guarded
+            state.first_tick = event.ticks
+        state.seen.add(event_id)
+        return True
+
+    def ingest_many(
+        self, events: Iterable[FieldEvent]
+    ) -> Tuple[int, int]:
+        """Apply events in order; ``(accepted, duplicates)``."""
+        accepted = duplicates = 0
+        for event in events:
+            if self.ingest(event):
+                accepted += 1
+            else:
+                duplicates += 1
+        return accepted, duplicates
+
+    def _accumulate(self, state: UnitState, tick: int) -> None:
+        """Charge the interval since the last event to the current
+        status, splitting up-exposure across the window ladder."""
+        start, end = state.last_tick, tick
+        if end <= start:
+            return
+        if state.status == _DOWN:
+            state.down_ticks += end - start
+            return
+        state.up_ticks += end - start
+        cursor = start
+        window = cursor // self.window_ticks
+        while cursor < end:
+            boundary = (window + 1) * self.window_ticks
+            stop = min(end, boundary)
+            state.window_up_ticks[window] = (
+                state.window_up_ticks.get(window, 0) + (stop - cursor)
+            )
+            cursor = stop
+            window += 1
+
+    # ------------------------------------------------------------------
+    # merge (the obs-histogram discipline)
+    # ------------------------------------------------------------------
+    def merge(self, other: "RateEstimator") -> "RateEstimator":
+        """A new estimator combining two shards' states.
+
+        Requires identical configuration (observation start, window
+        ladder) — like histogram bucket ladders — and *disjoint units*:
+        one unit's monotonic stream must live wholly in one shard.
+        Associative and commutative: everything is integer addition
+        over disjoint keys.
+        """
+        if not isinstance(other, RateEstimator):
+            raise ValueError(
+                f"cannot merge RateEstimator with {type(other).__name__}"
+            )
+        if (
+            self.start_tick != other.start_tick
+            or self.window_ticks != other.window_ticks
+        ):
+            raise ValueError(
+                "cannot merge estimators with different configurations: "
+                f"start {self.start_tick} vs {other.start_tick} ticks, "
+                f"window {self.window_ticks} vs {other.window_ticks} ticks"
+            )
+        merged = RateEstimator(
+            start_hours=self.start_hours, window_hours=self.window_hours
+        )
+        merged._units = copy.deepcopy(self._units)
+        for part, units in other._units.items():
+            target = merged._units.setdefault(part, {})
+            for unit, state in units.items():
+                if unit in target:
+                    raise ValueError(
+                        f"unit {part!r}/{unit!r} is present in both "
+                        "estimators; shard event streams by unit"
+                    )
+                target[unit] = copy.deepcopy(state)
+        return merged
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": STATE_FORMAT,
+            "start_tick": self.start_tick,
+            "window_ticks": self.window_ticks,
+            "units": {
+                part: {
+                    unit: state.to_dict()
+                    for unit, state in sorted(units.items())
+                }
+                for part, units in sorted(self._units.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RateEstimator":
+        if not isinstance(payload, dict):
+            raise TelemetryError("estimator state must be a JSON object")
+        if payload.get("format") != STATE_FORMAT:
+            raise TelemetryError(
+                f"unsupported estimator state format "
+                f"{payload.get('format')!r} (expected {STATE_FORMAT})"
+            )
+        estimator = cls.__new__(cls)
+        estimator.start_tick = int(payload["start_tick"])
+        estimator.window_ticks = int(payload["window_ticks"])
+        estimator._units = {
+            part: {
+                unit: UnitState.from_dict(state)
+                for unit, state in units.items()
+            }
+            for part, units in payload["units"].items()  # type: ignore
+        }
+        return estimator
+
+    def state_digest(self) -> str:
+        """Content digest of the full state (canonical JSON)."""
+        encoded = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        window_end_hours: Optional[float] = None,
+        confidence: float = 0.95,
+    ) -> FittedRates:
+        """Fit per-part rates from the merged integer accumulators.
+
+        ``window_end_hours`` extends every unit's exposure to the end
+        of the observation window (in its current status) without
+        mutating state — pass the trace's window so quiet units still
+        contribute uptime.  Everything is summed in sorted key order
+        from integers, so the fit is bit-identical however the state
+        was assembled.
+        """
+        end_tick = (
+            None if window_end_hours is None else to_ticks(window_end_hours)
+        )
+        fits: List[PartFit] = []
+        for part in sorted(self._units):
+            failures = repairs = latent = 0
+            up_ticks = down_ticks = 0
+            units = self._units[part]
+            for unit in sorted(units):
+                state = units[unit]
+                failures += state.failures
+                repairs += state.repairs
+                latent += state.latent_detects
+                up_ticks += state.up_ticks
+                down_ticks += state.down_ticks
+                if end_tick is not None and end_tick > state.last_tick:
+                    tail = end_tick - state.last_tick
+                    if state.status == _UP:
+                        up_ticks += tail
+                    else:
+                        down_ticks += tail
+            up_hours = up_ticks / TICKS_PER_HOUR
+            down_hours = down_ticks / TICKS_PER_HOUR
+            if up_hours > 0:
+                rate = failures / up_hours
+                rate_low, rate_high = poisson_rate_interval(
+                    failures, up_hours, confidence
+                )
+            else:
+                rate, rate_low, rate_high = 0.0, 0.0, 0.0
+            fits.append(
+                PartFit(
+                    part=part,
+                    units=len(units),
+                    failures=failures,
+                    repairs=repairs,
+                    latent_detects=latent,
+                    up_hours=up_hours,
+                    down_hours=down_hours,
+                    failure_rate=rate,
+                    rate_low=rate_low,
+                    rate_high=rate_high,
+                    mtbf_hours=(
+                        up_hours / failures if failures > 0 else None
+                    ),
+                    mttr_hours=(
+                        down_hours / repairs if repairs > 0 else None
+                    ),
+                )
+            )
+        return FittedRates(
+            confidence=confidence,
+            start_hours=self.start_hours,
+            end_hours=window_end_hours,
+            parts=tuple(fits),
+        )

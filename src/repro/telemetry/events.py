@@ -1,0 +1,222 @@
+"""Field-event records: the wire format of the telemetry subsystem.
+
+A *field event* is one observation a site would report about one
+physical unit of one FRU: a permanent **failure**, the completing
+**repair**, or the detection of a **latent fault** in a redundant
+group.  Events carry
+
+* ``part`` — the FRU identity, the ``/``-joined block path of the
+  model (what :meth:`repro.core.block.DiagramBlockModel.walk` yields),
+  so a fitted rate maps straight back onto a spec block;
+* ``unit`` — which physical instance (``server-A/<path>#2``);
+* ``time_hours`` — the event time, quantized onto a fixed integer
+  **tick** grid (:data:`TICKS_PER_HOUR`, 1 tick = 1 ns) so that all
+  downstream exposure accounting is integer arithmetic — exact,
+  associative, and therefore bit-identical under any merge order;
+* a **content-digest id** — SHA-256 over the canonical event fields —
+  so replaying a batch (client retry, checkpoint resume) is idempotent
+  instead of double-counting.
+
+Per ``(part, unit)`` the stream must be strictly monotonic in time;
+an event at or before the unit's last accepted tick is either a
+replay (same id — silently skipped) or an :class:`OutOfOrderError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import RascadError
+
+#: The event kinds a site reports.
+EVENT_KINDS = ("failure", "repair", "latent_detect")
+
+#: Integer ticks per hour (1 tick = 1 ns).  All exposure accounting
+#: happens on this grid so merges are exact integer additions.
+TICKS_PER_HOUR = 3_600_000_000
+
+
+class TelemetryError(RascadError):
+    """A malformed event, batch, or estimator operation.
+
+    The service maps this family onto structured 400 responses
+    (``bad_request`` by default, more specific codes for subclasses) —
+    bad field data is the reporter's fault, never a 500.
+    """
+
+    def __init__(
+        self, message: str, details: Optional[Dict[str, object]] = None
+    ) -> None:
+        super().__init__(message)
+        if details is not None:
+            self.details = details
+
+
+class OutOfOrderError(TelemetryError):
+    """An event at or before its unit's last accepted timestamp."""
+
+
+class BacklogFullError(TelemetryError):
+    """Ingest admission refused: the pending-event backlog is full.
+
+    Maps to ``429 backlog_full`` with ``Retry-After`` — backpressure,
+    not failure.
+    """
+
+
+class NoDriftError(TelemetryError):
+    """A calibration proposal was requested but no drift confirmed."""
+
+
+class NoProposalError(TelemetryError):
+    """No calibration proposal exists yet (propose first)."""
+
+
+def to_ticks(hours: float) -> int:
+    """An hour value quantized onto the integer tick grid."""
+    if isinstance(hours, bool) or not isinstance(hours, (int, float)):
+        raise TelemetryError(f"time must be a number, got {hours!r}")
+    value = float(hours)
+    if not math.isfinite(value):
+        raise TelemetryError(f"time must be finite, got {value!r}")
+    return round(value * TICKS_PER_HOUR)
+
+
+def from_ticks(ticks: int) -> float:
+    """Tick count back to hours (exact division of the grid)."""
+    return ticks / TICKS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class FieldEvent:
+    """One validated field event, pinned to the tick grid."""
+
+    part: str
+    unit: str
+    kind: str
+    time_hours: float
+
+    def __post_init__(self) -> None:
+        if not self.part or not isinstance(self.part, str):
+            raise TelemetryError(
+                f"event part must be a non-empty string, got {self.part!r}"
+            )
+        if not self.unit or not isinstance(self.unit, str):
+            raise TelemetryError(
+                f"event unit must be a non-empty string, got {self.unit!r}"
+            )
+        if self.kind not in EVENT_KINDS:
+            raise TelemetryError(
+                f"unknown event kind {self.kind!r}; "
+                f"known: {list(EVENT_KINDS)}"
+            )
+        ticks = to_ticks(self.time_hours)
+        if ticks < 0:
+            raise TelemetryError(
+                f"event time must be non-negative, got {self.time_hours}"
+            )
+        object.__setattr__(self, "_ticks", ticks)
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks  # type: ignore[attr-defined]
+
+    @property
+    def event_id(self) -> str:
+        """Content digest over the canonical event fields.
+
+        Identity is *what* was observed — part, unit, kind, tick — so
+        the same observation reported twice has the same id and dedups.
+        """
+        document = {
+            "kind": self.kind,
+            "part": self.part,
+            "ticks": self.ticks,
+            "unit": self.unit,
+        }
+        encoded = json.dumps(
+            document, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return "evt-" + hashlib.sha256(encoded).hexdigest()[:32]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "part": self.part,
+            "unit": self.unit,
+            "kind": self.kind,
+            "time_hours": self.time_hours,
+            "id": self.event_id,
+        }
+
+
+def event_from_dict(payload: Mapping[str, object]) -> FieldEvent:
+    """Parse and validate one event body; :class:`TelemetryError` on
+    anything malformed."""
+    if not isinstance(payload, Mapping):
+        raise TelemetryError(
+            f"each event must be a JSON object, got {type(payload).__name__}"
+        )
+    for key in ("part", "unit", "kind", "time_hours"):
+        if key not in payload:
+            raise TelemetryError(f"event is missing required field {key!r}")
+    part, unit, kind = payload["part"], payload["unit"], payload["kind"]
+    if not isinstance(part, str) or not isinstance(unit, str):
+        raise TelemetryError("event part and unit must be strings")
+    if not isinstance(kind, str):
+        raise TelemetryError(f"event kind must be a string, got {kind!r}")
+    return FieldEvent(
+        part=part,
+        unit=unit,
+        kind=kind,
+        time_hours=payload["time_hours"],  # type: ignore[arg-type]
+    )
+
+
+def parse_events(raw: object) -> List[FieldEvent]:
+    """Parse a batch body's ``events`` list.
+
+    Malformed entries raise :class:`TelemetryError` naming the
+    offending index, so a 400 pinpoints the bad record.
+    """
+    if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+        raise TelemetryError(
+            f"events must be a list, got {type(raw).__name__}"
+        )
+    events: List[FieldEvent] = []
+    for index, entry in enumerate(raw):
+        try:
+            events.append(event_from_dict(entry))
+        except TelemetryError as exc:
+            raise TelemetryError(
+                f"events[{index}]: {exc}",
+                details={"index": index},
+            ) from exc
+    return events
+
+
+def events_from_field_log(
+    log: "FieldLog", part: str, unit: Optional[str] = None
+) -> List[FieldEvent]:
+    """A :class:`~repro.validation.field_data.FieldLog` outage log as a
+    telemetry event stream.
+
+    Each logged outage becomes a ``failure`` at its start and a
+    ``repair`` at its end — the bridge between the batch field-data
+    experiment and the streaming estimator, used by tests to check the
+    two pipelines agree on downtime.
+    """
+    name = unit or log.server
+    events: List[FieldEvent] = []
+    for outage in log.events:
+        events.append(
+            FieldEvent(part, name, "failure", outage.start_hour)
+        )
+        if outage.end_hour <= log.window_hours:
+            events.append(
+                FieldEvent(part, name, "repair", outage.end_hour)
+            )
+    return events

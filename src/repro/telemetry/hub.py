@@ -1,0 +1,383 @@
+"""The serving-side telemetry hub: admission, state, proposals.
+
+One :class:`TelemetryHub` sits inside the HTTP service (and behind the
+local CLI): it owns a :class:`~repro.telemetry.estimator.RateEstimator`
+behind a lock, applies **bounded admission** (a cap on events admitted
+but not yet folded into state — beyond it ingest answers
+:class:`~repro.telemetry.events.BacklogFullError`, the service's 429),
+validates whole batches *before* applying them (a 400 rejects the
+batch atomically — no half-ingested payloads), persists state
+atomically (temp file + rename, the checkpointer discipline), and
+keeps the latest calibration proposal.
+
+Batch validation + per-event dedup give the ingest path its replay
+idempotency: re-POSTing a delivered batch reports every event as a
+duplicate and changes nothing, bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.block import DiagramBlockModel
+from ..engine import Engine
+from ..obs import get_logger, get_tracer
+from .calibrate import build_proposal, publish_proposal
+from .drift import DriftConfig
+from .estimator import RateEstimator
+from .events import (
+    BacklogFullError,
+    FieldEvent,
+    NoProposalError,
+    OutOfOrderError,
+    TelemetryError,
+    parse_events,
+)
+
+#: Default cap on events admitted but not yet applied.
+DEFAULT_MAX_PENDING = 10_000
+
+#: Default cap on one batch's event count (still subject to the HTTP
+#: body-size limit underneath).
+DEFAULT_MAX_BATCH = 1_024
+
+#: Filenames inside the hub's state directory.
+STATE_FILENAME = "state.json"
+PROPOSAL_FILENAME = "proposal.json"
+
+
+def _atomic_write(path: Path, payload: Dict[str, object]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=".telemetry-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+class TelemetryHub:
+    """Thread-safe ingest/fit/propose state for one server or CLI."""
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        stats=None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        window_hours: float = 168.0,
+        start_hours: float = 0.0,
+    ) -> None:
+        if max_pending < 1:
+            raise TelemetryError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if max_batch < 1:
+            raise TelemetryError(
+                f"max_batch must be >= 1, got {max_batch}"
+            )
+        self.directory = Path(directory).expanduser() if directory else None
+        self.stats = stats
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._batches = 0
+        self._duplicates = 0
+        self._rejected = 0
+        self._proposals = 0
+        self._estimator = self._load_state(window_hours, start_hours)
+        self._proposal = self._load_proposal()
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _state_path(self) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / STATE_FILENAME
+
+    def _proposal_path(self) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / PROPOSAL_FILENAME
+
+    def _load_state(
+        self, window_hours: float, start_hours: float
+    ) -> RateEstimator:
+        path = self._state_path()
+        if path is not None and path.exists():
+            try:
+                return RateEstimator.from_dict(
+                    json.loads(path.read_text())
+                )
+            except (OSError, ValueError, KeyError, TelemetryError):
+                get_logger("telemetry").warning(
+                    "discarding unreadable telemetry state",
+                    extra={"path": str(path)},
+                )
+        return RateEstimator(
+            start_hours=start_hours, window_hours=window_hours
+        )
+
+    def _load_proposal(self) -> Optional[Dict[str, object]]:
+        path = self._proposal_path()
+        if path is not None and path.exists():
+            try:
+                payload = json.loads(path.read_text())
+                if isinstance(payload, dict):
+                    return payload
+            except (OSError, ValueError):
+                pass
+        return None
+
+    def save(self) -> None:
+        """Persist estimator state (atomic; no-op without a directory)."""
+        path = self._state_path()
+        if path is not None:
+            _atomic_write(path, self._estimator.to_dict())
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def ingest(self, raw_events: object) -> Dict[str, object]:
+        """Validate and apply one batch; the ingest result payload.
+
+        The whole batch is checked first (size, schema, per-unit
+        monotonicity against current state) and only then applied, so
+        a 400 leaves the estimator untouched.  Admission is bounded:
+        events admitted but not yet applied count against
+        ``max_pending`` and overflow raises
+        :class:`BacklogFullError` (429).
+        """
+        events = parse_events(raw_events)
+        if len(events) > self.max_batch:
+            raise TelemetryError(
+                f"batch of {len(events)} events exceeds the "
+                f"{self.max_batch}-event limit; split the batch",
+                details={"events": len(events), "max_batch": self.max_batch},
+            )
+        with self._lock:
+            if self._pending + len(events) > self.max_pending:
+                if self.stats is not None:
+                    self.stats.increment("telemetry_backpressure")
+                raise BacklogFullError(
+                    f"telemetry backlog is full "
+                    f"({self._pending} pending events, cap "
+                    f"{self.max_pending}); retry later",
+                    details={
+                        "pending": self._pending,
+                        "max_pending": self.max_pending,
+                    },
+                )
+            self._pending += len(events)
+        tracer = get_tracer()
+        try:
+            with tracer.span(
+                "telemetry.ingest", events=len(events)
+            ) as span:
+                with self._lock:
+                    try:
+                        self._validate_batch(events)
+                    except TelemetryError:
+                        self._rejected += len(events)
+                        if self.stats is not None:
+                            self.stats.increment(
+                                "telemetry_events_rejected", len(events)
+                            )
+                        raise
+                    accepted, duplicates = (
+                        self._estimator.ingest_many(events)
+                    )
+                    self._batches += 1
+                    self._duplicates += duplicates
+                    self.save()
+                span.set_attr("accepted", accepted)
+                span.set_attr("duplicates", duplicates)
+        finally:
+            with self._lock:
+                self._pending -= len(events)
+        if self.stats is not None:
+            self.stats.increment("telemetry_batches")
+            if accepted:
+                self.stats.increment(
+                    "telemetry_events_ingested", accepted
+                )
+            if duplicates:
+                self.stats.increment(
+                    "telemetry_events_duplicate", duplicates
+                )
+            self.stats.set_gauge(
+                "telemetry_parts", self._estimator.parts
+            )
+            self.stats.set_gauge(
+                "telemetry_units", self._estimator.units
+            )
+        return {
+            "accepted": accepted,
+            "duplicates": duplicates,
+            "events_total": self._estimator.events_total,
+            "parts": self._estimator.parts,
+            "units": self._estimator.units,
+            "state_digest": self._estimator.state_digest(),
+        }
+
+    def _validate_batch(self, events: List[FieldEvent]) -> None:
+        """Dry-run per-unit monotonicity so application cannot fail."""
+        cursors: Dict[tuple, int] = {}
+        for event in events:
+            key = (event.part, event.unit)
+            if key not in cursors:
+                state = self._estimator.unit_state(event.part, event.unit)
+                cursors[key] = (
+                    state.last_tick
+                    if state is not None
+                    else self._estimator.start_tick
+                )
+            if event.ticks <= cursors[key]:
+                state = self._estimator.unit_state(event.part, event.unit)
+                if state is not None and event.event_id in state.seen:
+                    continue  # replay: skipped at apply time
+                raise OutOfOrderError(
+                    f"event for {event.part!r}/{event.unit!r} at "
+                    f"{event.time_hours} h is out of order within the "
+                    "batch or behind the unit's accepted stream",
+                    details={
+                        "part": event.part,
+                        "unit": event.unit,
+                        "time_hours": event.time_hours,
+                        "event_id": event.event_id,
+                    },
+                )
+            else:
+                cursors[key] = event.ticks
+
+    # ------------------------------------------------------------------
+    # status / fit / proposals
+    # ------------------------------------------------------------------
+    @property
+    def estimator(self) -> RateEstimator:
+        return self._estimator
+
+    def counts(self) -> Dict[str, object]:
+        """The ``/metrics`` telemetry section."""
+        with self._lock:
+            return {
+                "events_total": self._estimator.events_total,
+                "parts": self._estimator.parts,
+                "units": self._estimator.units,
+                "batches": self._batches,
+                "duplicates": self._duplicates,
+                "rejected": self._rejected,
+                "pending": self._pending,
+                "max_pending": self.max_pending,
+                "proposals": self._proposals,
+            }
+
+    def summary(self, confidence: float = 0.95) -> Dict[str, object]:
+        """The ``GET /v1/calibration`` status payload."""
+        with self._lock:
+            with get_tracer().span(
+                "telemetry.fit", parts=self._estimator.parts
+            ):
+                fitted = self._estimator.fit(confidence=confidence)
+            proposal = self._proposal
+            return {
+                "events_total": self._estimator.events_total,
+                "parts": self._estimator.parts,
+                "units": self._estimator.units,
+                "window_hours": self._estimator.window_hours,
+                "event_window": self._estimator.event_window(),
+                "state_digest": self._estimator.state_digest(),
+                "fitted": fitted.to_dict(),
+                "proposal": (
+                    None
+                    if proposal is None
+                    else {
+                        "model": proposal.get("model"),
+                        "proposal_digest": proposal.get("proposal_digest"),
+                        "candidate_digest": proposal.get(
+                            "candidate_digest"
+                        ),
+                        "drifted_parts": proposal.get("drift", {}).get(
+                            "drifted_parts"
+                        ),
+                    }
+                ),
+            }
+
+    def propose(
+        self,
+        model: DiagramBlockModel,
+        engine: Engine,
+        drift_config: Optional[DriftConfig] = None,
+        options: object = "direct",
+        window_end_hours: Optional[float] = None,
+        confidence: float = 0.95,
+    ) -> Dict[str, object]:
+        """Build, remember, and persist a calibration proposal."""
+        with self._lock:
+            proposal = build_proposal(
+                self._estimator,
+                model,
+                engine,
+                drift_config=drift_config,
+                options=options,
+                window_end_hours=window_end_hours,
+                confidence=confidence,
+            )
+            self._proposal = proposal
+            self._proposals += 1
+            path = self._proposal_path()
+            if path is not None:
+                _atomic_write(path, proposal)
+        if self.stats is not None:
+            self.stats.increment("telemetry_proposals")
+        return proposal
+
+    @property
+    def last_proposal(self) -> Optional[Dict[str, object]]:
+        with self._lock:
+            return self._proposal
+
+    def require_proposal(self) -> Dict[str, object]:
+        proposal = self.last_proposal
+        if proposal is None:
+            raise NoProposalError(
+                "no calibration proposal exists; propose first"
+            )
+        return proposal
+
+    def publish(
+        self,
+        registry,
+        name: str,
+        tag: Optional[str] = None,
+        force: bool = False,
+        threshold: Optional[float] = None,
+    ):
+        """Publish the remembered proposal; the registry's result."""
+        proposal = self.require_proposal()
+        result = publish_proposal(
+            registry,
+            proposal,
+            name,
+            tag=tag,
+            force=force,
+            threshold=threshold,
+        )
+        if self.stats is not None:
+            self.stats.increment("telemetry_published")
+        return result

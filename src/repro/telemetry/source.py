@@ -1,0 +1,134 @@
+"""Reproducible synthetic field-event traces from a model.
+
+The test/bench event source for the calibration loop, the component-
+level sibling of :mod:`repro.validation.field_data`: where that module
+plays whole *blocks* forward and logs system outages (what a site
+operator records), this one plays each physical *unit* of each leaf
+block — the granularity field telemetry actually reports — emitting
+``failure`` / ``repair`` / ``latent_detect`` events whose ground-truth
+rates are the model's own parameters.
+
+Determinism: every unit gets its own ``numpy`` generator seeded from
+the global seed plus a content hash of ``(server, path, copy)``, so
+the trace is a pure function of ``(model, window, seed, shifts)`` —
+independent of dict ordering, and stable across runs and machines.
+``mtbf_shifts`` injects ground-truth drift: the events for a shifted
+block are drawn at ``mtbf * factor`` while the model still encodes the
+datasheet value, which is exactly the mismatch the drift detector and
+the calibration refit must recover.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..core.block import DiagramBlockModel
+from ..validation.field_data import FIFTEEN_MONTHS_HOURS
+from .events import FieldEvent, TelemetryError
+
+
+def _unit_seed(seed: int, server: str, path: str, copy: int) -> np.random.Generator:
+    token = f"{server}|{path}|{copy}".encode("utf-8")
+    digest = hashlib.sha256(token).digest()
+    return np.random.default_rng(
+        [seed, int.from_bytes(digest[:8], "big")]
+    )
+
+
+def reference_rates(model: DiagramBlockModel) -> Dict[str, float]:
+    """Per-unit permanent failure rates the model's spec encodes.
+
+    ``{block path: 1 / mtbf_hours}`` over the *leaf* blocks — the
+    rates the drift detector tests the fitted rates against.
+    """
+    rates: Dict[str, float] = {}
+    for _level, path, block in model.walk():
+        if not block.has_subdiagram:
+            rates[path] = 1.0 / block.parameters.mtbf_hours
+    return rates
+
+
+def synthetic_field_events(
+    model: DiagramBlockModel,
+    window_hours: float = FIFTEEN_MONTHS_HOURS,
+    seed: int = 0,
+    server: str = "server-A",
+    mtbf_shifts: Optional[Mapping[str, float]] = None,
+) -> List[FieldEvent]:
+    """The field events one server's worth of units would report.
+
+    Each copy of each leaf block alternates exponential up times (mean
+    ``mtbf_hours``, scaled by its ``mtbf_shifts`` factor if named) and
+    exponential repair times (mean MTTR + service response).  Failures
+    in redundant groups additionally surface ``latent_detect`` events
+    with probability ``p_latent_fault`` while the unit is still down.
+    Events come back sorted by ``(tick, part, unit, kind)`` — one
+    canonical stream for digests and replays.
+    """
+    if window_hours <= 0:
+        raise TelemetryError(
+            f"trace window must be positive, got {window_hours}"
+        )
+    shifts = dict(mtbf_shifts or {})
+    paths = {path for _level, path, _block in model.walk()}
+    for path, factor in shifts.items():
+        if path not in paths:
+            raise TelemetryError(
+                f"mtbf shift names unknown block path {path!r}"
+            )
+        if not isinstance(factor, (int, float)) or factor <= 0:
+            raise TelemetryError(
+                f"mtbf shift factor for {path!r} must be positive, "
+                f"got {factor!r}"
+            )
+    events: List[FieldEvent] = []
+    for _level, path, block in model.walk():
+        if block.has_subdiagram:
+            continue
+        parameters = block.parameters
+        mtbf = parameters.mtbf_hours * float(shifts.get(path, 1.0))
+        mttr = parameters.mttr_hours + parameters.service_response_hours
+        redundant = parameters.quantity > parameters.min_required
+        for copy in range(parameters.quantity):
+            unit = f"{server}/{path}#{copy}"
+            rng = _unit_seed(seed, server, path, copy)
+            unit_events: List[FieldEvent] = []
+            clock = 0.0
+            while True:
+                fail_at = clock + rng.exponential(mtbf)
+                if fail_at >= window_hours:
+                    break
+                unit_events.append(
+                    FieldEvent(path, unit, "failure", fail_at)
+                )
+                repair_at = fail_at + rng.exponential(mttr)
+                if redundant and parameters.p_latent_fault > 0:
+                    if rng.random() < parameters.p_latent_fault:
+                        detect_at = fail_at + rng.exponential(
+                            parameters.mttdlf_hours
+                        )
+                        if detect_at < min(repair_at, window_hours):
+                            unit_events.append(
+                                FieldEvent(
+                                    path, unit, "latent_detect", detect_at
+                                )
+                            )
+                if repair_at >= window_hours:
+                    break
+                unit_events.append(
+                    FieldEvent(path, unit, "repair", repair_at)
+                )
+                clock = repair_at
+            unit_events.sort(key=lambda event: event.ticks)
+            # The tick grid is 1 ns; drop the (measure-zero) collisions
+            # so each unit's stream stays strictly monotonic.
+            last_tick = -1
+            for event in unit_events:
+                if event.ticks > last_tick:
+                    events.append(event)
+                    last_tick = event.ticks
+    events.sort(key=lambda e: (e.ticks, e.part, e.unit, e.kind))
+    return events

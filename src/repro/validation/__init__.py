@@ -14,8 +14,18 @@ exercise the same comparison loops (DESIGN.md §3):
   MTBF / MTTR estimation from outage event logs.
 * :mod:`.field_data` — a synthetic field-trace generator that plays a
   model forward in time and emits the outage log a site would record.
+* :mod:`.intervals` — the shared confidence-interval math (chi-square
+  Poisson-rate bounds, renewal-reward availability bounds) quoted by
+  both the MEADEP estimator and the streaming telemetry estimator.
 """
 
+from .intervals import (
+    availability_halfwidth,
+    chi2_quantile,
+    downtime_std,
+    poisson_rate_interval,
+    regularized_gamma_p,
+)
 from .simulator import (
     simulate_block_availability,
     simulate_system_availability,
@@ -41,6 +51,11 @@ from .consistency import (
 )
 
 __all__ = [
+    "availability_halfwidth",
+    "chi2_quantile",
+    "downtime_std",
+    "poisson_rate_interval",
+    "regularized_gamma_p",
     "simulate_block_availability",
     "simulate_system_availability",
     "sharpe_steady_state",

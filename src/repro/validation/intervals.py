@@ -1,0 +1,185 @@
+"""Shared confidence-interval mathematics for measured dependability.
+
+One implementation, two consumers: the MEADEP-style batch estimator
+(:mod:`repro.validation.meadep`) and the streaming telemetry rate
+estimator (:mod:`repro.telemetry`) both quote intervals computed here,
+so a rate fitted online and a rate fitted from the same events in batch
+carry byte-identical bounds.
+
+Everything is pure ``math`` — no scipy — so the interval math is
+available wherever the standard library is, and deterministic enough to
+participate in content digests.  The chi-square quantile is inverted by
+bisection on the regularized lower incomplete gamma function
+(series/continued-fraction evaluation, Numerical-Recipes style), which
+is accurate to ~1e-12 relative — far below anything a confidence bound
+cares about, and testable against closed forms (for two degrees of
+freedom the quantile *is* ``-2 ln(1 - p)``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..errors import SolverError
+
+#: Iteration budget for the incomplete-gamma series/continued fraction.
+_MAX_ITERATIONS = 500
+
+#: Relative convergence target for the gamma evaluations.
+_EPSILON = 1e-16
+
+
+def regularized_gamma_p(a: float, x: float) -> float:
+    """The regularized lower incomplete gamma function P(a, x).
+
+    ``P(a, x) = gamma(a, x) / Gamma(a)``; the chi-square CDF with k
+    degrees of freedom is ``P(k/2, x/2)``.
+    """
+    if a <= 0.0:
+        raise SolverError(f"gamma shape must be positive, got {a}")
+    if x < 0.0:
+        raise SolverError(f"gamma argument must be non-negative, got {x}")
+    if x == 0.0:
+        return 0.0
+    log_prefactor = -x + a * math.log(x) - math.lgamma(a)
+    if x < a + 1.0:
+        # Series representation converges fast left of the mean.
+        term = 1.0 / a
+        total = term
+        denominator = a
+        for _ in range(_MAX_ITERATIONS):
+            denominator += 1.0
+            term *= x / denominator
+            total += term
+            if abs(term) < abs(total) * _EPSILON:
+                break
+        return min(1.0, total * math.exp(log_prefactor))
+    # Lentz continued fraction for Q(a, x) right of the mean.
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITERATIONS):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPSILON:
+            break
+    q = math.exp(log_prefactor) * h
+    return max(0.0, 1.0 - q)
+
+
+def chi2_quantile(p: float, dof: int) -> float:
+    """The chi-square quantile: x with ``P(X <= x) = p`` at ``dof``.
+
+    Inverted by bisection on :func:`regularized_gamma_p` — monotone,
+    derivative-free, and deterministic.  ``p = 0`` returns 0.
+    """
+    if not 0.0 <= p < 1.0:
+        raise SolverError(
+            f"quantile probability must lie in [0, 1), got {p}"
+        )
+    if dof < 1:
+        raise SolverError(
+            f"degrees of freedom must be a positive integer, got {dof}"
+        )
+    if p == 0.0:
+        return 0.0
+    a = dof / 2.0
+    low, high = 0.0, float(max(dof, 1))
+    while regularized_gamma_p(a, high / 2.0) < p:
+        high *= 2.0
+        if high > 1e12:  # pragma: no cover - p < 1 always brackets
+            break
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if regularized_gamma_p(a, mid / 2.0) < p:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+def poisson_rate_interval(
+    events: int, exposure_hours: float, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Exact chi-square confidence interval for a Poisson rate.
+
+    With ``n`` events observed over exposure ``T`` the two-sided
+    ``confidence`` interval for the rate is::
+
+        [ chi2(alpha/2, 2n) / 2T ,  chi2(1 - alpha/2, 2n + 2) / 2T ]
+
+    (Garwood's interval; the lower bound is 0 when ``n = 0``).  This is
+    the MTBF interval MEADEP quotes and the per-FRU bound the telemetry
+    estimator streams — both call exactly this function.
+    """
+    if events < 0 or int(events) != events:
+        raise SolverError(
+            f"event count must be a non-negative integer, got {events}"
+        )
+    if exposure_hours <= 0.0:
+        raise SolverError(
+            f"exposure must be positive, got {exposure_hours}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise SolverError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    alpha = 1.0 - confidence
+    events = int(events)
+    low = (
+        0.0
+        if events == 0
+        else chi2_quantile(alpha / 2.0, 2 * events) / (2.0 * exposure_hours)
+    )
+    high = (
+        chi2_quantile(1.0 - alpha / 2.0, 2 * events + 2)
+        / (2.0 * exposure_hours)
+    )
+    return low, high
+
+
+def downtime_std(durations: Sequence[float]) -> float:
+    """Renewal-reward standard deviation of total downtime.
+
+    With n outages of mean duration m and duration variance s^2, the
+    downtime variance is approximately ``n * (s^2 + m^2)`` — the
+    normal approximation MEADEP's availability bound rests on, which
+    is conservative for small logs.
+    """
+    n = len(durations)
+    if n >= 2:
+        mean = sum(durations) / n
+        variance = sum((d - mean) ** 2 for d in durations) / (n - 1)
+        return math.sqrt(n * (variance + mean * mean))
+    if n == 1:
+        return float(durations[0])
+    return 0.0
+
+
+def availability_halfwidth(
+    durations: Sequence[float],
+    window_hours: float,
+    confidence_z: float = 1.96,
+) -> float:
+    """Half-width of the availability confidence interval.
+
+    ``z * std(downtime) / window`` — subtract/add around the point
+    availability (clamping to [0, 1]) to get the interval.
+    """
+    if window_hours <= 0.0:
+        raise SolverError(
+            f"observation window must be positive, got {window_hours}"
+        )
+    return confidence_z * downtime_std(durations) / window_hours

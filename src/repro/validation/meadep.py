@@ -15,6 +15,7 @@ from typing import List, Sequence, Tuple
 
 from ..errors import SolverError
 from ..units import MINUTES_PER_YEAR
+from .intervals import availability_halfwidth, poisson_rate_interval
 
 
 @dataclass(frozen=True)
@@ -53,9 +54,17 @@ class FieldEstimate:
     mtbf_hours: float
     mttr_hours: float
     yearly_downtime_minutes: float
+    #: Chi-square (Garwood) bounds on the MTBF, from the shared
+    #: interval math in :mod:`repro.validation.intervals` — the same
+    #: implementation the streaming telemetry estimator quotes.
+    mtbf_low_hours: float = 0.0
+    mtbf_high_hours: float = float("inf")
 
     def contains_availability(self, value: float) -> bool:
         return self.availability_low <= value <= self.availability_high
+
+    def contains_mtbf(self, value: float) -> bool:
+        return self.mtbf_low_hours <= value <= self.mtbf_high_hours
 
 
 def estimate_from_log(
@@ -91,20 +100,18 @@ def estimate_from_log(
     downtime = sum(durations)
     n = len(durations)
     availability = max(0.0, 1.0 - downtime / window_hours)
-
-    if n >= 2:
-        mean = downtime / n
-        variance = sum((d - mean) ** 2 for d in durations) / (n - 1)
-        downtime_std = math.sqrt(n * (variance + mean * mean))
-    elif n == 1:
-        downtime_std = durations[0]
-    else:
-        downtime_std = 0.0
-    half_width = confidence_z * downtime_std / window_hours
+    half_width = availability_halfwidth(
+        durations, window_hours, confidence_z
+    )
 
     uptime = window_hours - downtime
     mtbf = uptime / n if n > 0 else float("inf")
     mttr = downtime / n if n > 0 else 0.0
+    mtbf_low, mtbf_high = 0.0, float("inf")
+    if uptime > 0:
+        rate_low, rate_high = poisson_rate_interval(n, uptime)
+        mtbf_low = 1.0 / rate_high if rate_high > 0 else 0.0
+        mtbf_high = 1.0 / rate_low if rate_low > 0 else float("inf")
     return FieldEstimate(
         window_hours=window_hours,
         n_outages=n,
@@ -115,6 +122,8 @@ def estimate_from_log(
         mtbf_hours=mtbf,
         mttr_hours=mttr,
         yearly_downtime_minutes=(1.0 - availability) * MINUTES_PER_YEAR,
+        mtbf_low_hours=mtbf_low,
+        mtbf_high_hours=mtbf_high,
     )
 
 

@@ -1,0 +1,187 @@
+"""The closed loop: shifted trace -> drift -> proposal -> gated publish."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.library import e10000_model
+from repro.registry import RegressionError, open_registry
+from repro.spec import model_to_spec, parse_spec
+from repro.telemetry import (
+    NoDriftError,
+    RateEstimator,
+    build_proposal,
+    publish_proposal,
+    synthetic_field_events,
+)
+
+BOOT_DISK = "E10000 Server/Boot Disk"
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return Engine(jobs=1, cache=True)
+
+
+@pytest.fixture(scope="module")
+def shifted_estimator():
+    """The canonical drifted state: Boot Disk at 1 % of its datasheet
+    MTBF over a 15-month window."""
+    events = synthetic_field_events(
+        e10000_model(),
+        window_hours=10_950.0,
+        seed=3,
+        mtbf_shifts={BOOT_DISK: 0.01},
+    )
+    estimator = RateEstimator(window_hours=168.0)
+    estimator.ingest_many(events)
+    return estimator
+
+
+class TestBuildProposal:
+    def test_no_drift_raises_a_conflict(self, engine):
+        model = e10000_model()
+        estimator = RateEstimator(window_hours=168.0)
+        estimator.ingest_many(
+            synthetic_field_events(model, window_hours=10_950.0, seed=3)
+        )
+        with pytest.raises(NoDriftError):
+            build_proposal(estimator, model, engine)
+
+    def test_proposal_refits_the_drifted_block(
+        self, engine, shifted_estimator
+    ):
+        model = e10000_model()
+        proposal = build_proposal(shifted_estimator, model, engine)
+        assert proposal["kind"] == "calibration_proposal"
+        assert proposal["drift"]["drifted_parts"] == [BOOT_DISK]
+        fit = shifted_estimator.fit().part(BOOT_DISK)
+        refit = proposal["refit"][BOOT_DISK]
+        assert refit["old_mtbf_hours"] == pytest.approx(150_000.0)
+        assert refit["new_mtbf_hours"] == pytest.approx(
+            1.0 / fit.failure_rate
+        )
+        # The candidate spec itself carries the re-fitted MTBF.
+        candidate = parse_spec(proposal["spec"])
+        for _level, path, block in candidate.walk():
+            if path == BOOT_DISK:
+                assert block.parameters.mtbf_hours == pytest.approx(
+                    refit["new_mtbf_hours"]
+                )
+        # A much worse disk must cost availability.
+        assert proposal["evaluation"]["availability"] < 0.9999
+        assert proposal["base_digest"] != proposal["candidate_digest"]
+
+    def test_proposal_carries_calibration_provenance(
+        self, engine, shifted_estimator
+    ):
+        proposal = build_proposal(
+            shifted_estimator, e10000_model(), engine
+        )
+        provenance = proposal["provenance"]
+        assert provenance["source"] == "calibration"
+        assert provenance["event_window"]["events"] == (
+            shifted_estimator.events_total
+        )
+        assert set(provenance["fitted_rates"]) == {BOOT_DISK}
+
+    def test_proposal_digest_is_reproducible(
+        self, engine, shifted_estimator
+    ):
+        first = build_proposal(shifted_estimator, e10000_model(), engine)
+        second = build_proposal(shifted_estimator, e10000_model(), engine)
+        assert first["proposal_digest"] == second["proposal_digest"]
+
+    def test_ingest_order_does_not_change_the_proposal(self, engine):
+        events = synthetic_field_events(
+            e10000_model(),
+            window_hours=10_950.0,
+            seed=3,
+            mtbf_shifts={BOOT_DISK: 0.01},
+        )
+        # Group per unit (preserving each unit's monotonic order) and
+        # ingest the groups in reversed order — a legal reshuffle.
+        by_unit = {}
+        for event in events:
+            by_unit.setdefault(event.unit, []).append(event)
+        shuffled = [
+            event
+            for unit in sorted(by_unit, reverse=True)
+            for event in by_unit[unit]
+        ]
+        straight = RateEstimator(window_hours=168.0)
+        straight.ingest_many(events)
+        permuted = RateEstimator(window_hours=168.0)
+        permuted.ingest_many(shuffled)
+        model = e10000_model()
+        assert (
+            build_proposal(straight, model, engine)["proposal_digest"]
+            == build_proposal(permuted, model, engine)["proposal_digest"]
+        )
+
+
+class TestPublishGate:
+    def publish_baseline(self, registry, spec, tag=None):
+        return registry.publish(spec, "e10000", tag=tag)
+
+    def test_untagged_publish_records_provenance(
+        self, engine, shifted_estimator, tmp_path
+    ):
+        registry = open_registry(
+            db_path=tmp_path / "registry.sqlite3", engine=engine
+        )
+        proposal = build_proposal(
+            shifted_estimator, e10000_model(), engine
+        )
+        result = publish_proposal(registry, proposal, "e10000")
+        assert result.created
+        assert result.gate is None
+        assert result.version.source == proposal["provenance"]
+        assert result.version.source["source"] == "calibration"
+
+    def test_gate_rejects_a_worsening_calibration(
+        self, engine, shifted_estimator, tmp_path
+    ):
+        registry = open_registry(
+            db_path=tmp_path / "registry.sqlite3", engine=engine
+        )
+        # The datasheet model holds the prod tag; the calibrated
+        # candidate (Boot Disk at ~1.3 kh MTBF) is dramatically worse.
+        self.publish_baseline(
+            registry, model_to_spec(e10000_model()), tag="prod"
+        )
+        proposal = build_proposal(
+            shifted_estimator, e10000_model(), engine
+        )
+        with pytest.raises(RegressionError):
+            publish_proposal(registry, proposal, "e10000", tag="prod")
+        # Un-tagged it still lands, and force overrides the gate.
+        untagged = publish_proposal(registry, proposal, "e10000")
+        assert untagged.version.digest == proposal["candidate_digest"]
+        forced = publish_proposal(
+            registry, proposal, "e10000", tag="prod", force=True
+        )
+        assert forced.gate["forced"] is True
+
+    def test_gate_accepts_an_improving_calibration(
+        self, engine, shifted_estimator, tmp_path
+    ):
+        registry = open_registry(
+            db_path=tmp_path / "registry.sqlite3", engine=engine
+        )
+        # Baseline tag holder is worse than the calibrated rate, so the
+        # same proposal now improves availability and passes the gate.
+        degraded = model_to_spec(e10000_model())
+        for block in degraded["diagram"]["blocks"]:
+            if block["name"] == "Boot Disk":
+                block["mtbf_hours"] = 200.0
+        self.publish_baseline(registry, degraded, tag="prod")
+        proposal = build_proposal(
+            shifted_estimator, e10000_model(), engine
+        )
+        result = publish_proposal(
+            registry, proposal, "e10000", tag="prod"
+        )
+        assert result.created
+        assert result.gate is not None
+        assert not result.gate.get("forced")
+        assert result.gate["downtime_delta_minutes"] < 0

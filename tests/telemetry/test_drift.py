@@ -1,0 +1,144 @@
+"""CUSUM drift detection: deterministic LLR over the window ladder."""
+
+import math
+
+import pytest
+
+from repro.library import e10000_model
+from repro.telemetry import (
+    DETERIORATION,
+    IMPROVEMENT,
+    DriftConfig,
+    FieldEvent,
+    RateEstimator,
+    TelemetryError,
+    detect_drift,
+    reference_rates,
+    synthetic_field_events,
+)
+
+PART = "Sys/Disk"
+WINDOW = 168.0
+
+
+def fed_estimator(times, kind="failure"):
+    estimator = RateEstimator(window_hours=WINDOW)
+    for t in times:
+        estimator.ingest(FieldEvent(PART, "u#0", kind, t))
+    return estimator
+
+
+class TestConfig:
+    def test_shift_must_exceed_one(self):
+        with pytest.raises(TelemetryError, match="shift"):
+            DriftConfig(shift=1.0)
+
+    def test_threshold_and_min_events_are_validated(self):
+        with pytest.raises(TelemetryError, match="threshold"):
+            DriftConfig(threshold=0.0)
+        with pytest.raises(TelemetryError, match="min_events"):
+            DriftConfig(min_events=0)
+
+    def test_window_must_match_the_estimator_ladder(self):
+        estimator = fed_estimator([10.0])
+        with pytest.raises(TelemetryError, match="ladder"):
+            detect_drift(
+                estimator, {PART: 1e-4}, DriftConfig(window_hours=24.0)
+            )
+
+
+class TestDeterioration:
+    def test_burst_of_failures_confirms_deterioration(self):
+        # Reference expects ~1 failure per 10k hours; a dozen failures
+        # inside one window (12 ln 2 > 8) is overwhelming evidence.
+        estimator = fed_estimator([10.0 * (i + 1) for i in range(12)])
+        report = detect_drift(estimator, {PART: 1e-4})
+        verdict = report.part(PART)
+        assert verdict.drifted
+        assert verdict.direction == DETERIORATION
+        assert report.drifted_parts == [PART]
+        assert report.any_drift
+
+    def test_statistic_matches_the_hand_computed_llr(self):
+        # One failure at 100 h: a single window row with 100 h of
+        # up-exposure and n = 1, so the CUSUM peak is exactly
+        # max(0, ln(s) - (s - 1) * rate * T).
+        estimator = fed_estimator([100.0])
+        config = DriftConfig(
+            window_hours=WINDOW, shift=2.0, threshold=8.0, min_events=1
+        )
+        report = detect_drift(estimator, {PART: 1e-4}, config)
+        expected = math.log(2.0) - 1.0 * 1e-4 * 100.0
+        assert report.part(PART).statistic_up == pytest.approx(expected)
+
+    def test_min_events_gates_a_loud_but_thin_signal(self):
+        estimator = fed_estimator([10.0, 20.0, 30.0])
+        config = DriftConfig(
+            window_hours=WINDOW, threshold=0.5, min_events=5
+        )
+        report = detect_drift(estimator, {PART: 1e-3}, config)
+        verdict = report.part(PART)
+        assert verdict.statistic_up >= config.threshold
+        assert not verdict.drifted
+
+    def test_on_spec_stream_stays_quiet(self):
+        # Failures at roughly the reference rate: no confirmation.
+        estimator = fed_estimator([5_000.0])
+        estimator.ingest(FieldEvent(PART, "u#0", "repair", 5_010.0))
+        report = detect_drift(estimator, {PART: 1e-4})
+        assert not report.any_drift
+
+
+class TestImprovement:
+    def test_long_quiet_exposure_confirms_improvement(self):
+        # 10 empty 168 h windows at an expected 0.01/h: each window
+        # adds (1 - 1/s) * rate * T = 0.84 to the downward CUSUM.
+        estimator = fed_estimator([1_680.0])
+        report = detect_drift(estimator, {PART: 0.01})
+        verdict = report.part(PART)
+        assert verdict.drifted
+        assert verdict.direction == IMPROVEMENT
+        assert verdict.statistic_down >= verdict.threshold
+
+    def test_improvement_needs_no_minimum_failures(self):
+        estimator = fed_estimator([2_000.0], kind="latent_detect")
+        report = detect_drift(
+            estimator,
+            {PART: 0.01},
+            DriftConfig(window_hours=WINDOW, min_events=50),
+        )
+        assert report.part(PART).direction == IMPROVEMENT
+
+
+class TestReferenceHandling:
+    def test_parts_without_a_reference_are_skipped(self):
+        estimator = fed_estimator([10.0])
+        report = detect_drift(estimator, {"Sys/Other": 1e-4})
+        assert report.parts == ()
+        assert not report.any_drift
+
+    def test_non_positive_reference_rate_is_rejected(self):
+        estimator = fed_estimator([10.0])
+        with pytest.raises(TelemetryError, match="positive"):
+            detect_drift(estimator, {PART: 0.0})
+
+
+class TestEndToEndRecipe:
+    def test_shifted_boot_disk_is_the_only_confirmed_part(self):
+        # The canonical trace of the calibration tests: ground truth
+        # at 1 % of the Boot Disk's datasheet MTBF.
+        model = e10000_model()
+        events = synthetic_field_events(
+            model,
+            window_hours=10_950.0,
+            seed=3,
+            mtbf_shifts={"E10000 Server/Boot Disk": 0.01},
+        )
+        estimator = RateEstimator(window_hours=WINDOW)
+        estimator.ingest_many(events)
+        report = detect_drift(estimator, reference_rates(model))
+        assert report.drifted_parts == ["E10000 Server/Boot Disk"]
+        verdict = report.part("E10000 Server/Boot Disk")
+        assert verdict.direction == DETERIORATION
+        assert verdict.failures >= 5
+        assert verdict.statistic_up >= verdict.threshold

@@ -1,0 +1,177 @@
+"""Streaming rate estimation: exposure accounting, merges, digests."""
+
+import pytest
+
+from repro.telemetry import (
+    FieldEvent,
+    OutOfOrderError,
+    RateEstimator,
+    TelemetryError,
+)
+from repro.validation.intervals import poisson_rate_interval
+
+PART = "Sys/Disk"
+
+
+def _event(time_hours, unit="u#0", kind="failure", part=PART):
+    return FieldEvent(part, unit, kind, time_hours)
+
+
+class TestExposureAccounting:
+    def test_up_and_down_time_split_around_the_outage(self):
+        estimator = RateEstimator(window_hours=168.0)
+        estimator.ingest(_event(100.0, kind="failure"))
+        estimator.ingest(_event(110.0, kind="repair"))
+        fitted = estimator.fit(window_end_hours=200.0)
+        fit = fitted.part(PART)
+        assert fit.failures == 1
+        assert fit.repairs == 1
+        assert fit.up_hours == pytest.approx(100.0 + 90.0)
+        assert fit.down_hours == pytest.approx(10.0)
+        assert fit.failure_rate == pytest.approx(1.0 / 190.0)
+        assert fit.mtbf_hours == pytest.approx(190.0)
+        assert fit.mttr_hours == pytest.approx(10.0)
+
+    def test_tail_of_a_down_unit_extends_downtime(self):
+        estimator = RateEstimator(window_hours=168.0)
+        estimator.ingest(_event(50.0, kind="failure"))
+        fit = estimator.fit(window_end_hours=100.0).part(PART)
+        assert fit.up_hours == pytest.approx(50.0)
+        assert fit.down_hours == pytest.approx(50.0)
+
+    def test_interval_is_the_shared_garwood_bound(self):
+        estimator = RateEstimator(window_hours=168.0)
+        for i in range(4):
+            estimator.ingest(_event(100.0 + 200.0 * i, kind="failure"))
+            estimator.ingest(_event(101.0 + 200.0 * i, kind="repair"))
+        fit = estimator.fit(confidence=0.90).part(PART)
+        low, high = poisson_rate_interval(
+            fit.failures, fit.up_hours, 0.90
+        )
+        assert (fit.rate_low, fit.rate_high) == (low, high)
+        assert low < fit.failure_rate < high
+
+    def test_failure_free_part_quotes_only_an_upper_bound(self):
+        estimator = RateEstimator(window_hours=168.0)
+        estimator.ingest(_event(500.0, kind="latent_detect"))
+        fit = estimator.fit().part(PART)
+        assert fit.failures == 0
+        assert fit.failure_rate == 0.0
+        assert fit.rate_low == 0.0
+        low, high = poisson_rate_interval(0, 500.0, 0.95)
+        assert fit.rate_high == high > 0.0
+        assert fit.mtbf_hours is None
+
+
+class TestIdempotence:
+    def test_replayed_event_is_a_duplicate_not_a_double_count(self):
+        estimator = RateEstimator(window_hours=168.0)
+        event = _event(100.0)
+        assert estimator.ingest(event) is True
+        assert estimator.ingest(event) is False
+        assert estimator.events_total == 1
+
+    def test_replayed_batch_leaves_the_digest_unchanged(self):
+        events = [_event(10.0), _event(20.0, kind="repair"), _event(30.0)]
+        estimator = RateEstimator(window_hours=168.0)
+        assert estimator.ingest_many(events) == (3, 0)
+        digest = estimator.state_digest()
+        assert estimator.ingest_many(events) == (0, 3)
+        assert estimator.state_digest() == digest
+
+    def test_out_of_order_event_is_rejected(self):
+        estimator = RateEstimator(window_hours=168.0)
+        estimator.ingest(_event(100.0))
+        with pytest.raises(OutOfOrderError):
+            estimator.ingest(_event(50.0, kind="repair"))
+
+
+class TestMerge:
+    def shards(self):
+        a = RateEstimator(window_hours=168.0)
+        a.ingest_many([_event(10.0, unit="u#0"),
+                       _event(12.0, unit="u#0", kind="repair")])
+        b = RateEstimator(window_hours=168.0)
+        b.ingest_many([_event(200.0, unit="u#1")])
+        c = RateEstimator(window_hours=168.0)
+        c.ingest_many([_event(99.0, unit="u#2", part="Sys/CPU")])
+        return a, b, c
+
+    def single_pass(self):
+        estimator = RateEstimator(window_hours=168.0)
+        estimator.ingest_many([
+            _event(10.0, unit="u#0"),
+            _event(12.0, unit="u#0", kind="repair"),
+            _event(99.0, unit="u#2", part="Sys/CPU"),
+            _event(200.0, unit="u#1"),
+        ])
+        return estimator
+
+    def test_merge_equals_the_single_pass_state(self):
+        a, b, c = self.shards()
+        merged = a.merge(b).merge(c)
+        assert merged.state_digest() == self.single_pass().state_digest()
+
+    def test_merge_is_associative_and_commutative(self):
+        a, b, c = self.shards()
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        swapped = c.merge(a).merge(b)
+        assert (
+            left.state_digest()
+            == right.state_digest()
+            == swapped.state_digest()
+        )
+        assert left.fit().digest() == right.fit().digest()
+
+    def test_overlapping_units_refuse_to_merge(self):
+        a, _, _ = self.shards()
+        twin = RateEstimator(window_hours=168.0)
+        twin.ingest(_event(500.0, unit="u#0"))
+        with pytest.raises(ValueError, match="both"):
+            a.merge(twin)
+
+    def test_mismatched_window_ladders_refuse_to_merge(self):
+        a, _, _ = self.shards()
+        other = RateEstimator(window_hours=24.0)
+        with pytest.raises(ValueError, match="configurations"):
+            a.merge(other)
+
+
+class TestSerialization:
+    def test_state_round_trips_bit_identically(self):
+        estimator = RateEstimator(window_hours=168.0)
+        estimator.ingest_many(
+            [_event(10.0), _event(15.0, kind="repair"), _event(40.0)]
+        )
+        restored = RateEstimator.from_dict(estimator.to_dict())
+        assert restored.state_digest() == estimator.state_digest()
+        assert restored.fit().digest() == estimator.fit().digest()
+        # And the restored state keeps enforcing monotonicity.
+        with pytest.raises(OutOfOrderError):
+            restored.ingest(_event(20.0, kind="repair"))
+
+    def test_unknown_state_format_is_rejected(self):
+        payload = RateEstimator(window_hours=168.0).to_dict()
+        payload["format"] = "telemetry-state/v999"
+        with pytest.raises(TelemetryError, match="format"):
+            RateEstimator.from_dict(payload)
+
+
+class TestIngestOrderInvariance:
+    def test_unit_interleaving_does_not_change_the_fit(self):
+        stream_a = [_event(t, unit="u#0") for t in (10.0, 30.0, 50.0)]
+        stream_b = [_event(t, unit="u#1") for t in (5.0, 25.0, 45.0)]
+        orders = [
+            stream_a + stream_b,
+            stream_b + stream_a,
+            [x for pair in zip(stream_a, stream_b) for x in pair],
+        ]
+        digests = set()
+        for order in orders:
+            estimator = RateEstimator(window_hours=168.0)
+            estimator.ingest_many(order)
+            digests.add(
+                (estimator.state_digest(), estimator.fit().digest())
+            )
+        assert len(digests) == 1

@@ -1,0 +1,112 @@
+"""Field-event records: tick grid, content ids, batch parsing."""
+
+import pytest
+
+from repro.library import e10000_model
+from repro.core import translate
+from repro.telemetry import (
+    TICKS_PER_HOUR,
+    FieldEvent,
+    TelemetryError,
+    event_from_dict,
+    events_from_field_log,
+    from_ticks,
+    parse_events,
+    to_ticks,
+)
+from repro.validation.field_data import generate_field_log
+
+
+class TestTickGrid:
+    def test_one_hour_is_the_grid_constant(self):
+        assert to_ticks(1.0) == TICKS_PER_HOUR
+
+    def test_round_trip_is_exact_on_the_grid(self):
+        for hours in (0.0, 0.5, 123.456, 10_950.0):
+            assert to_ticks(from_ticks(to_ticks(hours))) == to_ticks(hours)
+
+    def test_non_numeric_time_is_rejected(self):
+        with pytest.raises(TelemetryError):
+            to_ticks("soon")
+        with pytest.raises(TelemetryError):
+            to_ticks(True)
+
+    def test_non_finite_time_is_rejected(self):
+        with pytest.raises(TelemetryError):
+            to_ticks(float("inf"))
+        with pytest.raises(TelemetryError):
+            to_ticks(float("nan"))
+
+
+class TestFieldEvent:
+    def test_valid_event_round_trips_through_its_dict(self):
+        event = FieldEvent("Sys/Disk", "srv/Disk#0", "failure", 100.0)
+        parsed = event_from_dict(event.to_dict())
+        assert parsed == event
+        assert parsed.event_id == event.event_id
+
+    def test_id_is_content_addressed(self):
+        a = FieldEvent("Sys/Disk", "u#0", "failure", 100.0)
+        b = FieldEvent("Sys/Disk", "u#0", "failure", 100.0)
+        c = FieldEvent("Sys/Disk", "u#0", "failure", 100.5)
+        assert a.event_id == b.event_id
+        assert a.event_id != c.event_id
+        assert a.event_id.startswith("evt-")
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(TelemetryError, match="kind"):
+            FieldEvent("Sys/Disk", "u#0", "maintenance", 1.0)
+
+    def test_empty_part_or_unit_is_rejected(self):
+        with pytest.raises(TelemetryError):
+            FieldEvent("", "u#0", "failure", 1.0)
+        with pytest.raises(TelemetryError):
+            FieldEvent("Sys/Disk", "", "failure", 1.0)
+
+    def test_negative_time_is_rejected(self):
+        with pytest.raises(TelemetryError, match="non-negative"):
+            FieldEvent("Sys/Disk", "u#0", "failure", -1.0)
+
+
+class TestParseEvents:
+    def test_non_list_body_is_rejected(self):
+        with pytest.raises(TelemetryError, match="list"):
+            parse_events({"part": "x"})
+        with pytest.raises(TelemetryError, match="list"):
+            parse_events("not a list")
+
+    def test_malformed_entry_names_its_index(self):
+        good = FieldEvent("Sys/Disk", "u#0", "failure", 1.0).to_dict()
+        with pytest.raises(TelemetryError, match=r"events\[1\]"):
+            parse_events([good, {"part": "Sys/Disk"}])
+
+    def test_missing_field_is_named(self):
+        with pytest.raises(TelemetryError, match="time_hours"):
+            event_from_dict(
+                {"part": "Sys/Disk", "unit": "u#0", "kind": "failure"}
+            )
+
+    def test_parse_preserves_order(self):
+        raw = [
+            FieldEvent("Sys/Disk", "u#0", "failure", t).to_dict()
+            for t in (5.0, 1.0, 9.0)
+        ]
+        assert [e.time_hours for e in parse_events(raw)] == [5.0, 1.0, 9.0]
+
+
+class TestFieldLogBridge:
+    def test_outage_log_becomes_failure_repair_pairs(self):
+        solution = translate(e10000_model())
+        log = generate_field_log(
+            solution, window_hours=10_950.0, seed=7
+        )
+        events = events_from_field_log(log, "E10000 Server")
+        failures = [e for e in events if e.kind == "failure"]
+        repairs = [e for e in events if e.kind == "repair"]
+        assert len(failures) == len(log.events)
+        # Repairs past the window edge are dropped, never invented.
+        assert len(repairs) <= len(failures)
+        for failure, outage in zip(failures, log.events):
+            assert failure.time_hours == outage.start_hour
+            assert failure.unit == log.server
+            assert failure.part == "E10000 Server"

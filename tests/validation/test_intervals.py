@@ -1,0 +1,159 @@
+"""The shared CI math: chi-square closed forms, Garwood coverage."""
+
+import math
+
+import pytest
+
+from repro.errors import SolverError
+from repro.core import translate
+from repro.library import e10000_model
+from repro.validation.field_data import generate_field_log
+from repro.validation.intervals import (
+    availability_halfwidth,
+    chi2_quantile,
+    downtime_std,
+    poisson_rate_interval,
+    regularized_gamma_p,
+)
+
+
+class TestRegularizedGamma:
+    def test_boundary_values(self):
+        assert regularized_gamma_p(1.0, 0.0) == 0.0
+        assert regularized_gamma_p(3.0, 1e9) == pytest.approx(1.0)
+
+    def test_exponential_closed_form(self):
+        # P(1, x) = 1 - exp(-x), on both sides of the series/CF split.
+        for x in (0.1, 0.5, 1.0, 3.0, 10.0):
+            assert regularized_gamma_p(1.0, x) == pytest.approx(
+                1.0 - math.exp(-x), abs=1e-12
+            )
+
+    def test_erlang_closed_form(self):
+        # P(2, x) = 1 - (1 + x) exp(-x): chi-square with 4 dof.
+        for x in (0.2, 2.0, 7.5):
+            assert regularized_gamma_p(2.0, x) == pytest.approx(
+                1.0 - (1.0 + x) * math.exp(-x), abs=1e-12
+            )
+
+    def test_invalid_arguments_are_rejected(self):
+        with pytest.raises(SolverError):
+            regularized_gamma_p(0.0, 1.0)
+        with pytest.raises(SolverError):
+            regularized_gamma_p(1.0, -1.0)
+
+
+class TestChiSquareQuantile:
+    def test_two_dof_closed_form(self):
+        # With 2 dof the quantile is exactly -2 ln(1 - p).
+        for p in (0.025, 0.5, 0.9, 0.975, 0.995):
+            assert chi2_quantile(p, 2) == pytest.approx(
+                -2.0 * math.log(1.0 - p), rel=1e-9
+            )
+
+    def test_known_table_values(self):
+        # Standard chi-square table entries.
+        assert chi2_quantile(0.95, 1) == pytest.approx(3.841, abs=2e-3)
+        assert chi2_quantile(0.95, 10) == pytest.approx(18.307, abs=2e-3)
+        assert chi2_quantile(0.975, 8) == pytest.approx(17.535, abs=2e-3)
+        assert chi2_quantile(0.025, 8) == pytest.approx(2.180, abs=2e-3)
+
+    def test_quantile_inverts_the_cdf(self):
+        for dof in (1, 2, 7, 40):
+            for p in (0.1, 0.5, 0.99):
+                x = chi2_quantile(p, dof)
+                assert regularized_gamma_p(
+                    dof / 2.0, x / 2.0
+                ) == pytest.approx(p, abs=1e-9)
+
+    def test_zero_probability_is_zero(self):
+        assert chi2_quantile(0.0, 5) == 0.0
+
+    def test_invalid_arguments_are_rejected(self):
+        with pytest.raises(SolverError):
+            chi2_quantile(1.0, 2)
+        with pytest.raises(SolverError):
+            chi2_quantile(0.5, 0)
+
+
+class TestPoissonRateInterval:
+    def test_zero_events_lower_bound_is_zero(self):
+        low, high = poisson_rate_interval(0, 1_000.0)
+        assert low == 0.0
+        # Upper bound is chi2(0.975, 2) / 2T = -ln(0.025) / T.
+        assert high == pytest.approx(-math.log(0.025) / 1_000.0, rel=1e-9)
+
+    def test_interval_brackets_the_point_estimate(self):
+        for n in (1, 5, 40):
+            low, high = poisson_rate_interval(n, 10_000.0)
+            assert low < n / 10_000.0 < high
+
+    def test_interval_tightens_with_evidence(self):
+        narrow = poisson_rate_interval(100, 100_000.0)
+        wide = poisson_rate_interval(1, 1_000.0)
+        assert (narrow[1] - narrow[0]) / (100 / 100_000.0) < (
+            (wide[1] - wide[0]) / (1 / 1_000.0)
+        )
+
+    def test_garwood_coverage_on_simulated_truth(self):
+        # Deterministic pseudo-experiment: Poisson draws at a known
+        # rate; the 95 % interval must cover the truth ~95 % of the
+        # time (here: all but a few of 200 replications).
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        rate, exposure = 2e-3, 20_000.0
+        misses = 0
+        for _ in range(200):
+            n = rng.poisson(rate * exposure)
+            low, high = poisson_rate_interval(int(n), exposure)
+            if not low <= rate <= high:
+                misses += 1
+        assert misses <= 200 * 0.10
+
+    def test_invalid_arguments_are_rejected(self):
+        with pytest.raises(SolverError):
+            poisson_rate_interval(-1, 100.0)
+        with pytest.raises(SolverError):
+            poisson_rate_interval(3, 0.0)
+        with pytest.raises(SolverError):
+            poisson_rate_interval(3, 100.0, confidence=1.0)
+
+
+class TestDowntimeStd:
+    def test_empty_and_singleton_logs(self):
+        assert downtime_std([]) == 0.0
+        assert downtime_std([4.0]) == 4.0
+
+    def test_renewal_reward_formula(self):
+        durations = [1.0, 2.0, 3.0]
+        mean = 2.0
+        variance = 1.0  # sample variance with n - 1
+        assert downtime_std(durations) == pytest.approx(
+            math.sqrt(3 * (variance + mean * mean))
+        )
+
+    def test_halfwidth_scales_inversely_with_the_window(self):
+        durations = [2.0, 3.0, 4.0]
+        assert availability_halfwidth(
+            durations, 10_000.0
+        ) == pytest.approx(
+            2.0 * availability_halfwidth(durations, 20_000.0)
+        )
+        with pytest.raises(SolverError):
+            availability_halfwidth(durations, 0.0)
+
+
+class TestMeadepIntegration:
+    def test_field_estimate_quotes_the_shared_mtbf_bounds(self):
+        solution = translate(e10000_model())
+        log = generate_field_log(solution, window_hours=10_950.0, seed=11)
+        estimate = log.estimate()
+        uptime = log.window_hours - estimate.total_downtime_hours
+        low_rate, high_rate = poisson_rate_interval(
+            estimate.n_outages, uptime
+        )
+        assert estimate.mtbf_low_hours == pytest.approx(1.0 / high_rate)
+        assert estimate.mtbf_high_hours == pytest.approx(1.0 / low_rate)
+        assert estimate.contains_mtbf(estimate.mtbf_hours)
+        assert not estimate.contains_mtbf(estimate.mtbf_low_hours * 0.5)
