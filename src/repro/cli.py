@@ -1520,6 +1520,111 @@ def _cmd_calibrate_publish(args: argparse.Namespace) -> int:
     return 0
 
 
+def _db_targets(args: argparse.Namespace) -> List[dict]:
+    """The databases a ``rascad db`` verb operates on.
+
+    Explicit paths win; otherwise the known store databases under the
+    cache directory (default ``~/.cache/rascad``) are discovered.
+    """
+    from pathlib import Path
+
+    from .store import discover_databases
+
+    paths = getattr(args, "paths", None) or []
+    if paths:
+        return [{"name": Path(p).stem, "path": p} for p in paths]
+    base = getattr(args, "cache_dir", None) or default_cache_dir()
+    found = discover_databases(base)
+    if not found:
+        raise RascadError(
+            f"no store databases under {base} "
+            "(pass database paths explicitly, or --cache-dir)"
+        )
+    return found
+
+
+def _cmd_db_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .store import db_status
+
+    statuses = []
+    for target in _db_targets(args):
+        status = db_status(target["path"])
+        status["name"] = target["name"]
+        statuses.append(status)
+    if args.json:
+        print(json.dumps(statuses, indent=2, sort_keys=True))
+        return 0
+    print(f"{'store':<12} {'uv':>3} {'journal':<8} {'bytes':>12}  rows")
+    for status in statuses:
+        rows = ", ".join(
+            f"{table}={count}"
+            for table, count in sorted(status["tables"].items())
+        ) or "-"
+        print(f"{status['name']:<12} {status['user_version']:>3} "
+              f"{status['journal_mode']:<8} "
+              f"{status['size_bytes']:>12}  {rows}")
+    return 0
+
+
+def _cmd_db_check(args: argparse.Namespace) -> int:
+    import json
+
+    from .store import db_check
+
+    reports = []
+    for target in _db_targets(args):
+        report = db_check(target["path"])
+        report["name"] = target["name"]
+        reports.append(report)
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            verdict = "ok" if report["ok"] else "CORRUPT"
+            print(f"{report['name']:<12} {verdict}  {report['path']}")
+            if not report["ok"]:
+                for message in report["messages"]:
+                    print(f"  {message}")
+    return 0 if all(report["ok"] for report in reports) else 1
+
+
+def _cmd_db_backup(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .store import db_backup, default_backup_destination
+
+    targets = _db_targets(args)
+    if args.out and len(targets) != 1:
+        raise RascadError(
+            "--out names one file; it needs exactly one database "
+            f"(got {len(targets)})"
+        )
+    results = []
+    for target in targets:
+        destination = (
+            Path(args.out)
+            if args.out
+            else default_backup_destination(
+                target["path"], args.out_dir
+            )
+        )
+        result = db_backup(
+            target["path"], destination, pages=args.pages
+        )
+        result["name"] = target["name"]
+        results.append(result)
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    else:
+        for result in results:
+            print(f"{result['name']:<12} {result['size_bytes']:>12} "
+                  f"bytes -> {result['destination']}")
+    return 0
+
+
 def _cmd_parts(args: argparse.Namespace) -> int:
     database = (
         PartsDatabase.load(args.database)
@@ -2412,6 +2517,63 @@ def build_parser() -> argparse.ArgumentParser:
     add_registry_flag(cpublish)
     add_engine_flags(cpublish)
     cpublish.set_defaults(handler=_cmd_calibrate_publish)
+
+    db = commands.add_parser(
+        "db",
+        help="store database operations (status, check, backup)",
+    )
+    db_commands = db.add_subparsers(dest="db_command", required=True)
+
+    def add_db_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "paths", nargs="*", metavar="DB",
+            help="database file(s); omit to discover the known store "
+                 "databases under the cache directory",
+        )
+        subparser.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="cache directory to discover databases in "
+                 "(default: ~/.cache/rascad)",
+        )
+        subparser.add_argument(
+            "--json", action="store_true",
+            help="print machine-readable JSON",
+        )
+
+    dstatus = db_commands.add_parser(
+        "status",
+        help="size, schema version, journal mode, and row counts",
+    )
+    add_db_flags(dstatus)
+    dstatus.set_defaults(handler=_cmd_db_status)
+
+    dcheck = db_commands.add_parser(
+        "check",
+        help="PRAGMA integrity_check (exit 1 on any corruption)",
+    )
+    add_db_flags(dcheck)
+    dcheck.set_defaults(handler=_cmd_db_check)
+
+    dbackup = db_commands.add_parser(
+        "backup",
+        help="online backup to <name>.backup.sqlite3 (writers keep "
+             "writing)",
+    )
+    add_db_flags(dbackup)
+    dbackup.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="backup file name (single database only)",
+    )
+    dbackup.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="directory for default-named backups "
+             "(default: beside each source)",
+    )
+    dbackup.add_argument(
+        "--pages", type=int, default=256, metavar="N",
+        help="pages copied per backup step (default: 256)",
+    )
+    dbackup.set_defaults(handler=_cmd_db_backup)
 
     return parser
 

@@ -37,7 +37,7 @@ from .config import (
     NoWorkersError,
     ShardFailedError,
 )
-from .coordinator import Coordinator, ShardStore
+from .coordinator import CLUSTER_DB_FILENAME, Coordinator, ShardStore
 from .membership import Membership, WorkerInfo, worker_id_for
 from .merge import (
     merge_histograms,
@@ -73,6 +73,7 @@ __all__ = [
     "NoWorkersError",
     "Shard",
     "ShardFailedError",
+    "CLUSTER_DB_FILENAME",
     "ShardStore",
     "StudyWorkload",
     "SweepWorkload",

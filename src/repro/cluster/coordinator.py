@@ -1,7 +1,8 @@
 """The coordinator: durable shard table plus the dispatch scheduler.
 
 :class:`ShardStore` persists every shard's lifecycle row in SQLite
-(shareable with the jobs database), so a coordinator killed mid-job
+(its own ``cluster.sqlite3`` beside the jobs database), so a
+coordinator killed mid-job
 replans the identical shard set on restart — shard ids are content
 digests — and finds the completed rows already in place: only the
 unfinished remainder re-executes.
@@ -19,12 +20,12 @@ duplicate execution of a stolen shard produces the same bytes.
 from __future__ import annotations
 
 import json
-import sqlite3
 import threading
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..obs import carrier_to_header, get_logger, get_tracer, monotonic
+from ..store import Migration, Schema, SqliteStore
 from .client import WorkerCallError, WorkerClient
 from .config import (
     ClusterConfig,
@@ -54,6 +55,15 @@ CREATE INDEX IF NOT EXISTS cluster_shards_job
     ON cluster_shards (job, state);
 """
 
+#: Default file name inside a cache directory (its own database —
+#: every store file carries exactly one ``user_version`` chain).
+CLUSTER_DB_FILENAME = "cluster.sqlite3"
+
+#: The shard-ledger schema, versioned via ``PRAGMA user_version``.
+CLUSTER_SCHEMA = Schema(
+    "cluster", [Migration(1, "shard lifecycle table", _SCHEMA)]
+)
+
 
 class ShardStore:
     """SQLite persistence for shard lifecycle and results.
@@ -65,21 +75,11 @@ class ShardStore:
     """
 
     def __init__(self, path: str = ":memory:") -> None:
-        self.path = path
-        self._lock = threading.Lock()
-        self._connection = sqlite3.connect(
-            path, check_same_thread=False, isolation_level=None
-        )
-        self._connection.row_factory = sqlite3.Row
-        with self._lock:
-            if path != ":memory:":
-                self._connection.execute("PRAGMA journal_mode=WAL")
-            self._connection.execute("PRAGMA synchronous=NORMAL")
-            self._connection.executescript(_SCHEMA)
+        self.db = SqliteStore(path, CLUSTER_SCHEMA)
+        self.path = str(self.db.path)
 
     def close(self) -> None:
-        with self._lock:
-            self._connection.close()
+        self.db.close()
 
     # ------------------------------------------------------------------
     # planning and resume
@@ -92,27 +92,21 @@ class ShardStore:
         counts after planning, so the caller can log the resume.
         """
         now = time.time()
-        with self._lock:
-            self._connection.execute("BEGIN")
-            try:
-                for shard in shards:
-                    self._connection.execute(
-                        "INSERT OR IGNORE INTO cluster_shards "
-                        "(id, job, idx, lo, hi, state, attempts, updated_at)"
-                        " VALUES (?, ?, ?, ?, ?, 'pending', 0, ?)",
-                        (shard.id, job, shard.index, shard.lo, shard.hi,
-                         now),
-                    )
-                self._connection.execute(
-                    "UPDATE cluster_shards SET state = 'pending', "
-                    "worker = NULL, lease_at = NULL, updated_at = ? "
-                    "WHERE job = ? AND state = 'running'",
-                    (now, job),
+        with self.db.transaction(immediate=True) as conn:
+            for shard in shards:
+                conn.execute(
+                    "INSERT OR IGNORE INTO cluster_shards "
+                    "(id, job, idx, lo, hi, state, attempts, updated_at)"
+                    " VALUES (?, ?, ?, ?, ?, 'pending', 0, ?)",
+                    (shard.id, job, shard.index, shard.lo, shard.hi,
+                     now),
                 )
-                self._connection.execute("COMMIT")
-            except BaseException:
-                self._connection.execute("ROLLBACK")
-                raise
+            conn.execute(
+                "UPDATE cluster_shards SET state = 'pending', "
+                "worker = NULL, lease_at = NULL, updated_at = ? "
+                "WHERE job = ? AND state = 'running'",
+                (now, job),
+            )
         return self.counts(job)
 
     # ------------------------------------------------------------------
@@ -127,8 +121,8 @@ class ShardStore:
         number this lease starts, ``0`` if the shard is already done.
         """
         now = time.time()
-        with self._lock:
-            cursor = self._connection.execute(
+        with self.db.transaction(immediate=True) as conn:
+            cursor = conn.execute(
                 "UPDATE cluster_shards SET state = 'running', "
                 "worker = ?, lease_at = ?, attempts = attempts + 1, "
                 "updated_at = ? WHERE id = ? AND state != 'done'",
@@ -136,7 +130,7 @@ class ShardStore:
             )
             if cursor.rowcount == 0:
                 return 0
-            row = self._connection.execute(
+            row = conn.execute(
                 "SELECT attempts FROM cluster_shards WHERE id = ?",
                 (shard_id,),
             ).fetchone()
@@ -146,8 +140,8 @@ class ShardStore:
         """Commit a shard result; ``False`` if another attempt won."""
         now = time.time()
         encoded = json.dumps(result, sort_keys=True)
-        with self._lock:
-            cursor = self._connection.execute(
+        with self.db.transaction() as conn:
+            cursor = conn.execute(
                 "UPDATE cluster_shards SET state = 'done', result = ?, "
                 "updated_at = ? WHERE id = ? AND state != 'done'",
                 (encoded, now, shard_id),
@@ -171,16 +165,16 @@ class ShardStore:
         if worker is not None:
             query += " AND worker = ?"
             parameters += (worker,)
-        with self._lock:
-            cursor = self._connection.execute(query, parameters)
+        with self.db.transaction() as conn:
+            cursor = conn.execute(query, parameters)
             return cursor.rowcount > 0
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def counts(self, job: str) -> Dict[str, int]:
-        with self._lock:
-            rows = self._connection.execute(
+        with self.db.connection() as conn:
+            rows = conn.execute(
                 "SELECT state, COUNT(*) AS n FROM cluster_shards "
                 "WHERE job = ? GROUP BY state",
                 (job,),
@@ -189,8 +183,8 @@ class ShardStore:
 
     def results(self, job: str) -> Dict[str, List[Dict[str, object]]]:
         """Completed shard results: shard id -> its point list."""
-        with self._lock:
-            rows = self._connection.execute(
+        with self.db.connection() as conn:
+            rows = conn.execute(
                 "SELECT id, result FROM cluster_shards "
                 "WHERE job = ? AND state = 'done'",
                 (job,),
@@ -203,8 +197,8 @@ class ShardStore:
 
     def rows(self, job: str) -> List[Dict[str, object]]:
         """Every shard row of a job, in workload order, for the API."""
-        with self._lock:
-            rows = self._connection.execute(
+        with self.db.connection() as conn:
+            rows = conn.execute(
                 "SELECT id, idx, lo, hi, state, worker, attempts "
                 "FROM cluster_shards WHERE job = ? ORDER BY idx",
                 (job,),

@@ -20,9 +20,10 @@ affects which process does the work.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
+
+from ..ident import digest_int64, sha256_hex
 
 
 @dataclass(frozen=True)
@@ -41,8 +42,7 @@ class Shard:
 
 def shard_id(workload_digest: str, lo: int, hi: int) -> str:
     """The content-digest id of one shard of one workload."""
-    encoded = f"{workload_digest}:{lo}:{hi}".encode("utf-8")
-    return "shard-" + hashlib.sha256(encoded).hexdigest()[:24]
+    return "shard-" + sha256_hex(f"{workload_digest}:{lo}:{hi}")[:24]
 
 
 def plan_shards(
@@ -71,8 +71,7 @@ def plan_shards(
 
 def rendezvous_score(shard: str, worker: str) -> int:
     """The deterministic placement score of one (shard, worker) pair."""
-    encoded = f"{shard}|{worker}".encode("utf-8")
-    return int.from_bytes(hashlib.sha256(encoded).digest()[:8], "big")
+    return digest_int64(f"{shard}|{worker}")
 
 
 def preferred_worker(shard: str, workers: Sequence[str]) -> str:

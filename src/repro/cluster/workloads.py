@@ -24,13 +24,12 @@ Three shapes:
 
 from __future__ import annotations
 
-import hashlib
-import json
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import SpecError
+from ..ident import digest_id
 from ..units import MINUTES_PER_YEAR
 
 #: One worker call: (path, JSON payload).
@@ -38,10 +37,7 @@ Call = Tuple[str, Dict[str, object]]
 
 
 def _canonical_digest(document: Mapping[str, object]) -> str:
-    encoded = json.dumps(
-        document, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-    return "wl-" + hashlib.sha256(encoded).hexdigest()[:32]
+    return digest_id("wl", document, 32)
 
 
 class SweepWorkload:

@@ -20,11 +20,12 @@ from __future__ import annotations
 
 import os
 import pickle
-import tempfile
 from collections import OrderedDict
 from pathlib import Path
 from threading import Lock
 from typing import Iterator, Optional, Tuple, Union
+
+from ..store import atomic_write_bytes
 
 #: Bumped whenever the pickled payload layout changes; mismatched disk
 #: entries are silently discarded.
@@ -227,20 +228,9 @@ class SolveCache:
             return
         payload = {"version": CACHE_FORMAT_VERSION, "value": value}
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, temp_name = tempfile.mkstemp(
-                dir=str(path.parent), suffix=".tmp"
+            atomic_write_bytes(
+                path, pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
             )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
-                os.replace(temp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-                raise
         except (OSError, pickle.PicklingError):
             # Persistence is best-effort: a full disk or an unpicklable
             # payload degrades to memory-only caching, never to failure.

@@ -22,10 +22,10 @@ version for that reason).
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import fields
 from typing import Dict, List, Optional, Union
+
+from ..ident import content_digest, digest_int64
 
 from ..core.block import DiagramBlockModel, MGBlock, MGDiagram
 from ..core.parameters import BlockParameters, GlobalParameters, Scenario
@@ -124,11 +124,7 @@ def canonical_payload(obj: object) -> Dict[str, object]:
 
 
 def _digest(payload: Dict[str, object], context: List[object]) -> str:
-    document = {"payload": payload, "context": context}
-    encoded = json.dumps(
-        document, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-    return hashlib.sha256(encoded).hexdigest()
+    return content_digest({"payload": payload, "context": context})
 
 
 def method_token(method: Union[str, SolverOptions]) -> str:
@@ -183,5 +179,4 @@ def task_seed(base_seed: Optional[int], index: int) -> Optional[int]:
     """
     if base_seed is None:
         return None
-    material = f"rascad-task:{int(base_seed)}:{int(index)}".encode("utf-8")
-    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+    return digest_int64(f"rascad-task:{int(base_seed)}:{int(index)}")

@@ -22,8 +22,6 @@ from __future__ import annotations
 
 import json
 import math
-import os
-import tempfile
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -32,6 +30,7 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 
 from ..obs.clock import Stopwatch
 from ..obs.histogram import Histogram
+from ..store import atomic_write_json
 
 #: File name of the persisted last-run snapshot inside a cache dir.
 STATS_FILENAME = "stats.json"
@@ -359,20 +358,7 @@ def save_stats(stats: EngineStats, directory: Union[str, Path]) -> Path:
     directory = Path(directory).expanduser()
     directory.mkdir(parents=True, exist_ok=True)
     target = directory / STATS_FILENAME
-    text = json.dumps(stats.to_dict(), indent=2, sort_keys=True)
-    fd, temp_name = tempfile.mkstemp(
-        dir=str(directory), prefix=".stats-", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-        os.replace(temp_name, target)
-    except BaseException:
-        try:
-            os.unlink(temp_name)
-        except OSError:
-            pass
-        raise
+    atomic_write_json(target, stats.to_dict(), indent=2, prefix=".stats-")
     return target
 
 

@@ -93,3 +93,20 @@ class DatabaseError(RascadError):
 class EngineError(RascadError):
     """The evaluation engine failed (task timeout, retries exhausted,
     or an unusable cache entry)."""
+
+
+class StoreError(RascadError):
+    """A durable-state (SQLite) operation failed structurally."""
+
+
+class StoreBusyError(StoreError):
+    """The database stayed locked past the bounded busy-retry budget.
+
+    Transient by construction: another writer holds the lock.  The
+    service maps it to HTTP 503 ``store_busy`` with a ``Retry-After``
+    hint, and the jobs runner treats it as retryable.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)

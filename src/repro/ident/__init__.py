@@ -1,0 +1,37 @@
+"""Content identity: canonical JSON encoding and SHA-256 digests.
+
+Every durable identity the system mints — engine cache keys, job ids,
+cluster shard and workload ids, registry version digests, study ids,
+telemetry event ids and state digests — is a SHA-256 over one
+canonical JSON encoding.  Before this package each subsystem carried
+its own ``json.dumps(..., sort_keys=True, separators=(",", ":"))`` +
+``hashlib.sha256`` pair; they are consolidated here so the encoding
+can never drift between subsystems.  The helpers are bit-compatible
+with every id minted before the consolidation (locked by the
+golden-digest fixture in ``tests/ident``).
+
+* :func:`canonical_json` — the one canonical byte encoding.
+* :func:`content_digest` — full hex digest of a JSON document.
+* :func:`digest_id` — prefixed, truncated id (``job-``/``evt-``/…).
+* :func:`sha256_hex` / :func:`sha256_bytes` — raw-material digests.
+* :func:`digest_int64` — first 8 digest bytes as a deterministic
+  unsigned integer (task seeds, rendezvous scores, backoff jitter).
+"""
+
+from .digest import (
+    canonical_json,
+    content_digest,
+    digest_id,
+    digest_int64,
+    sha256_bytes,
+    sha256_hex,
+)
+
+__all__ = [
+    "canonical_json",
+    "content_digest",
+    "digest_id",
+    "digest_int64",
+    "sha256_bytes",
+    "sha256_hex",
+]

@@ -1,0 +1,65 @@
+"""The digest helpers behind every content identity in the system.
+
+Canonical means: mapping keys sorted, no whitespace, UTF-8 — so the
+digest is independent of field order and formatting, and two documents
+digest equal iff they describe the same content.  Floats are encoded
+by ``json``'s ``repr``-based formatting, which round-trips IEEE
+doubles exactly; callers that need the stronger ``f:``-tagged float
+discipline (the engine's cache keys) tag values before encoding.
+
+These helpers are identity-critical: changing the encoding forks every
+job id, shard id, version digest, study id, and event id in every
+existing store.  ``tests/ident/golden_digests.json`` pins the current
+behavior; touch this module only with that fixture in hand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Union
+
+
+def canonical_json(document: object) -> bytes:
+    """The canonical byte encoding of a JSON-serializable document."""
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def sha256_bytes(material: Union[bytes, str]) -> bytes:
+    """Raw 32-byte SHA-256 of ``material`` (str encodes as UTF-8)."""
+    if isinstance(material, str):
+        material = material.encode("utf-8")
+    return hashlib.sha256(material).digest()
+
+
+def sha256_hex(material: Union[bytes, str]) -> str:
+    """Hex SHA-256 of raw material (str encodes as UTF-8)."""
+    if isinstance(material, str):
+        material = material.encode("utf-8")
+    return hashlib.sha256(material).hexdigest()
+
+
+def content_digest(document: object) -> str:
+    """Full hex SHA-256 of a document's canonical JSON encoding."""
+    return sha256_hex(canonical_json(document))
+
+
+def digest_id(prefix: str, document: object, chars: int = 32) -> str:
+    """A prefixed, truncated content id: ``{prefix}-{hex[:chars]}``.
+
+    The house id format — ``job-``, ``evt-``, ``study-``, ``wl-``
+    (32 hex chars) and ``shard-`` (24) all mint through here.
+    """
+    return f"{prefix}-{content_digest(document)[:chars]}"
+
+
+def digest_int64(material: Union[bytes, str]) -> int:
+    """The first 8 digest bytes as an unsigned big-endian integer.
+
+    The deterministic-integer workhorse: per-task seeds, rendezvous
+    placement scores, and backoff jitter all derive from it, so the
+    same material maps to the same integer on every host and run.
+    """
+    return int.from_bytes(sha256_bytes(material)[:8], "big")

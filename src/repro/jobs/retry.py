@@ -18,14 +18,13 @@ agree on when it becomes runnable, and tests are reproducible.
 
 from __future__ import annotations
 
-import hashlib
-
 from ..errors import (
     DatabaseError,
     ModelError,
     SolverError,
     SpecError,
 )
+from ..ident import digest_int64
 
 #: Exception types whose failures no retry can fix.  ``ParameterError``
 #: is a ``SpecError`` subclass and ``EngineError`` (timeouts, pool
@@ -63,7 +62,5 @@ def backoff_delay(
     if attempt < 1:
         return 0.0
     raw = min(base * (2.0 ** (attempt - 1)), cap)
-    material = f"rascad-backoff:{key}:{attempt}".encode("utf-8")
-    digest = hashlib.sha256(material).digest()
-    fraction = int.from_bytes(digest[:8], "big") / 2**64
+    fraction = digest_int64(f"rascad-backoff:{key}:{attempt}") / 2**64
     return raw * (0.5 + 0.5 * fraction)

@@ -20,7 +20,6 @@ from __future__ import annotations
 import os
 import signal
 import socket
-import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -36,10 +35,11 @@ from ..engine.engine import (
     _solve_availability_task,
     _sweep_point_task,
 )
-from ..errors import SolverError, SpecError
+from ..errors import SolverError, SpecError, StoreBusyError
 from ..num import SolverOptions, as_options
 from ..obs import get_logger, get_tracer
 from ..spec import parse_spec
+from ..store import atomic_write_text
 from ..units import MINUTES_PER_YEAR, availability_to_yearly_downtime_minutes
 from .retry import backoff_delay, classify, is_permanent
 from .store import JobStore
@@ -69,19 +69,7 @@ class Checkpointer:
         """Write-then-rename, so a crash mid-write never corrupts the
         previous checkpoint."""
         target = self.path(checkpoint.job_id)
-        fd, temp_name = tempfile.mkstemp(
-            dir=str(self.directory), prefix=".ckpt-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(checkpoint.to_json())
-            os.replace(temp_name, target)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(target, checkpoint.to_json(), prefix=".ckpt-")
         return target
 
     def load(self, job_id: str) -> Optional[Checkpoint]:
@@ -746,9 +734,20 @@ class Worker:
         processed = 0
         config = self.config
         while not self._stop:
-            record = self.store.lease(
-                worker=config.name, lease_timeout=config.lease_timeout
-            )
+            try:
+                record = self.store.lease(
+                    worker=config.name, lease_timeout=config.lease_timeout
+                )
+            except StoreBusyError as busy:
+                # Contention on the shared database is transient by
+                # construction — wait out the hint and re-poll rather
+                # than crashing the worker.
+                get_logger("jobs").warning(
+                    "job store busy; backing off",
+                    extra={"retry_after": busy.retry_after},
+                )
+                time.sleep(max(busy.retry_after, config.poll_interval))
+                continue
             if record is None:
                 if config.once:
                     break

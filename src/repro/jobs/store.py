@@ -25,12 +25,12 @@ from __future__ import annotations
 import json
 import sqlite3
 import time
-from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from ..database import PartsDatabase
 from ..errors import RascadError
+from ..store import Migration, Schema, SqliteStore
 from .types import (
     CANCELLED,
     FAILED,
@@ -70,6 +70,11 @@ CREATE INDEX IF NOT EXISTS idx_jobs_claim
     ON jobs (state, priority DESC, submitted_at);
 """
 
+#: The jobs database schema, versioned via ``PRAGMA user_version``.
+JOBS_SCHEMA = Schema(
+    "jobs", [Migration(1, "jobs table and claim index", _SCHEMA)]
+)
+
 
 class JobNotFoundError(RascadError):
     """No job with the given id exists in the store."""
@@ -89,23 +94,12 @@ class JobStore:
         path: Union[str, Path],
         database: Optional[PartsDatabase] = None,
     ) -> None:
-        self.path = Path(path).expanduser()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.db = SqliteStore(path, JOBS_SCHEMA)
+        self.path = self.db.path
         self.database = database
-        with self._connect() as conn:
-            conn.executescript(_SCHEMA)
 
-    @contextmanager
-    def _connect(self) -> Iterator[sqlite3.Connection]:
-        """One transaction on a short-lived connection, always closed."""
-        conn = sqlite3.connect(self.path, timeout=30.0)
-        conn.row_factory = sqlite3.Row
-        conn.execute("PRAGMA journal_mode=WAL")
-        try:
-            with conn:
-                yield conn
-        finally:
-            conn.close()
+    def close(self) -> None:
+        self.db.close()
 
     # ------------------------------------------------------------------
     # submission and inspection
@@ -122,7 +116,7 @@ class JobStore:
         """
         job_id = job_digest(spec, database=self.database)
         now = time.time() if now is None else now
-        with self._connect() as conn:
+        with self.db.transaction() as conn:
             cursor = conn.execute(
                 """
                 INSERT OR IGNORE INTO jobs
@@ -142,7 +136,7 @@ class JobStore:
         return _record(row), created
 
     def get(self, job_id: str) -> JobRecord:
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             row = conn.execute(
                 "SELECT * FROM jobs WHERE id = ?", (job_id,)
             ).fetchone()
@@ -169,7 +163,7 @@ class JobStore:
             clauses.append("kind = ?")
             args.append(kind)
         where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             rows = conn.execute(
                 f"SELECT * FROM jobs {where} "
                 "ORDER BY submitted_at DESC LIMIT ?",
@@ -180,7 +174,7 @@ class JobStore:
     def counts(self) -> Dict[str, int]:
         """Jobs per state — the ``/metrics`` job gauges."""
         totals = {state: 0 for state in JOB_STATES}
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             rows = conn.execute(
                 "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
             ).fetchall()
@@ -206,8 +200,7 @@ class JobStore:
         """
         now = time.time() if now is None else now
         stale = now - lease_timeout
-        with self._connect() as conn:
-            conn.execute("BEGIN IMMEDIATE")
+        with self.db.transaction(immediate=True) as conn:
             conn.execute(
                 """
                 UPDATE jobs SET state = ?, worker = NULL, updated_at = ?
@@ -235,7 +228,6 @@ class JobStore:
                 (QUEUED, now),
             ).fetchone()
             if row is None:
-                conn.commit()
                 return None
             conn.execute(
                 """
@@ -249,14 +241,13 @@ class JobStore:
             claimed = conn.execute(
                 "SELECT * FROM jobs WHERE id = ?", (row["id"],)
             ).fetchone()
-            conn.commit()
         return _record(claimed)
 
     def heartbeat(
         self, job_id: str, now: Optional[float] = None
     ) -> None:
         now = time.time() if now is None else now
-        with self._connect() as conn:
+        with self.db.transaction() as conn:
             conn.execute(
                 "UPDATE jobs SET heartbeat_at = ?, updated_at = ? "
                 "WHERE id = ? AND state = ?",
@@ -270,7 +261,7 @@ class JobStore:
         now: Optional[float] = None,
     ) -> None:
         now = time.time() if now is None else now
-        with self._connect() as conn:
+        with self.db.transaction() as conn:
             conn.execute(
                 """
                 UPDATE jobs SET state = ?, result = ?, finished_at = ?,
@@ -297,15 +288,13 @@ class JobStore:
         ``not_before = now + backoff``; anything else is terminal.
         """
         now = time.time() if now is None else now
-        with self._connect() as conn:
-            conn.execute("BEGIN IMMEDIATE")
+        with self.db.transaction(immediate=True) as conn:
             row = conn.execute(
                 "SELECT attempts, max_attempts FROM jobs "
                 "WHERE id = ? AND state = ?",
                 (job_id, RUNNING),
             ).fetchone()
             if row is None:
-                conn.commit()
                 return self.get(job_id).state
             retry = retryable and row["attempts"] < row["max_attempts"]
             state = QUEUED if retry else FAILED
@@ -322,7 +311,6 @@ class JobStore:
                     job_id,
                 ),
             )
-            conn.commit()
         return state
 
     def release(self, job_id: str, now: Optional[float] = None) -> None:
@@ -332,7 +320,7 @@ class JobStore:
         releases, and exits; a later lease resumes from the checkpoint.
         """
         now = time.time() if now is None else now
-        with self._connect() as conn:
+        with self.db.transaction() as conn:
             conn.execute(
                 """
                 UPDATE jobs SET state = ?, worker = NULL, updated_at = ?,
@@ -354,8 +342,7 @@ class JobStore:
         unchanged.
         """
         now = time.time() if now is None else now
-        with self._connect() as conn:
-            conn.execute("BEGIN IMMEDIATE")
+        with self.db.transaction(immediate=True) as conn:
             conn.execute(
                 """
                 UPDATE jobs SET state = ?, finished_at = ?, updated_at = ?,
@@ -369,7 +356,6 @@ class JobStore:
                 "WHERE id = ? AND state = ?",
                 (now, job_id, RUNNING),
             )
-            conn.commit()
         return self.get(job_id)
 
     def cancel_requested(self, job_id: str) -> bool:
@@ -380,7 +366,7 @@ class JobStore:
     ) -> None:
         """A worker acknowledging a cancel request mid-run."""
         now = time.time() if now is None else now
-        with self._connect() as conn:
+        with self.db.transaction() as conn:
             conn.execute(
                 """
                 UPDATE jobs SET state = ?, finished_at = ?, updated_at = ?,

@@ -13,13 +13,13 @@ store dedups on the primary key instead of enqueuing duplicate work.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from ..database import PartsDatabase
 from ..engine.keys import model_digest
+from ..ident import content_digest, digest_id
 from ..errors import SpecError
 from ..semimarkov.distributions import (
     Distribution,
@@ -171,10 +171,7 @@ def job_digest(
         "model": model_digest(model, method),
         "params": spec.params,
     }
-    encoded = json.dumps(
-        document, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-    return "job-" + hashlib.sha256(encoded).hexdigest()[:32]
+    return digest_id("job", document, 32)
 
 
 @dataclass(frozen=True)
@@ -277,10 +274,7 @@ class Checkpoint:
 
 def result_digest(payload: Mapping[str, object]) -> str:
     """Content digest of a result payload, for bit-identity checks."""
-    encoded = json.dumps(
-        payload, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-    return hashlib.sha256(encoded).hexdigest()
+    return content_digest(payload)
 
 
 def job_counts(records: "List[JobRecord]") -> Dict[str, int]:

@@ -6,9 +6,10 @@ recent spans in a bounded in-memory ring (behind ``/debug/traces``) and
 optionally appends each kept span as one JSON line to
 ``<trace_dir>/spans.jsonl``.
 
-Writes go through a single ``os.write`` on an ``O_APPEND`` descriptor,
-so concurrent writers — a server process and a ``rascad jobs worker``
-sharing one trace directory — interleave whole lines, never bytes.
+Writes go through :class:`repro.store.JsonlAppender` — a single
+``os.write`` on an ``O_APPEND`` descriptor — so concurrent writers — a
+server process and a ``rascad jobs worker`` sharing one trace
+directory — interleave whole lines, never bytes.
 
 Sampling is *head* sampling: the keep/drop decision is a deterministic
 hash of the trace id, made once per trace, so either every span of a
@@ -21,11 +22,12 @@ exporter's slow threshold.
 from __future__ import annotations
 
 import json
-import os
 import threading
 from collections import deque
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Union
+
+from ..store import JsonlAppender
 
 __all__ = ["SpanExporter", "head_sampled", "SPANS_FILENAME"]
 
@@ -73,11 +75,14 @@ class SpanExporter:
         self.trace_dir: Optional[Path] = None
         self._ring: Deque[Dict[str, object]] = deque(maxlen=capacity)
         self._lock = threading.Lock()
-        self._fd: Optional[int] = None
+        self._appender: Optional[JsonlAppender] = None
         self._dropped = 0
         if trace_dir is not None:
             self.trace_dir = Path(trace_dir).expanduser()
             self.trace_dir.mkdir(parents=True, exist_ok=True)
+            self._appender = JsonlAppender(
+                self.trace_dir / SPANS_FILENAME
+            )
 
     @property
     def path(self) -> Optional[Path]:
@@ -128,16 +133,10 @@ class SpanExporter:
                 json.dumps(payload, sort_keys=True, default=str) + "\n"
             ).encode("utf-8")
             # deque.append is atomic under the GIL — no lock on the
-            # ring; the lock only guards the JSONL descriptor.
+            # ring; the appender serializes descriptor access itself.
             self._ring.append(payload)
-            with self._lock:
-                if self._fd is None:
-                    self._fd = os.open(
-                        str(self.path),
-                        os.O_APPEND | os.O_CREAT | os.O_WRONLY,
-                        0o644,
-                    )
-                os.write(self._fd, line)
+            assert self._appender is not None
+            self._appender.append_line(line)
         else:
             self._ring.append(payload)
         return True
@@ -189,13 +188,8 @@ class SpanExporter:
 
     def close(self) -> None:
         """Release the JSONL descriptor (spans already written stay)."""
-        with self._lock:
-            if self._fd is not None:
-                try:
-                    os.close(self._fd)
-                except OSError:
-                    pass
-                self._fd = None
+        if self._appender is not None:
+            self._appender.close()
 
 
 def read_spans(

@@ -1,28 +1,28 @@
 """SQLite persistence for the model registry.
 
-The same durability idiom as :mod:`repro.jobs.store` — every mutation
-is one transaction on a short-lived WAL connection, so the file is
-safe to share between the CLI, the HTTP service, and publish scripts.
-``:memory:`` stores (embedded and test servers) keep one persistent
-connection behind a lock instead, like the cluster's shard table.
+Runs on :class:`repro.store.SqliteStore` — short-lived WAL
+connections for files (safe to share between the CLI, the HTTP
+service, and publish scripts), one locked persistent connection for
+``:memory:`` (embedded and test servers), transactions and busy
+mapping all inherited from the substrate.
 
-Schema: ``registry_models`` (one row per name),
-``registry_versions`` (immutable, keyed ``(name, digest)``; the spec
-document is stored verbatim so resolution returns byte-identical
-inputs), ``registry_tags`` (the mutable pointer layer), and
-``registry_tag_history`` (append-only, what ``rollback`` walks).
+Schema (versioned via ``PRAGMA user_version``): ``registry_models``
+(one row per name), ``registry_versions`` (immutable, keyed
+``(name, digest)``; the spec document is stored verbatim so
+resolution returns byte-identical inputs), ``registry_tags`` (the
+mutable pointer layer), and ``registry_tag_history`` (append-only,
+what ``rollback`` walks).
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
-import threading
 import time
-from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, List, Optional, Union
 
+from ..store import Migration, Schema, SqliteStore
 from .types import (
     ModelNotFoundError,
     RefError,
@@ -32,7 +32,7 @@ from .types import (
 #: Default file name inside a cache directory.
 REGISTRY_DB_FILENAME = "registry.sqlite3"
 
-_SCHEMA = """
+_SCHEMA_V1 = """
 CREATE TABLE IF NOT EXISTS registry_models (
     name        TEXT PRIMARY KEY,
     description TEXT NOT NULL DEFAULT '',
@@ -46,7 +46,6 @@ CREATE TABLE IF NOT EXISTS registry_versions (
     diff          TEXT NOT NULL DEFAULT '[]',
     evaluation    TEXT,
     created_at    REAL NOT NULL,
-    source        TEXT,
     PRIMARY KEY (name, digest)
 );
 CREATE TABLE IF NOT EXISTS registry_tags (
@@ -68,12 +67,14 @@ CREATE INDEX IF NOT EXISTS idx_registry_tag_history
 """
 
 
-def _migrate(conn: sqlite3.Connection) -> None:
-    """Bring a pre-existing database up to the current schema.
+def _add_source_column(conn: sqlite3.Connection) -> None:
+    """v2: nullable JSON ``source`` on versions (e.g. the study that
+    selected it).
 
-    ``source`` (nullable JSON: where a version came from, e.g. the
-    study that selected it) postdates the original table, so opening
-    an older file adds the column in place.
+    Files written before schema versioning existed may already carry
+    the column (the old code probed ``table_info`` and added it ad
+    hoc) while sitting at ``user_version`` 0, so this step checks
+    before altering instead of assuming v1 state.
     """
     columns = {
         row[1]
@@ -85,49 +86,25 @@ def _migrate(conn: sqlite3.Connection) -> None:
         )
 
 
+#: The registry schema, versioned via ``PRAGMA user_version``.
+REGISTRY_SCHEMA = Schema(
+    "registry",
+    [
+        Migration(1, "models, versions, tags, tag history", _SCHEMA_V1),
+        Migration(2, "versions.source column", _add_source_column),
+    ],
+)
+
+
 class RegistryStore:
     """SQLite-backed storage for models, versions, tags, and history."""
 
     def __init__(self, path: Union[str, Path] = ":memory:") -> None:
-        self.path = str(path)
-        self._memory: Optional[sqlite3.Connection] = None
-        self._lock = threading.Lock()
-        if self.path == ":memory:":
-            self._memory = sqlite3.connect(
-                ":memory:", check_same_thread=False
-            )
-            self._memory.row_factory = sqlite3.Row
-            with self._lock, self._memory:
-                self._memory.executescript(_SCHEMA)
-                _migrate(self._memory)
-        else:
-            resolved = Path(self.path).expanduser()
-            resolved.parent.mkdir(parents=True, exist_ok=True)
-            self.path = str(resolved)
-            with self._connect() as conn:
-                conn.executescript(_SCHEMA)
-                _migrate(conn)
-
-    @contextmanager
-    def _connect(self) -> Iterator[sqlite3.Connection]:
-        """One transaction; short-lived for files, locked for memory."""
-        if self._memory is not None:
-            with self._lock, self._memory:
-                yield self._memory
-            return
-        conn = sqlite3.connect(self.path, timeout=30.0)
-        conn.row_factory = sqlite3.Row
-        conn.execute("PRAGMA journal_mode=WAL")
-        try:
-            with conn:
-                yield conn
-        finally:
-            conn.close()
+        self.db = SqliteStore(path, REGISTRY_SCHEMA)
+        self.path = str(self.db.path)
 
     def close(self) -> None:
-        if self._memory is not None:
-            with self._lock:
-                self._memory.close()
+        self.db.close()
 
     # ------------------------------------------------------------------
     # models
@@ -140,7 +117,7 @@ class RegistryStore:
     ) -> bool:
         """Create the model row if missing; returns ``created``."""
         now = time.time() if now is None else now
-        with self._connect() as conn:
+        with self.db.transaction() as conn:
             cursor = conn.execute(
                 "INSERT OR IGNORE INTO registry_models "
                 "(name, description, created_at) VALUES (?, ?, ?)",
@@ -156,7 +133,7 @@ class RegistryStore:
             return created
 
     def model_row(self, name: str) -> Optional[Dict[str, object]]:
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             row = conn.execute(
                 "SELECT * FROM registry_models WHERE name = ?", (name,)
             ).fetchone()
@@ -172,7 +149,7 @@ class RegistryStore:
         return row
 
     def names(self) -> List[str]:
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             rows = conn.execute(
                 "SELECT name FROM registry_models ORDER BY name"
             ).fetchall()
@@ -180,7 +157,7 @@ class RegistryStore:
 
     def list_models(self) -> List[Dict[str, object]]:
         """One summary row per model: description, counts, tags."""
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             rows = conn.execute(
                 """
                 SELECT m.name, m.description, m.created_at,
@@ -227,7 +204,7 @@ class RegistryStore:
         stored spec, lineage, and evaluation are never overwritten.
         """
         now = time.time() if now is None else now
-        with self._connect() as conn:
+        with self.db.transaction() as conn:
             cursor = conn.execute(
                 "INSERT OR IGNORE INTO registry_versions "
                 "(name, digest, spec, parent_digest, diff, evaluation,"
@@ -250,7 +227,7 @@ class RegistryStore:
         self, name: str, digest: str
     ) -> Optional[Dict[str, object]]:
         """The decoded version row for an exact digest, or ``None``."""
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             row = conn.execute(
                 "SELECT * FROM registry_versions "
                 "WHERE name = ? AND digest = ?",
@@ -264,7 +241,7 @@ class RegistryStore:
         Raises :class:`VersionNotFoundError` when nothing matches and
         :class:`RefError` when the prefix is ambiguous (git-style).
         """
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             rows = conn.execute(
                 "SELECT digest FROM registry_versions "
                 "WHERE name = ? AND digest LIKE ? LIMIT 2",
@@ -284,7 +261,7 @@ class RegistryStore:
 
     def list_versions(self, name: str) -> List[Dict[str, object]]:
         """Version summaries, newest first (no spec documents)."""
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             rows = conn.execute(
                 "SELECT name, digest, parent_digest, evaluation, "
                 "created_at FROM registry_versions WHERE name = ? "
@@ -308,7 +285,7 @@ class RegistryStore:
         self, name: str, digest: str, evaluation: Dict[str, float]
     ) -> None:
         """Backfill a lazily computed evaluation, first write wins."""
-        with self._connect() as conn:
+        with self.db.transaction() as conn:
             conn.execute(
                 "UPDATE registry_versions SET evaluation = ? "
                 "WHERE name = ? AND digest = ? AND evaluation IS NULL",
@@ -341,7 +318,7 @@ class RegistryStore:
     # tags
     # ------------------------------------------------------------------
     def tag_digest(self, name: str, tag: str) -> Optional[str]:
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             row = conn.execute(
                 "SELECT digest FROM registry_tags "
                 "WHERE name = ? AND tag = ?",
@@ -350,7 +327,7 @@ class RegistryStore:
         return row["digest"] if row is not None else None
 
     def tags_for(self, name: str) -> Dict[str, str]:
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             rows = conn.execute(
                 "SELECT tag, digest FROM registry_tags "
                 "WHERE name = ? ORDER BY tag",
@@ -371,7 +348,7 @@ class RegistryStore:
         idempotent re-publishes do not spam the rollback history.
         """
         now = time.time() if now is None else now
-        with self._connect() as conn:
+        with self.db.transaction() as conn:
             row = conn.execute(
                 "SELECT digest FROM registry_tags "
                 "WHERE name = ? AND tag = ?",
@@ -399,7 +376,7 @@ class RegistryStore:
         self, name: str, tag: str, limit: int = 20
     ) -> List[Dict[str, object]]:
         """Tag movements, newest first."""
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             rows = conn.execute(
                 "SELECT digest, set_at FROM registry_tag_history "
                 "WHERE name = ? AND tag = ? ORDER BY id DESC LIMIT ?",
@@ -426,7 +403,7 @@ class RegistryStore:
     # ------------------------------------------------------------------
     def counts(self) -> Dict[str, int]:
         """Registry-wide gauges for ``/metrics``."""
-        with self._connect() as conn:
+        with self.db.connection() as conn:
             models = conn.execute(
                 "SELECT COUNT(*) AS n FROM registry_models"
             ).fetchone()["n"]

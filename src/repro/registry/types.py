@@ -11,13 +11,12 @@ the mutable layer on top.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import RascadError
+from ..ident import content_digest
 
 #: Registry model and tag names: DNS-label-ish, no ``@`` (the ref
 #: separator), no ``/`` (the URL separator).
@@ -114,10 +113,7 @@ def spec_digest(model) -> str:
         "kind": "registry_version",
         "model": canonical_payload(model),
     }
-    encoded = json.dumps(
-        document, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-    return hashlib.sha256(encoded).hexdigest()
+    return content_digest(document)
 
 
 def diff_payload(entries) -> List[Dict[str, object]]:

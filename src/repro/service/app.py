@@ -1222,6 +1222,26 @@ class App:
             section["cluster_shards_retried"] = self.cluster.shards_retried
         return section
 
+    def _storage_section(self) -> Dict[str, object]:
+        """Per-store database health: the ``storage`` metrics block.
+
+        One entry per attached store, each the
+        :meth:`repro.store.SqliteStore.health` payload — size,
+        ``user_version``, transaction and busy-retry totals — rendered
+        as ``rascad_store_*`` series in the Prometheus exposition.
+        """
+        stores: Dict[str, object] = {}
+        if self.jobs is not None:
+            stores["jobs"] = self.jobs.db.health()
+        if self.cluster is not None:
+            stores["cluster"] = self.cluster.store.db.health()
+        if self.registry is not None:
+            stores["registry"] = self.registry.store.db.health()
+        stores["studies"] = self.studies.db.health()
+        if self.telemetry is not None:
+            stores["telemetry"] = self.telemetry.db.health()
+        return stores
+
     def _debug_traces(self, request: Request) -> Response:
         """Recent spans from the in-memory ring, newest first.
 
@@ -1276,6 +1296,7 @@ class App:
                     "shards_retried": self.cluster.shards_retried,
                 },
             }
+        payload["storage"] = self._storage_section()
         wants_prometheus = (
             request.query.get("format") == "prometheus"
             or "text/plain" in request.headers.get("accept", "")
@@ -1589,6 +1610,37 @@ def render_prometheus(payload: Mapping[str, object]) -> str:
         # collector already counts them (cluster_shards_completed and
         # friends render from the engine counters section), and a
         # family must not carry duplicate samples.
+    storage = payload.get("storage")
+    if isinstance(storage, Mapping):
+        for store_name, health in sorted(storage.items()):
+            if not isinstance(health, Mapping):
+                continue
+            labels = {"store": str(store_name)}
+            doc.add(
+                "store_size_bytes", "gauge",
+                "Store database footprint in bytes (db + WAL + SHM).",
+                health.get("size_bytes"), labels,
+            )
+            doc.add(
+                "store_user_version", "gauge",
+                "Applied schema version (PRAGMA user_version).",
+                health.get("user_version"), labels,
+            )
+            doc.add(
+                "store_transactions", "counter",
+                "Committed store transactions.",
+                health.get("transactions"), labels,
+            )
+            doc.add(
+                "store_busy_retries", "counter",
+                "Transaction attempts that found the database locked.",
+                health.get("busy_retries"), labels,
+            )
+            doc.add(
+                "store_txn_seconds", "counter",
+                "Summed store transaction latency, in seconds.",
+                health.get("txn_seconds_total"), labels,
+            )
     return doc.render()
 
 

@@ -216,14 +216,17 @@ class Server:
     def _build_coordinator(self):
         """The cluster coordinator, or ``None`` (not coordinating).
 
-        The shard table shares the jobs database when one is
-        configured, so a killed coordinator restarted against the same
-        path resumes from the completed shards; without any persistent
-        path the table lives in memory (embedded and test servers).
+        The shard ledger lives in its own ``cluster.sqlite3`` beside
+        the jobs database (each store file carries exactly one
+        ``user_version`` migration chain), so a killed coordinator
+        restarted against the same path resumes from the completed
+        shards; without any persistent path the table lives in memory
+        (embedded and test servers).
         """
         if not self.config.cluster and not self.config.cluster_workers:
             return None
         from ..cluster import (
+            CLUSTER_DB_FILENAME,
             ClusterConfig,
             Coordinator,
             Membership,
@@ -240,9 +243,13 @@ class Server:
             fanout_threshold=self.config.cluster_fanout_threshold,
         )
         if self.config.jobs_db is not None:
-            store_path = str(self.config.jobs_db)
+            store_path = str(
+                Path(self.config.jobs_db).parent / CLUSTER_DB_FILENAME
+            )
         elif self.config.cache_dir is not None:
-            store_path = str(Path(self.config.cache_dir) / "jobs.sqlite3")
+            store_path = str(
+                Path(self.config.cache_dir) / CLUSTER_DB_FILENAME
+            )
         else:
             store_path = ":memory:"
         return Coordinator(

@@ -53,6 +53,7 @@ from ..errors import (
     RascadError,
     SolverError,
     SpecError,
+    StoreBusyError,
 )
 
 #: Upper bound on the request line + header block, in bytes.
@@ -104,6 +105,9 @@ ERROR_STATUS: Tuple[Tuple[type, int, str], ...] = (
     (SpecError, 400, "invalid_spec"),
     (DatabaseError, 400, "unknown_part"),
     (ModelError, 400, "invalid_model"),
+    # A busy store is transient by construction: 503 plus Retry-After
+    # (attached in error_for_exception from the exception's hint).
+    (StoreBusyError, 503, "store_busy"),
     (NoWorkersError, 503, "no_workers"),
     (ShardFailedError, 502, "shard_failed"),
     (ClusterError, 500, "cluster_failure"),
@@ -267,10 +271,14 @@ def error_for_exception(error: Exception) -> Response:
     details = getattr(error, "details", None)
     if not isinstance(details, dict):
         details = None
+    retry_after = None
+    if isinstance(error, StoreBusyError):
+        retry_after = error.retry_after
     for exc_type, status, code in ERROR_STATUS:
         if isinstance(error, exc_type):
             return error_response(
-                status, code, str(error), details=details
+                status, code, str(error),
+                retry_after=retry_after, details=details,
             )
     return error_response(500, "internal_error", str(error))
 

@@ -1,0 +1,178 @@
+"""Operational verbs over store databases: status, check, backup.
+
+Backs the ``rascad db`` CLI and the store-smoke CI job.  All three
+verbs work on a *live* database:
+
+* :func:`db_status` — file size, ``user_version``, journal mode,
+  table row counts.
+* :func:`db_check` — ``PRAGMA integrity_check`` (full, not quick).
+* :func:`db_backup` — SQLite's online backup API
+  (:meth:`sqlite3.Connection.backup`), which copies a transactionally
+  consistent snapshot while writers keep writing, into a temp file
+  that is atomically renamed over the destination.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import StoreError
+
+#: Known database files inside a cache directory, by store name.
+KNOWN_DATABASES = (
+    ("jobs", "jobs.sqlite3"),
+    ("cluster", "cluster.sqlite3"),
+    ("registry", "registry.sqlite3"),
+    ("studies", os.path.join("studies", "studies.sqlite3")),
+    ("telemetry", os.path.join("telemetry", "telemetry.sqlite3")),
+)
+
+
+def discover_databases(
+    cache_dir: Union[str, Path]
+) -> List[Dict[str, object]]:
+    """The store databases that exist under ``cache_dir``."""
+    base = Path(cache_dir).expanduser()
+    found = []
+    for name, relative in KNOWN_DATABASES:
+        path = base / relative
+        if path.exists():
+            found.append({"name": name, "path": str(path)})
+    return found
+
+
+def _open_readonly(path: Union[str, Path]) -> sqlite3.Connection:
+    target = Path(path).expanduser()
+    if not target.exists():
+        raise StoreError(f"no database at {target}")
+    conn = sqlite3.connect(
+        f"file:{target}?mode=ro", uri=True, timeout=30.0
+    )
+    conn.row_factory = sqlite3.Row
+    return conn
+
+
+def db_status(path: Union[str, Path]) -> Dict[str, object]:
+    """Size, schema version, journal mode, and per-table row counts."""
+    target = Path(path).expanduser()
+    conn = _open_readonly(target)
+    try:
+        user_version = conn.execute(
+            "PRAGMA user_version"
+        ).fetchone()[0]
+        journal_mode = conn.execute(
+            "PRAGMA journal_mode"
+        ).fetchone()[0]
+        tables = [
+            row["name"]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master "
+                "WHERE type = 'table' AND name NOT LIKE 'sqlite_%' "
+                "ORDER BY name"
+            )
+        ]
+        counts = {
+            table: conn.execute(
+                f'SELECT COUNT(*) FROM "{table}"'
+            ).fetchone()[0]
+            for table in tables
+        }
+    finally:
+        conn.close()
+    size = target.stat().st_size
+    for suffix in ("-wal", "-shm"):
+        sidecar = target.with_name(target.name + suffix)
+        try:
+            size += sidecar.stat().st_size
+        except OSError:
+            pass
+    return {
+        "path": str(target),
+        "size_bytes": size,
+        "user_version": int(user_version),
+        "journal_mode": str(journal_mode),
+        "tables": counts,
+    }
+
+
+def db_check(path: Union[str, Path]) -> Dict[str, object]:
+    """Full ``PRAGMA integrity_check``; ``ok`` is the verdict."""
+    conn = _open_readonly(path)
+    try:
+        rows = conn.execute("PRAGMA integrity_check").fetchall()
+        messages = [str(row[0]) for row in rows]
+    except sqlite3.DatabaseError as exc:
+        # Damage to the header or a root page makes even the checker
+        # fail to start; that is still a verdict, not a crash.
+        messages = [str(exc)]
+    finally:
+        conn.close()
+    return {
+        "path": str(Path(path).expanduser()),
+        "ok": messages == ["ok"],
+        "messages": messages,
+    }
+
+
+def db_backup(
+    source: Union[str, Path],
+    destination: Union[str, Path],
+    *,
+    pages: int = 256,
+) -> Dict[str, object]:
+    """Online-backup ``source`` into ``destination``.
+
+    Copies ``pages`` pages per step so writers are only briefly
+    blocked, lands in a temp file beside the destination, and renames
+    into place — an interrupted backup never leaves a partial file
+    under the destination name.
+    """
+    src_path = Path(source).expanduser()
+    dest_path = Path(destination).expanduser()
+    if not src_path.exists():
+        raise StoreError(f"no database at {src_path}")
+    dest_path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(
+        dir=str(dest_path.parent), prefix=".backup-", suffix=".tmp"
+    )
+    os.close(fd)
+    src = sqlite3.connect(str(src_path), timeout=30.0)
+    try:
+        dest = sqlite3.connect(temp_name)
+        try:
+            src.backup(dest, pages=int(pages))
+            dest.commit()
+        finally:
+            dest.close()
+        os.replace(temp_name, dest_path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    finally:
+        src.close()
+    return {
+        "source": str(src_path),
+        "destination": str(dest_path),
+        "size_bytes": dest_path.stat().st_size,
+    }
+
+
+def default_backup_destination(
+    path: Union[str, Path], directory: Optional[Union[str, Path]] = None
+) -> Path:
+    """``<name>.backup.sqlite3`` beside the source (or under ``directory``)."""
+    source = Path(path).expanduser()
+    stem = source.name
+    for suffix in (".sqlite3", ".sqlite", ".db"):
+        if stem.endswith(suffix):
+            stem = stem[: -len(suffix)]
+            break
+    base = Path(directory).expanduser() if directory else source.parent
+    return base / f"{stem}.backup.sqlite3"

@@ -1,0 +1,276 @@
+"""The shared SQLite core every durable store runs on.
+
+One class owns the connection lifecycle, the pragma configuration, and
+the transaction discipline for all five stores (jobs, registry,
+cluster shards, studies, telemetry):
+
+* **File mode** — every operation runs on a short-lived connection
+  that is *guaranteed* closed in a ``finally``, even when the
+  transaction body raises.  Before this core each store carried its
+  own copy of that idiom, and one of them leaked the descriptor on a
+  mid-transaction exception; the regression test in
+  ``tests/store/test_core.py`` counts open fds across exactly that
+  failure.
+* **Memory mode** (``":memory:"``) — one persistent connection shared
+  across threads behind a lock, because a second ``:memory:``
+  connection would see a different (empty) database.
+* **WAL + busy_timeout** are configured in one place, so readers never
+  block writers on file stores and lock contention waits bounded
+  rather than failing instantly.
+* **Busy mapping** — when the database stays locked past the retry
+  budget, the raw ``sqlite3.OperationalError`` is mapped to the typed
+  :class:`repro.errors.StoreBusyError`, which the service layer turns
+  into a structured HTTP 503 and the jobs runner treats as transient.
+
+Health counters (transactions, busy retries, cumulative transaction
+latency) feed the ``storage`` section of ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from ..errors import StoreBusyError, StoreError
+from .schema import Schema
+
+#: Default SQLite lock wait, in seconds — both the driver-level
+#: ``timeout`` and the ``busy_timeout`` pragma derive from it.
+DEFAULT_TIMEOUT = 30.0
+
+#: Bounded retry budget for acquiring a write transaction.
+DEFAULT_BUSY_RETRIES = 5
+
+#: Base sleep between busy retries, in seconds (linear backoff).
+DEFAULT_BUSY_BACKOFF = 0.05
+
+
+def is_busy_error(exc: BaseException) -> bool:
+    """Whether an exception is SQLite saying *locked, try later*."""
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    message = str(exc).lower()
+    return "database is locked" in message or (
+        "database table is locked" in message
+    )
+
+
+class SqliteStore:
+    """Managed SQLite database: connections, schema, transactions.
+
+    Args:
+        path: Database file (parents created), or ``":memory:"``.
+        schema: Optional :class:`~repro.store.schema.Schema`; its
+            pending migrations are applied on open.
+        timeout: Lock wait bound in seconds.
+        busy_retries: Attempts to begin a write transaction before
+            raising :class:`StoreBusyError`.
+        busy_backoff: Base sleep between those attempts (linear).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        schema: Optional[Schema] = None,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        busy_retries: int = DEFAULT_BUSY_RETRIES,
+        busy_backoff: float = DEFAULT_BUSY_BACKOFF,
+    ) -> None:
+        self.memory = str(path) == ":memory:"
+        self.path: Union[str, Path]
+        if self.memory:
+            self.path = ":memory:"
+        else:
+            self.path = Path(path).expanduser()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.schema = schema
+        self.timeout = float(timeout)
+        self.busy_retries = int(busy_retries)
+        self.busy_backoff = float(busy_backoff)
+        self._closed = False
+        self._stats_lock = threading.Lock()
+        self._txns = 0
+        self._busy_retries_total = 0
+        self._txn_seconds_total = 0.0
+        self._shared: Optional[sqlite3.Connection] = None
+        self._shared_lock = threading.RLock()
+        if self.memory:
+            self._shared = self._open()
+        if schema is not None:
+            with self.connection() as conn:
+                schema.apply(conn)
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            str(self.path),
+            timeout=self.timeout,
+            check_same_thread=not self.memory,
+        )
+        conn.row_factory = sqlite3.Row
+        conn.execute(
+            f"PRAGMA busy_timeout = {int(self.timeout * 1000)}"
+        )
+        if not self.memory:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+        return conn
+
+    @contextmanager
+    def connection(self) -> Iterator[sqlite3.Connection]:
+        """A configured connection, *always* released.
+
+        File mode opens a fresh connection and closes it in a
+        ``finally`` — the body raising, even mid-transaction, cannot
+        leak the descriptor (an open transaction is rolled back by
+        :meth:`sqlite3.Connection.close`'s implicit rollback on the
+        uncommitted journal).  Memory mode yields the one shared
+        connection under its lock.
+
+        No transaction is opened; use :meth:`transaction` for writes.
+        """
+        if self._closed:
+            raise StoreError(f"store {self.path} is closed")
+        if self.memory:
+            assert self._shared is not None
+            with self._shared_lock:
+                yield self._shared
+            return
+        conn = self._open()
+        try:
+            yield conn
+        finally:
+            conn.close()
+
+    @contextmanager
+    def transaction(
+        self, immediate: bool = False
+    ) -> Iterator[sqlite3.Connection]:
+        """One atomic transaction with bounded busy-retry.
+
+        ``immediate=True`` takes the write lock up front (claim paths
+        that read-then-update need it to avoid upgrade deadlocks).
+        Acquiring the transaction retries up to ``busy_retries`` times
+        with linear backoff; exhaustion — and any *locked* error out
+        of the body or the commit — raises the typed
+        :class:`StoreBusyError` instead of a raw
+        ``sqlite3.OperationalError``.  Any exception rolls back.
+        """
+        started = time.perf_counter()
+        with self.connection() as conn:
+            self._begin(conn, immediate)
+            try:
+                yield conn
+                conn.commit()
+            except StoreError:
+                self._rollback(conn)
+                raise
+            except sqlite3.OperationalError as exc:
+                self._rollback(conn)
+                if is_busy_error(exc):
+                    raise StoreBusyError(
+                        f"database {self.path} is busy: {exc}",
+                        retry_after=self.busy_backoff * 2,
+                    ) from exc
+                raise
+            except BaseException:
+                self._rollback(conn)
+                raise
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self._txns += 1
+            self._txn_seconds_total += elapsed
+
+    def _begin(self, conn: sqlite3.Connection, immediate: bool) -> None:
+        statement = "BEGIN IMMEDIATE" if immediate else "BEGIN"
+        last: Optional[BaseException] = None
+        for attempt in range(self.busy_retries + 1):
+            try:
+                conn.execute(statement)
+                return
+            except sqlite3.OperationalError as exc:
+                if not is_busy_error(exc):
+                    raise
+                last = exc
+                with self._stats_lock:
+                    self._busy_retries_total += 1
+                if attempt < self.busy_retries:
+                    time.sleep(self.busy_backoff * (attempt + 1))
+        raise StoreBusyError(
+            f"database {self.path} is busy after "
+            f"{self.busy_retries} retries: {last}",
+            retry_after=self.busy_backoff * (self.busy_retries + 1),
+        ) from last
+
+    @staticmethod
+    def _rollback(conn: sqlite3.Connection) -> None:
+        try:
+            conn.rollback()
+        except sqlite3.Error:
+            pass
+
+    def close(self) -> None:
+        """Release the shared connection (memory mode); idempotent."""
+        self._closed = True
+        if self._shared is not None:
+            with self._shared_lock:
+                self._shared.close()
+                self._shared = None
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """On-disk footprint (db + WAL + SHM), or page math in memory."""
+        if self.memory:
+            assert self._shared is not None
+            with self._shared_lock:
+                pages = self._shared.execute(
+                    "PRAGMA page_count"
+                ).fetchone()[0]
+                page_size = self._shared.execute(
+                    "PRAGMA page_size"
+                ).fetchone()[0]
+            return int(pages) * int(page_size)
+        total = 0
+        base = Path(self.path)
+        for candidate in (
+            base,
+            base.with_name(base.name + "-wal"),
+            base.with_name(base.name + "-shm"),
+        ):
+            try:
+                total += candidate.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def user_version(self) -> int:
+        with self.connection() as conn:
+            return int(
+                conn.execute("PRAGMA user_version").fetchone()[0]
+            )
+
+    def health(self) -> Dict[str, object]:
+        """The ``storage`` metrics payload for this database."""
+        with self._stats_lock:
+            txns = self._txns
+            busy = self._busy_retries_total
+            seconds = self._txn_seconds_total
+        return {
+            "path": str(self.path),
+            "mode": "memory" if self.memory else "file",
+            "schema": self.schema.name if self.schema else None,
+            "user_version": self.user_version(),
+            "size_bytes": self.size_bytes(),
+            "transactions": txns,
+            "busy_retries": busy,
+            "txn_seconds_total": seconds,
+        }

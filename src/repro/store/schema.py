@@ -1,0 +1,109 @@
+"""``PRAGMA user_version``-based schema registry and migrations.
+
+Each store declares a :class:`Schema`: an ordered list of
+:class:`Migration` steps numbered ``1..N``.  The database header's
+``user_version`` records how far a file has migrated; opening a store
+applies exactly the pending suffix, each step in its own transaction
+with the version bump committed atomically alongside the DDL — a
+crash mid-migration leaves the previous version fully intact.
+
+This replaces the ad-hoc ``PRAGMA table_info`` probing the registry
+store used to detect a missing column: probing can only ever answer
+*is this one column there*, while a version number answers *which
+exact schema is this file*, works for data backfills as well as DDL,
+and is what ``rascad db status`` reports.
+
+A migration's ``apply`` is either a SQL script (split on ``;`` —
+statements in this codebase never embed semicolons in literals) or a
+callable taking the open connection, for steps that need Python logic
+(conditional DDL against pre-versioning files, data backfills).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple, Union
+
+from ..errors import StoreError
+
+Apply = Union[str, Callable[[sqlite3.Connection], None]]
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One numbered schema step.
+
+    Attributes:
+        version: Target ``user_version`` after this step; must be the
+            predecessor's version + 1.
+        description: One line for ``rascad db status`` and docs.
+        apply: SQL script or ``callable(conn)``.
+    """
+
+    version: int
+    description: str
+    apply: Apply
+
+
+class Schema:
+    """An ordered migration chain for one database."""
+
+    def __init__(self, name: str, migrations: Sequence[Migration]):
+        if not migrations:
+            raise StoreError(f"schema {name!r} declares no migrations")
+        for index, migration in enumerate(migrations, start=1):
+            if migration.version != index:
+                raise StoreError(
+                    f"schema {name!r} migrations must be numbered "
+                    f"1..N in order; step {index} has version "
+                    f"{migration.version}"
+                )
+        self.name = name
+        self.migrations: Tuple[Migration, ...] = tuple(migrations)
+
+    @property
+    def version(self) -> int:
+        """The current (latest) schema version."""
+        return self.migrations[-1].version
+
+    def pending(self, conn: sqlite3.Connection) -> List[Migration]:
+        current = int(
+            conn.execute("PRAGMA user_version").fetchone()[0]
+        )
+        if current > self.version:
+            raise StoreError(
+                f"database is at schema version {current}, newer than "
+                f"this build of {self.name!r} (knows {self.version}); "
+                "refusing to open"
+            )
+        return [m for m in self.migrations if m.version > current]
+
+    def apply(self, conn: sqlite3.Connection) -> int:
+        """Bring ``conn``'s database to the current version.
+
+        Returns the number of migrations applied.  Each step runs in
+        its own immediate transaction; the ``user_version`` bump
+        commits atomically with the step's statements.
+        """
+        steps = self.pending(conn)
+        for migration in steps:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                if callable(migration.apply):
+                    migration.apply(conn)
+                else:
+                    for statement in _statements(migration.apply):
+                        conn.execute(statement)
+                conn.execute(
+                    f"PRAGMA user_version = {int(migration.version)}"
+                )
+                conn.commit()
+            except BaseException:
+                conn.rollback()
+                raise
+        return len(steps)
+
+
+def _statements(script: str) -> List[str]:
+    return [part.strip() for part in script.split(";") if part.strip()]

@@ -32,8 +32,6 @@ id — and share every cached candidate solve.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -41,6 +39,7 @@ from ..core.parameters import BlockParameters, GlobalParameters, Scenario
 from ..database import PartsDatabase
 from ..engine.keys import model_digest
 from ..errors import SpecError
+from ..ident import digest_id
 from ..spec import parse_spec
 
 #: Search strategies :mod:`repro.studies.strategies` registers.
@@ -360,7 +359,4 @@ def study_digest(
         "options": dict(study.options),
         "constraints": study.constraints.to_dict(),
     }
-    encoded = json.dumps(
-        document, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-    return "study-" + hashlib.sha256(encoded).hexdigest()[:32]
+    return digest_id("study", document, 32)

@@ -1,29 +1,53 @@
 """Persistence for submitted studies and their results.
 
-One JSON document per study, keyed by the content-digest study id,
-written with the checkpoint layer's temp-file-then-rename idiom so a
-crash never leaves a half-written record.  ``directory=None`` keeps
-everything in memory — the embedded test server's mode.
+One SQLite row per study on :class:`repro.store.SqliteStore`, keyed by
+the content-digest study id; the submitted document and the result
+payload are stored as JSON columns.  ``directory=None`` keeps the
+database in memory — the embedded test server's mode.
 
 A record carries the submitted study document, a coarse state
 (``running`` / ``succeeded`` / ``failed``), and — once finished — the
 result payload or the error message.  Because the study id is a
 content digest, re-submitting the same exploration is idempotent: the
 store simply returns the existing record.
+
+Earlier releases wrote one ``study-*.json`` file per study under the
+same directory; opening a store over such a directory imports those
+records into the database once (the files are left in place,
+untouched).
 """
 
 from __future__ import annotations
 
 import json
-import os
-import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..errors import RascadError
+from ..store import Migration, Schema, SqliteStore
 
 #: The states a stored study moves through.
 STUDY_STATES = ("running", "succeeded", "failed")
+
+#: Database file name inside the store's directory.
+STUDIES_DB_FILENAME = "studies.sqlite3"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS studies (
+    study_id TEXT PRIMARY KEY,
+    name     TEXT,
+    strategy TEXT NOT NULL DEFAULT 'grid',
+    state    TEXT NOT NULL DEFAULT 'running',
+    document TEXT NOT NULL,
+    result   TEXT,
+    error    TEXT
+);
+"""
+
+#: The studies schema, versioned via ``PRAGMA user_version``.
+STUDIES_SCHEMA = Schema(
+    "studies", [Migration(1, "studies table", _SCHEMA)]
+)
 
 
 class StudyNotFoundError(RascadError):
@@ -36,38 +60,41 @@ class StudyStore:
     def __init__(
         self, directory: Optional[Union[str, Path]] = None
     ) -> None:
-        self._lock = threading.Lock()
-        self._memory: Dict[str, Dict[str, object]] = {}
         self.directory: Optional[Path] = None
-        if directory is not None:
+        if directory is None:
+            self.db = SqliteStore(":memory:", STUDIES_SCHEMA)
+        else:
             self.directory = Path(directory)
-            self.directory.mkdir(parents=True, exist_ok=True)
+            self.db = SqliteStore(
+                self.directory / STUDIES_DB_FILENAME, STUDIES_SCHEMA
+            )
+            self._import_legacy_files()
 
-    # ------------------------------------------------------------------
-    # storage primitives
-    # ------------------------------------------------------------------
-    def _path(self, study_id: str) -> Path:
+    def close(self) -> None:
+        self.db.close()
+
+    def _import_legacy_files(self) -> None:
+        """One-time import of pre-database ``study-*.json`` records."""
         assert self.directory is not None
-        return self.directory / f"{study_id}.json"
-
-    def _write(self, record: Dict[str, object]) -> None:
-        study_id = str(record["study_id"])
-        if self.directory is None:
-            self._memory[study_id] = json.loads(json.dumps(record))
+        legacy = sorted(self.directory.glob("study-*.json"))
+        if not legacy:
             return
-        path = self._path(study_id)
-        temp = path.with_suffix(".tmp")
-        temp.write_text(json.dumps(record, sort_keys=True))
-        os.replace(temp, path)
-
-    def _read(self, study_id: str) -> Optional[Dict[str, object]]:
-        if self.directory is None:
-            record = self._memory.get(study_id)
-            return json.loads(json.dumps(record)) if record else None
-        path = self._path(study_id)
-        if not path.exists():
-            return None
-        return json.loads(path.read_text())
+        with self.db.transaction() as conn:
+            for path in legacy:
+                try:
+                    record = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                conn.execute(
+                    "INSERT OR IGNORE INTO studies (study_id, name, "
+                    "strategy, state, document, result, error) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    _row_values(record, str(record.get(
+                        "study_id", path.stem
+                    ))),
+                )
 
     # ------------------------------------------------------------------
     # public API
@@ -81,72 +108,88 @@ class StudyStore:
         the existing record untouched, so a finished study's result
         survives duplicate submissions.
         """
-        with self._lock:
-            existing = self._read(study_id)
-            if existing is not None:
-                return existing, False
-            record: Dict[str, object] = {
-                "study_id": study_id,
-                "name": document.get("name"),
-                "strategy": document.get(
-                    "strategy", "grid"
-                ),
-                "state": "running",
-                "document": document,
-                "result": None,
-                "error": None,
-            }
-            self._write(record)
-            return record, True
+        record: Dict[str, object] = {
+            "study_id": study_id,
+            "name": document.get("name"),
+            "strategy": document.get("strategy", "grid"),
+            "state": "running",
+            "document": document,
+            "result": None,
+            "error": None,
+        }
+        with self.db.transaction() as conn:
+            cursor = conn.execute(
+                "INSERT OR IGNORE INTO studies (study_id, name, "
+                "strategy, state, document, result, error) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                _row_values(record, study_id),
+            )
+            created = cursor.rowcount == 1
+            row = conn.execute(
+                "SELECT * FROM studies WHERE study_id = ?", (study_id,)
+            ).fetchone()
+        return _record(row), created
 
     def succeed(
         self, study_id: str, result: Dict[str, object]
     ) -> Dict[str, object]:
         """Attach a finished result payload."""
-        with self._lock:
-            record = self._require(study_id)
-            record["state"] = "succeeded"
-            record["result"] = result
-            record["error"] = None
-            self._write(record)
-            return record
+        with self.db.transaction() as conn:
+            cursor = conn.execute(
+                "UPDATE studies SET state = 'succeeded', result = ?, "
+                "error = NULL WHERE study_id = ?",
+                (json.dumps(result, sort_keys=True), study_id),
+            )
+            if cursor.rowcount == 0:
+                raise StudyNotFoundError(f"no study {study_id!r}")
+            row = conn.execute(
+                "SELECT * FROM studies WHERE study_id = ?", (study_id,)
+            ).fetchone()
+        return _record(row)
 
     def fail(self, study_id: str, error: str) -> Dict[str, object]:
-        with self._lock:
-            record = self._require(study_id)
-            record["state"] = "failed"
-            record["error"] = error
-            self._write(record)
-            return record
-
-    def _require(self, study_id: str) -> Dict[str, object]:
-        record = self._read(study_id)
-        if record is None:
-            raise StudyNotFoundError(f"no study {study_id!r}")
-        return record
+        with self.db.transaction() as conn:
+            cursor = conn.execute(
+                "UPDATE studies SET state = 'failed', error = ? "
+                "WHERE study_id = ?",
+                (error, study_id),
+            )
+            if cursor.rowcount == 0:
+                raise StudyNotFoundError(f"no study {study_id!r}")
+            row = conn.execute(
+                "SELECT * FROM studies WHERE study_id = ?", (study_id,)
+            ).fetchone()
+        return _record(row)
 
     def get(self, study_id: str) -> Dict[str, object]:
         """The full record, or :class:`StudyNotFoundError`."""
-        with self._lock:
-            return self._require(study_id)
+        with self.db.connection() as conn:
+            row = conn.execute(
+                "SELECT * FROM studies WHERE study_id = ?", (study_id,)
+            ).fetchone()
+        if row is None:
+            raise StudyNotFoundError(f"no study {study_id!r}")
+        return _record(row)
 
     def ids(self) -> List[str]:
-        with self._lock:
-            if self.directory is None:
-                return sorted(self._memory)
-            return sorted(
-                path.stem
-                for path in self.directory.glob("study-*.json")
-            )
+        with self.db.connection() as conn:
+            rows = conn.execute(
+                "SELECT study_id FROM studies ORDER BY study_id"
+            ).fetchall()
+        return [row["study_id"] for row in rows]
 
     def list(self) -> List[Dict[str, object]]:
         """Summaries (no documents/results), sorted by id."""
+        with self.db.connection() as conn:
+            rows = conn.execute(
+                "SELECT * FROM studies ORDER BY study_id"
+            ).fetchall()
         summaries = []
-        for study_id in self.ids():
-            record = self.get(study_id)
+        for row in rows:
+            record = _record(row)
             result = record.get("result") or {}
             summaries.append({
-                "study_id": study_id,
+                "study_id": record["study_id"],
                 "name": record.get("name"),
                 "strategy": record.get("strategy"),
                 "state": record.get("state"),
@@ -162,8 +205,39 @@ class StudyStore:
     def counts(self) -> Dict[str, int]:
         """Per-state totals, for the metrics endpoint."""
         counts = {state: 0 for state in STUDY_STATES}
-        for study_id in self.ids():
-            state = str(self.get(study_id).get("state"))
-            if state in counts:
-                counts[state] += 1
+        with self.db.connection() as conn:
+            rows = conn.execute(
+                "SELECT state, COUNT(*) AS n FROM studies "
+                "GROUP BY state"
+            ).fetchall()
+        for row in rows:
+            if row["state"] in counts:
+                counts[row["state"]] = int(row["n"])
         return counts
+
+
+def _row_values(record: Dict[str, object], study_id: str) -> tuple:
+    result = record.get("result")
+    return (
+        study_id,
+        record.get("name"),
+        str(record.get("strategy", "grid")),
+        str(record.get("state", "running")),
+        json.dumps(record.get("document", {}), sort_keys=True),
+        None if result is None else json.dumps(result, sort_keys=True),
+        record.get("error"),
+    )
+
+
+def _record(row) -> Dict[str, object]:
+    return {
+        "study_id": row["study_id"],
+        "name": row["name"],
+        "strategy": row["strategy"],
+        "state": row["state"],
+        "document": json.loads(row["document"]),
+        "result": (
+            None if row["result"] is None else json.loads(row["result"])
+        ),
+        "error": row["error"],
+    }

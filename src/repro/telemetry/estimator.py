@@ -32,11 +32,10 @@ chi-square (Garwood) bound from the *shared* implementation in
 from __future__ import annotations
 
 import copy
-import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..ident import content_digest
 from ..validation.intervals import poisson_rate_interval
 from .events import (
     TICKS_PER_HOUR,
@@ -174,10 +173,7 @@ class FittedRates:
 
     def digest(self) -> str:
         """Content digest of the fit — the bit-identity witness."""
-        encoded = json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
-        return hashlib.sha256(encoded).hexdigest()
+        return content_digest(self.to_dict())
 
 
 class RateEstimator:
@@ -444,10 +440,7 @@ class RateEstimator:
 
     def state_digest(self) -> str:
         """Content digest of the full state (canonical JSON)."""
-        encoded = json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
-        return hashlib.sha256(encoded).hexdigest()
+        return content_digest(self.to_dict())
 
     # ------------------------------------------------------------------
     # fitting

@@ -24,13 +24,12 @@ replay (same id — silently skipped) or an :class:`OutOfOrderError`.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..errors import RascadError
+from ..ident import digest_id
 
 #: The event kinds a site reports.
 EVENT_KINDS = ("failure", "repair", "latent_detect")
@@ -138,10 +137,7 @@ class FieldEvent:
             "ticks": self.ticks,
             "unit": self.unit,
         }
-        encoded = json.dumps(
-            document, sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
-        return "evt-" + hashlib.sha256(encoded).hexdigest()[:32]
+        return digest_id("evt", document, 32)
 
     def to_dict(self) -> Dict[str, object]:
         return {

@@ -6,9 +6,12 @@ behind a lock, applies **bounded admission** (a cap on events admitted
 but not yet folded into state — beyond it ingest answers
 :class:`~repro.telemetry.events.BacklogFullError`, the service's 429),
 validates whole batches *before* applying them (a 400 rejects the
-batch atomically — no half-ingested payloads), persists state
-atomically (temp file + rename, the checkpointer discipline), and
-keeps the latest calibration proposal.
+batch atomically — no half-ingested payloads), persists state through
+:class:`repro.store.SqliteStore` (one ``telemetry.sqlite3`` holding
+the estimator state and the latest proposal as JSON documents,
+written transactionally), and keeps the latest calibration proposal.
+Directories written by earlier releases (``state.json`` /
+``proposal.json``) are read as a fallback when the database is empty.
 
 Batch validation + per-event dedup give the ingest path its replay
 idempotency: re-POSTing a delivered batch reports every event as a
@@ -18,8 +21,6 @@ duplicate and changes nothing, bit-for-bit.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -27,6 +28,7 @@ from typing import Dict, List, Optional, Union
 from ..core.block import DiagramBlockModel
 from ..engine import Engine
 from ..obs import get_logger, get_tracer
+from ..store import Migration, Schema, SqliteStore
 from .calibrate import build_proposal, publish_proposal
 from .drift import DriftConfig
 from .estimator import RateEstimator
@@ -46,26 +48,30 @@ DEFAULT_MAX_PENDING = 10_000
 #: body-size limit underneath).
 DEFAULT_MAX_BATCH = 1_024
 
-#: Filenames inside the hub's state directory.
+#: Legacy filenames inside the hub's state directory (pre-database).
 STATE_FILENAME = "state.json"
 PROPOSAL_FILENAME = "proposal.json"
 
+#: Database file name inside the hub's state directory.
+TELEMETRY_DB_FILENAME = "telemetry.sqlite3"
 
-def _atomic_write(path: Path, payload: Dict[str, object]) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, temp_name = tempfile.mkstemp(
-        dir=str(path.parent), prefix=".telemetry-", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, sort_keys=True)
-        os.replace(temp_name, path)
-    except BaseException:
-        try:
-            os.unlink(temp_name)
-        except OSError:
-            pass
-        raise
+#: The telemetry schema: one key/value table of JSON documents
+#: (``state``, ``proposal``), versioned via ``PRAGMA user_version``.
+TELEMETRY_SCHEMA = Schema(
+    "telemetry",
+    [
+        Migration(
+            1,
+            "kv table for estimator state and proposal",
+            """
+            CREATE TABLE IF NOT EXISTS telemetry_kv (
+                key   TEXT PRIMARY KEY,
+                value TEXT NOT NULL
+            )
+            """,
+        )
+    ],
+)
 
 
 class TelemetryHub:
@@ -89,6 +95,12 @@ class TelemetryHub:
                 f"max_batch must be >= 1, got {max_batch}"
             )
         self.directory = Path(directory).expanduser() if directory else None
+        if self.directory is None:
+            self.db = SqliteStore(":memory:", TELEMETRY_SCHEMA)
+        else:
+            self.db = SqliteStore(
+                self.directory / TELEMETRY_DB_FILENAME, TELEMETRY_SCHEMA
+            )
         self.stats = stats
         self.max_pending = max_pending
         self.max_batch = max_batch
@@ -104,50 +116,69 @@ class TelemetryHub:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def _state_path(self) -> Optional[Path]:
-        if self.directory is None:
-            return None
-        return self.directory / STATE_FILENAME
+    def close(self) -> None:
+        self.db.close()
 
-    def _proposal_path(self) -> Optional[Path]:
+    def _kv_get(self, key: str) -> Optional[Dict[str, object]]:
+        with self.db.connection() as conn:
+            row = conn.execute(
+                "SELECT value FROM telemetry_kv WHERE key = ?", (key,)
+            ).fetchone()
+        if row is None:
+            return None
+        payload = json.loads(row["value"])
+        return payload if isinstance(payload, dict) else None
+
+    def _kv_set(self, key: str, payload: Dict[str, object]) -> None:
+        with self.db.transaction() as conn:
+            conn.execute(
+                "INSERT INTO telemetry_kv (key, value) VALUES (?, ?) "
+                "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+                (key, json.dumps(payload, sort_keys=True)),
+            )
+
+    def _legacy_document(
+        self, filename: str
+    ) -> Optional[Dict[str, object]]:
+        """A pre-database JSON file's payload, if present and valid."""
         if self.directory is None:
             return None
-        return self.directory / PROPOSAL_FILENAME
+        path = self.directory / filename
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
 
     def _load_state(
         self, window_hours: float, start_hours: float
     ) -> RateEstimator:
-        path = self._state_path()
-        if path is not None and path.exists():
+        payload = self._kv_get("state")
+        if payload is None:
+            payload = self._legacy_document(STATE_FILENAME)
+        if payload is not None:
             try:
-                return RateEstimator.from_dict(
-                    json.loads(path.read_text())
-                )
-            except (OSError, ValueError, KeyError, TelemetryError):
+                return RateEstimator.from_dict(payload)
+            except (ValueError, KeyError, TelemetryError):
                 get_logger("telemetry").warning(
                     "discarding unreadable telemetry state",
-                    extra={"path": str(path)},
+                    extra={"path": str(self.db.path)},
                 )
         return RateEstimator(
             start_hours=start_hours, window_hours=window_hours
         )
 
     def _load_proposal(self) -> Optional[Dict[str, object]]:
-        path = self._proposal_path()
-        if path is not None and path.exists():
-            try:
-                payload = json.loads(path.read_text())
-                if isinstance(payload, dict):
-                    return payload
-            except (OSError, ValueError):
-                pass
-        return None
+        payload = self._kv_get("proposal")
+        if payload is None:
+            payload = self._legacy_document(PROPOSAL_FILENAME)
+        return payload
 
     def save(self) -> None:
-        """Persist estimator state (atomic; no-op without a directory)."""
-        path = self._state_path()
-        if path is not None:
-            _atomic_write(path, self._estimator.to_dict())
+        """Persist estimator state transactionally."""
+        self._kv_set("state", self._estimator.to_dict())
 
     # ------------------------------------------------------------------
     # ingest
@@ -340,9 +371,7 @@ class TelemetryHub:
             )
             self._proposal = proposal
             self._proposals += 1
-            path = self._proposal_path()
-            if path is not None:
-                _atomic_write(path, proposal)
+            self._kv_set("proposal", proposal)
         if self.stats is not None:
             self.stats.increment("telemetry_proposals")
         return proposal

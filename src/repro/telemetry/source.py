@@ -20,21 +20,19 @@ the calibration refit must recover.
 
 from __future__ import annotations
 
-import hashlib
 from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
 from ..core.block import DiagramBlockModel
+from ..ident import digest_int64
 from ..validation.field_data import FIFTEEN_MONTHS_HOURS
 from .events import FieldEvent, TelemetryError
 
 
 def _unit_seed(seed: int, server: str, path: str, copy: int) -> np.random.Generator:
-    token = f"{server}|{path}|{copy}".encode("utf-8")
-    digest = hashlib.sha256(token).digest()
     return np.random.default_rng(
-        [seed, int.from_bytes(digest[:8], "big")]
+        [seed, digest_int64(f"{server}|{path}|{copy}")]
     )
 
 

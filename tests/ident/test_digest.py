@@ -1,0 +1,114 @@
+"""Golden-digest lock plus unit coverage for :mod:`repro.ident`.
+
+The golden fixture was generated *before* the digest helpers were
+consolidated into ``repro.ident``; asserting equality here proves the
+consolidation is behavior-preserving at the identity layer — every
+job id, shard id, spec digest, study id, and event id comes out
+bit-identical to what the scattered per-subsystem implementations
+minted.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.ident import (
+    canonical_json,
+    content_digest,
+    digest_id,
+    digest_int64,
+    sha256_bytes,
+    sha256_hex,
+)
+
+from ._golden import compute_golden
+
+FIXTURE = Path(__file__).parent / "golden_digests.json"
+
+
+class TestGoldenDigests:
+    def test_every_identity_is_bit_identical(self):
+        golden = json.loads(FIXTURE.read_text())
+        recomputed = compute_golden()
+        assert recomputed == golden
+
+    def test_fixture_is_complete(self):
+        """The fixture pins every identity family in the system."""
+        golden = json.loads(FIXTURE.read_text())
+        for key in (
+            "model_digest_workgroup_direct",
+            "block_digest_first_leaf",
+            "chain_digest_pair",
+            "task_seed_42_7",
+            "job_digest_sweep",
+            "result_digest_simple",
+            "backoff_delay_job_3",
+            "shard_id_wl_0_16",
+            "plan_shards_100_16",
+            "rendezvous_score_s_w",
+            "workload_digest_sweep",
+            "spec_digest_workgroup",
+            "study_digest_grid",
+            "event_ids",
+            "estimator_state_digest",
+            "fit_digest",
+        ):
+            assert key in golden, f"missing golden key {key}"
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_no_whitespace(self):
+        assert canonical_json({"a": [1, 2]}) == b'{"a":[1,2]}'
+
+    def test_float_repr_roundtrip(self):
+        # json emits repr-based shortest round-trip floats
+        assert canonical_json(0.1) == b"0.1"
+        assert canonical_json(1e300) == b"1e+300"
+
+
+class TestDigestHelpers:
+    def test_content_digest_matches_manual(self):
+        doc = {"kind": "x", "values": [1.5, 2.5]}
+        manual = hashlib.sha256(
+            json.dumps(
+                doc, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        ).hexdigest()
+        assert content_digest(doc) == manual
+
+    def test_digest_id_format(self):
+        ident = digest_id("job", {"a": 1}, 32)
+        assert ident.startswith("job-")
+        assert len(ident) == 4 + 32
+        assert ident == "job-" + content_digest({"a": 1})[:32]
+
+    def test_digest_id_chars(self):
+        assert len(digest_id("shard", {}, 24)) == 6 + 24
+
+    def test_sha256_str_and_bytes_agree(self):
+        assert sha256_hex("abc") == sha256_hex(b"abc")
+        assert sha256_bytes("abc") == sha256_bytes(b"abc")
+        assert sha256_hex("abc") == hashlib.sha256(b"abc").hexdigest()
+
+    def test_digest_int64_range_and_determinism(self):
+        value = digest_int64("rascad-task:42:7")
+        assert 0 <= value < 2**64
+        assert value == digest_int64("rascad-task:42:7")
+        assert value != digest_int64("rascad-task:42:8")
+
+    def test_digest_int64_matches_manual(self):
+        digest = hashlib.sha256(b"material").digest()
+        assert digest_int64("material") == int.from_bytes(
+            digest[:8], "big"
+        )
+
+    def test_non_serializable_raises(self):
+        with pytest.raises(TypeError):
+            content_digest({"x": object()})

@@ -226,6 +226,34 @@ class TestObservability:
         assert payload["service"]["max_queue"] == 64
         assert payload["derived"]["cache_hit_rate"] >= 0
 
+    def test_metrics_report_store_health(self):
+        responses, _ = call([_request("GET", "/metrics")])
+        status, payload, _ = responses[0]
+        assert status == 200
+        storage = payload["storage"]
+        # The studies store always exists (in-memory when no
+        # --cache-dir); every entry is a SqliteStore.health() payload.
+        studies = storage["studies"]
+        assert studies["schema"] == "studies"
+        assert studies["mode"] == "memory"
+        assert studies["user_version"] == 1
+        assert studies["size_bytes"] > 0
+        assert studies["transactions"] >= 0
+        assert studies["busy_retries"] == 0
+
+    def test_prometheus_exposes_store_series(self):
+        responses, _ = call([
+            _request(
+                "GET", "/metrics", query={"format": "prometheus"}
+            ),
+        ])
+        status, text, _ = responses[0]
+        assert status == 200
+        assert "# TYPE rascad_store_size_bytes gauge" in text
+        assert 'rascad_store_user_version{store="studies"} 1' in text
+        assert "# TYPE rascad_store_transactions_total counter" in text
+        assert 'rascad_store_busy_retries_total{store="studies"} 0' in text
+
     def test_metrics_prometheus_format(self):
         spec = model_to_spec(workgroup_model())
         responses, _ = call([

@@ -5,7 +5,12 @@ import json
 
 import pytest
 
-from repro.errors import EngineError, SolverError, SpecError
+from repro.errors import (
+    EngineError,
+    SolverError,
+    SpecError,
+    StoreBusyError,
+)
 from repro.service.protocol import (
     MAX_HEADER_BYTES,
     ProtocolError,
@@ -206,3 +211,12 @@ class TestExceptionMapping:
         assert response.status == status
         payload = json.loads(response.body)
         assert payload["error"]["code"] == code
+
+    def test_busy_store_is_503_with_retry_after(self):
+        response = error_for_exception(
+            StoreBusyError("jobs db is locked", retry_after=0.3)
+        )
+        assert response.status == 503
+        payload = json.loads(response.body)
+        assert payload["error"]["code"] == "store_busy"
+        assert response.headers["Retry-After"] == "1"

@@ -1,0 +1,110 @@
+"""Operational verbs: discovery, status, integrity check, backup."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import (
+    Migration,
+    Schema,
+    SqliteStore,
+    db_backup,
+    db_check,
+    db_status,
+    default_backup_destination,
+    discover_databases,
+)
+
+SCHEMA = Schema("t", [Migration(
+    1, "kv table",
+    "CREATE TABLE IF NOT EXISTS t (k TEXT PRIMARY KEY, v TEXT)",
+)])
+
+
+def make_store(path, rows=3):
+    store = SqliteStore(path, SCHEMA)
+    with store.transaction() as conn:
+        for index in range(rows):
+            conn.execute(
+                "INSERT INTO t VALUES (?, ?)", (f"k{index}", "v")
+            )
+    return store
+
+
+class TestDiscovery:
+    def test_finds_only_existing_known_databases(self, tmp_path):
+        make_store(tmp_path / "jobs.sqlite3")
+        make_store(tmp_path / "studies" / "studies.sqlite3")
+        found = discover_databases(tmp_path)
+        assert [entry["name"] for entry in found] == ["jobs", "studies"]
+
+    def test_empty_directory_finds_nothing(self, tmp_path):
+        assert discover_databases(tmp_path) == []
+
+
+class TestStatus:
+    def test_reports_version_mode_and_counts(self, tmp_path):
+        make_store(tmp_path / "t.sqlite3", rows=4)
+        status = db_status(tmp_path / "t.sqlite3")
+        assert status["user_version"] == 1
+        assert status["journal_mode"] == "wal"
+        assert status["tables"] == {"t": 4}
+        assert status["size_bytes"] > 0
+
+    def test_missing_database_raises(self, tmp_path):
+        with pytest.raises(StoreError):
+            db_status(tmp_path / "absent.sqlite3")
+
+
+class TestCheck:
+    def test_healthy_database_is_ok(self, tmp_path):
+        make_store(tmp_path / "t.sqlite3")
+        report = db_check(tmp_path / "t.sqlite3")
+        assert report["ok"] is True
+        assert report["messages"] == ["ok"]
+
+
+class TestBackup:
+    def test_backup_contains_identical_rows(self, tmp_path):
+        make_store(tmp_path / "t.sqlite3", rows=5)
+        destination = tmp_path / "copy.sqlite3"
+        result = db_backup(tmp_path / "t.sqlite3", destination)
+        assert result["size_bytes"] == destination.stat().st_size
+        copy = sqlite3.connect(str(destination))
+        try:
+            count = copy.execute("SELECT COUNT(*) FROM t").fetchone()[0]
+            version = copy.execute("PRAGMA user_version").fetchone()[0]
+        finally:
+            copy.close()
+        assert count == 5
+        assert version == 1
+        assert db_check(destination)["ok"]
+
+    def test_backup_while_writer_holds_connection(self, tmp_path):
+        store = make_store(tmp_path / "t.sqlite3", rows=2)
+        with store.connection() as conn:
+            conn.execute("BEGIN")
+            conn.execute("INSERT INTO t VALUES ('open', 'txn')")
+            destination = tmp_path / "copy.sqlite3"
+            db_backup(tmp_path / "t.sqlite3", destination)
+            conn.commit()
+        copy = sqlite3.connect(str(destination))
+        try:
+            count = copy.execute("SELECT COUNT(*) FROM t").fetchone()[0]
+        finally:
+            copy.close()
+        assert count == 2  # snapshot excludes the uncommitted row
+
+    def test_missing_source_raises_and_leaves_no_file(self, tmp_path):
+        with pytest.raises(StoreError):
+            db_backup(tmp_path / "absent.sqlite3", tmp_path / "out.sqlite3")
+        assert not (tmp_path / "out.sqlite3").exists()
+
+    def test_default_destination_naming(self, tmp_path):
+        destination = default_backup_destination(tmp_path / "jobs.sqlite3")
+        assert destination == tmp_path / "jobs.backup.sqlite3"
+        elsewhere = default_backup_destination(
+            tmp_path / "jobs.sqlite3", tmp_path / "backups"
+        )
+        assert elsewhere == tmp_path / "backups" / "jobs.backup.sqlite3"

@@ -496,3 +496,90 @@ class TestClusterCli:
         assert asyncio.run(go()) == 0
         out = capsys.readouterr().out
         assert "jobs completed" in out or "jobs_completed" in out
+
+
+class TestDbCli:
+    @pytest.fixture
+    def cache_dir(self, tmp_path):
+        from repro.jobs import JobStore
+        from repro.studies.store import StudyStore
+
+        JobStore(tmp_path / "jobs.sqlite3").close()
+        studies = StudyStore(tmp_path / "studies")
+        studies.submit("study-1", {"name": "s"})
+        studies.close()
+        return tmp_path
+
+    def test_status_discovers_cache_databases(self, cache_dir, capsys):
+        assert main([
+            "db", "status", "--cache-dir", str(cache_dir)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "jobs" in out and "studies" in out
+        assert "wal" in out
+
+    def test_status_json(self, cache_dir, capsys):
+        assert main([
+            "db", "status", "--cache-dir", str(cache_dir), "--json"
+        ]) == 0
+        statuses = json.loads(capsys.readouterr().out)
+        by_name = {status["name"]: status for status in statuses}
+        assert by_name["jobs"]["user_version"] == 1
+        assert by_name["studies"]["tables"]["studies"] == 1
+
+    def test_status_explicit_path(self, cache_dir, capsys):
+        assert main([
+            "db", "status", str(cache_dir / "jobs.sqlite3"), "--json"
+        ]) == 0
+        statuses = json.loads(capsys.readouterr().out)
+        assert [status["name"] for status in statuses] == ["jobs"]
+
+    def test_check_reports_ok(self, cache_dir, capsys):
+        assert main([
+            "db", "check", "--cache-dir", str(cache_dir)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count(" ok ") == 2
+
+    def test_check_exits_nonzero_on_corruption(self, tmp_path, capsys):
+        from repro.jobs import JobStore
+
+        path = tmp_path / "jobs.sqlite3"
+        JobStore(path).close()
+        data = bytearray(path.read_bytes())
+        data[4096:4200] = b"\xff" * 104  # stomp the first table page
+        path.write_bytes(bytes(data))
+        assert main(["db", "check", str(path)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_backup_round_trip(self, cache_dir, capsys):
+        import sqlite3
+
+        out_dir = cache_dir / "backups"
+        assert main([
+            "db", "backup", "--cache-dir", str(cache_dir),
+            "--out-dir", str(out_dir),
+        ]) == 0
+        copies = sorted(p.name for p in out_dir.iterdir())
+        assert copies == [
+            "jobs.backup.sqlite3", "studies.backup.sqlite3"
+        ]
+        conn = sqlite3.connect(str(out_dir / "studies.backup.sqlite3"))
+        try:
+            count = conn.execute(
+                "SELECT COUNT(*) FROM studies"
+            ).fetchone()[0]
+        finally:
+            conn.close()
+        assert count == 1
+
+    def test_backup_out_requires_single_database(self, cache_dir, capsys):
+        assert main([
+            "db", "backup", "--cache-dir", str(cache_dir),
+            "--out", str(cache_dir / "one.sqlite3"),
+        ]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_empty_cache_dir_is_an_error(self, tmp_path, capsys):
+        assert main(["db", "status", "--cache-dir", str(tmp_path)]) == 2
+        assert "no store databases" in capsys.readouterr().err

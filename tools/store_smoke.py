@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""CI smoke test: hammer one database through a live server, then
+check and back it up online.
+
+The end-to-end path the ``repro.store`` substrate promises:
+
+1. Start a real ``rascad serve`` with a cache directory, so the jobs,
+   cluster, registry, studies, and telemetry stores all live in SQLite
+   files under one root.
+2. Hammer ``POST /v1/jobs`` from concurrent threads — every submit is
+   a write transaction against the same ``jobs.sqlite3``, so lock
+   contention (the busy-retry path) is exercised for real.  A 503
+   ``store_busy`` answer is acceptable; a torn write is not.
+3. Assert ``/metrics`` exposes the ``storage`` section with non-zero
+   transaction counts.
+4. Stop the server, then run the operational verbs:
+   ``rascad db status`` / ``rascad db check`` (must be ``ok``) /
+   ``rascad db backup``.
+5. Assert each backup is logically identical to its source — the
+   SQL dump of both files has the same content digest.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/store_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+from _smoke_common import Fleet, get_json, post_json, cli
+
+from repro.ident import sha256_hex  # noqa: E402
+from repro.library import workgroup_model  # noqa: E402
+from repro.spec import model_to_spec  # noqa: E402
+from repro.store import SqliteStore, discover_databases  # noqa: E402
+
+WRITERS = 8
+SUBMITS_PER_WRITER = 10
+
+
+def hammer(url: str, spec: dict, worker: int, failures: list) -> None:
+    """Submit distinct jobs; only busy backpressure is tolerated."""
+    for index in range(SUBMITS_PER_WRITER):
+        value = 1e5 + worker * 1e4 + index
+        status, payload = post_json(f"{url}/v1/jobs", {
+            "kind": "sweep",
+            "spec": spec,
+            "params": {"field": "mtbf_hours", "values": [value]},
+        })
+        if status not in (200, 202) and not (
+            status == 503
+            and payload.get("error", {}).get("code") == "store_busy"
+        ):
+            failures.append((worker, index, status, payload))
+
+
+def dump_digest(path: Path) -> str:
+    """Content digest of a database's full SQL dump."""
+    store = SqliteStore(path)
+    try:
+        with store.connection() as conn:
+            dump = "\n".join(conn.iterdump())
+    finally:
+        store.close()
+    return sha256_hex(dump.encode("utf-8"))
+
+
+def main() -> int:
+    spec = model_to_spec(workgroup_model())
+    with tempfile.TemporaryDirectory() as scratch:
+        base = Path(scratch)
+        cache_dir = base / "cache"
+        with Fleet(base) as fleet:
+            url = fleet.spawn_server(
+                "server", ["serve", "--cache-dir", str(cache_dir)]
+            )
+            failures: list = []
+            threads = [
+                threading.Thread(
+                    target=hammer, args=(url, spec, worker, failures)
+                )
+                for worker in range(WRITERS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures, f"unexpected responses: {failures[:5]}"
+
+            jobs = get_json(f"{url}/v1/jobs?limit=500")
+            total = WRITERS * SUBMITS_PER_WRITER
+            assert len(jobs["jobs"]) == total, (
+                f"expected {total} jobs, found {len(jobs['jobs'])}"
+            )
+
+            metrics = get_json(f"{url}/metrics")
+            storage = metrics["storage"]
+            assert storage["jobs"]["transactions"] >= total
+            assert storage["jobs"]["user_version"] >= 1
+            for name in ("jobs", "registry", "studies", "telemetry"):
+                assert storage[name]["mode"] == "file", storage[name]
+
+            # A coordinator against the same cache materialises the
+            # fifth database (cluster.sqlite3 beside jobs.sqlite3)
+            # and shares the jobs store across two live processes.
+            coordinator = fleet.spawn_server(
+                "coordinator",
+                ["cluster", "coordinator",
+                 "--jobs-db", str(cache_dir / "jobs.sqlite3")],
+            )
+            coordinator_storage = get_json(
+                f"{coordinator}/metrics"
+            )["storage"]
+            assert coordinator_storage["cluster"]["mode"] == "file"
+            assert (
+                coordinator_storage["jobs"]["user_version"]
+                == storage["jobs"]["user_version"]
+            )
+        # Fleet.__exit__ has terminated both servers: content is stable.
+
+        databases = discover_databases(cache_dir)
+        names = sorted(entry["name"] for entry in databases)
+        assert names == [
+            "cluster", "jobs", "registry", "studies", "telemetry"
+        ], names
+
+        backups = base / "backups"
+        assert cli("db", "status", "--cache-dir", str(cache_dir)) == 0
+        assert cli("db", "check", "--cache-dir", str(cache_dir)) == 0
+        assert cli(
+            "db", "backup", "--cache-dir", str(cache_dir),
+            "--out-dir", str(backups),
+        ) == 0
+
+        for entry in databases:
+            source = Path(str(entry["path"]))
+            copy = backups / f"{source.name[:-len('.sqlite3')]}" \
+                             ".backup.sqlite3"
+            assert copy.exists(), copy
+            source_digest = dump_digest(source)
+            copy_digest = dump_digest(copy)
+            assert source_digest == copy_digest, (
+                f"{entry['name']}: backup dump diverges from source"
+            )
+            assert cli("db", "check", str(copy)) == 0
+            print(f"{entry['name']:<10} {source_digest[:16]}  "
+                  "backup == source")
+
+    print("store smoke: "
+          f"{WRITERS} writers x {SUBMITS_PER_WRITER} submits, "
+          "5 databases checked and backed up bit-equal")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
